@@ -1,0 +1,1 @@
+bench/demos.ml: Array Asm Bytes Engine Flow Frame Ipv4 List Mac Meta Net Option Printf Probe Prog Report Result Stack String Switch Time_ns Topology Tpp Tpp_asic Vaddr

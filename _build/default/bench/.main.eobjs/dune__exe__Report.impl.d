@@ -1,0 +1,1 @@
+bench/report.ml: Array Filename Float List Printf String Sys Tpp_util

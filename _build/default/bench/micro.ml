@@ -1,0 +1,140 @@
+(* Bechamel microbenchmarks: host-side cost of each dataplane component
+   of the model. These support E7: even in a discrete-event model, a
+   5-instruction TPP execution is tens of nanoseconds of work — far
+   below the packet arrival period of the simulated links — so the
+   model itself never bottlenecks the experiments. *)
+
+open Bechamel
+open Toolkit
+open Tpp
+module State = Tpp_asic.State
+module AsicTcpu = Tpp_asic.Tcpu
+
+let collect_program =
+  "PUSH [Switch:SwitchID]\n\
+   PUSH [Link:QueueSize]\n\
+   PUSH [Link:RxUtilization]\n\
+   PUSH [Link:CapacityKbps]\n\
+   PUSH [Link:Drops]\n"
+
+let tcpu_exec_test =
+  let st = State.create ~switch_id:1 ~num_ports:4 () in
+  let tpp = Result.get_ok (Asm.to_tpp ~mem_len:64 collect_program) in
+  let frame =
+    Frame.udp_frame ~src_mac:(Mac.of_host_id 1) ~dst_mac:(Mac.of_host_id 2)
+      ~src_ip:(Ipv4.Addr.of_host_id 1) ~dst_ip:(Ipv4.Addr.of_host_id 2) ~src_port:1
+      ~dst_port:2 ~tpp ~payload:Bytes.empty ()
+  in
+  frame.Frame.meta.Meta.out_port <- 1;
+  let tpp = Option.get frame.Frame.tpp in
+  Test.make ~name:"tcpu: execute 5-instruction TPP"
+    (Staged.stage (fun () ->
+         tpp.Prog.sp <- tpp.Prog.base;
+         tpp.Prog.hop <- 0;
+         ignore (AsicTcpu.execute st ~now:0 ~frame)))
+
+let assemble_test =
+  Test.make ~name:"asm: assemble 5-instruction program"
+    (Staged.stage (fun () -> ignore (Asm.assemble collect_program)))
+
+let frame_with_tpp () =
+  let tpp = Result.get_ok (Asm.to_tpp ~mem_len:64 collect_program) in
+  Frame.udp_frame ~src_mac:(Mac.of_host_id 1) ~dst_mac:(Mac.of_host_id 2)
+    ~src_ip:(Ipv4.Addr.of_host_id 1) ~dst_ip:(Ipv4.Addr.of_host_id 2) ~src_port:1
+    ~dst_port:2 ~tpp ~payload:(Bytes.create 64) ()
+
+let serialize_test =
+  let frame = frame_with_tpp () in
+  Test.make ~name:"frame: serialize (TPP frame)"
+    (Staged.stage (fun () -> ignore (Frame.serialize frame)))
+
+let parse_test =
+  let bytes = Frame.serialize (frame_with_tpp ()) in
+  Test.make ~name:"frame: parse (TPP frame)"
+    (Staged.stage (fun () -> ignore (Frame.parse bytes)))
+
+let pipeline_test =
+  let sw = Switch.create ~id:1 ~num_ports:4 () in
+  Switch.install_route sw
+    (Ipv4.Prefix.host (Ipv4.Addr.of_host_id 2))
+    ~port:2 ~entry_id:1 ~version:1;
+  let frame = frame_with_tpp () in
+  Test.make ~name:"switch: full pipeline (lookup+tcpu+queue)"
+    (Staged.stage (fun () ->
+         let tpp = Option.get frame.Frame.tpp in
+         tpp.Prog.sp <- tpp.Prog.base;
+         tpp.Prog.hop <- 0;
+         ignore (Switch.handle_ingress sw ~now:0 ~in_port:0 frame);
+         ignore (Switch.dequeue sw ~port:2)))
+
+let instr_codec_test =
+  let instr = Instr.Cstore (Instr.Sw 0x880, Instr.Pkt 8) in
+  Test.make ~name:"instr: encode+decode"
+    (Staged.stage (fun () -> ignore (Instr.decode (Instr.encode instr))))
+
+let lpm_test =
+  let table = Tables.L3.create () in
+  let rng = Rng.create ~seed:1 in
+  for i = 0 to 999 do
+    let addr = Ipv4.Addr.of_int (Rng.int rng 0x7FFFFFFF) in
+    Tables.L3.install table
+      (Ipv4.Prefix.make addr (8 + Rng.int rng 25))
+      { Tables.action = Tables.Forward (i mod 4); entry_id = i; version = 1 }
+  done;
+  let probe = Ipv4.Addr.of_int 0x0A0B0C0D in
+  Test.make ~name:"l3: longest-prefix lookup (1k routes)"
+    (Staged.stage (fun () -> ignore (Tables.L3.lookup table probe)))
+
+(* Host-side cost scaling with program length, mirroring the 4+n cycle
+   model: the per-instruction marginal cost should dominate at n=8. *)
+let tcpu_scaling_tests =
+  List.map
+    (fun n ->
+      let st = State.create ~switch_id:1 ~num_ports:4 () in
+      let program = String.concat "" (List.init n (fun _ -> "PUSH [Queue:QueueSize]\n")) in
+      let tpp = Result.get_ok (Asm.to_tpp ~mem_len:(4 * n) program) in
+      let frame =
+        Frame.udp_frame ~src_mac:(Mac.of_host_id 1) ~dst_mac:(Mac.of_host_id 2)
+          ~src_ip:(Ipv4.Addr.of_host_id 1) ~dst_ip:(Ipv4.Addr.of_host_id 2)
+          ~src_port:1 ~dst_port:2 ~tpp ~payload:Bytes.empty ()
+      in
+      frame.Frame.meta.Meta.out_port <- 1;
+      let tpp = Option.get frame.Frame.tpp in
+      Test.make ~name:(Printf.sprintf "tcpu: execute %d-instruction TPP" n)
+        (Staged.stage (fun () ->
+             tpp.Prog.sp <- tpp.Prog.base;
+             tpp.Prog.hop <- 0;
+             ignore (AsicTcpu.execute st ~now:0 ~frame))))
+    [ 1; 2; 4; 8 ]
+
+let all_tests =
+  [ tcpu_exec_test; assemble_test; serialize_test; parse_test; pipeline_test;
+    instr_codec_test; lpm_test ]
+  @ tcpu_scaling_tests
+
+let run () =
+  Report.section "MICRO" "bechamel microbenchmarks (host-side model costs)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg
+      [ Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"tpp" ~fmt:"%s %s" all_tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ ns ] -> (name, ns) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Printf.printf "  %-48s %14s %16s\n" "operation" "ns/op" "ops/sec";
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "  %-48s %14.1f %16.0f\n" name ns (1e9 /. ns))
+    rows

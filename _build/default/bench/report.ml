@@ -1,0 +1,98 @@
+(* Console reporting helpers shared by the experiment harness. *)
+
+let section id title =
+  Printf.printf "\n%s\n%s — %s\n%s\n"
+    (String.make 78 '=') id title (String.make 78 '=')
+
+let sub title = Printf.printf "\n-- %s --\n" title
+
+let kv key value = Printf.printf "  %-42s %s\n" key value
+
+let kvi key value = kv key (string_of_int value)
+
+let kvf key value = kv key (Printf.sprintf "%.3f" value)
+
+(* Renders time series as an ASCII chart so `dune exec bench/main.exe`
+   shows the figure, not just its numbers. Series are drawn with
+   distinct glyphs; collisions show the later series' glyph. *)
+let plot ?(width = 70) ?(height = 14) ~y_label series =
+  let series =
+    List.map (fun s -> (Tpp_util.Series.name s, Tpp_util.Series.points s)) series
+  in
+  let all_points = List.concat_map (fun (_, pts) -> Array.to_list pts) series in
+  if all_points <> [] then begin
+    let t_max = List.fold_left (fun a (t, _) -> max a t) 0 all_points in
+    let v_max = List.fold_left (fun a (_, v) -> Float.max a v) 0.0 all_points in
+    let v_max = if v_max <= 0.0 then 1.0 else v_max *. 1.05 in
+    let grid = Array.make_matrix height width ' ' in
+    let glyphs = [| '*'; '+'; 'o'; 'x' |] in
+    List.iteri
+      (fun si (_, points) ->
+        Array.iter
+          (fun (t, v) ->
+            if t >= 0 && t <= t_max then begin
+              let x = if t_max = 0 then 0 else t * (width - 1) / t_max in
+              let y = int_of_float (v /. v_max *. float_of_int (height - 1)) in
+              let y = max 0 (min (height - 1) y) in
+              grid.(height - 1 - y).(x) <- glyphs.(si mod Array.length glyphs)
+            end)
+          points)
+      series;
+    Printf.printf "\n  %s\n" y_label;
+    Array.iteri
+      (fun row line ->
+        let v = v_max *. float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+        Printf.printf "  %6.2f |%s|\n" v (String.init width (Array.get line)))
+      grid;
+    Printf.printf "  %6s +%s+\n" "" (String.make width '-');
+    Printf.printf "  %6s 0%*s\n" ""
+      (width - 1)
+      (Printf.sprintf "%.1fs" (Tpp_util.Time_ns.to_sec_f t_max));
+    List.iteri
+      (fun si (name, _) ->
+        Printf.printf "  %c = %s\n" glyphs.(si mod Array.length glyphs) name)
+      series
+  end
+
+(* Optional CSV export, enabled with --csv. *)
+let csv_dir : string option ref = ref None
+
+let write_csv ~name ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (header ^ "\n");
+    List.iter (fun row -> output_string oc (row ^ "\n")) rows;
+    close_out oc;
+    Printf.printf "  (wrote %s)\n" path
+
+let csv_of_series series =
+  Tpp_util.Series.points series |> Array.to_list
+  |> List.map (fun (t, v) ->
+         Printf.sprintf "%.6f,%.6f" (Tpp_util.Time_ns.to_sec_f t) v)
+
+(* Paper-vs-measured rows collected for the experiment summary. *)
+let expectations : (string * string * string * bool) list ref = ref []
+
+let expect ~what ~paper ~measured ok =
+  expectations := (what, paper, measured, ok) :: !expectations;
+  Printf.printf "  %-42s paper: %-18s measured: %-18s [%s]\n" what paper measured
+    (if ok then "ok" else "DIVERGES")
+
+let summary () =
+  let all = List.rev !expectations in
+  if all = [] then 0
+  else begin
+    section "SUMMARY" "paper vs measured";
+    let ok = List.length (List.filter (fun (_, _, _, ok) -> ok) all) in
+    List.iter
+      (fun (what, paper, measured, ok) ->
+        Printf.printf "  [%s] %-40s paper: %-18s measured: %s\n"
+          (if ok then "ok" else "!!") what paper measured)
+      all;
+    Printf.printf "\n  %d/%d expectations hold\n" ok (List.length all);
+    List.length all - ok
+  end

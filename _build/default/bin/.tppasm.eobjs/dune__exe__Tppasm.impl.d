@@ -1,0 +1,1 @@
+bin/tppasm.ml: Arg Array Asm Buf Buffer Bytes Char Cmd Cmdliner Filename Format Frame Instr Ipv4 List Mac Option Printf Prog Programs String Sys Term Tpp Tpp_asic Tpp_isa Vaddr

@@ -1,0 +1,1 @@
+bin/tpptrace.ml: Arg Array Asm Cmd Cmdliner Engine Flow List Net Option Pcap Printf Probe Prog Stack String Term Time_ns Topology Tpp

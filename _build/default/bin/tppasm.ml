@@ -1,0 +1,237 @@
+(* tppasm: assemble TPP programs to their wire encoding, and back.
+
+   $ tppasm program.tpp --mem-len 64
+   $ echo 'PUSH [Queue:QueueSize]' | tppasm -
+   $ tppasm --disassemble 01001000...   (hex of a TPP section)
+*)
+
+open Cmdliner
+open Tpp
+
+let read_input = function
+  | "-" ->
+    let buf = Buffer.create 256 in
+    (try
+       let rec go () =
+         Buffer.add_channel buf stdin 1;
+         go ()
+       in
+       go ()
+     with End_of_file -> ());
+    Buffer.contents buf
+  | path ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+
+let hex_of_bytes b =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (Bytes.length b) (Bytes.get b))))
+
+let bytes_of_hex s =
+  let s = String.trim s in
+  if String.length s mod 2 <> 0 then Error "odd-length hex string"
+  else
+    try
+      Ok
+        (Bytes.init (String.length s / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> Error "invalid hex digit"
+
+let parse_define s =
+  match String.index_opt s '=' with
+  | None -> Error (`Msg "expected NAME=ADDR")
+  | Some i ->
+    let name = String.sub s 0 i in
+    let addr = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt addr with
+    | Some a when a >= 0 && a < Vaddr.limit -> Ok (name, a)
+    | _ -> Error (`Msg (Printf.sprintf "bad address %S" addr)))
+
+let define_conv = Arg.conv (parse_define, fun fmt (n, a) -> Format.fprintf fmt "%s=0x%x" n a)
+
+let dump_header tpp =
+  Printf.printf "version 1, %s mode, %d instructions, %d bytes packet memory\n"
+    (match tpp.Prog.addr_mode with Prog.Stack -> "stack" | Prog.Hop_addressed -> "hop")
+    (Array.length tpp.Prog.program)
+    (Bytes.length tpp.Prog.memory);
+  Printf.printf "sp=%d hop=%d base=%d perhop=%d%s\n" tpp.Prog.sp tpp.Prog.hop
+    tpp.Prog.base tpp.Prog.perhop_len
+    (if tpp.Prog.faulted then " FAULTED" else "");
+  Printf.printf "section: %d bytes on the wire\n" (Prog.section_size tpp)
+
+(* --run: execute the program against a mock one-switch dataplane and
+   show what it did — a debugger for TPP authors. *)
+let run_program tpp =
+  let st = Tpp_asic.State.create ~switch_id:3 ~num_ports:4 () in
+  Tpp_asic.State.force_queue_depth st ~port:1 ~bytes:12_345;
+  (Tpp_asic.State.port st 1).Tpp_asic.State.Port.capacity_bps <- 10_000_000;
+  (Tpp_asic.State.port st 1).Tpp_asic.State.Port.util_ppm <- 420_000;
+  let frame =
+    Frame.udp_frame ~src_mac:(Mac.of_host_id 1) ~dst_mac:(Mac.of_host_id 2)
+      ~src_ip:(Ipv4.Addr.of_host_id 1) ~dst_ip:(Ipv4.Addr.of_host_id 2) ~src_port:1
+      ~dst_port:2 ~tpp ~payload:Bytes.empty ()
+  in
+  frame.Frame.meta.Tpp_isa.Meta.out_port <- 1;
+  frame.Frame.meta.Tpp_isa.Meta.in_port <- 0;
+  frame.Frame.meta.Tpp_isa.Meta.matched_entry <- 7;
+  frame.Frame.meta.Tpp_isa.Meta.matched_version <- 1;
+  match Tpp_asic.Tcpu.execute st ~now:123_456_789 ~frame with
+  | None -> prerr_endline "tppasm: no TPP on frame (internal error)"
+  | Some result ->
+    let tpp = Option.get frame.Frame.tpp in
+    Printf.printf
+      "\nexecuted on a mock switch (id 3, out-port queue 12345B, util 42%%):\n";
+    Printf.printf "  %d instruction(s) ran, %d cycles%s%s\n" result.Tpp_asic.Tcpu.executed
+      result.Tpp_asic.Tcpu.cycles
+      (if result.Tpp_asic.Tcpu.stopped_by_cexec then ", stopped by CEXEC" else "")
+      (match result.Tpp_asic.Tcpu.fault with
+      | Some f -> ", FAULT: " ^ Tpp_asic.Tcpu.fault_message f
+      | None -> "");
+    Printf.printf "  sp=%d hop=%d\n" tpp.Prog.sp tpp.Prog.hop;
+    (match Prog.stack_values tpp with
+    | [] -> ()
+    | values ->
+      Printf.printf "  stack:";
+      List.iter (Printf.printf " %d") values;
+      print_newline ());
+    print_endline "  packet memory:";
+    List.iteri
+      (fun i w -> if w <> 0 || 4 * i < tpp.Prog.sp then
+          Printf.printf "    [%3d] 0x%08x (%d)\n" (4 * i) w w)
+      (Prog.words tpp)
+
+let assemble_cmd input mem_len hop perhop defines emit_hex run =
+  let source = read_input input in
+  let addr_mode = if hop then Some Prog.Hop_addressed else None in
+  let perhop_len = if perhop > 0 then Some perhop else None in
+  match Asm.to_tpp ~defines ?addr_mode ?perhop_len ~mem_len source with
+  | Error e ->
+    Printf.eprintf "tppasm: %s\n" e;
+    exit 1
+  | Ok tpp when run ->
+    dump_header tpp;
+    run_program tpp;
+    0
+  | Ok tpp ->
+    if emit_hex then begin
+      let w = Buf.Writer.create () in
+      Prog.write w tpp;
+      print_endline (hex_of_bytes (Buf.Writer.contents w))
+    end
+    else begin
+      dump_header tpp;
+      print_endline "listing:";
+      Array.iteri
+        (fun i instr ->
+          Format.printf "  %2d: %08lx  %a@." i (Instr.encode instr) Instr.pp instr)
+        tpp.Prog.program;
+      if tpp.Prog.base > 0 then begin
+        print_endline "constant pool:";
+        let rec pool off =
+          if off < tpp.Prog.base then begin
+            Printf.printf "  [Packet:%d] = 0x%08x\n" off (Prog.mem_get tpp off);
+            pool (off + 4)
+          end
+        in
+        pool 0
+      end
+    end;
+    0
+
+let disassemble_cmd hex =
+  match bytes_of_hex hex with
+  | Error e ->
+    Printf.eprintf "tppasm: %s\n" e;
+    exit 1
+  | Ok raw -> (
+    match Prog.read (Buf.Reader.of_bytes raw) with
+    | Error e ->
+      Printf.eprintf "tppasm: cannot parse TPP section: %s\n" e;
+      exit 1
+    | Ok tpp ->
+      dump_header tpp;
+      print_endline (Asm.disassemble tpp);
+      0)
+
+let input_arg =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Source file, or - for stdin.")
+
+let mem_len_arg =
+  Arg.(value & opt int 64 & info [ "mem-len" ] ~docv:"BYTES"
+         ~doc:"Packet memory for the stack / hop blocks (word multiple).")
+
+let hop_arg =
+  Arg.(value & flag & info [ "hop" ] ~doc:"Hop-addressed packet memory (paper §3.2.2).")
+
+let perhop_arg =
+  Arg.(value & opt int 0 & info [ "perhop" ] ~docv:"BYTES"
+         ~doc:"Per-hop block size in hop mode.")
+
+let defines_arg =
+  Arg.(value & opt_all define_conv [] & info [ "D"; "define" ] ~docv:"NAME=ADDR"
+         ~doc:"Extra statistic name, e.g. Link:RCP-RateRegister=0x180.")
+
+let hex_arg =
+  Arg.(value & flag & info [ "hex" ] ~doc:"Emit the encoded section as hex.")
+
+let disasm_arg =
+  Arg.(value & opt (some string) None & info [ "disassemble"; "d" ] ~docv:"HEX"
+         ~doc:"Decode a hex-encoded TPP section instead of assembling.")
+
+let run_arg =
+  Arg.(value & flag & info [ "run" ]
+         ~doc:"Execute the assembled program on a mock one-switch dataplane and \
+               dump the resulting packet memory.")
+
+let programs_arg =
+  Arg.(value & flag & info [ "programs" ]
+         ~doc:"List the canned program library and exit.")
+
+let canned_arg =
+  Arg.(value & opt (some string) None & info [ "canned"; "c" ] ~docv:"NAME"
+         ~doc:"Use a canned program (see --programs) as the source.")
+
+let list_programs () =
+  List.iter
+    (fun (name, source) ->
+      Printf.printf "--- %s (%d words/hop) ---\n%s\n" name
+        (Programs.words_per_hop source) source)
+    Programs.all;
+  Printf.printf
+    "--- folds (one word total: accumulator at [Packet:0]) ---\n%s%s%s" Programs.max_queue
+    Programs.sum_queues Programs.min_capacity;
+  0
+
+let canned_source name =
+  match List.assoc_opt name Programs.all with
+  | Some source -> source
+  | None ->
+    Printf.eprintf "tppasm: unknown canned program %S (try --programs)\n" name;
+    exit 2
+
+let main input mem_len hop perhop defines hex disasm run programs canned =
+  if programs then list_programs ()
+  else
+    match (disasm, canned) with
+    | Some h, _ -> disassemble_cmd h
+    | None, Some name ->
+      let tmp = Filename.temp_file "tppasm" ".tpp" in
+      let oc = open_out tmp in
+      output_string oc (canned_source name);
+      close_out oc;
+      let code = assemble_cmd tmp mem_len hop perhop defines hex run in
+      Sys.remove tmp;
+      code
+    | None, None -> assemble_cmd input mem_len hop perhop defines hex run
+
+let cmd =
+  let doc = "assemble, disassemble and dry-run tiny packet programs" in
+  Cmd.v
+    (Cmd.info "tppasm" ~version ~doc)
+    Term.(
+      const main $ input_arg $ mem_len_arg $ hop_arg $ perhop_arg $ defines_arg
+      $ hex_arg $ disasm_arg $ run_arg $ programs_arg $ canned_arg)
+
+let () = exit (Cmd.eval' cmd)

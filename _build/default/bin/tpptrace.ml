@@ -1,0 +1,138 @@
+(* tpptrace: a traceroute built on TPPs.
+
+   Spins up a simulated switch chain under configurable background
+   load, sends probes carrying a (possibly user-supplied) program, and
+   prints the per-hop values — the interactive version of the paper's
+   Figure 1.
+
+   $ tpptrace --switches 5 --load 80
+   $ tpptrace --program my.tpp --words-per-hop 3
+*)
+
+open Cmdliner
+open Tpp
+
+let default_program = "PUSH [Switch:SwitchID]\nPUSH [Queue:QueueSize]\n"
+
+let run switches load program_file probes words_per_hop pcap_out =
+  let source =
+    match program_file with
+    | None -> default_program
+    | Some path ->
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+  in
+  if load < 0 || load > 100 then begin
+    Printf.eprintf "tpptrace: --load must be 0..100\n";
+    exit 1
+  end;
+  let eng = Engine.create () in
+  let link_bps = 100_000_000 in
+  let chain =
+    Topology.chain eng ~num_switches:switches ~hosts_per_switch:2 ~bps:link_bps
+      ~delay:(Time_ns.us 100) ()
+  in
+  let net = chain.Topology.net in
+  Net.start_utilization_updates net ~period:(Time_ns.ms 10)
+    ~until:(Time_ns.sec (probes + 1));
+  (* Background traffic: every switch's second host sends toward the
+     last switch's second host, loading the shared spine. *)
+  (if load > 0 then
+     let rate = link_bps * load / 100 / max 1 (switches - 1) in
+     for i = 0 to switches - 2 do
+       let src = Stack.create net chain.Topology.hosts.(i).(1) in
+       let dst_host = chain.Topology.hosts.(switches - 1).(1) in
+       let dst = Stack.create net dst_host in
+       let _sink = Flow.Sink.attach dst ~port:9000 in
+       let flow =
+         Flow.cbr ~src ~dst:dst_host ~dst_port:9000 ~payload_bytes:1000
+           ~rate_bps:(max 100_000 rate)
+       in
+       Flow.start flow ()
+     done);
+  let src = Stack.create net chain.Topology.hosts.(0).(0) in
+  let dst_host = chain.Topology.hosts.(switches - 1).(0) in
+  let dst = Stack.create net dst_host in
+  Probe.install_echo dst;
+  let capture =
+    Option.map
+      (fun _ ->
+        let cap = Pcap.create () in
+        (* Both ends: the executed probes arriving at the destination and
+           the echoes arriving back at the source. *)
+        Pcap.tap_host cap net dst_host;
+        Pcap.tap_host cap net chain.Topology.hosts.(0).(0);
+        cap)
+      pcap_out
+  in
+  match Asm.to_tpp ~mem_len:(4 * words_per_hop * (switches + 2)) source with
+  | Error e ->
+    Printf.eprintf "tpptrace: %s\n" e;
+    exit 1
+  | Ok tpp ->
+    Printf.printf "tpptrace: %d switches, %d%% background load, program:\n%s\n"
+      switches load (Asm.disassemble tpp);
+    Probe.install_reply_handler src (fun ~now ~seq tpp ->
+        Printf.printf "probe %d (t=%.1fms): %d hops" seq (Time_ns.to_ms_f now)
+          tpp.Prog.hop;
+        if tpp.Prog.faulted then Printf.printf " [FAULTED]";
+        print_newline ();
+        let values = Prog.stack_values tpp in
+        let rec rows hop = function
+          | [] -> ()
+          | rest ->
+            let take = min words_per_hop (List.length rest) in
+            let row = List.filteri (fun i _ -> i < take) rest in
+            let rest = List.filteri (fun i _ -> i >= take) rest in
+            Printf.printf "  hop %d: %s\n" hop
+              (String.concat "  " (List.map (Printf.sprintf "%10d") row));
+            rows (hop + 1) rest
+        in
+        rows 1 values);
+    for i = 1 to probes do
+      Engine.at eng (Time_ns.ms (100 * i)) (fun () ->
+          Probe.send src ~dst:dst_host ~tpp ~seq:i)
+    done;
+    Engine.run eng ~until:(Time_ns.ms ((100 * probes) + 500));
+    (match (capture, pcap_out) with
+    | Some cap, Some path ->
+      Pcap.write_file cap path;
+      Printf.printf "wrote %d captured frames to %s\n" (Pcap.length cap) path
+    | _ -> ());
+    0
+
+let switches_arg =
+  Arg.(value & opt int 3 & info [ "switches"; "s" ] ~docv:"N" ~doc:"Chain length.")
+
+let load_arg =
+  Arg.(value & opt int 60 & info [ "load"; "l" ] ~docv:"PCT"
+         ~doc:"Background load as a percentage of link capacity.")
+
+let program_arg =
+  Arg.(value & opt (some file) None & info [ "program"; "p" ] ~docv:"FILE"
+         ~doc:"TPP assembly to run (default: switch id + queue size).")
+
+let probes_arg =
+  Arg.(value & opt int 3 & info [ "probes"; "n" ] ~docv:"N"
+         ~doc:"Number of probes, 100 ms apart.")
+
+let words_arg =
+  Arg.(value & opt int 2 & info [ "words-per-hop" ] ~docv:"N"
+         ~doc:"How many words the program pushes per hop (display grouping).")
+
+let pcap_arg =
+  Arg.(value & opt (some string) None & info [ "pcap" ] ~docv:"FILE"
+         ~doc:"Capture probe and echo frames at both end hosts into a \
+               Wireshark-compatible pcap file.")
+
+let cmd =
+  let doc = "traceroute with tiny packet programs, on a simulated chain" in
+  Cmd.v
+    (Cmd.info "tpptrace" ~version ~doc)
+    Term.(
+      const run $ switches_arg $ load_arg $ program_arg $ probes_arg $ words_arg
+      $ pcap_arg)
+
+let () = exit (Cmd.eval' cmd)

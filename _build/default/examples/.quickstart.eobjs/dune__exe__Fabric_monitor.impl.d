@@ -1,0 +1,1 @@
+examples/fabric_monitor.ml: Array Engine Float Flow List Net Printf Probe Stack Stats Sweep Time_ns Topology Tpp

@@ -1,0 +1,1 @@
+examples/latency_breakdown.ml: Array Asm Engine Flow List Printf Probe Prog Result Stack Time_ns Topology Tpp

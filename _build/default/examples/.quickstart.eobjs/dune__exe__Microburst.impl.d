@@ -1,0 +1,1 @@
+examples/microburst.ml: Array Engine Flow List Microburst Net Printf Probe Stack Switch Time_ns Topology Tpp

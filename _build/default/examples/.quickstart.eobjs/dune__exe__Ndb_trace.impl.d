@@ -1,0 +1,1 @@
+examples/ndb_trace.ml: Array Bytes Engine Format Frame List Net Postcard Printf Prog Stack String Switch Tables Time_ns Topology Tpp Trace Verify

@@ -1,0 +1,1 @@
+examples/ndb_trace.mli:

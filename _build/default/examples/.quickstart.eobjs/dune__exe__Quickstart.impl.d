@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Asm Engine Flow List Printf Probe Prog Stack Time_ns Topology Tpp

@@ -1,0 +1,1 @@
+examples/rcp_convergence.ml: Array Engine Flow List Net Printf Probe Rcp Rcp_star Series Stack Time_ns Topology Tpp

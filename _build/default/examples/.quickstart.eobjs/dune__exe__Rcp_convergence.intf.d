@@ -1,0 +1,1 @@
+examples/rcp_convergence.mli:

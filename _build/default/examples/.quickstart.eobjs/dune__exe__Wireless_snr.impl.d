@@ -1,0 +1,1 @@
+examples/wireless_snr.ml: Array Asm Engine Float Net Printf Probe Prog Rng Sram_alloc Stack Stats Switch Time_ns Topology Tpp Tpp_asic

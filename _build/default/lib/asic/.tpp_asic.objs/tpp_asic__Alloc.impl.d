@@ -1,0 +1,1 @@
+lib/asic/alloc.ml: Array Int List Printf State Tpp_isa

@@ -1,0 +1,1 @@
+lib/asic/mmu.ml: Array Printf State Tpp_isa

@@ -1,0 +1,1 @@
+lib/asic/mmu.mli: State Tpp_isa

@@ -1,0 +1,1 @@
+lib/asic/state.ml: Array Queue Tpp_isa

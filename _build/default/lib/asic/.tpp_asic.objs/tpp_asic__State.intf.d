@@ -1,0 +1,1 @@
+lib/asic/state.mli: Queue Tpp_isa

@@ -1,0 +1,1 @@
+lib/asic/switch.ml: Alloc Array List Option Queue State Tables Tcpu Tpp_isa Tpp_packet

@@ -1,0 +1,1 @@
+lib/asic/switch.mli: Alloc State Tables Tcpu Tpp_isa Tpp_packet

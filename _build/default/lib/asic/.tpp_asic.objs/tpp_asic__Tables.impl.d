@@ -1,0 +1,1 @@
+lib/asic/tables.ml: Array Hashtbl Int List Option Tpp_packet

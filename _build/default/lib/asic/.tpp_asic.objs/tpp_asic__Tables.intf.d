@@ -1,0 +1,1 @@
+lib/asic/tables.mli: Tpp_packet

@@ -1,0 +1,1 @@
+lib/asic/tcpu.ml: Array Bytes Mmu Printf Result State Tpp_isa

@@ -1,0 +1,1 @@
+lib/asic/tcpu.mli: Mmu State Tpp_isa

@@ -1,0 +1,64 @@
+module Vaddr = Tpp_isa.Vaddr
+
+type region = { task : string; first : int; count : int }
+
+type t = { state : State.t; mutable taken : region list }
+
+let for_state state = { state; taken = [] }
+
+let overlaps a b = a.first < b.first + b.count && b.first < a.first + a.count
+
+let total t = Array.length t.state.State.sram
+
+(* First-fit over the gaps between existing regions. *)
+let find_gap t ~count =
+  let sorted = List.sort (fun a b -> Int.compare a.first b.first) t.taken in
+  let rec scan cursor = function
+    | [] -> if cursor + count <= total t then Some cursor else None
+    | r :: rest ->
+      if cursor + count <= r.first then Some cursor else scan (r.first + r.count) rest
+  in
+  scan 0 sorted
+
+let claim t region =
+  if List.exists (overlaps region) t.taken then
+    Error "internal allocator overlap"
+  else begin
+    t.taken <- region :: t.taken;
+    Ok ()
+  end
+
+let alloc_words t ~task ~count =
+  if count <= 0 then Error "alloc_words: count must be positive"
+  else
+    match find_gap t ~count with
+    | None -> Error (Printf.sprintf "SRAM exhausted: no room for %d words" count)
+    | Some first -> (
+      match claim t { task; first; count } with
+      | Ok () -> Ok first
+      | Error e -> Error e)
+
+let alloc_link_slot t ~task =
+  let nports = t.state.State.num_ports in
+  (* Slot [s] owns words [s*nports, (s+1)*nports). Find the lowest slot
+     whose backing words are all free. *)
+  let rec try_slot s =
+    if s >= Vaddr.link_sram_slots || ((s + 1) * nports) > total t then
+      Error "SRAM exhausted: no free per-link slot"
+    else begin
+      let region = { task; first = s * nports; count = nports } in
+      if List.exists (overlaps region) t.taken then try_slot (s + 1)
+      else
+        match claim t region with
+        | Ok () -> Ok s
+        | Error e -> Error e
+    end
+  in
+  try_slot 0
+
+let regions t =
+  t.taken
+  |> List.sort (fun a b -> Int.compare a.first b.first)
+  |> List.map (fun r -> (r.task, r.first, r.count))
+
+let free_words t = total t - List.fold_left (fun acc r -> acc + r.count) 0 t.taken

@@ -1,0 +1,28 @@
+(** Control-plane partitioning of switch SRAM between network tasks
+    (paper §3.2, "Multiple tasks").
+
+    Concurrently deployed tasks (e.g. RCP and ndb) each get
+    non-overlapping SRAM, so one task's TPPs can never corrupt
+    another's state. The allocator hands out either raw word ranges or
+    contextual per-link slots (one word per port, addressed through the
+    [LinkSram] window relative to a packet's output port). *)
+
+type t
+
+val for_state : State.t -> t
+(** An allocator managing [state]'s SRAM. At most one allocator should
+    manage a given switch. *)
+
+val alloc_words : t -> task:string -> count:int -> (int, string) result
+(** Reserves [count] consecutive SRAM words; returns the first word's
+    index (for [Sram:<i>] addressing). *)
+
+val alloc_link_slot : t -> task:string -> (int, string) result
+(** Reserves one contextual per-link slot: word [slot*num_ports + port]
+    for every port. Returns the slot number (for [LinkSram:<slot>]
+    addressing and {!Tpp_isa.Vaddr.Link_sram}). *)
+
+val regions : t -> (string * int * int) list
+(** [(task, first_word, count)] for every allocation, in address order. *)
+
+val free_words : t -> int

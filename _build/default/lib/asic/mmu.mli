@@ -1,0 +1,26 @@
+(** Address translation between TPP virtual addresses and switch state
+    (paper §3.2.1, "Unified Memory-Mapped IO").
+
+    Contextual [Link:*] and [LinkSram:*] addresses resolve against the
+    output port the forwarding pipeline picked for the current packet,
+    taken from the frame's metadata. *)
+
+type fault =
+  | Bad_address of int      (** hole in the map, or out of range *)
+  | Read_only of int        (** write to a statistic/metadata address *)
+  | Port_out_of_range of int
+
+val fault_message : fault -> string
+
+val read :
+  State.t -> meta:Tpp_isa.Meta.t -> now:int -> int -> (int, fault) result
+(** [read state ~meta ~now addr] is the 32-bit value at virtual word
+    address [addr]. *)
+
+val write :
+  State.t -> meta:Tpp_isa.Meta.t -> int -> int -> (unit, fault) result
+(** [write state ~meta addr v]; only SRAM regions accept writes. *)
+
+val read_absolute : State.t -> now:int -> int -> (int, fault) result
+(** Control-plane read: like {!read} but contextual regions fault, since
+    there is no packet context. Used by experiment harnesses. *)

@@ -1,0 +1,187 @@
+module Vaddr = Tpp_isa.Vaddr
+module Frame = Tpp_isa.Frame
+
+let mask32 v = v land 0xFFFF_FFFF
+
+module Subqueue = struct
+  type t = {
+    mutable q_bytes : int;
+    mutable q_enqueued : int;
+    mutable q_dropped : int;
+    mutable q_limit : int;
+    frames : Frame.t Queue.t;
+  }
+
+  let create ~limit =
+    { q_bytes = 0; q_enqueued = 0; q_dropped = 0; q_limit = limit;
+      frames = Queue.create () }
+
+  let packets t = Queue.length t.frames
+end
+
+module Port = struct
+  type t = {
+    mutable rx_bytes : int;
+    mutable rx_pkts : int;
+    mutable tx_bytes : int;
+    mutable tx_pkts : int;
+    mutable drops : int;
+    mutable capacity_bps : int;
+    mutable window_rx_bytes : int;
+    mutable offered_bytes : int;
+    mutable util_ppm : int;
+    mutable queue_bytes : int;
+    mutable queue_limit : int;
+    mutable ecn_threshold : int option;
+    mutable queue_bytes_avg : float;
+    mutable queues : Subqueue.t array;
+  }
+
+  let create ~queue_limit =
+    {
+      rx_bytes = 0;
+      rx_pkts = 0;
+      tx_bytes = 0;
+      tx_pkts = 0;
+      drops = 0;
+      capacity_bps = 1_000_000_000;
+      window_rx_bytes = 0;
+      offered_bytes = 0;
+      util_ppm = 0;
+      queue_bytes = 0;
+      queue_limit;
+      ecn_threshold = None;
+      queue_bytes_avg = 0.0;
+      queues = [| Subqueue.create ~limit:queue_limit |];
+    }
+
+  let total_packets t =
+    Array.fold_left (fun acc q -> acc + Subqueue.packets q) 0 t.queues
+end
+
+type t = {
+  switch_id : int;
+  num_ports : int;
+  mutable version : int;
+  mutable packets_seen : int;
+  mutable bytes_seen : int;
+  mutable drops : int;
+  mutable tpp_execs : int;
+  mutable tpp_faults : int;
+  mutable tpp_cycles : int;
+  sram : int array;
+  ports : Port.t array;
+}
+
+let create ~switch_id ~num_ports ?(queue_limit = 150_000) () =
+  if num_ports <= 0 || num_ports > Vaddr.max_ports then
+    invalid_arg "State.create: num_ports";
+  {
+    switch_id;
+    num_ports;
+    version = 0;
+    packets_seen = 0;
+    bytes_seen = 0;
+    drops = 0;
+    tpp_execs = 0;
+    tpp_faults = 0;
+    tpp_cycles = 0;
+    sram = Array.make Vaddr.sram_words 0;
+    ports = Array.init num_ports (fun _ -> Port.create ~queue_limit);
+  }
+
+let port t i =
+  if i < 0 || i >= t.num_ports then invalid_arg "State.port: out of range";
+  t.ports.(i)
+
+let port_stat t ~port:i stat =
+  let p = port t i in
+  let open Vaddr.Port_stat in
+  match stat with
+  | Queue_bytes -> mask32 p.Port.queue_bytes
+  | Queue_pkts -> Port.total_packets p
+  | Rx_bytes -> mask32 p.Port.rx_bytes
+  | Tx_bytes -> mask32 p.Port.tx_bytes
+  | Rx_util -> p.Port.util_ppm
+  | Drops -> mask32 p.Port.drops
+  | Queue_bytes_avg -> mask32 (int_of_float p.Port.queue_bytes_avg)
+  | Capacity_kbps -> mask32 (p.Port.capacity_bps / 1000)
+  | Tx_pkts -> mask32 p.Port.tx_pkts
+  | Rx_pkts -> mask32 p.Port.rx_pkts
+  | Queue_limit -> mask32 p.Port.queue_limit
+
+let queue_stat t ~port:i ~queue stat =
+  let p = port t i in
+  if queue < 0 || queue >= Array.length p.Port.queues then None
+  else begin
+    let q = p.Port.queues.(queue) in
+    let open Vaddr.Queue_stat in
+    Some
+      (match stat with
+      | Q_bytes -> mask32 q.Subqueue.q_bytes
+      | Q_pkts -> Subqueue.packets q
+      | Q_enqueued -> mask32 q.Subqueue.q_enqueued
+      | Q_dropped -> mask32 q.Subqueue.q_dropped
+      | Q_limit -> mask32 q.Subqueue.q_limit
+      | Q_id -> queue)
+  end
+
+let configure_queues t ~port:i ~count =
+  if count <= 0 then invalid_arg "State.configure_queues: count";
+  let p = port t i in
+  p.Port.queues <- Array.init count (fun _ -> Subqueue.create ~limit:p.Port.queue_limit);
+  p.Port.queue_bytes <- 0
+
+let force_queue_depth t ~port:i ~bytes =
+  let p = port t i in
+  p.Port.queues.(0).Subqueue.q_bytes <- bytes;
+  p.Port.queue_bytes <- bytes
+
+let switch_stat t ~now stat =
+  let open Vaddr.Switch_stat in
+  match stat with
+  | Switch_id -> t.switch_id
+  | Version -> mask32 t.version
+  | Packets_seen -> mask32 t.packets_seen
+  | Bytes_seen -> mask32 t.bytes_seen
+  | Drops -> mask32 t.drops
+  | Num_ports -> t.num_ports
+  | Tpp_execs -> mask32 t.tpp_execs
+  | Tpp_faults -> mask32 t.tpp_faults
+  | Clock_ns -> mask32 now
+
+let sram_get t i = if i < 0 || i >= Array.length t.sram then None else Some t.sram.(i)
+
+let sram_set t i v =
+  if i < 0 || i >= Array.length t.sram then false
+  else begin
+    t.sram.(i) <- mask32 v;
+    true
+  end
+
+let link_sram_index t ~slot ~port =
+  if slot < 0 || slot >= Vaddr.link_sram_slots || port < 0 || port >= t.num_ports then
+    None
+  else begin
+    let idx = (slot * t.num_ports) + port in
+    if idx >= Array.length t.sram then None else Some idx
+  end
+
+(* Queue-average smoothing factor: light smoothing so the register tracks
+   micro-burst timescales rather than hiding them. *)
+let qavg_alpha = 0.25
+
+let update_utilization t ~window_ns =
+  if window_ns <= 0 then invalid_arg "State.update_utilization: window";
+  Array.iter
+    (fun p ->
+      let bits = float_of_int p.Port.window_rx_bytes *. 8.0 in
+      let seconds = float_of_int window_ns /. 1e9 in
+      let cap = float_of_int p.Port.capacity_bps in
+      let util = if cap <= 0.0 then 0.0 else bits /. (seconds *. cap) in
+      p.Port.util_ppm <- int_of_float (util *. 1e6);
+      p.Port.window_rx_bytes <- 0;
+      p.Port.queue_bytes_avg <-
+        p.Port.queue_bytes_avg
+        +. (qavg_alpha *. (float_of_int p.Port.queue_bytes -. p.Port.queue_bytes_avg)))
+    t.ports

@@ -1,0 +1,99 @@
+(** Mutable per-switch dataplane state: the registers, counters, queues
+    and SRAM that the memory map ({!Tpp_isa.Vaddr}) exposes.
+
+    This module holds only state; the forwarding pipeline lives in
+    {!Switch} and address translation in {!Mmu}. *)
+
+module Frame = Tpp_isa.Frame
+
+(** One egress queue of a port: the Table 2 "Per-Queue" namespace. *)
+module Subqueue : sig
+  type t = {
+    mutable q_bytes : int;     (** current occupancy *)
+    mutable q_enqueued : int;  (** cumulative bytes accepted *)
+    mutable q_dropped : int;   (** cumulative bytes tail-dropped *)
+    mutable q_limit : int;
+    frames : Frame.t Queue.t;
+  }
+
+  val packets : t -> int
+end
+
+(** One egress port: statistics registers and its egress queues.
+    Higher queue index = higher scheduling priority (strict). *)
+module Port : sig
+  type t = {
+    mutable rx_bytes : int;
+    mutable rx_pkts : int;
+    mutable tx_bytes : int;
+    mutable tx_pkts : int;
+    mutable drops : int;
+    mutable capacity_bps : int;
+    mutable window_rx_bytes : int;
+        (** bytes offered to this egress link since the last utilisation
+            update (drops included — RCP's y(t) measures offered load) *)
+    mutable offered_bytes : int;
+        (** cumulative offered bytes, never reset; in-network RCP
+            routers diff it across control periods *)
+    mutable util_ppm : int;         (** last window's utilisation, ppm *)
+    mutable queue_bytes : int;      (** aggregate over all queues *)
+    mutable queue_limit : int;      (** per-queue tail-drop threshold *)
+    mutable ecn_threshold : int option;
+        (** when set, IPv4 frames enqueued while their queue's occupancy
+            >= threshold get the CE mark (fixed-function ECN, paper §4) *)
+    mutable queue_bytes_avg : float; (** EWMA of aggregate occupancy *)
+    mutable queues : Subqueue.t array;
+  }
+
+  val total_packets : t -> int
+end
+
+type t = {
+  switch_id : int;
+  num_ports : int;
+  mutable version : int;
+  mutable packets_seen : int;
+  mutable bytes_seen : int;
+  mutable drops : int;
+  mutable tpp_execs : int;
+  mutable tpp_faults : int;
+  mutable tpp_cycles : int;  (** total TCPU cycles spent (bench E7) *)
+  sram : int array;
+  ports : Port.t array;
+}
+
+val create : switch_id:int -> num_ports:int -> ?queue_limit:int -> unit -> t
+(** [queue_limit] defaults to 150 KB per port (100 full-size frames). *)
+
+val port : t -> int -> Port.t
+(** Raises [Invalid_argument] for an out-of-range port. *)
+
+val port_stat : t -> port:int -> Tpp_isa.Vaddr.Port_stat.t -> int
+(** Current value of one per-port statistic register. *)
+
+val queue_stat : t -> port:int -> queue:int -> Tpp_isa.Vaddr.Queue_stat.t -> int option
+(** One per-queue register; [None] when the queue doesn't exist. *)
+
+val configure_queues : t -> port:int -> count:int -> unit
+(** Replaces the port's queues with [count] fresh empty ones (each at
+    the port's per-queue limit). Ports start with one queue. *)
+
+val force_queue_depth : t -> port:int -> bytes:int -> unit
+(** Testing/mock hook: makes queue 0 (and the port aggregate) report a
+    standing occupancy without enqueueing frames. *)
+
+val switch_stat : t -> now:int -> Tpp_isa.Vaddr.Switch_stat.t -> int
+
+val sram_get : t -> int -> int option
+val sram_set : t -> int -> int -> bool
+(** [false] when the index is out of range. Values masked to 32 bits. *)
+
+val link_sram_index : t -> slot:int -> port:int -> int option
+(** SRAM word backing contextual slot [slot] of [port]:
+    [slot * num_ports + port], when in range. *)
+
+val update_utilization : t -> window_ns:int -> unit
+(** Recomputes every port's [util_ppm] from the bytes received in the
+    closing window and the port capacity, resets the window counters,
+    and folds current queue occupancy into the queue-average EWMAs.
+    Called periodically by the simulation driver. *)

@@ -1,0 +1,318 @@
+module Frame = Tpp_isa.Frame
+module Tpp = Tpp_isa.Tpp
+module Meta = Tpp_isa.Meta
+module Mac = Tpp_packet.Mac
+module Ipv4 = Tpp_packet.Ipv4
+module Ethernet = Tpp_packet.Ethernet
+
+type scheduler = Strict | Wrr of int array
+
+(* Round-robin progress of a WRR port. *)
+type sched_state = {
+  mutable discipline : scheduler;
+  mutable rr_queue : int;       (* queue currently being served *)
+  mutable rr_remaining : int;   (* packets it may still send this turn *)
+}
+
+type t = {
+  switch_state : State.t;
+  allocator : Alloc.t;
+  l2 : Tables.L2.t;
+  l3 : Tables.L3.t;
+  tcam : Tables.Tcam.t;
+  sched : sched_state array;
+  strip_tpp : bool array;
+  mutable tcpu_enabled : bool;
+  mutable last_tcpu : Tcpu.result option;
+  mutable tap : (now:int -> in_port:int -> out_port:int -> Frame.t -> unit) option;
+  mutable classify_queue : Frame.t -> int;
+}
+
+(* Default classifier: DSCP selects the queue, scaled to however many
+   queues the port has (higher DSCP -> higher-priority queue). *)
+let dscp_classifier (frame : Frame.t) =
+  match frame.Frame.ip with
+  | Some ip -> ip.Ipv4.Header.dscp
+  | None -> 0
+
+type verdict = Queued of int list | Dropped of string
+
+let create ~id ~num_ports ?queue_limit ?(tcpu_enabled = true) () =
+  let switch_state = State.create ~switch_id:id ~num_ports ?queue_limit () in
+  {
+    switch_state;
+    allocator = Alloc.for_state switch_state;
+    l2 = Tables.L2.create ();
+    l3 = Tables.L3.create ();
+    tcam = Tables.Tcam.create ();
+    sched =
+      Array.init num_ports (fun _ ->
+          { discipline = Strict; rr_queue = 0; rr_remaining = 0 });
+    strip_tpp = Array.make num_ports false;
+    tcpu_enabled;
+    last_tcpu = None;
+    tap = None;
+    classify_queue = dscp_classifier;
+  }
+
+let set_tap t tap = t.tap <- tap
+
+let set_queue_classifier t f = t.classify_queue <- f
+
+let configure_queues t ~port ~count = State.configure_queues t.switch_state ~port ~count
+
+let num_queues t ~port = Array.length (State.port t.switch_state port).State.Port.queues
+
+let id t = t.switch_state.State.switch_id
+let num_ports t = t.switch_state.State.num_ports
+let state t = t.switch_state
+let alloc t = t.allocator
+
+let set_port_capacity t ~port ~bps = (State.port t.switch_state port).State.Port.capacity_bps <- bps
+let set_queue_limit t ~port ~bytes =
+  let p = State.port t.switch_state port in
+  p.State.Port.queue_limit <- bytes;
+  Array.iter (fun q -> q.State.Subqueue.q_limit <- bytes) p.State.Port.queues
+
+let set_ecn_threshold t ~port threshold =
+  (State.port t.switch_state port).State.Port.ecn_threshold <- threshold
+let set_tcpu_enabled t enabled = t.tcpu_enabled <- enabled
+
+let set_strip_tpp t ~port strip =
+  if port < 0 || port >= num_ports t then invalid_arg "Switch.set_strip_tpp: port";
+  t.strip_tpp.(port) <- strip
+
+let install_l2 t mac ~port ~entry_id ~version =
+  Tables.L2.install t.l2 mac
+    { Tables.action = Tables.Forward port; entry_id; version }
+
+let install_route t prefix ~port ~entry_id ~version =
+  Tables.L3.install t.l3 prefix
+    { Tables.action = Tables.Forward port; entry_id; version }
+
+let install_multipath_route t prefix ~ports ~entry_id ~version =
+  match ports with
+  | [] -> invalid_arg "Switch.install_multipath_route: no ports"
+  | [ port ] -> install_route t prefix ~port ~entry_id ~version
+  | ports ->
+    Tables.L3.install t.l3 prefix
+      { Tables.action = Tables.Multipath (Array.of_list ports); entry_id; version }
+
+let install_tcam t rule entry = Tables.Tcam.install t.tcam rule entry
+
+let remove_tcam t ~entry_id = Tables.Tcam.remove_id t.tcam entry_id
+
+let set_version t v = t.switch_state.State.version <- v
+
+let route_action t addr =
+  Option.map (fun e -> e.Tables.action) (Tables.L3.lookup t.l3 addr)
+
+(* Forwarding lookup: TCAM overrides (it is the flexible match stage of
+   Figure 3), then L3 for IP traffic, then exact L2, else flood. *)
+let lookup t ~in_port (frame : Frame.t) =
+  let src_ip = Option.map (fun ip -> ip.Ipv4.Header.src) frame.Frame.ip in
+  let dst_ip = Option.map (fun ip -> ip.Ipv4.Header.dst) frame.Frame.ip in
+  let proto = Option.map (fun ip -> ip.Ipv4.Header.proto) frame.Frame.ip in
+  let dst_port = Option.map (fun u -> u.Tpp_packet.Udp.dst_port) frame.Frame.udp in
+  match Tables.Tcam.lookup t.tcam ~src_ip ~dst_ip ~proto ~in_port ~dst_port with
+  | Some e -> Some (e, 3)
+  | None -> (
+    match dst_ip with
+    | Some dst -> (
+      match Tables.L3.lookup t.l3 dst with
+      | Some e -> Some (e, 2)
+      | None -> (
+        match Tables.L2.lookup t.l2 frame.Frame.eth.Ethernet.dst with
+        | Some e -> Some (e, 1)
+        | None -> None))
+    | None -> (
+      match Tables.L2.lookup t.l2 frame.Frame.eth.Ethernet.dst with
+      | Some e -> Some (e, 1)
+      | None -> None))
+
+let fill_meta t ~now ~in_port ~out_port ~entry_id ~version ~table_hit (frame : Frame.t) =
+  let meta = frame.Frame.meta in
+  Meta.reset meta;
+  meta.Meta.in_port <- in_port;
+  meta.Meta.out_port <- out_port;
+  meta.Meta.matched_entry <- entry_id;
+  meta.Meta.matched_version <- version;
+  meta.Meta.table_hit <- table_hit;
+  meta.Meta.arrival_ns <- now;
+  meta.Meta.hop_count <-
+    (match frame.Frame.tpp with Some tpp -> tpp.Tpp.hop | None -> 0);
+  ignore t
+
+(* TCPU + enqueue on one output port. Returns true when queued. *)
+let process_and_enqueue t ~now (frame : Frame.t) ~out_port =
+  let st = t.switch_state in
+  let port = State.port st out_port in
+  (* Queue selection happens before the TCPU so [Queue:*] reads resolve
+     against the queue the packet will actually join. Higher queue index
+     = higher priority; the classifier's value is scaled to the port. *)
+  let nq = Array.length port.State.Port.queues in
+  let queue_id = max 0 (min (nq - 1) (t.classify_queue frame * nq / 64)) in
+  frame.Frame.meta.Meta.queue_id <- queue_id;
+  let sub = port.State.Port.queues.(queue_id) in
+  (if t.tcpu_enabled then
+     match Tcpu.execute st ~now ~frame with
+     | Some result -> t.last_tcpu <- Some result
+     | None -> ());
+  let wire = Frame.wire_size frame in
+  (* Offered load on this link, drops included: what RCP's y(t) measures. *)
+  port.State.Port.window_rx_bytes <- port.State.Port.window_rx_bytes + wire;
+  port.State.Port.offered_bytes <- port.State.Port.offered_bytes + wire;
+  (match t.tap with
+  | Some tap ->
+    tap ~now ~in_port:frame.Frame.meta.Meta.in_port ~out_port frame
+  | None -> ());
+  if sub.State.Subqueue.q_bytes + wire > sub.State.Subqueue.q_limit then begin
+    sub.State.Subqueue.q_dropped <- sub.State.Subqueue.q_dropped + wire;
+    port.State.Port.drops <- port.State.Port.drops + 1;
+    st.State.drops <- st.State.drops + 1;
+    false
+  end
+  else begin
+    (* Fixed-function ECN (paper §4): mark CE when the queue the packet
+       joins already sits above the threshold. *)
+    (match (port.State.Port.ecn_threshold, frame.Frame.ip) with
+    | Some threshold, Some ip when sub.State.Subqueue.q_bytes >= threshold ->
+      frame.Frame.ip <- Some { ip with Ipv4.Header.ecn = Ipv4.Header.ecn_ce }
+    | _ -> ());
+    Queue.push frame sub.State.Subqueue.frames;
+    sub.State.Subqueue.q_bytes <- sub.State.Subqueue.q_bytes + wire;
+    sub.State.Subqueue.q_enqueued <- sub.State.Subqueue.q_enqueued + wire;
+    port.State.Port.queue_bytes <- port.State.Port.queue_bytes + wire;
+    true
+  end
+
+let handle_ingress t ~now ~in_port frame =
+  let st = t.switch_state in
+  if in_port < 0 || in_port >= num_ports t then Dropped "invalid ingress port"
+  else begin
+    let frame =
+      if t.strip_tpp.(in_port) && Option.is_some frame.Frame.tpp then
+        Frame.with_tpp frame None
+      else frame
+    in
+    let wire = Frame.wire_size frame in
+    let p_in = State.port st in_port in
+    p_in.State.Port.rx_bytes <- p_in.State.Port.rx_bytes + wire;
+    p_in.State.Port.rx_pkts <- p_in.State.Port.rx_pkts + 1;
+    st.State.packets_seen <- st.State.packets_seen + 1;
+    st.State.bytes_seen <- st.State.bytes_seen + wire;
+    match lookup t ~in_port frame with
+    | Some ({ Tables.action = Tables.Drop; _ }, _) -> Dropped "table drop rule"
+    | Some ({ Tables.action = Tables.Forward _ | Tables.Multipath _; _ }, _) as hit ->
+      let out_port, entry_id, version, table_hit =
+        match hit with
+        | Some ({ Tables.action = Tables.Forward p; entry_id; version }, table_hit) ->
+          (p, entry_id, version, table_hit)
+        | Some ({ Tables.action = Tables.Multipath ports; entry_id; version }, table_hit)
+          ->
+          ( Tables.select_path ports ~key:(Frame.flow_hash frame),
+            entry_id, version, table_hit )
+        | _ -> assert false
+      in
+      if out_port < 0 || out_port >= num_ports t then Dropped "route to invalid port"
+      else begin
+        (* Routed (non-L2) hops decrement the TTL; expiry protects the
+           network from forwarding loops. *)
+        let expired =
+          match (table_hit >= 2, frame.Frame.ip) with
+          | true, Some ip ->
+            if ip.Ipv4.Header.ttl <= 1 then true
+            else begin
+              frame.Frame.ip <-
+                Some { ip with Ipv4.Header.ttl = ip.Ipv4.Header.ttl - 1 };
+              false
+            end
+          | _ -> false
+        in
+        if expired then begin
+          st.State.drops <- st.State.drops + 1;
+          Dropped "TTL expired"
+        end
+        else begin
+          fill_meta t ~now ~in_port ~out_port ~entry_id ~version ~table_hit frame;
+          if process_and_enqueue t ~now frame ~out_port then Queued [ out_port ]
+          else Dropped "queue full"
+        end
+      end
+    | None ->
+      (* Unknown destination: flood out of every other port. *)
+      let queued = ref [] in
+      for out_port = 0 to num_ports t - 1 do
+        if out_port <> in_port then begin
+          let copy = if !queued = [] then frame else Frame.clone frame in
+          fill_meta t ~now ~in_port ~out_port ~entry_id:0 ~version:0 ~table_hit:0 copy;
+          if process_and_enqueue t ~now copy ~out_port then
+            queued := out_port :: !queued
+        end
+      done;
+      if !queued = [] then Dropped "flood found no open port" else Queued (List.rev !queued)
+  end
+
+let set_scheduler t ~port discipline =
+  (match discipline with
+  | Wrr weights ->
+    if Array.length weights = 0 || Array.for_all (fun w -> w <= 0) weights then
+      invalid_arg "Switch.set_scheduler: WRR needs a positive weight"
+  | Strict -> ());
+  let s = t.sched.(port) in
+  s.discipline <- discipline;
+  s.rr_queue <- 0;
+  s.rr_remaining <- 0
+
+let take_from port qi =
+  let queues = port.State.Port.queues in
+  match Queue.take_opt queues.(qi).State.Subqueue.frames with
+  | None -> None
+  | Some frame ->
+    let wire = Frame.wire_size frame in
+    queues.(qi).State.Subqueue.q_bytes <- queues.(qi).State.Subqueue.q_bytes - wire;
+    port.State.Port.queue_bytes <- port.State.Port.queue_bytes - wire;
+    port.State.Port.tx_bytes <- port.State.Port.tx_bytes + wire;
+    port.State.Port.tx_pkts <- port.State.Port.tx_pkts + 1;
+    Some frame
+
+(* Strict: serve the highest-index non-empty queue. WRR: keep serving
+   the current queue until its per-turn packet budget (its weight) runs
+   out or it empties, then move to the next queue with weight. *)
+let dequeue t ~port:i =
+  let port = State.port t.switch_state i in
+  let queues = port.State.Port.queues in
+  let n = Array.length queues in
+  match t.sched.(i).discipline with
+  | Strict ->
+    let rec scan qi = if qi < 0 then None else
+        match take_from port qi with Some f -> Some f | None -> scan (qi - 1)
+    in
+    scan (n - 1)
+  | Wrr weights when Array.length weights <> n ->
+    invalid_arg "Switch.dequeue: WRR weights do not match the queue count"
+  | Wrr weights ->
+    let s = t.sched.(i) in
+    let rec serve visited =
+      if visited > n then None
+      else if s.rr_remaining > 0 then begin
+        match take_from port s.rr_queue with
+        | Some frame ->
+          s.rr_remaining <- s.rr_remaining - 1;
+          Some frame
+        | None ->
+          s.rr_remaining <- 0;
+          serve visited
+      end
+      else begin
+        s.rr_queue <- (s.rr_queue + 1) mod n;
+        s.rr_remaining <- weights.(s.rr_queue);
+        serve (visited + 1)
+      end
+    in
+    serve 0
+
+let queue_bytes t ~port:i = (State.port t.switch_state i).State.Port.queue_bytes
+let queue_packets t ~port:i = State.Port.total_packets (State.port t.switch_state i)
+
+let last_tcpu_result t = t.last_tcpu

@@ -1,0 +1,111 @@
+(** The switch dataplane pipeline (paper Figure 3):
+
+    {v
+    ingress -> header parse -> L2/L3/TCAM lookup -> TCPU -> egress queue
+    v}
+
+    A switch is passive state plus per-packet logic; the discrete-event
+    simulator drives it (delivers frames to {!handle_ingress}, drains
+    queues with {!dequeue} at link rate, and calls
+    {!State.update_utilization} periodically). *)
+
+module Frame = Tpp_isa.Frame
+module Mac = Tpp_packet.Mac
+module Ipv4 = Tpp_packet.Ipv4
+
+type t
+
+type verdict =
+  | Queued of int list
+      (** Ports the frame (or its flood copies) was enqueued on. *)
+  | Dropped of string
+
+val create :
+  id:int -> num_ports:int -> ?queue_limit:int -> ?tcpu_enabled:bool -> unit -> t
+(** [tcpu_enabled] defaults to [true]; a disabled TCPU forwards TPPs
+    without executing them (a legacy, non-TPP switch). *)
+
+val id : t -> int
+val num_ports : t -> int
+val state : t -> State.t
+val alloc : t -> Alloc.t
+(** The control-plane SRAM allocator of this switch. *)
+
+val set_port_capacity : t -> port:int -> bps:int -> unit
+val set_queue_limit : t -> port:int -> bytes:int -> unit
+
+val configure_queues : t -> port:int -> count:int -> unit
+(** Gives the egress port [count] queues (Fig. 3's "egress queues and
+    scheduling"): strict priority, higher index first. Default 1. *)
+
+val num_queues : t -> port:int -> int
+
+val set_queue_classifier : t -> (Frame.t -> int) -> unit
+(** Maps a frame to a 0..63 class (default: its DSCP); the pipeline
+    scales the class to the out port's queue count. *)
+
+(** Egress scheduling discipline. *)
+type scheduler =
+  | Strict          (** higher queue index always first (default) *)
+  | Wrr of int array
+      (** packet-based weighted round-robin; [weights.(q)] packets from
+          queue [q] per cycle (0 = skip). Length must match the port's
+          queue count when it dequeues. *)
+
+val set_scheduler : t -> port:int -> scheduler -> unit
+
+val set_ecn_threshold : t -> port:int -> int option -> unit
+(** Fixed-function ECN marking for this egress queue: IPv4 frames
+    enqueued while occupancy is at or above the threshold get the CE
+    codepoint (the paper's §4 example of a baked-in point solution that
+    TPPs generalise). [None] disables marking. *)
+
+val set_tcpu_enabled : t -> bool -> unit
+
+val set_strip_tpp : t -> port:int -> bool -> unit
+(** Edge security (paper §4): when set, TPP sections are stripped from
+    frames arriving on [port] before any processing. *)
+
+val install_l2 : t -> Mac.t -> port:int -> entry_id:int -> version:int -> unit
+val install_route :
+  t -> Ipv4.Prefix.t -> port:int -> entry_id:int -> version:int -> unit
+
+val install_multipath_route :
+  t -> Ipv4.Prefix.t -> ports:int list -> entry_id:int -> version:int -> unit
+(** Equal-cost multipath: the pipeline spreads flows across [ports] by
+    5-tuple hash ({!Tpp_isa.Frame.flow_hash}), so one flow stays on one
+    path. A single port degenerates to {!install_route}. *)
+
+val install_tcam : t -> Tables.Tcam.rule -> Tables.entry -> unit
+val remove_tcam : t -> entry_id:int -> unit
+val set_version : t -> int -> unit
+(** Control-plane table version, visible at [Switch:Version]. *)
+
+val route_action : t -> Ipv4.Addr.t -> Tables.action option
+(** Control-plane read of the L3 action this switch holds for an
+    address (no TCAM/L2 consultation); lets path predictors see whether
+    a destination is routed with ECMP. *)
+
+val handle_ingress : t -> now:int -> in_port:int -> Frame.t -> verdict
+(** Runs the whole pipeline on one arriving frame. The TCPU executes the
+    frame's TPP (if any) after the forwarding decision and before
+    enqueueing, so [Link:QueueSize] reads the queue the packet is about
+    to join — exactly the Figure 1 semantics. *)
+
+val dequeue : t -> port:int -> Frame.t option
+(** Strict-priority scheduling: removes the head-of-line frame of the
+    highest-priority non-empty queue of [port] and updates transmit
+    counters; [None] when all queues are empty. *)
+
+val queue_bytes : t -> port:int -> int
+val queue_packets : t -> port:int -> int
+
+val last_tcpu_result : t -> Tcpu.result option
+(** Result of the most recent TPP execution on this switch, for tests
+    and cycle accounting. *)
+
+val set_tap :
+  t -> (now:int -> in_port:int -> out_port:int -> Frame.t -> unit) option -> unit
+(** Mirror point after the forwarding decision, used by the
+    postcard-based debugger baseline (ndb, paper §2.3) to emit truncated
+    per-hop packet copies. *)

@@ -1,0 +1,176 @@
+module Mac = Tpp_packet.Mac
+module Ipv4 = Tpp_packet.Ipv4
+
+type action = Forward of int | Multipath of int array | Drop
+
+let select_path ports ~key =
+  let n = Array.length ports in
+  if n = 0 then invalid_arg "Tables.select_path: no ports";
+  ports.(key mod n)
+
+type entry = { action : action; entry_id : int; version : int }
+
+module L2 = struct
+  type t = (Mac.t, entry) Hashtbl.t
+
+  let create () = Hashtbl.create 64
+  let install t mac e = Hashtbl.replace t mac e
+  let remove t mac = Hashtbl.remove t mac
+  let lookup t mac = Hashtbl.find_opt t mac
+  let size t = Hashtbl.length t
+end
+
+module L3 = struct
+  (* A binary trie on address bits, most significant bit first. An entry
+     sits at the depth equal to its prefix length; lookup remembers the
+     deepest entry seen on the way down. *)
+  type node = {
+    mutable zero : node option;
+    mutable one : node option;
+    mutable value : entry option;
+  }
+
+  type t = { root : node; mutable count : int }
+
+  let new_node () = { zero = None; one = None; value = None }
+
+  let create () = { root = new_node (); count = 0 }
+
+  let bit addr i = (Ipv4.Addr.to_int addr lsr (31 - i)) land 1
+
+  let descend node addr i ~create:make =
+    let next = if bit addr i = 0 then node.zero else node.one in
+    match next with
+    | Some n -> Some n
+    | None ->
+      if not make then None
+      else begin
+        let n = new_node () in
+        if bit addr i = 0 then node.zero <- Some n else node.one <- Some n;
+        Some n
+      end
+
+  let install t prefix e =
+    let addr = Ipv4.Prefix.addr prefix in
+    let len = Ipv4.Prefix.length prefix in
+    let rec go node i =
+      if i = len then begin
+        if Option.is_none node.value then t.count <- t.count + 1;
+        node.value <- Some e
+      end
+      else
+        match descend node addr i ~create:true with
+        | Some n -> go n (i + 1)
+        | None -> assert false
+    in
+    go t.root 0
+
+  let remove t prefix =
+    let addr = Ipv4.Prefix.addr prefix in
+    let len = Ipv4.Prefix.length prefix in
+    let rec go node i =
+      if i = len then begin
+        if Option.is_some node.value then t.count <- t.count - 1;
+        node.value <- None
+      end
+      else
+        match descend node addr i ~create:false with
+        | Some n -> go n (i + 1)
+        | None -> ()
+    in
+    go t.root 0
+
+  let lookup t addr =
+    let rec go node i best =
+      let best = match node.value with Some e -> Some e | None -> best in
+      if i >= 32 then best
+      else
+        match descend node addr i ~create:false with
+        | Some n -> go n (i + 1) best
+        | None -> best
+    in
+    go t.root 0 None
+
+  let size t = t.count
+
+  let entries t =
+    let rec walk node acc_bits depth acc =
+      let acc =
+        match node.value with
+        | Some e ->
+          let addr = Ipv4.Addr.of_int (acc_bits lsl (32 - depth)) in
+          (Ipv4.Prefix.make addr depth, e) :: acc
+        | None -> acc
+      in
+      let acc =
+        match node.zero with
+        | Some n -> walk n (acc_bits lsl 1) (depth + 1) acc
+        | None -> acc
+      in
+      match node.one with
+      | Some n -> walk n ((acc_bits lsl 1) lor 1) (depth + 1) acc
+      | None -> acc
+    in
+    (* Depth 0 shift of 32 would be undefined behaviour on the
+       accumulator; special-case the root. *)
+    let acc =
+      match t.root.value with
+      | Some e -> [ (Ipv4.Prefix.make (Ipv4.Addr.of_int 0) 0, e) ]
+      | None -> []
+    in
+    let acc =
+      match t.root.zero with Some n -> walk n 0 1 acc | None -> acc
+    in
+    match t.root.one with Some n -> walk n 1 1 acc | None -> acc
+end
+
+module Tcam = struct
+  type rule = {
+    priority : int;
+    src_ip : (Ipv4.Addr.t * int) option;
+    dst_ip : (Ipv4.Addr.t * int) option;
+    proto : int option;
+    in_port : int option;
+    dst_port : int option;
+  }
+
+  let any =
+    { priority = 0; src_ip = None; dst_ip = None; proto = None; in_port = None;
+      dst_port = None }
+
+  type t = { mutable rules : (rule * entry) list }
+
+  let create () = { rules = [] }
+
+  let order (ra, ea) (rb, eb) =
+    match Int.compare rb.priority ra.priority with
+    | 0 -> Int.compare ea.entry_id eb.entry_id
+    | c -> c
+
+  let install t rule e = t.rules <- List.sort order ((rule, e) :: t.rules)
+
+  let remove_id t id =
+    t.rules <- List.filter (fun (_, e) -> e.entry_id <> id) t.rules
+
+  let field_matches masked value = function
+    | None -> true
+    | Some expected -> ( match value with None -> false | Some v -> masked expected v)
+
+  let ip_matches (want, mask) got =
+    Ipv4.Addr.to_int got land mask = Ipv4.Addr.to_int want land mask
+
+  let lookup t ~src_ip ~dst_ip ~proto ~in_port ~dst_port =
+    let matches (r, _) =
+      field_matches ip_matches src_ip r.src_ip
+      && field_matches ip_matches dst_ip r.dst_ip
+      && field_matches (fun a b -> a = b) proto r.proto
+      && (match r.in_port with None -> true | Some p -> p = in_port)
+      && field_matches (fun a b -> a = b) dst_port r.dst_port
+    in
+    match List.find_opt matches t.rules with
+    | Some (_, e) -> Some e
+    | None -> None
+
+  let size t = List.length t.rules
+  let entries t = t.rules
+end

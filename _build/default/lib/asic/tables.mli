@@ -1,0 +1,83 @@
+(** The forwarding tables of the ASIC pipeline (paper Figure 3): an L2
+    exact-match table, an L3 longest-prefix-match table, and a TCAM.
+
+    Every entry carries an [entry_id] and a [version] stamp — the state
+    ndb-style debugging needs (paper §2.3): a TPP reading
+    [PacketMetadata:MatchedEntryID] learns exactly which rule forwarded
+    the packet, and [MatchedVersion] detects control/dataplane drift. *)
+
+module Mac = Tpp_packet.Mac
+module Ipv4 = Tpp_packet.Ipv4
+
+type action =
+  | Forward of int
+  | Multipath of int array
+      (** equal-cost ports; the pipeline picks by flow hash (ECMP) *)
+  | Drop
+
+val select_path : int array -> key:int -> int
+(** The ECMP selector: [ports.(key mod length)]. One definition, used
+    by both the dataplane and the control plane's path predictor so
+    they can never disagree. Raises [Invalid_argument] on empty. *)
+
+type entry = { action : action; entry_id : int; version : int }
+
+(** Exact-match on destination MAC. *)
+module L2 : sig
+  type t
+
+  val create : unit -> t
+  val install : t -> Mac.t -> entry -> unit
+  val remove : t -> Mac.t -> unit
+  val lookup : t -> Mac.t -> entry option
+  val size : t -> int
+end
+
+(** Longest-prefix match on destination IPv4 address (binary trie). *)
+module L3 : sig
+  type t
+
+  val create : unit -> t
+  val install : t -> Ipv4.Prefix.t -> entry -> unit
+  val remove : t -> Ipv4.Prefix.t -> unit
+  val lookup : t -> Ipv4.Addr.t -> entry option
+  (** The entry of the longest installed prefix containing the address. *)
+
+  val size : t -> int
+  val entries : t -> (Ipv4.Prefix.t * entry) list
+end
+
+(** Ternary matching with priorities; highest priority wins, ties broken
+    by lowest entry id (insertion determinism). *)
+module Tcam : sig
+  type rule = {
+    priority : int;
+    src_ip : (Ipv4.Addr.t * int) option;  (** value, mask *)
+    dst_ip : (Ipv4.Addr.t * int) option;
+    proto : int option;
+    in_port : int option;
+    dst_port : int option;                (** L4 destination port *)
+  }
+
+  val any : rule
+  (** Matches everything at priority 0. *)
+
+  type t
+
+  val create : unit -> t
+  val install : t -> rule -> entry -> unit
+  val remove_id : t -> int -> unit
+  (** Removes the entry with the given [entry_id]. *)
+
+  val lookup :
+    t ->
+    src_ip:Ipv4.Addr.t option ->
+    dst_ip:Ipv4.Addr.t option ->
+    proto:int option ->
+    in_port:int ->
+    dst_port:int option ->
+    entry option
+
+  val size : t -> int
+  val entries : t -> (rule * entry) list
+end

@@ -1,0 +1,1 @@
+lib/control/controller.ml: List Printf Tpp_asic Tpp_isa Tpp_sim

@@ -1,0 +1,1 @@
+lib/control/controller.mli: Tpp_asic Tpp_sim

@@ -1,0 +1,1 @@
+lib/endhost/flow.ml: Bytes Stack Tpp_isa Tpp_packet Tpp_sim Tpp_util

@@ -1,0 +1,1 @@
+lib/endhost/flow.mli: Stack Tpp_isa Tpp_sim Tpp_util

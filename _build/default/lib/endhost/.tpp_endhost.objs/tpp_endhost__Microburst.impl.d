@@ -1,0 +1,1 @@
+lib/endhost/microburst.ml: Hashtbl List Option Probe Stack Tpp_isa Tpp_sim Tpp_util

@@ -1,0 +1,1 @@
+lib/endhost/microburst.mli: Stack Tpp_sim Tpp_util

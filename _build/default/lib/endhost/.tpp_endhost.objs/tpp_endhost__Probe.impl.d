@@ -1,0 +1,1 @@
+lib/endhost/probe.ml: Bytes Option Stack Tpp_isa Tpp_packet Tpp_sim Tpp_util

@@ -1,0 +1,1 @@
+lib/endhost/probe.mli: Stack Tpp_isa Tpp_sim

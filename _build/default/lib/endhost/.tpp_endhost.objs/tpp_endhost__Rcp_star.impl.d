@@ -1,0 +1,1 @@
+lib/endhost/rcp_star.ml: Float Flow Hashtbl List Printf Probe Stack Tpp_asic Tpp_isa Tpp_packet Tpp_sim

@@ -1,0 +1,1 @@
+lib/endhost/rcp_star.mli: Flow Stack Tpp_asic Tpp_isa Tpp_sim

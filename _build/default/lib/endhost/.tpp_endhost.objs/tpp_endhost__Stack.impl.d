@@ -1,0 +1,1 @@
+lib/endhost/stack.ml: Hashtbl List Tpp_isa Tpp_packet Tpp_sim

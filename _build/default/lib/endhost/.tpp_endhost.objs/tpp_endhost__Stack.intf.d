@@ -1,0 +1,1 @@
+lib/endhost/stack.mli: Tpp_isa Tpp_sim

@@ -1,0 +1,1 @@
+lib/endhost/sweep.ml: Hashtbl Int List Option Probe Stack Tpp_isa Tpp_sim Tpp_util

@@ -1,0 +1,1 @@
+lib/endhost/sweep.mli: Stack Tpp_sim Tpp_util

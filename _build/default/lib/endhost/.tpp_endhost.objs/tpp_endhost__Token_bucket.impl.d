@@ -1,0 +1,1 @@
+lib/endhost/token_bucket.ml: Float

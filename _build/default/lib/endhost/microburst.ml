@@ -1,0 +1,148 @@
+module Net = Tpp_sim.Net
+module Engine = Tpp_sim.Engine
+module Tpp = Tpp_isa.Tpp
+module Asm = Tpp_isa.Asm
+module Stats = Tpp_util.Stats
+
+module Episode = struct
+  type t = {
+    threshold : int;
+    mutable above : bool;
+    mutable episodes : int;
+    mutable max_seen : int;
+    mutable samples : int;
+  }
+
+  let create ~threshold =
+    { threshold; above = false; episodes = 0; max_seen = 0; samples = 0 }
+
+  let feed t v =
+    t.samples <- t.samples + 1;
+    if v > t.max_seen then t.max_seen <- v;
+    if v >= t.threshold then begin
+      if not t.above then begin
+        t.above <- true;
+        t.episodes <- t.episodes + 1
+      end
+    end
+    else t.above <- false
+
+  let count t = t.episodes
+  let max_seen t = t.max_seen
+  let samples t = t.samples
+end
+
+let source = "PUSH [Switch:SwitchID]\nPUSH [Queue:QueueSize]\n"
+let words_per_hop = 2
+let max_hops = 10
+
+type hop_state = { episode : Episode.t; queue_stats : Stats.t }
+
+type t = {
+  stack : Stack.t;
+  dst : Net.host;
+  period : int;
+  threshold : int;
+  tpp : Tpp.t;
+  seq_base : int;
+  mutable running : bool;
+  mutable epoch : int;
+  mutable seq : int;
+  mutable sent : int;
+  mutable received : int;
+  mutable hop_order : int list;  (* switch ids in path order, reversed *)
+  table : (int, hop_state) Hashtbl.t;
+}
+
+(* Monitors share the probe reply stream with other controllers on the
+   same host; each owns a disjoint block of sequence numbers. *)
+let seq_block = 1 lsl 20
+let next_uid = ref 0
+
+let hop_state t swid =
+  match Hashtbl.find_opt t.table swid with
+  | Some s -> s
+  | None ->
+    let s = { episode = Episode.create ~threshold:t.threshold; queue_stats = Stats.create () } in
+    Hashtbl.replace t.table swid s;
+    t.hop_order <- swid :: t.hop_order;
+    s
+
+let on_reply t tpp =
+  t.received <- t.received + 1;
+  let rec consume = function
+    | swid :: q :: rest ->
+      let s = hop_state t swid in
+      Episode.feed s.episode q;
+      Stats.add s.queue_stats (float_of_int q);
+      consume rest
+    | _ -> ()
+  in
+  consume (Tpp.stack_values tpp)
+
+let create ~src ~dst ~period ~threshold_bytes =
+  if period <= 0 then invalid_arg "Microburst.create: period";
+  let tpp =
+    match Asm.to_tpp ~mem_len:(4 * words_per_hop * max_hops) source with
+    | Ok tpp -> tpp
+    | Error e -> invalid_arg ("Microburst.create: " ^ e)
+  in
+  incr next_uid;
+  let t =
+    {
+      stack = src;
+      dst;
+      period;
+      threshold = threshold_bytes;
+      tpp;
+      seq_base = !next_uid * seq_block;
+      running = false;
+      epoch = 0;
+      seq = 0;
+      sent = 0;
+      received = 0;
+      hop_order = [];
+      table = Hashtbl.create 8;
+    }
+  in
+  Probe.install_reply_handler src (fun ~now:_ ~seq tpp ->
+      if t.running && seq >= t.seq_base && seq < t.seq_base + seq_block then
+        on_reply t tpp);
+  t
+
+let engine t = Net.engine (Stack.net t.stack)
+
+let rec tick t epoch () =
+  if t.running && t.epoch = epoch then begin
+    t.seq <- t.seq + 1;
+    t.sent <- t.sent + 1;
+    Probe.send t.stack ~dst:t.dst ~tpp:t.tpp ~seq:(t.seq_base + t.seq);
+    Engine.after (engine t) t.period (tick t epoch)
+  end
+
+let start t ?at () =
+  if not t.running then begin
+    t.running <- true;
+    t.epoch <- t.epoch + 1;
+    let eng = engine t in
+    let begin_at =
+      match at with Some time -> max time (Engine.now eng) | None -> Engine.now eng
+    in
+    Engine.at eng begin_at (tick t t.epoch)
+  end
+
+let stop t =
+  t.running <- false;
+  t.epoch <- t.epoch + 1
+
+let probes_sent t = t.sent
+let replies_received t = t.received
+
+let hops t =
+  List.rev_map (fun swid -> (swid, (Hashtbl.find t.table swid).episode)) t.hop_order
+
+let total_episodes t =
+  List.fold_left (fun acc (_, e) -> acc + Episode.count e) 0 (hops t)
+
+let queue_samples t swid =
+  Option.map (fun s -> s.queue_stats) (Hashtbl.find_opt t.table swid)

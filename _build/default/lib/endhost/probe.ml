@@ -1,0 +1,65 @@
+module Net = Tpp_sim.Net
+module Frame = Tpp_isa.Frame
+module Tpp = Tpp_isa.Tpp
+module Buf = Tpp_util.Buf
+
+let request_port = 7777
+let reply_port = 7778
+
+(* Echo payload: [seq:u32] followed by the serialised executed TPP. *)
+let encode_echo ~seq tpp =
+  let w = Buf.Writer.create ~capacity:64 () in
+  Buf.Writer.u32i w seq;
+  Tpp.write w tpp;
+  Buf.Writer.contents w
+
+let decode_echo payload =
+  let r = Buf.Reader.of_bytes payload in
+  match
+    let seq = Buf.Reader.u32i r in
+    (seq, Tpp.read r)
+  with
+  | seq, Ok tpp -> Some (seq, tpp)
+  | _, Error _ -> None
+  | exception Buf.Out_of_bounds _ -> None
+  | exception Invalid_argument _ -> None
+
+let echo_back stack ~now:_ frame =
+  match (frame.Frame.tpp, frame.Frame.ip, frame.Frame.udp) with
+  | Some tpp, Some ip, Some udp ->
+    let seq =
+      if Bytes.length frame.Frame.payload >= 4 then Buf.get_u32i frame.Frame.payload 0
+      else 0
+    in
+    (* Reply straight to the requester's addresses; the echo is a
+       plain datagram, so the TPP executes only on the forward path. *)
+    let reply =
+      Frame.udp_frame
+        ~src_mac:(Stack.host stack).Net.mac
+        ~dst_mac:frame.Frame.eth.Tpp_packet.Ethernet.src
+        ~src_ip:ip.Tpp_packet.Ipv4.Header.dst
+        ~dst_ip:ip.Tpp_packet.Ipv4.Header.src
+        ~src_port:udp.Tpp_packet.Udp.dst_port ~dst_port:reply_port
+        ~payload:(encode_echo ~seq tpp) ()
+    in
+    Net.host_send (Stack.net stack) (Stack.host stack) reply
+  | _ -> ()
+
+let install_echo stack =
+  Stack.on_udp stack ~port:request_port (fun ~now frame -> echo_back stack ~now frame)
+
+let install_echo_on_port stack ~port =
+  Stack.on_udp_add stack ~port (fun ~now frame ->
+      if Option.is_some frame.Frame.tpp then echo_back stack ~now frame)
+
+let send stack ~dst ~tpp ~seq =
+  let payload = Bytes.create 4 in
+  Buf.set_u32i payload 0 seq;
+  Stack.send_udp stack ~dst ~src_port:request_port ~dst_port:request_port
+    ~tpp:(Tpp.copy tpp) ~payload ()
+
+let install_reply_handler stack callback =
+  Stack.on_udp_add stack ~port:reply_port (fun ~now frame ->
+      match decode_echo frame.Frame.payload with
+      | Some (seq, tpp) -> callback ~now ~seq tpp
+      | None -> ())

@@ -1,0 +1,42 @@
+(** TPP probe round-trips.
+
+    The paper's measurement pattern (§2.2 phase 1): a sender attaches a
+    TPP to a probe datagram; switches execute it on the way; "the
+    receiver simply echoes a fully executed TPP back to the sender". The
+    echo carries the executed TPP section as plain UDP payload — not as
+    a live TPP — so it is not executed again on the return path. *)
+
+module Net = Tpp_sim.Net
+module Tpp = Tpp_isa.Tpp
+
+val request_port : int
+(** UDP port probe requests go to (7777). *)
+
+val reply_port : int
+(** UDP port echoes come back on (7778). *)
+
+val install_echo : Stack.t -> unit
+(** Makes this stack answer probe requests. *)
+
+val install_echo_on_port : Stack.t -> port:int -> unit
+(** Additionally echoes executed TPPs that arrive {e piggybacked} on
+    application traffic at [port] (see {!Flow.carry_tpp}); added
+    alongside the port's existing handler, so the application still
+    receives the data. The echoed seq is the data packet's sequence
+    number. *)
+
+val send :
+  Stack.t -> dst:Net.host -> tpp:Tpp.t -> seq:int -> unit
+(** Sends a probe carrying a fresh copy of [tpp] and a sequence number. *)
+
+val decode_echo : bytes -> (int * Tpp.t) option
+(** Decodes an echo payload into (sequence number, executed TPP);
+    building block for custom reply handling (e.g. piggybacked echoes
+    demultiplexed by the data flow's port). *)
+
+val install_reply_handler :
+  Stack.t -> (now:int -> seq:int -> Tpp.t -> unit) -> unit
+(** Calls back with the executed TPP from each echo. Handlers
+    accumulate: every registered handler sees every echo, so concurrent
+    controllers on one host must partition the sequence-number space
+    (each built-in controller allocates a disjoint block). *)

@@ -1,0 +1,50 @@
+module Net = Tpp_sim.Net
+module Engine = Tpp_sim.Engine
+module Frame = Tpp_isa.Frame
+module Udp = Tpp_packet.Udp
+
+type t = {
+  net : Net.t;
+  host : Net.host;
+  handlers : (int, (now:int -> Frame.t -> unit) list) Hashtbl.t;
+  mutable default : now:int -> Frame.t -> unit;
+}
+
+let dispatch t ~now frame =
+  let handled =
+    match frame.Frame.udp with
+    | Some u -> (
+      match Hashtbl.find_opt t.handlers u.Udp.dst_port with
+      | Some handlers ->
+        List.iter (fun handler -> handler ~now frame) handlers;
+        true
+      | None -> false)
+    | None -> false
+  in
+  if not handled then t.default ~now frame
+
+let create net host =
+  let t = { net; host; handlers = Hashtbl.create 8; default = (fun ~now:_ _ -> ()) } in
+  host.Net.receive <- (fun ~now frame -> dispatch t ~now frame);
+  t
+
+let net t = t.net
+let host t = t.host
+let now t = Engine.now (Net.engine t.net)
+
+let on_udp t ~port handler = Hashtbl.replace t.handlers port [ handler ]
+
+let on_udp_add t ~port handler =
+  let existing =
+    match Hashtbl.find_opt t.handlers port with Some hs -> hs | None -> []
+  in
+  Hashtbl.replace t.handlers port (existing @ [ handler ])
+
+let on_default t handler = t.default <- handler
+
+let send_udp t ~dst ~src_port ~dst_port ?tpp ~payload () =
+  let frame =
+    Frame.udp_frame ~src_mac:t.host.Net.mac ~dst_mac:dst.Net.mac
+      ~src_ip:t.host.Net.ip ~dst_ip:dst.Net.ip ~src_port ~dst_port ?tpp ~payload ()
+  in
+  Net.host_send t.net t.host frame

@@ -1,0 +1,40 @@
+(** A tiny UDP application stack on a simulated host.
+
+    Demultiplexes received frames by UDP destination port so several
+    applications (a flow sink, the probe echo server, an RCP*
+    controller) can share one host. *)
+
+module Net = Tpp_sim.Net
+module Frame = Tpp_isa.Frame
+
+type t
+
+val create : Net.t -> Net.host -> t
+(** Takes over the host's receive callback. One stack per host. *)
+
+val net : t -> Net.t
+val host : t -> Net.host
+val now : t -> int
+
+val on_udp : t -> port:int -> (now:int -> Frame.t -> unit) -> unit
+(** Registers (or replaces) the handler for a UDP destination port. *)
+
+val on_udp_add : t -> port:int -> (now:int -> Frame.t -> unit) -> unit
+(** Adds a handler without displacing existing ones; every handler for
+    the port sees every datagram (they filter their own traffic).
+    Probe replies use this so several controllers can share a host. *)
+
+val on_default : t -> (now:int -> Frame.t -> unit) -> unit
+(** Handler for frames that are not UDP or have no registered port. *)
+
+val send_udp :
+  t ->
+  dst:Net.host ->
+  src_port:int ->
+  dst_port:int ->
+  ?tpp:Tpp_isa.Tpp.t ->
+  payload:bytes ->
+  unit ->
+  unit
+(** Builds and transmits a UDP datagram to [dst]; with [tpp] the frame
+    becomes a TPP frame encapsulating the datagram. *)

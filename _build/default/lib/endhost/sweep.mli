@@ -1,0 +1,44 @@
+(** Network-wide statistics collection with fleets of TPPs.
+
+    One TPP sees one path; a monitoring task that wants the whole
+    fabric sends {e many} TPPs along covering paths (paper §3.2:
+    "end-hosts can use multiple packets if a single packet is
+    insufficient for a network task"). A sweep owns a set of probe
+    circuits (source stack, destination host), fires the same program
+    down every circuit each period, and aggregates the echoed per-hop
+    samples into a per-switch view — a poor man's network telemetry
+    pipeline, built purely from the read instructions.
+
+    The default program samples, per hop: switch id, queue size, link
+    utilisation and cumulative drops of the traversed egress link. *)
+
+module Net = Tpp_sim.Net
+
+type circuit = { src : Stack.t; dst : Net.host }
+
+(** Aggregated per-switch view. *)
+type view = {
+  v_switch_id : int;
+  samples : int;
+  queue : Tpp_util.Stats.t;     (** bytes *)
+  utilization : Tpp_util.Stats.t;  (** fraction of capacity, 0..1+ *)
+  last_drops : int;             (** latest cumulative drop counter *)
+}
+
+type t
+
+val create : circuits:circuit list -> period:int -> t
+(** Echo handling must be installed on every destination stack
+    ({!Probe.install_echo}). Raises [Invalid_argument] on an empty
+    circuit list. *)
+
+val start : t -> ?at:int -> unit -> unit
+val stop : t -> unit
+
+val probes_sent : t -> int
+val replies_received : t -> int
+
+val views : t -> view list
+(** One entry per switch observed so far, ordered by switch id. *)
+
+val view : t -> switch_id:int -> view option

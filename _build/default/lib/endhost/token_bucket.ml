@@ -1,0 +1,40 @@
+type t = {
+  mutable rate_bps : int;
+  burst_bytes : int;
+  mutable tokens : float;  (* bytes *)
+  mutable updated : int;   (* ns *)
+}
+
+let create ~rate_bps ~burst_bytes ~now =
+  if rate_bps <= 0 || burst_bytes <= 0 then invalid_arg "Token_bucket.create";
+  { rate_bps; burst_bytes; tokens = float_of_int burst_bytes; updated = now }
+
+let accrue t ~now =
+  if now > t.updated then begin
+    let dt = float_of_int (now - t.updated) /. 1e9 in
+    let earned = dt *. float_of_int t.rate_bps /. 8.0 in
+    t.tokens <- Float.min (float_of_int t.burst_bytes) (t.tokens +. earned);
+    t.updated <- now
+  end
+
+let set_rate t ~now ~rate_bps =
+  if rate_bps <= 0 then invalid_arg "Token_bucket.set_rate";
+  accrue t ~now;
+  t.rate_bps <- rate_bps
+
+let rate_bps t = t.rate_bps
+
+let take t ~now ~bytes =
+  accrue t ~now;
+  let need = float_of_int bytes in
+  if t.tokens >= need then begin
+    t.tokens <- t.tokens -. need;
+    true
+  end
+  else false
+
+let delay_until_ready t ~now ~bytes =
+  accrue t ~now;
+  let need = float_of_int bytes -. t.tokens in
+  if need <= 0.0 then 0
+  else int_of_float (ceil (need *. 8.0 /. float_of_int t.rate_bps *. 1e9))

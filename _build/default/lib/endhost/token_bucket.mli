@@ -1,0 +1,19 @@
+(** Token-bucket rate limiter.
+
+    The RCP* implementation (paper §2.2) needs "a rate limiter ... at
+    end-hosts for every flow"; this is it. Tokens are bytes. *)
+
+type t
+
+val create : rate_bps:int -> burst_bytes:int -> now:int -> t
+
+val set_rate : t -> now:int -> rate_bps:int -> unit
+(** Accrues tokens at the old rate up to [now], then switches rate. *)
+
+val rate_bps : t -> int
+
+val take : t -> now:int -> bytes:int -> bool
+(** [true] when [bytes] tokens were available (and are consumed). *)
+
+val delay_until_ready : t -> now:int -> bytes:int -> int
+(** Nanoseconds until [bytes] tokens will have accrued; 0 if ready. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Fig2 List Option Printf Tpp_asic Tpp_endhost Tpp_isa Tpp_sim Tpp_util

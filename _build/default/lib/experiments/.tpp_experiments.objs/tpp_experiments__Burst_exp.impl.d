@@ -1,0 +1,1 @@
+lib/experiments/burst_exp.ml: Array List Tpp_asic Tpp_endhost Tpp_sim Tpp_util

@@ -1,0 +1,1 @@
+lib/experiments/cc_compare.mli: Tpp_util

@@ -1,0 +1,1 @@
+lib/experiments/consistent.ml: Array Bytes List Tpp_control Tpp_isa Tpp_ndb Tpp_sim Tpp_util

@@ -1,0 +1,1 @@
+lib/experiments/fabric.ml: Array Bytes Float Hashtbl Int List Tpp_endhost Tpp_isa Tpp_ndb Tpp_packet Tpp_sim Tpp_util

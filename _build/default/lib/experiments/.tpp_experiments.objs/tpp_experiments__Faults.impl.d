@@ -1,0 +1,1 @@
+lib/experiments/faults.ml: Array Float List Tpp_asic Tpp_endhost Tpp_ndb Tpp_sim Tpp_util

@@ -1,0 +1,1 @@
+lib/experiments/fct.ml: Array List Option Tpp_asic Tpp_endhost Tpp_isa Tpp_rcp Tpp_sim Tpp_util

@@ -1,0 +1,1 @@
+lib/experiments/fct.mli: Tpp_util

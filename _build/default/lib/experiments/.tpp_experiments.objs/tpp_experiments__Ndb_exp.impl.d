@@ -1,0 +1,1 @@
+lib/experiments/ndb_exp.ml: Array Bytes List Option Tpp_asic Tpp_isa Tpp_ndb Tpp_sim Tpp_util

@@ -1,0 +1,1 @@
+lib/experiments/ndb_exp.mli: Tpp_ndb

@@ -1,0 +1,1 @@
+lib/experiments/overheads.ml: List Tpp_asic Tpp_isa

@@ -1,0 +1,120 @@
+module Time_ns = Tpp_util.Time_ns
+module Series = Tpp_util.Series
+module Stats = Tpp_util.Stats
+module Engine = Tpp_sim.Engine
+module Net = Tpp_sim.Net
+module Topology = Tpp_sim.Topology
+module Switch = Tpp_asic.Switch
+module Vaddr = Tpp_isa.Vaddr
+module Tpp = Tpp_isa.Tpp
+module Asm = Tpp_isa.Asm
+module Stack = Tpp_endhost.Stack
+module Probe = Tpp_endhost.Probe
+module Rcp_star = Tpp_endhost.Rcp_star
+
+type cexec_row = {
+  switch_id : int;
+  capacity_kbps : int;
+  targeted_kbps : int;
+  broadcast_kbps : int;
+}
+
+let new_rate_kbps = 2_000
+let target_switch_id = 2
+
+(* Sends one update TPP from one end of a 3-switch chain to the other
+   and returns each switch's fair-rate register on its forwarding port. *)
+let run_one_update ~targeted =
+  let eng = Engine.create () in
+  let chain =
+    Topology.chain eng ~num_switches:3 ~hosts_per_switch:1 ~bps:100_000_000
+      ~delay:(Time_ns.us 100) ()
+  in
+  let net = chain.Topology.net in
+  let slot =
+    match Rcp_star.setup_network net with
+    | Ok s -> s
+    | Error e -> invalid_arg ("Ablation: " ^ e)
+  in
+  let defines = [ ("Link:RCP-RateRegister", Vaddr.encode (Vaddr.Link_sram slot)) ] in
+  let source =
+    if targeted then
+      Printf.sprintf
+        "CEXEC [Switch:SwitchID], 0xFFFFFFFF, %d\n\
+         CSTORE [Link:RCP-RateRegister], 100000, %d\n"
+        target_switch_id new_rate_kbps
+    else
+      Printf.sprintf "STORE [Link:RCP-RateRegister], [Packet:0]\n.WORD %d\n"
+        new_rate_kbps
+  in
+  let tpp =
+    match Asm.to_tpp ~defines ~mem_len:4 source with
+    | Ok tpp -> tpp
+    | Error e -> invalid_arg ("Ablation: " ^ e)
+  in
+  let src = Stack.create net chain.Topology.hosts.(0).(0) in
+  let dst = chain.Topology.hosts.(2).(0) in
+  Probe.send src ~dst ~tpp ~seq:1;
+  Engine.run eng ~until:(Time_ns.ms 50);
+  (* Forwarding ports along the path: uplink (1) on the first two
+     switches, the host access port (2) on the last. *)
+  List.map2
+    (fun node_id port ->
+      let sw = Net.switch net node_id in
+      ( Switch.id sw,
+        (Tpp_asic.State.port (Switch.state sw) port).Tpp_asic.State.Port.capacity_bps
+          / 1000,
+        Option.value ~default:(-1) (Rcp_star.read_rate_kbps sw ~slot ~port) ))
+    (Array.to_list chain.Topology.switch_ids)
+    [ 1; 1; 2 ]
+
+let cexec_targeting () =
+  let targeted = run_one_update ~targeted:true in
+  let broadcast = run_one_update ~targeted:false in
+  List.map2
+    (fun (switch_id, capacity_kbps, targeted_kbps) (_, _, broadcast_kbps) ->
+      { switch_id; capacity_kbps; targeted_kbps; broadcast_kbps })
+    targeted broadcast
+
+type cstore_result = {
+  with_cstore_stddev : float;
+  without_cstore_stddev : float;
+  with_cstore_mean : float;
+  without_cstore_mean : float;
+  updates_rejected_pct : float;
+}
+
+let converged_stats series ~from_sec ~to_sec =
+  let stats = Stats.create () in
+  Array.iter
+    (fun (t, v) ->
+      if t >= Time_ns.sec from_sec && t < Time_ns.sec to_sec then Stats.add stats v)
+    (Series.points series);
+  stats
+
+let cstore_vs_store () =
+  let params =
+    { Fig2.default with
+      Fig2.flow_starts_sec = [ 0; 0; 0 ];
+      duration = Time_ns.sec 10;
+      sample_period = Time_ns.ms 100 }
+  in
+  let with_cstore = Fig2.run_rcp_star ~use_cstore:true params in
+  let without = Fig2.run_rcp_star ~use_cstore:false params in
+  let s_with = converged_stats with_cstore.Fig2.series ~from_sec:5 ~to_sec:10 in
+  let s_without = converged_stats without.Fig2.series ~from_sec:5 ~to_sec:10 in
+  let rejected =
+    let sent = with_cstore.Fig2.updates_sent in
+    if sent = 0 then 0.0
+    else
+      100.0
+      *. float_of_int (sent - with_cstore.Fig2.updates_won)
+      /. float_of_int sent
+  in
+  {
+    with_cstore_stddev = Stats.stddev s_with;
+    without_cstore_stddev = Stats.stddev s_without;
+    with_cstore_mean = Stats.mean s_with;
+    without_cstore_mean = Stats.mean s_without;
+    updates_rejected_pct = rejected;
+  }

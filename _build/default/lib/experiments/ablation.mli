@@ -1,0 +1,35 @@
+(** Experiment E8: ablations of the two ISA design choices the examples
+    lean on.
+
+    (a) {b CEXEC targeting}: RCP*'s phase-3 update must touch only the
+    bottleneck link. Dropping the CEXEC guard turns the update into a
+    write at {e every} hop, clobbering healthy links' fair-rate
+    registers with the bottleneck's rate.
+
+    (b) {b CSTORE vs STORE}: with several concurrent writers, plain
+    stores silently overwrite each other ("lost updates"); the
+    conditional store rejects stale writers and also lets them observe
+    the rejection. *)
+
+type cexec_row = {
+  switch_id : int;
+  capacity_kbps : int;
+  targeted_kbps : int;   (** register after a CEXEC-guarded update *)
+  broadcast_kbps : int;  (** register after an unguarded update *)
+}
+
+val cexec_targeting : unit -> cexec_row list
+(** A 3-switch chain, registers initialised to capacity, then one
+    update (rate = 2 Mb/s, target = middle switch) sent both ways. *)
+
+type cstore_result = {
+  with_cstore_stddev : float;    (** R/C sample stddev once converged *)
+  without_cstore_stddev : float;
+  with_cstore_mean : float;
+  without_cstore_mean : float;
+  updates_rejected_pct : float;  (** share of CSTOREs that lost the race *)
+}
+
+val cstore_vs_store : unit -> cstore_result
+(** Three simultaneous RCP* flows for 10 s; compares bottleneck register
+    stability over the converged second half. *)

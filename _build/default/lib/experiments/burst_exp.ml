@@ -1,0 +1,97 @@
+module Time_ns = Tpp_util.Time_ns
+module Engine = Tpp_sim.Engine
+module Net = Tpp_sim.Net
+module Topology = Tpp_sim.Topology
+module Switch = Tpp_asic.Switch
+module Stack = Tpp_endhost.Stack
+module Probe = Tpp_endhost.Probe
+module Flow = Tpp_endhost.Flow
+module Microburst = Tpp_endhost.Microburst
+
+type params = {
+  link_bps : int;
+  burst_pkts : int;
+  burst_payload : int;
+  periods_ns : int * int;
+  probe_period_ns : int;
+  poll_period_ns : int;
+  oracle_period_ns : int;
+  threshold_bytes : int;
+  duration : int;
+}
+
+let default =
+  {
+    link_bps = 100_000_000;
+    burst_pkts = 30;
+    burst_payload = 1400;
+    periods_ns = (Time_ns.ms 21, Time_ns.ms 24);
+    probe_period_ns = Time_ns.ms 1;
+    poll_period_ns = Time_ns.sec 1;
+    oracle_period_ns = Time_ns.us 50;
+    threshold_bytes = 15_000;
+    duration = Time_ns.sec 20;
+  }
+
+type result = {
+  oracle_episodes : int;
+  oracle_max_queue : int;
+  tpp_episodes : int;
+  tpp_max_queue : int;
+  probes_sent : int;
+  probes_echoed : int;
+  poll_episodes : int;
+  poll_samples : int;
+}
+
+let run p =
+  let eng = Engine.create () in
+  let chain =
+    Topology.chain eng ~num_switches:3 ~hosts_per_switch:3 ~bps:p.link_bps
+      ~delay:(Time_ns.us 50) ()
+  in
+  let net = chain.Topology.net in
+  let host i j = chain.Topology.hosts.(i).(j) in
+  let period_a, period_b = p.periods_ns in
+  List.iter
+    (fun (src_idx, dst_idx, period) ->
+      let src = Stack.create net (host 0 src_idx) in
+      let dst = Stack.create net (host 2 dst_idx) in
+      let _sink = Flow.Sink.attach dst ~port:9000 in
+      let flow =
+        Flow.bursts ~src ~dst:(host 2 dst_idx) ~dst_port:9000
+          ~payload_bytes:p.burst_payload ~burst_pkts:p.burst_pkts ~period
+      in
+      Flow.start flow ())
+    [ (1, 1, period_a); (2, 2, period_b) ];
+  let mon_src = Stack.create net (host 0 0) in
+  let mon_dst = Stack.create net (host 2 0) in
+  Probe.install_echo mon_dst;
+  let monitor =
+    Microburst.create ~src:mon_src ~dst:(host 2 0) ~period:p.probe_period_ns
+      ~threshold_bytes:p.threshold_bytes
+  in
+  Microburst.start monitor ();
+  let sw0 = Net.switch net chain.Topology.switch_ids.(0) in
+  let oracle = Microburst.Episode.create ~threshold:p.threshold_bytes in
+  let poller = Microburst.Episode.create ~threshold:p.threshold_bytes in
+  Engine.every eng ~period:p.oracle_period_ns ~until:p.duration (fun () ->
+      Microburst.Episode.feed oracle (Switch.queue_bytes sw0 ~port:1));
+  Engine.every eng ~period:p.poll_period_ns ~until:p.duration (fun () ->
+      Microburst.Episode.feed poller (Switch.queue_bytes sw0 ~port:1));
+  Engine.run eng ~until:p.duration;
+  let tpp_episodes, tpp_max =
+    match List.assoc_opt (Switch.id sw0) (Microburst.hops monitor) with
+    | Some e -> (Microburst.Episode.count e, Microburst.Episode.max_seen e)
+    | None -> (0, 0)
+  in
+  {
+    oracle_episodes = Microburst.Episode.count oracle;
+    oracle_max_queue = Microburst.Episode.max_seen oracle;
+    tpp_episodes;
+    tpp_max_queue = tpp_max;
+    probes_sent = Microburst.probes_sent monitor;
+    probes_echoed = Microburst.replies_received monitor;
+    poll_episodes = Microburst.Episode.count poller;
+    poll_samples = Microburst.Episode.samples poller;
+  }

@@ -1,0 +1,34 @@
+(** Experiment E5 (paper §2.1): micro-burst detection.
+
+    Two on/off senders share one uplink; their bursts occasionally
+    overlap and congest the queue for a few milliseconds. The same
+    queue is watched three ways: a 50 us control-plane oracle (ground
+    truth), the per-RTT TPP monitor, and a slow management-plane
+    poller. *)
+
+type params = {
+  link_bps : int;
+  burst_pkts : int;
+  burst_payload : int;
+  periods_ns : int * int;     (** the two senders' burst periods *)
+  probe_period_ns : int;
+  poll_period_ns : int;
+  oracle_period_ns : int;
+  threshold_bytes : int;
+  duration : int;
+}
+
+val default : params
+
+type result = {
+  oracle_episodes : int;
+  oracle_max_queue : int;
+  tpp_episodes : int;
+  tpp_max_queue : int;
+  probes_sent : int;
+  probes_echoed : int;
+  poll_episodes : int;
+  poll_samples : int;
+}
+
+val run : params -> result

@@ -1,0 +1,28 @@
+(** Experiment E11 (extension): what the dataplane interface buys —
+    congestion control with three levels of network visibility.
+
+    Three controllers drive three flows over the same 10 Mb/s
+    bottleneck (ECN marking at 30 kB in all runs, used only by DCTCP):
+
+    - {b AIMD}: loss-only feedback (no dataplane support);
+    - {b DCTCP}: 1 bit per packet from fixed-function ECN (paper §4's
+      example of a baked-in feature);
+    - {b RCP*}: whole registers per hop via TPPs.
+
+    The interesting output is the standing queue each one needs: AIMD
+    must fill the buffer to learn anything, DCTCP hovers at the marking
+    threshold, RCP* drains the queue because it sees it directly. *)
+
+type outcome = {
+  name : string;
+  queue_mean : float;     (** bottleneck queue, converged window, bytes *)
+  queue_p95 : float;
+  goodput_bps : float;    (** all flows, whole run *)
+  drops : int;
+  latency_p95_ms : float; (** per-packet one-way delay, flow 0 *)
+  queue_series : Tpp_util.Series.t;  (** occupancy over the whole run *)
+}
+
+type result = { aimd : outcome; dctcp : outcome; rcp_star : outcome }
+
+val run : unit -> result

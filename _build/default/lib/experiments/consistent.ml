@@ -1,0 +1,92 @@
+module Time_ns = Tpp_util.Time_ns
+module Engine = Tpp_sim.Engine
+module Net = Tpp_sim.Net
+module Topology = Tpp_sim.Topology
+module Frame = Tpp_isa.Frame
+module Trace = Tpp_ndb.Trace
+module Verify = Tpp_ndb.Verify
+module Controller = Tpp_control.Controller
+
+type result = {
+  total : int;
+  pure_old : int;
+  pure_new : int;
+  mixed : int;
+  mixed_during_window : int;
+  example_mixture : int list;
+  old_version : int;
+  new_version : int;
+}
+
+let packet_interval = Time_ns.ms 2
+let packets = 300
+let update_at = Time_ns.ms 200
+let stage_gap = Time_ns.ms 25
+
+let run () =
+  let eng = Engine.create () in
+  let dia =
+    Topology.diamond eng ~hosts_per_side:1 ~bps:100_000_000 ~delay:(Time_ns.us 500) ()
+  in
+  let net = dia.Topology.m_net in
+  let controller = Controller.create net in
+  let old_version = Controller.version controller in
+  let src = dia.Topology.src_hosts.(0) in
+  let dst = dia.Topology.dst_hosts.(0) in
+  let received = ref [] in
+  dst.Net.receive <- (fun ~now:_ frame ->
+      match frame.Frame.tpp with
+      | Some tpp ->
+        (* sent time rides in the payload's first word (ms). *)
+        let sent_ms =
+          if Bytes.length frame.Frame.payload >= 4 then
+            Tpp_util.Buf.get_u32i frame.Frame.payload 0
+          else 0
+        in
+        received := (sent_ms, Trace.parse tpp) :: !received
+      | None -> ());
+  for i = 1 to packets do
+    let at = i * packet_interval in
+    Engine.at eng at (fun () ->
+        let payload = Bytes.create 4 in
+        Tpp_util.Buf.set_u32i payload 0 (at / 1_000_000);
+        let frame =
+          Frame.udp_frame ~src_mac:src.Net.mac ~dst_mac:dst.Net.mac
+            ~src_ip:src.Net.ip ~dst_ip:dst.Net.ip ~src_port:9100 ~dst_port:9100
+            ~payload ()
+        in
+        Net.host_send net src (Trace.attach frame ~max_hops:6))
+  done;
+  Engine.at eng update_at (fun () ->
+      Controller.staged_route_update controller ~gap:stage_gap);
+  Engine.run eng ~until:(packets * packet_interval + Time_ns.ms 100);
+  let new_version = Controller.version controller in
+  let window_start_ms = update_at / 1_000_000 in
+  let window_end_ms =
+    (update_at + (stage_gap * List.length (Net.switches net))) / 1_000_000
+  in
+  let classify (pure_old, pure_new, mixed, in_window, example) (sent_ms, trace) =
+    match Verify.versions trace with
+    | [ v ] when v = old_version -> (pure_old + 1, pure_new, mixed, in_window, example)
+    | [ v ] when v = new_version -> (pure_old, pure_new + 1, mixed, in_window, example)
+    | vs ->
+      let in_window =
+        if sent_ms >= window_start_ms && sent_ms <= window_end_ms then in_window + 1
+        else in_window
+      in
+      let example = if example = [] then vs else example in
+      (pure_old, pure_new, mixed + 1, in_window, example)
+  in
+  let pure_old, pure_new, mixed, mixed_during_window, example_mixture =
+    List.fold_left classify (0, 0, 0, 0, []) !received
+  in
+  {
+    total = List.length !received;
+    pure_old;
+    pure_new;
+    mixed;
+    mixed_during_window;
+    example_mixture;
+    old_version;
+    new_version;
+  }

@@ -1,0 +1,25 @@
+(** Experiment E12 (extension): witnessing inconsistent forwarding
+    during a routing update.
+
+    The paper (§2.3) notes that "forwarding rules change constantly,
+    and a network-wide consistent update is not a trivial task",
+    citing the consistent-updates line of work — and argues per-packet
+    dataplane visibility is what verification needs. This experiment
+    reproduces the transient: a controller performs a realistic,
+    staged (switch-at-a-time) route update while traced traffic flows.
+    Every packet that crossed the network during the update window is
+    individually identifiable: its trace mixes old- and new-version
+    flow entries. Before and after, all traces are version-pure. *)
+
+type result = {
+  total : int;                 (** traced packets delivered *)
+  pure_old : int;              (** all hops at the pre-update version *)
+  pure_new : int;
+  mixed : int;                 (** packets that straddled the update *)
+  mixed_during_window : int;   (** of those, sent while the update ran *)
+  example_mixture : int list;  (** versions seen by one straddler *)
+  old_version : int;
+  new_version : int;
+}
+
+val run : unit -> result

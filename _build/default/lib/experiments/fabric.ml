@@ -1,0 +1,173 @@
+module Time_ns = Tpp_util.Time_ns
+module Stats = Tpp_util.Stats
+module Engine = Tpp_sim.Engine
+module Net = Tpp_sim.Net
+module Topology = Tpp_sim.Topology
+module Frame = Tpp_isa.Frame
+module Stack = Tpp_endhost.Stack
+module Probe = Tpp_endhost.Probe
+module Flow = Tpp_endhost.Flow
+module Sweep = Tpp_endhost.Sweep
+module Trace = Tpp_ndb.Trace
+module Verify = Tpp_ndb.Verify
+
+type result = {
+  switches_total : int;
+  switches_observed : int;
+  traced : int;
+  verified : int;
+  path_length_counts : (int * int) list;
+  hotspot_expected : int;
+  hotspot_found : int;
+  hotspot_mean_queue : float;
+  runner_up_mean_queue : float;
+}
+
+let mbps x = x * 1_000_000
+let duration = Time_ns.sec 3
+let hotspot_host = 13
+let hotspot_sources = [ 1; 5; 9 ]
+let flow_rate = mbps 40
+let link_bps = mbps 100
+
+let run () =
+  let eng = Engine.create () in
+  let ft = Topology.fat_tree eng ~k:4 ~bps:link_bps ~delay:(Time_ns.us 20) () in
+  let net = ft.Topology.f_net in
+  let hosts = ft.Topology.f_hosts in
+  let n = Array.length hosts in
+  let stacks = Array.map (Stack.create net) hosts in
+  Array.iter Probe.install_echo stacks;
+  (* The hotspot: three flows from other pods converge on one host's
+     100 Mb/s access link at 40 Mb/s each. *)
+  List.iter
+    (fun src_idx ->
+      let _sink = Flow.Sink.attach stacks.(hotspot_host) ~port:9000 in
+      let flow =
+        Flow.cbr ~src:stacks.(src_idx) ~dst:hosts.(hotspot_host) ~dst_port:9000
+          ~payload_bytes:1000 ~rate_bps:flow_rate
+      in
+      Flow.start flow ())
+    hotspot_sources;
+  (* Fabric-wide sweep: every host probes its peer one pod over. *)
+  let circuits =
+    List.init n (fun i ->
+        { Sweep.src = stacks.(i); dst = hosts.((i + 4) mod n) })
+  in
+  let sweep = Sweep.create ~circuits ~period:(Time_ns.ms 20) in
+  Sweep.start sweep ~at:(Time_ns.ms 100) ();
+  (* Path tracing: deterministic sample of host pairs. *)
+  let rng = Tpp_util.Rng.create ~seed:99 in
+  let traces = ref [] in
+  let host_of_ip ip =
+    let rec find i =
+      if i >= n then None
+      else if Tpp_packet.Ipv4.Addr.equal hosts.(i).Net.ip ip then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Array.iteri
+    (fun i stack ->
+      Stack.on_udp stack ~port:9100 (fun ~now:_ frame ->
+          match (frame.Frame.tpp, frame.Frame.ip) with
+          | Some tpp, Some ip -> (
+            match host_of_ip ip.Tpp_packet.Ipv4.Header.src with
+            | Some src -> traces := (src, i, Trace.parse tpp) :: !traces
+            | None -> ())
+          | _ -> ()))
+    stacks;
+  let pairs =
+    List.init 30 (fun _ ->
+        let src = Tpp_util.Rng.int rng n in
+        let dst = (src + 1 + Tpp_util.Rng.int rng (n - 1)) mod n in
+        (src, dst))
+  in
+  List.iteri
+    (fun k (src, dst) ->
+      Engine.at eng (Time_ns.ms (200 + (10 * k))) (fun () ->
+          let frame =
+            Frame.udp_frame ~src_mac:hosts.(src).Net.mac ~dst_mac:hosts.(dst).Net.mac
+              ~src_ip:hosts.(src).Net.ip ~dst_ip:hosts.(dst).Net.ip ~src_port:9100
+              ~dst_port:9100 ~payload:(Bytes.create 64) ()
+          in
+          Net.host_send net hosts.(src) (Trace.attach frame ~max_hops:6)))
+    pairs;
+  Engine.run eng ~until:duration;
+  (* Verify every trace against the control plane's intent. *)
+  let expected_of =
+    let cache = Hashtbl.create 32 in
+    fun src dst ->
+      match Hashtbl.find_opt cache (src, dst) with
+      | Some p -> p
+      | None ->
+        (* Traced packets use UDP 9100/9100; with ECMP the path is a
+           function of the 5-tuple, so the predictor must use it too. *)
+        let p =
+          Verify.control_path ~src_port:9100 ~dst_port:9100 net ~src:hosts.(src)
+            ~dst:hosts.(dst)
+        in
+        Hashtbl.replace cache (src, dst) p;
+        p
+  in
+  let traced = List.length !traces in
+  let verified =
+    List.length
+      (List.filter
+         (fun (src, dst, trace) ->
+           Verify.check ~expected:(expected_of src dst) ~expected_version:1 ~trace = [])
+         !traces)
+  in
+  let path_length_counts =
+    List.fold_left
+      (fun acc (_, _, trace) ->
+        let len = List.length trace in
+        let cur = match List.assoc_opt len acc with Some c -> c | None -> 0 in
+        (len, cur + 1) :: List.remove_assoc len acc)
+      [] !traces
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  (* Hotspot localisation from sweep data. *)
+  let views = Sweep.views sweep in
+  let ranked =
+    List.sort
+      (fun a b -> Float.compare (Stats.mean b.Sweep.queue) (Stats.mean a.Sweep.queue))
+      views
+  in
+  let hotspot_found, hotspot_mean_queue, runner_up_mean_queue =
+    match ranked with
+    | a :: b :: _ -> (a.Sweep.v_switch_id, Stats.mean a.Sweep.queue, Stats.mean b.Sweep.queue)
+    | [ a ] -> (a.Sweep.v_switch_id, Stats.mean a.Sweep.queue, 0.0)
+    | [] -> (-1, 0.0, 0.0)
+  in
+  (* Predict the congestion point analytically: sum the offered rate
+     over every (switch, egress port) the three flows' control routes
+     cross; the first link offered more than its capacity is where the
+     standing queue must form. With ECMP the answer depends on how the
+     flows hash, which control_route reproduces exactly. *)
+  let offered = Hashtbl.create 16 in
+  List.iter
+    (fun src_idx ->
+      List.iter
+        (fun link ->
+          let cur = match Hashtbl.find_opt offered link with Some v -> v | None -> 0 in
+          Hashtbl.replace offered link (cur + flow_rate))
+        (Verify.control_route ~src_port:9000 ~dst_port:9000 net ~src:hosts.(src_idx)
+           ~dst:hosts.(hotspot_host)))
+    hotspot_sources;
+  let hotspot_expected =
+    Hashtbl.fold
+      (fun (swid, _) rate best -> if rate > link_bps then swid else best)
+      offered (-1)
+  in
+  {
+    switches_total = List.length (Net.switches net);
+    switches_observed = List.length views;
+    traced;
+    verified;
+    path_length_counts;
+    hotspot_expected;
+    hotspot_found;
+    hotspot_mean_queue;
+    runner_up_mean_queue;
+  }

@@ -1,0 +1,29 @@
+(** Experiment E10 (extension): TPP tasks on a datacenter fabric.
+
+    A k=4 fat-tree (20 switches, 16 hosts) with a deliberate hotspot:
+    three 40 Mb/s flows from different pods converge toward one host,
+    first sharing a 100 Mb/s link at the core — where the standing
+    queue forms.
+    Three TPP tasks run simultaneously on the shared fabric:
+
+    - a {!Tpp_endhost.Sweep} fleet sampling queue/utilisation fabric-wide,
+    - per-packet path tracing with verification against control intent,
+    - the hotspot is localised from sweep data alone.
+
+    This validates the paper's "datacenters are where this is deployable"
+    claim beyond toy chains: the max path is 5 switches (the paper's
+    "typically 5-7 hops"), and the probes' packet memory is sized for it. *)
+
+type result = {
+  switches_total : int;
+  switches_observed : int;      (** distinct switch ids the sweep saw *)
+  traced : int;
+  verified : int;               (** traces matching the control path *)
+  path_length_counts : (int * int) list;  (** (switches on path, packets) *)
+  hotspot_expected : int;       (** switch id of the congested core *)
+  hotspot_found : int;          (** switch with the highest mean queue *)
+  hotspot_mean_queue : float;
+  runner_up_mean_queue : float; (** next-busiest switch, for contrast *)
+}
+
+val run : unit -> result

@@ -1,0 +1,21 @@
+(** Experiment E13 (extension): end-host fault localisation at RTT
+    timescales.
+
+    The paper's first sentence promises "low-latency visibility" for
+    "fault diagnosis". Here a fleet of 16 probe circuits covers a k=4
+    ECMP fat-tree; at t = 1 s one aggregation-to-core link goes dark.
+    Within a couple of probe periods some circuits stop echoing, and
+    intersecting their predicted link sets (minus every healthy
+    circuit's links) pins down the failed link — no switch support
+    beyond the TPP echo, no control-plane liveness protocol. *)
+
+type result = {
+  circuits : int;
+  failed_link : Tpp_ndb.Faultfind.link;   (** ground truth *)
+  failing_circuits : int;                 (** circuits that lost echoes *)
+  detection_ms : float;                   (** failure -> first circuit flagged *)
+  suspects : Tpp_ndb.Faultfind.link list;
+  true_link_in_suspects : bool;
+}
+
+val run : unit -> result

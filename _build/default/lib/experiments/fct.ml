@@ -1,0 +1,192 @@
+module Time_ns = Tpp_util.Time_ns
+module Stats = Tpp_util.Stats
+module Rng = Tpp_util.Rng
+module Engine = Tpp_sim.Engine
+module Net = Tpp_sim.Net
+module Topology = Tpp_sim.Topology
+module Switch = Tpp_asic.Switch
+module State = Tpp_asic.State
+module Stack = Tpp_endhost.Stack
+module Probe = Tpp_endhost.Probe
+module Flow = Tpp_endhost.Flow
+module Rcp_star = Tpp_endhost.Rcp_star
+module Aimd = Tpp_rcp.Aimd
+
+module Tcp = Tpp_rcp.Tcp
+
+type controller = Rcp_star_ctl | Aimd_ctl | Tcp_ctl
+
+type params = {
+  core_bps : int;
+  edge_bps : int;
+  link_delay_ns : int;
+  pairs : int;
+  arrivals_per_sec : float;
+  mean_flow_bytes : float;
+  pareto_shape : float;
+  payload_bytes : int;
+  duration : int;
+  seed : int;
+  short_threshold_bytes : int;
+}
+
+let default =
+  {
+    core_bps = 10_000_000;
+    edge_bps = 100_000_000;
+    link_delay_ns = Time_ns.ms 5;
+    pairs = 4;
+    arrivals_per_sec = 8.0;
+    mean_flow_bytes = 60_000.0;
+    pareto_shape = 1.5;
+    payload_bytes = 1000;
+    duration = Time_ns.sec 30;
+    seed = 7;
+    short_threshold_bytes = 50_000;
+  }
+
+type result = {
+  started : int;
+  completed : int;
+  short_fct : Stats.t;
+  long_fct : Stats.t;
+  all_fct : Stats.t;
+  bottleneck_drops : int;
+}
+
+type pair = { src_stack : Stack.t; dst_stack : Stack.t; dst_host : Net.host }
+
+(* Pre-draws the whole arrival schedule so both controllers run exactly
+   the same workload. *)
+let schedule p =
+  let rng = Rng.create ~seed:p.seed in
+  let scale = p.mean_flow_bytes *. (p.pareto_shape -. 1.0) /. p.pareto_shape in
+  let rec go now acc =
+    let gap = Rng.exponential rng ~mean:(1.0 /. p.arrivals_per_sec) in
+    let now = now +. gap in
+    if Time_ns.of_sec_f now >= p.duration then List.rev acc
+    else begin
+      let size =
+        int_of_float (Rng.pareto rng ~shape:p.pareto_shape ~scale)
+      in
+      let size = max p.payload_bytes size in
+      go now ((Time_ns.of_sec_f now, size) :: acc)
+    end
+  in
+  go 0.0 []
+
+let run controller p =
+  let eng = Engine.create () in
+  let bell =
+    Topology.dumbbell eng ~pairs:p.pairs ~core_bps:p.core_bps ~edge_bps:p.edge_bps
+      ~delay:p.link_delay_ns ()
+  in
+  let net = bell.Topology.d_net in
+  let slot =
+    match controller with
+    | Rcp_star_ctl -> (
+      match Rcp_star.setup_network net with
+      | Ok s -> Some s
+      | Error e -> invalid_arg ("Fct.run: " ^ e))
+    | Aimd_ctl | Tcp_ctl -> None
+  in
+  (match slot with
+  | Some _ ->
+    Net.start_utilization_updates net ~period:10_000_000 ~until:p.duration
+  | None -> ());
+  let pairs =
+    Array.init p.pairs (fun i ->
+        let src_stack = Stack.create net bell.Topology.senders.(i) in
+        let dst_host = bell.Topology.receivers.(i) in
+        let dst_stack = Stack.create net dst_host in
+        Probe.install_echo dst_stack;
+        { src_stack; dst_stack; dst_host })
+  in
+  let short_fct = Stats.create () in
+  let long_fct = Stats.create () in
+  let all_fct = Stats.create () in
+  let started = ref 0 in
+  let completed = ref 0 in
+  let record ~now ~at ~size =
+    incr completed;
+    let fct = Time_ns.to_sec_f (now - at) in
+    Stats.add all_fct fct;
+    if size <= p.short_threshold_bytes then Stats.add short_fct fct
+    else Stats.add long_fct fct
+  in
+  let launch idx (at, size) =
+    let pair = pairs.(idx mod p.pairs) in
+    let port = 10_000 + idx in
+    match controller with
+    | Tcp_ctl ->
+      Engine.at eng at (fun () ->
+          incr started;
+          let _rx = Tcp.Receiver.attach pair.dst_stack ~port in
+          ignore
+            (Tcp.Transfer.start ~src:pair.src_stack ~dst:pair.dst_host ~port
+               ~total_bytes:size
+               ~on_complete:(fun ~now -> record ~now ~at ~size)
+               ()))
+    | Rcp_star_ctl | Aimd_ctl ->
+    Engine.at eng at (fun () ->
+        incr started;
+        let initial_rate = max 100_000 (p.core_bps / 10) in
+        let flow =
+          Flow.transfer ~src:pair.src_stack ~dst:pair.dst_host ~dst_port:port
+            ~payload_bytes:p.payload_bytes ~rate_bps:initial_rate
+            ~total_bytes:size
+        in
+        let finished = ref false in
+        let stop_ctl = ref (fun () -> ()) in
+        let sink = ref None in
+        let tap ~now =
+          match !sink with
+          | Some s when (not !finished) && Flow.Sink.rx_payload_bytes s >= size ->
+            finished := true;
+            record ~now ~at ~size;
+            Flow.stop flow;
+            !stop_ctl ()
+          | _ -> ()
+        in
+        sink := Some (Flow.Sink.attach ~tap pair.dst_stack ~port);
+        (match (controller, slot) with
+        | Rcp_star_ctl, Some slot ->
+          (* A 3-hop path: small packet memory; 25 ms probe period keeps
+             aggregate probe load under ~5% of the bottleneck. *)
+          let config =
+            { (Rcp_star.default_config ~slot) with
+              Rcp_star.period_ns = Time_ns.ms 25;
+              rtt_ns = Time_ns.ms 40;
+              max_hops = 4 }
+          in
+          let ctl = Rcp_star.create pair.src_stack config ~flow ~dst:pair.dst_host in
+          Rcp_star.start ctl ();
+          stop_ctl := fun () -> Rcp_star.stop ctl
+        | (Aimd_ctl | Tcp_ctl), _ | Rcp_star_ctl, None ->
+          let config = Aimd.default_config ~max_rate_bps:p.core_bps in
+          let ctl = Aimd.create pair.src_stack config ~flow ~report_port:port in
+          let receiver =
+            Aimd.Receiver.attach pair.dst_stack ~sink:(Option.get !sink)
+              ~report_to:(Stack.host pair.src_stack) ~report_port:port
+              ~period:config.Aimd.report_period_ns
+          in
+          Aimd.start ctl;
+          stop_ctl :=
+            fun () ->
+              Aimd.stop ctl;
+              Aimd.Receiver.stop receiver);
+        Flow.start flow ())
+  in
+  List.iteri launch (schedule p);
+  Engine.run eng ~until:p.duration;
+  let bottleneck = Net.switch net bell.Topology.left_switch in
+  {
+    started = !started;
+    completed = !completed;
+    short_fct;
+    long_fct;
+    all_fct;
+    bottleneck_drops =
+      State.port_stat (Switch.state bottleneck) ~port:0
+        Tpp_isa.Vaddr.Port_stat.Drops;
+  }

@@ -1,0 +1,42 @@
+(** Experiment E9 (extension): flow completion times.
+
+    The paper motivates RCP with flows "finishing quickly"; this
+    experiment quantifies it on the workload the introduction implies:
+    Poisson flow arrivals with heavy-tailed (Pareto) sizes crossing a
+    shared bottleneck, driven either by RCP* (TPPs) or by a TCP-like
+    AIMD controller that needs no dataplane support. Short flows are
+    where the difference shows: AIMD spends their whole lifetime
+    probing for bandwidth, while RCP* starts at the network's advertised
+    fair rate within one control period. *)
+
+type controller =
+  | Rcp_star_ctl  (** TPP-driven RCP (paper §2.2) *)
+  | Aimd_ctl      (** rate-based AIMD on loss reports *)
+  | Tcp_ctl       (** the real thing: Reno-style reliable transport *)
+
+type params = {
+  core_bps : int;
+  edge_bps : int;
+  link_delay_ns : int;
+  pairs : int;                (** sender/receiver host pairs *)
+  arrivals_per_sec : float;
+  mean_flow_bytes : float;
+  pareto_shape : float;
+  payload_bytes : int;
+  duration : int;
+  seed : int;
+  short_threshold_bytes : int;
+}
+
+val default : params
+
+type result = {
+  started : int;
+  completed : int;
+  short_fct : Tpp_util.Stats.t;   (** seconds *)
+  long_fct : Tpp_util.Stats.t;
+  all_fct : Tpp_util.Stats.t;
+  bottleneck_drops : int;
+}
+
+val run : controller -> params -> result

@@ -1,0 +1,166 @@
+module Series = Tpp_util.Series
+module Time_ns = Tpp_util.Time_ns
+module Engine = Tpp_sim.Engine
+module Net = Tpp_sim.Net
+module Topology = Tpp_sim.Topology
+module Switch = Tpp_asic.Switch
+module State = Tpp_asic.State
+module Stack = Tpp_endhost.Stack
+module Probe = Tpp_endhost.Probe
+module Flow = Tpp_endhost.Flow
+module Rcp_star = Tpp_endhost.Rcp_star
+module Rcp = Tpp_rcp.Rcp
+
+type params = {
+  core_bps : int;
+  edge_bps : int;
+  link_delay_ns : int;
+  flow_starts_sec : int list;
+  duration : int;
+  sample_period : int;
+  payload_bytes : int;
+}
+
+let default =
+  {
+    core_bps = 10_000_000;
+    edge_bps = 100_000_000;
+    link_delay_ns = Time_ns.ms 5;
+    flow_starts_sec = [ 0; 10; 20 ];
+    duration = Time_ns.sec 30;
+    sample_period = Time_ns.ms 250;
+    payload_bytes = 1000;
+  }
+
+type result = {
+  series : Series.t;
+  goodputs_bps : float list;
+  drops : int;
+  updates_sent : int;
+  updates_won : int;
+}
+
+type flow_setup = {
+  src_stack : Stack.t;
+  dst_stack : Stack.t;
+  dst_host : Net.host;
+  flow : Flow.t;
+  sink : Flow.Sink.t;
+  start_sec : int;
+}
+
+let build_flows p bell =
+  let net = bell.Topology.d_net in
+  List.mapi
+    (fun i start_sec ->
+      let src_stack = Stack.create net bell.Topology.senders.(i) in
+      let dst_host = bell.Topology.receivers.(i) in
+      let dst_stack = Stack.create net dst_host in
+      let sink = Flow.Sink.attach dst_stack ~port:9000 in
+      let flow =
+        Flow.cbr ~src:src_stack ~dst:dst_host ~dst_port:9000
+          ~payload_bytes:p.payload_bytes ~rate_bps:p.core_bps
+      in
+      { src_stack; dst_stack; dst_host; flow; sink; start_sec })
+    p.flow_starts_sec
+
+let goodputs p flows =
+  List.map
+    (fun f ->
+      let life =
+        Time_ns.to_sec_f p.duration -. float_of_int f.start_sec
+      in
+      if life <= 0.0 then 0.0
+      else float_of_int (Flow.Sink.rx_bytes f.sink) *. 8.0 /. life)
+    flows
+
+let bottleneck_drops bell =
+  let sw = Net.switch bell.Topology.d_net bell.Topology.left_switch in
+  State.port_stat (Switch.state sw) ~port:0 Tpp_isa.Vaddr.Port_stat.Drops
+
+let dumbbell p eng =
+  Topology.dumbbell eng
+    ~pairs:(List.length p.flow_starts_sec)
+    ~core_bps:p.core_bps ~edge_bps:p.edge_bps ~delay:p.link_delay_ns ()
+
+let run_rcp_star ?(use_cstore = true) p =
+  let eng = Engine.create () in
+  let bell = dumbbell p eng in
+  let net = bell.Topology.d_net in
+  let slot =
+    match Rcp_star.setup_network net with
+    | Ok s -> s
+    | Error e -> invalid_arg ("Fig2.run_rcp_star: " ^ e)
+  in
+  let config = { (Rcp_star.default_config ~slot) with Rcp_star.use_cstore } in
+  Net.start_utilization_updates net ~period:config.Rcp_star.period_ns
+    ~until:p.duration;
+  let flows = build_flows p bell in
+  let controllers =
+    List.map
+      (fun f ->
+        Probe.install_echo f.dst_stack;
+        let controller =
+          Rcp_star.create f.src_stack config ~flow:f.flow ~dst:f.dst_host
+        in
+        Engine.at eng (Time_ns.sec f.start_sec) (fun () ->
+            Flow.start f.flow ();
+            Rcp_star.start controller ());
+        controller)
+      flows
+  in
+  let series = Series.create ~name:"RCP*(TPP)" in
+  let bottleneck = Net.switch net bell.Topology.left_switch in
+  Engine.every eng ~period:p.sample_period ~until:p.duration (fun () ->
+      match Rcp_star.read_rate_kbps bottleneck ~slot ~port:0 with
+      | Some kbps ->
+        Series.add series ~time:(Engine.now eng)
+          (float_of_int kbps *. 1000.0 /. float_of_int p.core_bps)
+      | None -> ());
+  Engine.run eng ~until:p.duration;
+  {
+    series;
+    goodputs_bps = goodputs p flows;
+    drops = bottleneck_drops bell;
+    updates_sent =
+      List.fold_left (fun a c -> a + Rcp_star.updates_sent c) 0 controllers;
+    updates_won =
+      List.fold_left (fun a c -> a + Rcp_star.updates_won c) 0 controllers;
+  }
+
+let run_rcp p =
+  let eng = Engine.create () in
+  let bell = dumbbell p eng in
+  let net = bell.Topology.d_net in
+  let config = Rcp.default_config in
+  let core = Rcp.Router.attach net config ~switch_node:bell.Topology.left_switch ~port:0 in
+  let flows = build_flows p bell in
+  List.iteri
+    (fun i f ->
+      let edge =
+        Rcp.Router.attach net config ~switch_node:bell.Topology.right_switch
+          ~port:(1 + i)
+      in
+      let controller = Rcp.Controller.create net config ~flow:f.flow ~path:[ core; edge ] in
+      Engine.at eng (Time_ns.sec f.start_sec) (fun () ->
+          Flow.start f.flow ();
+          Rcp.Controller.start controller ()))
+    flows;
+  let series = Series.create ~name:"RCP(sim)" in
+  Engine.every eng ~period:p.sample_period ~until:p.duration (fun () ->
+      Series.add series ~time:(Engine.now eng)
+        (Rcp.Router.rate_bps core /. float_of_int p.core_bps));
+  Engine.run eng ~until:p.duration;
+  { series; goodputs_bps = goodputs p flows; drops = bottleneck_drops bell;
+    updates_sent = 0; updates_won = 0 }
+
+let mean_between series ~from_sec ~to_sec =
+  let points = Series.points series in
+  let from_ns = Time_ns.sec from_sec and to_ns = Time_ns.sec to_sec in
+  let sum, n =
+    Array.fold_left
+      (fun (sum, n) (t, v) ->
+        if t >= from_ns && t < to_ns then (sum +. v, n + 1) else (sum, n))
+      (0.0, 0) points
+  in
+  if n = 0 then 0.0 else sum /. float_of_int n

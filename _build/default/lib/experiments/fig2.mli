@@ -1,0 +1,37 @@
+(** Experiment E2: the paper's Figure 2.
+
+    Three flows share a 10 Mb/s dumbbell bottleneck, joining at 0, 10
+    and 20 seconds. {!run_rcp_star} drives them with the TPP-based
+    end-host controller; {!run_rcp} with the in-network baseline. Both
+    return the R(t)/C series at the bottleneck plus per-flow goodput. *)
+
+type params = {
+  core_bps : int;
+  edge_bps : int;
+  link_delay_ns : int;
+  flow_starts_sec : int list;
+  duration : int;          (** ns *)
+  sample_period : int;     (** ns *)
+  payload_bytes : int;
+}
+
+val default : params
+(** The paper's setting: 10 Mb/s core, flows at t = 0, 10, 20 s,
+    30-second run. *)
+
+type result = {
+  series : Tpp_util.Series.t;   (** R(t)/C at the bottleneck *)
+  goodputs_bps : float list;    (** per flow, over its own lifetime *)
+  drops : int;                  (** bottleneck tail drops *)
+  updates_sent : int;           (** RCP* only: phase-3 TPPs sent *)
+  updates_won : int;            (** RCP* only: CSTOREs whose condition held *)
+}
+
+val run_rcp_star : ?use_cstore:bool -> params -> result
+(** [use_cstore:false] switches the phase-3 update to a plain STORE —
+    the lost-update ablation (E8). *)
+
+val run_rcp : params -> result
+
+val mean_between : Tpp_util.Series.t -> from_sec:int -> to_sec:int -> float
+(** Mean of the sampled values in a window; for paper-vs-measured rows. *)

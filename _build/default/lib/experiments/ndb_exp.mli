@@ -1,0 +1,28 @@
+(** Experiment E6 (paper §2.3): the forwarding-plane debugger.
+
+    A diamond topology with a stale high-priority TCAM rule planted on
+    the ingress switch. Traced application packets reveal the
+    divergence; the postcard baseline observes the same but at a
+    per-packet-per-hop packet cost. *)
+
+type params = {
+  packets : int;
+  payload_bytes : int;
+  plant_stale_rule : bool;
+  max_hops : int;
+}
+
+val default : params
+
+type result = {
+  expected_path : int list;
+  observed_paths : int list list;      (** one per traced packet *)
+  mismatches : Tpp_ndb.Verify.mismatch list;  (** from the first packet *)
+  culprit_entry : int option;          (** entry id at the diverging hop *)
+  traced_packets : int;
+  tpp_bytes_per_packet : int;
+  postcards : int;
+  postcard_bytes : int;
+}
+
+val run : params -> result

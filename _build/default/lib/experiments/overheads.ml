@@ -1,0 +1,57 @@
+module Tpp = Tpp_isa.Tpp
+module Instr = Tpp_isa.Instr
+module Tcpu = Tpp_asic.Tcpu
+
+type row = {
+  instructions : int;
+  instr_bytes : int;
+  header_bytes : int;
+  perhop_memory_bytes : int;
+  section_bytes : int;
+  cycles : int;
+  fits_budget : bool;
+}
+
+let rows ~hops counts =
+  List.map
+    (fun n ->
+      let program = List.init n (fun _ -> Instr.Push (Instr.Sw 0x100)) in
+      let perhop = 4 * n in
+      let tpp = Tpp.make ~program ~mem_len:(perhop * hops) () in
+      {
+        instructions = n;
+        instr_bytes = Instr.size * n;
+        header_bytes = Tpp.header_size;
+        perhop_memory_bytes = perhop;
+        section_bytes = Tpp.section_size tpp;
+        cycles = Tcpu.cycles_for n;
+        fits_budget = Tcpu.cycles_for n <= Tcpu.cycle_budget;
+      })
+    counts
+
+type line_rate = {
+  ports : int;
+  port_gbps : int;
+  min_frame_bytes : int;
+  packets_per_sec : float;
+  tcpu_instr_per_sec : float;
+  ns_per_packet : float;
+}
+
+let line_rate_analysis () =
+  let ports = 64 and port_gbps = 10 in
+  (* 64B minimum frame + 8B preamble + 12B inter-frame gap. *)
+  let min_frame_bytes = 84 in
+  let pps =
+    float_of_int ports *. (float_of_int port_gbps *. 1e9)
+    /. (float_of_int min_frame_bytes *. 8.0)
+  in
+  {
+    ports;
+    port_gbps;
+    min_frame_bytes;
+    packets_per_sec = pps;
+    tcpu_instr_per_sec = 5.0 *. pps;
+    (* One TCPU per ingress pipeline, i.e. per port. *)
+    ns_per_packet = 1e9 /. (pps /. float_of_int ports);
+  }

@@ -1,0 +1,30 @@
+(** Experiment E7 (paper §3.3 "Overheads"): per-packet byte overhead of
+    TPPs and the TCPU cycle budget of a line-rate ASIC. *)
+
+type row = {
+  instructions : int;
+  instr_bytes : int;        (** 4 bytes per instruction *)
+  header_bytes : int;
+  perhop_memory_bytes : int;  (** packet memory consumed per hop *)
+  section_bytes : int;        (** whole TPP section for a 5-hop path *)
+  cycles : int;
+  fits_budget : bool;         (** under the 300-cycle cut-through budget *)
+}
+
+val rows : hops:int -> int list -> row list
+(** One row per instruction count: each instruction is a PUSH, so each
+    consumes one packet-memory word per hop — the paper's measurement
+    pattern. *)
+
+type line_rate = {
+  ports : int;
+  port_gbps : int;
+  min_frame_bytes : int;      (** 64B frame + 20B preamble/IFG = 84 *)
+  packets_per_sec : float;
+  tcpu_instr_per_sec : float; (** at 5 instructions per packet *)
+  ns_per_packet : float;      (** time budget per packet per pipeline *)
+}
+
+val line_rate_analysis : unit -> line_rate
+(** The paper's headline: a 64-port 10GbE switch must handle about a
+    billion minimum-size packets per second. *)

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Bytes Format Instr List Printf Result String Tpp Tpp_util Vaddr

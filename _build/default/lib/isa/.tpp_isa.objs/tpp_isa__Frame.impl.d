@@ -1,0 +1,1 @@
+lib/isa/frame.ml: Bytes Format Int64 Meta Option Tpp Tpp_packet Tpp_util

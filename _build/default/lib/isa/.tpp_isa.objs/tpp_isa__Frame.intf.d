@@ -1,0 +1,1 @@
+lib/isa/frame.mli: Format Meta Tpp Tpp_packet

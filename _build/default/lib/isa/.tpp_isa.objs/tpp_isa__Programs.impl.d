@@ -1,0 +1,1 @@
+lib/isa/programs.ml: Asm List String Tpp

@@ -1,0 +1,1 @@
+lib/isa/tpp.ml: Array Bytes Format Instr List Printf Tpp_util

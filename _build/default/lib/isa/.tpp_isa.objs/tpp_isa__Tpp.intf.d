@@ -1,0 +1,1 @@
+lib/isa/tpp.mli: Format Instr Tpp_util

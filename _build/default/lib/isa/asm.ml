@@ -1,0 +1,272 @@
+type program = { instrs : Instr.t list; pool : bytes; user_init : int list }
+
+(* Operands after pass 1: either already final, a user packet offset that
+   must be relocated past the pool, or a reference to a pool word. *)
+type pre_operand =
+  | Final of Instr.operand
+  | User_pkt of int
+  | Pool_ref of int
+
+type pre_instr =
+  | P_nop
+  | P_halt
+  | P_push of pre_operand
+  | P_pop of pre_operand
+  | P_load of pre_operand * pre_operand
+  | P_store of pre_operand * pre_operand
+  | P_mov of pre_operand * pre_operand
+  | P_binop of Instr.binop * pre_operand * pre_operand
+  | P_cstore of pre_operand * pre_operand
+  | P_cexec of pre_operand * pre_operand
+
+let ( let* ) = Result.bind
+
+let err line msg = Error (Printf.sprintf "line %d: %s" line msg)
+
+let strip_comment line =
+  let cut c s = match String.index_opt s c with Some i -> String.sub s 0 i | None -> s in
+  cut ';' (cut '#' line)
+
+let parse_int s =
+  match int_of_string_opt (String.trim s) with
+  | Some v when v >= 0 -> Some v
+  | _ -> None
+
+(* Parses one operand token (already trimmed). *)
+let parse_operand ~defines ~line tok =
+  let n = String.length tok in
+  if n >= 2 && tok.[0] = '[' && tok.[n - 1] = ']' then begin
+    let inside = String.trim (String.sub tok 1 (n - 2)) in
+    let hop_prefix = "Packet:Hop[" in
+    if String.length inside > String.length hop_prefix
+       && String.sub inside 0 (String.length hop_prefix) = hop_prefix
+       && inside.[String.length inside - 1] = ']'
+    then begin
+      let idx_str =
+        String.sub inside (String.length hop_prefix)
+          (String.length inside - String.length hop_prefix - 1)
+      in
+      match parse_int idx_str with
+      | Some k when k <= 0xFFF -> Ok (Final (Instr.Hop k))
+      | Some _ -> err line "hop index exceeds 12 bits"
+      | None -> err line (Printf.sprintf "bad hop index in %s" tok)
+    end
+    else if String.length inside > 7 && String.sub inside 0 7 = "Packet:" then begin
+      let off_str = String.sub inside 7 (String.length inside - 7) in
+      match parse_int off_str with
+      | Some off when off mod 4 = 0 -> Ok (User_pkt off)
+      | Some _ -> err line "packet offset must be word aligned"
+      | None -> err line (Printf.sprintf "bad packet offset in %s" tok)
+    end
+    else begin
+      match Vaddr.of_name ~defines inside with
+      | Ok a -> Ok (Final (Instr.Sw a))
+      | Error e -> err line e
+    end
+  end
+  else begin
+    match parse_int tok with
+    | Some v when v <= 0xFFF -> Ok (Final (Instr.Imm v))
+    | Some _ ->
+      err line
+        "immediate exceeds 12 bits (wide constants are only available through the \
+         CSTORE/CEXEC pool forms)"
+    | None -> err line (Printf.sprintf "cannot parse operand %S" tok)
+  end
+
+(* Parses a bare 32-bit constant (used by the 3-operand sugar). *)
+let parse_const ~line tok =
+  match parse_int tok with
+  | Some v when v <= 0xFFFF_FFFF -> Ok v
+  | Some _ -> err line "constant exceeds 32 bits"
+  | None -> err line (Printf.sprintf "expected a numeric constant, got %S" tok)
+
+let split_operands rest =
+  rest |> String.split_on_char ',' |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let pass1 ~defines src =
+  let pool = ref [] in
+  let pool_words = ref 0 in
+  let user_init = ref [] in
+  let add_pool_pair a b =
+    let idx = !pool_words in
+    pool := b :: a :: !pool;
+    pool_words := idx + 2;
+    Pool_ref idx
+  in
+  let lines = String.split_on_char '\n' src in
+  let rec go line_no lines acc =
+    match lines with
+    | [] -> Ok (List.rev acc)
+    | raw :: rest_lines ->
+      let line = String.trim (strip_comment raw) in
+      if line = "" then go (line_no + 1) rest_lines acc
+      else begin
+        let mnemonic, rest =
+          match String.index_opt line ' ' with
+          | None -> (line, "")
+          | Some i ->
+            (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+        in
+        let mnemonic = String.uppercase_ascii mnemonic in
+        let ops = split_operands rest in
+        let operand tok = parse_operand ~defines ~line:line_no tok in
+        if mnemonic = ".WORD" then begin
+          match ops with
+          | [ tok ] -> (
+            match parse_const ~line:line_no tok with
+            | Ok v ->
+              user_init := v :: !user_init;
+              go (line_no + 1) rest_lines acc
+            | Error e -> Error e)
+          | _ -> err line_no ".WORD takes one constant"
+        end
+        else begin
+        let result =
+          match (mnemonic, ops) with
+          | "NOP", [] -> Ok P_nop
+          | "HALT", [] -> Ok P_halt
+          | "PUSH", [ a ] ->
+            let* a = operand a in
+            Ok (P_push a)
+          | "POP", [ a ] ->
+            let* a = operand a in
+            Ok (P_pop a)
+          | "LOAD", [ a; b ] ->
+            let* a = operand a in
+            let* b = operand b in
+            Ok (P_load (a, b))
+          | "STORE", [ a; b ] ->
+            let* a = operand a in
+            let* b = operand b in
+            Ok (P_store (a, b))
+          | "MOV", [ a; b ] ->
+            let* a = operand a in
+            let* b = operand b in
+            Ok (P_mov (a, b))
+          | ("ADD" | "SUB" | "AND" | "OR" | "MIN" | "MAX"), [ a; b ] ->
+            let op =
+              match mnemonic with
+              | "ADD" -> Instr.Add
+              | "SUB" -> Instr.Sub
+              | "AND" -> Instr.And
+              | "OR" -> Instr.Or
+              | "MIN" -> Instr.Min
+              | _ -> Instr.Max
+            in
+            let* a = operand a in
+            let* b = operand b in
+            Ok (P_binop (op, a, b))
+          | "CSTORE", [ a; b ] ->
+            let* a = operand a in
+            let* b = operand b in
+            Ok (P_cstore (a, b))
+          | "CSTORE", [ a; cond; nv ] ->
+            let* a = operand a in
+            let* cond = parse_const ~line:line_no cond in
+            let* nv = parse_const ~line:line_no nv in
+            Ok (P_cstore (a, add_pool_pair cond nv))
+          | "CEXEC", [ a; b ] ->
+            let* a = operand a in
+            let* b = operand b in
+            Ok (P_cexec (a, b))
+          | "CEXEC", [ a; mask; v ] ->
+            let* a = operand a in
+            let* mask = parse_const ~line:line_no mask in
+            let* v = parse_const ~line:line_no v in
+            Ok (P_cexec (a, add_pool_pair mask v))
+          | ("NOP" | "HALT" | "PUSH" | "POP" | "LOAD" | "STORE" | "MOV" | "ADD" | "SUB"
+            | "AND" | "OR" | "MIN" | "MAX" | "CSTORE" | "CEXEC"), _ ->
+            err line_no (Printf.sprintf "wrong operand count for %s" mnemonic)
+          | _, _ -> err line_no (Printf.sprintf "unknown mnemonic %S" mnemonic)
+        in
+        match result with
+        | Error e -> Error e
+        | Ok pre -> go (line_no + 1) rest_lines (pre :: acc)
+        end
+      end
+  in
+  let* pre = go 1 lines [] in
+  Ok (pre, List.rev !pool, List.rev !user_init)
+
+let relocate ~pool_len op =
+  match op with
+  | Final o -> Ok o
+  | Pool_ref w -> Ok (Instr.Pkt (4 * w))
+  | User_pkt off ->
+    let off = pool_len + off in
+    if off > 0xFFF then Error "packet offset exceeds 12 bits after pool relocation"
+    else Ok (Instr.Pkt off)
+
+let pass2 ~pool_len pre =
+  let reloc = relocate ~pool_len in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest ->
+      let* instr =
+        match p with
+        | P_nop -> Ok Instr.Nop
+        | P_halt -> Ok Instr.Halt
+        | P_push a ->
+          let* a = reloc a in
+          Ok (Instr.Push a)
+        | P_pop a ->
+          let* a = reloc a in
+          Ok (Instr.Pop a)
+        | P_load (a, b) ->
+          let* a = reloc a in
+          let* b = reloc b in
+          Ok (Instr.Load (a, b))
+        | P_store (a, b) ->
+          let* a = reloc a in
+          let* b = reloc b in
+          Ok (Instr.Store (a, b))
+        | P_mov (a, b) ->
+          let* a = reloc a in
+          let* b = reloc b in
+          Ok (Instr.Mov (a, b))
+        | P_binop (op, a, b) ->
+          let* a = reloc a in
+          let* b = reloc b in
+          Ok (Instr.Binop (op, a, b))
+        | P_cstore (a, b) ->
+          let* a = reloc a in
+          let* b = reloc b in
+          Ok (Instr.Cstore (a, b))
+        | P_cexec (a, b) ->
+          let* a = reloc a in
+          let* b = reloc b in
+          Ok (Instr.Cexec (a, b))
+      in
+      go (instr :: acc) rest
+  in
+  go [] pre
+
+let assemble ?(defines = []) src =
+  let* pre, pool_words, user_init = pass1 ~defines src in
+  let pool_len = 4 * List.length pool_words in
+  let* instrs = pass2 ~pool_len pre in
+  let pool = Bytes.create pool_len in
+  List.iteri (fun i v -> Tpp_util.Buf.set_u32i pool (4 * i) v) pool_words;
+  Ok { instrs; pool; user_init }
+
+let to_tpp ?defines ?addr_mode ?perhop_len ?inner_ethertype ~mem_len src =
+  let* { instrs; pool; user_init } = assemble ?defines src in
+  (* .WORD directives may themselves require memory beyond mem_len. *)
+  let mem_len = max mem_len (4 * List.length user_init) in
+  try
+    let tpp =
+      Tpp.make ?addr_mode ?perhop_len ~pool ?inner_ethertype ~program:instrs
+        ~mem_len ()
+    in
+    List.iteri (fun i v -> Tpp.mem_set tpp (tpp.Tpp.base + (4 * i)) v) user_init;
+    (* The stack must not clobber the initialised words. *)
+    tpp.Tpp.sp <- tpp.Tpp.base + (4 * List.length user_init);
+    Ok tpp
+  with Invalid_argument e -> Error e
+
+let disassemble tpp =
+  tpp.Tpp.program |> Array.to_list
+  |> List.map (Format.asprintf "%a" Instr.pp)
+  |> String.concat "\n"

@@ -1,0 +1,61 @@
+(** Two-pass assembler for the x86-like TPP assembly of the paper.
+
+    Example accepted source (comments start with [;] or [#]):
+    {v
+    PUSH [Switch:SwitchID]
+    PUSH [Link:QueueSize]
+    LOAD [Link:RxUtilization], [Packet:Hop[1]]
+    CEXEC [Switch:SwitchID], 0xFFFFFFFF, 2
+    STORE [Link:RCP-RateRegister], [Packet:0]
+    CSTORE [Sram:16], 5, 7
+    v}
+
+    Three-operand [CEXEC reg, mask, value] and [CSTORE dst, cond, new]
+    are sugar: the assembler places the 32-bit immediates into a
+    constant pool at the front of packet memory and encodes the pool
+    offset, keeping every instruction exactly 4 bytes on the wire.
+    User-written [\[Packet:n\]] offsets address the region {e after} the
+    pool; the assembler relocates them. After a [CSTORE] executes, the
+    first pool word of that instruction holds the old value of the
+    destination, so callers can tell whether the store took effect.
+
+    Task-specific statistic names (e.g. the paper's
+    [\[Link:RCP-RateRegister\]]) come from [defines], mapping the name to
+    the address the control plane allocated.
+
+    A [.WORD <const32>] directive line initialises the next word of
+    user packet memory, so a program that STOREs a value into the
+    network can carry it without the caller poking bytes:
+    {v
+    STORE [Link:RCP-RateRegister], [Packet:0]
+    .WORD 2000
+    v} *)
+
+type program = {
+  instrs : Instr.t list;
+  pool : bytes;  (** constant pool, word aligned *)
+  user_init : int list;
+      (** [.WORD] directive values, placed at the start of user packet
+          memory (offsets [\[Packet:0\]], [\[Packet:4\]], ...) *)
+}
+
+val assemble :
+  ?defines:(string * int) list -> string -> (program, string) result
+(** Errors carry the 1-based source line. *)
+
+val to_tpp :
+  ?defines:(string * int) list ->
+  ?addr_mode:Tpp.addr_mode ->
+  ?perhop_len:int ->
+  ?inner_ethertype:int ->
+  mem_len:int ->
+  string ->
+  (Tpp.t, string) result
+(** Assembles and packages: packet memory is the pool, then the [.WORD]
+    initialisers, then user data/stack space ([mem_len] covers
+    initialisers + stack; it grows if the initialisers alone need
+    more). The stack pointer starts after the initialised words so
+    PUSHes cannot clobber them. *)
+
+val disassemble : Tpp.t -> string
+(** One instruction per line, with symbolic statistic names. *)

@@ -1,0 +1,200 @@
+module Buf = Tpp_util.Buf
+module Ethernet = Tpp_packet.Ethernet
+module Ipv4 = Tpp_packet.Ipv4
+module Udp = Tpp_packet.Udp
+module Mac = Tpp_packet.Mac
+
+type t = {
+  id : int;
+  eth : Ethernet.t;
+  tpp : Tpp.t option;
+  mutable ip : Ipv4.Header.t option;
+  udp : Udp.t option;
+  payload : bytes;
+  meta : Meta.t;
+}
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let check_consistent ~eth ~tpp ~ip ~udp =
+  (match tpp with
+  | Some t ->
+    if eth.Ethernet.ethertype <> Ethernet.ethertype_tpp then
+      invalid_arg "Frame.make: TPP section on non-TPP ethertype";
+    let inner = t.Tpp.inner_ethertype in
+    if Option.is_some ip && inner <> Ethernet.ethertype_ipv4 then
+      invalid_arg "Frame.make: IPv4 under TPP needs inner_ethertype IPv4";
+    if Option.is_none ip && inner = Ethernet.ethertype_ipv4 then
+      invalid_arg "Frame.make: inner_ethertype IPv4 but no IPv4 header"
+  | None ->
+    if eth.Ethernet.ethertype = Ethernet.ethertype_tpp then
+      invalid_arg "Frame.make: TPP ethertype without TPP section";
+    if Option.is_some ip && eth.Ethernet.ethertype <> Ethernet.ethertype_ipv4 then
+      invalid_arg "Frame.make: IPv4 header on non-IPv4 ethertype");
+  if Option.is_some udp && Option.is_none ip then
+    invalid_arg "Frame.make: UDP header without IPv4 header";
+  match (ip, udp) with
+  | Some h, Some _ when h.Ipv4.Header.proto <> Ipv4.proto_udp ->
+    invalid_arg "Frame.make: UDP header but IPv4 proto is not UDP"
+  | _ -> ()
+
+let make ?tpp ?ip ?udp ?(payload = Bytes.empty) ~eth () =
+  check_consistent ~eth ~tpp ~ip ~udp;
+  { id = fresh_id (); eth; tpp; ip; udp; payload; meta = Meta.create () }
+
+let udp_frame ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?(ttl = 64) ?tpp
+    ~payload () =
+  (* A TPP wrapping an IPv4 datagram must declare it, or transit parsers
+     could not find the routing header. *)
+  let tpp =
+    Option.map (fun t -> { t with Tpp.inner_ethertype = Ethernet.ethertype_ipv4 }) tpp
+  in
+  let ethertype =
+    match tpp with Some _ -> Ethernet.ethertype_tpp | None -> Ethernet.ethertype_ipv4
+  in
+  let eth = { Ethernet.dst = dst_mac; src = src_mac; ethertype } in
+  let ip =
+    {
+      Ipv4.Header.src = src_ip;
+      dst = dst_ip;
+      proto = Ipv4.proto_udp;
+      ttl;
+      dscp = 0;
+      ecn = 0;
+      ident = fresh_id () land 0xFFFF;
+    }
+  in
+  let udp = { Udp.src_port; dst_port } in
+  make ?tpp ~ip ~udp ~payload ~eth ()
+
+(* splitmix64-style finalizer: equal tuples hash equal, and nearby
+   tuples (consecutive ports) spread uniformly across ECMP groups. *)
+let mix z =
+  let z = Int64.of_int z in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int z land max_int
+
+let flow_hash_values ~src ~dst ~proto ~src_port ~dst_port =
+  mix (mix (mix (mix (mix src lxor dst) lxor proto) lxor src_port) lxor dst_port)
+
+let flow_hash t =
+  match t.ip with
+  | Some ip ->
+    let src_port, dst_port =
+      match t.udp with
+      | Some u -> (u.Udp.src_port, u.Udp.dst_port)
+      | None -> (0, 0)
+    in
+    flow_hash_values
+      ~src:(Ipv4.Addr.to_int ip.Ipv4.Header.src)
+      ~dst:(Ipv4.Addr.to_int ip.Ipv4.Header.dst)
+      ~proto:ip.Ipv4.Header.proto ~src_port ~dst_port
+  | None ->
+    flow_hash_values ~src:(Mac.to_int t.eth.Ethernet.src)
+      ~dst:(Mac.to_int t.eth.Ethernet.dst) ~proto:0 ~src_port:0 ~dst_port:0
+
+let l3_len t =
+  match t.ip with
+  | None -> Bytes.length t.payload
+  | Some _ ->
+    Ipv4.Header.size
+    + (match t.udp with Some _ -> Udp.size | None -> 0)
+    + Bytes.length t.payload
+
+let wire_size t =
+  let body =
+    Ethernet.size + (match t.tpp with Some s -> Tpp.section_size s | None -> 0) + l3_len t
+  in
+  max 64 (body + 4)
+
+let serialize t =
+  let w = Buf.Writer.create ~capacity:128 () in
+  Ethernet.write w t.eth;
+  (match t.tpp with Some s -> Tpp.write w s | None -> ());
+  (match t.ip with
+  | Some ip ->
+    let payload_len =
+      (match t.udp with Some _ -> Udp.size | None -> 0) + Bytes.length t.payload
+    in
+    Ipv4.Header.write w ip ~payload_len;
+    (match t.udp with
+    | Some u -> Udp.write w u ~payload_len:(Bytes.length t.payload)
+    | None -> ())
+  | None -> ());
+  Buf.Writer.bytes w t.payload;
+  Buf.Writer.contents w
+
+let parse_l3 r ethertype =
+  if ethertype = Ethernet.ethertype_ipv4 then begin
+    let ip, ip_payload = Ipv4.Header.read r in
+    if Buf.Reader.remaining r < ip_payload then invalid_arg "Frame.parse: truncated IPv4";
+    if ip.Ipv4.Header.proto = Ipv4.proto_udp then begin
+      let udp, udp_payload = Udp.read r in
+      if udp_payload + Udp.size <> ip_payload then
+        invalid_arg "Frame.parse: IPv4/UDP length mismatch";
+      let payload = Buf.Reader.bytes r udp_payload in
+      (Some ip, Some udp, payload)
+    end
+    else begin
+      let payload = Buf.Reader.bytes r ip_payload in
+      (Some ip, None, payload)
+    end
+  end
+  else begin
+    let payload = Buf.Reader.bytes r (Buf.Reader.remaining r) in
+    (None, None, payload)
+  end
+
+let parse b =
+  try
+    let r = Buf.Reader.of_bytes b in
+    let eth = Ethernet.read r in
+    if eth.Ethernet.ethertype = Ethernet.ethertype_tpp then begin
+      match Tpp.read r with
+      | Error e -> Error ("bad TPP section: " ^ e)
+      | Ok tpp ->
+        let ip, udp, payload = parse_l3 r tpp.Tpp.inner_ethertype in
+        Ok
+          {
+            id = fresh_id ();
+            eth;
+            tpp = Some tpp;
+            ip;
+            udp;
+            payload;
+            meta = Meta.create ();
+          }
+    end
+    else begin
+      let ip, udp, payload = parse_l3 r eth.Ethernet.ethertype in
+      Ok { id = fresh_id (); eth; tpp = None; ip; udp; payload; meta = Meta.create () }
+    end
+  with
+  | Buf.Out_of_bounds what -> Error ("truncated frame: " ^ what)
+  | Invalid_argument what -> Error what
+
+let with_tpp t tpp =
+  let eth =
+    match tpp with
+    | Some _ -> { t.eth with Ethernet.ethertype = Ethernet.ethertype_tpp }
+    | None -> (
+      match t.ip with
+      | Some _ -> { t.eth with Ethernet.ethertype = Ethernet.ethertype_ipv4 }
+      | None -> t.eth)
+  in
+  { t with eth; tpp }
+
+let clone t =
+  { t with id = fresh_id (); tpp = Option.map Tpp.copy t.tpp; meta = Meta.create () }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>frame #%d %a%s%a@]" t.id Ethernet.pp t.eth
+    (match t.tpp with Some _ -> " +TPP" | None -> "")
+    (Format.pp_print_option (fun fmt ip -> Format.fprintf fmt " %a" Ipv4.Header.pp ip))
+    t.ip

@@ -1,0 +1,76 @@
+(** A simulated Ethernet frame, possibly carrying a TPP section.
+
+    The structured representation is what the simulator moves around;
+    {!serialize} and {!parse} implement the real wire format and are
+    exercised at host NIC boundaries and throughout the test suite, so
+    the structured form is guaranteed to round-trip through bytes. *)
+
+module Ethernet = Tpp_packet.Ethernet
+module Ipv4 = Tpp_packet.Ipv4
+module Udp = Tpp_packet.Udp
+
+type t = {
+  id : int;  (** unique per simulation run, for tracing *)
+  eth : Ethernet.t;
+  tpp : Tpp.t option;
+  mutable ip : Ipv4.Header.t option;
+      (** mutable: switches rewrite TTL and may set the ECN mark *)
+  udp : Udp.t option;
+  payload : bytes;
+  meta : Meta.t;
+}
+
+val make :
+  ?tpp:Tpp.t ->
+  ?ip:Ipv4.Header.t ->
+  ?udp:Udp.t ->
+  ?payload:bytes ->
+  eth:Ethernet.t ->
+  unit ->
+  t
+(** Builds a frame with a fresh id. Raises [Invalid_argument] when the
+    header stack is inconsistent (e.g. a TPP on a non-TPP ethertype, or
+    a UDP header without an IPv4 header). *)
+
+val udp_frame :
+  src_mac:Tpp_packet.Mac.t ->
+  dst_mac:Tpp_packet.Mac.t ->
+  src_ip:Ipv4.Addr.t ->
+  dst_ip:Ipv4.Addr.t ->
+  src_port:int ->
+  dst_port:int ->
+  ?ttl:int ->
+  ?tpp:Tpp.t ->
+  payload:bytes ->
+  unit ->
+  t
+(** A UDP datagram; when [tpp] is given the frame becomes a TPP frame
+    encapsulating the IPv4 packet (so it is routed like normal traffic,
+    as the paper requires). *)
+
+val flow_hash_values :
+  src:int -> dst:int -> proto:int -> src_port:int -> dst_port:int -> int
+(** Deterministic 5-tuple hash (ECMP path selection). Exposed so the
+    control plane can predict the dataplane's choice exactly. *)
+
+val flow_hash : t -> int
+(** {!flow_hash_values} over this frame's headers: the IPv4/UDP fields
+    when present, else the MAC addresses. Symmetric headers hash the
+    same on every switch, so a flow pins to one path. *)
+
+val wire_size : t -> int
+(** Bytes this frame occupies on a link, including the 4-byte FCS and
+    the 64-byte Ethernet minimum. Queueing and transmission delays use
+    this value. *)
+
+val serialize : t -> bytes
+val parse : bytes -> (t, string) result
+
+val with_tpp : t -> Tpp.t option -> t
+(** Same frame (same id) with the TPP section replaced. *)
+
+val clone : t -> t
+(** Independent copy with a fresh id, fresh metadata and deep-copied TPP
+    memory; used when a switch floods a frame out of several ports. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+module Buf = Tpp_util.Buf
+
+type operand = Sw of int | Pkt of int | Imm of int | Hop of int
+
+type binop = Add | Sub | And | Or | Min | Max
+
+type t =
+  | Nop
+  | Push of operand
+  | Pop of operand
+  | Load of operand * operand
+  | Store of operand * operand
+  | Mov of operand * operand
+  | Binop of binop * operand * operand
+  | Cstore of operand * operand
+  | Cexec of operand * operand
+  | Halt
+
+let size = 4
+
+let operand_bits = function
+  | Sw v -> (0, v)
+  | Pkt v -> (1, v)
+  | Imm v -> (2, v)
+  | Hop v -> (3, v)
+
+let encode_operand op =
+  let space, v = operand_bits op in
+  if v < 0 || v > 0xFFF then invalid_arg "Instr.encode: operand value exceeds 12 bits";
+  (space lsl 12) lor v
+
+let decode_operand bits =
+  let v = bits land 0xFFF in
+  match (bits lsr 12) land 0x3 with
+  | 0 -> Sw v
+  | 1 -> Pkt v
+  | 2 -> Imm v
+  | _ -> Hop v
+
+let opcode = function
+  | Nop -> 0
+  | Push _ -> 1
+  | Pop _ -> 2
+  | Load _ -> 3
+  | Store _ -> 4
+  | Mov _ -> 5
+  | Binop (Add, _, _) -> 6
+  | Binop (Sub, _, _) -> 7
+  | Binop (And, _, _) -> 8
+  | Binop (Or, _, _) -> 9
+  | Binop (Min, _, _) -> 10
+  | Binop (Max, _, _) -> 11
+  | Cstore _ -> 12
+  | Cexec _ -> 13
+  | Halt -> 14
+
+let operands = function
+  | Nop | Halt -> (Imm 0, Imm 0)
+  | Push a | Pop a -> (a, Imm 0)
+  | Load (a, b)
+  | Store (a, b)
+  | Mov (a, b)
+  | Binop (_, a, b)
+  | Cstore (a, b)
+  | Cexec (a, b) -> (a, b)
+
+let encode t =
+  let a, b = operands t in
+  let word = (opcode t lsl 28) lor (encode_operand a lsl 14) lor encode_operand b in
+  Int32.of_int word
+
+let decode w =
+  let word = Int32.to_int w land 0xFFFF_FFFF in
+  let op = (word lsr 28) land 0xF in
+  let a = decode_operand ((word lsr 14) land 0x3FFF) in
+  let b = decode_operand (word land 0x3FFF) in
+  match op with
+  | 0 -> Ok Nop
+  | 1 -> Ok (Push a)
+  | 2 -> Ok (Pop a)
+  | 3 -> Ok (Load (a, b))
+  | 4 -> Ok (Store (a, b))
+  | 5 -> Ok (Mov (a, b))
+  | 6 -> Ok (Binop (Add, a, b))
+  | 7 -> Ok (Binop (Sub, a, b))
+  | 8 -> Ok (Binop (And, a, b))
+  | 9 -> Ok (Binop (Or, a, b))
+  | 10 -> Ok (Binop (Min, a, b))
+  | 11 -> Ok (Binop (Max, a, b))
+  | 12 -> Ok (Cstore (a, b))
+  | 13 -> Ok (Cexec (a, b))
+  | 14 -> Ok Halt
+  | n -> Error (Printf.sprintf "unknown opcode %d" n)
+
+let write w t = Buf.Writer.u32 w (encode t)
+
+let read r = decode (Buf.Reader.u32 r)
+
+let binop_name = function
+  | Add -> "ADD"
+  | Sub -> "SUB"
+  | And -> "AND"
+  | Or -> "OR"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let pp_operand fmt = function
+  | Sw a -> Format.fprintf fmt "[%s]" (Vaddr.to_name a)
+  | Pkt off -> Format.fprintf fmt "[Packet:%d]" off
+  | Imm v -> Format.fprintf fmt "%d" v
+  | Hop idx -> Format.fprintf fmt "[Packet:Hop[%d]]" idx
+
+let pp fmt t =
+  let two name a b =
+    Format.fprintf fmt "%s %a, %a" name pp_operand a pp_operand b
+  in
+  match t with
+  | Nop -> Format.pp_print_string fmt "NOP"
+  | Halt -> Format.pp_print_string fmt "HALT"
+  | Push a -> Format.fprintf fmt "PUSH %a" pp_operand a
+  | Pop a -> Format.fprintf fmt "POP %a" pp_operand a
+  | Load (a, b) -> two "LOAD" a b
+  | Store (a, b) -> two "STORE" a b
+  | Mov (a, b) -> two "MOV" a b
+  | Binop (op, a, b) -> two (binop_name op) a b
+  | Cstore (a, b) -> two "CSTORE" a b
+  | Cexec (a, b) -> two "CEXEC" a b
+
+let equal a b = a = b

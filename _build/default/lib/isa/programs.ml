@@ -1,0 +1,51 @@
+let record_route = "PUSH [Switch:SwitchID]\nPUSH [PacketMetadata:OutputPort]\n"
+
+let queue_snapshot = "PUSH [Switch:SwitchID]\nPUSH [Queue:QueueSize]\n"
+
+let hop_timestamps = "PUSH [Switch:SwitchID]\nPUSH [Switch:ClockNs]\n"
+
+let link_stats =
+  "PUSH [Switch:SwitchID]\n\
+   PUSH [Queue:QueueSize]\n\
+   PUSH [Link:RxUtilization]\n\
+   PUSH [Link:Drops]\n"
+
+let congestion_probe =
+  "PUSH [Switch:SwitchID]\n\
+   PUSH [Queue:QueueSize]\n\
+   PUSH [Link:RxUtilization]\n\
+   PUSH [Link:CapacityKbps]\n"
+
+let words_per_hop source =
+  String.split_on_char '\n' source
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+let build ?(max_hops = 8) source =
+  Asm.to_tpp ~mem_len:(4 * words_per_hop source * max_hops) source
+
+let all =
+  [
+    ("record_route", record_route);
+    ("queue_snapshot", queue_snapshot);
+    ("hop_timestamps", hop_timestamps);
+    ("link_stats", link_stats);
+    ("congestion_probe", congestion_probe);
+  ]
+
+let max_queue = "MAX [Packet:0], [Queue:QueueSize]\n"
+let sum_queues = "ADD [Packet:0], [Queue:QueueSize]\n"
+let min_capacity = "MIN [Packet:0], [Link:CapacityKbps]\n"
+
+(* MIN folds need an all-ones accumulator; MAX/ADD start at zero. *)
+let fold_seed source =
+  if String.length source >= 3 && String.sub source 0 3 = "MIN" then 0xFFFF_FFFF else 0
+
+let build_fold source =
+  match Asm.to_tpp ~mem_len:4 source with
+  | Error e -> Error e
+  | Ok tpp ->
+    Tpp.mem_set tpp tpp.Tpp.base (fold_seed source);
+    Ok tpp
+
+let fold_result tpp = Tpp.mem_get tpp tpp.Tpp.base

@@ -1,0 +1,66 @@
+(** A small standard library of useful TPP programs.
+
+    Each entry is assembly text for {!Asm}, plus a sized builder. They
+    double as documentation: the first two reproduce, in one or two
+    instructions, dataplane features that each took a standards effort
+    (IP Record Route, per-hop timestamps) — the paper's §4 point about
+    generic read access versus anticipating every requirement. *)
+
+val record_route : string
+(** [PUSH SwitchID; PUSH OutputPort] — IP Record Route, generalised:
+    instead of interface addresses, the switch id and egress port at
+    every hop (2 words/hop). *)
+
+val queue_snapshot : string
+(** [PUSH SwitchID; PUSH QueueSize] — the Figure 1 micro-burst probe
+    (2 words/hop). *)
+
+val hop_timestamps : string
+(** [PUSH SwitchID; PUSH ClockNs] — switch-local nanosecond timestamps
+    at each hop: per-hop one-way delay breakdowns from a single packet
+    (2 words/hop). *)
+
+val link_stats : string
+(** [PUSH SwitchID; PUSH QueueSize; PUSH RxUtilization; PUSH Drops] —
+    the sweep/monitoring program (4 words/hop). *)
+
+val congestion_probe : string
+(** The RCP* phase-1 collect shape without the task-specific register:
+    switch id, queue, utilisation, capacity (4 words/hop). *)
+
+val words_per_hop : string -> int
+(** Number of PUSHes in one of the above programs = packet-memory words
+    consumed per hop. *)
+
+val build : ?max_hops:int -> string -> (Tpp.t, string) result
+(** Assembles one of the above (or any pure-PUSH program) with packet
+    memory sized for [max_hops] (default 8). *)
+
+val all : (string * string) list
+(** [(name, source)] for every canned per-hop (pure PUSH) program. *)
+
+(** {2 In-dataplane aggregation}
+
+    The arithmetic instructions let a probe {e fold} a statistic along
+    its path instead of recording every hop: packet memory stays one
+    word no matter how long the path — the cheapest possible telemetry.
+    After the probe returns, word 0 of user memory holds the result. *)
+
+val max_queue : string
+(** [MAX \[Packet:0\], \[Queue:QueueSize\]] — the deepest queue on the
+    path, in one word. *)
+
+val sum_queues : string
+(** [ADD \[Packet:0\], \[Queue:QueueSize\]] — total queued bytes along
+    the path: the probe's total queueing exposure. *)
+
+val min_capacity : string
+(** MIN over [Link:CapacityKbps] — the path's bottleneck capacity.
+    Word 0 must be initialised to 0xFFFFFFFF; {!build_fold} does it. *)
+
+val build_fold : string -> (Tpp.t, string) result
+(** Assembles a one-word fold program with correctly initialised
+    accumulator (0 for MAX/ADD, all-ones for MIN). *)
+
+val fold_result : Tpp.t -> int
+(** The accumulator word of an executed fold probe. *)

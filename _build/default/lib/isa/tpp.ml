@@ -1,0 +1,141 @@
+module Buf = Tpp_util.Buf
+
+type addr_mode = Stack | Hop_addressed
+
+type t = {
+  mutable faulted : bool;
+  addr_mode : addr_mode;
+  perhop_len : int;
+  base : int;
+  mutable sp : int;
+  mutable hop : int;
+  program : Instr.t array;
+  memory : bytes;
+  inner_ethertype : int;
+}
+
+let header_size = 16
+
+let section_size t = header_size + (Instr.size * Array.length t.program) + Bytes.length t.memory
+
+let check_u16 what v =
+  if v < 0 || v > 0xFFFF then invalid_arg (Printf.sprintf "Tpp.make: %s exceeds 16 bits" what)
+
+let make ?(addr_mode = Stack) ?(perhop_len = 0) ?(pool = Bytes.empty)
+    ?(inner_ethertype = 0) ~program ~mem_len () =
+  let base = Bytes.length pool in
+  if base mod 4 <> 0 then invalid_arg "Tpp.make: pool must be word aligned";
+  if mem_len mod 4 <> 0 then invalid_arg "Tpp.make: mem_len must be word aligned";
+  if perhop_len mod 4 <> 0 then invalid_arg "Tpp.make: perhop_len must be word aligned";
+  if addr_mode = Hop_addressed && perhop_len = 0 then
+    invalid_arg "Tpp.make: hop addressing needs perhop_len > 0";
+  let total_mem = base + mem_len in
+  check_u16 "memory length" total_mem;
+  check_u16 "program length" (Instr.size * List.length program);
+  check_u16 "perhop_len" perhop_len;
+  let memory = Bytes.make total_mem '\000' in
+  Bytes.blit pool 0 memory 0 base;
+  {
+    faulted = false;
+    addr_mode;
+    perhop_len;
+    base;
+    sp = base;
+    hop = 0;
+    program = Array.of_list program;
+    memory;
+    inner_ethertype;
+  }
+
+let copy t = { t with memory = Bytes.copy t.memory; program = Array.copy t.program }
+
+let mem_get t off = Buf.get_u32i t.memory off
+let mem_set t off v = Buf.set_u32i t.memory off v
+
+let words t =
+  let n = Bytes.length t.memory / 4 in
+  List.init n (fun i -> mem_get t (4 * i))
+
+let stack_values t =
+  let n = (t.sp - t.base) / 4 in
+  List.init (max 0 n) (fun i -> mem_get t (t.base + (4 * i)))
+
+let hop_block t ~hop =
+  let start = t.base + (hop * t.perhop_len) in
+  let n = t.perhop_len / 4 in
+  List.init n (fun i -> mem_get t (start + (4 * i)))
+
+let flags_of t =
+  (match t.addr_mode with Stack -> 0 | Hop_addressed -> 1)
+  lor (if t.faulted then 2 else 0)
+
+let write w t =
+  Buf.Writer.u8 w 1;
+  Buf.Writer.u8 w (flags_of t);
+  Buf.Writer.u16 w (Instr.size * Array.length t.program);
+  Buf.Writer.u16 w (Bytes.length t.memory);
+  Buf.Writer.u16 w t.sp;
+  Buf.Writer.u16 w t.hop;
+  Buf.Writer.u16 w t.perhop_len;
+  Buf.Writer.u16 w t.inner_ethertype;
+  Buf.Writer.u16 w t.base;
+  Array.iter (Instr.write w) t.program;
+  Buf.Writer.bytes w t.memory
+
+let read r =
+  try
+    let version = Buf.Reader.u8 r in
+    if version <> 1 then Error (Printf.sprintf "unsupported TPP version %d" version)
+    else begin
+      let flags = Buf.Reader.u8 r in
+      let tpp_len = Buf.Reader.u16 r in
+      let mem_len = Buf.Reader.u16 r in
+      let sp = Buf.Reader.u16 r in
+      let hop = Buf.Reader.u16 r in
+      let perhop_len = Buf.Reader.u16 r in
+      let inner_ethertype = Buf.Reader.u16 r in
+      let base = Buf.Reader.u16 r in
+      if tpp_len mod Instr.size <> 0 then Error "instruction bytes not word aligned"
+      else if mem_len mod 4 <> 0 then Error "memory length not word aligned"
+      else if base > mem_len then Error "pool base beyond memory"
+      else if sp > mem_len then Error "stack pointer beyond memory"
+      else begin
+        let n = tpp_len / Instr.size in
+        let rec read_program i acc =
+          if i = n then Ok (List.rev acc)
+          else
+            match Instr.read r with
+            | Ok instr -> read_program (i + 1) (instr :: acc)
+            | Error e -> Error e
+        in
+        match read_program 0 [] with
+        | Error e -> Error e
+        | Ok program ->
+          let memory = Buf.Reader.bytes r mem_len in
+          let addr_mode = if flags land 1 = 1 then Hop_addressed else Stack in
+          if addr_mode = Hop_addressed && perhop_len = 0 then
+            Error "hop addressing with zero per-hop length"
+          else
+            Ok
+              {
+                faulted = flags land 2 <> 0;
+                addr_mode;
+                perhop_len;
+                base;
+                sp;
+                hop;
+                program = Array.of_list program;
+                memory;
+                inner_ethertype;
+              }
+      end
+    end
+  with Buf.Out_of_bounds _ -> Error "truncated TPP section"
+
+let pp fmt t =
+  let mode = match t.addr_mode with Stack -> "stack" | Hop_addressed -> "hop" in
+  Format.fprintf fmt "@[<v>TPP %s sp=%d hop=%d mem=%dB%s@,%a@]" mode t.sp t.hop
+    (Bytes.length t.memory)
+    (if t.faulted then " FAULTED" else "")
+    (Format.pp_print_list Instr.pp)
+    (Array.to_list t.program)

@@ -1,0 +1,77 @@
+(** A tiny packet program: header, instructions, packet memory
+    (paper Figure 4).
+
+    The TPP section sits directly after the Ethernet header of a frame
+    whose ethertype is {!Tpp_packet.Ethernet.ethertype_tpp}, and
+    encapsulates the rest of the frame. The section never grows or
+    shrinks inside the network: end-hosts preallocate all packet memory.
+
+    Packet memory layout convention: the assembler's constant pool (wide
+    immediates of CSTORE/CEXEC) occupies the front of packet memory; the
+    stack (in stack addressing mode) or the hop-indexed blocks (in hop
+    mode) start at {!base}, right after the pool. *)
+
+type addr_mode = Stack | Hop_addressed
+
+type t = {
+  mutable faulted : bool;
+      (** Set by a TCPU when execution faulted; the packet still forwards. *)
+  addr_mode : addr_mode;
+  perhop_len : int;
+      (** Bytes of per-hop data (hop mode only); word multiple. *)
+  base : int;
+      (** First byte of stack/hop data, i.e. the constant pool length. *)
+  mutable sp : int;
+      (** Stack pointer (byte offset into memory); stack mode only. *)
+  mutable hop : int;
+      (** Hop counter, incremented by every TCPU that runs the program. *)
+  program : Instr.t array;
+  memory : bytes;
+  inner_ethertype : int;
+      (** Ethertype of the encapsulated payload; 0 when raw/none. *)
+}
+
+val header_size : int
+(** On-wire header bytes (16, keeping the section 4-byte aligned). *)
+
+val section_size : t -> int
+(** Total on-wire bytes: header + instructions + memory. *)
+
+val make :
+  ?addr_mode:addr_mode ->
+  ?perhop_len:int ->
+  ?pool:bytes ->
+  ?inner_ethertype:int ->
+  program:Instr.t list ->
+  mem_len:int ->
+  unit ->
+  t
+(** [make ~program ~mem_len ()] builds a TPP whose packet memory is the
+    [pool] (default empty) followed by [mem_len] zero bytes. [sp] starts
+    at the pool length. Raises [Invalid_argument] if any size breaks the
+    wire format's 16-bit fields or word alignment. *)
+
+val copy : t -> t
+(** Deep copy (fresh memory); hosts use it to re-send a template. *)
+
+val mem_get : t -> int -> int
+(** Word read at a byte offset. Raises [Buf.Out_of_bounds]. *)
+
+val mem_set : t -> int -> int -> unit
+
+val words : t -> int list
+(** All packet-memory words, front to back, for inspection in tests. *)
+
+val stack_values : t -> int list
+(** Words pushed so far (between [base] and [sp]), bottom first. *)
+
+val hop_block : t -> hop:int -> int list
+(** The words of hop [hop]'s block (hop mode). *)
+
+val write : Tpp_util.Buf.Writer.t -> t -> unit
+
+val read : Tpp_util.Buf.Reader.t -> (t, string) result
+(** Parses a section; checks field sanity (lengths, alignment, opcode
+    validity) so a malformed TPP is rejected before execution. *)
+
+val pp : Format.formatter -> t -> unit

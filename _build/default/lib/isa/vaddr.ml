@@ -1,0 +1,312 @@
+let limit = 0x1000
+
+let switch_base = 0x000
+let link_base = 0x100
+let queue_base = 0x140
+let link_sram_base = 0x180
+let port_base = 0x200
+let meta_base = 0x800
+let sram_base = 0x880
+
+let link_sram_slots = 0x80
+let sram_words = limit - sram_base
+let max_ports = (meta_base - port_base) / 16
+
+module Port_stat = struct
+  type t =
+    | Queue_bytes
+    | Queue_pkts
+    | Rx_bytes
+    | Tx_bytes
+    | Rx_util
+    | Drops
+    | Queue_bytes_avg
+    | Capacity_kbps
+    | Tx_pkts
+    | Rx_pkts
+    | Queue_limit
+
+  let index = function
+    | Queue_bytes -> 0
+    | Queue_pkts -> 1
+    | Rx_bytes -> 2
+    | Tx_bytes -> 3
+    | Rx_util -> 4
+    | Drops -> 5
+    | Queue_bytes_avg -> 6
+    | Capacity_kbps -> 7
+    | Tx_pkts -> 8
+    | Rx_pkts -> 9
+    | Queue_limit -> 10
+
+  let of_index = function
+    | 0 -> Some Queue_bytes
+    | 1 -> Some Queue_pkts
+    | 2 -> Some Rx_bytes
+    | 3 -> Some Tx_bytes
+    | 4 -> Some Rx_util
+    | 5 -> Some Drops
+    | 6 -> Some Queue_bytes_avg
+    | 7 -> Some Capacity_kbps
+    | 8 -> Some Tx_pkts
+    | 9 -> Some Rx_pkts
+    | 10 -> Some Queue_limit
+    | _ -> None
+
+  let name = function
+    | Queue_bytes -> "QueueSize"
+    | Queue_pkts -> "QueuePackets"
+    | Rx_bytes -> "RxBytes"
+    | Tx_bytes -> "TxBytes"
+    | Rx_util -> "RxUtilization"
+    | Drops -> "Drops"
+    | Queue_bytes_avg -> "AvgQueueSize"
+    | Capacity_kbps -> "CapacityKbps"
+    | Tx_pkts -> "TxPackets"
+    | Rx_pkts -> "RxPackets"
+    | Queue_limit -> "QueueLimit"
+
+  let all =
+    [ Queue_bytes; Queue_pkts; Rx_bytes; Tx_bytes; Rx_util; Drops; Queue_bytes_avg;
+      Capacity_kbps; Tx_pkts; Rx_pkts; Queue_limit ]
+end
+
+module Switch_stat = struct
+  type t =
+    | Switch_id
+    | Version
+    | Packets_seen
+    | Bytes_seen
+    | Drops
+    | Num_ports
+    | Tpp_execs
+    | Tpp_faults
+    | Clock_ns
+
+  let index = function
+    | Switch_id -> 0
+    | Version -> 1
+    | Packets_seen -> 2
+    | Bytes_seen -> 3
+    | Drops -> 4
+    | Num_ports -> 5
+    | Tpp_execs -> 6
+    | Tpp_faults -> 7
+    | Clock_ns -> 8
+
+  let of_index = function
+    | 0 -> Some Switch_id
+    | 1 -> Some Version
+    | 2 -> Some Packets_seen
+    | 3 -> Some Bytes_seen
+    | 4 -> Some Drops
+    | 5 -> Some Num_ports
+    | 6 -> Some Tpp_execs
+    | 7 -> Some Tpp_faults
+    | 8 -> Some Clock_ns
+    | _ -> None
+
+  let name = function
+    | Switch_id -> "SwitchID"
+    | Version -> "Version"
+    | Packets_seen -> "PacketsSeen"
+    | Bytes_seen -> "BytesSeen"
+    | Drops -> "Drops"
+    | Num_ports -> "NumPorts"
+    | Tpp_execs -> "TppExecs"
+    | Tpp_faults -> "TppFaults"
+    | Clock_ns -> "ClockNs"
+
+  let all =
+    [ Switch_id; Version; Packets_seen; Bytes_seen; Drops; Num_ports; Tpp_execs;
+      Tpp_faults; Clock_ns ]
+end
+
+module Queue_stat = struct
+  type t = Q_bytes | Q_pkts | Q_enqueued | Q_dropped | Q_limit | Q_id
+
+  let index = function
+    | Q_bytes -> 0
+    | Q_pkts -> 1
+    | Q_enqueued -> 2
+    | Q_dropped -> 3
+    | Q_limit -> 4
+    | Q_id -> 5
+
+  let of_index = function
+    | 0 -> Some Q_bytes
+    | 1 -> Some Q_pkts
+    | 2 -> Some Q_enqueued
+    | 3 -> Some Q_dropped
+    | 4 -> Some Q_limit
+    | 5 -> Some Q_id
+    | _ -> None
+
+  let name = function
+    | Q_bytes -> "QueueSize"
+    | Q_pkts -> "QueuePackets"
+    | Q_enqueued -> "BytesEnqueued"
+    | Q_dropped -> "BytesDropped"
+    | Q_limit -> "Limit"
+    | Q_id -> "QueueID"
+
+  let all = [ Q_bytes; Q_pkts; Q_enqueued; Q_dropped; Q_limit; Q_id ]
+end
+
+module Pkt_meta = struct
+  type t =
+    | Input_port
+    | Output_port
+    | Matched_entry
+    | Matched_version
+    | Hop_count
+    | Table_hit
+    | Arrival_ns
+
+  let index = function
+    | Input_port -> 0
+    | Output_port -> 1
+    | Matched_entry -> 2
+    | Matched_version -> 3
+    | Hop_count -> 4
+    | Table_hit -> 5
+    | Arrival_ns -> 6
+
+  let of_index = function
+    | 0 -> Some Input_port
+    | 1 -> Some Output_port
+    | 2 -> Some Matched_entry
+    | 3 -> Some Matched_version
+    | 4 -> Some Hop_count
+    | 5 -> Some Table_hit
+    | 6 -> Some Arrival_ns
+    | _ -> None
+
+  let name = function
+    | Input_port -> "InputPort"
+    | Output_port -> "OutputPort"
+    | Matched_entry -> "MatchedEntryID"
+    | Matched_version -> "MatchedVersion"
+    | Hop_count -> "HopCount"
+    | Table_hit -> "TableHit"
+    | Arrival_ns -> "ArrivalNs"
+
+  let all =
+    [ Input_port; Output_port; Matched_entry; Matched_version; Hop_count; Table_hit;
+      Arrival_ns ]
+end
+
+type region =
+  | Switch of Switch_stat.t
+  | Link of Port_stat.t
+  | Queue of Queue_stat.t
+  | Link_sram of int
+  | Port of int * Port_stat.t
+  | Meta of Pkt_meta.t
+  | Sram of int
+
+let classify a =
+  if a < 0 || a >= limit then Error (Printf.sprintf "address 0x%03x out of range" a)
+  else if a < link_base then
+    match Switch_stat.of_index (a - switch_base) with
+    | Some s -> Ok (Switch s)
+    | None -> Error (Printf.sprintf "unmapped switch register 0x%03x" a)
+  else if a < queue_base then
+    match Port_stat.of_index (a - link_base) with
+    | Some s -> Ok (Link s)
+    | None -> Error (Printf.sprintf "unmapped link stat 0x%03x" a)
+  else if a < link_sram_base then
+    match Queue_stat.of_index (a - queue_base) with
+    | Some s -> Ok (Queue s)
+    | None -> Error (Printf.sprintf "unmapped queue stat 0x%03x" a)
+  else if a < port_base then Ok (Link_sram (a - link_sram_base))
+  else if a < meta_base then begin
+    let off = a - port_base in
+    let port = off / 16 and idx = off mod 16 in
+    match Port_stat.of_index idx with
+    | Some s -> Ok (Port (port, s))
+    | None -> Error (Printf.sprintf "unmapped port stat 0x%03x" a)
+  end
+  else if a < sram_base then
+    match Pkt_meta.of_index (a - meta_base) with
+    | Some m -> Ok (Meta m)
+    | None -> Error (Printf.sprintf "unmapped packet metadata 0x%03x" a)
+  else Ok (Sram (a - sram_base))
+
+let encode = function
+  | Switch s -> switch_base + Switch_stat.index s
+  | Link s -> link_base + Port_stat.index s
+  | Queue s -> queue_base + Queue_stat.index s
+  | Link_sram slot -> link_sram_base + slot
+  | Port (p, s) -> port_base + (16 * p) + Port_stat.index s
+  | Meta m -> meta_base + Pkt_meta.index m
+  | Sram w -> sram_base + w
+
+let writable = function
+  | Sram _ | Link_sram _ -> true
+  | Switch _ | Link _ | Queue _ | Port _ | Meta _ -> false
+
+let builtin_names () =
+  let switch =
+    List.map
+      (fun s -> ("Switch:" ^ Switch_stat.name s, encode (Switch s)))
+      Switch_stat.all
+  in
+  let link =
+    List.map (fun s -> ("Link:" ^ Port_stat.name s, encode (Link s))) Port_stat.all
+  in
+  let queue =
+    List.map (fun s -> ("Queue:" ^ Queue_stat.name s, encode (Queue s))) Queue_stat.all
+  in
+  let meta =
+    List.map
+      (fun m -> ("PacketMetadata:" ^ Pkt_meta.name m, encode (Meta m)))
+      Pkt_meta.all
+  in
+  switch @ link @ queue @ meta
+
+let all_named = builtin_names
+
+let parse_int s =
+  match int_of_string_opt s with Some v -> Some v | None -> None
+
+let of_name ?(defines = []) name =
+  match List.assoc_opt name defines with
+  | Some a -> Ok a
+  | None -> (
+    match List.assoc_opt name (builtin_names ()) with
+    | Some a -> Ok a
+    | None -> (
+      match String.split_on_char ':' name with
+      | [ "Sram"; n ] -> (
+        match parse_int n with
+        | Some w when w >= 0 && w < sram_words -> Ok (encode (Sram w))
+        | Some _ -> Error (Printf.sprintf "Sram index out of range in %S" name)
+        | None -> Error (Printf.sprintf "bad Sram index in %S" name))
+      | [ "LinkSram"; n ] -> (
+        match parse_int n with
+        | Some s when s >= 0 && s < link_sram_slots -> Ok (encode (Link_sram s))
+        | Some _ -> Error (Printf.sprintf "LinkSram slot out of range in %S" name)
+        | None -> Error (Printf.sprintf "bad LinkSram slot in %S" name))
+      | [ "Port"; p; stat ] -> (
+        match parse_int p with
+        | Some port when port >= 0 && port < max_ports -> (
+          let found =
+            List.find_opt (fun s -> String.equal (Port_stat.name s) stat) Port_stat.all
+          in
+          match found with
+          | Some s -> Ok (encode (Port (port, s)))
+          | None -> Error (Printf.sprintf "unknown port stat in %S" name))
+        | _ -> Error (Printf.sprintf "bad port number in %S" name))
+      | _ -> Error (Printf.sprintf "unknown statistic %S" name)))
+
+let to_name a =
+  match classify a with
+  | Error _ -> Printf.sprintf "0x%03x" a
+  | Ok (Switch s) -> "Switch:" ^ Switch_stat.name s
+  | Ok (Link s) -> "Link:" ^ Port_stat.name s
+  | Ok (Queue s) -> "Queue:" ^ Queue_stat.name s
+  | Ok (Link_sram slot) -> Printf.sprintf "LinkSram:%d" slot
+  | Ok (Port (p, s)) -> Printf.sprintf "Port:%d:%s" p (Port_stat.name s)
+  | Ok (Meta m) -> "PacketMetadata:" ^ Pkt_meta.name m
+  | Ok (Sram w) -> Printf.sprintf "Sram:%d" w

@@ -1,0 +1,1 @@
+lib/ndb/faultfind.ml: Array Format List Tpp_asic Tpp_endhost Tpp_isa Tpp_sim Verify

@@ -1,0 +1,1 @@
+lib/ndb/faultfind.mli: Format Tpp_endhost Tpp_sim

@@ -1,0 +1,1 @@
+lib/ndb/postcard.ml: Hashtbl Int List Tpp_asic Tpp_isa Tpp_sim

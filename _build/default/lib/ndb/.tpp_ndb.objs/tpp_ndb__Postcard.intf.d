@@ -1,0 +1,1 @@
+lib/ndb/postcard.mli: Tpp_sim

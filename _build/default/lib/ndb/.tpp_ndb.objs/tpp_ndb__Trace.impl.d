@@ -1,0 +1,1 @@
+lib/ndb/trace.ml: Bytes Format List Tpp_isa Tpp_packet

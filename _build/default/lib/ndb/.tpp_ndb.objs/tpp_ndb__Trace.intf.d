@@ -1,0 +1,1 @@
+lib/ndb/trace.mli: Format Tpp_isa

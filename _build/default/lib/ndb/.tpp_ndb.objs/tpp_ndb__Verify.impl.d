@@ -1,0 +1,1 @@
+lib/ndb/verify.ml: Array Format Int List Queue Tpp_asic Tpp_isa Tpp_packet Tpp_sim Trace

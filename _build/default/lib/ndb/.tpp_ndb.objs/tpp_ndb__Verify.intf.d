@@ -1,0 +1,1 @@
+lib/ndb/verify.mli: Format Tpp_sim Trace

@@ -1,0 +1,191 @@
+module Net = Tpp_sim.Net
+module Engine = Tpp_sim.Engine
+module Stack = Tpp_endhost.Stack
+module Probe = Tpp_endhost.Probe
+module Switch = Tpp_asic.Switch
+module Programs = Tpp_isa.Programs
+
+type link = { from_switch : int; egress_port : int }
+
+(* A physical cable, canonically named by its two (node, port) ends. *)
+type cable = (int * int) * (int * int)
+
+type circuit = {
+  src : Stack.t;
+  dst : Net.host;
+  forward : link list;
+  cables : cable list;  (* forward + echo-return exposure, deduped *)
+  mutable last_probe : int;
+  mutable last_reply : int;
+}
+
+type t = {
+  net : Net.t;
+  circuits : circuit array;
+  period : int;
+  timeout : int;
+  seq_base : int;
+  probe : Tpp_isa.Tpp.t;
+  mutable running : bool;
+  mutable epoch : int;
+  mutable round : int;
+}
+
+let seq_block = 1 lsl 20
+let next_uid = ref 0
+
+let node_of_switch_id net swid =
+  match List.find_opt (fun (_, sw) -> Switch.id sw = swid) (Net.switches net) with
+  | Some (node, _) -> Some node
+  | None -> None
+
+let cable_of net { from_switch; egress_port } =
+  match node_of_switch_id net from_switch with
+  | None -> None
+  | Some node ->
+    List.find_map
+      (fun (port, peer, peer_port) ->
+        if port = egress_port then
+          Some (min (node, port) (peer, peer_port), max (node, port) (peer, peer_port))
+        else None)
+      (Net.neighbors net node)
+
+let route_links net ~src ~dst ~src_port ~dst_port =
+  Verify.control_route ~src_port ~dst_port net ~src ~dst
+  |> List.map (fun (from_switch, egress_port) -> { from_switch; egress_port })
+
+let create ~circuits ~period ~timeout =
+  if circuits = [] then invalid_arg "Faultfind.create: no circuits";
+  if period <= 0 || timeout <= period then
+    invalid_arg "Faultfind.create: need timeout > period > 0";
+  incr next_uid;
+  let probe =
+    match Programs.build ~max_hops:10 Programs.record_route with
+    | Ok tpp -> tpp
+    | Error e -> invalid_arg ("Faultfind.create: " ^ e)
+  in
+  let net = Stack.net (fst (List.hd circuits)) in
+  let circuit_of (src, dst) =
+    let forward =
+      route_links net ~src:(Stack.host src) ~dst ~src_port:Probe.request_port
+        ~dst_port:Probe.request_port
+    in
+    (* The echo returns dst -> src with ports (request_port, reply_port). *)
+    let return_path =
+      route_links net ~src:dst ~dst:(Stack.host src) ~src_port:Probe.request_port
+        ~dst_port:Probe.reply_port
+    in
+    let cables =
+      List.filter_map (cable_of net) (forward @ return_path)
+      |> List.sort_uniq compare
+    in
+    { src; dst; forward; cables; last_probe = min_int; last_reply = min_int }
+  in
+  let circuits = Array.of_list (List.map circuit_of circuits) in
+  let t =
+    {
+      net;
+      circuits;
+      period;
+      timeout;
+      seq_base = !next_uid * seq_block;
+      probe;
+      running = false;
+      epoch = 0;
+      round = 0;
+    }
+  in
+  (* Replies are matched to circuits by sequence number. *)
+  let n = Array.length circuits in
+  let sources =
+    Array.fold_left
+      (fun acc c -> if List.memq c.src acc then acc else c.src :: acc)
+      [] circuits
+  in
+  List.iter
+    (fun stack ->
+      Probe.install_reply_handler stack (fun ~now ~seq _tpp ->
+          if seq >= t.seq_base && seq < t.seq_base + seq_block then begin
+            let idx = (seq - t.seq_base) mod n in
+            let c = t.circuits.(idx) in
+            if c.src == stack then c.last_reply <- now
+          end))
+    sources;
+  t
+
+let engine t = Net.engine (Stack.net t.circuits.(0).src)
+
+let rec tick t epoch () =
+  if t.running && t.epoch = epoch then begin
+    let n = Array.length t.circuits in
+    let now = Engine.now (engine t) in
+    Array.iteri
+      (fun i c ->
+        c.last_probe <- now;
+        Probe.send c.src ~dst:c.dst ~tpp:t.probe
+          ~seq:(t.seq_base + (t.round * n) + i))
+      t.circuits;
+    t.round <- t.round + 1;
+    Engine.after (engine t) t.period (tick t epoch)
+  end
+
+let start t ?at () =
+  if not t.running then begin
+    t.running <- true;
+    t.epoch <- t.epoch + 1;
+    let eng = engine t in
+    let begin_at =
+      match at with Some time -> max time (Engine.now eng) | None -> Engine.now eng
+    in
+    (* Grant every circuit a grace reply at start so nothing counts as
+       failing before it had a chance to answer. *)
+    Array.iter (fun c -> c.last_reply <- max c.last_reply begin_at) t.circuits;
+    Engine.at eng begin_at (tick t t.epoch)
+  end
+
+let stop t =
+  t.running <- false;
+  t.epoch <- t.epoch + 1
+
+let circuit_healthy t ~now c =
+  (* Healthy unless probing started and no echo arrived within the
+     timeout (the start itself counts as a grace reply). *)
+  c.last_probe = min_int || now - c.last_reply < t.timeout
+
+let healthy t ~now =
+  Array.to_list (Array.map (circuit_healthy t ~now) t.circuits)
+
+(* Renders a cable back as a link endpoint, preferring a switch side. *)
+let link_of_cable t ((node_a, port_a), (node_b, port_b)) =
+  let switch_id node =
+    List.find_map
+      (fun (n, sw) -> if n = node then Some (Switch.id sw) else None)
+      (Net.switches t.net)
+  in
+  match (switch_id node_a, switch_id node_b) with
+  | Some swid, _ -> Some { from_switch = swid; egress_port = port_a }
+  | None, Some swid -> Some { from_switch = swid; egress_port = port_b }
+  | None, None -> None
+
+let suspects t ~now =
+  let failing, ok =
+    Array.to_list t.circuits
+    |> List.partition (fun c -> not (circuit_healthy t ~now c))
+  in
+  match failing with
+  | [] -> []
+  | first :: rest ->
+    let mem cable c = List.mem cable c.cables in
+    first.cables
+    |> List.filter (fun cable -> List.for_all (mem cable) rest)
+    |> List.filter (fun cable -> not (List.exists (mem cable) ok))
+    |> List.filter_map (link_of_cable t)
+
+let links_of_circuit t i = t.circuits.(i).forward
+
+let same_cable t a b =
+  match (cable_of t.net a, cable_of t.net b) with
+  | Some ca, Some cb -> ca = cb
+  | _ -> false
+
+let pp_link fmt l = Format.fprintf fmt "sw%d.port%d" l.from_switch l.egress_port

@@ -1,0 +1,51 @@
+(** TPP-based link-failure localisation — the "fault diagnosis" task of
+    the paper's opening sentence.
+
+    A fleet of probe circuits covers the fabric. When a link dies,
+    probes crossing it stop echoing within a probe period or two, while
+    other circuits stay healthy; intersecting the failing circuits'
+    (control-predicted, hash-exact) link sets and subtracting every
+    healthy circuit's links leaves a small suspect set — usually the
+    failed link itself. All of it from end-hosts, at RTT timescales, an
+    order of magnitude before any control-plane liveness protocol would
+    have noticed. *)
+
+module Net = Tpp_sim.Net
+module Stack = Tpp_endhost.Stack
+
+type link = { from_switch : int; egress_port : int }
+(** A link named by one of its switch-side endpoints. Localisation works
+    on physical cables: the two directions of a cable are the same
+    fault, and a circuit is exposed to a cable if {e either} its probe
+    path or its echo's return path crosses it. *)
+
+type t
+
+val create :
+  circuits:(Stack.t * Net.host) list -> period:int -> timeout:int -> t
+(** Probes every circuit each [period]; a circuit with no echo for
+    [timeout] ns counts as failing. Destinations need
+    {!Tpp_endhost.Probe.install_echo}. Forward and return routes are
+    predicted per circuit with the respective packets' own 5-tuples
+    (hash-exact under ECMP). *)
+
+val start : t -> ?at:int -> unit -> unit
+val stop : t -> unit
+
+val healthy : t -> now:int -> bool list
+(** Per circuit, in creation order. Circuits that have not yet had a
+    chance to answer (young or just started) count as healthy. *)
+
+val suspects : t -> now:int -> link list
+(** One representative endpoint per suspect cable: cables on every
+    failing circuit (either direction) and on no healthy one; empty
+    when nothing is failing. *)
+
+val links_of_circuit : t -> int -> link list
+(** The control-predicted {e forward} path of a circuit, for reporting
+    and for choosing which link an experiment fails. *)
+
+val same_cable : t -> link -> link -> bool
+(** Whether two endpoint names denote the same physical cable. *)
+
+val pp_link : Format.formatter -> link -> unit

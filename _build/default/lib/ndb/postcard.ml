@@ -1,0 +1,62 @@
+module Net = Tpp_sim.Net
+module Switch = Tpp_asic.Switch
+module Frame = Tpp_isa.Frame
+module Meta = Tpp_isa.Meta
+
+type postcard = {
+  time_ns : int;
+  switch_id : int;
+  frame_id : int;
+  matched_entry : int;
+  matched_version : int;
+  in_port : int;
+  out_port : int;
+}
+
+let postcard_bytes = 64
+
+type t = {
+  net : Net.t;
+  mutable cards : postcard list;  (* reverse arrival order *)
+  mutable count : int;
+}
+
+let deploy net =
+  let t = { net; cards = []; count = 0 } in
+  List.iter
+    (fun (_, sw) ->
+      let swid = Switch.id sw in
+      Switch.set_tap sw
+        (Some
+           (fun ~now ~in_port ~out_port frame ->
+             let meta = frame.Frame.meta in
+             t.cards <-
+               {
+                 time_ns = now;
+                 switch_id = swid;
+                 frame_id = frame.Frame.id;
+                 matched_entry = meta.Meta.matched_entry;
+                 matched_version = meta.Meta.matched_version;
+                 in_port;
+                 out_port;
+               }
+               :: t.cards;
+             t.count <- t.count + 1)))
+    (Net.switches net);
+  t
+
+let undeploy t =
+  List.iter (fun (_, sw) -> Switch.set_tap sw None) (Net.switches t.net)
+
+let postcards t = t.count
+let overhead_bytes t = t.count * postcard_bytes
+
+let path_of t ~frame_id =
+  t.cards
+  |> List.filter (fun c -> c.frame_id = frame_id)
+  |> List.sort (fun a b -> Int.compare a.time_ns b.time_ns)
+
+let distinct_frames t =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace tbl c.frame_id ()) t.cards;
+  Hashtbl.length tbl

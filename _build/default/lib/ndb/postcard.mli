@@ -1,0 +1,42 @@
+(** The postcard-based debugger baseline: the original ndb (paper
+    §2.3, [8]).
+
+    ndb modifies flow entries so each switch emits a truncated copy of
+    every packet ("postcard") tagged with the matched entry's version
+    and the ports, and a collector reassembles the copies into a
+    per-packet path. Functionally it observes the same state as the
+    TPP tracer; the cost is one extra ~64-byte packet per packet per
+    hop, which experiment E6 quantifies against the TPP's in-band
+    bytes. Postcards here are delivered to the collector out-of-band
+    (they do not consume simulated link capacity), which only
+    {e under}-counts the baseline's true cost. *)
+
+module Net = Tpp_sim.Net
+
+type postcard = {
+  time_ns : int;
+  switch_id : int;
+  frame_id : int;
+  matched_entry : int;
+  matched_version : int;
+  in_port : int;
+  out_port : int;
+}
+
+val postcard_bytes : int
+(** Wire size of one postcard: a minimum 64-byte Ethernet frame. *)
+
+type t
+
+val deploy : Net.t -> t
+(** Taps every switch in the network. *)
+
+val undeploy : t -> unit
+
+val postcards : t -> int
+val overhead_bytes : t -> int
+
+val path_of : t -> frame_id:int -> postcard list
+(** All postcards for one packet, in time order — the reassembled path. *)
+
+val distinct_frames : t -> int

@@ -1,0 +1,33 @@
+(** The TPP-based forwarding-plane debugger (paper §2.3).
+
+    A trusted entity attaches this hop-addressed TPP to packets; at
+    every switch it records which flow entry forwarded the packet,
+    through which ports, under which table version — "an accurate view
+    of the network forwarding state that affected the packet's
+    forwarding, without requiring the network to create additional
+    packet copies". *)
+
+type hop = {
+  switch_id : int;
+  matched_entry : int;
+  matched_version : int;
+  in_port : int;
+  out_port : int;
+}
+
+val source : string
+(** The trace program: five hop-addressed LOADs. *)
+
+val words_per_hop : int
+
+val make : max_hops:int -> Tpp_isa.Tpp.t
+(** A fresh trace TPP with room for [max_hops] hops, hop-addressed. *)
+
+val attach : Tpp_isa.Frame.t -> max_hops:int -> Tpp_isa.Frame.t
+(** Wraps an existing (non-TPP) frame with a trace TPP. *)
+
+val parse : Tpp_isa.Tpp.t -> hop list
+(** Hops recorded so far, in path order. A switch id of 0 ends the
+    trace (unwritten blocks stay zero). *)
+
+val pp_hop : Format.formatter -> hop -> unit

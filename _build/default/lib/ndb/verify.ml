@@ -1,0 +1,134 @@
+module Net = Tpp_sim.Net
+module Switch = Tpp_asic.Switch
+
+let control_route ?(proto = 17) ?(src_port = 0) ?(dst_port = 0) net ~src ~dst =
+  (* BFS from the destination, then walk from the source applying
+     exactly the choice rule of Topology.install_routes: lowest port
+     without ECMP, flow-hash selection among equal-cost ports with it.
+     Running the same hash here is what makes the prediction exact. *)
+  let n = Net.node_count net in
+  let dist = Array.make n max_int in
+  dist.(dst.Net.node_id) <- 0;
+  let q = Queue.create () in
+  Queue.push dst.Net.node_id q;
+  let rec bfs () =
+    match Queue.take_opt q with
+    | None -> ()
+    | Some u ->
+      List.iter
+        (fun (_, v, _) ->
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.push v q
+          end)
+        (Net.neighbors net u);
+      bfs ()
+  in
+  bfs ();
+  let hash =
+    Tpp_isa.Frame.flow_hash_values
+      ~src:(Tpp_packet.Ipv4.Addr.to_int src.Net.ip)
+      ~dst:(Tpp_packet.Ipv4.Addr.to_int dst.Net.ip)
+      ~proto ~src_port ~dst_port
+  in
+  let switch_ids = List.map (fun (id, sw) -> (id, Switch.id sw)) (Net.switches net) in
+  let rec walk node acc =
+    if node = dst.Net.node_id then List.rev acc
+    else begin
+      let candidates =
+        List.filter_map
+          (fun (port, peer, _) ->
+            if dist.(peer) < max_int && dist.(peer) = dist.(node) - 1 then
+              Some (port, peer)
+            else None)
+          (Net.neighbors net node)
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      match candidates with
+      | [] -> List.rev acc
+      | [ (port, peer) ] -> step node port peer acc
+      | many ->
+        (* Consult the switch's installed entry to know whether the
+           control plane deployed ECMP here. *)
+        let use_ecmp =
+          match List.assoc_opt node switch_ids with
+          | None -> false
+          | Some _ -> (
+            let sw = Net.switch net node in
+            match Switch.route_action sw dst.Net.ip with
+            | Some (Tpp_asic.Tables.Multipath _) -> true
+            | _ -> false)
+        in
+        let port, peer =
+          if use_ecmp then
+            let ports = Array.of_list (List.map fst many) in
+            let chosen = Tpp_asic.Tables.select_path ports ~key:hash in
+            List.find (fun (p, _) -> p = chosen) many
+          else List.hd many
+        in
+        step node port peer acc
+    end
+  and step node port peer acc =
+    let acc =
+      match List.assoc_opt node switch_ids with
+      | Some swid -> (swid, port) :: acc
+      | None -> acc
+    in
+    walk peer acc
+  in
+  if dist.(src.Net.node_id) = max_int then [] else walk src.Net.node_id []
+
+let control_path ?proto ?src_port ?dst_port net ~src ~dst =
+  List.map fst (control_route ?proto ?src_port ?dst_port net ~src ~dst)
+
+type mismatch =
+  | Wrong_switch of { hop : int; expected : int; got : int }
+  | Path_too_short of { expected : int list; got : int list }
+  | Path_too_long of { expected : int list; got : int list }
+  | Stale_version of { switch_id : int; expected : int; got : int }
+
+let check ~expected ~expected_version ~trace =
+  let got = List.map (fun h -> h.Trace.switch_id) trace in
+  let rec compare_hops i exp obs acc =
+    match (exp, obs) with
+    | [], [] -> List.rev acc
+    | [], _ :: _ -> List.rev (Path_too_long { expected; got } :: acc)
+    | _ :: _, [] -> List.rev (Path_too_short { expected; got } :: acc)
+    | e :: exp', o :: obs' ->
+      let acc =
+        if e <> o then Wrong_switch { hop = i; expected = e; got = o } :: acc else acc
+      in
+      compare_hops (i + 1) exp' obs' acc
+  in
+  let path_issues = compare_hops 0 expected got [] in
+  let version_issues =
+    List.filter_map
+      (fun h ->
+        if h.Trace.matched_version <> expected_version && h.Trace.matched_version <> 0
+        then
+          Some
+            (Stale_version
+               { switch_id = h.Trace.switch_id; expected = expected_version;
+                 got = h.Trace.matched_version })
+        else None)
+      trace
+  in
+  path_issues @ version_issues
+
+let versions trace =
+  trace
+  |> List.map (fun h -> h.Trace.matched_version)
+  |> List.sort_uniq Int.compare
+
+let pp_mismatch fmt = function
+  | Wrong_switch { hop; expected; got } ->
+    Format.fprintf fmt "hop %d: expected sw%d, packet went through sw%d" hop expected got
+  | Path_too_short { expected; got } ->
+    Format.fprintf fmt "path too short: expected %d hops, saw %d" (List.length expected)
+      (List.length got)
+  | Path_too_long { expected; got } ->
+    Format.fprintf fmt "path too long: expected %d hops, saw %d" (List.length expected)
+      (List.length got)
+  | Stale_version { switch_id; expected; got } ->
+    Format.fprintf fmt "sw%d matched a stale entry (version %d, control plane at %d)"
+      switch_id got expected

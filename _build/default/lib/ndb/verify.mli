@@ -1,0 +1,50 @@
+(** Path verification: does the dataplane forward the way the control
+    plane intends? (paper §2.3)
+
+    The control-plane view is the shortest path {!Topology.install_routes}
+    installed; the dataplane view is the TPP trace. A divergence —
+    a different switch sequence, or an entry version older than the
+    control plane's — localises the offending switch. *)
+
+module Net = Tpp_sim.Net
+
+val control_route :
+  ?proto:int ->
+  ?src_port:int ->
+  ?dst_port:int ->
+  Net.t ->
+  src:Net.host ->
+  dst:Net.host ->
+  (int * int) list
+(** [(switch_id, egress_port)] pairs on the intended path, in order —
+    the same BFS the route installer used. Where several equal-cost
+    ports exist, the predictor applies the {e same} flow hash the
+    dataplane applies ({!Tpp_isa.Frame.flow_hash_values} over the given
+    5-tuple; ports default to 0, proto to UDP), so with ECMP routing the
+    prediction is exact per flow. *)
+
+val control_path :
+  ?proto:int -> ?src_port:int -> ?dst_port:int ->
+  Net.t -> src:Net.host -> dst:Net.host -> int list
+(** Just the switch ids of {!control_route}. *)
+
+type mismatch =
+  | Wrong_switch of { hop : int; expected : int; got : int }
+  | Path_too_short of { expected : int list; got : int list }
+  | Path_too_long of { expected : int list; got : int list }
+  | Stale_version of { switch_id : int; expected : int; got : int }
+
+val check :
+  expected:int list ->
+  expected_version:int ->
+  trace:Trace.hop list ->
+  mismatch list
+(** Empty list = the packet forwarded exactly as intended. *)
+
+val versions : Trace.hop list -> int list
+(** Distinct table versions the packet's forwarding touched, ascending.
+    More than one means the packet crossed the network during a
+    non-atomic routing update (the paper's consistent-updates concern):
+    part of its path ran old state, part new. *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit

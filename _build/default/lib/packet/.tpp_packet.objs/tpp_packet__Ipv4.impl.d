@@ -1,0 +1,1 @@
+lib/packet/ipv4.ml: Bytes Format Int List Printf String Tpp_util

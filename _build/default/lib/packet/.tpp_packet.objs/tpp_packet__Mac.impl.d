@@ -1,0 +1,1 @@
+lib/packet/mac.ml: Format Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/packet/udp.ml: Format Tpp_util

@@ -1,0 +1,35 @@
+module Buf = Tpp_util.Buf
+
+type t = { dst : Mac.t; src : Mac.t; ethertype : int }
+
+let size = 14
+
+let ethertype_ipv4 = 0x0800
+
+(* 0x88B5 is the IEEE "local experimental ethertype 1", the honest choice
+   for a research encapsulation. *)
+let ethertype_tpp = 0x88B5
+
+let write_mac w m =
+  let v = Mac.to_int m in
+  Buf.Writer.u16 w (v lsr 32);
+  Buf.Writer.u32i w (v land 0xFFFF_FFFF)
+
+let read_mac r =
+  let hi = Buf.Reader.u16 r in
+  let lo = Buf.Reader.u32i r in
+  Mac.of_int ((hi lsl 32) lor lo)
+
+let write w t =
+  write_mac w t.dst;
+  write_mac w t.src;
+  Buf.Writer.u16 w t.ethertype
+
+let read r =
+  let dst = read_mac r in
+  let src = read_mac r in
+  let ethertype = Buf.Reader.u16 r in
+  { dst; src; ethertype }
+
+let pp fmt t =
+  Format.fprintf fmt "%a -> %a type=0x%04x" Mac.pp t.src Mac.pp t.dst t.ethertype

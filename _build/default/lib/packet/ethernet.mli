@@ -1,0 +1,16 @@
+(** Ethernet II header. *)
+
+type t = { dst : Mac.t; src : Mac.t; ethertype : int }
+
+val size : int
+(** 14 bytes. *)
+
+val ethertype_ipv4 : int
+val ethertype_tpp : int
+(** The experimental ethertype that identifies a TPP frame (the paper's
+    "uniquely identifiable header"). *)
+
+val write : Tpp_util.Buf.Writer.t -> t -> unit
+val read : Tpp_util.Buf.Reader.t -> t
+
+val pp : Format.formatter -> t -> unit

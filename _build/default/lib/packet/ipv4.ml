@@ -1,0 +1,132 @@
+module Buf = Tpp_util.Buf
+
+let proto_udp = 17
+
+let checksum b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Ipv4.checksum: range";
+  let sum = ref 0 in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 1 < stop do
+    sum := !sum + Bytes.get_uint16_be b !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Bytes.get_uint8 b !i lsl 8);
+  let rec fold s = if s > 0xFFFF then fold ((s land 0xFFFF) + (s lsr 16)) else s in
+  lnot (fold !sum) land 0xFFFF
+
+module Addr = struct
+  type t = int
+
+  let of_int x = x land 0xFFFF_FFFF
+  let to_int t = t
+
+  let of_string s =
+    let parts = String.split_on_char '.' s in
+    if List.length parts <> 4 then invalid_arg "Ipv4.Addr.of_string: need 4 octets";
+    let octet p =
+      match int_of_string_opt p with
+      | Some v when v >= 0 && v <= 255 -> v
+      | _ -> invalid_arg "Ipv4.Addr.of_string: bad octet"
+    in
+    List.fold_left (fun acc p -> (acc lsl 8) lor octet p) 0 parts
+
+  let to_string t =
+    Printf.sprintf "%d.%d.%d.%d" ((t lsr 24) land 0xFF) ((t lsr 16) land 0xFF)
+      ((t lsr 8) land 0xFF) (t land 0xFF)
+
+  let of_host_id i = of_int (0x0A_00_00_00 lor (i land 0xFFFF))
+
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp fmt t = Format.pp_print_string fmt (to_string t)
+end
+
+module Prefix = struct
+  type t = { prefix_addr : Addr.t; prefix_len : int }
+
+  let net_mask len = if len = 0 then 0 else 0xFFFF_FFFF lsl (32 - len) land 0xFFFF_FFFF
+
+  let make a len =
+    if len < 0 || len > 32 then invalid_arg "Ipv4.Prefix.make: length";
+    { prefix_addr = Addr.of_int (Addr.to_int a land net_mask len); prefix_len = len }
+
+  let of_string s =
+    match String.index_opt s '/' with
+    | None -> invalid_arg "Ipv4.Prefix.of_string: missing /len"
+    | Some i ->
+      let a = Addr.of_string (String.sub s 0 i) in
+      let len =
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some l -> l
+        | None -> invalid_arg "Ipv4.Prefix.of_string: bad length"
+      in
+      make a len
+
+  let addr t = t.prefix_addr
+  let length t = t.prefix_len
+
+  let matches t a =
+    Addr.to_int a land net_mask t.prefix_len = Addr.to_int t.prefix_addr
+
+  let host a = make a 32
+
+  let equal a b = Addr.equal a.prefix_addr b.prefix_addr && a.prefix_len = b.prefix_len
+
+  let pp fmt t = Format.fprintf fmt "%a/%d" Addr.pp t.prefix_addr t.prefix_len
+end
+
+module Header = struct
+  type t = {
+    src : Addr.t;
+    dst : Addr.t;
+    proto : int;
+    ttl : int;
+    dscp : int;
+    ecn : int;
+    ident : int;
+  }
+
+  let ecn_ce = 3
+
+  let size = 20
+
+  let write w t ~payload_len =
+    let b = Bytes.make size '\000' in
+    Bytes.set_uint8 b 0 0x45;
+    Bytes.set_uint8 b 1 (((t.dscp land 0x3F) lsl 2) lor (t.ecn land 0x3));
+    Bytes.set_uint16_be b 2 (size + payload_len);
+    Bytes.set_uint16_be b 4 (t.ident land 0xFFFF);
+    Bytes.set_uint16_be b 6 0x4000 (* DF, no fragments *);
+    Bytes.set_uint8 b 8 (t.ttl land 0xFF);
+    Bytes.set_uint8 b 9 (t.proto land 0xFF);
+    Buf.set_u32i b 12 (Addr.to_int t.src);
+    Buf.set_u32i b 16 (Addr.to_int t.dst);
+    Bytes.set_uint16_be b 10 (checksum b ~pos:0 ~len:size);
+    Buf.Writer.bytes w b
+
+  let read r =
+    let b = Buf.Reader.bytes r size in
+    let vihl = Bytes.get_uint8 b 0 in
+    if vihl <> 0x45 then invalid_arg "Ipv4.Header.read: version/IHL";
+    if checksum b ~pos:0 ~len:size <> 0 then invalid_arg "Ipv4.Header.read: checksum";
+    let total = Bytes.get_uint16_be b 2 in
+    if total < size then invalid_arg "Ipv4.Header.read: total length";
+    let t =
+      {
+        src = Addr.of_int (Buf.get_u32i b 12);
+        dst = Addr.of_int (Buf.get_u32i b 16);
+        proto = Bytes.get_uint8 b 9;
+        ttl = Bytes.get_uint8 b 8;
+        dscp = Bytes.get_uint8 b 1 lsr 2;
+        ecn = Bytes.get_uint8 b 1 land 0x3;
+        ident = Bytes.get_uint16_be b 4;
+      }
+    in
+    (t, total - size)
+
+  let pp fmt t =
+    Format.fprintf fmt "%a -> %a proto=%d ttl=%d" Addr.pp t.src Addr.pp t.dst t.proto
+      t.ttl
+end

@@ -1,0 +1,74 @@
+(** IPv4 addresses, prefixes, and the IPv4 header. *)
+
+module Addr : sig
+  type t = private int
+  (** Stored in the low 32 bits of a native int. *)
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val of_string : string -> t
+  (** Parses dotted-quad notation. Raises [Invalid_argument]. *)
+
+  val to_string : t -> string
+  val of_host_id : int -> t
+  (** [10.0.x.y] address for simulated host [i]. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Prefix : sig
+  type t
+  (** An address prefix [addr/len] for longest-prefix-match routing. *)
+
+  val make : Addr.t -> int -> t
+  (** [make a len]: host bits of [a] below [len] are zeroed. Raises
+      [Invalid_argument] unless [0 <= len <= 32]. *)
+
+  val of_string : string -> t
+  (** Parses ["10.0.0.0/8"]. *)
+
+  val addr : t -> Addr.t
+  val length : t -> int
+  val matches : t -> Addr.t -> bool
+  val host : Addr.t -> t
+  (** The /32 prefix containing exactly this address. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Parsed IPv4 header (no options). *)
+module Header : sig
+  type t = {
+    src : Addr.t;
+    dst : Addr.t;
+    proto : int;       (** 17 = UDP. *)
+    ttl : int;
+    dscp : int;
+    ecn : int;         (** low 2 ToS bits; {!ecn_ce} = congestion experienced *)
+    ident : int;
+  }
+
+  val ecn_ce : int
+  (** The Congestion Experienced codepoint (3). *)
+
+  val size : int
+  (** On-wire size in bytes (20, no options). *)
+
+  val write : Tpp_util.Buf.Writer.t -> t -> payload_len:int -> unit
+  (** Serialises the header including a correct checksum. *)
+
+  val read : Tpp_util.Buf.Reader.t -> t * int
+  (** Parses a header, verifying version, IHL and checksum; returns the
+      header and the payload length it declares. Raises
+      [Invalid_argument] on malformed input. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val checksum : bytes -> pos:int -> len:int -> int
+(** RFC 1071 Internet checksum over a byte range. *)
+
+val proto_udp : int

@@ -1,0 +1,34 @@
+type t = int
+
+let mask48 = 0xFFFF_FFFF_FFFF
+
+let of_int x = x land mask48
+let to_int t = t
+
+let broadcast = mask48
+
+(* 0x02 in the first octet marks a locally-administered unicast address,
+   so synthetic addresses can never collide with real vendor OUIs. *)
+let of_host_id i = of_int ((0x02_00_00_00_00_00 lor 0x10_00_00) lor (i land 0xFFFF))
+let of_switch_id i = of_int ((0x02_00_00_00_00_00 lor 0x20_00_00) lor (i land 0xFFFF))
+
+let of_string s =
+  let parts = String.split_on_char ':' s in
+  if List.length parts <> 6 then invalid_arg "Mac.of_string: need 6 octets";
+  let octet p =
+    match int_of_string_opt ("0x" ^ p) with
+    | Some v when v >= 0 && v <= 0xFF -> v
+    | _ -> invalid_arg "Mac.of_string: bad octet"
+  in
+  List.fold_left (fun acc p -> (acc lsl 8) lor octet p) 0 parts
+
+let to_string t =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x"
+    ((t lsr 40) land 0xFF) ((t lsr 32) land 0xFF) ((t lsr 24) land 0xFF)
+    ((t lsr 16) land 0xFF) ((t lsr 8) land 0xFF) (t land 0xFF)
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

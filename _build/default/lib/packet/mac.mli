@@ -1,0 +1,29 @@
+(** 48-bit Ethernet MAC addresses. *)
+
+type t = private int
+(** Stored in the low 48 bits of a native int. *)
+
+val of_int : int -> t
+(** Masks the argument to 48 bits. *)
+
+val to_int : t -> int
+
+val broadcast : t
+
+val of_host_id : int -> t
+(** Deterministic unicast address for simulated host [i]
+    (locally-administered OUI [02:tp:p0]). *)
+
+val of_switch_id : int -> t
+(** Deterministic unicast address for simulated switch [i]. *)
+
+val of_string : string -> t
+(** Parses ["aa:bb:cc:dd:ee:ff"]. Raises [Invalid_argument] on bad syntax. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+module Buf = Tpp_util.Buf
+
+type t = { src_port : int; dst_port : int }
+
+let size = 8
+
+let write w t ~payload_len =
+  Buf.Writer.u16 w t.src_port;
+  Buf.Writer.u16 w t.dst_port;
+  Buf.Writer.u16 w (size + payload_len);
+  Buf.Writer.u16 w 0
+
+let read r =
+  let src_port = Buf.Reader.u16 r in
+  let dst_port = Buf.Reader.u16 r in
+  let len = Buf.Reader.u16 r in
+  let _checksum = Buf.Reader.u16 r in
+  if len < size then invalid_arg "Udp.read: length";
+  ({ src_port; dst_port }, len - size)
+
+let pp fmt t = Format.fprintf fmt "udp %d -> %d" t.src_port t.dst_port

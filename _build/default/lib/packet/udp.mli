@@ -1,0 +1,16 @@
+(** UDP header. *)
+
+type t = { src_port : int; dst_port : int }
+
+val size : int
+(** 8 bytes. *)
+
+val write : Tpp_util.Buf.Writer.t -> t -> payload_len:int -> unit
+(** Serialises the header. The checksum field is written as 0 (legal for
+    UDP over IPv4); integrity in the simulator comes from the IPv4
+    header checksum and bounds-checked parsing. *)
+
+val read : Tpp_util.Buf.Reader.t -> t * int
+(** Returns the header and the payload length it declares. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rcp/aimd.ml: Bytes Tpp_endhost Tpp_isa Tpp_sim Tpp_util

@@ -1,0 +1,1 @@
+lib/rcp/aimd.mli: Tpp_endhost Tpp_sim

@@ -1,0 +1,1 @@
+lib/rcp/dctcp.mli: Tpp_endhost Tpp_sim

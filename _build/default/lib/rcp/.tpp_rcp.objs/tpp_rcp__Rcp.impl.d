@@ -1,0 +1,1 @@
+lib/rcp/rcp.ml: Float List Tpp_asic Tpp_endhost Tpp_sim

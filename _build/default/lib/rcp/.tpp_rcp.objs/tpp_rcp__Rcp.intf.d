@@ -1,0 +1,1 @@
+lib/rcp/rcp.mli: Tpp_asic Tpp_endhost Tpp_sim

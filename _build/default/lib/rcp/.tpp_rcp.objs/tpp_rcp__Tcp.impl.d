@@ -1,0 +1,1 @@
+lib/rcp/tcp.ml: Bytes Float Hashtbl Tpp_endhost Tpp_isa Tpp_packet Tpp_sim Tpp_util

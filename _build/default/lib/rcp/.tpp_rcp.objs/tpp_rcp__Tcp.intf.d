@@ -1,0 +1,1 @@
+lib/rcp/tcp.mli: Tpp_endhost Tpp_sim

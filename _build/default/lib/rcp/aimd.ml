@@ -1,0 +1,93 @@
+module Net = Tpp_sim.Net
+module Engine = Tpp_sim.Engine
+module Buf = Tpp_util.Buf
+module Stack = Tpp_endhost.Stack
+module Flow = Tpp_endhost.Flow
+
+type config = {
+  report_period_ns : int;
+  rtt_ns : int;
+  md_factor : float;
+  min_rate_bps : int;
+  max_rate_bps : int;
+  initial_rate_bps : int;
+}
+
+let default_config ~max_rate_bps =
+  {
+    report_period_ns = 40_000_000;
+    rtt_ns = 40_000_000;
+    md_factor = 0.5;
+    min_rate_bps = 50_000;
+    max_rate_bps;
+    initial_rate_bps = max 50_000 (max_rate_bps / 10);
+  }
+
+module Receiver = struct
+  type t = { mutable running : bool }
+
+  let attach stack ~sink ~report_to ~report_port ~period =
+    let t = { running = true } in
+    let eng = Net.engine (Stack.net stack) in
+    Engine.every eng ~period ~until:max_int (fun () ->
+        if t.running then begin
+          let payload = Bytes.create 8 in
+          Buf.set_u32i payload 0 (Flow.Sink.holes sink);
+          Buf.set_u32i payload 4 (Flow.Sink.rx_payload_bytes sink land 0xFFFF_FFFF);
+          Stack.send_udp stack ~dst:report_to ~src_port:report_port
+            ~dst_port:report_port ~payload ()
+        end);
+    t
+
+  let stop t = t.running <- false
+end
+
+type t = {
+  stack : Stack.t;
+  config : config;
+  flow : Flow.t;
+  mutable running : bool;
+  mutable last_holes : int;
+  mutable losses : int;
+  mutable reports : int;
+}
+
+let create stack config ~flow ~report_port =
+  let t =
+    { stack; config; flow; running = false; last_holes = 0; losses = 0; reports = 0 }
+  in
+  Stack.on_udp stack ~port:report_port (fun ~now:_ frame ->
+      if t.running && Bytes.length frame.Tpp_isa.Frame.payload >= 8 then begin
+        t.reports <- t.reports + 1;
+        let holes = Buf.get_u32i frame.Tpp_isa.Frame.payload 0 in
+        let rate = Flow.rate_bps t.flow in
+        let new_rate =
+          if holes > t.last_holes then begin
+            t.losses <- t.losses + (holes - t.last_holes);
+            int_of_float (float_of_int rate *. t.config.md_factor)
+          end
+          else begin
+            (* Additive increase: one packet's worth of bits per RTT. *)
+            let add =
+              Flow.wire_pkt_bytes t.flow * 8 * 1_000_000_000 / t.config.rtt_ns
+            in
+            rate + add
+          end
+        in
+        t.last_holes <- holes;
+        let clamped =
+          max t.config.min_rate_bps (min t.config.max_rate_bps new_rate)
+        in
+        Flow.set_rate t.flow ~rate_bps:clamped
+      end);
+  t
+
+let start t =
+  t.running <- true;
+  Flow.set_rate t.flow ~rate_bps:t.config.initial_rate_bps
+
+let stop t = t.running <- false
+
+let current_rate_bps t = Flow.rate_bps t.flow
+let losses_seen t = t.losses
+let reports_received t = t.reports

@@ -1,0 +1,94 @@
+module Net = Tpp_sim.Net
+module Engine = Tpp_sim.Engine
+module Buf = Tpp_util.Buf
+module Stack = Tpp_endhost.Stack
+module Flow = Tpp_endhost.Flow
+
+type config = {
+  report_period_ns : int;
+  rtt_ns : int;
+  gain : float;
+  min_rate_bps : int;
+  max_rate_bps : int;
+  initial_rate_bps : int;
+}
+
+let default_config ~max_rate_bps =
+  {
+    report_period_ns = 40_000_000;
+    rtt_ns = 40_000_000;
+    gain = 1.0 /. 16.0;
+    min_rate_bps = 50_000;
+    max_rate_bps;
+    initial_rate_bps = max 50_000 (max_rate_bps / 10);
+  }
+
+module Receiver = struct
+  type t = { mutable running : bool }
+
+  let attach stack ~sink ~report_to ~report_port ~period =
+    let t = { running = true } in
+    let eng = Net.engine (Stack.net stack) in
+    Engine.every eng ~period ~until:max_int (fun () ->
+        if t.running then begin
+          let payload = Bytes.create 8 in
+          Buf.set_u32i payload 0 (Flow.Sink.rx_pkts sink);
+          Buf.set_u32i payload 4 (Flow.Sink.ce_marked sink);
+          Stack.send_udp stack ~dst:report_to ~src_port:report_port
+            ~dst_port:report_port ~payload ()
+        end);
+    t
+
+  let stop t = t.running <- false
+end
+
+type t = {
+  stack : Stack.t;
+  config : config;
+  flow : Flow.t;
+  mutable running : bool;
+  mutable last_total : int;
+  mutable last_marked : int;
+  mutable alpha : float;
+  mutable marked : int;
+}
+
+let create stack config ~flow ~report_port =
+  let t =
+    { stack; config; flow; running = false; last_total = 0; last_marked = 0;
+      alpha = 0.0; marked = 0 }
+  in
+  Stack.on_udp stack ~port:report_port (fun ~now:_ frame ->
+      if t.running && Bytes.length frame.Tpp_isa.Frame.payload >= 8 then begin
+        let total = Buf.get_u32i frame.Tpp_isa.Frame.payload 0 in
+        let marked = Buf.get_u32i frame.Tpp_isa.Frame.payload 4 in
+        let d_total = total - t.last_total in
+        let d_marked = marked - t.last_marked in
+        t.last_total <- total;
+        t.last_marked <- marked;
+        if d_total > 0 then begin
+          t.marked <- t.marked + d_marked;
+          let fraction = float_of_int d_marked /. float_of_int d_total in
+          t.alpha <- ((1.0 -. t.config.gain) *. t.alpha) +. (t.config.gain *. fraction);
+          let rate = Flow.rate_bps t.flow in
+          let new_rate =
+            if d_marked > 0 then
+              int_of_float (float_of_int rate *. (1.0 -. (t.alpha /. 2.0)))
+            else
+              rate + (Flow.wire_pkt_bytes t.flow * 8 * 1_000_000_000 / t.config.rtt_ns)
+          in
+          Flow.set_rate t.flow
+            ~rate_bps:(max t.config.min_rate_bps (min t.config.max_rate_bps new_rate))
+        end
+      end);
+  t
+
+let start t =
+  t.running <- true;
+  Flow.set_rate t.flow ~rate_bps:t.config.initial_rate_bps
+
+let stop t = t.running <- false
+
+let current_rate_bps t = Flow.rate_bps t.flow
+let alpha t = t.alpha
+let marked_seen t = t.marked

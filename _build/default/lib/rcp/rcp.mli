@@ -1,0 +1,55 @@
+(** In-network RCP: the baseline the paper compares RCP* against
+    ("RCP: simulation", Figure 2).
+
+    Each router (switch egress link) natively maintains the fair-share
+    rate R(t), recomputed every period T from the offered load y(t) and
+    queue q(t) of that link:
+
+    R(t+T) = R(t) (1 - (T/d) (a (y(t) - C) + b q(t)/d) / C)
+
+    In real RCP, routers stamp min(R) into a packet header and senders
+    read it from ACKs. The simulator shortcut — senders query their
+    path's routers directly each period — preserves exactly the same
+    information flow at the same timescale and matches how the paper's
+    own comparator (the ns2 RCP module) reports rates to sources.
+    Packet-level traffic still crosses the real simulated queues, so
+    y(t) and q(t) are measured, not assumed. *)
+
+module Net = Tpp_sim.Net
+module Switch = Tpp_asic.Switch
+
+type config = {
+  period_ns : int;
+  rtt_ns : int;
+  alpha : float;
+  beta : float;
+  min_rate_bps : int;
+}
+
+val default_config : config
+(** Matches {!Tpp_endhost.Rcp_star.default_config}: T = 10 ms,
+    d = 50 ms, alpha = 0.5, beta = 1.0. *)
+
+(** One RCP-enabled link. *)
+module Router : sig
+  type t
+
+  val attach : Net.t -> config -> switch_node:int -> port:int -> t
+  (** Starts the periodic R(t) recomputation on the given egress link;
+      R(0) = C. Runs until the simulation ends. *)
+
+  val rate_bps : t -> float
+  val capacity_bps : t -> int
+end
+
+(** Per-flow rate controller: follows min R(t) along the path. *)
+module Controller : sig
+  type t
+
+  val create :
+    Net.t -> config -> flow:Tpp_endhost.Flow.t -> path:Router.t list -> t
+
+  val start : t -> ?at:int -> unit -> unit
+  val stop : t -> unit
+  val current_rate_bps : t -> int
+end

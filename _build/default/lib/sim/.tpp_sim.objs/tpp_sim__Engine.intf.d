@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Tpp_util

@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Engine List Option Queue Tpp_asic Tpp_isa Tpp_packet Tpp_util

@@ -1,0 +1,1 @@
+lib/sim/net.mli: Engine Tpp_asic Tpp_isa Tpp_packet Tpp_util

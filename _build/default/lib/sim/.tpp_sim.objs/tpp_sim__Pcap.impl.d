@@ -1,0 +1,1 @@
+lib/sim/pcap.ml: Buffer Bytes Char Int32 List Net Tpp_isa Tpp_util

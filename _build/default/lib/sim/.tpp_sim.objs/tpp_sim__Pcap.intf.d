@@ -1,0 +1,1 @@
+lib/sim/pcap.mli: Net Tpp_isa Tpp_util

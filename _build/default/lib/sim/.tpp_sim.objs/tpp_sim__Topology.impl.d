@@ -1,0 +1,1 @@
+lib/sim/topology.ml: Array Hashtbl Int List Net Printf Queue Tpp_asic Tpp_packet Tpp_util

@@ -1,0 +1,48 @@
+module Time_ns = Tpp_util.Time_ns
+module Heap = Tpp_util.Heap
+
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable clock : Time_ns.t;
+  mutable processed : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0; processed = 0 }
+
+let now t = t.clock
+
+let at t time callback =
+  if time < t.clock then invalid_arg "Engine.at: scheduling in the past";
+  Heap.push t.queue ~prio:time callback
+
+let after t span callback = at t (Time_ns.add t.clock span) callback
+
+let every t ?start ~period ~until callback =
+  if period <= 0 then invalid_arg "Engine.every: period";
+  let start = match start with Some s -> s | None -> Time_ns.add t.clock period in
+  let rec tick time () =
+    if time <= until then begin
+      callback ();
+      let next = Time_ns.add time period in
+      if next <= until then at t next (tick next)
+    end
+  in
+  if start <= until then at t start (tick start)
+
+let run t ~until =
+  let rec loop () =
+    match Tpp_util.Heap.peek_prio t.queue with
+    | Some time when time <= until -> (
+      match Heap.pop t.queue with
+      | Some (time, callback) ->
+        t.clock <- time;
+        t.processed <- t.processed + 1;
+        callback ();
+        loop ()
+      | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ();
+  if until > t.clock then t.clock <- until
+
+let events_processed t = t.processed

@@ -1,0 +1,30 @@
+(** Discrete-event simulation engine.
+
+    A stable min-heap of timestamped callbacks: events at the same
+    instant fire in scheduling order, so runs are fully deterministic. *)
+
+module Time_ns = Tpp_util.Time_ns
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time_ns.t
+
+val at : t -> Time_ns.t -> (unit -> unit) -> unit
+(** Schedules a callback at an absolute time, which must not be in the
+    past (raises [Invalid_argument]). *)
+
+val after : t -> Time_ns.span -> (unit -> unit) -> unit
+
+val every :
+  t -> ?start:Time_ns.t -> period:Time_ns.span -> until:Time_ns.t ->
+  (unit -> unit) -> unit
+(** Periodic callback from [start] (default one period from now) to
+    [until] inclusive. *)
+
+val run : t -> until:Time_ns.t -> unit
+(** Processes events in time order until the queue drains or the next
+    event lies beyond [until]; the clock ends at [until]. *)
+
+val events_processed : t -> int

@@ -1,0 +1,221 @@
+module Frame = Tpp_isa.Frame
+module Switch = Tpp_asic.Switch
+module State = Tpp_asic.State
+module Mac = Tpp_packet.Mac
+module Ipv4 = Tpp_packet.Ipv4
+module Time_ns = Tpp_util.Time_ns
+
+type host = {
+  host_name : string;
+  node_id : int;
+  mac : Mac.t;
+  ip : Ipv4.Addr.t;
+  mutable receive : now:Time_ns.t -> Frame.t -> unit;
+}
+
+type attachment = {
+  mutable peer : (int * int) option;
+  mutable bps : int;
+  mutable delay : Time_ns.span;
+  mutable tx_busy : bool;
+  mutable up : bool;
+  nic_queue : Frame.t Queue.t;  (* hosts only; switches queue in the ASIC *)
+}
+
+type node_impl = Switch_n of Switch.t | Host_n of host
+
+type node_rec = { impl : node_impl; ports : attachment array }
+
+type t = {
+  eng : Engine.t;
+  wire_check : bool;
+  mutable nodes : node_rec list;  (* reverse insertion order *)
+  mutable node_count : int;
+  mutable host_counter : int;
+  mutable delivered : int;
+  mutable deliver_hooks : (host -> Frame.t -> unit) list;
+}
+
+let create ?(wire_check = true) eng =
+  {
+    eng;
+    wire_check;
+    nodes = [];
+    node_count = 0;
+    host_counter = 0;
+    delivered = 0;
+    deliver_hooks = [];
+  }
+
+let engine t = t.eng
+
+let new_attachment () =
+  { peer = None; bps = 0; delay = 0; tx_busy = false; up = true;
+    nic_queue = Queue.create () }
+
+let node t id =
+  let idx = t.node_count - 1 - id in
+  match List.nth_opt t.nodes idx with
+  | Some n -> n
+  | None -> invalid_arg "Net: unknown node id"
+
+let register t impl ~ports =
+  let id = t.node_count in
+  t.nodes <- { impl; ports = Array.init ports (fun _ -> new_attachment ()) } :: t.nodes;
+  t.node_count <- id + 1;
+  id
+
+let add_switch t sw = register t (Switch_n sw) ~ports:(Switch.num_ports sw)
+
+let add_host t ~name =
+  t.host_counter <- t.host_counter + 1;
+  let n = t.host_counter in
+  let id = t.node_count in
+  let host =
+    {
+      host_name = name;
+      node_id = id;
+      mac = Mac.of_host_id n;
+      ip = Ipv4.Addr.of_host_id n;
+      receive = (fun ~now:_ _ -> ());
+    }
+  in
+  let registered = register t (Host_n host) ~ports:1 in
+  assert (registered = id);
+  host
+
+let switch t id =
+  match (node t id).impl with
+  | Switch_n sw -> sw
+  | Host_n _ -> invalid_arg "Net.switch: node is a host"
+
+let host_of t id =
+  match (node t id).impl with
+  | Host_n h -> h
+  | Switch_n _ -> invalid_arg "Net.host_of: node is a switch"
+
+let node_count t = t.node_count
+
+let hosts t =
+  List.rev_map (fun n -> n.impl) t.nodes
+  |> List.filter_map (function Host_n h -> Some h | Switch_n _ -> None)
+
+let switches t =
+  let rec go id acc = function
+    | [] -> acc
+    | { impl = Switch_n sw; _ } :: rest -> go (id - 1) ((id, sw) :: acc) rest
+    | { impl = Host_n _; _ } :: rest -> go (id - 1) acc rest
+  in
+  go (t.node_count - 1) [] t.nodes
+
+let attachment t (id, port) =
+  let n = node t id in
+  if port < 0 || port >= Array.length n.ports then
+    invalid_arg "Net: port out of range";
+  n.ports.(port)
+
+let connect t (a, pa) (b, pb) ~bps ~delay =
+  if bps <= 0 then invalid_arg "Net.connect: rate";
+  let ea = attachment t (a, pa) and eb = attachment t (b, pb) in
+  if Option.is_some ea.peer || Option.is_some eb.peer then
+    invalid_arg "Net.connect: port already linked";
+  ea.peer <- Some (b, pb);
+  ea.bps <- bps;
+  ea.delay <- delay;
+  eb.peer <- Some (a, pa);
+  eb.bps <- bps;
+  eb.delay <- delay;
+  (match (node t a).impl with
+  | Switch_n sw -> Switch.set_port_capacity sw ~port:pa ~bps
+  | Host_n _ -> ());
+  match (node t b).impl with
+  | Switch_n sw -> Switch.set_port_capacity sw ~port:pb ~bps
+  | Host_n _ -> ()
+
+let neighbors t id =
+  let n = node t id in
+  Array.to_list n.ports
+  |> List.mapi (fun port a -> (port, a.peer))
+  |> List.filter_map (fun (port, peer) ->
+       match peer with Some (pn, pp) -> Some (port, pn, pp) | None -> None)
+
+let tx_time_ns ~bps frame =
+  let bits = Frame.wire_size frame * 8 in
+  (* ceil(bits * 1e9 / bps) without overflow for realistic rates *)
+  int_of_float (ceil (float_of_int bits *. 1e9 /. float_of_int bps))
+
+(* Pulls the next frame to transmit from a node's egress at [port]. *)
+let next_frame t id port =
+  let n = node t id in
+  match n.impl with
+  | Switch_n sw -> Switch.dequeue sw ~port
+  | Host_n _ -> Queue.take_opt n.ports.(port).nic_queue
+
+let rec deliver t (id, port) frame =
+  let n = node t id in
+  match n.impl with
+  | Host_n h ->
+    t.delivered <- t.delivered + 1;
+    List.iter (fun hook -> hook h frame) t.deliver_hooks;
+    h.receive ~now:(Engine.now t.eng) frame
+  | Switch_n sw -> (
+    match Switch.handle_ingress sw ~now:(Engine.now t.eng) ~in_port:port frame with
+    | Switch.Dropped _ -> ()
+    | Switch.Queued out_ports -> List.iter (fun p -> maybe_start_tx t id p) out_ports)
+
+and maybe_start_tx t id port =
+  let a = attachment t (id, port) in
+  match a.peer with
+  | None -> ()
+  | Some peer ->
+    if not a.tx_busy then begin
+      match next_frame t id port with
+      | None -> ()
+      | Some frame ->
+        a.tx_busy <- true;
+        let tx = tx_time_ns ~bps:a.bps frame in
+        Engine.after t.eng tx (fun () ->
+            a.tx_busy <- false;
+            (* A frame finishing serialisation onto a dark link is lost. *)
+            if a.up then
+              Engine.after t.eng a.delay (fun () -> deliver t peer frame);
+            maybe_start_tx t id port)
+    end
+
+let host_send t host frame =
+  let frame =
+    if t.wire_check then begin
+      match Frame.parse (Frame.serialize frame) with
+      | Ok f -> f
+      | Error e -> failwith ("Net.host_send: frame failed wire round-trip: " ^ e)
+    end
+    else frame
+  in
+  let a = attachment t (host.node_id, 0) in
+  Queue.push frame a.nic_queue;
+  maybe_start_tx t host.node_id 0
+
+let set_link_up t (id, port) up =
+  let a = attachment t (id, port) in
+  (match a.peer with
+  | None -> invalid_arg "Net.set_link_up: port has no link"
+  | Some (pid, pport) ->
+    let b = attachment t (pid, pport) in
+    a.up <- up;
+    b.up <- up;
+    if up then begin
+      maybe_start_tx t id port;
+      maybe_start_tx t pid pport
+    end)
+
+let link_up t (id, port) = (attachment t (id, port)).up
+
+let start_utilization_updates t ~period ~until =
+  Engine.every t.eng ~period ~until (fun () ->
+      List.iter
+        (fun (_, sw) -> State.update_utilization (Switch.state sw) ~window_ns:period)
+        (switches t))
+
+let frames_delivered t = t.delivered
+
+let on_host_deliver t hook = t.deliver_hooks <- t.deliver_hooks @ [ hook ]

@@ -1,0 +1,81 @@
+(** The simulated network: switches, hosts, full-duplex links, and the
+    per-port transmitters that serialise frames onto links.
+
+    Timing model per traversed link: a frame waits in the sender's
+    egress queue (switch FIFO or host NIC queue), occupies the link for
+    [wire_size * 8 / rate], then arrives after the propagation delay.
+    Switch egress queues are byte-bounded with tail drop; host NIC
+    queues are unbounded (hosts self-pace via {!Tpp_endhost} rate
+    limiters). *)
+
+module Frame = Tpp_isa.Frame
+module Switch = Tpp_asic.Switch
+module Mac = Tpp_packet.Mac
+module Ipv4 = Tpp_packet.Ipv4
+module Time_ns = Tpp_util.Time_ns
+
+type t
+
+type host = {
+  host_name : string;
+  node_id : int;
+  mac : Mac.t;
+  ip : Ipv4.Addr.t;
+  mutable receive : now:Time_ns.t -> Frame.t -> unit;
+}
+
+val create : ?wire_check:bool -> Engine.t -> t
+(** [wire_check] (default [true]) serialises and re-parses every frame a
+    host sends, so the byte-level wire format is exercised on every
+    simulated transmission. *)
+
+val engine : t -> Engine.t
+
+val add_switch : t -> Switch.t -> int
+(** Registers a switch; returns its node id. *)
+
+val add_host : t -> name:string -> host
+(** Creates a host with deterministic MAC/IP derived from a counter. *)
+
+val switch : t -> int -> Switch.t
+(** The switch at a node id. Raises [Invalid_argument] for hosts. *)
+
+val host_of : t -> int -> host
+
+val node_count : t -> int
+
+val hosts : t -> host list
+val switches : t -> (int * Switch.t) list
+(** All switches with their node ids, in insertion order. *)
+
+val connect :
+  t -> int * int -> int * int -> bps:int -> delay:Time_ns.span -> unit
+(** [connect net (a, pa) (b, pb) ~bps ~delay] attaches a full-duplex
+    link between port [pa] of node [a] and port [pb] of node [b]; both
+    directions get rate [bps] and propagation [delay]. Sets switch port
+    capacities. A port can hold one link (raises [Invalid_argument]). *)
+
+val host_send : t -> host -> Frame.t -> unit
+(** Queues a frame on the host's NIC for transmission. *)
+
+val set_link_up : t -> int * int -> bool -> unit
+(** Fails or restores the (full-duplex) link attached at this endpoint.
+    Frames whose transmission completes while the link is down are lost
+    in flight; queued frames keep draining into the void, as on a real
+    dark fiber. Restoring the link kicks both transmitters. *)
+
+val link_up : t -> int * int -> bool
+
+val neighbors : t -> int -> (int * int * int) list
+(** [(port, peer_node, peer_port)] for every connected port of a node. *)
+
+val start_utilization_updates :
+  t -> period:Time_ns.span -> until:Time_ns.t -> unit
+(** Periodically recomputes every switch's utilisation registers (the
+    windowed [Link:RxUtilization] values TPPs read). *)
+
+val frames_delivered : t -> int
+(** Frames handed to host receive callbacks so far. *)
+
+val on_host_deliver : t -> (host -> Frame.t -> unit) -> unit
+(** Tracing hook, called before each host receive callback. *)

@@ -1,0 +1,98 @@
+module Frame = Tpp_isa.Frame
+module Time_ns = Tpp_util.Time_ns
+
+type record = { ts_ns : Time_ns.t; data : bytes }
+
+type t = {
+  snaplen : int;
+  mutable entries : record list;  (* reverse capture order *)
+  mutable count : int;
+}
+
+let magic = 0xA1B2C3D4
+let linktype_ethernet = 1
+
+let create ?(snaplen = 65_535) () =
+  if snaplen <= 0 then invalid_arg "Pcap.create: snaplen";
+  { snaplen; entries = []; count = 0 }
+
+let record t ~now frame =
+  let data = Frame.serialize frame in
+  let data =
+    if Bytes.length data > t.snaplen then Bytes.sub data 0 t.snaplen else data
+  in
+  t.entries <- { ts_ns = now; data } :: t.entries;
+  t.count <- t.count + 1
+
+let records t = List.rev t.entries
+let length t = t.count
+
+let tap_host t net host =
+  let previous = host.Net.receive in
+  host.Net.receive <-
+    (fun ~now frame ->
+      record t ~now frame;
+      previous ~now frame);
+  ignore net
+
+(* Little-endian primitives over a Buffer. *)
+let le16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+let le32 buf v =
+  le16 buf (v land 0xFFFF);
+  le16 buf ((v lsr 16) land 0xFFFF)
+
+let to_bytes t =
+  let buf = Buffer.create (1024 + (t.count * 96)) in
+  le32 buf magic;
+  le16 buf 2;
+  le16 buf 4;
+  le32 buf 0 (* thiszone *);
+  le32 buf 0 (* sigfigs *);
+  le32 buf t.snaplen;
+  le32 buf linktype_ethernet;
+  List.iter
+    (fun { ts_ns; data } ->
+      le32 buf (ts_ns / 1_000_000_000);
+      le32 buf (ts_ns mod 1_000_000_000 / 1_000);
+      le32 buf (Bytes.length data);
+      le32 buf (Bytes.length data);
+      Buffer.add_bytes buf data)
+    (records t);
+  Buffer.to_bytes buf
+
+let write_file t path =
+  let oc = open_out_bin path in
+  output_bytes oc (to_bytes t);
+  close_out oc
+
+let rd16 b off = Bytes.get_uint16_le b off
+let rd32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF
+
+let parse b =
+  let len = Bytes.length b in
+  if len < 24 then Error "pcap too short for global header"
+  else if rd32 b 0 <> magic then Error "bad pcap magic (expected little-endian classic)"
+  else if rd16 b 4 <> 2 || rd16 b 6 <> 4 then Error "unsupported pcap version"
+  else if rd32 b 20 <> linktype_ethernet then Error "unsupported link type"
+  else begin
+    let rec go off acc =
+      if off = len then Ok (List.rev acc)
+      else if off + 16 > len then Error "truncated record header"
+      else begin
+        let sec = rd32 b off in
+        let usec = rd32 b (off + 4) in
+        let incl = rd32 b (off + 8) in
+        if off + 16 + incl > len then Error "truncated record body"
+        else
+          go
+            (off + 16 + incl)
+            ({ ts_ns = (sec * 1_000_000_000) + (usec * 1_000);
+               data = Bytes.sub b (off + 16) incl }
+            :: acc)
+      end
+    in
+    go 24 []
+  end

@@ -1,0 +1,43 @@
+(** Packet capture in standard pcap format.
+
+    A capture taps host NIC traffic (everything sent or delivered at a
+    set of hosts) and can be written as a classic little-endian pcap
+    file (magic 0xa1b2c3d4, LINKTYPE_ETHERNET) that Wireshark & tcpdump
+    open directly — handy for eyeballing TPP frames produced by the
+    simulator. The writer/reader pair round-trips, which the tests
+    verify without external tools. *)
+
+module Frame = Tpp_isa.Frame
+module Time_ns = Tpp_util.Time_ns
+
+type record = {
+  ts_ns : Time_ns.t;
+  data : bytes;  (** the serialised frame *)
+}
+
+type t
+
+val create : ?snaplen:int -> unit -> t
+(** [snaplen] (default 65535) truncates captured frames. *)
+
+val record : t -> now:Time_ns.t -> Frame.t -> unit
+(** Serialises and stores one frame. *)
+
+val records : t -> record list
+(** In capture order. *)
+
+val length : t -> int
+
+val tap_host : t -> Net.t -> Net.host -> unit
+(** Captures every frame delivered to this host from now on. (Sends are
+    captured by calling {!record} where traffic originates, or simply
+    by tapping the peer.) *)
+
+val to_bytes : t -> bytes
+(** The complete pcap file image. *)
+
+val write_file : t -> string -> unit
+
+val parse : bytes -> (record list, string) result
+(** Reads back a pcap image produced by {!to_bytes} (same endianness,
+    microsecond resolution — sub-microsecond remainders are dropped). *)

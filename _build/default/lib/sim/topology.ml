@@ -1,0 +1,270 @@
+module Time_ns = Tpp_util.Time_ns
+module Switch = Tpp_asic.Switch
+module Ipv4 = Tpp_packet.Ipv4
+
+let next_hop_ports net ~dest =
+  (* BFS from the destination host over the whole node graph. *)
+  let n = Net.node_count net in
+  let dist = Array.make n max_int in
+  dist.(dest.Net.node_id) <- 0;
+  let q = Queue.create () in
+  Queue.push dest.Net.node_id q;
+  let rec bfs () =
+    match Queue.take_opt q with
+    | None -> ()
+    | Some u ->
+      List.iter
+        (fun (_, v, _) ->
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.push v q
+          end)
+        (Net.neighbors net u);
+      bfs ()
+  in
+  bfs ();
+  List.filter_map
+    (fun (sid, _) ->
+      if dist.(sid) < max_int && dist.(sid) > 0 then begin
+        (* All ports whose peer is strictly closer to the destination,
+           in ascending port order. *)
+        let candidates =
+          List.filter_map
+            (fun (port, peer, _) ->
+              if dist.(peer) = dist.(sid) - 1 then Some port else None)
+            (Net.neighbors net sid)
+          |> List.sort Int.compare
+        in
+        if candidates = [] then None else Some (sid, candidates)
+      end
+      else None)
+    (Net.switches net)
+
+let install_dest_on_switch net ~dest ~ecmp ~version ~entry_id sid ports =
+  let sw = Net.switch net sid in
+  match ports with
+  | [] -> ()
+  | lowest :: _ ->
+    (if ecmp then
+       Switch.install_multipath_route sw
+         (Ipv4.Prefix.host dest.Net.ip)
+         ~ports ~entry_id ~version
+     else
+       Switch.install_route sw
+         (Ipv4.Prefix.host dest.Net.ip)
+         ~port:lowest ~entry_id ~version);
+    Switch.install_l2 sw dest.Net.mac ~port:lowest ~entry_id ~version
+
+let install_routes ?(ecmp = false) ?(version = 1) net =
+  let entry_counters = Hashtbl.create 8 in
+  let next_entry_id sid =
+    let c = match Hashtbl.find_opt entry_counters sid with Some c -> c | None -> 0 in
+    Hashtbl.replace entry_counters sid (c + 1);
+    c + 1
+  in
+  List.iter
+    (fun dest ->
+      List.iter
+        (fun (sid, ports) ->
+          install_dest_on_switch net ~dest ~ecmp ~version ~entry_id:(next_entry_id sid)
+            sid ports)
+        (next_hop_ports net ~dest))
+    (Net.hosts net);
+  List.iter (fun (_, sw) -> Switch.set_version sw version) (Net.switches net)
+
+type chain = {
+  net : Net.t;
+  switch_ids : int array;
+  hosts : Net.host array array;
+}
+
+let chain eng ~num_switches ~hosts_per_switch ~bps ~delay () =
+  if num_switches < 1 then invalid_arg "Topology.chain: num_switches";
+  let net = Net.create eng in
+  let switch_ids =
+    Array.init num_switches (fun i ->
+        Net.add_switch net
+          (Switch.create ~id:(i + 1) ~num_ports:(2 + hosts_per_switch) ()))
+  in
+  for i = 0 to num_switches - 2 do
+    Net.connect net (switch_ids.(i), 1) (switch_ids.(i + 1), 0) ~bps ~delay
+  done;
+  let hosts =
+    Array.init num_switches (fun i ->
+        Array.init hosts_per_switch (fun j ->
+            let h = Net.add_host net ~name:(Printf.sprintf "h%d_%d" i j) in
+            Net.connect net (h.Net.node_id, 0) (switch_ids.(i), 2 + j) ~bps ~delay;
+            h))
+  in
+  install_routes net;
+  { net; switch_ids; hosts }
+
+type dumbbell = {
+  d_net : Net.t;
+  left_switch : int;
+  right_switch : int;
+  senders : Net.host array;
+  receivers : Net.host array;
+}
+
+let dumbbell eng ~pairs ~core_bps ~edge_bps ~delay () =
+  if pairs < 1 then invalid_arg "Topology.dumbbell: pairs";
+  let net = Net.create eng in
+  let left = Net.add_switch net (Switch.create ~id:1 ~num_ports:(1 + pairs) ()) in
+  let right = Net.add_switch net (Switch.create ~id:2 ~num_ports:(1 + pairs) ()) in
+  Net.connect net (left, 0) (right, 0) ~bps:core_bps ~delay;
+  let senders =
+    Array.init pairs (fun i ->
+        let h = Net.add_host net ~name:(Printf.sprintf "src%d" i) in
+        Net.connect net (h.Net.node_id, 0) (left, 1 + i) ~bps:edge_bps ~delay;
+        h)
+  in
+  let receivers =
+    Array.init pairs (fun i ->
+        let h = Net.add_host net ~name:(Printf.sprintf "dst%d" i) in
+        Net.connect net (h.Net.node_id, 0) (right, 1 + i) ~bps:edge_bps ~delay;
+        h)
+  in
+  install_routes net;
+  { d_net = net; left_switch = left; right_switch = right; senders; receivers }
+
+type diamond = {
+  m_net : Net.t;
+  ingress : int;
+  upper : int;
+  lower : int;
+  egress : int;
+  src_hosts : Net.host array;
+  dst_hosts : Net.host array;
+}
+
+let diamond eng ~hosts_per_side ~bps ~delay () =
+  if hosts_per_side < 1 then invalid_arg "Topology.diamond: hosts_per_side";
+  let net = Net.create eng in
+  let mk id = Net.add_switch net (Switch.create ~id ~num_ports:(2 + hosts_per_side) ()) in
+  let a = mk 1 and b = mk 2 and c = mk 3 and d = mk 4 in
+  (* A: port 0 -> B, port 1 -> C; D: port 0 -> B, port 1 -> C. *)
+  Net.connect net (a, 0) (b, 0) ~bps ~delay;
+  Net.connect net (a, 1) (c, 0) ~bps ~delay;
+  Net.connect net (d, 0) (b, 1) ~bps ~delay;
+  Net.connect net (d, 1) (c, 1) ~bps ~delay;
+  let attach sw base prefix =
+    Array.init hosts_per_side (fun i ->
+        let h = Net.add_host net ~name:(Printf.sprintf "%s%d" prefix i) in
+        Net.connect net (h.Net.node_id, 0) (sw, base + i) ~bps ~delay;
+        h)
+  in
+  let src_hosts = attach a 2 "src" in
+  let dst_hosts = attach d 2 "dst" in
+  install_routes net;
+  { m_net = net; ingress = a; upper = b; lower = c; egress = d; src_hosts; dst_hosts }
+
+type random_topology = {
+  r_net : Net.t;
+  r_switch_ids : int array;
+  r_hosts : Net.host array;
+}
+
+let random eng ~switches ~hosts ~extra_links ~seed ?(ecmp = false) ~bps ~delay () =
+  if switches < 1 then invalid_arg "Topology.random: switches";
+  if hosts < 2 then invalid_arg "Topology.random: need at least 2 hosts";
+  let rng = Tpp_util.Rng.create ~seed in
+  let net = Net.create eng in
+  (* Port budget: spanning tree + extra links + attached hosts could all
+     land on one switch; size generously. *)
+  let num_ports = switches + extra_links + hosts + 1 in
+  let switch_ids =
+    Array.init switches (fun i ->
+        Net.add_switch net (Switch.create ~id:(i + 1) ~num_ports ()))
+  in
+  let next_port = Array.make switches 0 in
+  let take_port i =
+    let p = next_port.(i) in
+    next_port.(i) <- p + 1;
+    p
+  in
+  let linked = Hashtbl.create 16 in
+  let connect_switches a b =
+    let key = (min a b, max a b) in
+    if a <> b && not (Hashtbl.mem linked key) then begin
+      Hashtbl.replace linked key ();
+      Net.connect net
+        (switch_ids.(a), take_port a)
+        (switch_ids.(b), take_port b)
+        ~bps ~delay;
+      true
+    end
+    else false
+  in
+  (* Random spanning tree: attach each new switch to a random earlier one. *)
+  for i = 1 to switches - 1 do
+    ignore (connect_switches i (Tpp_util.Rng.int rng i))
+  done;
+  (* Extra redundant links (skipped when the draw collides). *)
+  if switches > 1 then
+    for _ = 1 to extra_links do
+      ignore
+        (connect_switches
+           (Tpp_util.Rng.int rng switches)
+           (Tpp_util.Rng.int rng switches))
+    done;
+  let r_hosts =
+    Array.init hosts (fun h ->
+        let s = h mod switches in
+        let host = Net.add_host net ~name:(Printf.sprintf "rh%d" h) in
+        Net.connect net (host.Net.node_id, 0) (switch_ids.(s), take_port s) ~bps ~delay;
+        host)
+  in
+  install_routes ~ecmp net;
+  { r_net = net; r_switch_ids = switch_ids; r_hosts }
+
+type fat_tree = {
+  f_net : Net.t;
+  k : int;
+  core_ids : int array;
+  agg_ids : int array array;
+  edge_ids : int array array;
+  f_hosts : Net.host array;
+}
+
+let fat_tree eng ?(ecmp = true) ~k ~bps ~delay () =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
+  let half = k / 2 in
+  let net = Net.create eng in
+  let next_switch_id = ref 0 in
+  let mk ~num_ports =
+    incr next_switch_id;
+    Net.add_switch net (Switch.create ~id:!next_switch_id ~num_ports ())
+  in
+  let core_ids = Array.init (half * half) (fun _ -> mk ~num_ports:k) in
+  let agg_ids = Array.init k (fun _ -> Array.init half (fun _ -> mk ~num_ports:k)) in
+  let edge_ids = Array.init k (fun _ -> Array.init half (fun _ -> mk ~num_ports:k)) in
+  (* Hosts, pod-major: pod p, edge e, slot h. *)
+  let f_hosts =
+    Array.init (k * half * half) (fun i ->
+        let pod = i / (half * half) in
+        let rest = i mod (half * half) in
+        let edge = rest / half and slot = rest mod half in
+        let host = Net.add_host net ~name:(Printf.sprintf "h%d_%d_%d" pod edge slot) in
+        Net.connect net (host.Net.node_id, 0) (edge_ids.(pod).(edge), slot) ~bps ~delay;
+        host)
+  in
+  for pod = 0 to k - 1 do
+    for edge = 0 to half - 1 do
+      for agg = 0 to half - 1 do
+        (* Edge uplink [half+agg] to aggregation switch [agg], which
+           faces its pod's edges on its down ports. *)
+        Net.connect net (edge_ids.(pod).(edge), half + agg) (agg_ids.(pod).(agg), edge)
+          ~bps ~delay
+      done
+    done;
+    for agg = 0 to half - 1 do
+      for up = 0 to half - 1 do
+        let core = (agg * half) + up in
+        Net.connect net (agg_ids.(pod).(agg), half + up) (core_ids.(core), pod) ~bps
+          ~delay
+      done
+    done
+  done;
+  install_routes ~ecmp net;
+  { f_net = net; k; core_ids; agg_ids; edge_ids; f_hosts }

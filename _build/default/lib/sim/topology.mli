@@ -1,0 +1,139 @@
+(** Topology builders and control-plane route installation.
+
+    Each builder wires a standard experiment topology and returns the
+    pieces; {!install_routes} then plays the control plane: it computes
+    shortest paths and installs per-host /32 L3 routes and L2 entries on
+    every switch, stamping each entry with a unique id and version 1 —
+    the state the forwarding-plane debugger (paper §2.3) inspects. *)
+
+module Time_ns = Tpp_util.Time_ns
+
+val next_hop_ports : Net.t -> dest:Net.host -> (int * int list) list
+(** For every switch that can reach [dest]: its node id and the
+    ascending list of equal-cost ports one hop closer to [dest] (BFS
+    metric). The building block of both {!install_routes} and the
+    control plane's staged updates. *)
+
+val install_dest_on_switch :
+  Net.t ->
+  dest:Net.host ->
+  ecmp:bool ->
+  version:int ->
+  entry_id:int ->
+  int ->
+  int list ->
+  unit
+(** [install_dest_on_switch net ~dest ~ecmp ~version ~entry_id sid ports]
+    installs one switch's L3/L2 entries for [dest] given its candidate
+    [ports] (from {!next_hop_ports}). Used by the control plane's staged
+    updates. *)
+
+val install_routes : ?ecmp:bool -> ?version:int -> Net.t -> unit
+(** BFS shortest paths toward every host. Without [ecmp] (default) the
+    lowest-numbered port breaks ties, deterministically; with [ecmp]
+    every equal-cost port is installed as a multipath group and the
+    switches spread flows by 5-tuple hash. Entries and switches are
+    stamped with [version] (default 1). Must be called after all links
+    exist. *)
+
+type chain = {
+  net : Net.t;
+  switch_ids : int array;
+  hosts : Net.host array array;  (** [hosts.(i)] = hosts on switch [i] *)
+}
+
+val chain :
+  Engine.t ->
+  num_switches:int ->
+  hosts_per_switch:int ->
+  bps:int ->
+  delay:Time_ns.span ->
+  unit ->
+  chain
+(** Switches in a line; switch [i] uses port 0 toward switch [i-1],
+    port 1 toward switch [i+1], ports 2+ for its hosts. All links share
+    [bps] and [delay]. Routes installed. *)
+
+type dumbbell = {
+  d_net : Net.t;
+  left_switch : int;
+  right_switch : int;
+  senders : Net.host array;
+  receivers : Net.host array;
+}
+
+val dumbbell :
+  Engine.t ->
+  pairs:int ->
+  core_bps:int ->
+  edge_bps:int ->
+  delay:Time_ns.span ->
+  unit ->
+  dumbbell
+(** [pairs] sender/receiver host pairs across a 2-switch bottleneck:
+    the core link (port 0 on each switch) carries [core_bps]; host
+    links carry [edge_bps]. Routes installed. *)
+
+type diamond = {
+  m_net : Net.t;
+  ingress : int;       (** switch A *)
+  upper : int;         (** switch B (A-B-D path) *)
+  lower : int;         (** switch C (A-C-D path) *)
+  egress : int;        (** switch D *)
+  src_hosts : Net.host array;
+  dst_hosts : Net.host array;
+}
+
+val diamond :
+  Engine.t ->
+  hosts_per_side:int ->
+  bps:int ->
+  delay:Time_ns.span ->
+  unit ->
+  diamond
+(** Two equal-cost paths A-B-D and A-C-D; BFS prefers the lower port
+    (via B). The ndb experiment then plants a divergent TCAM rule on A
+    steering some traffic via C without the control plane knowing. *)
+
+type fat_tree = {
+  f_net : Net.t;
+  k : int;
+  core_ids : int array;          (** (k/2)^2 core switches *)
+  agg_ids : int array array;     (** [pod].[i] *)
+  edge_ids : int array array;    (** [pod].[i] *)
+  f_hosts : Net.host array;      (** pod-major, k^3/4 hosts *)
+}
+
+type random_topology = {
+  r_net : Net.t;
+  r_switch_ids : int array;
+  r_hosts : Net.host array;
+}
+
+val random :
+  Engine.t ->
+  switches:int ->
+  hosts:int ->
+  extra_links:int ->
+  seed:int ->
+  ?ecmp:bool ->
+  bps:int ->
+  delay:Time_ns.span ->
+  unit ->
+  random_topology
+(** A random connected switch graph (a random spanning tree plus
+    [extra_links] extra switch-switch links, no parallel links) with
+    [hosts] hosts attached round-robin. Deterministic per [seed]; routes
+    installed. The routing property tests fuzz the whole dataplane with
+    these. *)
+
+val fat_tree :
+  Engine.t -> ?ecmp:bool -> k:int -> bps:int -> delay:Time_ns.span -> unit ->
+  fat_tree
+(** A k-ary fat-tree (k even, >= 2): k pods of k/2 edge and k/2
+    aggregation switches, (k/2)^2 cores, k/2 hosts per edge switch —
+    the datacenter fabric of the paper's motivating setting. Ports
+    0..k/2-1 face down, k/2..k-1 face up; core port p faces pod p.
+    Shortest-path routes installed; [ecmp] (default [true]) spreads
+    flows across the equal-cost up-links by 5-tuple hash, the standard
+    fabric practice. Paths stay deterministic per flow. *)

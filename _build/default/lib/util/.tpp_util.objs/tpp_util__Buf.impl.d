@@ -1,0 +1,1 @@
+lib/util/buf.ml: Bytes Int32 String

@@ -1,0 +1,1 @@
+lib/util/time_ns.mli: Format

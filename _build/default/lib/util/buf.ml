@@ -1,0 +1,116 @@
+exception Out_of_bounds of string
+
+let out_of_bounds what = raise (Out_of_bounds what)
+
+let get_u32i b off =
+  if off < 0 || off + 4 > Bytes.length b then out_of_bounds "get_u32i";
+  Int32.to_int (Bytes.get_int32_be b off) land 0xFFFF_FFFF
+
+let set_u32i b off v =
+  if off < 0 || off + 4 > Bytes.length b then out_of_bounds "set_u32i";
+  Bytes.set_int32_be b off (Int32.of_int (v land 0xFFFF_FFFF))
+
+module Writer = struct
+  type t = { mutable buf : bytes; mutable len : int }
+
+  let create ?(capacity = 64) () =
+    let capacity = max capacity 8 in
+    { buf = Bytes.create capacity; len = 0 }
+
+  let length t = t.len
+
+  let ensure t n =
+    let needed = t.len + n in
+    if needed > Bytes.length t.buf then begin
+      let capacity =
+        let rec grow c = if c >= needed then c else grow (c * 2) in
+        grow (Bytes.length t.buf * 2)
+      in
+      let buf = Bytes.create capacity in
+      Bytes.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end
+
+  let u8 t v =
+    ensure t 1;
+    Bytes.set_uint8 t.buf t.len (v land 0xFF);
+    t.len <- t.len + 1
+
+  let u16 t v =
+    ensure t 2;
+    Bytes.set_uint16_be t.buf t.len (v land 0xFFFF);
+    t.len <- t.len + 2
+
+  let u32 t v =
+    ensure t 4;
+    Bytes.set_int32_be t.buf t.len v;
+    t.len <- t.len + 4
+
+  let u32i t v = u32 t (Int32.of_int (v land 0xFFFF_FFFF))
+
+  let bytes t b =
+    let n = Bytes.length b in
+    ensure t n;
+    Bytes.blit b 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let string t s =
+    let n = String.length s in
+    ensure t n;
+    Bytes.blit_string s 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let zeros t n =
+    ensure t n;
+    Bytes.fill t.buf t.len n '\000';
+    t.len <- t.len + n
+
+  let contents t = Bytes.sub t.buf 0 t.len
+end
+
+module Reader = struct
+  type t = { buf : bytes; base : int; limit : int; mutable cur : int }
+
+  let of_bytes ?(pos = 0) ?len buf =
+    let len = match len with Some l -> l | None -> Bytes.length buf - pos in
+    if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+      out_of_bounds "Reader.of_bytes";
+    { buf; base = pos; limit = pos + len; cur = pos }
+
+  let of_string s = of_bytes (Bytes.of_string s)
+
+  let pos t = t.cur - t.base
+  let remaining t = t.limit - t.cur
+
+  let need t n what = if t.cur + n > t.limit then out_of_bounds what
+
+  let u8 t =
+    need t 1 "Reader.u8";
+    let v = Bytes.get_uint8 t.buf t.cur in
+    t.cur <- t.cur + 1;
+    v
+
+  let u16 t =
+    need t 2 "Reader.u16";
+    let v = Bytes.get_uint16_be t.buf t.cur in
+    t.cur <- t.cur + 2;
+    v
+
+  let u32 t =
+    need t 4 "Reader.u32";
+    let v = Bytes.get_int32_be t.buf t.cur in
+    t.cur <- t.cur + 4;
+    v
+
+  let u32i t = Int32.to_int (u32 t) land 0xFFFF_FFFF
+
+  let bytes t n =
+    need t n "Reader.bytes";
+    let b = Bytes.sub t.buf t.cur n in
+    t.cur <- t.cur + n;
+    b
+
+  let skip t n =
+    need t n "Reader.skip";
+    t.cur <- t.cur + n
+end

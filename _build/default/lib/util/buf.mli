@@ -1,0 +1,65 @@
+(** Bounds-checked big-endian binary readers and writers.
+
+    The packet serialisation code uses these instead of raw [Bytes]
+    accesses so that malformed input raises a single well-defined
+    exception instead of corrupting memory or succeeding silently. *)
+
+exception Out_of_bounds of string
+(** Raised by any read or write that would fall outside the buffer. *)
+
+(** Sequential writer with automatic growth. *)
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val length : t -> int
+  (** Number of bytes written so far. *)
+
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int32 -> unit
+
+  val u32i : t -> int -> unit
+  (** [u32i w v] writes the low 32 bits of the native int [v]. *)
+
+  val bytes : t -> bytes -> unit
+  val string : t -> string -> unit
+
+  val zeros : t -> int -> unit
+  (** [zeros w n] appends [n] zero bytes. *)
+
+  val contents : t -> bytes
+  (** Copy of everything written so far. *)
+end
+
+(** Sequential reader over an immutable byte window. *)
+module Reader : sig
+  type t
+
+  val of_bytes : ?pos:int -> ?len:int -> bytes -> t
+  val of_string : string -> t
+
+  val pos : t -> int
+  (** Offset of the next byte to be read, relative to the window start. *)
+
+  val remaining : t -> int
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int32
+
+  val u32i : t -> int
+  (** Reads 4 bytes as a non-negative native int. *)
+
+  val bytes : t -> int -> bytes
+  val skip : t -> int -> unit
+end
+
+val get_u32i : bytes -> int -> int
+(** [get_u32i b off] reads a big-endian 32-bit word at byte offset [off]
+    as a non-negative int. Raises {!Out_of_bounds} when out of range. *)
+
+val set_u32i : bytes -> int -> int -> unit
+(** [set_u32i b off v] writes the low 32 bits of [v] big-endian at byte
+    offset [off]. Raises {!Out_of_bounds} when out of range. *)

@@ -1,0 +1,17 @@
+(** Exponentially-weighted moving average.
+
+    The ASIC model uses EWMAs for the per-port utilisation and average
+    queue registers an RCP router consumes (q(t), y(t) in the control
+    equation). *)
+
+type t
+
+val create : alpha:float -> t
+(** [alpha] in (0, 1]: weight of each new observation. *)
+
+val update : t -> float -> unit
+
+val value : t -> float
+(** Current average; 0.0 before the first observation. *)
+
+val reset : t -> unit

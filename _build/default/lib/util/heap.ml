@@ -1,0 +1,79 @@
+type 'a entry = { prio : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = [||]; len = 0; next_seq = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+(* [a] orders before [b] when its priority is smaller, or on ties when it
+   was inserted earlier. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let ensure t =
+  if t.len >= Array.length t.arr then begin
+    let dummy = if t.len = 0 then None else Some t.arr.(0) in
+    match dummy with
+    | None -> ()
+    | Some d ->
+      let arr = Array.make (max 8 (2 * Array.length t.arr)) d in
+      Array.blit t.arr 0 arr 0 t.len;
+      t.arr <- arr
+  end
+
+let push t ~prio value =
+  let e = { prio; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.arr = 0 then t.arr <- Array.make 8 e;
+  ensure t;
+  t.arr.(t.len) <- e;
+  t.len <- t.len + 1;
+  (* Sift up. *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before t.arr.(i) t.arr.(parent) then begin
+        let tmp = t.arr.(i) in
+        t.arr.(i) <- t.arr.(parent);
+        t.arr.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.arr.(0) <- t.arr.(t.len);
+      (* Sift down. *)
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i in
+        if l < t.len && before t.arr.(l) t.arr.(!smallest) then smallest := l;
+        if r < t.len && before t.arr.(r) t.arr.(!smallest) then smallest := r;
+        if !smallest <> i then begin
+          let tmp = t.arr.(i) in
+          t.arr.(i) <- t.arr.(!smallest);
+          t.arr.(!smallest) <- tmp;
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek_prio t = if t.len = 0 then None else Some t.arr.(0).prio
+
+let clear t =
+  t.len <- 0;
+  t.next_seq <- 0

@@ -1,0 +1,21 @@
+(** Stable binary min-heap.
+
+    The event queue of the discrete-event simulator. Entries with equal
+    priority pop in insertion order, which makes simulations with
+    simultaneous events deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> prio:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the minimum-priority entry (ties: FIFO). *)
+
+val peek_prio : 'a t -> int option
+
+val clear : 'a t -> unit

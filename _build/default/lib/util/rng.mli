@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every workload generator takes an explicit [Rng.t] so that each
+    experiment is reproducible from its seed, independent of any global
+    state. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** A new generator whose stream is independent of the parent's. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample; used for Poisson arrivals. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Heavy-tailed sample; used for flow-size distributions. *)
+
+val bits64 : t -> int64

@@ -1,0 +1,85 @@
+type t = {
+  series_name : string;
+  mutable times : int array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create ~name = { series_name = name; times = [||]; values = [||]; len = 0 }
+
+let name t = t.series_name
+
+let add t ~time v =
+  if t.len >= Array.length t.times then begin
+    let cap = max 16 (2 * Array.length t.times) in
+    let times = Array.make cap 0 and values = Array.make cap 0.0 in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.values 0 values 0 t.len;
+    t.times <- times;
+    t.values <- values
+  end;
+  t.times.(t.len) <- time;
+  t.values.(t.len) <- v;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let points t = Array.init t.len (fun i -> (t.times.(i), t.values.(i)))
+
+let value_at t time =
+  (* Points are appended in time order; scan backwards for the last one
+     at or before [time]. *)
+  let rec find i =
+    if i < 0 then None
+    else if t.times.(i) <= time then Some t.values.(i)
+    else find (i - 1)
+  in
+  find (t.len - 1)
+
+let downsample t ~bucket =
+  if bucket <= 0 then invalid_arg "Series.downsample: bucket";
+  let tbl = Hashtbl.create 64 in
+  for i = 0 to t.len - 1 do
+    let b = t.times.(i) / bucket in
+    let sum, n = match Hashtbl.find_opt tbl b with Some x -> x | None -> (0.0, 0) in
+    Hashtbl.replace tbl b (sum +. t.values.(i), n + 1)
+  done;
+  let rows =
+    Hashtbl.fold (fun b (sum, n) acc -> (b * bucket, sum /. float_of_int n) :: acc) tbl []
+  in
+  let arr = Array.of_list rows in
+  Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
+  arr
+
+let print_table ?(out = Format.std_formatter) series ~bucket =
+  if bucket <= 0 then invalid_arg "Series.print_table: bucket";
+  let sampled = List.map (fun s -> (s, downsample s ~bucket)) series in
+  let last_time =
+    List.fold_left
+      (fun acc (_, rows) ->
+        if Array.length rows = 0 then acc else max acc (fst rows.(Array.length rows - 1)))
+      0 sampled
+  in
+  Format.fprintf out "%-12s" "time(s)";
+  List.iter (fun s -> Format.fprintf out " %14s" (name s)) series;
+  Format.fprintf out "@.";
+  let holds = Hashtbl.create 8 in
+  let rec row t =
+    if t <= last_time then begin
+      Format.fprintf out "%-12.3f" (Time_ns.to_sec_f t);
+      List.iter
+        (fun (s, rows) ->
+          let v =
+            match Array.find_opt (fun (bt, _) -> bt = t) rows with
+            | Some (_, v) ->
+              Hashtbl.replace holds (name s) v;
+              v
+            | None -> ( match Hashtbl.find_opt holds (name s) with Some v -> v | None -> 0.0)
+          in
+          Format.fprintf out " %14.4f" v)
+        sampled;
+      Format.fprintf out "@.";
+      row (t + bucket)
+    end
+  in
+  row 0

@@ -1,0 +1,27 @@
+(** Time series of (time, value) points.
+
+    Experiments record the evolution of quantities (e.g. R(t)/C for
+    Figure 2) and print them as aligned rows or downsampled summaries. *)
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val add : t -> time:Time_ns.t -> float -> unit
+
+val length : t -> int
+
+val points : t -> (Time_ns.t * float) array
+
+val value_at : t -> Time_ns.t -> float option
+(** Last recorded value at or before the given time (step semantics). *)
+
+val downsample : t -> bucket:Time_ns.span -> (Time_ns.t * float) array
+(** Mean of the values in each [bucket]-wide window, indexed by window
+    start time. Empty windows are omitted. *)
+
+val print_table : ?out:Format.formatter -> t list -> bucket:Time_ns.span -> unit
+(** Prints aligned columns [time, s1, s2, ...] with one row per bucket;
+    a series missing a bucket prints its previous value (step-hold). *)

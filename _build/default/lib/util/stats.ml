@@ -1,0 +1,50 @@
+type t = {
+  mutable arr : float array;
+  mutable len : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  { arr = [||]; len = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity }
+
+let add t x =
+  if t.len >= Array.length t.arr then begin
+    let arr = Array.make (max 16 (2 * Array.length t.arr)) 0.0 in
+    Array.blit t.arr 0 arr 0 t.len;
+    t.arr <- arr
+  end;
+  t.arr.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x
+
+let count t = t.len
+let mean t = if t.len = 0 then 0.0 else t.sum /. float_of_int t.len
+let min t = if t.len = 0 then 0.0 else t.mn
+let max t = if t.len = 0 then 0.0 else t.mx
+
+let stddev t =
+  if t.len < 2 then 0.0
+  else begin
+    let n = float_of_int t.len in
+    let var = (t.sumsq -. (t.sum *. t.sum /. n)) /. (n -. 1.0) in
+    if var < 0.0 then 0.0 else sqrt var
+  end
+
+let percentile t p =
+  if t.len = 0 then 0.0
+  else begin
+    let sorted = Array.sub t.arr 0 t.len in
+    Array.sort Float.compare sorted;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.len - 1) (rank - 1)) in
+    sorted.(idx)
+  end
+
+let samples t = Array.sub t.arr 0 t.len

@@ -1,0 +1,23 @@
+(** Scalar sample statistics and percentiles.
+
+    Experiments accumulate per-packet measurements (queueing delay,
+    queue occupancy, rates) here and report means / percentiles. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+val stddev : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]]; nearest-rank on a sorted
+    copy of the samples. 0.0 when empty. *)
+
+val samples : t -> float array
+(** Copy of all samples, in insertion order. *)

@@ -1,0 +1,26 @@
+type t = int
+type span = int
+
+let zero = 0
+
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let sec x = x * 1_000_000_000
+
+let of_sec_f s = int_of_float (s *. 1e9 +. 0.5)
+
+let to_sec_f t = float_of_int t /. 1e9
+let to_us_f t = float_of_int t /. 1e3
+let to_ms_f t = float_of_int t /. 1e6
+
+let add t d = t + d
+let diff a b = a - b
+
+let compare = Int.compare
+
+let pp fmt t =
+  if t >= 1_000_000_000 then Format.fprintf fmt "%.3fs" (to_sec_f t)
+  else if t >= 1_000_000 then Format.fprintf fmt "%.3fms" (to_ms_f t)
+  else if t >= 1_000 then Format.fprintf fmt "%.3fus" (to_us_f t)
+  else Format.fprintf fmt "%dns" t

@@ -1,0 +1,1 @@
+test/test_asic.ml: Alcotest Gen List Meta QCheck QCheck_alcotest Result Tpp Tpp_asic Vaddr

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Asm Buf Bytes Frame Instr Ipv4 List Mac Meta Printf Prog QCheck QCheck_alcotest Result String Tpp Tpp_asic Vaddr

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Asm Bytes Consistent Controller Engine Frame List Net Option Printf Probe Result Stack Switch Tables Time_ns Topology Tpp Tpp_asic Trace

@@ -1,0 +1,1 @@
+test/test_endhost.ml: Alcotest Array Asm Bytes Engine Float Flow Gen List Microburst Net Probe Prog QCheck QCheck_alcotest Rcp_star Result Stack String Time_ns Token_bucket Topology Tpp Tpp_util

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Asm Bytes Engine Format Frame Gen Instr Ipv4 List Mac Meta Net Option Prog QCheck QCheck_alcotest Result String Switch Topology Tpp Tpp_asic Tpp_isa Vaddr Verify

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Asm Buf Bytes Char Frame Instr Ipv4 List Mac Option Printf Prog Result String Tpp Vaddr

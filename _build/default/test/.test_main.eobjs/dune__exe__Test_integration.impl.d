@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Asm Bytes Engine Flow Frame List Microburst Net Option Printf Probe Prog Rcp_star Result Stack Switch Tables Time_ns Topology Tpp Tpp_asic Trace Verify

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Buf Bytes Ethernet Format Frame Instr Ipv4 List Mac Option Printf Prog QCheck QCheck_alcotest Result Tpp Udp Vaddr

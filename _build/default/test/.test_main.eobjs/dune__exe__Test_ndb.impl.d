@@ -1,0 +1,1 @@
+test/test_ndb.ml: Alcotest Array Bytes Engine Frame Ipv4 List Mac Net Option Postcard Prog Switch Tables Time_ns Topology Tpp Trace Verify

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Buf Bytes Ethernet Format Ipv4 Mac QCheck QCheck_alcotest Tpp Udp

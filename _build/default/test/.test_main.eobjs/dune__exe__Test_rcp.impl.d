@@ -1,0 +1,1 @@
+test/test_rcp.ml: Alcotest Array Engine Flow List Printf Rcp Stack Time_ns Topology Tpp

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Asm Bytes Engine Frame List Net Option Prog Result Switch Time_ns Topology Tpp Tpp_asic Tpp_util Vaddr

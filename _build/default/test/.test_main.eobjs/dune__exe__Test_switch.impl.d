@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Asm Bytes Ethernet Frame Ipv4 List Mac Meta Option Prog Switch Tables Tpp Tpp_asic Vaddr

@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Format Ipv4 List Mac Option QCheck QCheck_alcotest String Tables Tpp

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Engine List Net Option Printf Stack Switch Time_ns Topology Tpp Tpp_asic Tpp_rcp Vaddr

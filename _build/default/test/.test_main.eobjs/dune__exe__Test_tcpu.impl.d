@@ -1,0 +1,1 @@
+test/test_tcpu.ml: Alcotest Asm Bytes Frame Instr Ipv4 Mac Meta Option Printf Prog Tpp Tpp_asic

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buf Buffer Bytes Char Format Gen Int List Printf QCheck QCheck_alcotest Rng Series Stats String Time_ns Tpp Tpp_util

@@ -1,0 +1,302 @@
+(* End-host stack tests: token bucket, UDP dispatch, probe echo,
+   traffic generators, the micro-burst episode counter, and the RCP*
+   control law. *)
+
+open Tpp
+module Rs = Rcp_star
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Token bucket ------------------------------------------------------- *)
+
+let test_token_bucket_burst () =
+  let tb = Token_bucket.create ~rate_bps:8_000 ~burst_bytes:1000 ~now:0 in
+  check Alcotest.bool "full bucket grants burst" true (Token_bucket.take tb ~now:0 ~bytes:1000);
+  check Alcotest.bool "empty rejects" false (Token_bucket.take tb ~now:0 ~bytes:1)
+
+let test_token_bucket_accrual () =
+  let tb = Token_bucket.create ~rate_bps:8_000 ~burst_bytes:1000 ~now:0 in
+  ignore (Token_bucket.take tb ~now:0 ~bytes:1000);
+  (* 8 kb/s = 1000 B/s: after 100 ms exactly 100 bytes accrued. *)
+  check Alcotest.bool "not yet" false (Token_bucket.take tb ~now:(Time_ns.ms 99) ~bytes:100);
+  check Alcotest.bool "after 100ms" true (Token_bucket.take tb ~now:(Time_ns.ms 100) ~bytes:100)
+
+let test_token_bucket_cap () =
+  let tb = Token_bucket.create ~rate_bps:8_000 ~burst_bytes:1000 ~now:0 in
+  ignore (Token_bucket.take tb ~now:0 ~bytes:1000);
+  (* An hour later the bucket holds only its burst size. *)
+  check Alcotest.bool "capped" true (Token_bucket.take tb ~now:(Time_ns.sec 3600) ~bytes:1000);
+  check Alcotest.bool "no more" false (Token_bucket.take tb ~now:(Time_ns.sec 3600) ~bytes:1)
+
+let test_token_bucket_delay () =
+  let tb = Token_bucket.create ~rate_bps:8_000 ~burst_bytes:1000 ~now:0 in
+  ignore (Token_bucket.take tb ~now:0 ~bytes:1000);
+  check Alcotest.int "delay for 100B" (Time_ns.ms 100)
+    (Token_bucket.delay_until_ready tb ~now:0 ~bytes:100);
+  check Alcotest.int "ready is zero" 0
+    (Token_bucket.delay_until_ready tb ~now:(Time_ns.sec 10) ~bytes:100)
+
+let test_token_bucket_set_rate () =
+  let tb = Token_bucket.create ~rate_bps:8_000 ~burst_bytes:1000 ~now:0 in
+  ignore (Token_bucket.take tb ~now:0 ~bytes:1000);
+  Token_bucket.set_rate tb ~now:0 ~rate_bps:16_000;
+  check Alcotest.int "rate updated" 16_000 (Token_bucket.rate_bps tb);
+  check Alcotest.bool "doubled accrual" true
+    (Token_bucket.take tb ~now:(Time_ns.ms 100) ~bytes:200)
+
+let prop_token_bucket_never_exceeds_rate =
+  QCheck.Test.make ~name:"token bucket long-run conformance" ~count:50
+    QCheck.(make Gen.(pair (int_range 1000 1_000_000) (int_range 100 10_000)))
+    (fun (rate_bps, pkt) ->
+      let tb = Token_bucket.create ~rate_bps ~burst_bytes:(2 * pkt) ~now:0 in
+      let horizon = Time_ns.sec 2 in
+      let sent = ref 0 in
+      let rec go now =
+        if now < horizon then begin
+          if Token_bucket.take tb ~now ~bytes:pkt then sent := !sent + pkt;
+          go (now + Time_ns.us 500)
+        end
+      in
+      go 0;
+      (* Never more than rate * time + burst. *)
+      !sent * 8 <= (rate_bps * 2) + (2 * pkt * 8))
+
+(* --- A tiny two-host network for app-level tests ------------------------ *)
+
+let two_hosts () =
+  let eng = Engine.create () in
+  let chain =
+    Topology.chain eng ~num_switches:2 ~hosts_per_switch:1 ~bps:100_000_000
+      ~delay:(Time_ns.us 100) ()
+  in
+  let net = chain.Topology.net in
+  let a = chain.Topology.hosts.(0).(0) in
+  let b = chain.Topology.hosts.(1).(0) in
+  (eng, net, a, b)
+
+let test_stack_dispatch () =
+  let eng, net, a, b = two_hosts () in
+  let sa = Stack.create net a in
+  let sb = Stack.create net b in
+  let hits = ref [] in
+  Stack.on_udp sb ~port:100 (fun ~now:_ _ -> hits := 100 :: !hits);
+  Stack.on_udp sb ~port:200 (fun ~now:_ _ -> hits := 200 :: !hits);
+  Stack.on_default sb (fun ~now:_ _ -> hits := -1 :: !hits);
+  Stack.send_udp sa ~dst:b ~src_port:1 ~dst_port:200 ~payload:Bytes.empty ();
+  Stack.send_udp sa ~dst:b ~src_port:1 ~dst_port:100 ~payload:Bytes.empty ();
+  Stack.send_udp sa ~dst:b ~src_port:1 ~dst_port:999 ~payload:Bytes.empty ();
+  Engine.run eng ~until:(Time_ns.ms 10);
+  check (Alcotest.list Alcotest.int) "routes by port" [ 200; 100; -1 ] (List.rev !hits)
+
+let test_probe_echo_roundtrip () =
+  let eng, net, a, b = two_hosts () in
+  let sa = Stack.create net a in
+  let sb = Stack.create net b in
+  Probe.install_echo sb;
+  let replies = ref [] in
+  Probe.install_reply_handler sa (fun ~now:_ ~seq tpp ->
+      replies := (seq, tpp.Prog.hop, Prog.stack_values tpp) :: !replies);
+  let tpp =
+    Result.get_ok (Asm.to_tpp ~mem_len:32 "PUSH [Switch:SwitchID]\n")
+  in
+  Probe.send sa ~dst:b ~tpp ~seq:7;
+  Engine.run eng ~until:(Time_ns.ms 10);
+  match !replies with
+  | [ (7, 2, [ 1; 2 ]) ] -> ()
+  | [ (seq, hops, values) ] ->
+    Alcotest.failf "bad echo: seq=%d hops=%d values=[%s]" seq hops
+      (String.concat ";" (List.map string_of_int values))
+  | other -> Alcotest.failf "expected one reply, got %d" (List.length other)
+
+let test_probe_template_not_mutated () =
+  let eng, net, a, b = two_hosts () in
+  let sa = Stack.create net a in
+  let sb = Stack.create net b in
+  Probe.install_echo sb;
+  let tpp = Result.get_ok (Asm.to_tpp ~mem_len:32 "PUSH [Switch:SwitchID]\n") in
+  Probe.send sa ~dst:b ~tpp ~seq:1;
+  Probe.send sa ~dst:b ~tpp ~seq:2;
+  Engine.run eng ~until:(Time_ns.ms 10);
+  check Alcotest.int "template sp untouched" 0 tpp.Prog.sp;
+  check Alcotest.int "template hop untouched" 0 tpp.Prog.hop
+
+let test_cbr_flow_rate () =
+  let eng, net, a, b = two_hosts () in
+  let sa = Stack.create net a in
+  let sb = Stack.create net b in
+  let sink = Flow.Sink.attach sb ~port:9000 in
+  let flow =
+    Flow.cbr ~src:sa ~dst:b ~dst_port:9000 ~payload_bytes:954 ~rate_bps:10_000_000
+  in
+  Flow.start flow ();
+  Engine.run eng ~until:(Time_ns.sec 1);
+  Flow.stop flow;
+  let goodput = float_of_int (Flow.Sink.rx_bytes sink) *. 8.0 in
+  check Alcotest.bool "goodput within 2% of 10 Mb/s" true
+    (goodput > 9.8e6 && goodput < 10.2e6);
+  check Alcotest.int "no reordering" 0 (Flow.Sink.reordered sink);
+  check Alcotest.bool "latency measured" true
+    (Tpp_util.Stats.mean (Flow.Sink.latency sink) > 0.0)
+
+let test_cbr_set_rate_takes_effect () =
+  let eng, net, a, b = two_hosts () in
+  let sa = Stack.create net a in
+  let sb = Stack.create net b in
+  let sink = Flow.Sink.attach sb ~port:9000 in
+  let flow =
+    Flow.cbr ~src:sa ~dst:b ~dst_port:9000 ~payload_bytes:954 ~rate_bps:2_000_000
+  in
+  Flow.start flow ();
+  Engine.at eng (Time_ns.ms 500) (fun () -> Flow.set_rate flow ~rate_bps:20_000_000);
+  Engine.run eng ~until:(Time_ns.sec 1);
+  (* 0.5s at 2 Mb/s + 0.5s at 20 Mb/s = 1.375 MB. *)
+  let bytes = Flow.Sink.rx_bytes sink in
+  check Alcotest.bool "rate change visible" true
+    (bytes > 1_200_000 && bytes < 1_500_000)
+
+let test_burst_flow_shape () =
+  let eng, net, a, b = two_hosts () in
+  let sa = Stack.create net a in
+  let sb = Stack.create net b in
+  let sink = Flow.Sink.attach sb ~port:9000 in
+  let flow =
+    Flow.bursts ~src:sa ~dst:b ~dst_port:9000 ~payload_bytes:1000 ~burst_pkts:10
+      ~period:(Time_ns.ms 10)
+  in
+  Flow.start flow ();
+  Engine.run eng ~until:(Time_ns.ms 35);
+  Flow.stop flow;
+  (* Bursts at t=0,10,20,30ms: 40 packets sent. *)
+  check Alcotest.int "four bursts" 40 (Flow.tx_pkts flow);
+  check Alcotest.int "all arrive" 40 (Flow.Sink.rx_pkts sink)
+
+let test_flow_stop_restart () =
+  let eng, net, a, b = two_hosts () in
+  let sa = Stack.create net a in
+  let _sb = Stack.create net b in
+  let flow =
+    Flow.cbr ~src:sa ~dst:b ~dst_port:9000 ~payload_bytes:954 ~rate_bps:8_000_000
+  in
+  Flow.start flow ();
+  Engine.run eng ~until:(Time_ns.ms 100);
+  Flow.stop flow;
+  let sent = Flow.tx_pkts flow in
+  Engine.run eng ~until:(Time_ns.ms 200);
+  check Alcotest.int "nothing after stop" sent (Flow.tx_pkts flow);
+  Flow.start flow ();
+  Engine.run eng ~until:(Time_ns.ms 300);
+  check Alcotest.bool "resumed" true (Flow.tx_pkts flow > sent)
+
+(* --- Episode counter ------------------------------------------------------ *)
+
+let test_episode_counting () =
+  let e = Microburst.Episode.create ~threshold:10 in
+  List.iter (Microburst.Episode.feed e) [ 0; 5; 12; 15; 9; 3; 11; 2; 10 ];
+  check Alcotest.int "three crossings" 3 (Microburst.Episode.count e);
+  check Alcotest.int "max" 15 (Microburst.Episode.max_seen e);
+  check Alcotest.int "samples" 9 (Microburst.Episode.samples e)
+
+let test_episode_level_holds () =
+  let e = Microburst.Episode.create ~threshold:10 in
+  List.iter (Microburst.Episode.feed e) [ 12; 13; 14; 15 ];
+  check Alcotest.int "one long episode" 1 (Microburst.Episode.count e)
+
+(* --- RCP* pieces ----------------------------------------------------------- *)
+
+let sample ?(rate_kbps = 10_000) ?(util_ppm = 1_000_000) ?(queue = 0) () =
+  { Rs.switch_id = 1; queue_bytes = queue; util_ppm; capacity_kbps = 10_000;
+    rate_kbps }
+
+let config = Rs.default_config ~slot:0
+
+(* An independent rendering of the paper's equation; the implementation
+   must agree with it. *)
+let law s =
+  let c = float_of_int s.Rs.capacity_kbps *. 1000.0 in
+  let r = float_of_int s.Rs.rate_kbps *. 1000.0 in
+  let r = if r <= 0.0 then c else r in
+  let y = float_of_int s.Rs.util_ppm /. 1e6 *. c in
+  let d = float_of_int config.Rs.rtt_ns /. 1e9 in
+  let t_over_d = float_of_int config.Rs.period_ns /. float_of_int config.Rs.rtt_ns in
+  let q = config.Rs.beta *. (float_of_int s.Rs.queue_bytes *. 8.0) /. d in
+  let feedback = ((config.Rs.alpha *. (y -. c)) +. q) /. c in
+  Float.max
+    (float_of_int config.Rs.min_rate_bps)
+    (Float.min c (r *. (1.0 -. (t_over_d *. feedback))))
+
+let test_control_law_fixed_point () =
+  (* Fully utilised, empty queue: R should not move. *)
+  check (Alcotest.float 1.0) "fixed point" 10_000_000.0
+    (Rs.control_law config (sample ()))
+
+let test_control_law_matches_spec () =
+  List.iter
+    (fun s ->
+      check (Alcotest.float 1.0) "implementation = paper equation" (law s)
+        (Rs.control_law config s))
+    [ sample (); sample ~util_ppm:2_000_000 (); sample ~queue:80_000 ();
+      sample ~rate_kbps:3_000 ~util_ppm:300_000 ();
+      sample ~rate_kbps:0 ~util_ppm:0 () ]
+
+let test_control_law_directions () =
+  let law s = Rs.control_law config s in
+  check Alcotest.bool "overload cuts rate" true
+    (law (sample ~util_ppm:2_000_000 ()) < 10_000_000.0);
+  check Alcotest.bool "queue cuts rate" true (law (sample ~queue:50_000 ()) < 10_000_000.0);
+  check Alcotest.bool "headroom raises rate" true
+    (law (sample ~rate_kbps:5_000 ~util_ppm:500_000 ()) > 5_000_000.0);
+  check Alcotest.bool "never below floor" true
+    (law (sample ~util_ppm:10_000_000 ~queue:10_000_000 ())
+     >= float_of_int config.Rs.min_rate_bps);
+  check Alcotest.bool "never above capacity" true
+    (law (sample ~rate_kbps:9_999 ~util_ppm:100_000 ()) <= 10_000_000.0)
+
+let test_collect_source_assembles () =
+  let src, defines = Rs.collect_source ~slot:3 in
+  match Asm.assemble ~defines src with
+  | Ok p -> check Alcotest.int "five pushes" 5 (List.length p.Asm.instrs)
+  | Error e -> Alcotest.fail e
+
+let test_setup_network_consistent_slots () =
+  let eng = Engine.create () in
+  let bell =
+    Topology.dumbbell eng ~pairs:2 ~core_bps:10_000_000 ~edge_bps:100_000_000
+      ~delay:(Time_ns.us 10) ()
+  in
+  let net = bell.Topology.d_net in
+  match Rs.setup_network net with
+  | Error e -> Alcotest.fail e
+  | Ok slot ->
+    check Alcotest.int "first slot" 0 slot;
+    (* Registers initialised to capacity on every switch. *)
+    let sw = Net.switch net bell.Topology.left_switch in
+    check (Alcotest.option Alcotest.int) "core register = capacity" (Some 10_000)
+      (Rs.read_rate_kbps sw ~slot ~port:0);
+    check (Alcotest.option Alcotest.int) "edge register = capacity" (Some 100_000)
+      (Rs.read_rate_kbps sw ~slot ~port:1)
+
+let suite =
+  [
+    Alcotest.test_case "token bucket burst" `Quick test_token_bucket_burst;
+    Alcotest.test_case "token bucket accrual" `Quick test_token_bucket_accrual;
+    Alcotest.test_case "token bucket cap" `Quick test_token_bucket_cap;
+    Alcotest.test_case "token bucket delay" `Quick test_token_bucket_delay;
+    Alcotest.test_case "token bucket set rate" `Quick test_token_bucket_set_rate;
+    qtest prop_token_bucket_never_exceeds_rate;
+    Alcotest.test_case "stack dispatch" `Quick test_stack_dispatch;
+    Alcotest.test_case "probe echo roundtrip" `Quick test_probe_echo_roundtrip;
+    Alcotest.test_case "probe template immutable" `Quick test_probe_template_not_mutated;
+    Alcotest.test_case "cbr flow rate" `Quick test_cbr_flow_rate;
+    Alcotest.test_case "cbr set rate" `Quick test_cbr_set_rate_takes_effect;
+    Alcotest.test_case "burst flow shape" `Quick test_burst_flow_shape;
+    Alcotest.test_case "flow stop/restart" `Quick test_flow_stop_restart;
+    Alcotest.test_case "episode counting" `Quick test_episode_counting;
+    Alcotest.test_case "episode level holds" `Quick test_episode_level_holds;
+    Alcotest.test_case "control law fixed point" `Quick test_control_law_fixed_point;
+    Alcotest.test_case "control law matches paper equation" `Quick
+      test_control_law_matches_spec;
+    Alcotest.test_case "control law directions" `Quick test_control_law_directions;
+    Alcotest.test_case "collect program assembles" `Quick test_collect_source_assembles;
+    Alcotest.test_case "setup network slots" `Quick test_setup_network_consistent_slots;
+  ]

@@ -1,0 +1,356 @@
+(* Adversarial/property fuzzing: random TPP programs must never corrupt
+   protected switch state or crash the TCPU; random bytes must never
+   crash the frame parser; random frames must round-trip. *)
+
+open Tpp
+module State = Tpp_asic.State
+module AsicTcpu = Tpp_asic.Tcpu
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let operand_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (* Bias toward interesting (mapped, small) addresses. *)
+        (3, map (fun v -> Instr.Sw v) (int_bound 0x20));
+        (2, map (fun v -> Instr.Sw (0x100 + v)) (int_bound 0x10));
+        (2, map (fun v -> Instr.Sw (0x880 + v)) (int_bound 0x40));
+        (2, map (fun v -> Instr.Sw v) (int_bound 0xFFF));
+        (3, map (fun v -> Instr.Pkt (4 * v)) (int_bound 0x40));
+        (1, map (fun v -> Instr.Pkt v) (int_bound 0xFFF));
+        (2, map (fun v -> Instr.Imm v) (int_bound 0xFFF));
+        (2, map (fun v -> Instr.Hop v) (int_bound 0x10));
+      ])
+
+let binop_gen =
+  QCheck.Gen.oneofl [ Instr.Add; Instr.Sub; Instr.And; Instr.Or; Instr.Min; Instr.Max ]
+
+let instr_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Instr.Nop);
+        (1, return Instr.Halt);
+        (4, map (fun a -> Instr.Push a) operand_gen);
+        (2, map (fun a -> Instr.Pop a) operand_gen);
+        (3, map2 (fun a b -> Instr.Load (a, b)) operand_gen operand_gen);
+        (3, map2 (fun a b -> Instr.Store (a, b)) operand_gen operand_gen);
+        (2, map2 (fun a b -> Instr.Mov (a, b)) operand_gen operand_gen);
+        (2, map3 (fun op a b -> Instr.Binop (op, a, b)) binop_gen operand_gen operand_gen);
+        (2, map2 (fun a b -> Instr.Cstore (a, b)) operand_gen operand_gen);
+        (2, map2 (fun a b -> Instr.Cexec (a, b)) operand_gen operand_gen);
+      ])
+
+let program_gen = QCheck.Gen.(list_size (0 -- 12) instr_gen)
+
+let program_arbitrary =
+  QCheck.make
+    ~print:(fun p ->
+      String.concat "\n" (List.map (Format.asprintf "%a" Instr.pp) p))
+    program_gen
+
+(* Snapshot of everything a TPP must NOT be able to change. *)
+let protected_snapshot st =
+  ( st.State.switch_id,
+    st.State.version,
+    st.State.packets_seen,
+    st.State.bytes_seen,
+    st.State.drops,
+    Array.map
+      (fun p ->
+        ( p.State.Port.rx_bytes, p.State.Port.tx_bytes, p.State.Port.drops,
+          p.State.Port.queue_bytes, p.State.Port.capacity_bps ))
+      st.State.ports )
+
+let run_random_program ?(hop_mode = false) program =
+  let st = State.create ~switch_id:3 ~num_ports:4 () in
+  State.force_queue_depth st ~port:2 ~bytes:777;
+  st.State.packets_seen <- 42;
+  let tpp =
+    if hop_mode then
+      Prog.make ~addr_mode:Prog.Hop_addressed ~perhop_len:16 ~program ~mem_len:64 ()
+    else Prog.make ~program ~mem_len:64 ()
+  in
+  let frame =
+    Frame.udp_frame ~src_mac:(Mac.of_host_id 1) ~dst_mac:(Mac.of_host_id 2)
+      ~src_ip:(Ipv4.Addr.of_host_id 1) ~dst_ip:(Ipv4.Addr.of_host_id 2) ~src_port:1
+      ~dst_port:2 ~tpp ~payload:Bytes.empty ()
+  in
+  frame.Frame.meta.Meta.out_port <- 2;
+  let before = protected_snapshot st in
+  let result = AsicTcpu.execute st ~now:123 ~frame in
+  (st, before, result, Option.get frame.Frame.tpp)
+
+let prop_tcpu_never_corrupts_protected_state =
+  QCheck.Test.make ~name:"random programs cannot touch protected state" ~count:500
+    program_arbitrary
+    (fun program ->
+      let st, before, _, _ = run_random_program program in
+      (* tpp counters legitimately move; everything else must not. *)
+      protected_snapshot st = before)
+
+let prop_tcpu_total =
+  QCheck.Test.make ~name:"random programs always terminate with a result" ~count:500
+    program_arbitrary
+    (fun program ->
+      let _, _, result, tpp = run_random_program program in
+      match result with
+      | Some r ->
+        r.Tpp_asic.Tcpu.executed <= List.length program
+        && r.Tpp_asic.Tcpu.cycles = Tpp_asic.Tcpu.cycles_for r.Tpp_asic.Tcpu.executed
+        && tpp.Prog.hop = 1
+      | None -> false)
+
+let prop_tcpu_hop_mode_total =
+  QCheck.Test.make ~name:"random hop-mode programs terminate" ~count:300
+    program_arbitrary
+    (fun program ->
+      let _, before, _, _ = run_random_program ~hop_mode:true program in
+      let st, before', _, _ = run_random_program ~hop_mode:true program in
+      ignore before;
+      protected_snapshot st = before')
+
+let prop_faults_set_flag =
+  QCheck.Test.make ~name:"a fault always raises the TPP flag and counter" ~count:500
+    program_arbitrary
+    (fun program ->
+      let st, _, result, tpp = run_random_program program in
+      match result with
+      | Some { Tpp_asic.Tcpu.fault = Some _; _ } ->
+        tpp.Prog.faulted && st.State.tpp_faults = 1
+      | Some { Tpp_asic.Tcpu.fault = None; _ } ->
+        (not tpp.Prog.faulted) && st.State.tpp_faults = 0
+      | None -> false)
+
+(* --- frame parser fuzz ----------------------------------------------------- *)
+
+let prop_parser_never_crashes_on_garbage =
+  QCheck.Test.make ~name:"frame parser is total on random bytes" ~count:1000
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      match Frame.parse (Bytes.of_string s) with Ok _ | Error _ -> true)
+
+let prop_parser_never_crashes_on_mutated_frames =
+  (* Start from a valid TPP frame and flip one byte anywhere. *)
+  let base =
+    let tpp =
+      Result.get_ok (Asm.to_tpp ~mem_len:32 "PUSH [Switch:SwitchID]\nHALT\n")
+    in
+    Frame.serialize
+      (Frame.udp_frame ~src_mac:(Mac.of_host_id 1) ~dst_mac:(Mac.of_host_id 2)
+         ~src_ip:(Ipv4.Addr.of_host_id 1) ~dst_ip:(Ipv4.Addr.of_host_id 2)
+         ~src_port:1 ~dst_port:2 ~tpp ~payload:(Bytes.create 16) ())
+  in
+  QCheck.Test.make ~name:"one-byte mutations never crash the parser" ~count:1000
+    QCheck.(pair (int_bound (Bytes.length base - 1)) (int_bound 255))
+    (fun (pos, value) ->
+      let mutated = Bytes.copy base in
+      Bytes.set_uint8 mutated pos value;
+      match Frame.parse mutated with Ok _ | Error _ -> true)
+
+let prop_random_udp_frames_roundtrip =
+  QCheck.Test.make ~name:"random UDP frames round-trip through bytes" ~count:300
+    QCheck.(quad (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 0xFFFFFF)
+              (string_of_size Gen.(0 -- 100)))
+    (fun (sport, dport, ip, payload) ->
+      let frame =
+        Frame.udp_frame ~src_mac:(Mac.of_host_id 1) ~dst_mac:(Mac.of_host_id 2)
+          ~src_ip:(Ipv4.Addr.of_int ip) ~dst_ip:(Ipv4.Addr.of_host_id 2)
+          ~src_port:sport ~dst_port:dport ~payload:(Bytes.of_string payload) ()
+      in
+      match Frame.parse (Frame.serialize frame) with
+      | Ok got ->
+        got.Frame.eth = frame.Frame.eth
+        && got.Frame.ip = frame.Frame.ip
+        && got.Frame.udp = frame.Frame.udp
+        && Bytes.equal got.Frame.payload frame.Frame.payload
+      | Error _ -> false)
+
+(* --- whole-dataplane fuzz over random topologies ---------------------------- *)
+
+let prop_random_topology_routes_everything =
+  let gen =
+    QCheck.Gen.(
+      tup4 (int_range 1 8) (int_range 2 12) (int_range 0 8) (int_range 0 10_000))
+  in
+  QCheck.Test.make ~name:"random topologies: every host pair delivers, TPPs agree \
+                          with the control path" ~count:25
+    (QCheck.make gen)
+    (fun (switches, hosts, extra_links, seed) ->
+      let eng = Engine.create () in
+      let topo =
+        Topology.random eng ~switches ~hosts ~extra_links ~seed ~bps:100_000_000
+          ~delay:1_000 ()
+      in
+      let net = topo.Topology.r_net in
+      let hs = topo.Topology.r_hosts in
+      let received = ref [] in
+      Array.iteri
+        (fun i h ->
+          h.Net.receive <- (fun ~now:_ frame ->
+              match frame.Frame.tpp with
+              | Some tpp -> received := (i, tpp.Prog.hop) :: !received
+              | None -> ()))
+        hs;
+      let n = Array.length hs in
+      let expectations =
+        List.init n (fun i ->
+            let j = (i + 1 + (seed mod (n - 1))) mod n in
+            let tpp =
+              Result.get_ok (Tpp_isa.Programs.build ~max_hops:(switches + 2)
+                               Tpp_isa.Programs.queue_snapshot)
+            in
+            let frame =
+              Frame.udp_frame ~src_mac:hs.(i).Net.mac ~dst_mac:hs.(j).Net.mac
+                ~src_ip:hs.(i).Net.ip ~dst_ip:hs.(j).Net.ip ~src_port:(100 + i)
+                ~dst_port:200 ~tpp ~payload:Bytes.empty ()
+            in
+            Net.host_send net hs.(i) frame;
+            let expected_hops =
+              List.length
+                (Verify.control_path ~src_port:(100 + i) ~dst_port:200 net
+                   ~src:hs.(i) ~dst:hs.(j))
+            in
+            (j, expected_hops))
+      in
+      Engine.run eng ~until:1_000_000_000;
+      List.for_all
+        (fun (dst, expected_hops) ->
+          List.exists
+            (fun (got_dst, got_hops) -> got_dst = dst && got_hops = expected_hops)
+            !received)
+        expectations)
+
+let prop_switch_conserves_packets =
+  (* Conservation through a single switch: everything offered to a port
+     is either still queued, transmitted, or counted as dropped. *)
+  let gen = QCheck.Gen.(pair (int_range 1 120) (int_range 1 10)) in
+  QCheck.Test.make ~name:"switch conserves packets (queued+tx+dropped = offered)"
+    ~count:100 (QCheck.make gen)
+    (fun (pkts, limit_frames) ->
+      let sw = Switch.create ~id:1 ~num_ports:2 () in
+      let dst = Ipv4.Addr.of_host_id 2 in
+      Switch.install_route sw (Ipv4.Prefix.host dst) ~port:1 ~entry_id:1 ~version:1;
+      let frame () =
+        Frame.udp_frame ~src_mac:(Mac.of_host_id 1) ~dst_mac:(Mac.of_host_id 2)
+          ~src_ip:(Ipv4.Addr.of_host_id 1) ~dst_ip:dst ~src_port:1 ~dst_port:2
+          ~payload:(Bytes.create 100) ()
+      in
+      let wire = Frame.wire_size (frame ()) in
+      Switch.set_queue_limit sw ~port:1 ~bytes:(limit_frames * wire);
+      let queued = ref 0 and dropped = ref 0 in
+      for _ = 1 to pkts do
+        match Switch.handle_ingress sw ~now:0 ~in_port:0 (frame ()) with
+        | Switch.Queued _ -> incr queued
+        | Switch.Dropped _ -> incr dropped
+      done;
+      (* Drain half, then check the books. *)
+      let drained = ref 0 in
+      for _ = 1 to pkts / 2 do
+        match Switch.dequeue sw ~port:1 with Some _ -> incr drained | None -> ()
+      done;
+      let st = Switch.state sw in
+      let in_queue = Switch.queue_packets sw ~port:1 in
+      !queued + !dropped = pkts
+      && !drained + in_queue = !queued
+      && Tpp_asic.State.port_stat st ~port:1 Vaddr.Port_stat.Drops = !dropped
+      && Tpp_asic.State.port_stat st ~port:1 Vaddr.Port_stat.Tx_pkts = !drained
+      && Switch.queue_bytes sw ~port:1 = in_queue * wire)
+
+(* --- model-based test of multi-queue enqueue/dequeue ------------------------ *)
+
+(* An independent, obviously-correct model of the egress stage: FIFO
+   lists per queue, tail drop per queue, strict priority service. The
+   real switch must agree action for action. *)
+module Queue_model = struct
+  type t = { queues : int list array; mutable limits : int }
+
+  let create ~num_queues ~limit = { queues = Array.make num_queues []; limits = limit }
+
+  let enqueue t ~queue ~wire ~id =
+    let q_bytes = List.length t.queues.(queue) * wire in
+    if q_bytes + wire > t.limits then false
+    else begin
+      t.queues.(queue) <- t.queues.(queue) @ [ id ];
+      true
+    end
+
+  let dequeue t =
+    let rec scan qi =
+      if qi < 0 then None
+      else
+        match t.queues.(qi) with
+        | id :: rest ->
+          t.queues.(qi) <- rest;
+          Some id
+        | [] -> scan (qi - 1)
+    in
+    scan (Array.length t.queues - 1)
+end
+
+let prop_scheduler_matches_model =
+  (* Random interleavings of enqueues (random DSCP) and dequeues on a
+     2..4-queue port must match the model decision for decision. Equal
+     frame sizes keep the byte accounting identical on both sides. *)
+  let gen =
+    QCheck.Gen.(
+      triple (int_range 1 4) (int_range 2 12)
+        (list_size (10 -- 80) (pair bool (int_bound 63))))
+  in
+  QCheck.Test.make ~name:"multi-queue engine agrees with a simple model" ~count:100
+    (QCheck.make gen)
+    (fun (num_queues, limit_frames, ops) ->
+      let sw = Switch.create ~id:1 ~num_ports:2 () in
+      let dst = Ipv4.Addr.of_host_id 2 in
+      Switch.install_route sw (Ipv4.Prefix.host dst) ~port:1 ~entry_id:1 ~version:1;
+      Switch.configure_queues sw ~port:1 ~count:num_queues;
+      let frame dscp =
+        let f =
+          Frame.udp_frame ~src_mac:(Mac.of_host_id 1) ~dst_mac:(Mac.of_host_id 2)
+            ~src_ip:(Ipv4.Addr.of_host_id 1) ~dst_ip:dst ~src_port:1 ~dst_port:2
+            ~payload:(Bytes.create 100) ()
+        in
+        f.Frame.ip <- Some { (Option.get f.Frame.ip) with Ipv4.Header.dscp };
+        f
+      in
+      let wire = Frame.wire_size (frame 0) in
+      Switch.set_queue_limit sw ~port:1 ~bytes:(limit_frames * wire);
+      let model = Queue_model.create ~num_queues ~limit:(limit_frames * wire) in
+      List.for_all
+        (fun (is_dequeue, dscp) ->
+          if is_dequeue then begin
+            let got = Switch.dequeue sw ~port:1 in
+            let want = Queue_model.dequeue model in
+            Option.map (fun f -> f.Frame.id) got = want
+          end
+          else begin
+            let f = frame dscp in
+            let queue = min (num_queues - 1) (dscp * num_queues / 64) in
+            let want = Queue_model.enqueue model ~queue ~wire ~id:f.Frame.id in
+            match Switch.handle_ingress sw ~now:0 ~in_port:0 f with
+            | Switch.Queued _ -> want
+            | Switch.Dropped _ -> not want
+          end)
+        ops)
+
+let prop_assembler_never_crashes =
+  (* Random text must yield Ok or Error, never an exception. *)
+  QCheck.Test.make ~name:"assembler is total on random text" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 80))
+    (fun s -> match Asm.assemble s with Ok _ | Error _ -> true)
+
+let suite =
+  [
+    qtest prop_tcpu_never_corrupts_protected_state;
+    qtest prop_tcpu_total;
+    qtest prop_tcpu_hop_mode_total;
+    qtest prop_faults_set_flag;
+    qtest prop_parser_never_crashes_on_garbage;
+    qtest prop_parser_never_crashes_on_mutated_frames;
+    qtest prop_random_udp_frames_roundtrip;
+    qtest prop_random_topology_routes_everything;
+    qtest prop_switch_conserves_packets;
+    qtest prop_scheduler_matches_model;
+    qtest prop_assembler_never_crashes;
+  ]

@@ -1,0 +1,150 @@
+(* Golden wire-format tests.
+
+   TPPs are a wire protocol: once two implementations exist, encodings
+   must never change silently. These tables freeze (a) the 32-bit
+   encoding of representative instructions, (b) complete TPP sections,
+   and (c) the virtual address of every named statistic. A failure here
+   means the wire format changed — that must be a deliberate,
+   versioned decision, not an accident. *)
+
+open Tpp
+
+let check = Alcotest.check
+
+(* --- instruction encodings ------------------------------------------------ *)
+
+(* opcode:4 | op1(space:2|value:12) | op2(space:2|value:12) *)
+let golden_instructions =
+  [
+    ("NOP", Instr.Nop, 0x0800_2000l);
+    ("HALT", Instr.Halt, 0xE800_2000l);
+    ("PUSH [Switch:SwitchID]", Instr.Push (Instr.Sw 0x000), 0x1000_2000l);
+    ("PUSH [Queue:QueueSize]", Instr.Push (Instr.Sw 0x140), 0x1050_2000l);
+    ("POP [Sram:0]", Instr.Pop (Instr.Sw 0x880), 0x2220_2000l);
+    ("LOAD sw->pkt", Instr.Load (Instr.Sw 0x100, Instr.Pkt 8), 0x3040_1008l);
+    ("STORE sw<-pkt", Instr.Store (Instr.Sw 0x880, Instr.Pkt 0), 0x4220_1000l);
+    ("MOV pkt, imm", Instr.Mov (Instr.Pkt 4, Instr.Imm 99), 0x5401_2063l);
+    ("ADD pkt, imm", Instr.Binop (Instr.Add, Instr.Pkt 0, Instr.Imm 1), 0x6400_2001l);
+    ("SUB", Instr.Binop (Instr.Sub, Instr.Pkt 0, Instr.Imm 1), 0x7400_2001l);
+    ("AND", Instr.Binop (Instr.And, Instr.Pkt 0, Instr.Imm 1), 0x8400_2001l);
+    ("OR", Instr.Binop (Instr.Or, Instr.Pkt 0, Instr.Imm 1), 0x9400_2001l);
+    ("MIN", Instr.Binop (Instr.Min, Instr.Pkt 0, Instr.Imm 1), 0xA400_2001l);
+    ("MAX", Instr.Binop (Instr.Max, Instr.Pkt 0, Instr.Imm 1), 0xB400_2001l);
+    ("CSTORE sram, pool", Instr.Cstore (Instr.Sw 0x880, Instr.Pkt 0), 0xC220_1000l);
+    ("CEXEC swid, pool", Instr.Cexec (Instr.Sw 0x000, Instr.Pkt 0), 0xD000_1000l);
+    ("hop operand", Instr.Push (Instr.Hop 3), 0x1C00_E000l);
+  ]
+
+let test_instruction_encodings () =
+  List.iter
+    (fun (name, instr, expected) ->
+      check Alcotest.int32 name expected (Instr.encode instr);
+      (* And they decode back. *)
+      check Alcotest.bool (name ^ " decodes") true
+        (Instr.decode expected = Ok instr))
+    golden_instructions
+
+(* --- full TPP section ------------------------------------------------------ *)
+
+let hex_of b =
+  String.concat ""
+    (List.init (Bytes.length b) (fun i -> Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+
+let test_section_image () =
+  (* The Figure 1 probe with 8 bytes of packet memory. *)
+  let tpp =
+    Result.get_ok
+      (Asm.to_tpp ~mem_len:8 "PUSH [Switch:SwitchID]\nPUSH [Queue:QueueSize]\n")
+  in
+  let w = Buf.Writer.create () in
+  Prog.write w tpp;
+  check Alcotest.string "section bytes"
+    ("0100" (* version, flags *)
+   ^ "0008" (* tpp_len *)
+   ^ "0008" (* mem_len *)
+   ^ "0000" (* sp *)
+   ^ "0000" (* hop *)
+   ^ "0000" (* perhop *)
+   ^ "0000" (* inner ethertype *)
+   ^ "0000" (* base *)
+   ^ "10002000" (* PUSH [Switch:SwitchID] *)
+   ^ "10502000" (* PUSH [Queue:QueueSize] *)
+   ^ "0000000000000000" (* packet memory *))
+    (hex_of (Buf.Writer.contents w))
+
+let test_sugared_section_image () =
+  let tpp =
+    Result.get_ok
+      (Asm.to_tpp ~mem_len:0 "CEXEC [Switch:SwitchID], 0xFFFFFFFF, 7\n")
+  in
+  let w = Buf.Writer.create () in
+  Prog.write w tpp;
+  check Alcotest.string "pool-backed CEXEC"
+    ("0100" ^ "0004" ^ "0008" ^ "0008" (* sp = base = pool *)
+   ^ "0000" ^ "0000" ^ "0000" ^ "0008" (* base *)
+   ^ "d0001000" (* CEXEC [Switch:SwitchID], [Packet:0] *)
+   ^ "ffffffff" ^ "00000007")
+    (hex_of (Buf.Writer.contents w))
+
+(* --- the address map -------------------------------------------------------- *)
+
+let golden_addresses =
+  [
+    ("Switch:SwitchID", 0x000); ("Switch:Version", 0x001);
+    ("Switch:PacketsSeen", 0x002); ("Switch:BytesSeen", 0x003);
+    ("Switch:Drops", 0x004); ("Switch:NumPorts", 0x005);
+    ("Switch:TppExecs", 0x006); ("Switch:TppFaults", 0x007);
+    ("Switch:ClockNs", 0x008);
+    ("Link:QueueSize", 0x100); ("Link:QueuePackets", 0x101);
+    ("Link:RxBytes", 0x102); ("Link:TxBytes", 0x103);
+    ("Link:RxUtilization", 0x104); ("Link:Drops", 0x105);
+    ("Link:AvgQueueSize", 0x106); ("Link:CapacityKbps", 0x107);
+    ("Link:TxPackets", 0x108); ("Link:RxPackets", 0x109);
+    ("Link:QueueLimit", 0x10a);
+    ("Queue:QueueSize", 0x140); ("Queue:QueuePackets", 0x141);
+    ("Queue:BytesEnqueued", 0x142); ("Queue:BytesDropped", 0x143);
+    ("Queue:Limit", 0x144); ("Queue:QueueID", 0x145);
+    ("PacketMetadata:InputPort", 0x800); ("PacketMetadata:OutputPort", 0x801);
+    ("PacketMetadata:MatchedEntryID", 0x802);
+    ("PacketMetadata:MatchedVersion", 0x803);
+    ("PacketMetadata:HopCount", 0x804); ("PacketMetadata:TableHit", 0x805);
+    ("PacketMetadata:ArrivalNs", 0x806);
+  ]
+
+let test_address_map_frozen () =
+  List.iter
+    (fun (name, addr) ->
+      check Alcotest.int name addr (Result.get_ok (Vaddr.of_name name)))
+    golden_addresses;
+  (* And the named map contains nothing else unaccounted. *)
+  check Alcotest.int "total named statistics" (List.length golden_addresses)
+    (List.length (Vaddr.all_named ()))
+
+(* --- a full frame ------------------------------------------------------------ *)
+
+let test_frame_image () =
+  let frame =
+    Frame.udp_frame ~src_mac:(Mac.of_int 0x020000100001) ~dst_mac:(Mac.of_int 0x020000100002)
+      ~src_ip:(Ipv4.Addr.of_string "10.0.0.1") ~dst_ip:(Ipv4.Addr.of_string "10.0.0.2")
+      ~src_port:0x1111 ~dst_port:0x2222 ~ttl:7 ~payload:(Bytes.of_string "AB") ()
+  in
+  (* The IPv4 ident comes from a global counter; pin it for the image. *)
+  frame.Frame.ip <-
+    Some { (Option.get frame.Frame.ip) with Ipv4.Header.ident = 0x1234 };
+  check Alcotest.string "frame bytes"
+    ("020000100002" (* dst mac *)
+   ^ "020000100001" (* src mac *)
+   ^ "0800" (* ethertype *)
+   ^ "4500001e1234400007114d990a0000010a000002" (* ipv4, checksum 0x4d99 *)
+   ^ "11112222000a0000" (* udp *)
+   ^ "4142")
+    (hex_of (Frame.serialize frame))
+
+let suite =
+  [
+    Alcotest.test_case "instruction encodings" `Quick test_instruction_encodings;
+    Alcotest.test_case "tpp section image" `Quick test_section_image;
+    Alcotest.test_case "sugared section image" `Quick test_sugared_section_image;
+    Alcotest.test_case "address map frozen" `Quick test_address_map_frozen;
+    Alcotest.test_case "frame image" `Quick test_frame_image;
+  ]

@@ -1,0 +1,340 @@
+(* End-to-end integration: scaled-down versions of the paper's three
+   tasks running on the full stack (assembler -> wire format -> switch
+   pipeline -> TCPU -> end-host applications). *)
+
+open Tpp
+
+let check = Alcotest.check
+let mbps x = x * 1_000_000
+
+(* --- Figure 2, miniature: RCP* fair share ------------------------------- *)
+
+let test_rcp_star_two_flows_fair_share () =
+  let eng = Engine.create () in
+  let bell =
+    Topology.dumbbell eng ~pairs:2 ~core_bps:(mbps 10) ~edge_bps:(mbps 100)
+      ~delay:(Time_ns.ms 2) ()
+  in
+  let net = bell.Topology.d_net in
+  let slot = Result.get_ok (Rcp_star.setup_network net) in
+  let config = Rcp_star.default_config ~slot in
+  Net.start_utilization_updates net ~period:config.Rcp_star.period_ns
+    ~until:(Time_ns.sec 6);
+  let controllers =
+    List.init 2 (fun i ->
+        let src = Stack.create net bell.Topology.senders.(i) in
+        let dst_host = bell.Topology.receivers.(i) in
+        let dst = Stack.create net dst_host in
+        Probe.install_echo dst;
+        let _sink = Flow.Sink.attach dst ~port:9000 in
+        let flow =
+          Flow.cbr ~src ~dst:dst_host ~dst_port:9000 ~payload_bytes:954
+            ~rate_bps:(mbps 10)
+        in
+        let ctl = Rcp_star.create src config ~flow ~dst:dst_host in
+        Engine.at eng (Time_ns.sec i) (fun () ->
+            Flow.start flow ();
+            Rcp_star.start ctl ());
+        ctl)
+  in
+  Engine.run eng ~until:(Time_ns.sec 6);
+  let sw = Net.switch net bell.Topology.left_switch in
+  let r_over_c =
+    float_of_int (Option.get (Rcp_star.read_rate_kbps sw ~slot ~port:0))
+    *. 1000.0 /. float_of_int (mbps 10)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "bottleneck register near fair share (R/C = %.3f)" r_over_c)
+    true
+    (r_over_c > 0.3 && r_over_c < 0.7);
+  List.iter
+    (fun ctl ->
+      check Alcotest.bool "controller probing" true (Rcp_star.probes_sent ctl > 100);
+      check Alcotest.bool "controller updating" true (Rcp_star.updates_sent ctl > 100);
+      let rate = float_of_int (Rcp_star.current_rate_bps ctl) /. float_of_int (mbps 10) in
+      check Alcotest.bool
+        (Printf.sprintf "flow rate near fair share (%.3f)" rate)
+        true
+        (rate > 0.25 && rate < 0.75))
+    controllers
+
+let test_rcp_star_cstore_prevents_lost_updates () =
+  (* With CSTORE, an update whose condition is stale is rejected, and
+     the controller can tell: updates_won < updates_sent under
+     contention, while a single writer wins everything. *)
+  let run ~flows =
+    let eng = Engine.create () in
+    let bell =
+      Topology.dumbbell eng ~pairs:flows ~core_bps:(mbps 10) ~edge_bps:(mbps 100)
+        ~delay:(Time_ns.ms 2) ()
+    in
+    let net = bell.Topology.d_net in
+    let slot = Result.get_ok (Rcp_star.setup_network net) in
+    (* T > RTT so a lone controller's update lands before its next
+       read; otherwise it races itself, which would mask the
+       contention signal this test is about. *)
+    let config =
+      { (Rcp_star.default_config ~slot) with Rcp_star.period_ns = Time_ns.ms 40 }
+    in
+    Net.start_utilization_updates net ~period:config.Rcp_star.period_ns
+      ~until:(Time_ns.sec 3);
+    let controllers =
+      List.init flows (fun i ->
+          let src = Stack.create net bell.Topology.senders.(i) in
+          let dst_host = bell.Topology.receivers.(i) in
+          let dst = Stack.create net dst_host in
+          Probe.install_echo dst;
+          let _sink = Flow.Sink.attach dst ~port:9000 in
+          let flow =
+            Flow.cbr ~src ~dst:dst_host ~dst_port:9000 ~payload_bytes:954
+              ~rate_bps:(mbps 10)
+          in
+          let ctl = Rcp_star.create src config ~flow ~dst:dst_host in
+          Flow.start flow ();
+          Rcp_star.start ctl ();
+          ctl)
+    in
+    Engine.run eng ~until:(Time_ns.sec 3);
+    let sent = List.fold_left (fun a c -> a + Rcp_star.updates_sent c) 0 controllers in
+    let won = List.fold_left (fun a c -> a + Rcp_star.updates_won c) 0 controllers in
+    (sent, won)
+  in
+  let sent1, won1 = run ~flows:1 in
+  check Alcotest.bool
+    (Printf.sprintf "single writer mostly wins (%d of %d)" won1 sent1)
+    true
+    (won1 * 10 > sent1 * 6);
+  let sent3, won3 = run ~flows:3 in
+  check Alcotest.bool
+    (Printf.sprintf "contention visible to CSTORE (%d of %d)" won3 sent3)
+    true (won3 < sent3);
+  check Alcotest.bool "some updates still land" true (won3 > 0);
+  check Alcotest.bool "contended win rate below solo win rate" true
+    (won3 * sent1 < won1 * sent3)
+
+let test_rcp_star_piggyback_mode () =
+  (* Phase-1 collects riding the data packets themselves: convergence
+     without any separate collect probes. *)
+  let eng = Engine.create () in
+  let bell =
+    Topology.dumbbell eng ~pairs:2 ~core_bps:(mbps 10) ~edge_bps:(mbps 100)
+      ~delay:(Time_ns.ms 2) ()
+  in
+  let net = bell.Topology.d_net in
+  let slot = Result.get_ok (Rcp_star.setup_network net) in
+  let config =
+    { (Rcp_star.default_config ~slot) with Rcp_star.piggyback_every = Some 5 }
+  in
+  Net.start_utilization_updates net ~period:config.Rcp_star.period_ns
+    ~until:(Time_ns.sec 5);
+  let flows =
+    List.init 2 (fun i ->
+        let src = Stack.create net bell.Topology.senders.(i) in
+        let dst_host = bell.Topology.receivers.(i) in
+        let dst = Stack.create net dst_host in
+        let _sink = Flow.Sink.attach dst ~port:9000 in
+        Probe.install_echo dst;
+        Probe.install_echo_on_port dst ~port:9000;
+        let flow =
+          Flow.cbr ~src ~dst:dst_host ~dst_port:9000 ~payload_bytes:954
+            ~rate_bps:(mbps 10)
+        in
+        let ctl = Rcp_star.create src config ~flow ~dst:dst_host in
+        Flow.start flow ();
+        Rcp_star.start ctl ();
+        (flow, ctl))
+  in
+  Engine.run eng ~until:(Time_ns.sec 5);
+  let sw = Net.switch net bell.Topology.left_switch in
+  let r_over_c =
+    float_of_int (Option.get (Rcp_star.read_rate_kbps sw ~slot ~port:0))
+    *. 1000.0 /. float_of_int (mbps 10)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "piggyback converges to fair share (R/C=%.3f)" r_over_c)
+    true
+    (r_over_c > 0.3 && r_over_c < 0.7);
+  List.iter
+    (fun (flow, ctl) ->
+      check Alcotest.bool "TPPs rode the data" true (Flow.tpp_carried flow > 100);
+      check Alcotest.bool "collects processed" true (Rcp_star.probes_sent ctl > 50);
+      check Alcotest.bool "updates still flowed" true (Rcp_star.updates_sent ctl > 50))
+    flows
+
+(* --- §2.1 miniature: micro-burst visibility ------------------------------ *)
+
+let test_microburst_tpp_vs_polling () =
+  let eng = Engine.create () in
+  let chain =
+    Topology.chain eng ~num_switches:3 ~hosts_per_switch:3 ~bps:(mbps 100)
+      ~delay:(Time_ns.us 50) ()
+  in
+  let net = chain.Topology.net in
+  let host i j = chain.Topology.hosts.(i).(j) in
+  List.iter
+    (fun (s, d, period) ->
+      let src = Stack.create net (host 0 s) in
+      let dst = Stack.create net (host 2 d) in
+      let _sink = Flow.Sink.attach dst ~port:9000 in
+      let flow =
+        Flow.bursts ~src ~dst:(host 2 d) ~dst_port:9000 ~payload_bytes:1400
+          ~burst_pkts:30 ~period
+      in
+      Flow.start flow ())
+    [ (1, 1, Time_ns.ms 21); (2, 2, Time_ns.ms 24) ];
+  let mon_src = Stack.create net (host 0 0) in
+  let mon_dst = Stack.create net (host 2 0) in
+  Probe.install_echo mon_dst;
+  let monitor =
+    Microburst.create ~src:mon_src ~dst:(host 2 0) ~period:(Time_ns.ms 1)
+      ~threshold_bytes:15_000
+  in
+  Microburst.start monitor ();
+  let sw0 = Net.switch net chain.Topology.switch_ids.(0) in
+  let oracle = Microburst.Episode.create ~threshold:15_000 in
+  let poller = Microburst.Episode.create ~threshold:15_000 in
+  let until = Time_ns.sec 5 in
+  Engine.every eng ~period:(Time_ns.us 50) ~until (fun () ->
+      Microburst.Episode.feed oracle (Switch.queue_bytes sw0 ~port:1));
+  Engine.every eng ~period:(Time_ns.sec 1) ~until (fun () ->
+      Microburst.Episode.feed poller (Switch.queue_bytes sw0 ~port:1));
+  Engine.run eng ~until;
+  let truth = Microburst.Episode.count oracle in
+  let tpp =
+    match List.assoc_opt (Switch.id sw0) (Microburst.hops monitor) with
+    | Some e -> Microburst.Episode.count e
+    | None -> 0
+  in
+  let polled = Microburst.Episode.count poller in
+  check Alcotest.bool (Printf.sprintf "bursts happened (%d)" truth) true (truth > 5);
+  check Alcotest.bool
+    (Printf.sprintf "TPP sees most bursts (%d of %d)" tpp truth)
+    true
+    (float_of_int tpp >= 0.8 *. float_of_int truth);
+  check Alcotest.bool
+    (Printf.sprintf "polling misses almost all (%d of %d)" polled truth)
+    true
+    (float_of_int polled <= 0.2 *. float_of_int truth)
+
+(* --- §2.3 miniature: debugger localises a planted fault ------------------- *)
+
+let test_ndb_localises_planted_rule () =
+  let eng = Engine.create () in
+  let dia =
+    Topology.diamond eng ~hosts_per_side:1 ~bps:(mbps 100) ~delay:(Time_ns.us 100) ()
+  in
+  let net = dia.Topology.m_net in
+  let src = dia.Topology.src_hosts.(0) in
+  let dst = dia.Topology.dst_hosts.(0) in
+  Switch.install_tcam
+    (Net.switch net dia.Topology.ingress)
+    { Tables.Tcam.any with
+      Tables.Tcam.priority = 50; dst_ip = Some (dst.Net.ip, 0xFFFFFFFF) }
+    { Tables.action = Tables.Forward 1; entry_id = 999; version = 0 };
+  let mismatches = ref [] in
+  dst.Net.receive <- (fun ~now:_ frame ->
+      match frame.Frame.tpp with
+      | Some tpp ->
+        let expected = Verify.control_path net ~src ~dst in
+        mismatches := Verify.check ~expected ~expected_version:1 ~trace:(Trace.parse tpp)
+                      :: !mismatches
+      | None -> ());
+  let frame =
+    Frame.udp_frame ~src_mac:src.Net.mac ~dst_mac:dst.Net.mac ~src_ip:src.Net.ip
+      ~dst_ip:dst.Net.ip ~src_port:1 ~dst_port:2 ~payload:Bytes.empty ()
+  in
+  Net.host_send net src (Trace.attach frame ~max_hops:6);
+  Engine.run eng ~until:(Time_ns.ms 50);
+  match !mismatches with
+  | [ issues ] ->
+    check Alcotest.bool "one packet suffices to localise the fault" true
+      (List.exists
+         (function Verify.Wrong_switch { hop = 1; _ } -> true | _ -> false)
+         issues)
+  | other -> Alcotest.failf "expected one verdict, got %d" (List.length other)
+
+(* --- §4: the edge strips untrusted TPPs ----------------------------------- *)
+
+let test_edge_strips_untrusted_tpp () =
+  let eng = Engine.create () in
+  let chain =
+    Topology.chain eng ~num_switches:2 ~hosts_per_switch:1 ~bps:(mbps 100)
+      ~delay:(Time_ns.us 10) ()
+  in
+  let net = chain.Topology.net in
+  let src = chain.Topology.hosts.(0).(0) in
+  let dst = chain.Topology.hosts.(1).(0) in
+  (* The tenant-facing port of the first switch strips TPPs. *)
+  Switch.set_strip_tpp (Net.switch net chain.Topology.switch_ids.(0)) ~port:2 true;
+  let got = ref None in
+  dst.Net.receive <- (fun ~now:_ frame -> got := Some (Option.is_some frame.Frame.tpp));
+  let tpp = Result.get_ok (Asm.to_tpp ~mem_len:16 "PUSH [Switch:SwitchID]\n") in
+  let frame =
+    Frame.udp_frame ~src_mac:src.Net.mac ~dst_mac:dst.Net.mac ~src_ip:src.Net.ip
+      ~dst_ip:dst.Net.ip ~src_port:1 ~dst_port:2 ~tpp ~payload:(Bytes.create 32) ()
+  in
+  Net.host_send net src frame;
+  Engine.run eng ~until:(Time_ns.ms 10);
+  check (Alcotest.option Alcotest.bool) "delivered without its TPP" (Some false) !got
+
+(* --- §3.2: concurrent tasks get disjoint SRAM ------------------------------ *)
+
+let test_multi_task_sram_isolation () =
+  let sw = Switch.create ~id:1 ~num_ports:8 () in
+  let alloc = Switch.alloc sw in
+  let rcp_slot = Result.get_ok (Tpp_asic.Alloc.alloc_link_slot alloc ~task:"rcp") in
+  let ndb_words = Result.get_ok (Tpp_asic.Alloc.alloc_words alloc ~task:"ndb" ~count:32) in
+  let regions = Tpp_asic.Alloc.regions alloc in
+  check Alcotest.int "two regions" 2 (List.length regions);
+  (* The RCP slot's backing words and the ndb block must not intersect. *)
+  let rcp_first = rcp_slot * 8 and rcp_count = 8 in
+  check Alcotest.bool "disjoint" true
+    (ndb_words >= rcp_first + rcp_count || rcp_first >= ndb_words + 32)
+
+(* --- Faulty TPPs cross the network without harming it ----------------------- *)
+
+let test_faulting_tpp_still_delivered () =
+  let eng = Engine.create () in
+  let chain =
+    Topology.chain eng ~num_switches:3 ~hosts_per_switch:1 ~bps:(mbps 100)
+      ~delay:(Time_ns.us 10) ()
+  in
+  let net = chain.Topology.net in
+  let src = chain.Topology.hosts.(0).(0) in
+  let dst = chain.Topology.hosts.(2).(0) in
+  let got = ref None in
+  dst.Net.receive <- (fun ~now:_ frame ->
+      got := Option.map (fun t -> t.Prog.faulted) frame.Frame.tpp);
+  (* Writing a read-only statistic faults at the first switch. *)
+  let tpp =
+    Result.get_ok
+      (Asm.to_tpp ~mem_len:16 "MOV [Packet:0], 1\nSTORE [Queue:QueueSize], [Packet:0]\n")
+  in
+  let frame =
+    Frame.udp_frame ~src_mac:src.Net.mac ~dst_mac:dst.Net.mac ~src_ip:src.Net.ip
+      ~dst_ip:dst.Net.ip ~src_port:1 ~dst_port:2 ~tpp ~payload:Bytes.empty ()
+  in
+  Net.host_send net src frame;
+  Engine.run eng ~until:(Time_ns.ms 10);
+  check (Alcotest.option Alcotest.bool) "arrived, flagged faulted" (Some true) !got;
+  let sw1 = Net.switch net chain.Topology.switch_ids.(0) in
+  check Alcotest.int "first switch counted the fault" 1
+    (Switch.state sw1).Tpp_asic.State.tpp_faults;
+  let sw2 = Net.switch net chain.Topology.switch_ids.(1) in
+  check Alcotest.int "later switches left it inert" 0
+    (Switch.state sw2).Tpp_asic.State.tpp_faults
+
+let suite =
+  [
+    Alcotest.test_case "rcp* fair share (mini fig 2)" `Slow
+      test_rcp_star_two_flows_fair_share;
+    Alcotest.test_case "cstore prevents lost updates" `Slow
+      test_rcp_star_cstore_prevents_lost_updates;
+    Alcotest.test_case "rcp* piggyback mode" `Slow test_rcp_star_piggyback_mode;
+    Alcotest.test_case "microburst tpp vs polling" `Slow test_microburst_tpp_vs_polling;
+    Alcotest.test_case "ndb localises planted rule" `Quick test_ndb_localises_planted_rule;
+    Alcotest.test_case "edge strips untrusted tpp" `Quick test_edge_strips_untrusted_tpp;
+    Alcotest.test_case "multi-task sram isolation" `Quick test_multi_task_sram_isolation;
+    Alcotest.test_case "faulting tpp still delivered" `Quick
+      test_faulting_tpp_still_delivered;
+  ]

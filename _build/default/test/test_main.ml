@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "tpp"
+    [
+      ("util", Test_util.suite);
+      ("packet", Test_packet.suite);
+      ("isa", Test_isa.suite);
+      ("asm", Test_asm.suite);
+      ("tables", Test_tables.suite);
+      ("asic", Test_asic.suite);
+      ("tcpu", Test_tcpu.suite);
+      ("switch", Test_switch.suite);
+      ("sim", Test_sim.suite);
+      ("endhost", Test_endhost.suite);
+      ("rcp", Test_rcp.suite);
+      ("ndb", Test_ndb.suite);
+      ("integration", Test_integration.suite);
+      ("extensions", Test_extensions.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("dataplane-ext", Test_dataplane_ext.suite);
+      ("control", Test_control.suite);
+      ("golden", Test_golden.suite);
+      ("tcp", Test_tcp.suite);
+    ]

@@ -1,0 +1,182 @@
+(* Forwarding-plane debugger tests: the trace TPP, control-path
+   computation, mismatch detection, and the postcard baseline. *)
+
+open Tpp
+
+let check = Alcotest.check
+
+let diamond () =
+  let eng = Engine.create () in
+  let dia =
+    Topology.diamond eng ~hosts_per_side:1 ~bps:100_000_000 ~delay:(Time_ns.us 100) ()
+  in
+  (eng, dia)
+
+let traced_frame src dst =
+  let frame =
+    Frame.udp_frame ~src_mac:src.Net.mac ~dst_mac:dst.Net.mac ~src_ip:src.Net.ip
+      ~dst_ip:dst.Net.ip ~src_port:9000 ~dst_port:9000 ~payload:(Bytes.create 64) ()
+  in
+  Trace.attach frame ~max_hops:6
+
+let collect_one_trace eng dia =
+  let net = dia.Topology.m_net in
+  let src = dia.Topology.src_hosts.(0) in
+  let dst = dia.Topology.dst_hosts.(0) in
+  let traces = ref [] in
+  dst.Net.receive <- (fun ~now:_ frame ->
+      match frame.Frame.tpp with
+      | Some tpp -> traces := Trace.parse tpp :: !traces
+      | None -> ());
+  Net.host_send net src (traced_frame src dst);
+  Engine.run eng ~until:(Time_ns.ms 50);
+  match !traces with
+  | [ t ] -> t
+  | other -> Alcotest.failf "expected one trace, got %d" (List.length other)
+
+let test_trace_records_intended_path () =
+  let eng, dia = diamond () in
+  let trace = collect_one_trace eng dia in
+  let ids = List.map (fun h -> h.Trace.switch_id) trace in
+  check (Alcotest.list Alcotest.int) "A-B-D" [ 1; 2; 4 ] ids;
+  List.iter
+    (fun h ->
+      check Alcotest.bool "entry recorded" true (h.Trace.matched_entry > 0);
+      check Alcotest.int "version 1" 1 h.Trace.matched_version)
+    trace;
+  (* The first hop entered from the source host's access port (2). *)
+  (match trace with
+  | first :: _ -> check Alcotest.int "in port" 2 first.Trace.in_port
+  | [] -> Alcotest.fail "empty trace");
+  let expected = Verify.control_path dia.Topology.m_net ~src:dia.Topology.src_hosts.(0)
+      ~dst:dia.Topology.dst_hosts.(0) in
+  check (Alcotest.list Alcotest.int) "matches control path" expected ids;
+  check Alcotest.int "no mismatch" 0
+    (List.length (Verify.check ~expected ~expected_version:1 ~trace))
+
+let test_trace_detects_divergence () =
+  let eng, dia = diamond () in
+  let ingress = Net.switch dia.Topology.m_net dia.Topology.ingress in
+  Switch.install_tcam ingress
+    { Tables.Tcam.any with
+      Tables.Tcam.priority = 50;
+      dst_ip = Some (dia.Topology.dst_hosts.(0).Net.ip, 0xFFFFFFFF) }
+    { Tables.action = Tables.Forward 1; entry_id = 999; version = 0 };
+  let trace = collect_one_trace eng dia in
+  let ids = List.map (fun h -> h.Trace.switch_id) trace in
+  check (Alcotest.list Alcotest.int) "went A-C-D" [ 1; 3; 4 ] ids;
+  (match trace with
+  | first :: _ ->
+    check Alcotest.int "culprit entry visible" 999 first.Trace.matched_entry
+  | [] -> Alcotest.fail "empty trace");
+  let expected =
+    Verify.control_path dia.Topology.m_net ~src:dia.Topology.src_hosts.(0)
+      ~dst:dia.Topology.dst_hosts.(0)
+  in
+  let issues = Verify.check ~expected ~expected_version:1 ~trace in
+  check Alcotest.bool "wrong switch flagged" true
+    (List.exists
+       (function
+         | Verify.Wrong_switch { hop = 1; expected = 2; got = 3 } -> true
+         | _ -> false)
+       issues)
+
+let test_verify_check_cases () =
+  let hop ?(version = 1) switch_id =
+    { Trace.switch_id; matched_entry = 1; matched_version = version; in_port = 0;
+      out_port = 1 }
+  in
+  check Alcotest.int "identical paths pass" 0
+    (List.length (Verify.check ~expected:[ 1; 2 ] ~expected_version:1
+                    ~trace:[ hop 1; hop 2 ]));
+  (match Verify.check ~expected:[ 1; 2; 3 ] ~expected_version:1 ~trace:[ hop 1 ] with
+  | [ Verify.Path_too_short _ ] -> ()
+  | _ -> Alcotest.fail "short path");
+  (match Verify.check ~expected:[ 1 ] ~expected_version:1 ~trace:[ hop 1; hop 2 ] with
+  | [ Verify.Path_too_long _ ] -> ()
+  | _ -> Alcotest.fail "long path");
+  match Verify.check ~expected:[ 1 ] ~expected_version:2 ~trace:[ hop ~version:1 1 ] with
+  | [ Verify.Stale_version { switch_id = 1; expected = 2; got = 1 } ] -> ()
+  | _ -> Alcotest.fail "stale version"
+
+let test_trace_attach_rules () =
+  let frame =
+    Frame.udp_frame ~src_mac:(Mac.of_host_id 1) ~dst_mac:(Mac.of_host_id 2)
+      ~src_ip:(Ipv4.Addr.of_host_id 1) ~dst_ip:(Ipv4.Addr.of_host_id 2) ~src_port:1
+      ~dst_port:2 ~payload:Bytes.empty ()
+  in
+  let traced = Trace.attach frame ~max_hops:4 in
+  check Alcotest.bool "tpp added" true (Option.is_some traced.Frame.tpp);
+  Alcotest.check_raises "double attach"
+    (Invalid_argument "Trace.attach: frame already carries a TPP") (fun () ->
+      ignore (Trace.attach traced ~max_hops:4))
+
+let test_trace_parse_stops_at_unwritten_blocks () =
+  let tpp = Trace.make ~max_hops:4 in
+  (* Simulate execution on one switch only. *)
+  Prog.mem_set tpp 0 7 (* switch id *);
+  Prog.mem_set tpp 4 1;
+  Prog.mem_set tpp 8 1;
+  tpp.Prog.hop <- 3 (* two further hops executed nothing, e.g. CEXEC-gated *);
+  let trace = Trace.parse tpp in
+  check Alcotest.int "only the written hop" 1 (List.length trace)
+
+let test_postcards () =
+  let eng, dia = diamond () in
+  let net = dia.Topology.m_net in
+  let collector = Postcard.deploy net in
+  let src = dia.Topology.src_hosts.(0) in
+  let dst = dia.Topology.dst_hosts.(0) in
+  let sent_ids = ref [] in
+  (* Send two plain frames; each crosses 3 switches. *)
+  for _ = 1 to 2 do
+    let frame =
+      Frame.udp_frame ~src_mac:src.Net.mac ~dst_mac:dst.Net.mac ~src_ip:src.Net.ip
+        ~dst_ip:dst.Net.ip ~src_port:1 ~dst_port:2 ~payload:Bytes.empty ()
+    in
+    Net.host_send net src frame
+  done;
+  Net.on_host_deliver net (fun _ frame -> sent_ids := frame.Frame.id :: !sent_ids);
+  Engine.run eng ~until:(Time_ns.ms 50);
+  check Alcotest.int "3 postcards per packet" 6 (Postcard.postcards collector);
+  check Alcotest.int "overhead bytes" (6 * 64) (Postcard.overhead_bytes collector);
+  check Alcotest.int "two distinct frames" 2 (Postcard.distinct_frames collector);
+  (match !sent_ids with
+  | id :: _ ->
+    let path = Postcard.path_of collector ~frame_id:id in
+    check (Alcotest.list Alcotest.int) "reassembled path" [ 1; 2; 4 ]
+      (List.map (fun c -> c.Postcard.switch_id) path)
+  | [] -> Alcotest.fail "no frames delivered");
+  Postcard.undeploy collector;
+  let frame =
+    Frame.udp_frame ~src_mac:src.Net.mac ~dst_mac:dst.Net.mac ~src_ip:src.Net.ip
+      ~dst_ip:dst.Net.ip ~src_port:1 ~dst_port:2 ~payload:Bytes.empty ()
+  in
+  Net.host_send net src frame;
+  Engine.run eng ~until:(Time_ns.ms 100);
+  check Alcotest.int "undeployed taps are silent" 6 (Postcard.postcards collector)
+
+let test_control_path_on_chain () =
+  let eng = Engine.create () in
+  let chain =
+    Topology.chain eng ~num_switches:3 ~hosts_per_switch:1 ~bps:1_000_000
+      ~delay:0 ()
+  in
+  let path =
+    Verify.control_path chain.Topology.net ~src:chain.Topology.hosts.(0).(0)
+      ~dst:chain.Topology.hosts.(2).(0)
+  in
+  check (Alcotest.list Alcotest.int) "full chain" [ 1; 2; 3 ] path
+
+let suite =
+  [
+    Alcotest.test_case "trace records intended path" `Quick
+      test_trace_records_intended_path;
+    Alcotest.test_case "trace detects divergence" `Quick test_trace_detects_divergence;
+    Alcotest.test_case "verify check cases" `Quick test_verify_check_cases;
+    Alcotest.test_case "trace attach rules" `Quick test_trace_attach_rules;
+    Alcotest.test_case "trace parse partial" `Quick
+      test_trace_parse_stops_at_unwritten_blocks;
+    Alcotest.test_case "postcards" `Quick test_postcards;
+    Alcotest.test_case "control path on chain" `Quick test_control_path_on_chain;
+  ]

@@ -1,0 +1,196 @@
+(* Wire-format tests: addresses, Ethernet/IPv4/UDP headers, checksums. *)
+
+open Tpp
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- MAC ------------------------------------------------------------ *)
+
+let test_mac_string () =
+  let m = Mac.of_host_id 42 in
+  let s = Mac.to_string m in
+  check Alcotest.string "format" "02:00:00:10:00:2a" s;
+  check Alcotest.bool "parses back" true (Mac.equal m (Mac.of_string s))
+
+let test_mac_bad_string () =
+  Alcotest.check_raises "five octets"
+    (Invalid_argument "Mac.of_string: need 6 octets") (fun () ->
+      ignore (Mac.of_string "01:02:03:04:05"));
+  Alcotest.check_raises "bad hex" (Invalid_argument "Mac.of_string: bad octet")
+    (fun () -> ignore (Mac.of_string "01:02:03:04:05:zz"))
+
+let test_mac_distinct () =
+  check Alcotest.bool "hosts and switches disjoint" false
+    (Mac.equal (Mac.of_host_id 3) (Mac.of_switch_id 3));
+  check Alcotest.bool "broadcast" true
+    (Mac.equal Mac.broadcast (Mac.of_string "ff:ff:ff:ff:ff:ff"))
+
+let prop_mac_string_roundtrip =
+  QCheck.Test.make ~name:"mac string roundtrip" ~count:200
+    QCheck.(int_bound 0xFFFFFF)
+    (fun v ->
+      let m = Mac.of_int v in
+      Mac.equal m (Mac.of_string (Mac.to_string m)))
+
+(* --- IPv4 addresses and prefixes ------------------------------------ *)
+
+let test_ipv4_addr () =
+  let a = Ipv4.Addr.of_string "10.1.2.3" in
+  check Alcotest.string "roundtrip" "10.1.2.3" (Ipv4.Addr.to_string a);
+  check Alcotest.int "to_int" 0x0A010203 (Ipv4.Addr.to_int a);
+  Alcotest.check_raises "octet range"
+    (Invalid_argument "Ipv4.Addr.of_string: bad octet") (fun () ->
+      ignore (Ipv4.Addr.of_string "1.2.3.256"))
+
+let test_prefix_matching () =
+  let p = Ipv4.Prefix.of_string "10.0.0.0/8" in
+  check Alcotest.bool "inside" true (Ipv4.Prefix.matches p (Ipv4.Addr.of_string "10.9.8.7"));
+  check Alcotest.bool "outside" false (Ipv4.Prefix.matches p (Ipv4.Addr.of_string "11.0.0.1"));
+  let default = Ipv4.Prefix.of_string "0.0.0.0/0" in
+  check Alcotest.bool "default matches all" true
+    (Ipv4.Prefix.matches default (Ipv4.Addr.of_string "203.0.113.7"));
+  let host = Ipv4.Prefix.host (Ipv4.Addr.of_string "10.0.0.1") in
+  check Alcotest.int "host length" 32 (Ipv4.Prefix.length host);
+  check Alcotest.bool "host matches self" true
+    (Ipv4.Prefix.matches host (Ipv4.Addr.of_string "10.0.0.1"));
+  check Alcotest.bool "host rejects sibling" false
+    (Ipv4.Prefix.matches host (Ipv4.Addr.of_string "10.0.0.2"))
+
+let test_prefix_normalises_host_bits () =
+  let p = Ipv4.Prefix.make (Ipv4.Addr.of_string "10.1.2.3") 16 in
+  check Alcotest.string "host bits zeroed" "10.1.0.0/16"
+    (Format.asprintf "%a" Ipv4.Prefix.pp p)
+
+let prop_prefix_self_match =
+  QCheck.Test.make ~name:"prefix made from an address matches it" ~count:200
+    QCheck.(pair (int_bound 0xFFFFFFF) (int_range 0 32))
+    (fun (v, len) ->
+      let a = Ipv4.Addr.of_int v in
+      Ipv4.Prefix.matches (Ipv4.Prefix.make a len) a)
+
+(* --- Internet checksum ---------------------------------------------- *)
+
+let test_checksum_zero_over_valid () =
+  (* A header serialised by us must checksum to zero when re-summed. *)
+  let w = Buf.Writer.create () in
+  let hdr =
+    { Ipv4.Header.src = Ipv4.Addr.of_string "10.0.0.1";
+      dst = Ipv4.Addr.of_string "10.0.0.2"; proto = 17; ttl = 64; dscp = 0; ecn = 0;
+      ident = 99 }
+  in
+  Ipv4.Header.write w hdr ~payload_len:100;
+  let b = Buf.Writer.contents w in
+  check Alcotest.int "fold to zero" 0 (Ipv4.checksum b ~pos:0 ~len:20)
+
+let test_checksum_known_vector () =
+  (* Example from RFC 1071 §3: words 0x0001 0xf203 0xf4f5 0xf6f7. *)
+  let b = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  check Alcotest.int "rfc1071" (lnot 0xddf2 land 0xFFFF)
+    (Ipv4.checksum b ~pos:0 ~len:8)
+
+let test_checksum_odd_length () =
+  let b = Bytes.of_string "\x01\x02\x03" in
+  (* 0x0102 + 0x0300 = 0x0402 -> complement *)
+  check Alcotest.int "odd tail padded" (lnot 0x0402 land 0xFFFF)
+    (Ipv4.checksum b ~pos:0 ~len:3)
+
+(* --- IPv4 header ----------------------------------------------------- *)
+
+let roundtrip_header hdr payload_len =
+  let w = Buf.Writer.create () in
+  Ipv4.Header.write w hdr ~payload_len;
+  Ipv4.Header.read (Buf.Reader.of_bytes (Buf.Writer.contents w))
+
+let test_ipv4_header_roundtrip () =
+  let hdr =
+    { Ipv4.Header.src = Ipv4.Addr.of_string "10.0.0.1";
+      dst = Ipv4.Addr.of_string "10.255.0.2"; proto = 17; ttl = 3; dscp = 9;
+      ecn = Ipv4.Header.ecn_ce; ident = 0xBEEF }
+  in
+  let got, payload_len = roundtrip_header hdr 321 in
+  check Alcotest.int "payload len" 321 payload_len;
+  check Alcotest.int "ecn" Ipv4.Header.ecn_ce got.Ipv4.Header.ecn;
+  check Alcotest.bool "src" true (Ipv4.Addr.equal hdr.Ipv4.Header.src got.Ipv4.Header.src);
+  check Alcotest.bool "dst" true (Ipv4.Addr.equal hdr.Ipv4.Header.dst got.Ipv4.Header.dst);
+  check Alcotest.int "proto" 17 got.Ipv4.Header.proto;
+  check Alcotest.int "ttl" 3 got.Ipv4.Header.ttl;
+  check Alcotest.int "dscp" 9 got.Ipv4.Header.dscp;
+  check Alcotest.int "ident" 0xBEEF got.Ipv4.Header.ident
+
+let test_ipv4_header_corruption_detected () =
+  let hdr =
+    { Ipv4.Header.src = Ipv4.Addr.of_string "10.0.0.1";
+      dst = Ipv4.Addr.of_string "10.0.0.2"; proto = 17; ttl = 64; dscp = 0; ecn = 0;
+      ident = 1 }
+  in
+  let w = Buf.Writer.create () in
+  Ipv4.Header.write w hdr ~payload_len:0;
+  let b = Buf.Writer.contents w in
+  Bytes.set_uint8 b 8 99 (* flip the TTL without fixing the checksum *);
+  Alcotest.check_raises "checksum failure"
+    (Invalid_argument "Ipv4.Header.read: checksum") (fun () ->
+      ignore (Ipv4.Header.read (Buf.Reader.of_bytes b)))
+
+let prop_ipv4_header_roundtrip =
+  QCheck.Test.make ~name:"ipv4 header roundtrip" ~count:200
+    QCheck.(quad (int_bound 0xFFFFFF) (int_bound 0xFFFFFF) (int_range 1 255)
+              (int_bound 0xFFFF))
+    (fun (src, dst, ttl, ident) ->
+      let hdr =
+        { Ipv4.Header.src = Ipv4.Addr.of_int src; dst = Ipv4.Addr.of_int dst;
+          proto = 17; ttl; dscp = 0; ecn = 0; ident }
+      in
+      let got, _ = roundtrip_header hdr 42 in
+      got = hdr)
+
+(* --- UDP -------------------------------------------------------------- *)
+
+let test_udp_roundtrip () =
+  let w = Buf.Writer.create () in
+  Udp.write w { Udp.src_port = 7777; dst_port = 53 } ~payload_len:11;
+  let got, len = Udp.read (Buf.Reader.of_bytes (Buf.Writer.contents w)) in
+  check Alcotest.int "src" 7777 got.Udp.src_port;
+  check Alcotest.int "dst" 53 got.Udp.dst_port;
+  check Alcotest.int "payload" 11 len
+
+let test_udp_bad_length () =
+  let b = Bytes.make 8 '\000' in
+  Bytes.set_uint16_be b 4 3 (* length below header size *);
+  Alcotest.check_raises "short length" (Invalid_argument "Udp.read: length")
+    (fun () -> ignore (Udp.read (Buf.Reader.of_bytes b)))
+
+(* --- Ethernet --------------------------------------------------------- *)
+
+let test_ethernet_roundtrip () =
+  let eth =
+    { Ethernet.dst = Mac.of_host_id 1; src = Mac.of_host_id 2;
+      ethertype = Ethernet.ethertype_tpp }
+  in
+  let w = Buf.Writer.create () in
+  Ethernet.write w eth;
+  check Alcotest.int "size" Ethernet.size (Buf.Writer.length w);
+  let got = Ethernet.read (Buf.Reader.of_bytes (Buf.Writer.contents w)) in
+  check Alcotest.bool "equal" true (got = eth)
+
+let suite =
+  [
+    Alcotest.test_case "mac of/to string" `Quick test_mac_string;
+    Alcotest.test_case "mac bad string" `Quick test_mac_bad_string;
+    Alcotest.test_case "mac namespaces" `Quick test_mac_distinct;
+    qtest prop_mac_string_roundtrip;
+    Alcotest.test_case "ipv4 addr" `Quick test_ipv4_addr;
+    Alcotest.test_case "prefix matching" `Quick test_prefix_matching;
+    Alcotest.test_case "prefix normalisation" `Quick test_prefix_normalises_host_bits;
+    qtest prop_prefix_self_match;
+    Alcotest.test_case "checksum of valid header" `Quick test_checksum_zero_over_valid;
+    Alcotest.test_case "checksum rfc vector" `Quick test_checksum_known_vector;
+    Alcotest.test_case "checksum odd length" `Quick test_checksum_odd_length;
+    Alcotest.test_case "ipv4 header roundtrip" `Quick test_ipv4_header_roundtrip;
+    Alcotest.test_case "ipv4 corruption detected" `Quick
+      test_ipv4_header_corruption_detected;
+    qtest prop_ipv4_header_roundtrip;
+    Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
+    Alcotest.test_case "udp bad length" `Quick test_udp_bad_length;
+    Alcotest.test_case "ethernet roundtrip" `Quick test_ethernet_roundtrip;
+  ]

@@ -1,0 +1,123 @@
+(* In-network RCP baseline: router dynamics and flow controllers on a
+   live simulated bottleneck. *)
+
+open Tpp
+
+let check = Alcotest.check
+
+let dumbbell () =
+  let eng = Engine.create () in
+  let bell =
+    Topology.dumbbell eng ~pairs:2 ~core_bps:10_000_000 ~edge_bps:100_000_000
+      ~delay:(Time_ns.ms 2) ()
+  in
+  (eng, bell)
+
+let mk_flow net bell i ~rate =
+  let src = Stack.create net bell.Topology.senders.(i) in
+  let dst_host = bell.Topology.receivers.(i) in
+  let dst = Stack.create net dst_host in
+  let sink = Flow.Sink.attach dst ~port:9000 in
+  let flow = Flow.cbr ~src ~dst:dst_host ~dst_port:9000 ~payload_bytes:954 ~rate_bps:rate in
+  (flow, sink)
+
+let test_router_idle_stays_at_capacity () =
+  let eng, bell = dumbbell () in
+  let net = bell.Topology.d_net in
+  let router =
+    Rcp.Router.attach net Rcp.default_config ~switch_node:bell.Topology.left_switch
+      ~port:0
+  in
+  Engine.run eng ~until:(Time_ns.sec 1);
+  check (Alcotest.float 1.0) "R stays at C with no load" 10_000_000.0
+    (Rcp.Router.rate_bps router);
+  check Alcotest.int "capacity" 10_000_000 (Rcp.Router.capacity_bps router)
+
+let test_router_reacts_to_overload () =
+  let eng, bell = dumbbell () in
+  let net = bell.Topology.d_net in
+  let router =
+    Rcp.Router.attach net Rcp.default_config ~switch_node:bell.Topology.left_switch
+      ~port:0
+  in
+  (* Two uncontrolled 10 Mb/s flows overload the 10 Mb/s core. *)
+  let f0, _ = mk_flow net bell 0 ~rate:10_000_000 in
+  let f1, _ = mk_flow net bell 1 ~rate:10_000_000 in
+  Flow.start f0 ();
+  Flow.start f1 ();
+  Engine.run eng ~until:(Time_ns.sec 1);
+  check Alcotest.bool "R dropped well below C" true
+    (Rcp.Router.rate_bps router < 8_000_000.0)
+
+let test_controller_follows_min_rate () =
+  let eng, bell = dumbbell () in
+  let net = bell.Topology.d_net in
+  let config = Rcp.default_config in
+  let core = Rcp.Router.attach net config ~switch_node:bell.Topology.left_switch ~port:0 in
+  let edge =
+    Rcp.Router.attach net config ~switch_node:bell.Topology.right_switch ~port:1
+  in
+  let f0, sink = mk_flow net bell 0 ~rate:1_000_000 in
+  let f1, _ = mk_flow net bell 1 ~rate:10_000_000 in
+  let ctl = Rcp.Controller.create net config ~flow:f0 ~path:[ core; edge ] in
+  Flow.start f0 ();
+  Flow.start f1 ();
+  Rcp.Controller.start ctl ();
+  Engine.run eng ~until:(Time_ns.sec 2);
+  (* With both flows controlled by R at the core, flow 0's rate must
+     track the router's shared rate, not its initial 1 Mb/s. *)
+  let r = float_of_int (Rcp.Controller.current_rate_bps ctl) in
+  check (Alcotest.float 1.0) "flow rate = router rate" (Rcp.Router.rate_bps core) r;
+  check Alcotest.bool "flow actually sped up" true (Flow.Sink.rx_pkts sink > 0)
+
+let test_two_controlled_flows_converge_to_fair_share () =
+  let eng, bell = dumbbell () in
+  let net = bell.Topology.d_net in
+  let config = Rcp.default_config in
+  let core = Rcp.Router.attach net config ~switch_node:bell.Topology.left_switch ~port:0 in
+  let flows =
+    List.init 2 (fun i ->
+        let edge =
+          Rcp.Router.attach net config ~switch_node:bell.Topology.right_switch
+            ~port:(1 + i)
+        in
+        let flow, sink = mk_flow net bell i ~rate:10_000_000 in
+        let ctl = Rcp.Controller.create net config ~flow ~path:[ core; edge ] in
+        Flow.start flow ();
+        Rcp.Controller.start ctl ();
+        (flow, sink))
+  in
+  Engine.run eng ~until:(Time_ns.sec 5);
+  let r_over_c = Rcp.Router.rate_bps core /. 10_000_000.0 in
+  check Alcotest.bool
+    (Printf.sprintf "R/C near 1/2 (got %.3f)" r_over_c)
+    true
+    (r_over_c > 0.35 && r_over_c < 0.65);
+  (* Both flows got meaningful goodput. *)
+  List.iter
+    (fun (_, sink) ->
+      let mbps =
+        float_of_int (Flow.Sink.rx_bytes sink) *. 8.0 /. 5.0 /. 1e6
+      in
+      check Alcotest.bool (Printf.sprintf "goodput %.2f in [3,6.5]" mbps) true
+        (mbps > 3.0 && mbps < 6.5))
+    flows
+
+let test_empty_path_rejected () =
+  let eng, bell = dumbbell () in
+  let net = bell.Topology.d_net in
+  let f, _ = mk_flow net bell 0 ~rate:1_000_000 in
+  ignore eng;
+  Alcotest.check_raises "empty path"
+    (Invalid_argument "Rcp.Controller.create: empty path") (fun () ->
+      ignore (Rcp.Controller.create net Rcp.default_config ~flow:f ~path:[]))
+
+let suite =
+  [
+    Alcotest.test_case "router idle at capacity" `Quick test_router_idle_stays_at_capacity;
+    Alcotest.test_case "router reacts to overload" `Quick test_router_reacts_to_overload;
+    Alcotest.test_case "controller follows min rate" `Quick test_controller_follows_min_rate;
+    Alcotest.test_case "two flows reach fair share" `Slow
+      test_two_controlled_flows_converge_to_fair_share;
+    Alcotest.test_case "empty path rejected" `Quick test_empty_path_rejected;
+  ]

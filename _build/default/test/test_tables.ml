@@ -1,0 +1,210 @@
+(* Forwarding-table tests: L2 exact match, L3 longest-prefix match
+   (against a reference implementation), TCAM priorities. *)
+
+open Tpp
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let fwd port ~id = { Tables.action = Tables.Forward port; entry_id = id; version = 1 }
+
+let port_of = function
+  | Some { Tables.action = Tables.Forward p; _ } -> Some p
+  | Some { Tables.action = Tables.Multipath ports; _ } ->
+    Some (Tables.select_path ports ~key:0)
+  | Some { Tables.action = Tables.Drop; _ } -> Some (-1)
+  | None -> None
+
+(* --- L2 --------------------------------------------------------------- *)
+
+let test_l2 () =
+  let t = Tables.L2.create () in
+  Tables.L2.install t (Mac.of_host_id 1) (fwd 3 ~id:1);
+  Tables.L2.install t (Mac.of_host_id 2) (fwd 4 ~id:2);
+  check Alcotest.int "size" 2 (Tables.L2.size t);
+  check (Alcotest.option Alcotest.int) "hit" (Some 3)
+    (port_of (Tables.L2.lookup t (Mac.of_host_id 1)));
+  check (Alcotest.option Alcotest.int) "miss" None
+    (port_of (Tables.L2.lookup t (Mac.of_host_id 9)));
+  Tables.L2.install t (Mac.of_host_id 1) (fwd 7 ~id:3);
+  check (Alcotest.option Alcotest.int) "replace" (Some 7)
+    (port_of (Tables.L2.lookup t (Mac.of_host_id 1)));
+  check Alcotest.int "size after replace" 2 (Tables.L2.size t);
+  Tables.L2.remove t (Mac.of_host_id 1);
+  check (Alcotest.option Alcotest.int) "removed" None
+    (port_of (Tables.L2.lookup t (Mac.of_host_id 1)))
+
+(* --- L3 --------------------------------------------------------------- *)
+
+let addr = Ipv4.Addr.of_string
+let prefix = Ipv4.Prefix.of_string
+
+let test_l3_longest_match () =
+  let t = Tables.L3.create () in
+  Tables.L3.install t (prefix "0.0.0.0/0") (fwd 0 ~id:1);
+  Tables.L3.install t (prefix "10.0.0.0/8") (fwd 1 ~id:2);
+  Tables.L3.install t (prefix "10.1.0.0/16") (fwd 2 ~id:3);
+  Tables.L3.install t (prefix "10.1.2.0/24") (fwd 3 ~id:4);
+  check Alcotest.int "size" 4 (Tables.L3.size t);
+  let expect want ip =
+    check (Alcotest.option Alcotest.int) ip (Some want)
+      (port_of (Tables.L3.lookup t (addr ip)))
+  in
+  expect 0 "192.168.1.1";
+  expect 1 "10.200.0.1";
+  expect 2 "10.1.200.1";
+  expect 3 "10.1.2.200"
+
+let test_l3_remove () =
+  let t = Tables.L3.create () in
+  Tables.L3.install t (prefix "10.0.0.0/8") (fwd 1 ~id:1);
+  Tables.L3.install t (prefix "10.1.0.0/16") (fwd 2 ~id:2);
+  Tables.L3.remove t (prefix "10.1.0.0/16");
+  check Alcotest.int "size" 1 (Tables.L3.size t);
+  check (Alcotest.option Alcotest.int) "falls back to /8" (Some 1)
+    (port_of (Tables.L3.lookup t (addr "10.1.0.1")))
+
+let test_l3_host_routes () =
+  let t = Tables.L3.create () in
+  Tables.L3.install t (Ipv4.Prefix.host (addr "10.0.0.1")) (fwd 5 ~id:1);
+  check (Alcotest.option Alcotest.int) "exact" (Some 5)
+    (port_of (Tables.L3.lookup t (addr "10.0.0.1")));
+  check (Alcotest.option Alcotest.int) "neighbour misses" None
+    (port_of (Tables.L3.lookup t (addr "10.0.0.2")))
+
+let test_l3_entries_roundtrip () =
+  let t = Tables.L3.create () in
+  let ps = [ "0.0.0.0/0"; "10.0.0.0/8"; "10.1.0.0/16"; "172.16.5.0/24" ] in
+  List.iteri (fun i p -> Tables.L3.install t (prefix p) (fwd i ~id:i)) ps;
+  let dumped =
+    Tables.L3.entries t
+    |> List.map (fun (p, _) -> Format.asprintf "%a" Ipv4.Prefix.pp p)
+    |> List.sort String.compare
+  in
+  check (Alcotest.list Alcotest.string) "all prefixes back"
+    (List.sort String.compare ps) dumped
+
+(* Reference LPM: linear scan keeping the longest matching prefix. *)
+let reference_lpm prefixes a =
+  List.fold_left
+    (fun best (p, port) ->
+      if Ipv4.Prefix.matches p a then
+        match best with
+        | Some (bl, _) when bl >= Ipv4.Prefix.length p -> best
+        | _ -> Some (Ipv4.Prefix.length p, port)
+      else best)
+    None prefixes
+  |> Option.map snd
+
+let prop_l3_matches_reference =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (1 -- 15) (pair (int_bound 0xFFFFFFF) (int_range 0 32)))
+        (list_size (1 -- 30) (int_bound 0xFFFFFFF)))
+  in
+  QCheck.Test.make ~name:"L3 trie agrees with linear-scan LPM" ~count:100
+    (QCheck.make gen) (fun (raw_prefixes, raw_addrs) ->
+      let t = Tables.L3.create () in
+      let prefixes =
+        List.mapi
+          (fun i (v, len) ->
+            let p = Ipv4.Prefix.make (Ipv4.Addr.of_int v) len in
+            Tables.L3.install t p (fwd i ~id:i);
+            (p, i))
+          raw_prefixes
+      in
+      (* Deduplicate: a later install of an equal prefix overwrites, so the
+         reference must keep the last port per distinct prefix. *)
+      let dedup =
+        List.fold_left
+          (fun acc (p, port) ->
+            (p, port) :: List.filter (fun (q, _) -> not (Ipv4.Prefix.equal p q)) acc)
+          [] prefixes
+      in
+      List.for_all
+        (fun v ->
+          let a = Ipv4.Addr.of_int v in
+          port_of (Tables.L3.lookup t a) = reference_lpm dedup a)
+        raw_addrs)
+
+(* --- TCAM -------------------------------------------------------------- *)
+
+let lookup_ip t ~src ~dst =
+  Tables.Tcam.lookup t ~src_ip:(Some (addr src)) ~dst_ip:(Some (addr dst))
+    ~proto:(Some 17) ~in_port:0 ~dst_port:(Some 80)
+
+let test_tcam_priority () =
+  let t = Tables.Tcam.create () in
+  Tables.Tcam.install t
+    { Tables.Tcam.any with Tables.Tcam.priority = 1 }
+    (fwd 1 ~id:1);
+  Tables.Tcam.install t
+    { Tables.Tcam.any with
+      Tables.Tcam.priority = 10; dst_ip = Some (addr "10.0.0.2", 0xFFFFFFFF) }
+    (fwd 2 ~id:2);
+  check (Alcotest.option Alcotest.int) "specific wins" (Some 2)
+    (port_of (lookup_ip t ~src:"10.0.0.1" ~dst:"10.0.0.2"));
+  check (Alcotest.option Alcotest.int) "fallback" (Some 1)
+    (port_of (lookup_ip t ~src:"10.0.0.1" ~dst:"10.0.0.9"))
+
+let test_tcam_tie_break_by_entry_id () =
+  let t = Tables.Tcam.create () in
+  Tables.Tcam.install t { Tables.Tcam.any with Tables.Tcam.priority = 5 } (fwd 8 ~id:20);
+  Tables.Tcam.install t { Tables.Tcam.any with Tables.Tcam.priority = 5 } (fwd 9 ~id:10);
+  check (Alcotest.option Alcotest.int) "lower id wins ties" (Some 9)
+    (port_of (lookup_ip t ~src:"1.1.1.1" ~dst:"2.2.2.2"))
+
+let test_tcam_masked_match () =
+  let t = Tables.Tcam.create () in
+  Tables.Tcam.install t
+    { Tables.Tcam.any with
+      Tables.Tcam.priority = 5; src_ip = Some (addr "10.1.0.0", 0xFFFF0000) }
+    (fwd 3 ~id:1);
+  check (Alcotest.option Alcotest.int) "inside mask" (Some 3)
+    (port_of (lookup_ip t ~src:"10.1.99.99" ~dst:"8.8.8.8"));
+  check (Alcotest.option Alcotest.int) "outside mask" None
+    (port_of (lookup_ip t ~src:"10.2.0.1" ~dst:"8.8.8.8"))
+
+let test_tcam_port_and_proto_fields () =
+  let t = Tables.Tcam.create () in
+  Tables.Tcam.install t
+    { Tables.Tcam.any with Tables.Tcam.priority = 5; in_port = Some 2;
+      proto = Some 17; dst_port = Some 53 }
+    (fwd 4 ~id:1);
+  let q ~in_port ~proto ~dst_port =
+    Tables.Tcam.lookup t ~src_ip:None ~dst_ip:None ~proto ~in_port ~dst_port
+  in
+  check (Alcotest.option Alcotest.int) "all fields match" (Some 4)
+    (port_of (q ~in_port:2 ~proto:(Some 17) ~dst_port:(Some 53)));
+  check (Alcotest.option Alcotest.int) "wrong in_port" None
+    (port_of (q ~in_port:3 ~proto:(Some 17) ~dst_port:(Some 53)));
+  check (Alcotest.option Alcotest.int) "missing proto" None
+    (port_of (q ~in_port:2 ~proto:None ~dst_port:(Some 53)))
+
+let test_tcam_drop_and_remove () =
+  let t = Tables.Tcam.create () in
+  Tables.Tcam.install t
+    { Tables.Tcam.any with Tables.Tcam.priority = 9 }
+    { Tables.action = Tables.Drop; entry_id = 66; version = 1 };
+  check (Alcotest.option Alcotest.int) "drop rule" (Some (-1))
+    (port_of (lookup_ip t ~src:"1.1.1.1" ~dst:"2.2.2.2"));
+  Tables.Tcam.remove_id t 66;
+  check Alcotest.int "removed" 0 (Tables.Tcam.size t);
+  check (Alcotest.option Alcotest.int) "no match" None
+    (port_of (lookup_ip t ~src:"1.1.1.1" ~dst:"2.2.2.2"))
+
+let suite =
+  [
+    Alcotest.test_case "l2 table" `Quick test_l2;
+    Alcotest.test_case "l3 longest match" `Quick test_l3_longest_match;
+    Alcotest.test_case "l3 remove" `Quick test_l3_remove;
+    Alcotest.test_case "l3 host routes" `Quick test_l3_host_routes;
+    Alcotest.test_case "l3 entries dump" `Quick test_l3_entries_roundtrip;
+    qtest prop_l3_matches_reference;
+    Alcotest.test_case "tcam priority" `Quick test_tcam_priority;
+    Alcotest.test_case "tcam tie-break" `Quick test_tcam_tie_break_by_entry_id;
+    Alcotest.test_case "tcam masked match" `Quick test_tcam_masked_match;
+    Alcotest.test_case "tcam field match" `Quick test_tcam_port_and_proto_fields;
+    Alcotest.test_case "tcam drop and remove" `Quick test_tcam_drop_and_remove;
+  ]

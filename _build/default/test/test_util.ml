@@ -1,0 +1,277 @@
+(* Unit and property tests for the tpp_util substrate. *)
+
+open Tpp
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Time ----------------------------------------------------------- *)
+
+let test_time_units () =
+  check Alcotest.int "us" 1_000 (Time_ns.us 1);
+  check Alcotest.int "ms" 1_000_000 (Time_ns.ms 1);
+  check Alcotest.int "sec" 1_000_000_000 (Time_ns.sec 1);
+  check (Alcotest.float 1e-9) "to_sec" 1.5 (Time_ns.to_sec_f (Time_ns.ms 1500));
+  check Alcotest.int "of_sec_f" (Time_ns.ms 250) (Time_ns.of_sec_f 0.25);
+  check Alcotest.int "add" 3 (Time_ns.add 1 2);
+  check Alcotest.int "diff" 5 (Time_ns.diff 8 3)
+
+let test_time_pp () =
+  let render t = Format.asprintf "%a" Time_ns.pp t in
+  check Alcotest.string "ns" "42ns" (render 42);
+  check Alcotest.string "us" "1.500us" (render 1500);
+  check Alcotest.string "ms" "2.000ms" (render (Time_ns.ms 2));
+  check Alcotest.string "s" "3.000s" (render (Time_ns.sec 3))
+
+(* --- Buf ------------------------------------------------------------ *)
+
+let test_buf_roundtrip () =
+  let w = Buf.Writer.create () in
+  Buf.Writer.u8 w 0xAB;
+  Buf.Writer.u16 w 0xCDEF;
+  Buf.Writer.u32i w 0xDEADBEEF;
+  Buf.Writer.string w "hello";
+  Buf.Writer.zeros w 3;
+  let b = Buf.Writer.contents w in
+  check Alcotest.int "length" (1 + 2 + 4 + 5 + 3) (Bytes.length b);
+  let r = Buf.Reader.of_bytes b in
+  check Alcotest.int "u8" 0xAB (Buf.Reader.u8 r);
+  check Alcotest.int "u16" 0xCDEF (Buf.Reader.u16 r);
+  check Alcotest.int "u32i" 0xDEADBEEF (Buf.Reader.u32i r);
+  check Alcotest.string "string" "hello" (Bytes.to_string (Buf.Reader.bytes r 5));
+  Buf.Reader.skip r 3;
+  check Alcotest.int "remaining" 0 (Buf.Reader.remaining r)
+
+let test_buf_growth () =
+  let w = Buf.Writer.create ~capacity:1 () in
+  for i = 0 to 999 do
+    Buf.Writer.u32i w i
+  done;
+  check Alcotest.int "grew" 4000 (Buf.Writer.length w);
+  let b = Buf.Writer.contents w in
+  check Alcotest.int "word 999" 999 (Buf.get_u32i b (999 * 4))
+
+let test_buf_oob () =
+  let r = Buf.Reader.of_string "ab" in
+  Alcotest.check_raises "u32 oob" (Buf.Out_of_bounds "Reader.u32") (fun () ->
+      ignore (Buf.Reader.u32 r));
+  let b = Bytes.create 4 in
+  Alcotest.check_raises "set oob" (Buf.Out_of_bounds "set_u32i") (fun () ->
+      Buf.set_u32i b 1 0);
+  Alcotest.check_raises "get negative" (Buf.Out_of_bounds "get_u32i") (fun () ->
+      ignore (Buf.get_u32i b (-1)))
+
+let test_buf_window () =
+  let b = Bytes.of_string "0123456789" in
+  let r = Buf.Reader.of_bytes ~pos:2 ~len:4 b in
+  check Alcotest.int "windowed remaining" 4 (Buf.Reader.remaining r);
+  check Alcotest.int "first byte" (Char.code '2') (Buf.Reader.u8 r);
+  check Alcotest.int "pos relative" 1 (Buf.Reader.pos r)
+
+let prop_buf_u32_roundtrip =
+  QCheck.Test.make ~name:"buf u32 write/read roundtrip" ~count:200
+    QCheck.(list (int_bound 0xFFFFFF))
+    (fun values ->
+      let w = Buf.Writer.create () in
+      List.iter (fun v -> Buf.Writer.u32i w v) values;
+      let r = Buf.Reader.of_bytes (Buf.Writer.contents w) in
+      List.for_all (fun v -> Buf.Reader.u32i r = v) values)
+
+(* --- Heap ----------------------------------------------------------- *)
+
+let drain heap =
+  let rec go acc =
+    match Tpp_util.Heap.pop heap with
+    | Some (p, v) -> go ((p, v) :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_heap_order () =
+  let h = Tpp_util.Heap.create () in
+  List.iter (fun p -> Tpp_util.Heap.push h ~prio:p p) [ 5; 1; 4; 1; 3 ];
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "sorted" [ (1, 1); (1, 1); (3, 3); (4, 4); (5, 5) ] (drain h)
+
+let test_heap_fifo_ties () =
+  let h = Tpp_util.Heap.create () in
+  List.iteri (fun i name -> Tpp_util.Heap.push h ~prio:7 (i, name))
+    [ "a"; "b"; "c" ];
+  let popped = List.map snd (drain h) in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "insertion order on equal priority" [ (0, "a"); (1, "b"); (2, "c") ] popped
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing priority" ~count:200
+    QCheck.(list small_int)
+    (fun prios ->
+      let h = Tpp_util.Heap.create () in
+      List.iter (fun p -> Tpp_util.Heap.push h ~prio:p p) prios;
+      let out = List.map fst (drain h) in
+      out = List.sort Int.compare prios)
+
+(* --- Rng ------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let c = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int c 1_000_000) in
+  check Alcotest.bool "streams differ" true (xs <> ys)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays within bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "mean within 5%" true (mean > 4.75 && mean < 5.25)
+
+(* --- Ewma / Stats / Series ------------------------------------------ *)
+
+let test_ewma () =
+  let e = Tpp_util.Ewma.create ~alpha:0.5 in
+  check (Alcotest.float 1e-9) "empty" 0.0 (Tpp_util.Ewma.value e);
+  Tpp_util.Ewma.update e 10.0;
+  check (Alcotest.float 1e-9) "first sample taken whole" 10.0 (Tpp_util.Ewma.value e);
+  Tpp_util.Ewma.update e 20.0;
+  check (Alcotest.float 1e-9) "smoothed" 15.0 (Tpp_util.Ewma.value e);
+  Tpp_util.Ewma.reset e;
+  check (Alcotest.float 1e-9) "reset" 0.0 (Tpp_util.Ewma.value e)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 4.0; 2.0; 8.0; 6.0 ];
+  check Alcotest.int "count" 4 (Stats.count s);
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min" 2.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 8.0 (Stats.max s);
+  check (Alcotest.float 1e-6) "stddev" 2.581989 (Stats.stddev s);
+  check (Alcotest.float 1e-9) "p50" 4.0 (Stats.percentile s 50.0);
+  check (Alcotest.float 1e-9) "p100" 8.0 (Stats.percentile s 100.0)
+
+let prop_stats_percentile_bounds =
+  QCheck.Test.make ~name:"percentile lies within [min,max]" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+              (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let v = Stats.percentile s p in
+      v >= Stats.min s && v <= Stats.max s)
+
+let test_series () =
+  let s = Series.create ~name:"q" in
+  Series.add s ~time:0 1.0;
+  Series.add s ~time:(Time_ns.ms 5) 2.0;
+  Series.add s ~time:(Time_ns.ms 15) 4.0;
+  check Alcotest.int "length" 3 (Series.length s);
+  check (Alcotest.option (Alcotest.float 1e-9)) "value_at step" (Some 2.0)
+    (Series.value_at s (Time_ns.ms 10));
+  check (Alcotest.option (Alcotest.float 1e-9)) "before first" None
+    (Series.value_at s (-1));
+  let rows = Series.downsample s ~bucket:(Time_ns.ms 10) in
+  check Alcotest.int "two buckets" 2 (Array.length rows);
+  check (Alcotest.float 1e-9) "bucket mean" 1.5 (snd rows.(0));
+  check (Alcotest.float 1e-9) "second bucket" 4.0 (snd rows.(1))
+
+let test_rng_pareto_properties () =
+  let rng = Rng.create ~seed:5 in
+  let shape = 1.5 and scale = 20_000.0 in
+  let n = 20_000 in
+  let sum = ref 0.0 and below_scale = ref 0 in
+  for _ = 1 to n do
+    let x = Rng.pareto rng ~shape ~scale in
+    sum := !sum +. x;
+    if x < scale then incr below_scale
+  done;
+  check Alcotest.int "scale is the minimum" 0 !below_scale;
+  (* Mean = scale * shape / (shape - 1) = 60k; heavy tail -> generous box. *)
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool (Printf.sprintf "mean %.0f in [50k, 75k]" mean) true
+    (mean > 50_000.0 && mean < 75_000.0)
+
+let test_series_print_table () =
+  let s1 = Series.create ~name:"a" and s2 = Series.create ~name:"b" in
+  Series.add s1 ~time:0 1.0;
+  Series.add s1 ~time:(Time_ns.sec 1) 2.0;
+  Series.add s2 ~time:(Time_ns.sec 1) 5.0;
+  let buf = Buffer.create 256 in
+  let out = Format.formatter_of_buffer buf in
+  Series.print_table ~out [ s1; s2 ] ~bucket:(Time_ns.sec 1);
+  Format.pp_print_flush out ();
+  let rendered = Buffer.contents buf in
+  let lines = String.split_on_char '\n' rendered in
+  check Alcotest.int "header + two rows (+ trailing)" 4 (List.length lines);
+  check Alcotest.bool "step-hold fills missing buckets" true
+    (match lines with
+    | [ _; first; _; _ ] ->
+      (* b has no sample in bucket 0: prints 0. *)
+      String.length first > 0
+    | _ -> false)
+
+let test_series_downsample_validation () =
+  let s = Series.create ~name:"x" in
+  Alcotest.check_raises "bucket must be positive"
+    (Invalid_argument "Series.downsample: bucket") (fun () ->
+      ignore (Series.downsample s ~bucket:0))
+
+let test_heap_clear () =
+  let h = Tpp_util.Heap.create () in
+  Tpp_util.Heap.push h ~prio:1 1;
+  Tpp_util.Heap.clear h;
+  check Alcotest.bool "empty" true (Tpp_util.Heap.is_empty h);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int)) "pop none" None
+    (Tpp_util.Heap.pop h)
+
+let test_stats_empty_safe () =
+  let s = Stats.create () in
+  check (Alcotest.float 0.0) "mean" 0.0 (Stats.mean s);
+  check (Alcotest.float 0.0) "p99" 0.0 (Stats.percentile s 99.0);
+  check (Alcotest.float 0.0) "stddev" 0.0 (Stats.stddev s)
+
+let suite =
+  [
+    Alcotest.test_case "time units" `Quick test_time_units;
+    Alcotest.test_case "time pp" `Quick test_time_pp;
+    Alcotest.test_case "buf roundtrip" `Quick test_buf_roundtrip;
+    Alcotest.test_case "buf growth" `Quick test_buf_growth;
+    Alcotest.test_case "buf out-of-bounds" `Quick test_buf_oob;
+    Alcotest.test_case "buf window" `Quick test_buf_window;
+    qtest prop_buf_u32_roundtrip;
+    Alcotest.test_case "heap order" `Quick test_heap_order;
+    Alcotest.test_case "heap FIFO ties" `Quick test_heap_fifo_ties;
+    qtest prop_heap_sorts;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    qtest prop_rng_int_bounds;
+    Alcotest.test_case "rng exponential mean" `Quick test_rng_exponential_mean;
+    Alcotest.test_case "ewma" `Quick test_ewma;
+    Alcotest.test_case "stats basic" `Quick test_stats_basic;
+    qtest prop_stats_percentile_bounds;
+    Alcotest.test_case "series" `Quick test_series;
+    Alcotest.test_case "rng pareto" `Quick test_rng_pareto_properties;
+    Alcotest.test_case "series print table" `Quick test_series_print_table;
+    Alcotest.test_case "series downsample validation" `Quick
+      test_series_downsample_validation;
+    Alcotest.test_case "heap clear" `Quick test_heap_clear;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty_safe;
+  ]
