@@ -1,0 +1,146 @@
+(* Packet-rate benchmark: the dataplane fast-path gate.
+
+   Drives a many-switch ECMP fat-tree with TPP-tagged UDP flows and
+   reports end-to-end event and packet throughput of the simulator
+   itself (wall-clock, not simulated time). Writes a machine-readable
+   BENCH_<n>.json so successive PRs have a trajectory to beat.
+
+     dune exec bench/perf.exe                 default workload
+     dune exec bench/perf.exe -- --k 4        smaller fabric
+     dune exec bench/perf.exe -- --out b.json custom output path
+*)
+
+open Tpp
+
+let collect_program =
+  "PUSH [Switch:SwitchID]\n\
+   PUSH [Link:QueueSize]\n\
+   PUSH [Link:RxUtilization]\n\
+   PUSH [Link:CapacityKbps]\n\
+   PUSH [Link:Drops]\n"
+
+type config = {
+  k : int;                    (* fat-tree arity *)
+  packets_per_host : int;
+  payload_bytes : int;
+  gap_ns : int;               (* inter-departure time per host *)
+  wire_check : Net.wire_check;
+  out : string;
+}
+
+let default =
+  { k = 8; packets_per_host = 1500; payload_bytes = 1000; gap_ns = 6_000;
+    wire_check = `Cached; out = "BENCH_1.json" }
+
+let run cfg =
+  let eng = Engine.create () in
+  let ft =
+    Topology.fat_tree eng ~wire_check:cfg.wire_check ~ecmp:true ~k:cfg.k
+      ~bps:10_000_000_000 ~delay:(Time_ns.us 1) ()
+  in
+  let hosts = ft.Topology.f_hosts in
+  let n = Array.length hosts in
+  let net = ft.Topology.f_net in
+  let received = ref 0 in
+  Array.iter
+    (fun h -> h.Net.receive <- (fun ~now:_ _ -> incr received))
+    hosts;
+  let tpp_template =
+    Result.get_ok (Asm.to_tpp ~mem_len:64 collect_program)
+  in
+  let payload = Bytes.create cfg.payload_bytes in
+  (* Every host streams to a partner in the opposite half of the fabric,
+     so flows cross edge, aggregation and core layers and exercise ECMP. *)
+  let send src =
+    let dst = hosts.((src + (n / 2)) mod n) in
+    let s = hosts.(src) in
+    let frame =
+      Frame.udp_frame ~src_mac:s.Net.mac ~dst_mac:dst.Net.mac ~src_ip:s.Net.ip
+        ~dst_ip:dst.Net.ip ~src_port:(1000 + src) ~dst_port:7
+        ~tpp:(Prog.copy tpp_template) ~payload ()
+    in
+    Net.host_send net s frame
+  in
+  for src = 0 to n - 1 do
+    for j = 0 to cfg.packets_per_host - 1 do
+      (* Offset hosts against each other so departures are not all
+         simultaneous (keeps the event heap realistically mixed). *)
+      let t = (j * cfg.gap_ns) + (src * 7) + 1 in
+      Engine.at eng t (fun () -> send src)
+    done
+  done;
+  let horizon = Time_ns.sec 10 in
+  let t0 = Unix.gettimeofday () in
+  Engine.run eng ~until:horizon;
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = Engine.events_processed eng in
+  let sent = n * cfg.packets_per_host in
+  (events, sent, !received, wall)
+
+let () =
+  let cfg = ref default in
+  let rec parse = function
+    | [] -> ()
+    | "--perf" :: rest | "--" :: rest -> parse rest
+    | "--k" :: v :: rest ->
+      cfg := { !cfg with k = int_of_string v };
+      parse rest
+    | "--packets" :: v :: rest ->
+      cfg := { !cfg with packets_per_host = int_of_string v };
+      parse rest
+    | "--out" :: v :: rest ->
+      cfg := { !cfg with out = v };
+      parse rest
+    | "--wire-check" :: v :: rest ->
+      let wc =
+        match v with
+        | "always" -> `Always
+        | "cached" -> `Cached
+        | "off" -> `Off
+        | _ ->
+          Printf.eprintf "perf: --wire-check expects always|cached|off\n";
+          exit 2
+      in
+      cfg := { !cfg with wire_check = wc };
+      parse rest
+    | a :: _ ->
+      Printf.eprintf "perf: unknown argument %S\n" a;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let cfg = !cfg in
+  let workload =
+    Printf.sprintf
+      "fat-tree k=%d (ECMP), %d hosts x %d TPP-tagged UDP packets, %dB \
+       payload, wire_check=%s"
+      cfg.k
+      (cfg.k * cfg.k * cfg.k / 4)
+      cfg.packets_per_host cfg.payload_bytes
+      (match cfg.wire_check with
+      | `Always -> "always"
+      | `Cached -> "cached"
+      | `Off -> "off")
+  in
+  Printf.printf "perf: %s\n%!" workload;
+  let events, sent, received, wall = run cfg in
+  let events_per_sec = float_of_int events /. wall in
+  let packets_per_sec = float_of_int received /. wall in
+  Printf.printf
+    "perf: %d events, %d/%d packets delivered in %.3fs wall\n\
+     perf: %.3e events/sec, %.3e packets/sec\n%!"
+    events received sent wall events_per_sec packets_per_sec;
+  let oc = open_out cfg.out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": 1,\n\
+    \  \"workload\": \"%s\",\n\
+    \  \"events\": %d,\n\
+    \  \"packets_sent\": %d,\n\
+    \  \"packets_delivered\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"events_per_sec\": %.1f,\n\
+    \  \"packets_per_sec\": %.1f\n\
+     }\n"
+    workload events sent received wall events_per_sec packets_per_sec;
+  close_out oc;
+  Printf.printf "perf: wrote %s\n%!" cfg.out

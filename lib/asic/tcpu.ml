@@ -33,15 +33,21 @@ let cycle_budget = 300
 
 let mask32 v = v land 0xFFFF_FFFF
 
-type exec_ctx = { state : State.t; now : int; tpp : Tpp.t; meta : Tpp_isa.Meta.t }
+type exec_ctx = {
+  state : State.t;
+  now : int;
+  tpp : Tpp.t;
+  meta : Tpp_isa.Meta.t;
+  mem_len : int;   (* hoisted: constant across the whole execution *)
+  hop_base : int;  (* base + hop * perhop_len, fixed until the hop bump *)
+}
 
 let check_pkt ctx off =
-  if off < 0 || off + 4 > Bytes.length ctx.tpp.Tpp.memory then Error (Packet_oob off)
+  if off < 0 || off + 4 > ctx.mem_len then Error (Packet_oob off)
   else if off mod 4 <> 0 then Error (Misaligned off)
   else Ok off
 
-let hop_offset ctx idx =
-  ctx.tpp.Tpp.base + (ctx.tpp.Tpp.hop * ctx.tpp.Tpp.perhop_len) + (4 * idx)
+let hop_offset ctx idx = ctx.hop_base + (4 * idx)
 
 let read_pkt ctx off =
   match check_pkt ctx off with
@@ -100,7 +106,7 @@ let step ctx instr =
   | Instr.Push src ->
     let* v = read_operand ctx src in
     let sp = ctx.tpp.Tpp.sp in
-    if sp + 4 > Bytes.length ctx.tpp.Tpp.memory then Error Stack_overflow
+    if sp + 4 > ctx.mem_len then Error Stack_overflow
     else begin
       let* () = write_pkt ctx sp v in
       ctx.tpp.Tpp.sp <- sp + 4;
@@ -150,10 +156,15 @@ let execute state ~now ~frame =
     (* A faulted TPP is inert for the rest of its journey. *)
     Some { executed = 0; cycles = 0; stopped_by_cexec = false; fault = None }
   | Some tpp ->
-    let ctx = { state; now; tpp; meta = frame.Frame.meta } in
+    let ctx =
+      { state; now; tpp; meta = frame.Frame.meta;
+        mem_len = Bytes.length tpp.Tpp.memory;
+        hop_base = tpp.Tpp.base + (tpp.Tpp.hop * tpp.Tpp.perhop_len) }
+    in
     let program = tpp.Tpp.program in
+    let len = Array.length program in
     let rec run i cexec_stop =
-      if i >= Array.length program then (i, cexec_stop, None)
+      if i >= len then (i, cexec_stop, None)
       else
         match step ctx program.(i) with
         | Ok true -> run (i + 1) false

@@ -12,6 +12,10 @@ type t = {
   udp : Udp.t option;
   payload : bytes;
   meta : Meta.t;
+  (* Lazily computed caches ([min_int] = unset). Sound because in-flight
+     header rewrites (TTL, ECN) touch neither the 5-tuple nor any length. *)
+  mutable flow_hash_cache : int;
+  mutable wire_size_cache : int;
 }
 
 let next_id = ref 0
@@ -44,7 +48,8 @@ let check_consistent ~eth ~tpp ~ip ~udp =
 
 let make ?tpp ?ip ?udp ?(payload = Bytes.empty) ~eth () =
   check_consistent ~eth ~tpp ~ip ~udp;
-  { id = fresh_id (); eth; tpp; ip; udp; payload; meta = Meta.create () }
+  { id = fresh_id (); eth; tpp; ip; udp; payload; meta = Meta.create ();
+    flow_hash_cache = min_int; wire_size_cache = min_int }
 
 let udp_frame ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?(ttl = 64) ?tpp
     ~payload () =
@@ -83,7 +88,7 @@ let mix z =
 let flow_hash_values ~src ~dst ~proto ~src_port ~dst_port =
   mix (mix (mix (mix (mix src lxor dst) lxor proto) lxor src_port) lxor dst_port)
 
-let flow_hash t =
+let compute_flow_hash t =
   match t.ip with
   | Some ip ->
     let src_port, dst_port =
@@ -99,6 +104,14 @@ let flow_hash t =
     flow_hash_values ~src:(Mac.to_int t.eth.Ethernet.src)
       ~dst:(Mac.to_int t.eth.Ethernet.dst) ~proto:0 ~src_port:0 ~dst_port:0
 
+let flow_hash t =
+  if t.flow_hash_cache <> min_int then t.flow_hash_cache
+  else begin
+    let h = compute_flow_hash t in
+    t.flow_hash_cache <- h;
+    h
+  end
+
 let l3_len t =
   match t.ip with
   | None -> Bytes.length t.payload
@@ -108,13 +121,19 @@ let l3_len t =
     + Bytes.length t.payload
 
 let wire_size t =
-  let body =
-    Ethernet.size + (match t.tpp with Some s -> Tpp.section_size s | None -> 0) + l3_len t
-  in
-  max 64 (body + 4)
+  if t.wire_size_cache <> min_int then t.wire_size_cache
+  else begin
+    let body =
+      Ethernet.size
+      + (match t.tpp with Some s -> Tpp.section_size s | None -> 0)
+      + l3_len t
+    in
+    let size = max 64 (body + 4) in
+    t.wire_size_cache <- size;
+    size
+  end
 
-let serialize t =
-  let w = Buf.Writer.create ~capacity:128 () in
+let serialize_into w t =
   Ethernet.write w t.eth;
   (match t.tpp with Some s -> Tpp.write w s | None -> ());
   (match t.ip with
@@ -127,7 +146,11 @@ let serialize t =
     | Some u -> Udp.write w u ~payload_len:(Bytes.length t.payload)
     | None -> ())
   | None -> ());
-  Buf.Writer.bytes w t.payload;
+  Buf.Writer.bytes w t.payload
+
+let serialize t =
+  let w = Buf.Writer.create ~capacity:128 () in
+  serialize_into w t;
   Buf.Writer.contents w
 
 let parse_l3 r ethertype =
@@ -151,9 +174,9 @@ let parse_l3 r ethertype =
     (None, None, payload)
   end
 
-let parse b =
+let parse ?len b =
   try
-    let r = Buf.Reader.of_bytes b in
+    let r = Buf.Reader.of_bytes ?len b in
     let eth = Ethernet.read r in
     if eth.Ethernet.ethertype = Ethernet.ethertype_tpp then begin
       match Tpp.read r with
@@ -169,11 +192,16 @@ let parse b =
             udp;
             payload;
             meta = Meta.create ();
+            flow_hash_cache = min_int;
+            wire_size_cache = min_int;
           }
     end
     else begin
       let ip, udp, payload = parse_l3 r eth.Ethernet.ethertype in
-      Ok { id = fresh_id (); eth; tpp = None; ip; udp; payload; meta = Meta.create () }
+      Ok
+        { id = fresh_id (); eth; tpp = None; ip; udp; payload;
+          meta = Meta.create (); flow_hash_cache = min_int;
+          wire_size_cache = min_int }
     end
   with
   | Buf.Out_of_bounds what -> Error ("truncated frame: " ^ what)
@@ -188,7 +216,9 @@ let with_tpp t tpp =
       | Some _ -> { t.eth with Ethernet.ethertype = Ethernet.ethertype_ipv4 }
       | None -> t.eth)
   in
-  { t with eth; tpp }
+  (* The flow hash never covers the TPP section, so its cache survives;
+     the wire size does change with the section. *)
+  { t with eth; tpp; wire_size_cache = min_int }
 
 let clone t =
   { t with id = fresh_id (); tpp = Option.map Tpp.copy t.tpp; meta = Meta.create () }

@@ -18,6 +18,10 @@ type t = {
   udp : Udp.t option;
   payload : bytes;
   meta : Meta.t;
+  mutable flow_hash_cache : int;
+      (** lazily memoized {!flow_hash} ([min_int] = not yet computed) *)
+  mutable wire_size_cache : int;
+      (** lazily memoized {!wire_size} ([min_int] = not yet computed) *)
 }
 
 val make :
@@ -61,10 +65,19 @@ val flow_hash : t -> int
 val wire_size : t -> int
 (** Bytes this frame occupies on a link, including the 4-byte FCS and
     the 64-byte Ethernet minimum. Queueing and transmission delays use
-    this value. *)
+    this value. Memoized per frame: every hop asks several times. *)
 
 val serialize : t -> bytes
-val parse : bytes -> (t, string) result
+(** The frame's wire image as fresh bytes. *)
+
+(** {!serialize}, but appending into a caller-provided writer, so the
+    steady-state path can reuse one scratch buffer instead of allocating
+    per packet. *)
+val serialize_into : Tpp_util.Buf.Writer.t -> t -> unit
+val parse : ?len:int -> bytes -> (t, string) result
+(** [parse ?len b] decodes the first [len] bytes of [b] (default: all of
+    it) — [len] lets a caller parse straight out of a reused scratch
+    buffer without copying. *)
 
 val with_tpp : t -> Tpp.t option -> t
 (** Same frame (same id) with the TPP section replaced. *)

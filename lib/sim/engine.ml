@@ -29,20 +29,27 @@ let every t ?start ~period ~until callback =
   in
   if start <= until then at t start (tick start)
 
+let nothing () = ()
+
 let run t ~until =
-  let rec loop () =
-    match Tpp_util.Heap.peek_prio t.queue with
-    | Some time when time <= until -> (
-      match Heap.pop t.queue with
-      | Some (time, callback) ->
+  (* Allocation-free dispatch loop: peek/pop work on the heap's unboxed
+     key arrays, so draining an event costs no minor allocations beyond
+     whatever the callback itself does. *)
+  let queue = t.queue in
+  let continue = ref true in
+  while !continue do
+    if Heap.is_empty queue then continue := false
+    else begin
+      let time = Heap.peek_prio_or queue ~default:max_int in
+      if time > until then continue := false
+      else begin
+        let callback = Heap.pop_value queue ~default:nothing in
         t.clock <- time;
         t.processed <- t.processed + 1;
-        callback ();
-        loop ()
-      | None -> ())
-    | Some _ | None -> ()
-  in
-  loop ();
+        callback ()
+      end
+    end
+  done;
   if until > t.clock then t.clock <- until
 
 let events_processed t = t.processed

@@ -4,6 +4,8 @@ module State = Tpp_asic.State
 module Mac = Tpp_packet.Mac
 module Ipv4 = Tpp_packet.Ipv4
 module Time_ns = Tpp_util.Time_ns
+module Buf = Tpp_util.Buf
+module Tpp = Tpp_isa.Tpp
 
 type host = {
   host_name : string;
@@ -26,25 +28,33 @@ type node_impl = Switch_n of Switch.t | Host_n of host
 
 type node_rec = { impl : node_impl; ports : attachment array }
 
+type wire_check = [ `Always | `Cached | `Off ]
+
 type t = {
   eng : Engine.t;
-  wire_check : bool;
-  mutable nodes : node_rec list;  (* reverse insertion order *)
+  wire_check : wire_check;
+  mutable nodes : node_rec array;  (* index = node id; first node_count live *)
   mutable node_count : int;
   mutable host_counter : int;
   mutable delivered : int;
-  mutable deliver_hooks : (host -> Frame.t -> unit) list;
+  mutable deliver_hooks : (host -> Frame.t -> unit) array;
+      (* registration order; rebuilt on (rare) registration *)
+  checked_shapes : (int, unit) Hashtbl.t;
+      (* header-layout keys already validated in [`Cached] mode *)
+  scratch : Buf.Writer.t;  (* reused by the cached wire check *)
 }
 
-let create ?(wire_check = true) eng =
+let create ?(wire_check = `Always) eng =
   {
     eng;
     wire_check;
-    nodes = [];
+    nodes = [||];
     node_count = 0;
     host_counter = 0;
     delivered = 0;
-    deliver_hooks = [];
+    deliver_hooks = [||];
+    checked_shapes = Hashtbl.create 32;
+    scratch = Buf.Writer.create ~capacity:256 ();
   }
 
 let engine t = t.eng
@@ -54,14 +64,18 @@ let new_attachment () =
     nic_queue = Queue.create () }
 
 let node t id =
-  let idx = t.node_count - 1 - id in
-  match List.nth_opt t.nodes idx with
-  | Some n -> n
-  | None -> invalid_arg "Net: unknown node id"
+  if id < 0 || id >= t.node_count then invalid_arg "Net: unknown node id";
+  Array.unsafe_get t.nodes id
 
 let register t impl ~ports =
   let id = t.node_count in
-  t.nodes <- { impl; ports = Array.init ports (fun _ -> new_attachment ()) } :: t.nodes;
+  let n = { impl; ports = Array.init ports (fun _ -> new_attachment ()) } in
+  if id >= Array.length t.nodes then begin
+    let grown = Array.make (max 8 (2 * Array.length t.nodes)) n in
+    Array.blit t.nodes 0 grown 0 id;
+    t.nodes <- grown
+  end;
+  t.nodes.(id) <- n;
   t.node_count <- id + 1;
   id
 
@@ -97,16 +111,22 @@ let host_of t id =
 let node_count t = t.node_count
 
 let hosts t =
-  List.rev_map (fun n -> n.impl) t.nodes
-  |> List.filter_map (function Host_n h -> Some h | Switch_n _ -> None)
+  let acc = ref [] in
+  for id = t.node_count - 1 downto 0 do
+    match t.nodes.(id).impl with
+    | Host_n h -> acc := h :: !acc
+    | Switch_n _ -> ()
+  done;
+  !acc
 
 let switches t =
-  let rec go id acc = function
-    | [] -> acc
-    | { impl = Switch_n sw; _ } :: rest -> go (id - 1) ((id, sw) :: acc) rest
-    | { impl = Host_n _; _ } :: rest -> go (id - 1) acc rest
-  in
-  go (t.node_count - 1) [] t.nodes
+  let acc = ref [] in
+  for id = t.node_count - 1 downto 0 do
+    match t.nodes.(id).impl with
+    | Switch_n sw -> acc := (id, sw) :: !acc
+    | Host_n _ -> ()
+  done;
+  !acc
 
 let attachment t (id, port) =
   let n = node t id in
@@ -139,10 +159,15 @@ let neighbors t id =
   |> List.filter_map (fun (port, peer) ->
        match peer with Some (pn, pp) -> Some (port, pn, pp) | None -> None)
 
-let tx_time_ns ~bps frame =
-  let bits = Frame.wire_size frame * 8 in
-  (* ceil(bits * 1e9 / bps) without overflow for realistic rates *)
-  int_of_float (ceil (float_of_int bits *. 1e9 /. float_of_int bps))
+(* ceil(bits * 1e9 / bps) in exact integer arithmetic. The product
+   overflows 63-bit ints only for frames beyond ~1.1 GB, where the float
+   fallback's 52-bit mantissa error (sub-ppm) is irrelevant anyway. *)
+let tx_time_of_bits ~bps bits =
+  if bits < max_int / 1_000_000_000 then
+    ((bits * 1_000_000_000) + bps - 1) / bps
+  else int_of_float (ceil (float_of_int bits *. 1e9 /. float_of_int bps))
+
+let tx_time_ns ~bps frame = tx_time_of_bits ~bps (Frame.wire_size frame * 8)
 
 (* Pulls the next frame to transmit from a node's egress at [port]. *)
 let next_frame t id port =
@@ -156,7 +181,7 @@ let rec deliver t (id, port) frame =
   match n.impl with
   | Host_n h ->
     t.delivered <- t.delivered + 1;
-    List.iter (fun hook -> hook h frame) t.deliver_hooks;
+    Array.iter (fun hook -> hook h frame) t.deliver_hooks;
     h.receive ~now:(Engine.now t.eng) frame
   | Switch_n sw -> (
     match Switch.handle_ingress sw ~now:(Engine.now t.eng) ~in_port:port frame with
@@ -182,14 +207,61 @@ and maybe_start_tx t id port =
             maybe_start_tx t id port)
     end
 
+(* One key per header *layout*: two frames with the same key serialise
+   through exactly the same write/parse paths and length computations,
+   differing only in field values the codecs treat uniformly. splitmix64
+   mixing (via [Frame.flow_hash_values]) keeps distinct layouts from
+   colliding in practice; a collision merely skips a redundant check. *)
+let shape_key (frame : Frame.t) =
+  let tpp_key =
+    match frame.Frame.tpp with
+    | None -> 0
+    | Some s ->
+      1
+      lor (Array.length s.Tpp.program lsl 1)
+      lor (Bytes.length s.Tpp.memory lsl 17)
+      lor (s.Tpp.base lsl 33)
+      lor ((match s.Tpp.addr_mode with Tpp.Stack -> 0 | Tpp.Hop_addressed -> 1)
+           lsl 49)
+      lor (s.Tpp.perhop_len lsl 50)
+  in
+  let l3_key =
+    (match frame.Frame.ip with Some _ -> 1 | None -> 0)
+    lor (match frame.Frame.udp with Some _ -> 2 | None -> 0)
+    lor (Bytes.length frame.Frame.payload lsl 2)
+  in
+  Frame.flow_hash_values ~src:frame.Frame.eth.Tpp_packet.Ethernet.ethertype
+    ~dst:tpp_key ~proto:l3_key ~src_port:0 ~dst_port:0
+
+let wire_check_fail e =
+  failwith ("Net.host_send: frame failed wire round-trip: " ^ e)
+
 let host_send t host frame =
   let frame =
-    if t.wire_check then begin
+    match t.wire_check with
+    | `Off -> frame
+    | `Always -> (
+      (* Full-strength: every packet becomes its wire image, so the
+         receiver sees exactly what a byte-faithful network would carry. *)
       match Frame.parse (Frame.serialize frame) with
       | Ok f -> f
-      | Error e -> failwith ("Net.host_send: frame failed wire round-trip: " ^ e)
-    end
-    else frame
+      | Error e -> wire_check_fail e)
+    | `Cached ->
+      (* Validate each distinct header layout once; frames of an
+         already-validated shape forward structurally with no
+         serialisation at all on the steady-state path. *)
+      let key = shape_key frame in
+      if not (Hashtbl.mem t.checked_shapes key) then begin
+        Buf.Writer.reset t.scratch;
+        Frame.serialize_into t.scratch frame;
+        match
+          Frame.parse ~len:(Buf.Writer.length t.scratch)
+            (Buf.Writer.buffer t.scratch)
+        with
+        | Ok _ -> Hashtbl.replace t.checked_shapes key ()
+        | Error e -> wire_check_fail e
+      end;
+      frame
   in
   let a = attachment t (host.node_id, 0) in
   Queue.push frame a.nic_queue;
@@ -218,4 +290,11 @@ let start_utilization_updates t ~period ~until =
 
 let frames_delivered t = t.delivered
 
-let on_host_deliver t hook = t.deliver_hooks <- t.deliver_hooks @ [ hook ]
+let on_host_deliver t hook =
+  (* Registration is rare and the hook array is read on every delivery:
+     rebuild the array (registration order preserved) instead of
+     appending to a list quadratically. *)
+  let n = Array.length t.deliver_hooks in
+  let hooks = Array.make (n + 1) hook in
+  Array.blit t.deliver_hooks 0 hooks 0 n;
+  t.deliver_hooks <- hooks

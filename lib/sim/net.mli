@@ -24,10 +24,18 @@ type host = {
   mutable receive : now:Time_ns.t -> Frame.t -> unit;
 }
 
-val create : ?wire_check:bool -> Engine.t -> t
-(** [wire_check] (default [true]) serialises and re-parses every frame a
-    host sends, so the byte-level wire format is exercised on every
-    simulated transmission. *)
+type wire_check = [ `Always | `Cached | `Off ]
+(** How [host_send] validates frames against the byte-level wire format:
+    - [`Always] (the default): serialise and re-parse every frame, and
+      forward the re-parsed copy, so every simulated transmission is
+      byte-faithful. Full-strength checking — what the test suite uses.
+    - [`Cached]: round-trip each distinct header {e layout} (ethertype,
+      TPP section geometry, IP/UDP presence, payload length) once, then
+      forward structurally with no per-packet serialisation. The
+      steady-state fast path for throughput runs.
+    - [`Off]: no checking. *)
+
+val create : ?wire_check:wire_check -> Engine.t -> t
 
 val engine : t -> Engine.t
 
@@ -78,4 +86,9 @@ val frames_delivered : t -> int
 (** Frames handed to host receive callbacks so far. *)
 
 val on_host_deliver : t -> (host -> Frame.t -> unit) -> unit
-(** Tracing hook, called before each host receive callback. *)
+(** Tracing hook, called before each host receive callback. Hooks run in
+    registration order. *)
+
+val tx_time_of_bits : bps:int -> int -> Time_ns.span
+(** [tx_time_of_bits ~bps bits] = ceil([bits] * 1e9 / [bps]) ns, exact
+    integer arithmetic (overflow-guarded). Exposed for tests. *)

@@ -78,9 +78,9 @@ type chain = {
   hosts : Net.host array array;
 }
 
-let chain eng ~num_switches ~hosts_per_switch ~bps ~delay () =
+let chain eng ?wire_check ~num_switches ~hosts_per_switch ~bps ~delay () =
   if num_switches < 1 then invalid_arg "Topology.chain: num_switches";
-  let net = Net.create eng in
+  let net = Net.create ?wire_check eng in
   let switch_ids =
     Array.init num_switches (fun i ->
         Net.add_switch net
@@ -107,9 +107,9 @@ type dumbbell = {
   receivers : Net.host array;
 }
 
-let dumbbell eng ~pairs ~core_bps ~edge_bps ~delay () =
+let dumbbell eng ?wire_check ~pairs ~core_bps ~edge_bps ~delay () =
   if pairs < 1 then invalid_arg "Topology.dumbbell: pairs";
-  let net = Net.create eng in
+  let net = Net.create ?wire_check eng in
   let left = Net.add_switch net (Switch.create ~id:1 ~num_ports:(1 + pairs) ()) in
   let right = Net.add_switch net (Switch.create ~id:2 ~num_ports:(1 + pairs) ()) in
   Net.connect net (left, 0) (right, 0) ~bps:core_bps ~delay;
@@ -138,9 +138,9 @@ type diamond = {
   dst_hosts : Net.host array;
 }
 
-let diamond eng ~hosts_per_side ~bps ~delay () =
+let diamond eng ?wire_check ~hosts_per_side ~bps ~delay () =
   if hosts_per_side < 1 then invalid_arg "Topology.diamond: hosts_per_side";
-  let net = Net.create eng in
+  let net = Net.create ?wire_check eng in
   let mk id = Net.add_switch net (Switch.create ~id ~num_ports:(2 + hosts_per_side) ()) in
   let a = mk 1 and b = mk 2 and c = mk 3 and d = mk 4 in
   (* A: port 0 -> B, port 1 -> C; D: port 0 -> B, port 1 -> C. *)
@@ -165,11 +165,11 @@ type random_topology = {
   r_hosts : Net.host array;
 }
 
-let random eng ~switches ~hosts ~extra_links ~seed ?(ecmp = false) ~bps ~delay () =
+let random eng ?wire_check ~switches ~hosts ~extra_links ~seed ?(ecmp = false) ~bps ~delay () =
   if switches < 1 then invalid_arg "Topology.random: switches";
   if hosts < 2 then invalid_arg "Topology.random: need at least 2 hosts";
   let rng = Tpp_util.Rng.create ~seed in
-  let net = Net.create eng in
+  let net = Net.create ?wire_check eng in
   (* Port budget: spanning tree + extra links + attached hosts could all
      land on one switch; size generously. *)
   let num_ports = switches + extra_links + hosts + 1 in
@@ -227,10 +227,10 @@ type fat_tree = {
   f_hosts : Net.host array;
 }
 
-let fat_tree eng ?(ecmp = true) ~k ~bps ~delay () =
+let fat_tree eng ?wire_check ?(ecmp = true) ~k ~bps ~delay () =
   if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
   let half = k / 2 in
-  let net = Net.create eng in
+  let net = Net.create ?wire_check eng in
   let next_switch_id = ref 0 in
   let mk ~num_ports =
     incr next_switch_id;

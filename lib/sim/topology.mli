@@ -44,6 +44,7 @@ type chain = {
 
 val chain :
   Engine.t ->
+  ?wire_check:Net.wire_check ->
   num_switches:int ->
   hosts_per_switch:int ->
   bps:int ->
@@ -64,6 +65,7 @@ type dumbbell = {
 
 val dumbbell :
   Engine.t ->
+  ?wire_check:Net.wire_check ->
   pairs:int ->
   core_bps:int ->
   edge_bps:int ->
@@ -86,6 +88,7 @@ type diamond = {
 
 val diamond :
   Engine.t ->
+  ?wire_check:Net.wire_check ->
   hosts_per_side:int ->
   bps:int ->
   delay:Time_ns.span ->
@@ -112,6 +115,7 @@ type random_topology = {
 
 val random :
   Engine.t ->
+  ?wire_check:Net.wire_check ->
   switches:int ->
   hosts:int ->
   extra_links:int ->
@@ -128,8 +132,8 @@ val random :
     these. *)
 
 val fat_tree :
-  Engine.t -> ?ecmp:bool -> k:int -> bps:int -> delay:Time_ns.span -> unit ->
-  fat_tree
+  Engine.t -> ?wire_check:Net.wire_check -> ?ecmp:bool -> k:int -> bps:int ->
+  delay:Time_ns.span -> unit -> fat_tree
 (** A k-ary fat-tree (k even, >= 2): k pods of k/2 edge and k/2
     aggregation switches, (k/2)^2 cores, k/2 hosts per edge switch —
     the datacenter fabric of the paper's motivating setting. Ports

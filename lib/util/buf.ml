@@ -66,6 +66,10 @@ module Writer = struct
     t.len <- t.len + n
 
   let contents t = Bytes.sub t.buf 0 t.len
+
+  let reset t = t.len <- 0
+
+  let buffer t = t.buf
 end
 
 module Reader = struct

@@ -31,6 +31,16 @@ module Writer : sig
 
   val contents : t -> bytes
   (** Copy of everything written so far. *)
+
+  val reset : t -> unit
+  (** Forgets everything written, keeping the backing storage, so one
+      writer can serialise many packets without allocating. *)
+
+  val buffer : t -> bytes
+  (** The underlying backing storage (no copy). Only the first
+      {!length} bytes are meaningful, and any write to the writer may
+      invalidate it — read-only, immediate-use views only (e.g. a
+      {!Reader.of_bytes} [~len:(length w)] over it). *)
 end
 
 (** Sequential reader over an immutable byte window. *)

@@ -1,79 +1,127 @@
-type 'a entry = { prio : int; seq : int; value : 'a }
+(* Structure-of-arrays binary min-heap.
+
+   Keys live in two parallel int arrays (priority, insertion sequence)
+   so push/pop never allocate an entry record and comparisons touch
+   unboxed ints only. Values are stored as [Obj.t] internally: that lets
+   a vacated slot be overwritten with a unit sentinel, so popped values
+   (event closures, and the frames they capture) become garbage the
+   moment they leave the heap instead of being pinned by the backing
+   array. *)
 
 type 'a t = {
-  mutable arr : 'a entry array;
+  mutable prios : int array;
+  mutable seqs : int array;
+  mutable values : Obj.t array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { arr = [||]; len = 0; next_seq = 0 }
+let hole = Obj.repr ()
+
+let create () =
+  { prios = [||]; seqs = [||]; values = [||]; len = 0; next_seq = 0 }
 
 let length t = t.len
 let is_empty t = t.len = 0
 
-(* [a] orders before [b] when its priority is smaller, or on ties when it
-   was inserted earlier. *)
-let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+(* Entry [i] orders before the (prio, seq) key when its priority is
+   smaller, or on ties when it was inserted earlier. *)
+let before t i prio seq = t.prios.(i) < prio || (t.prios.(i) = prio && t.seqs.(i) < seq)
 
 let ensure t =
-  if t.len >= Array.length t.arr then begin
-    let dummy = if t.len = 0 then None else Some t.arr.(0) in
-    match dummy with
-    | None -> ()
-    | Some d ->
-      let arr = Array.make (max 8 (2 * Array.length t.arr)) d in
-      Array.blit t.arr 0 arr 0 t.len;
-      t.arr <- arr
+  if t.len >= Array.length t.prios then begin
+    let cap = max 8 (2 * Array.length t.prios) in
+    let prios = Array.make cap 0 in
+    let seqs = Array.make cap 0 in
+    let values = Array.make cap hole in
+    Array.blit t.prios 0 prios 0 t.len;
+    Array.blit t.seqs 0 seqs 0 t.len;
+    Array.blit t.values 0 values 0 t.len;
+    t.prios <- prios;
+    t.seqs <- seqs;
+    t.values <- values
   end
 
 let push t ~prio value =
-  let e = { prio; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  if Array.length t.arr = 0 then t.arr <- Array.make 8 e;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
   ensure t;
-  t.arr.(t.len) <- e;
+  (* Sift the hole up from the end, then drop the new entry in. *)
+  let i = ref t.len in
   t.len <- t.len + 1;
-  (* Sift up. *)
-  let rec up i =
-    if i > 0 then begin
-      let parent = (i - 1) / 2 in
-      if before t.arr.(i) t.arr.(parent) then begin
-        let tmp = t.arr.(i) in
-        t.arr.(i) <- t.arr.(parent);
-        t.arr.(parent) <- tmp;
-        up parent
-      end
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before t parent prio seq then continue := false
+    else begin
+      t.prios.(!i) <- t.prios.(parent);
+      t.seqs.(!i) <- t.seqs.(parent);
+      t.values.(!i) <- t.values.(parent);
+      i := parent
     end
-  in
-  up (t.len - 1)
+  done;
+  t.prios.(!i) <- prio;
+  t.seqs.(!i) <- seq;
+  t.values.(!i) <- Obj.repr value
+
+(* Removes the root, re-heapifies, and clears the vacated slot. *)
+let remove_top t =
+  let last = t.len - 1 in
+  t.len <- last;
+  if last > 0 then begin
+    (* Sift the former last entry down from the root. *)
+    let prio = t.prios.(last) and seq = t.seqs.(last) in
+    let v = t.values.(last) in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      let sp = ref prio and ss = ref seq in
+      if l < last && before t l !sp !ss then begin
+        smallest := l; sp := t.prios.(l); ss := t.seqs.(l)
+      end;
+      if r < last && before t r !sp !ss then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        t.prios.(!i) <- t.prios.(!smallest);
+        t.seqs.(!i) <- t.seqs.(!smallest);
+        t.values.(!i) <- t.values.(!smallest);
+        i := !smallest
+      end
+    done;
+    t.prios.(!i) <- prio;
+    t.seqs.(!i) <- seq;
+    t.values.(!i) <- v
+  end;
+  t.values.(last) <- hole
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.arr.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.arr.(0) <- t.arr.(t.len);
-      (* Sift down. *)
-      let rec down i =
-        let l = (2 * i) + 1 and r = (2 * i) + 2 in
-        let smallest = ref i in
-        if l < t.len && before t.arr.(l) t.arr.(!smallest) then smallest := l;
-        if r < t.len && before t.arr.(r) t.arr.(!smallest) then smallest := r;
-        if !smallest <> i then begin
-          let tmp = t.arr.(i) in
-          t.arr.(i) <- t.arr.(!smallest);
-          t.arr.(!smallest) <- tmp;
-          down !smallest
-        end
-      in
-      down 0
-    end;
-    Some (top.prio, top.value)
+    let prio = t.prios.(0) in
+    let value : 'a = Obj.obj t.values.(0) in
+    remove_top t;
+    Some (prio, value)
   end
 
-let peek_prio t = if t.len = 0 then None else Some t.arr.(0).prio
+let pop_value t ~default =
+  if t.len = 0 then default
+  else begin
+    let value : 'a = Obj.obj t.values.(0) in
+    remove_top t;
+    value
+  end
+
+let peek_prio t = if t.len = 0 then None else Some t.prios.(0)
+
+let peek_prio_or t ~default = if t.len = 0 then default else t.prios.(0)
 
 let clear t =
+  (* Drop the backing arrays entirely: a cleared heap must not keep the
+     previously queued values (or anything they capture) alive. *)
+  t.prios <- [||];
+  t.seqs <- [||];
+  t.values <- [||];
   t.len <- 0;
   t.next_seq <- 0

@@ -2,7 +2,12 @@
 
     The event queue of the discrete-event simulator. Entries with equal
     priority pop in insertion order, which makes simulations with
-    simultaneous events deterministic. *)
+    simultaneous events deterministic.
+
+    Internally a structure-of-arrays layout: (priority, sequence) keys
+    live in unboxed int arrays, so push/pop allocate nothing, and popped
+    slots are overwritten with a sentinel so completed values can be
+    collected (the heap never pins values it no longer holds). *)
 
 type 'a t
 
@@ -16,6 +21,15 @@ val push : 'a t -> prio:int -> 'a -> unit
 val pop : 'a t -> (int * 'a) option
 (** Removes and returns the minimum-priority entry (ties: FIFO). *)
 
+val pop_value : 'a t -> default:'a -> 'a
+(** Allocation-free {!pop}: removes the minimum entry and returns its
+    value, or [default] when the heap is empty. *)
+
 val peek_prio : 'a t -> int option
 
+val peek_prio_or : 'a t -> default:int -> int
+(** Allocation-free {!peek_prio}: [default] when the heap is empty. *)
+
 val clear : 'a t -> unit
+(** Empties the heap and releases the backing storage, so previously
+    queued values become collectable immediately. *)

@@ -59,9 +59,9 @@ let test_engine_run_until_is_exclusive_of_later_events () =
 (* --- Net timing ------------------------------------------------------------ *)
 
 (* One switch between two hosts; both links 100 Mb/s, 1 ms propagation. *)
-let two_hosts () =
+let two_hosts ?wire_check () =
   let eng = Engine.create () in
-  let net = Net.create eng in
+  let net = Net.create ?wire_check eng in
   let sw = Switch.create ~id:1 ~num_ports:2 () in
   let sw_id = Net.add_switch net sw in
   let a = Net.add_host net ~name:"a" in
@@ -120,6 +120,182 @@ let test_wire_check_exercised () =
   Net.host_send net a frame;
   Engine.run eng ~until:(Time_ns.ms 10);
   check Alcotest.bool "TPP survived the wire" true !got_tpp
+
+(* A frame whose headers cannot round-trip (IPv4 ethertype announced but
+   the IP header ripped out, so the wire image truncates) must be
+   rejected at the NIC in [`Always] mode — the default, so the cache
+   never weakens test-time checking — and in [`Cached] mode too, since
+   an unseen shape gets the full round-trip. *)
+let corrupted_frame a b =
+  let frame =
+    Frame.udp_frame ~src_mac:a.Net.mac ~dst_mac:b.Net.mac ~src_ip:a.Net.ip
+      ~dst_ip:b.Net.ip ~src_port:1 ~dst_port:2 ~payload:Bytes.empty ()
+  in
+  frame.Frame.ip <- None;
+  frame
+
+let expect_wire_check_failure net a frame =
+  match Net.host_send net a frame with
+  | () -> Alcotest.fail "corrupted frame passed the wire check"
+  | exception Failure msg ->
+    check Alcotest.bool "diagnostic names the round-trip" true
+      (String.length msg > 0
+      && String.sub msg 0 (min 17 (String.length msg)) = "Net.host_send: fr")
+
+let test_wire_check_always_catches_corruption () =
+  let _eng, net, a, b = two_hosts () in
+  expect_wire_check_failure net a (corrupted_frame a b)
+
+let test_wire_check_cached_catches_new_shape () =
+  let _eng, net, a, b = two_hosts ~wire_check:`Cached () in
+  (* Warm the cache with a healthy frame of a different shape first. *)
+  let ok =
+    Frame.udp_frame ~src_mac:a.Net.mac ~dst_mac:b.Net.mac ~src_ip:a.Net.ip
+      ~dst_ip:b.Net.ip ~src_port:1 ~dst_port:2 ~payload:(Bytes.create 8) ()
+  in
+  Net.host_send net a ok;
+  expect_wire_check_failure net a (corrupted_frame a b)
+
+(* The cached mode must not change what the simulation computes: same
+   workload, same deliveries at the same instants as [`Always]. *)
+let test_wire_check_modes_agree () =
+  let run wire_check =
+    let eng, net, a, b = two_hosts ~wire_check () in
+    let arrivals = ref [] in
+    b.Net.receive <-
+      (fun ~now frame ->
+        arrivals := (now, Bytes.length frame.Frame.payload) :: !arrivals);
+    for i = 1 to 30 do
+      let frame =
+        Frame.udp_frame ~src_mac:a.Net.mac ~dst_mac:b.Net.mac ~src_ip:a.Net.ip
+          ~dst_ip:b.Net.ip ~src_port:1 ~dst_port:2
+          ~payload:(Bytes.create (100 + (i mod 3)))
+          ()
+      in
+      Net.host_send net a frame
+    done;
+    Engine.run eng ~until:(Time_ns.sec 1);
+    (List.rev !arrivals, Net.frames_delivered net)
+  in
+  let always = run `Always and cached = run `Cached and off = run `Off in
+  check
+    (Alcotest.pair
+       (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+       Alcotest.int)
+    "cached = always" always cached;
+  check
+    (Alcotest.pair
+       (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+       Alcotest.int)
+    "off = always" always off
+
+let test_deliver_hooks_in_registration_order () =
+  let eng, net, a, b = two_hosts () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Net.on_host_deliver net (fun _ _ -> order := i :: !order)
+  done;
+  let frame =
+    Frame.udp_frame ~src_mac:a.Net.mac ~dst_mac:b.Net.mac ~src_ip:a.Net.ip
+      ~dst_ip:b.Net.ip ~src_port:1 ~dst_port:2 ~payload:Bytes.empty ()
+  in
+  Net.host_send net a frame;
+  Engine.run eng ~until:(Time_ns.ms 10);
+  check (Alcotest.list Alcotest.int) "hooks fire in registration order"
+    [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+(* --- transmission time ------------------------------------------------------ *)
+
+let test_tx_time_integer_ceiling () =
+  let rates =
+    [ 1_000_000; 10_000_000; 100_000_000; 1_000_000_000; 9_999_999;
+      10_000_000_000; 40_000_000_000; 100_000_000_000; 400_000_000_000 ]
+  in
+  let sizes = [ 64; 65; 100; 999; 1000; 1234; 1500; 9000; 65535 ] in
+  List.iter
+    (fun bps ->
+      List.iter
+        (fun bytes ->
+          let bits = bytes * 8 in
+          let t = Net.tx_time_of_bits ~bps bits in
+          let label what =
+            Printf.sprintf "%s (%dB at %d bps)" what bytes bps
+          in
+          (* Exact ceiling of bits * 1e9 / bps. *)
+          check Alcotest.bool (label "upper") true
+            (t * bps >= bits * 1_000_000_000);
+          check Alcotest.bool (label "tight") true
+            ((t - 1) * bps < bits * 1_000_000_000);
+          (* And it never drifts more than a float-rounding ns from the
+             seed's float implementation. *)
+          let f =
+            int_of_float (ceil (float_of_int bits *. 1e9 /. float_of_int bps))
+          in
+          check Alcotest.bool (label "near float") true (abs (t - f) <= 1))
+        sizes)
+    rates
+
+(* --- node/attachment lookup on randomized topologies ------------------------ *)
+
+let prop_net_lookup_consistent =
+  let qtest = QCheck_alcotest.to_alcotest in
+  qtest
+    (QCheck.Test.make ~name:"net node/attachment lookup on random topologies"
+       ~count:25
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let eng = Engine.create () in
+         let r =
+           Topology.random eng ~switches:6 ~hosts:8 ~extra_links:4 ~seed
+             ~bps:1_000_000 ~delay:(Time_ns.us 10) ()
+         in
+         let net = r.Topology.r_net in
+         let ok = ref (Net.node_count net = 6 + 8) in
+         (* Node ids resolve to the exact object that was registered:
+            Topology.random numbers its switch ASICs 1..n in creation
+            order, so id lookup must recover that numbering. *)
+         Array.iteri
+           (fun i sid ->
+             ok := !ok && Switch.id (Net.switch net sid) = i + 1;
+             match Net.host_of net sid with
+             | _ -> ok := false
+             | exception Invalid_argument _ -> ())
+           r.Topology.r_switch_ids;
+         Array.iter
+           (fun h ->
+             ok := !ok && Net.host_of net h.Net.node_id == h;
+             match Net.switch net h.Net.node_id with
+             | _ -> ok := false
+             | exception Invalid_argument _ -> ())
+           r.Topology.r_hosts;
+         (* switches/hosts enumerate in registration order. *)
+         let sw_ids = List.map fst (Net.switches net) in
+         ok := !ok && sw_ids = Array.to_list r.Topology.r_switch_ids;
+         let host_ids = List.map (fun h -> h.Net.node_id) (Net.hosts net) in
+         ok :=
+           !ok
+           && host_ids
+              = Array.to_list
+                  (Array.map (fun h -> h.Net.node_id) r.Topology.r_hosts);
+         (* Links are symmetric, and both endpoint attachments agree. *)
+         for id = 0 to Net.node_count net - 1 do
+           List.iter
+             (fun (port, peer, pport) ->
+               ok :=
+                 !ok
+                 && List.exists
+                      (fun (p', n', pp') -> p' = pport && n' = id && pp' = port)
+                      (Net.neighbors net peer);
+               ok :=
+                 !ok
+                 && Net.link_up net (id, port) = Net.link_up net (peer, pport))
+             (Net.neighbors net id)
+         done;
+         (* Out-of-range ids are rejected, not silently resolved. *)
+         (match Net.host_of net (Net.node_count net) with
+         | _ -> ok := false
+         | exception Invalid_argument _ -> ());
+         !ok))
 
 let test_connect_validation () =
   let eng = Engine.create () in
@@ -264,6 +440,15 @@ let suite =
     Alcotest.test_case "delivery and latency" `Quick test_delivery_and_latency;
     Alcotest.test_case "fifo ordering" `Quick test_fifo_no_reordering;
     Alcotest.test_case "wire check" `Quick test_wire_check_exercised;
+    Alcotest.test_case "wire check catches corruption (always)" `Quick
+      test_wire_check_always_catches_corruption;
+    Alcotest.test_case "wire check catches corruption (cached)" `Quick
+      test_wire_check_cached_catches_new_shape;
+    Alcotest.test_case "wire check modes agree" `Quick test_wire_check_modes_agree;
+    Alcotest.test_case "deliver hooks in order" `Quick
+      test_deliver_hooks_in_registration_order;
+    Alcotest.test_case "tx time integer ceiling" `Quick test_tx_time_integer_ceiling;
+    prop_net_lookup_consistent;
     Alcotest.test_case "connect validation" `Quick test_connect_validation;
     Alcotest.test_case "capacity on connect" `Quick test_capacity_set_on_connect;
     Alcotest.test_case "chain end to end" `Quick test_chain_end_to_end;

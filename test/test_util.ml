@@ -112,6 +112,83 @@ let prop_heap_sorts =
       let out = List.map fst (drain h) in
       out = List.sort Int.compare prios)
 
+(* Reference model: the heap must agree with a sorted association list
+   under arbitrary interleavings of push, pop and clear, including the
+   FIFO-on-equal-priority tie-break. Op encoding: -2 = clear, -1 = pop,
+   n >= 0 = push with priority [n mod 8] (small range forces ties). *)
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap matches reference model under push/pop/clear"
+    ~count:300
+    QCheck.(list (int_range (-2) 40))
+    (fun ops ->
+      let h = Tpp_util.Heap.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let by_key (p, s, _) (p', s', _) =
+        if p <> p' then Int.compare p p' else Int.compare s s'
+      in
+      List.for_all
+        (fun op ->
+          if op = -2 then begin
+            Tpp_util.Heap.clear h;
+            model := [];
+            seq := 0;
+            Tpp_util.Heap.is_empty h
+          end
+          else if op = -1 then begin
+            match (Tpp_util.Heap.pop h, List.sort by_key !model) with
+            | None, [] -> true
+            | Some (p, v), (mp, _, mv) :: rest ->
+              model := rest;
+              p = mp && v = mv
+            | _ -> false
+          end
+          else begin
+            let prio = op mod 8 in
+            Tpp_util.Heap.push h ~prio !seq;
+            model := (prio, !seq, !seq) :: !model;
+            incr seq;
+            Tpp_util.Heap.length h = List.length !model
+          end)
+        ops)
+
+(* The heap must not pin values it no longer holds: a popped value (an
+   event callback and whatever frames it captured, in the engine's case)
+   has to be collectable immediately. *)
+let test_heap_pop_releases () =
+  let h = Tpp_util.Heap.create () in
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some (Bytes.create 64));
+  (match Weak.get w 0 with
+  | Some v -> Tpp_util.Heap.push h ~prio:1 v
+  | None -> Alcotest.fail "weak target vanished early");
+  ignore (Tpp_util.Heap.pop h);
+  Gc.full_major ();
+  check Alcotest.bool "popped value collected" true (Weak.get w 0 = None)
+
+let test_heap_clear_releases () =
+  let h = Tpp_util.Heap.create () in
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some (Bytes.create 64));
+  (match Weak.get w 0 with
+  | Some v -> Tpp_util.Heap.push h ~prio:1 v
+  | None -> Alcotest.fail "weak target vanished early");
+  Tpp_util.Heap.clear h;
+  Gc.full_major ();
+  check Alcotest.bool "cleared value collected" true (Weak.get w 0 = None)
+
+let test_heap_alloc_free_accessors () =
+  let h = Tpp_util.Heap.create () in
+  check Alcotest.int "peek_prio_or empty" max_int
+    (Tpp_util.Heap.peek_prio_or h ~default:max_int);
+  check Alcotest.int "pop_value empty" (-1) (Tpp_util.Heap.pop_value h ~default:(-1));
+  Tpp_util.Heap.push h ~prio:5 50;
+  Tpp_util.Heap.push h ~prio:3 30;
+  check Alcotest.int "peek_prio_or" 3 (Tpp_util.Heap.peek_prio_or h ~default:max_int);
+  check Alcotest.int "pop_value" 30 (Tpp_util.Heap.pop_value h ~default:(-1));
+  check Alcotest.int "then next" 50 (Tpp_util.Heap.pop_value h ~default:(-1));
+  check Alcotest.bool "drained" true (Tpp_util.Heap.is_empty h)
+
 (* --- Rng ------------------------------------------------------------ *)
 
 let test_rng_deterministic () =
@@ -260,6 +337,11 @@ let suite =
     Alcotest.test_case "heap order" `Quick test_heap_order;
     Alcotest.test_case "heap FIFO ties" `Quick test_heap_fifo_ties;
     qtest prop_heap_sorts;
+    qtest prop_heap_model;
+    Alcotest.test_case "heap pop releases value" `Quick test_heap_pop_releases;
+    Alcotest.test_case "heap clear releases values" `Quick test_heap_clear_releases;
+    Alcotest.test_case "heap allocation-free accessors" `Quick
+      test_heap_alloc_free_accessors;
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng split" `Quick test_rng_split_independent;
     qtest prop_rng_int_bounds;
