@@ -5,8 +5,11 @@
    itself (wall-clock, not simulated time). Writes a machine-readable
    BENCH_<n>.json so successive PRs have a trajectory to beat.
 
-     dune exec bench/perf.exe                 default workload
+     dune exec bench/perf.exe                 sequential engine -> BENCH_1.json
+     dune exec bench/perf.exe -- --shards 4   parallel (tpp_parsim) -> BENCH_2.json
      dune exec bench/perf.exe -- --k 4        smaller fabric
+     dune exec bench/perf.exe -- --smoke      quick CI check: sequential and
+                                              2-shard runs must agree exactly
      dune exec bench/perf.exe -- --out b.json custom output path
 *)
 
@@ -25,32 +28,33 @@ type config = {
   payload_bytes : int;
   gap_ns : int;               (* inter-departure time per host *)
   wire_check : Net.wire_check;
-  out : string;
+  shards : int;               (* 0 = plain sequential engine *)
+  smoke : bool;
+  out : string option;
 }
 
 let default =
   { k = 8; packets_per_host = 1500; payload_bytes = 1000; gap_ns = 6_000;
-    wire_check = `Cached; out = "BENCH_1.json" }
+    wire_check = `Cached; shards = 0; smoke = false; out = None }
 
-let run cfg =
-  let eng = Engine.create () in
+let horizon = Time_ns.sec 10
+
+let build cfg eng =
   let ft =
     Topology.fat_tree eng ~wire_check:cfg.wire_check ~ecmp:true ~k:cfg.k
       ~bps:10_000_000_000 ~delay:(Time_ns.us 1) ()
   in
-  let hosts = ft.Topology.f_hosts in
+  ft.Topology.f_net
+
+(* Identical traffic whether the net is the whole fabric or one shard:
+   each host streams to a partner in the opposite half, so flows cross
+   edge, aggregation and core layers and exercise ECMP. *)
+let setup_traffic cfg ~owns net =
+  let hosts = Array.of_list (Net.hosts net) in
   let n = Array.length hosts in
-  let net = ft.Topology.f_net in
-  let received = ref 0 in
-  Array.iter
-    (fun h -> h.Net.receive <- (fun ~now:_ _ -> incr received))
-    hosts;
-  let tpp_template =
-    Result.get_ok (Asm.to_tpp ~mem_len:64 collect_program)
-  in
+  let eng = Net.engine net in
+  let tpp_template = Result.get_ok (Asm.to_tpp ~mem_len:64 collect_program) in
   let payload = Bytes.create cfg.payload_bytes in
-  (* Every host streams to a partner in the opposite half of the fabric,
-     so flows cross edge, aggregation and core layers and exercise ECMP. *)
   let send src =
     let dst = hosts.((src + (n / 2)) mod n) in
     let s = hosts.(src) in
@@ -62,20 +66,121 @@ let run cfg =
     Net.host_send net s frame
   in
   for src = 0 to n - 1 do
-    for j = 0 to cfg.packets_per_host - 1 do
-      (* Offset hosts against each other so departures are not all
-         simultaneous (keeps the event heap realistically mixed). *)
-      let t = (j * cfg.gap_ns) + (src * 7) + 1 in
-      Engine.at eng t (fun () -> send src)
-    done
-  done;
-  let horizon = Time_ns.sec 10 in
+    if owns hosts.(src).Net.node_id then
+      for j = 0 to cfg.packets_per_host - 1 do
+        (* Offset hosts against each other so departures are not all
+           simultaneous (keeps the event heap realistically mixed). *)
+        let t = (j * cfg.gap_ns) + (src * 7) + 1 in
+        Engine.at eng t (fun () -> send src)
+      done
+  done
+
+type outcome = {
+  events : int;
+  delivered : int;
+  wall : float;
+  rounds : int;       (* parallel only *)
+  messages : int;     (* frames that crossed a shard boundary *)
+  cut_links : int;
+  lookahead_ns : int;
+}
+
+let run_sequential cfg =
+  let eng = Engine.create () in
+  let net = build cfg eng in
+  setup_traffic cfg ~owns:(fun _ -> true) net;
   let t0 = Unix.gettimeofday () in
   Engine.run eng ~until:horizon;
   let wall = Unix.gettimeofday () -. t0 in
-  let events = Engine.events_processed eng in
-  let sent = n * cfg.packets_per_host in
-  (events, sent, !received, wall)
+  { events = Engine.events_processed eng; delivered = Net.frames_delivered net;
+    wall; rounds = 0; messages = 0; cut_links = 0; lookahead_ns = 0 }
+
+(* Wall time includes partitioning and per-shard topology construction —
+   the price of entry a real parallel run pays. *)
+let run_parallel cfg ~shards =
+  let t0 = Unix.gettimeofday () in
+  let stats, _ =
+    Parsim.run ~shards ~until:horizon ~build:(build cfg)
+      ~setup:(fun ~shard:_ ~owns net -> setup_traffic cfg ~owns net)
+      ~collect:(fun ~shard:_ ~owns:_ _ -> ())
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  { events = stats.Parsim.events; delivered = stats.Parsim.delivered; wall;
+    rounds = stats.Parsim.rounds; messages = stats.Parsim.messages;
+    cut_links = stats.Parsim.cut_links;
+    lookahead_ns = stats.Parsim.lookahead }
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+let wire_check_name = function
+  | `Always -> "always"
+  | `Cached -> "cached"
+  | `Off -> "off"
+
+let workload_of cfg =
+  Printf.sprintf
+    "fat-tree k=%d (ECMP), %d hosts x %d TPP-tagged UDP packets, %dB \
+     payload, wire_check=%s"
+    cfg.k
+    (cfg.k * cfg.k * cfg.k / 4)
+    cfg.packets_per_host cfg.payload_bytes
+    (wire_check_name cfg.wire_check)
+
+let write_json cfg ~out r =
+  let sent = cfg.k * cfg.k * cfg.k / 4 * cfg.packets_per_host in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": %d,\n\
+    \  \"workload\": \"%s\",\n\
+    \  \"shards\": %d,\n\
+    \  \"git_commit\": \"%s\",\n\
+    \  \"ocaml\": \"%s\",\n\
+    \  \"cores\": %d,\n\
+    \  \"events\": %d,\n\
+    \  \"packets_sent\": %d,\n\
+    \  \"packets_delivered\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"boundary_messages\": %d,\n\
+    \  \"cut_links\": %d,\n\
+    \  \"lookahead_ns\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"events_per_sec\": %.1f,\n\
+    \  \"packets_per_sec\": %.1f\n\
+     }\n"
+    (if cfg.shards > 0 then 2 else 1)
+    (workload_of cfg) cfg.shards (git_commit ()) Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+    r.events sent r.delivered r.rounds r.messages r.cut_links r.lookahead_ns
+    r.wall
+    (float_of_int r.events /. r.wall)
+    (float_of_int r.delivered /. r.wall);
+  close_out oc;
+  Printf.printf "perf: wrote %s\n%!" out
+
+(* A fast cross-check for CI: the sequential engine and a 2-shard
+   parallel run of a small fabric must agree on every count. *)
+let smoke cfg =
+  let cfg = { cfg with k = 4; packets_per_host = 200 } in
+  Printf.printf "perf(smoke): %s\n%!" (workload_of cfg);
+  let s = run_sequential cfg in
+  let p = run_parallel cfg ~shards:2 in
+  Printf.printf
+    "perf(smoke): sequential %d events / %d delivered (%.3fs), 2-shard %d \
+     events / %d delivered (%.3fs, %d rounds)\n%!"
+    s.events s.delivered s.wall p.events p.delivered p.wall p.rounds;
+  if s.events <> p.events || s.delivered <> p.delivered then begin
+    Printf.eprintf "perf(smoke): FAIL — parallel run diverged from sequential\n";
+    exit 1
+  end;
+  Printf.printf "perf(smoke): OK — parallel run identical to sequential\n%!"
 
 let () =
   let cfg = ref default in
@@ -88,8 +193,19 @@ let () =
     | "--packets" :: v :: rest ->
       cfg := { !cfg with packets_per_host = int_of_string v };
       parse rest
+    | "--shards" :: v :: rest ->
+      let s = int_of_string v in
+      if s < 0 then begin
+        Printf.eprintf "perf: --shards expects a non-negative count\n";
+        exit 2
+      end;
+      cfg := { !cfg with shards = s };
+      parse rest
+    | "--smoke" :: rest ->
+      cfg := { !cfg with smoke = true };
+      parse rest
     | "--out" :: v :: rest ->
-      cfg := { !cfg with out = v };
+      cfg := { !cfg with out = Some v };
       parse rest
     | "--wire-check" :: v :: rest ->
       let wc =
@@ -109,38 +225,33 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let cfg = !cfg in
-  let workload =
-    Printf.sprintf
-      "fat-tree k=%d (ECMP), %d hosts x %d TPP-tagged UDP packets, %dB \
-       payload, wire_check=%s"
-      cfg.k
-      (cfg.k * cfg.k * cfg.k / 4)
-      cfg.packets_per_host cfg.payload_bytes
-      (match cfg.wire_check with
-      | `Always -> "always"
-      | `Cached -> "cached"
-      | `Off -> "off")
-  in
-  Printf.printf "perf: %s\n%!" workload;
-  let events, sent, received, wall = run cfg in
-  let events_per_sec = float_of_int events /. wall in
-  let packets_per_sec = float_of_int received /. wall in
-  Printf.printf
-    "perf: %d events, %d/%d packets delivered in %.3fs wall\n\
-     perf: %.3e events/sec, %.3e packets/sec\n%!"
-    events received sent wall events_per_sec packets_per_sec;
-  let oc = open_out cfg.out in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": 1,\n\
-    \  \"workload\": \"%s\",\n\
-    \  \"events\": %d,\n\
-    \  \"packets_sent\": %d,\n\
-    \  \"packets_delivered\": %d,\n\
-    \  \"wall_s\": %.6f,\n\
-    \  \"events_per_sec\": %.1f,\n\
-    \  \"packets_per_sec\": %.1f\n\
-     }\n"
-    workload events sent received wall events_per_sec packets_per_sec;
-  close_out oc;
-  Printf.printf "perf: wrote %s\n%!" cfg.out
+  if cfg.smoke then smoke cfg
+  else begin
+    let sent = cfg.k * cfg.k * cfg.k / 4 * cfg.packets_per_host in
+    Printf.printf "perf: %s\n%!" (workload_of cfg);
+    let r =
+      if cfg.shards > 0 then begin
+        Printf.printf "perf: parallel, %d shards on %d core(s)\n%!" cfg.shards
+          (Domain.recommended_domain_count ());
+        run_parallel cfg ~shards:cfg.shards
+      end
+      else run_sequential cfg
+    in
+    if cfg.shards > 0 then
+      Printf.printf
+        "perf: %d rounds, %d boundary frames over %d cut links, lookahead \
+         %dns\n%!"
+        r.rounds r.messages r.cut_links r.lookahead_ns;
+    Printf.printf
+      "perf: %d events, %d/%d packets delivered in %.3fs wall\n\
+       perf: %.3e events/sec, %.3e packets/sec\n%!"
+      r.events r.delivered sent r.wall
+      (float_of_int r.events /. r.wall)
+      (float_of_int r.delivered /. r.wall);
+    let out =
+      match cfg.out with
+      | Some o -> o
+      | None -> if cfg.shards > 0 then "BENCH_2.json" else "BENCH_1.json"
+    in
+    write_json cfg ~out r
+  end

@@ -18,6 +18,8 @@ module Buf = Tpp_util.Buf
 module Rng = Tpp_util.Rng
 module Stats = Tpp_util.Stats
 module Series = Tpp_util.Series
+module Spsc = Tpp_util.Spsc
+module Partition = Tpp_util.Partition
 
 (* Wire formats *)
 module Mac = Tpp_packet.Mac
@@ -47,6 +49,7 @@ module Engine = Tpp_sim.Engine
 module Net = Tpp_sim.Net
 module Topology = Tpp_sim.Topology
 module Pcap = Tpp_sim.Pcap
+module Parsim = Tpp_parsim.Parsim
 
 (* End-host tasks *)
 module Stack = Tpp_endhost.Stack

@@ -18,11 +18,12 @@ type t = {
   mutable wire_size_cache : int;
 }
 
-let next_id = ref 0
+(* Atomic: frames are created concurrently by the shards of a parallel
+   run (ids stay unique; only tracing and the IP ident field see them,
+   so cross-shard allocation order does not affect simulation state). *)
+let next_id = Atomic.make 0
 
-let fresh_id () =
-  incr next_id;
-  !next_id
+let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
 
 let check_consistent ~eth ~tpp ~ip ~udp =
   (match tpp with

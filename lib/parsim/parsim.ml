@@ -1,0 +1,311 @@
+module Time_ns = Tpp_util.Time_ns
+module Spsc = Tpp_util.Spsc
+module Partition = Tpp_util.Partition
+module Engine = Tpp_sim.Engine
+module Net = Tpp_sim.Net
+module Frame = Tpp_isa.Frame
+
+(* Stands in for "no cross-shard links": large enough that every window
+   reaches the horizon in one round, small enough that window arithmetic
+   (min + lookahead) cannot overflow for any plausible horizon. *)
+let infinite_lookahead = max_int / 4
+
+module Plan = struct
+  type t = {
+    shards : int;
+    owner : int array;
+    lookahead : Time_ns.span;
+    cut_links : int;
+    shard_weight : int array;
+  }
+
+  let make net ~shards =
+    if shards < 1 then invalid_arg "Parsim.Plan.make: shards must be >= 1";
+    let n = Net.node_count net in
+    let owner = Array.make n 0 in
+    let switch_ids = List.map fst (Net.switches net) in
+    (* Vertices are switches; a switchless net partitions hosts directly. *)
+    let verts = match switch_ids with [] -> List.init n Fun.id | ids -> ids in
+    let nv = List.length verts in
+    let vidx = Array.make n (-1) in
+    List.iteri (fun i id -> vidx.(id) <- i) verts;
+    let weight = Array.make nv 1 in
+    (* Pin each host to the switch behind its (single) access link; its
+       traffic load lands on that vertex so the balance accounts for it. *)
+    let anchor = Array.make n (-1) in
+    List.iter
+      (fun h ->
+        let id = h.Net.node_id in
+        if vidx.(id) < 0 then
+          match Net.neighbors net id with
+          | (_, peer, _) :: _ when vidx.(peer) >= 0 ->
+            anchor.(id) <- peer;
+            weight.(vidx.(peer)) <- weight.(vidx.(peer)) + 2
+          | _ -> ())
+      (Net.hosts net);
+    let edges = ref [] in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun (_, peer, _) ->
+            if vidx.(peer) >= 0 && peer > v then
+              edges := (vidx.(v), vidx.(peer), 1) :: !edges)
+          (Net.neighbors net v))
+      verts;
+    let g = Partition.make_graph ~n:nv ~edges:!edges ~weight in
+    let assign = Partition.partition g ~parts:shards in
+    List.iter (fun v -> owner.(v) <- assign.(vidx.(v))) verts;
+    for id = 0 to n - 1 do
+      if vidx.(id) < 0 then
+        owner.(id) <- (if anchor.(id) >= 0 then owner.(anchor.(id)) else 0)
+    done;
+    (* Lookahead and cut size over every link in the full node graph
+       (host links never cross: hosts inherit their switch's shard). *)
+    let lookahead = ref infinite_lookahead in
+    let cut = ref 0 in
+    for id = 0 to n - 1 do
+      List.iter
+        (fun (port, peer, _) ->
+          if peer > id && owner.(id) <> owner.(peer) then begin
+            incr cut;
+            let d = Net.link_delay net (id, port) in
+            if d < !lookahead then lookahead := d
+          end)
+        (Net.neighbors net id)
+    done;
+    if !lookahead <= 0 then
+      invalid_arg "Parsim.Plan.make: zero-delay link crosses shards (no lookahead)";
+    let shard_weight = Array.make shards 0 in
+    List.iter
+      (fun v ->
+        let s = assign.(vidx.(v)) in
+        shard_weight.(s) <- shard_weight.(s) + weight.(vidx.(v)))
+      verts;
+    { shards; owner; lookahead = !lookahead; cut_links = !cut; shard_weight }
+end
+
+(* Reusable phase-counting barrier, hybrid spin-then-block. When every
+   shard can hold a core, a short spin on the phase word catches the
+   release without a condvar round-trip (microseconds matter: a window
+   is two barriers and fine-grained topologies run thousands of
+   windows). On an oversubscribed machine spinning only steals cycles
+   from the shard still working, so waiters go straight to the
+   condvar and yield. *)
+module Barrier = struct
+  exception Poisoned
+
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    total : int;
+    mutable waiting : int;  (* guarded by [m] *)
+    phase : int Atomic.t;
+    poisoned : bool Atomic.t;
+    spin : int;  (* iterations to spin before blocking; 0 when oversubscribed *)
+  }
+
+  let create total =
+    {
+      m = Mutex.create ();
+      c = Condition.create ();
+      total;
+      waiting = 0;
+      phase = Atomic.make 0;
+      poisoned = Atomic.make false;
+      spin = (if Domain.recommended_domain_count () >= total then 2048 else 0);
+    }
+
+  let await b =
+    if Atomic.get b.poisoned then raise Poisoned;
+    let ph = Atomic.get b.phase in
+    Mutex.lock b.m;
+    b.waiting <- b.waiting + 1;
+    if b.waiting = b.total then begin
+      b.waiting <- 0;
+      Atomic.incr b.phase;
+      Condition.broadcast b.c;
+      Mutex.unlock b.m
+    end
+    else begin
+      Mutex.unlock b.m;
+      let spins = ref 0 in
+      while
+        Atomic.get b.phase = ph
+        && (not (Atomic.get b.poisoned))
+        && !spins < b.spin
+      do
+        incr spins;
+        Domain.cpu_relax ()
+      done;
+      if Atomic.get b.phase = ph && not (Atomic.get b.poisoned) then begin
+        Mutex.lock b.m;
+        (* Re-check under the lock: the releaser broadcasts while
+           holding it, so a waiter can never miss the wakeup. *)
+        while Atomic.get b.phase = ph && not (Atomic.get b.poisoned) do
+          Condition.wait b.c b.m
+        done;
+        Mutex.unlock b.m
+      end
+    end;
+    if Atomic.get b.poisoned then raise Poisoned
+
+  (* Unblocks every current and future waiter; called when a shard dies
+     so the others do not deadlock at the next barrier. *)
+  let poison b =
+    Mutex.lock b.m;
+    Atomic.set b.poisoned true;
+    Condition.broadcast b.c;
+    Mutex.unlock b.m
+end
+
+type stats = {
+  shards : int;
+  events : int;
+  delivered : int;
+  rounds : int;
+  messages : int;
+  cut_links : int;
+  lookahead : Time_ns.span;
+  shard_events : int array;
+}
+
+(* One frame in flight between shards. [seq] is the producer-side
+   emission counter: together with the producing shard's index it gives
+   simultaneous arrivals a total, run-independent merge order. *)
+type msg = {
+  arrival : Time_ns.t;
+  src_shard : int;
+  seq : int;
+  dst : int * int;
+  frame : Frame.t;
+}
+
+let compare_msg a b =
+  let c = compare a.arrival b.arrival in
+  if c <> 0 then c
+  else
+    let c = compare a.src_shard b.src_shard in
+    if c <> 0 then c else compare a.seq b.seq
+
+let run ~shards ~until ~build ~setup ~collect () =
+  if shards < 1 then invalid_arg "Parsim.run: shards must be >= 1";
+  if until < 0 then invalid_arg "Parsim.run: until";
+  let plan = Plan.make (build (Engine.create ())) ~shards in
+  let owner = plan.Plan.owner in
+  let lookahead = plan.Plan.lookahead in
+  (* chans.(src).(dst): single producer (src domain), single consumer. *)
+  let chans =
+    Array.init shards (fun _ -> Array.init shards (fun _ -> Spsc.create ()))
+  in
+  (* Earliest pending event per shard, republished every round. Written
+     before and read after a barrier, so plain visibility would suffice;
+     atomics keep the invariant obvious. *)
+  let mins = Array.init shards (fun _ -> Atomic.make 0) in
+  let barrier = Barrier.create shards in
+  let shard_body my () =
+    let eng = Engine.create () in
+    let net = build eng in
+    let seq = ref 0 in
+    let emitted = ref 0 in
+    Net.set_sharding net ~owner ~shard:my ~emit:(fun ~arrival ~dst frame ->
+        incr seq;
+        incr emitted;
+        Spsc.push
+          chans.(my).(Array.unsafe_get owner (fst dst))
+          { arrival; src_shard = my; seq = !seq; dst; frame });
+    let owns id = Array.unsafe_get owner id = my in
+    setup ~shard:my ~owns net;
+    let rounds = ref 0 in
+    let running = ref true in
+    while !running do
+      (* Inbox drain: everything emitted before the previous barrier is
+         visible now. Merge simultaneous arrivals deterministically so
+         heap insertion order (the tie-break) is run-independent. *)
+      let inbox = ref [] in
+      for src = 0 to shards - 1 do
+        if src <> my then
+          List.iter
+            (fun m -> inbox := m :: !inbox)
+            (Spsc.drain chans.(src).(my))
+      done;
+      List.iter
+        (fun m -> Net.schedule_delivery net ~arrival:m.arrival ~dst:m.dst m.frame)
+        (List.sort compare_msg !inbox);
+      let local_min =
+        match Engine.next_event_time eng with Some tm -> tm | None -> max_int
+      in
+      Atomic.set mins.(my) local_min;
+      Barrier.await barrier;
+      (* Every shard folds the same published values: identical window. *)
+      let gmin =
+        Array.fold_left (fun acc a -> min acc (Atomic.get a)) max_int mins
+      in
+      if gmin > until then begin
+        (* Nothing left inside the horizon anywhere (inboxes are empty:
+           drained above, and the barrier made all emissions visible).
+           Advance the clock to the horizon, as the sequential engine
+           does, and stop — all shards take this branch together. *)
+        Engine.run eng ~until;
+        running := false
+      end
+      else begin
+        incr rounds;
+        (* Safe window [gmin, gmin + lookahead): any frame a shard emits
+           while executing it arrives at >= gmin + lookahead, i.e. never
+           inside a window anyone is still executing. Timestamps are
+           integer ns, so "events < gmin + lookahead" is exactly
+           "run ~until:(gmin + lookahead - 1)". *)
+        let win_end =
+          if gmin > until - lookahead then until else gmin + lookahead - 1
+        in
+        Engine.run eng ~until:win_end;
+        (* Emissions of this round must be globally visible before any
+           shard drains its inbox for the next one. *)
+        Barrier.await barrier
+      end
+    done;
+    let collected = collect ~shard:my ~owns net in
+    ( Engine.events_processed eng,
+      Net.frames_delivered net,
+      !emitted,
+      !rounds,
+      collected )
+  in
+  let domains =
+    Array.init shards (fun i ->
+        Domain.spawn (fun () ->
+            try shard_body i ()
+            with e ->
+              Barrier.poison barrier;
+              raise e))
+  in
+  let outcomes =
+    Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) domains
+  in
+  Array.iter
+    (function
+      | Error Barrier.Poisoned -> ()  (* secondary casualty; real error below *)
+      | Error e -> raise e
+      | Ok _ -> ())
+    outcomes;
+  let results =
+    Array.map
+      (function
+        | Ok r -> r
+        | Error _ -> raise Barrier.Poisoned)
+      outcomes
+  in
+  let shard_events = Array.map (fun (e, _, _, _, _) -> e) results in
+  let stats =
+    {
+      shards;
+      events = Array.fold_left (fun a (e, _, _, _, _) -> a + e) 0 results;
+      delivered = Array.fold_left (fun a (_, d, _, _, _) -> a + d) 0 results;
+      rounds = (match results.(0) with _, _, _, r, _ -> r);
+      messages = Array.fold_left (fun a (_, _, m, _, _) -> a + m) 0 results;
+      cut_links = plan.Plan.cut_links;
+      lookahead;
+      shard_events;
+    }
+  in
+  (stats, Array.map (fun (_, _, _, _, c) -> c) results)

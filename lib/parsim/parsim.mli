@@ -1,0 +1,91 @@
+(** Conservative parallel discrete-event simulation over OCaml domains.
+
+    Shards a topology across domains and synchronizes them with
+    link-propagation-delay lookahead (barrier-window / YAWNS): each
+    round every shard publishes the timestamp of its earliest pending
+    event, all agree on the global minimum [m], and every shard then
+    safely executes its events in the window [\[m, m + lookahead)],
+    where [lookahead] is the smallest propagation delay of any link
+    crossing a shard boundary. A frame transmitted across a boundary
+    travels through a lock-free SPSC channel ({!Tpp_util.Spsc}) carrying
+    its absolute arrival time, and is scheduled by the owning shard when
+    it drains its inbox at the next round barrier. Because any frame
+    emitted inside a window arrives no earlier than the window's end,
+    no shard ever receives an event in its past — the classic
+    conservative-PDES invariant.
+
+    {2 Determinism}
+
+    Each shard replays exactly the event sequence the sequential engine
+    would execute for its nodes: all events of a given node run on its
+    owning shard in nondecreasing time order, and simultaneous
+    cross-boundary arrivals are merged in a fixed
+    (timestamp, source shard, source sequence) order. Runs are therefore
+    bit-identical across repetitions for a given shard count, and event,
+    delivery and drop counts — plus final switch register state —
+    match the sequential engine whenever same-instant events at a node
+    commute (always true for uniform frame sizes; see DESIGN.md §8 for
+    the full argument). *)
+
+module Time_ns = Tpp_util.Time_ns
+module Engine = Tpp_sim.Engine
+module Net = Tpp_sim.Net
+
+(** Topology-sharding plan: which shard owns which node, and the
+    conservative lookahead the cut admits. *)
+module Plan : sig
+  type t = {
+    shards : int;
+    owner : int array;  (** node id -> owning shard *)
+    lookahead : Time_ns.span;
+        (** minimum propagation delay over cut links; effectively
+            infinite when no link crosses shards *)
+    cut_links : int;  (** full-duplex links crossing shard boundaries *)
+    shard_weight : int array;  (** load estimate per shard (balance) *)
+  }
+
+  val make : Net.t -> shards:int -> t
+  (** Partitions a built topology with {!Tpp_util.Partition}: vertices
+      are switches (edge-cut minimized, weights biased by attached host
+      count) and every host is pinned to the shard of the switch it
+      attaches to, so host links never cross shards. Raises
+      [Invalid_argument] when a cut link has zero propagation delay
+      (a conservative engine cannot make progress without lookahead). *)
+end
+
+type stats = {
+  shards : int;
+  events : int;  (** total events executed, all shards *)
+  delivered : int;  (** frames handed to host receive callbacks *)
+  rounds : int;  (** synchronization windows executed *)
+  messages : int;  (** frames that crossed a shard boundary *)
+  cut_links : int;
+  lookahead : Time_ns.span;
+  shard_events : int array;  (** per-shard event counts (balance) *)
+}
+
+val run :
+  shards:int ->
+  until:Time_ns.t ->
+  build:(Engine.t -> Net.t) ->
+  setup:(shard:int -> owns:(int -> bool) -> Net.t -> unit) ->
+  collect:(shard:int -> owns:(int -> bool) -> Net.t -> 'a) ->
+  unit ->
+  stats * 'a array
+(** [run ~shards ~until ~build ~setup ~collect ()] executes a sharded
+    simulation to time [until] and returns aggregate statistics plus
+    one [collect] result per shard.
+
+    [build] must deterministically construct the {e same} topology on
+    any engine — each shard calls it once on its own domain to get a
+    structurally identical replica (node ids are dense and assigned in
+    registration order, so replicas agree), and it is called once more
+    up front to compute the partition. [setup] then injects workload:
+    it must schedule traffic only for hosts where [owns host.node_id]
+    is true, and must not capture mutable state shared across shards.
+    [collect] runs after the simulation on each shard's domain —
+    harvest per-shard results (delivered counts, owned-switch register
+    state) there rather than touching foreign replicas.
+
+    With [shards = 1] the behavior (and every counter) is identical to
+    building and running the net sequentially. *)

@@ -19,7 +19,15 @@ let after t span callback = at t (Time_ns.add t.clock span) callback
 
 let every t ?start ~period ~until callback =
   if period <= 0 then invalid_arg "Engine.every: period";
-  let start = match start with Some s -> s | None -> Time_ns.add t.clock period in
+  let start =
+    match start with
+    | Some s ->
+      (* Diagnose the caller's mistake here rather than letting [at]
+         raise its generic message on the first tick. *)
+      if s <= t.clock then invalid_arg "Engine.every: start in the past";
+      s
+    | None -> Time_ns.add t.clock period
+  in
   let rec tick time () =
     if time <= until then begin
       callback ();
@@ -28,6 +36,8 @@ let every t ?start ~period ~until callback =
     end
   in
   if start <= until then at t start (tick start)
+
+let next_event_time t = Heap.peek_prio t.queue
 
 let nothing () = ()
 

@@ -21,7 +21,14 @@ val every :
   t -> ?start:Time_ns.t -> period:Time_ns.span -> until:Time_ns.t ->
   (unit -> unit) -> unit
 (** Periodic callback from [start] (default one period from now) to
-    [until] inclusive. *)
+    [until] inclusive. An explicit [start] must lie strictly in the
+    future (raises [Invalid_argument] "Engine.every: start in the
+    past" when at or before the current clock). *)
+
+val next_event_time : t -> Time_ns.t option
+(** Timestamp of the earliest queued event, [None] when the queue is
+    empty. The conservative parallel scheduler ({!Tpp_parsim.Parsim})
+    uses this to agree on a safe execution window each round. *)
 
 val run : t -> until:Time_ns.t -> unit
 (** Processes events in time order until the queue drains or the next

@@ -30,6 +30,15 @@ type node_rec = { impl : node_impl; ports : attachment array }
 
 type wire_check = [ `Always | `Cached | `Off ]
 
+(* When this net is one shard of a parallel run: which shard each node
+   belongs to, which shard this instance executes, and how a frame whose
+   link crosses into another shard leaves this one. *)
+type sharding = {
+  owner : int array;  (* node id -> owning shard *)
+  shard : int;        (* the shard this Net instance runs *)
+  emit : arrival:Time_ns.t -> dst:int * int -> Frame.t -> unit;
+}
+
 type t = {
   eng : Engine.t;
   wire_check : wire_check;
@@ -39,6 +48,7 @@ type t = {
   mutable delivered : int;
   mutable deliver_hooks : (host -> Frame.t -> unit) array;
       (* registration order; rebuilt on (rare) registration *)
+  mutable sharding : sharding option;  (* None = ordinary sequential net *)
   checked_shapes : (int, unit) Hashtbl.t;
       (* header-layout keys already validated in [`Cached] mode *)
   scratch : Buf.Writer.t;  (* reused by the cached wire check *)
@@ -53,11 +63,24 @@ let create ?(wire_check = `Always) eng =
     host_counter = 0;
     delivered = 0;
     deliver_hooks = [||];
+    sharding = None;
     checked_shapes = Hashtbl.create 32;
     scratch = Buf.Writer.create ~capacity:256 ();
   }
 
 let engine t = t.eng
+
+let set_sharding t ~owner ~shard ~emit =
+  if Array.length owner < t.node_count then
+    invalid_arg "Net.set_sharding: owner array shorter than node table";
+  if shard < 0 then invalid_arg "Net.set_sharding: shard";
+  t.sharding <- Some { owner; shard; emit }
+
+let owns t id =
+  if id < 0 || id >= t.node_count then invalid_arg "Net.owns: unknown node id";
+  match t.sharding with
+  | None -> true
+  | Some s -> Array.unsafe_get s.owner id = s.shard
 
 let new_attachment () =
   { peer = None; bps = 0; delay = 0; tx_busy = false; up = true;
@@ -202,10 +225,30 @@ and maybe_start_tx t id port =
         Engine.after t.eng tx (fun () ->
             a.tx_busy <- false;
             (* A frame finishing serialisation onto a dark link is lost. *)
-            if a.up then
-              Engine.after t.eng a.delay (fun () -> deliver t peer frame);
+            if a.up then begin
+              match t.sharding with
+              | None -> Engine.after t.eng a.delay (fun () -> deliver t peer frame)
+              | Some s ->
+                (* Shard-boundary link: the arrival belongs to the peer's
+                   owning shard. Hand the frame (with its absolute arrival
+                   time) to the inter-shard channel instead of the local
+                   event heap; the owner schedules the delivery when it
+                   drains its inbox. Same event count either way: one
+                   delivery event, on exactly one shard. *)
+                let dst_node = fst peer in
+                if Array.unsafe_get s.owner dst_node = s.shard then
+                  Engine.after t.eng a.delay (fun () -> deliver t peer frame)
+                else
+                  s.emit
+                    ~arrival:(Time_ns.add (Engine.now t.eng) a.delay)
+                    ~dst:peer frame
+            end;
             maybe_start_tx t id port)
     end
+
+let schedule_delivery t ~arrival ~dst frame =
+  ignore (attachment t dst);
+  Engine.at t.eng arrival (fun () -> deliver t dst frame)
 
 (* One key per header *layout*: two frames with the same key serialise
    through exactly the same write/parse paths and length computations,
@@ -237,6 +280,10 @@ let wire_check_fail e =
   failwith ("Net.host_send: frame failed wire round-trip: " ^ e)
 
 let host_send t host frame =
+  (match t.sharding with
+  | Some s when Array.unsafe_get s.owner host.node_id <> s.shard ->
+    invalid_arg "Net.host_send: host is owned by another shard"
+  | _ -> ());
   let frame =
     match t.wire_check with
     | `Off -> frame
@@ -282,10 +329,19 @@ let set_link_up t (id, port) up =
 
 let link_up t (id, port) = (attachment t (id, port)).up
 
+let link_delay t (id, port) =
+  let a = attachment t (id, port) in
+  if Option.is_none a.peer then invalid_arg "Net.link_delay: port has no link";
+  a.delay
+
 let start_utilization_updates t ~period ~until =
+  (* On a sharded net only the owned switches tick (each shard runs its
+     own periodic event for its slice of the fabric). *)
   Engine.every t.eng ~period ~until (fun () ->
       List.iter
-        (fun (_, sw) -> State.update_utilization (Switch.state sw) ~window_ns:period)
+        (fun (id, sw) ->
+          if owns t id then
+            State.update_utilization (Switch.state sw) ~window_ns:period)
         (switches t))
 
 let frames_delivered t = t.delivered

@@ -80,10 +80,45 @@ val neighbors : t -> int -> (int * int * int) list
 val start_utilization_updates :
   t -> period:Time_ns.span -> until:Time_ns.t -> unit
 (** Periodically recomputes every switch's utilisation registers (the
-    windowed [Link:RxUtilization] values TPPs read). *)
+    windowed [Link:RxUtilization] values TPPs read). On a sharded net,
+    only the switches this shard owns are updated. *)
 
 val frames_delivered : t -> int
 (** Frames handed to host receive callbacks so far. *)
+
+(** {2 Sharding hooks}
+
+    Used by {!Tpp_parsim.Parsim} to run this net as one shard of a
+    conservative parallel simulation. Every shard holds a structurally
+    identical replica of the topology but executes events only for the
+    nodes it owns; a frame whose link crosses into another shard leaves
+    through [emit] instead of the local event heap. An ordinary
+    sequential net never touches any of this. *)
+
+val set_sharding :
+  t ->
+  owner:int array ->
+  shard:int ->
+  emit:(arrival:Time_ns.t -> dst:int * int -> Frame.t -> unit) -> unit
+(** Marks this net as shard [shard] of a partitioned run. [owner] maps
+    node ids to shards; [emit] is called at link-transmission completion
+    for frames bound for a foreign node, with the absolute [arrival]
+    time (tx end + propagation delay) and destination endpoint. *)
+
+val owns : t -> int -> bool
+(** Whether this net instance executes events for the node: always true
+    on an unsharded net. *)
+
+val schedule_delivery :
+  t -> arrival:Time_ns.t -> dst:int * int -> Frame.t -> unit
+(** Schedules a frame to arrive at endpoint [dst] at absolute time
+    [arrival], exactly as if it had finished crossing the attached link:
+    the receiving end of an inter-shard channel. *)
+
+val link_delay : t -> int * int -> Time_ns.span
+(** Propagation delay of the link attached at this endpoint (raises
+    [Invalid_argument] when the port has no link). The partitioner reads
+    these to compute the conservative lookahead. *)
 
 val on_host_deliver : t -> (host -> Frame.t -> unit) -> unit
 (** Tracing hook, called before each host receive callback. Hooks run in

@@ -1,0 +1,189 @@
+type graph = {
+  n : int;
+  adj : (int * int) array array;
+  weight : int array;
+}
+
+let make_graph ~n ~edges ~weight =
+  if Array.length weight <> n then invalid_arg "Partition.make_graph: weight length";
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v, _) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Partition.make_graph: vertex out of range";
+      if u <> v then begin
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1
+      end)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v, w) ->
+      if u <> v then begin
+        adj.(u).(fill.(u)) <- (v, w);
+        fill.(u) <- fill.(u) + 1;
+        adj.(v).(fill.(v)) <- (u, w);
+        fill.(v) <- fill.(v) + 1
+      end)
+    edges;
+  { n; adj; weight }
+
+let cut_weight g assign =
+  let cut = ref 0 in
+  for v = 0 to g.n - 1 do
+    Array.iter
+      (fun (u, w) -> if u > v && assign.(v) <> assign.(u) then cut := !cut + w)
+      g.adj.(v)
+  done;
+  !cut
+
+(* Hop-distance BFS from [src]; [dist] is overwritten. *)
+let bfs g src dist =
+  Array.fill dist 0 g.n max_int;
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun (v, _) ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.push v q
+        end)
+      g.adj.(u)
+  done
+
+(* Farthest-point seeds: vertex 0, then repeatedly the vertex with the
+   largest hop distance to any chosen seed (unreachable counts as
+   infinitely far, which spreads seeds across components). *)
+let pick_seeds g parts =
+  let seeds = Array.make parts 0 in
+  let mind = Array.make g.n max_int in
+  let dist = Array.make g.n max_int in
+  let taken = Array.make g.n false in
+  let absorb s =
+    taken.(s) <- true;
+    bfs g s dist;
+    for v = 0 to g.n - 1 do
+      if dist.(v) < mind.(v) then mind.(v) <- dist.(v)
+    done
+  in
+  absorb 0;
+  for s = 1 to parts - 1 do
+    let best = ref (-1) in
+    for v = g.n - 1 downto 0 do
+      if (not taken.(v)) && (!best = -1 || mind.(v) >= mind.(!best)) then best := v
+    done;
+    (* downto scan + [>=] makes the winner the lowest-indexed maximum *)
+    seeds.(s) <- !best;
+    absorb !best
+  done;
+  seeds
+
+(* Sum of edge weights from [v] into part [p] under [assign]. *)
+let gain g assign v p =
+  Array.fold_left
+    (fun acc (u, w) -> if assign.(u) = p then acc + w else acc)
+    0 g.adj.(v)
+
+let partition g ~parts =
+  if parts < 1 then invalid_arg "Partition.partition: parts must be >= 1";
+  let n = g.n in
+  if n = 0 then [||]
+  else if parts = 1 then Array.make n 0
+  else if parts >= n then Array.init n (fun i -> i)
+  else begin
+    let assign = Array.make n (-1) in
+    let part_weight = Array.make parts 0 in
+    let part_size = Array.make parts 0 in
+    let place v p =
+      assign.(v) <- p;
+      part_weight.(p) <- part_weight.(p) + g.weight.(v);
+      part_size.(p) <- part_size.(p) + 1
+    in
+    let seeds = pick_seeds g parts in
+    Array.iteri (fun p s -> place s p) seeds;
+    (* Region growing: repeatedly give the lightest part the unassigned
+       vertex most connected to it; a part with no frontier defers to
+       the next-lightest, and stranded vertices (other components) go to
+       the lightest part outright. *)
+    let unassigned = ref (n - parts) in
+    let order = Array.init parts (fun p -> p) in
+    while !unassigned > 0 do
+      Array.sort
+        (fun a b ->
+          let c = compare part_weight.(a) part_weight.(b) in
+          if c <> 0 then c else compare a b)
+        order;
+      let placed = ref false in
+      let oi = ref 0 in
+      while (not !placed) && !oi < parts do
+        let p = order.(!oi) in
+        let best = ref (-1) and best_gain = ref 0 in
+        for v = n - 1 downto 0 do
+          if assign.(v) = -1 then begin
+            let gv = gain g assign v p in
+            if gv > 0 && gv >= !best_gain then begin
+              best := v;
+              best_gain := gv
+            end
+          end
+        done;
+        if !best >= 0 then begin
+          place !best p;
+          decr unassigned;
+          placed := true
+        end
+        else incr oi
+      done;
+      if not !placed then begin
+        (* No part touches any unassigned vertex: disconnected leftover. *)
+        let v = ref 0 in
+        while assign.(!v) <> -1 do incr v done;
+        place !v order.(0);
+        decr unassigned
+      end
+    done;
+    (* Boundary refinement: move a vertex to the neighboring part it is
+       most connected to when that strictly reduces the cut and keeps
+       parts balanced and non-empty. *)
+    let total = Array.fold_left ( + ) 0 g.weight in
+    let max_vw = Array.fold_left max 1 g.weight in
+    let cap = (total + parts - 1) / parts + max_vw in
+    let improved = ref true in
+    let passes = ref 0 in
+    while !improved && !passes < 10 do
+      improved := false;
+      incr passes;
+      for v = 0 to n - 1 do
+        let cp = assign.(v) in
+        if part_size.(cp) > 1 then begin
+          let here = gain g assign v cp in
+          let best_p = ref cp and best_g = ref here in
+          Array.iter
+            (fun (u, _) ->
+              let q = assign.(u) in
+              if q <> cp && q <> !best_p then begin
+                let gq = gain g assign v q in
+                if
+                  gq > !best_g
+                  && part_weight.(q) + g.weight.(v) <= cap
+                then begin
+                  best_p := q;
+                  best_g := gq
+                end
+              end)
+            g.adj.(v);
+          if !best_p <> cp then begin
+            part_weight.(cp) <- part_weight.(cp) - g.weight.(v);
+            part_size.(cp) <- part_size.(cp) - 1;
+            place v !best_p;
+            improved := true
+          end
+        end
+      done
+    done;
+    assign
+  end

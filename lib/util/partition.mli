@@ -1,0 +1,35 @@
+(** Deterministic balanced graph partitioning (edge-cut minimizing).
+
+    Splits a small weighted graph into [parts] groups of roughly equal
+    vertex weight while keeping as few edges as possible between groups.
+    Used by the parallel simulator to shard a topology across domains:
+    vertices are switches (hosts are contracted into their ToR switch by
+    the caller), edge weight is link count, vertex weight approximates
+    event load.
+
+    The algorithm is greedy region growing from spread-out seeds
+    followed by boundary refinement. It is fully deterministic: ties
+    break toward the lowest index, so the same graph always yields the
+    same partition. Sizes here are hundreds of vertices, not millions —
+    simplicity and determinism beat asymptotics. *)
+
+type graph = {
+  n : int;
+  adj : (int * int) array array;
+      (** [adj.(v)] lists [(neighbor, edge_weight)]; both directions of
+          every edge must be present. *)
+  weight : int array;  (** per-vertex load estimate, length [n] *)
+}
+
+val make_graph : n:int -> edges:(int * int * int) list -> weight:int array -> graph
+(** Builds the adjacency representation from an undirected edge list
+    [(u, v, w)]. Self-loops are ignored; parallel edges accumulate. *)
+
+val partition : graph -> parts:int -> int array
+(** [partition g ~parts] assigns every vertex a part in
+    [0 .. parts-1]. With [parts >= n] each vertex gets its own part
+    (higher parts stay empty). Raises [Invalid_argument] when
+    [parts < 1]. *)
+
+val cut_weight : graph -> int array -> int
+(** Total weight of edges whose endpoints land in different parts. *)

@@ -1,0 +1,40 @@
+(* Vyukov-style unbounded SPSC queue over a singly linked list with a
+   stub node. The producer owns [tail] (plain field), the consumer owns
+   [head] (plain field); the only shared location is each node's [next],
+   which is atomic. Publishing a node with [Atomic.set] releases the
+   plain [value] write that precedes it, and the consumer's [Atomic.get]
+   acquires it, so no value is ever read before it is fully written. *)
+
+type 'a node = {
+  mutable value : 'a option;  (* cleared on pop so the GC can reclaim *)
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  mutable head : 'a node;  (* consumer-owned: the last consumed (stub) node *)
+  mutable tail : 'a node;  (* producer-owned: the last appended node *)
+}
+
+let create () =
+  let stub = { value = None; next = Atomic.make None } in
+  { head = stub; tail = stub }
+
+let push t v =
+  let n = { value = Some v; next = Atomic.make None } in
+  Atomic.set t.tail.next (Some n);
+  t.tail <- n
+
+let pop t =
+  match Atomic.get t.head.next with
+  | None -> None
+  | Some n ->
+    let v = n.value in
+    n.value <- None;
+    t.head <- n;
+    v
+
+let drain t =
+  let rec go acc =
+    match pop t with None -> List.rev acc | Some v -> go (v :: acc)
+  in
+  go []

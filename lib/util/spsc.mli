@@ -1,0 +1,21 @@
+(** Lock-free single-producer / single-consumer unbounded queue.
+
+    The inter-shard frame channel of the parallel simulator: exactly one
+    domain may push and exactly one domain may pop. Cross-domain
+    visibility is established through one atomic link per node, so a
+    value pushed before a synchronising event (e.g. a barrier) is
+    guaranteed poppable after it. FIFO order is preserved. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Producer side only. Never blocks; the queue grows as needed. *)
+
+val pop : 'a t -> 'a option
+(** Consumer side only. [None] when the queue is (momentarily) empty. *)
+
+val drain : 'a t -> 'a list
+(** Consumer side only: pops everything currently visible, in FIFO
+    order. *)

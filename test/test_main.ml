@@ -10,6 +10,7 @@ let () =
       ("tcpu", Test_tcpu.suite);
       ("switch", Test_switch.suite);
       ("sim", Test_sim.suite);
+      ("parsim", Test_parsim.suite);
       ("endhost", Test_endhost.suite);
       ("rcp", Test_rcp.suite);
       ("ndb", Test_ndb.suite);

@@ -1,0 +1,254 @@
+(* The parallel (sharded, conservative PDES) engine: partitioning
+   sanity, and — the load-bearing property — that a run sharded across
+   1, 2 or 4 domains produces exactly the sequential engine's event,
+   delivery and drop counts and final switch register state. *)
+
+open Tpp
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- workload: every host streams TPP-tagged UDP to rotating peers --- *)
+
+let collect_src = "PUSH [Switch:SwitchID]\nPUSH [Link:QueueSize]\n"
+
+(* Uniform frame sizes keep same-instant events commutative (the
+   determinism precondition, DESIGN.md §8). *)
+let blast ~packets ~gap_ns ~payload_bytes ~owns net =
+  let hosts = Array.of_list (Net.hosts net) in
+  let n = Array.length hosts in
+  let eng = Net.engine net in
+  let tpp = Result.get_ok (Asm.to_tpp ~mem_len:32 collect_src) in
+  let payload = Bytes.create payload_bytes in
+  for i = 0 to n - 1 do
+    let src = hosts.(i) in
+    if owns src.Net.node_id then
+      for j = 0 to packets - 1 do
+        let t = 1 + (i * 37) + (j * gap_ns) in
+        Engine.at eng t (fun () ->
+            let dst = hosts.((i + 1 + (j mod (n - 1))) mod n) in
+            let frame =
+              Frame.udp_frame ~src_mac:src.Net.mac ~dst_mac:dst.Net.mac
+                ~src_ip:src.Net.ip ~dst_ip:dst.Net.ip ~src_port:(4000 + i)
+                ~dst_port:9 ~tpp:(Prog.copy tpp) ~payload ()
+            in
+            Net.host_send net src frame)
+      done
+  done
+
+(* --- switch register fingerprints ----------------------------------- *)
+
+module SS = Switch_state
+
+let sram_hash (st : SS.t) =
+  Array.fold_left (fun acc w -> (acc * 1_000_003) + w) 0 st.SS.sram
+
+let port_fp (p : SS.Port.t) =
+  [
+    p.SS.Port.rx_bytes; p.rx_pkts; p.tx_bytes; p.tx_pkts; p.drops;
+    p.offered_bytes; p.queue_bytes;
+  ]
+
+let switch_fp id sw =
+  let st = Switch.state sw in
+  ( id,
+    [
+      st.SS.packets_seen; st.SS.bytes_seen; st.SS.drops; st.SS.tpp_execs;
+      st.SS.tpp_faults; st.SS.tpp_cycles; sram_hash st;
+    ]
+    @ List.concat_map port_fp (Array.to_list st.SS.ports) )
+
+let net_fp ~owns net =
+  Net.switches net
+  |> List.filter (fun (id, _) -> owns id)
+  |> List.map (fun (id, sw) -> switch_fp id sw)
+
+let total_drops ~owns net =
+  Net.switches net
+  |> List.filter (fun (id, _) -> owns id)
+  |> List.fold_left (fun a (_, sw) -> a + (Switch.state sw).SS.drops) 0
+
+(* Sequential reference: same builder and traffic, one engine. *)
+let run_sequential ~build ~traffic ~until =
+  let eng = Engine.create () in
+  let net = build eng in
+  traffic ~owns:(fun _ -> true) net;
+  Engine.run eng ~until;
+  ( Engine.events_processed eng,
+    Net.frames_delivered net,
+    total_drops ~owns:(fun _ -> true) net,
+    net_fp ~owns:(fun _ -> true) net )
+
+let run_sharded ~shards ~build ~traffic ~until =
+  let stats, fps =
+    Parsim.run ~shards ~until ~build
+      ~setup:(fun ~shard:_ ~owns net -> traffic ~owns net)
+      ~collect:(fun ~shard:_ ~owns net ->
+        (total_drops ~owns net, net_fp ~owns net))
+      ()
+  in
+  let drops = Array.fold_left (fun a (d, _) -> a + d) 0 fps in
+  let fp =
+    Array.to_list fps
+    |> List.concat_map snd
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  (stats, drops, fp)
+
+let fp_t = Alcotest.(list (pair int (list int)))
+
+let check_matches_sequential ~build ~traffic ~until shard_counts =
+  let seq_events, seq_delivered, seq_drops, seq_fp =
+    run_sequential ~build ~traffic ~until
+  in
+  List.iter
+    (fun shards ->
+      let stats, drops, fp = run_sharded ~shards ~build ~traffic ~until in
+      let lbl s = Printf.sprintf "%s (%d shards)" s shards in
+      check Alcotest.int (lbl "events") seq_events stats.Parsim.events;
+      check Alcotest.int (lbl "delivered") seq_delivered stats.Parsim.delivered;
+      check Alcotest.int (lbl "drops") seq_drops drops;
+      check fp_t (lbl "switch registers") seq_fp fp)
+    shard_counts;
+  (seq_delivered, seq_drops)
+
+(* --- partitioning --------------------------------------------------- *)
+
+let test_plan_fat_tree () =
+  let eng = Engine.create () in
+  let ft =
+    Topology.fat_tree eng ~k:4 ~bps:1_000_000_000 ~delay:(Time_ns.us 1) ()
+  in
+  let net = ft.Topology.f_net in
+  let plan = Parsim.Plan.make net ~shards:4 in
+  check Alcotest.int "lookahead = min link delay" (Time_ns.us 1)
+    plan.Parsim.Plan.lookahead;
+  check Alcotest.bool "boundary links exist" true (plan.Parsim.Plan.cut_links > 0);
+  Array.iter
+    (fun w -> check Alcotest.bool "every shard loaded" true (w > 0))
+    plan.Parsim.Plan.shard_weight;
+  (* Hosts are pinned with their edge (ToR) switch. *)
+  List.iter
+    (fun h ->
+      let id = h.Net.node_id in
+      match Net.neighbors net id with
+      | (_, tor, _) :: _ ->
+        check Alcotest.int "host rides its ToR's shard"
+          plan.Parsim.Plan.owner.(tor) plan.Parsim.Plan.owner.(id)
+      | [] -> Alcotest.fail "unattached host")
+    (Net.hosts net)
+
+let test_sharding_hooks () =
+  let eng = Engine.create () in
+  let net = Net.create eng in
+  let sw = Net.add_switch net (Switch.create ~id:1 ~num_ports:2 ()) in
+  let a = Net.add_host net ~name:"a" in
+  let b = Net.add_host net ~name:"b" in
+  Net.connect net (a.Net.node_id, 0) (sw, 0) ~bps:1_000_000 ~delay:5;
+  Net.connect net (b.Net.node_id, 0) (sw, 1) ~bps:1_000_000 ~delay:7;
+  check Alcotest.int "link delay" 7 (Net.link_delay net (b.Net.node_id, 0));
+  check Alcotest.bool "unsharded owns all" true (Net.owns net sw);
+  let owner = [| 0; 0; 1 |] in  (* b lives on another shard *)
+  Net.set_sharding net ~owner ~shard:0 ~emit:(fun ~arrival:_ ~dst:_ _ -> ());
+  check Alcotest.bool "owns local" true (Net.owns net a.Net.node_id);
+  check Alcotest.bool "foreign node" false (Net.owns net b.Net.node_id);
+  let frame =
+    Frame.udp_frame ~src_mac:b.Net.mac ~dst_mac:a.Net.mac ~src_ip:b.Net.ip
+      ~dst_ip:a.Net.ip ~src_port:1 ~dst_port:2 ~payload:(Bytes.create 8) ()
+  in
+  Alcotest.check_raises "foreign host_send rejected"
+    (Invalid_argument "Net.host_send: host is owned by another shard")
+    (fun () -> Net.host_send net b frame)
+
+(* --- sequential equivalence ----------------------------------------- *)
+
+(* Congested dumbbell: a 20x overcommitted core link, so the left switch
+   tail-drops — drop accounting must survive sharding exactly. *)
+let test_dumbbell_matches_sequential () =
+  let build eng =
+    let d =
+      Topology.dumbbell eng ~pairs:5 ~core_bps:100_000_000
+        ~edge_bps:1_000_000_000 ~delay:(Time_ns.us 2) ()
+    in
+    (* Shallow buffers: the overcommitted core port must tail-drop. *)
+    List.iter
+      (fun (_, sw) ->
+        for p = 0 to Switch.num_ports sw - 1 do
+          Switch.set_queue_limit sw ~port:p ~bytes:8_000
+        done)
+      (Net.switches d.Topology.d_net);
+    d.Topology.d_net
+  in
+  let traffic = blast ~packets:60 ~gap_ns:2_000 ~payload_bytes:600 in
+  let _, drops =
+    check_matches_sequential ~build ~traffic ~until:(Time_ns.ms 20) [ 1; 2; 4 ]
+  in
+  check Alcotest.bool "congestion actually dropped frames" true (drops > 0)
+
+let test_fat_tree_matches_sequential () =
+  let build eng =
+    let ft =
+      Topology.fat_tree eng ~ecmp:true ~k:4 ~bps:1_000_000_000
+        ~delay:(Time_ns.us 1) ()
+    in
+    ft.Topology.f_net
+  in
+  let traffic = blast ~packets:20 ~gap_ns:4_000 ~payload_bytes:400 in
+  let delivered, _ =
+    check_matches_sequential ~build ~traffic ~until:(Time_ns.ms 10) [ 2; 4 ]
+  in
+  check Alcotest.bool "traffic flowed" true (delivered > 0)
+
+(* More shards than switches: the extra shards idle at the barriers but
+   the run must still complete and agree with the sequential engine. *)
+let test_more_shards_than_switches () =
+  let build eng =
+    let d =
+      Topology.dumbbell eng ~pairs:2 ~core_bps:1_000_000_000
+        ~edge_bps:1_000_000_000 ~delay:(Time_ns.us 3) ()
+    in
+    d.Topology.d_net
+  in
+  let traffic = blast ~packets:8 ~gap_ns:5_000 ~payload_bytes:200 in
+  ignore
+    (check_matches_sequential ~build ~traffic ~until:(Time_ns.ms 5) [ 5 ])
+
+let prop_random_topology_deterministic =
+  QCheck.Test.make ~name:"random fabric: 1/2/4 shards match sequential engine"
+    ~count:5
+    QCheck.(
+      quad (int_range 2 5) (int_range 4 9) (int_range 0 3) (int_range 0 10_000))
+    (fun (switches, hosts, extra_links, seed) ->
+      let build eng =
+        let r =
+          Topology.random eng ~switches ~hosts ~extra_links ~seed ~ecmp:true
+            ~bps:200_000_000 ~delay:(Time_ns.us 2) ()
+        in
+        (* Tight queues so random runs exercise tail-drop paths too. *)
+        List.iter
+          (fun (_, sw) ->
+            for p = 0 to Switch.num_ports sw - 1 do
+              Switch.set_queue_limit sw ~port:p ~bytes:4_000
+            done)
+          (Net.switches r.Topology.r_net);
+        r.Topology.r_net
+      in
+      let payload_bytes = 200 + (100 * (seed mod 4)) in
+      let traffic = blast ~packets:12 ~gap_ns:3_000 ~payload_bytes in
+      ignore
+        (check_matches_sequential ~build ~traffic ~until:(Time_ns.ms 10)
+           [ 1; 2; 4 ]);
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "plan: fat-tree partition" `Quick test_plan_fat_tree;
+    Alcotest.test_case "net sharding hooks" `Quick test_sharding_hooks;
+    Alcotest.test_case "dumbbell w/ drops matches sequential" `Quick
+      test_dumbbell_matches_sequential;
+    Alcotest.test_case "fat-tree matches sequential" `Quick
+      test_fat_tree_matches_sequential;
+    Alcotest.test_case "more shards than switches" `Quick
+      test_more_shards_than_switches;
+    qtest prop_random_topology_deterministic;
+  ]

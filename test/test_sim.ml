@@ -47,6 +47,35 @@ let test_engine_every () =
   Engine.run eng ~until:100;
   check Alcotest.int "five periods fit before 55" 5 !count
 
+let test_engine_every_past_start () =
+  let eng = Engine.create () in
+  Engine.at eng 10 (fun () -> ());
+  Engine.run eng ~until:50;
+  let expect_raise start =
+    Alcotest.check_raises "every start rejected"
+      (Invalid_argument "Engine.every: start in the past") (fun () ->
+        Engine.every eng ~start ~period:10 ~until:200 (fun () -> ()))
+  in
+  expect_raise 20;
+  (* strictly before the clock *)
+  expect_raise 50;
+  (* exactly at the clock is also rejected *)
+  let fired = ref 0 in
+  Engine.every eng ~start:60 ~period:10 ~until:80 (fun () -> incr fired);
+  Engine.run eng ~until:100;
+  check Alcotest.int "future start fires" 3 !fired
+
+let test_engine_next_event_time () =
+  let eng = Engine.create () in
+  check (Alcotest.option Alcotest.int) "empty" None (Engine.next_event_time eng);
+  Engine.at eng 42 (fun () -> ());
+  Engine.at eng 17 (fun () -> ());
+  check (Alcotest.option Alcotest.int) "min pending" (Some 17)
+    (Engine.next_event_time eng);
+  Engine.run eng ~until:30;
+  check (Alcotest.option Alcotest.int) "after partial run" (Some 42)
+    (Engine.next_event_time eng)
+
 let test_engine_run_until_is_exclusive_of_later_events () =
   let eng = Engine.create () in
   let fired = ref false in
@@ -435,6 +464,9 @@ let suite =
     Alcotest.test_case "engine rejects the past" `Quick test_engine_no_past_scheduling;
     Alcotest.test_case "engine nested scheduling" `Quick test_engine_nested_scheduling;
     Alcotest.test_case "engine every" `Quick test_engine_every;
+    Alcotest.test_case "engine every rejects past start" `Quick
+      test_engine_every_past_start;
+    Alcotest.test_case "engine next event time" `Quick test_engine_next_event_time;
     Alcotest.test_case "engine until boundary" `Quick
       test_engine_run_until_is_exclusive_of_later_events;
     Alcotest.test_case "delivery and latency" `Quick test_delivery_and_latency;

@@ -325,6 +325,73 @@ let test_stats_empty_safe () =
   check (Alcotest.float 0.0) "p99" 0.0 (Stats.percentile s 99.0);
   check (Alcotest.float 0.0) "stddev" 0.0 (Stats.stddev s)
 
+(* --- Spsc ----------------------------------------------------------- *)
+
+let test_spsc_fifo () =
+  let q = Spsc.create () in
+  check (Alcotest.option Alcotest.int) "empty" None (Spsc.pop q);
+  List.iter (Spsc.push q) [ 1; 2; 3 ];
+  check (Alcotest.option Alcotest.int) "first" (Some 1) (Spsc.pop q);
+  Spsc.push q 4;
+  check (Alcotest.list Alcotest.int) "drain keeps order" [ 2; 3; 4 ]
+    (Spsc.drain q);
+  check (Alcotest.option Alcotest.int) "drained" None (Spsc.pop q)
+
+let test_spsc_cross_domain () =
+  (* Producer on its own domain, consumer here: everything pushed must
+     come out exactly once, in order. *)
+  let q = Spsc.create () in
+  let n = 20_000 in
+  let producer = Domain.spawn (fun () -> for i = 1 to n do Spsc.push q i done) in
+  let got = ref 0 in
+  let expect = ref 1 in
+  while !got < n do
+    match Spsc.pop q with
+    | Some v ->
+      check Alcotest.int "in order" !expect v;
+      incr expect;
+      incr got
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check (Alcotest.option Alcotest.int) "nothing extra" None (Spsc.pop q)
+
+(* --- Partition ------------------------------------------------------ *)
+
+(* An even ring: optimal bisection is two arcs with a cut of 2. *)
+let ring n = List.init n (fun i -> (i, (i + 1) mod n, 1))
+
+let test_partition_ring () =
+  let g = Partition.make_graph ~n:8 ~edges:(ring 8) ~weight:(Array.make 8 1) in
+  let assign = Partition.partition g ~parts:2 in
+  let size p = Array.fold_left (fun a x -> if x = p then a + 1 else a) 0 assign in
+  check Alcotest.int "balanced" 4 (size 0);
+  check Alcotest.int "balanced" 4 (size 1);
+  check Alcotest.int "minimal cut" 2 (Partition.cut_weight g assign)
+
+let test_partition_determinism_and_bounds () =
+  let edges = ring 9 @ [ (0, 4, 3); (2, 7, 2) ] in
+  let weight = Array.init 9 (fun i -> 1 + (i mod 3)) in
+  let g = Partition.make_graph ~n:9 ~edges ~weight in
+  let a1 = Partition.partition g ~parts:3 in
+  let a2 = Partition.partition g ~parts:3 in
+  check (Alcotest.array Alcotest.int) "deterministic" a1 a2;
+  Array.iter (fun p -> check Alcotest.bool "in range" true (p >= 0 && p < 3)) a1;
+  for p = 0 to 2 do
+    check Alcotest.bool "no empty part" true (Array.exists (( = ) p) a1)
+  done
+
+let test_partition_degenerate () =
+  let g = Partition.make_graph ~n:3 ~edges:[ (0, 1, 1) ] ~weight:(Array.make 3 1) in
+  check (Alcotest.array Alcotest.int) "one part" [| 0; 0; 0 |]
+    (Partition.partition g ~parts:1);
+  check (Alcotest.array Alcotest.int) "parts >= n: one vertex each"
+    [| 0; 1; 2 |]
+    (Partition.partition g ~parts:5);
+  Alcotest.check_raises "parts < 1"
+    (Invalid_argument "Partition.partition: parts must be >= 1") (fun () ->
+      ignore (Partition.partition g ~parts:0))
+
 let suite =
   [
     Alcotest.test_case "time units" `Quick test_time_units;
@@ -356,4 +423,10 @@ let suite =
       test_series_downsample_validation;
     Alcotest.test_case "heap clear" `Quick test_heap_clear;
     Alcotest.test_case "stats empty" `Quick test_stats_empty_safe;
+    Alcotest.test_case "spsc fifo" `Quick test_spsc_fifo;
+    Alcotest.test_case "spsc cross-domain" `Quick test_spsc_cross_domain;
+    Alcotest.test_case "partition ring" `Quick test_partition_ring;
+    Alcotest.test_case "partition deterministic" `Quick
+      test_partition_determinism_and_bounds;
+    Alcotest.test_case "partition degenerate" `Quick test_partition_degenerate;
   ]
