@@ -10,6 +10,12 @@
      dune exec bench/perf.exe -- --k 4        smaller fabric
      dune exec bench/perf.exe -- --smoke      quick CI check: sequential and
                                               2-shard runs must agree exactly
+     dune exec bench/perf.exe -- --tpp-heavy  TCPU compilation gate: interpreter
+                                              vs compiled backend -> BENCH_3.json
+     dune exec bench/perf.exe -- --tpp-heavy --smoke
+                                              quick CI check: compiled backend
+                                              (sequential and 2-shard) must match
+                                              the interpreter exactly
      dune exec bench/perf.exe -- --out b.json custom output path
 *)
 
@@ -30,12 +36,14 @@ type config = {
   wire_check : Net.wire_check;
   shards : int;               (* 0 = plain sequential engine *)
   smoke : bool;
+  tpp_heavy : bool;           (* BENCH_3: TCPU backend comparison *)
   out : string option;
 }
 
 let default =
   { k = 8; packets_per_host = 1500; payload_bytes = 1000; gap_ns = 6_000;
-    wire_check = `Cached; shards = 0; smoke = false; out = None }
+    wire_check = `Cached; shards = 0; smoke = false; tpp_heavy = false;
+    out = None }
 
 let horizon = Time_ns.sec 10
 
@@ -111,6 +119,216 @@ let run_parallel cfg ~shards =
     cut_links = stats.Parsim.cut_links;
     lookahead_ns = stats.Parsim.lookahead }
 
+(* ---- TPP-heavy workload (BENCH_3): the TCPU compilation gate -------
+
+   Long per-hop programs make the TCPU the dominant per-event cost, so
+   the interpreter-vs-compiled instruction throughput is visible above
+   the simulator's fixed overheads. The same workload runs under both
+   backends (and sharded), and every architectural observable — events,
+   deliveries, faults, execs, cycles, switch registers, SRAM — must be
+   bit-identical. *)
+
+let heavy_block =
+  "LOAD [Switch:PacketsSeen], [Packet:0]\n\
+   LOAD [Link:QueueSize], [Packet:4]\n\
+   ADD [Packet:0], [Packet:4]\n\
+   LOAD [Link:TxBytes], [Packet:8]\n\
+   MAX [Packet:8], [Packet:0]\n\
+   AND [Packet:0], 0xFFF\n\
+   OR [Packet:4], 7\n\
+   SUB [Packet:8], [Packet:4]\n\
+   ADD [Packet:12], 1\n\
+   MIN [Packet:12], 0xFFF\n\
+   MOV [Packet:16], [Packet:8]\n\
+   ADD [Packet:16], [Packet:0]\n"
+
+let heavy_program =
+  (* mask 0 always passes: the CEXEC is here to keep the pool machinery
+     on the hot path, not to filter. 8 blocks = 99 instructions, still
+     inside the 300-cycle budget (4 + 99 cycles). *)
+  "CEXEC [Switch:Version], 0, 0\n"
+  ^ String.concat "" (List.init 8 (fun _ -> heavy_block))
+  ^ "ADD [Sram:7], 1\n\
+     MAX [Sram:8], [Link:QueueSize]\n"
+
+(* Every 16th packet of each host carries this instead: the STORE to a
+   read-only register faults at the first hop, exercising the faulted-
+   TPP inert path and fault accounting under both backends. *)
+let heavy_fault_program =
+  "ADD [Sram:9], 1\n\
+   STORE [Switch:SwitchID], 1\n\
+   ADD [Sram:9], 1\n"
+
+let setup_heavy_traffic cfg ~owns net =
+  let hosts = Array.of_list (Net.hosts net) in
+  let n = Array.length hosts in
+  let eng = Net.engine net in
+  let tpp_template = Result.get_ok (Asm.to_tpp ~mem_len:32 heavy_program) in
+  let fault_template = Result.get_ok (Asm.to_tpp ~mem_len:32 heavy_fault_program) in
+  let payload = Bytes.create cfg.payload_bytes in
+  let send src faulty =
+    let dst = hosts.((src + (n / 2)) mod n) in
+    let s = hosts.(src) in
+    let tpp = Prog.copy (if faulty then fault_template else tpp_template) in
+    let frame =
+      Frame.udp_frame ~src_mac:s.Net.mac ~dst_mac:dst.Net.mac ~src_ip:s.Net.ip
+        ~dst_ip:dst.Net.ip ~src_port:(1000 + src) ~dst_port:7 ~tpp ~payload ()
+    in
+    Net.host_send net s frame
+  in
+  for src = 0 to n - 1 do
+    if owns hosts.(src).Net.node_id then
+      for j = 0 to cfg.packets_per_host - 1 do
+        let t = (j * cfg.gap_ns) + (src * 7) + 1 in
+        (* The faulting-packet choice depends only on (src, j), so the
+           set is identical whatever the shard layout. *)
+        Engine.at eng t (fun () -> send src (j mod 16 = 0))
+      done
+  done
+
+(* Per-switch register fingerprint, same shape as test_parsim's. The
+   compile hit/miss counters are deliberately excluded: each shard links
+   its own template family, so the hit/miss split — unlike every
+   architectural register — legitimately varies with the shard count. *)
+module SS = Switch_state
+
+let sram_hash (st : SS.t) =
+  Array.fold_left (fun acc w -> (acc * 1_000_003) + w) 0 st.SS.sram
+
+let port_fp (p : SS.Port.t) =
+  [
+    p.SS.Port.rx_bytes; p.rx_pkts; p.tx_bytes; p.tx_pkts; p.drops;
+    p.offered_bytes; p.queue_bytes;
+  ]
+
+let switch_fp id sw =
+  let st = Switch.state sw in
+  ( id,
+    [
+      st.SS.packets_seen; st.SS.bytes_seen; st.SS.drops; st.SS.tpp_execs;
+      st.SS.tpp_faults; st.SS.tpp_cycles; sram_hash st;
+    ]
+    @ List.concat_map port_fp (Array.to_list st.SS.ports) )
+
+let net_fp ~owns net =
+  Net.switches net
+  |> List.filter (fun (id, _) -> owns id)
+  |> List.map (fun (id, sw) -> switch_fp id sw)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+type tpp_totals = {
+  t_execs : int;
+  t_faults : int;
+  t_cycles : int;
+  t_hits : int;    (* per-switch compile-cache hits, observability only *)
+  t_misses : int;
+}
+
+let tpp_zero = { t_execs = 0; t_faults = 0; t_cycles = 0; t_hits = 0; t_misses = 0 }
+
+let tpp_add a b =
+  {
+    t_execs = a.t_execs + b.t_execs;
+    t_faults = a.t_faults + b.t_faults;
+    t_cycles = a.t_cycles + b.t_cycles;
+    t_hits = a.t_hits + b.t_hits;
+    t_misses = a.t_misses + b.t_misses;
+  }
+
+let tpp_totals_of ~owns net =
+  Net.switches net
+  |> List.filter (fun (id, _) -> owns id)
+  |> List.fold_left
+       (fun acc (_, sw) ->
+         let st = Switch.state sw in
+         tpp_add acc
+           {
+             t_execs = st.SS.tpp_execs;
+             t_faults = st.SS.tpp_faults;
+             t_cycles = st.SS.tpp_cycles;
+             t_hits = st.SS.tpp_compile_hits;
+             t_misses = st.SS.tpp_compile_misses;
+           })
+       tpp_zero
+
+(* Instructions actually executed: every exec costs 4 fill cycles plus
+   one cycle per instruction, so the instruction count falls out of the
+   two counters the ASIC already keeps. *)
+let instrs_of t = t.t_cycles - (4 * t.t_execs)
+
+type heavy_run = {
+  h_events : int;
+  h_delivered : int;
+  h_wall : float;
+  h_totals : tpp_totals;
+  h_fp : (int * int list) list;
+}
+
+let run_heavy_sequential cfg ~backend =
+  Tcpu.set_default_backend backend;
+  let eng = Engine.create () in
+  let net = build cfg eng in
+  setup_heavy_traffic cfg ~owns:(fun _ -> true) net;
+  let t0 = Unix.gettimeofday () in
+  Engine.run eng ~until:horizon;
+  let wall = Unix.gettimeofday () -. t0 in
+  Tcpu.set_default_backend Tcpu.Compiled;
+  {
+    h_events = Engine.events_processed eng;
+    h_delivered = Net.frames_delivered net;
+    h_wall = wall;
+    h_totals = tpp_totals_of ~owns:(fun _ -> true) net;
+    h_fp = net_fp ~owns:(fun _ -> true) net;
+  }
+
+let run_heavy_parallel cfg ~shards =
+  let t0 = Unix.gettimeofday () in
+  let stats, parts =
+    Parsim.run ~shards ~until:horizon ~build:(build cfg)
+      ~setup:(fun ~shard:_ ~owns net -> setup_heavy_traffic cfg ~owns net)
+      ~collect:(fun ~shard:_ ~owns net ->
+        (tpp_totals_of ~owns net, net_fp ~owns net))
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let totals = Array.fold_left (fun acc (t, _) -> tpp_add acc t) tpp_zero parts in
+  let fp =
+    Array.to_list parts
+    |> List.concat_map snd
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    h_events = stats.Parsim.events;
+    h_delivered = stats.Parsim.delivered;
+    h_wall = wall;
+    h_totals = totals;
+    h_fp = fp;
+  }
+
+(* Everything architectural must match; wall time and compile counters
+   may differ. Exits non-zero on divergence: a fast wrong TCPU is not a
+   result. *)
+let check_heavy_identity ~label (ref_ : heavy_run) (got : heavy_run) =
+  let fail what a b =
+    Printf.eprintf "perf(tpp-heavy): FAIL — %s: %s differs (%d vs %d)\n" label
+      what a b;
+    exit 1
+  in
+  if ref_.h_events <> got.h_events then fail "events" ref_.h_events got.h_events;
+  if ref_.h_delivered <> got.h_delivered then
+    fail "delivered" ref_.h_delivered got.h_delivered;
+  if ref_.h_totals.t_execs <> got.h_totals.t_execs then
+    fail "tpp_execs" ref_.h_totals.t_execs got.h_totals.t_execs;
+  if ref_.h_totals.t_faults <> got.h_totals.t_faults then
+    fail "tpp_faults" ref_.h_totals.t_faults got.h_totals.t_faults;
+  if ref_.h_totals.t_cycles <> got.h_totals.t_cycles then
+    fail "tpp_cycles" ref_.h_totals.t_cycles got.h_totals.t_cycles;
+  if ref_.h_fp <> got.h_fp then begin
+    Printf.eprintf
+      "perf(tpp-heavy): FAIL — %s: switch register fingerprints differ\n" label;
+    exit 1
+  end
+
 let git_commit () =
   try
     let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
@@ -132,6 +350,107 @@ let workload_of cfg =
     (cfg.k * cfg.k * cfg.k / 4)
     cfg.packets_per_host cfg.payload_bytes
     (wire_check_name cfg.wire_check)
+
+let heavy_workload_of cfg =
+  let program_len =
+    Array.length
+      (Result.get_ok (Asm.to_tpp ~mem_len:32 heavy_program)).Prog.program
+  in
+  Printf.sprintf
+    "fat-tree k=%d (ECMP), %d hosts x %d UDP packets, %d-instr TPP per hop \
+     (1 in 16 packets faulting), %dB payload, wire_check=%s"
+    cfg.k
+    (cfg.k * cfg.k * cfg.k / 4)
+    cfg.packets_per_host program_len cfg.payload_bytes
+    (wire_check_name cfg.wire_check)
+
+let write_heavy_json cfg ~out ~interp ~comp ~par ~shards ~speedup
+    ~(cache : Tcpu_compile.cache_stats) =
+  let sent = cfg.k * cfg.k * cfg.k / 4 * cfg.packets_per_host in
+  let instrs = instrs_of comp.h_totals in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": 3,\n\
+    \  \"workload\": \"%s\",\n\
+    \  \"git_commit\": \"%s\",\n\
+    \  \"ocaml\": \"%s\",\n\
+    \  \"cores\": %d,\n\
+    \  \"events\": %d,\n\
+    \  \"packets_sent\": %d,\n\
+    \  \"packets_delivered\": %d,\n\
+    \  \"tpp_execs\": %d,\n\
+    \  \"tpp_faults\": %d,\n\
+    \  \"tpp_instrs\": %d,\n\
+    \  \"interpreter_wall_s\": %.6f,\n\
+    \  \"interpreter_instrs_per_sec\": %.1f,\n\
+    \  \"compiled_wall_s\": %.6f,\n\
+    \  \"compiled_instrs_per_sec\": %.1f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"identical_to_interpreter\": true,\n\
+    \  \"sharded\": { \"shards\": %d, \"wall_s\": %.6f, \"identical\": true },\n\
+    \  \"cache\": { \"programs\": %d, \"hits\": %d, \"misses\": %d }\n\
+     }\n"
+    (heavy_workload_of cfg) (git_commit ()) Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+    comp.h_events sent comp.h_delivered comp.h_totals.t_execs
+    comp.h_totals.t_faults instrs interp.h_wall
+    (float_of_int instrs /. interp.h_wall)
+    comp.h_wall
+    (float_of_int instrs /. comp.h_wall)
+    speedup shards par.h_wall cache.Tcpu_compile.programs
+    cache.Tcpu_compile.hits cache.Tcpu_compile.misses;
+  close_out oc;
+  Printf.printf "perf: wrote %s\n%!" out
+
+(* The BENCH_3 gate: same heavy workload under the interpreter, the
+   compiled backend, and a sharded compiled run. Identity is mandatory;
+   the >= 2x instruction-throughput target is reported (and written to
+   the JSON) but only warned about, like BENCH_2's core-count caveat. *)
+let tpp_heavy cfg =
+  let cfg =
+    if cfg.smoke then { cfg with k = 4; packets_per_host = 150 } else cfg
+  in
+  let tag = if cfg.smoke then "perf(tpp-heavy smoke)" else "perf(tpp-heavy)" in
+  Printf.printf "%s: %s\n%!" tag (heavy_workload_of cfg);
+  Tcpu_compile.clear_cache ();
+  let interp = run_heavy_sequential cfg ~backend:Tcpu.Interpreter in
+  Tcpu_compile.clear_cache ();
+  let comp = run_heavy_sequential cfg ~backend:Tcpu.Compiled in
+  let cache = Tcpu_compile.cache_stats () in
+  check_heavy_identity ~label:"compiled vs interpreter" interp comp;
+  let shards = if cfg.smoke then 2 else if cfg.shards > 0 then cfg.shards else 4 in
+  let par = run_heavy_parallel cfg ~shards in
+  check_heavy_identity
+    ~label:(Printf.sprintf "%d-shard compiled vs interpreter" shards)
+    interp par;
+  let instrs = instrs_of comp.h_totals in
+  let speedup = interp.h_wall /. comp.h_wall in
+  Printf.printf
+    "%s: %d events, %d delivered, %d TPP execs (%d faulted), %d instructions\n\
+     %s: interpreter %.3fs (%.3e instrs/sec)\n\
+     %s: compiled    %.3fs (%.3e instrs/sec)  speedup %.2fx\n\
+     %s: %d-shard compiled %.3fs — identical registers\n\
+     %s: cache %d program(s), %d hits / %d misses; per-switch linked \
+     hits %d / misses %d\n%!"
+    tag comp.h_events comp.h_delivered comp.h_totals.t_execs
+    comp.h_totals.t_faults instrs tag interp.h_wall
+    (float_of_int instrs /. interp.h_wall)
+    tag comp.h_wall
+    (float_of_int instrs /. comp.h_wall)
+    speedup tag shards par.h_wall tag cache.Tcpu_compile.programs
+    cache.Tcpu_compile.hits cache.Tcpu_compile.misses comp.h_totals.t_hits
+    comp.h_totals.t_misses;
+  Printf.printf
+    "%s: OK — compiled backend matches the interpreter bit-for-bit\n%!" tag;
+  if not cfg.smoke then begin
+    let out = match cfg.out with Some o -> o | None -> "BENCH_3.json" in
+    write_heavy_json cfg ~out ~interp ~comp ~par ~shards ~speedup ~cache;
+    if speedup < 2.0 then
+      Printf.printf
+        "%s: WARNING — speedup %.2fx below the 2x target on this machine\n%!"
+        tag speedup
+  end
 
 let write_json cfg ~out r =
   let sent = cfg.k * cfg.k * cfg.k / 4 * cfg.packets_per_host in
@@ -204,6 +523,9 @@ let () =
     | "--smoke" :: rest ->
       cfg := { !cfg with smoke = true };
       parse rest
+    | "--tpp-heavy" :: rest ->
+      cfg := { !cfg with tpp_heavy = true };
+      parse rest
     | "--out" :: v :: rest ->
       cfg := { !cfg with out = Some v };
       parse rest
@@ -225,7 +547,8 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let cfg = !cfg in
-  if cfg.smoke then smoke cfg
+  if cfg.tpp_heavy then tpp_heavy cfg
+  else if cfg.smoke then smoke cfg
   else begin
     let sent = cfg.k * cfg.k * cfg.k / 4 * cfg.packets_per_host in
     Printf.printf "perf: %s\n%!" (workload_of cfg);

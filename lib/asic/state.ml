@@ -69,6 +69,8 @@ type t = {
   mutable tpp_execs : int;
   mutable tpp_faults : int;
   mutable tpp_cycles : int;
+  mutable tpp_compile_hits : int;
+  mutable tpp_compile_misses : int;
   sram : int array;
   ports : Port.t array;
 }
@@ -86,6 +88,8 @@ let create ~switch_id ~num_ports ?(queue_limit = 150_000) () =
     tpp_execs = 0;
     tpp_faults = 0;
     tpp_cycles = 0;
+    tpp_compile_hits = 0;
+    tpp_compile_misses = 0;
     sram = Array.make Vaddr.sram_words 0;
     ports = Array.init num_ports (fun _ -> Port.create ~queue_limit);
   }
@@ -149,6 +153,8 @@ let switch_stat t ~now stat =
   | Tpp_execs -> mask32 t.tpp_execs
   | Tpp_faults -> mask32 t.tpp_faults
   | Clock_ns -> mask32 now
+  | Tpp_compile_hits -> mask32 t.tpp_compile_hits
+  | Tpp_compile_misses -> mask32 t.tpp_compile_misses
 
 let sram_get t i = if i < 0 || i >= Array.length t.sram then None else Some t.sram.(i)
 

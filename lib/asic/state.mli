@@ -58,6 +58,11 @@ type t = {
   mutable tpp_execs : int;
   mutable tpp_faults : int;
   mutable tpp_cycles : int;  (** total TCPU cycles spent (bench E7) *)
+  mutable tpp_compile_hits : int;
+      (** TPP executions that found the program already compiled.
+          Observability only — hit/miss split varies with shard layout,
+          so these two stay out of determinism fingerprints. *)
+  mutable tpp_compile_misses : int;
   sram : int array;
   ports : Port.t array;
 }

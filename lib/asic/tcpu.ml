@@ -2,7 +2,7 @@ module Tpp = Tpp_isa.Tpp
 module Instr = Tpp_isa.Instr
 module Frame = Tpp_isa.Frame
 
-type fault =
+type fault = Compile.fault =
   | Mmu_fault of Mmu.fault
   | Packet_oob of int
   | Misaligned of int
@@ -11,14 +11,7 @@ type fault =
   | Stack_underflow
   | Bad_operand of string
 
-let fault_message = function
-  | Mmu_fault f -> Mmu.fault_message f
-  | Packet_oob off -> Printf.sprintf "packet memory access at %d out of bounds" off
-  | Misaligned off -> Printf.sprintf "misaligned packet memory access at %d" off
-  | Immediate_write -> "immediate operand used as destination"
-  | Stack_overflow -> "stack overflow (packet memory exhausted)"
-  | Stack_underflow -> "stack underflow"
-  | Bad_operand what -> "bad operand: " ^ what
+let fault_message = Compile.fault_message
 
 type result = {
   executed : int;
@@ -27,11 +20,21 @@ type result = {
   fault : fault option;
 }
 
+type backend = Compiled | Interpreter
+
+let default = Atomic.make Compiled
+let set_default_backend b = Atomic.set default b
+let default_backend () = Atomic.get default
+
 let pipeline_fill = 4
 let cycles_for n = pipeline_fill + n
 let cycle_budget = 300
 
 let mask32 v = v land 0xFFFF_FFFF
+
+(* ---- Reference backend: the original AST interpreter. Kept verbatim
+   as the semantic oracle for the compiled path (QCheck differential
+   test) and selectable via [~backend:Interpreter]. ---- *)
 
 type exec_ctx = {
   state : State.t;
@@ -149,33 +152,60 @@ let step ctx instr =
     let* v = read_operand ctx reg in
     Ok (v land mask = expected)
 
-let execute state ~now ~frame =
+let run_interpreter state ~now ~tpp ~meta =
+  let ctx =
+    { state; now; tpp; meta;
+      mem_len = Bytes.length tpp.Tpp.memory;
+      hop_base = tpp.Tpp.base + (tpp.Tpp.hop * tpp.Tpp.perhop_len) }
+  in
+  let program = tpp.Tpp.program in
+  let len = Array.length program in
+  let rec run i cexec_stop =
+    if i >= len then (i, cexec_stop, None)
+    else
+      match step ctx program.(i) with
+      | Ok true -> run (i + 1) false
+      | Ok false ->
+        let stopped_by_cexec =
+          match program.(i) with Instr.Cexec _ -> true | _ -> false
+        in
+        (i + 1, stopped_by_cexec, None)
+      | Error fault -> (i + 1, false, Some fault)
+  in
+  run 0 false
+
+(* ---- Compiled backend: link the TPP's shared handle to the cached
+   compiled program, compiling on first sight of the bytes. ---- *)
+
+let run_compiled state ~now ~tpp ~meta =
+  let compiled =
+    match Tpp.compiled_handle tpp with
+    | Compile.Compiled c ->
+      (* The template family is already linked: zero lookups. *)
+      state.State.tpp_compile_hits <- state.State.tpp_compile_hits + 1;
+      c
+    | _ ->
+      state.State.tpp_compile_misses <- state.State.tpp_compile_misses + 1;
+      let c = Compile.lookup tpp in
+      Tpp.set_compiled_handle tpp (Compile.Compiled c);
+      c
+  in
+  Compile.run compiled state ~now ~tpp ~meta
+
+let execute ?backend state ~now ~frame =
   match frame.Frame.tpp with
   | None -> None
   | Some tpp when tpp.Tpp.faulted ->
     (* A faulted TPP is inert for the rest of its journey. *)
     Some { executed = 0; cycles = 0; stopped_by_cexec = false; fault = None }
   | Some tpp ->
-    let ctx =
-      { state; now; tpp; meta = frame.Frame.meta;
-        mem_len = Bytes.length tpp.Tpp.memory;
-        hop_base = tpp.Tpp.base + (tpp.Tpp.hop * tpp.Tpp.perhop_len) }
+    let meta = frame.Frame.meta in
+    let backend = match backend with Some b -> b | None -> Atomic.get default in
+    let executed, stopped_by_cexec, fault =
+      match backend with
+      | Compiled -> run_compiled state ~now ~tpp ~meta
+      | Interpreter -> run_interpreter state ~now ~tpp ~meta
     in
-    let program = tpp.Tpp.program in
-    let len = Array.length program in
-    let rec run i cexec_stop =
-      if i >= len then (i, cexec_stop, None)
-      else
-        match step ctx program.(i) with
-        | Ok true -> run (i + 1) false
-        | Ok false ->
-          let stopped_by_cexec =
-            match program.(i) with Instr.Cexec _ -> true | _ -> false
-          in
-          (i + 1, stopped_by_cexec, None)
-        | Error fault -> (i + 1, false, Some fault)
-    in
-    let executed, stopped_by_cexec, fault = run 0 false in
     tpp.Tpp.hop <- (tpp.Tpp.hop + 1) land 0xFFFF;
     (match fault with
     | Some _ ->

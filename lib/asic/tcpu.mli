@@ -12,9 +12,14 @@
     overrun) stop execution and set the TPP's fault flag; the packet is
     still forwarded, so end-hosts observe the fault instead of losing
     the packet. A failed [CEXEC] check is not a fault: it merely skips
-    the rest of the program (paper §3.2.3). *)
+    the rest of the program (paper §3.2.3).
 
-type fault =
+    Two backends share these semantics exactly. The default [Compiled]
+    backend runs the program's cached micro-op form ({!Compile}),
+    compiling on first sight of the instruction bytes; [Interpreter] is
+    the original AST walker, kept as the reference oracle. *)
+
+type fault = Compile.fault =
   | Mmu_fault of Mmu.fault
   | Packet_oob of int        (** packet-memory access out of bounds *)
   | Misaligned of int
@@ -33,12 +38,25 @@ type result = {
   fault : fault option;
 }
 
-val execute : State.t -> now:int -> frame:Tpp_isa.Frame.t -> result option
+type backend = Compiled | Interpreter
+
+val set_default_backend : backend -> unit
+(** Process-wide default for {!execute} calls that don't pass
+    [?backend]; starts as [Compiled]. The bench's interpreter baseline
+    runs flip this. *)
+
+val default_backend : unit -> backend
+
+val execute : ?backend:backend -> State.t -> now:int -> frame:Tpp_isa.Frame.t -> result option
 (** Runs the frame's TPP, mutating its packet memory / stack pointer /
     hop counter and any SRAM it stores to, and bumps the switch's
     TPP counters. [None] when the frame carries no TPP (the TCPU
     ignores non-TPP packets). The frame's metadata must already be
-    filled in by the forwarding lookup. *)
+    filled in by the forwarding lookup.
+
+    The [Compiled] backend also counts a per-switch compile-cache hit
+    (TPP already linked to compiled code) or miss in
+    {!State.t.tpp_compile_hits} / [tpp_compile_misses]. *)
 
 val cycle_budget : int
 (** Cycles available to a minimum-size packet under 300 ns cut-through

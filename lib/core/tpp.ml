@@ -40,6 +40,7 @@ module Meta = Tpp_isa.Meta
 module Switch = Tpp_asic.Switch
 module Switch_state = Tpp_asic.State
 module Tcpu = Tpp_asic.Tcpu
+module Tcpu_compile = Tpp_asic.Compile
 module Mmu = Tpp_asic.Mmu
 module Tables = Tpp_asic.Tables
 module Sram_alloc = Tpp_asic.Alloc

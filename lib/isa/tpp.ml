@@ -2,6 +2,19 @@ module Buf = Tpp_util.Buf
 
 type addr_mode = Stack | Hop_addressed
 
+type compiled = ..
+type compiled += Not_compiled
+
+(* One cell per program "family": every [copy] shares it, so compiling
+   any member (or even just computing the identity key) pays for all of
+   them. The handle is atomic because frames — and therefore their TPPs
+   — migrate between the domains of a sharded run; a stale read only
+   costs a cache lookup, never correctness. *)
+type exec_cache = {
+  mutable key : string option;
+  handle : compiled Atomic.t;
+}
+
 type t = {
   mutable faulted : bool;
   addr_mode : addr_mode;
@@ -12,7 +25,10 @@ type t = {
   program : Instr.t array;
   memory : bytes;
   inner_ethertype : int;
+  cache : exec_cache;
 }
+
+let fresh_cache () = { key = None; handle = Atomic.make Not_compiled }
 
 let header_size = 16
 
@@ -45,9 +61,34 @@ let make ?(addr_mode = Stack) ?(perhop_len = 0) ?(pool = Bytes.empty)
     program = Array.of_list program;
     memory;
     inner_ethertype;
+    cache = fresh_cache ();
   }
 
-let copy t = { t with memory = Bytes.copy t.memory; program = Array.copy t.program }
+(* Programs are immutable after construction, so copies share the
+   instruction array and the compiled-code cell; only the packet memory
+   (the mutable per-packet state) is duplicated. *)
+let copy t = { t with memory = Bytes.copy t.memory }
+
+let program_key t =
+  match t.cache.key with
+  | Some k -> k
+  | None ->
+    let k =
+      (* The canonical identity is the wire encoding of the program.
+         Hand-built programs whose operands exceed the encodable 12-bit
+         range cannot be encoded; fall back to a structural key. The
+         leading tag keeps the two namespaces disjoint. *)
+      try
+        let w = Buf.Writer.create ~capacity:(4 + (Instr.size * Array.length t.program)) () in
+        Array.iter (Instr.write w) t.program;
+        "E" ^ Bytes.to_string (Buf.Writer.contents w)
+      with Invalid_argument _ -> "M" ^ Marshal.to_string t.program []
+    in
+    t.cache.key <- Some k;
+    k
+
+let compiled_handle t = Atomic.get t.cache.handle
+let set_compiled_handle t c = Atomic.set t.cache.handle c
 
 let mem_get t off = Buf.get_u32i t.memory off
 let mem_set t off v = Buf.set_u32i t.memory off v
@@ -127,6 +168,7 @@ let read r =
                 program = Array.of_list program;
                 memory;
                 inner_ethertype;
+                cache = fresh_cache ();
               }
       end
     end

@@ -13,6 +13,21 @@
 
 type addr_mode = Stack | Hop_addressed
 
+type compiled = ..
+(** Opaque slot for a lowered (compiled) form of the program. The ISA
+    layer knows nothing about execution; the TCPU's compiler
+    ({!Tpp_asic.Compile}) extends this type with its own constructor. *)
+
+type compiled += Not_compiled
+
+type exec_cache = {
+  mutable key : string option;  (** memoized {!program_key} *)
+  handle : compiled Atomic.t;   (** compiled form, shared across copies *)
+}
+(** Shared by every {!copy} of a TPP, so one compilation serves the
+    whole family. Domain-safe: the handle is atomic and the key is
+    idempotent to recompute. *)
+
 type t = {
   mutable faulted : bool;
       (** Set by a TCPU when execution faulted; the packet still forwards. *)
@@ -29,6 +44,8 @@ type t = {
   memory : bytes;
   inner_ethertype : int;
       (** Ethertype of the encapsulated payload; 0 when raw/none. *)
+  cache : exec_cache;
+      (** Program-identity and compiled-code cell; never serialized. *)
 }
 
 val header_size : int
@@ -52,7 +69,22 @@ val make :
     wire format's 16-bit fields or word alignment. *)
 
 val copy : t -> t
-(** Deep copy (fresh memory); hosts use it to re-send a template. *)
+(** Copy with fresh packet memory; hosts use it to re-send a template.
+    The (immutable) instruction array and the compiled-code cell are
+    shared with the original, so a template's whole family compiles at
+    most once. *)
+
+val program_key : t -> string
+(** Canonical identity of the instruction array: its wire encoding
+    (tagged ["E"]), or a structural fallback (tagged ["M"]) for
+    hand-built programs with unencodable operands. Memoized in the
+    shared {!exec_cache}; equal keys imply identical programs. *)
+
+val compiled_handle : t -> compiled
+(** The family's compiled form ({!Not_compiled} until a TCPU first
+    executes — and thereby compiles — any member). *)
+
+val set_compiled_handle : t -> compiled -> unit
 
 val mem_get : t -> int -> int
 (** Word read at a byte offset. Raises [Buf.Out_of_bounds]. *)

@@ -82,6 +82,8 @@ module Switch_stat = struct
     | Tpp_execs
     | Tpp_faults
     | Clock_ns
+    | Tpp_compile_hits
+    | Tpp_compile_misses
 
   let index = function
     | Switch_id -> 0
@@ -93,6 +95,8 @@ module Switch_stat = struct
     | Tpp_execs -> 6
     | Tpp_faults -> 7
     | Clock_ns -> 8
+    | Tpp_compile_hits -> 9
+    | Tpp_compile_misses -> 10
 
   let of_index = function
     | 0 -> Some Switch_id
@@ -104,6 +108,8 @@ module Switch_stat = struct
     | 6 -> Some Tpp_execs
     | 7 -> Some Tpp_faults
     | 8 -> Some Clock_ns
+    | 9 -> Some Tpp_compile_hits
+    | 10 -> Some Tpp_compile_misses
     | _ -> None
 
   let name = function
@@ -116,10 +122,12 @@ module Switch_stat = struct
     | Tpp_execs -> "TppExecs"
     | Tpp_faults -> "TppFaults"
     | Clock_ns -> "ClockNs"
+    | Tpp_compile_hits -> "TppCompileHits"
+    | Tpp_compile_misses -> "TppCompileMisses"
 
   let all =
     [ Switch_id; Version; Packets_seen; Bytes_seen; Drops; Num_ports; Tpp_execs;
-      Tpp_faults; Clock_ns ]
+      Tpp_faults; Clock_ns; Tpp_compile_hits; Tpp_compile_misses ]
 end
 
 module Queue_stat = struct

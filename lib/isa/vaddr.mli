@@ -55,6 +55,12 @@ module Switch_stat : sig
     | Tpp_execs
     | Tpp_faults
     | Clock_ns       (** low 32 bits of the switch clock *)
+    | Tpp_compile_hits
+        (** TPP executions served by an already-compiled program.
+            Observability only: the split between hits and misses depends
+            on shard layout, so it is excluded from determinism checks. *)
+    | Tpp_compile_misses
+        (** TPP executions that had to compile (or re-link) the program. *)
 
   val index : t -> int
   val of_index : int -> t option

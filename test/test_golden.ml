@@ -95,6 +95,7 @@ let golden_addresses =
     ("Switch:Drops", 0x004); ("Switch:NumPorts", 0x005);
     ("Switch:TppExecs", 0x006); ("Switch:TppFaults", 0x007);
     ("Switch:ClockNs", 0x008);
+    ("Switch:TppCompileHits", 0x009); ("Switch:TppCompileMisses", 0x00a);
     ("Link:QueueSize", 0x100); ("Link:QueuePackets", 0x101);
     ("Link:RxBytes", 0x102); ("Link:TxBytes", 0x103);
     ("Link:RxUtilization", 0x104); ("Link:Drops", 0x105);

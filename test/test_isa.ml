@@ -116,6 +116,47 @@ let prop_instr_roundtrip =
       | Ok j -> Instr.equal i j
       | Error _ -> false)
 
+(* Same roundtrip through the byte-level writer/reader, with operand
+   values biased to the 12-bit field edges where packing bugs live. *)
+let boundary_operand_gen =
+  QCheck.Gen.(
+    let v = frequency [ (2, int_bound 0xFFF); (3, oneofl [ 0; 1; 0x7FF; 0x800; 0xFFE; 0xFFF ]) ] in
+    oneof
+      [
+        map (fun v -> Instr.Sw v) v;
+        map (fun v -> Instr.Pkt v) v;
+        map (fun v -> Instr.Imm v) v;
+        map (fun v -> Instr.Hop v) v;
+      ])
+
+let boundary_instr_gen =
+  QCheck.Gen.(
+    let op = boundary_operand_gen in
+    oneof
+      [
+        return Instr.Nop;
+        return Instr.Halt;
+        map (fun a -> Instr.Push a) op;
+        map (fun a -> Instr.Pop a) op;
+        map2 (fun a b -> Instr.Load (a, b)) op op;
+        map2 (fun a b -> Instr.Store (a, b)) op op;
+        map2 (fun a b -> Instr.Mov (a, b)) op op;
+        map3 (fun o a b -> Instr.Binop (o, a, b)) binop_gen op op;
+        map2 (fun a b -> Instr.Cstore (a, b)) op op;
+        map2 (fun a b -> Instr.Cexec (a, b)) op op;
+      ])
+
+let prop_instr_wire_roundtrip =
+  QCheck.Test.make ~name:"instruction write/read roundtrip (12-bit boundaries)"
+    ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Instr.pp) boundary_instr_gen)
+    (fun i ->
+      let w = Buf.Writer.create () in
+      Instr.write w i;
+      match Instr.read (Buf.Reader.of_bytes (Buf.Writer.contents w)) with
+      | Ok j -> Instr.equal i j
+      | Error _ -> false)
+
 let test_instr_bad_opcode () =
   check Alcotest.bool "opcode 15 rejected" true
     (Result.is_error (Instr.decode 0xF0000000l))
@@ -214,7 +255,15 @@ let test_tpp_copy_is_deep () =
   let tpp = Prog.make ~program:sample_program ~mem_len:16 () in
   let dup = Prog.copy tpp in
   Prog.mem_set tpp 0 7;
-  check Alcotest.int "copy unaffected" 0 (Prog.mem_get dup 0)
+  check Alcotest.int "copy unaffected" 0 (Prog.mem_get dup 0);
+  (* Mutable execution state is private, but the immutable program and
+     the compiled-code cell are shared so a template's whole family
+     compiles at most once. *)
+  check Alcotest.bool "program array shared" true
+    (tpp.Prog.program == dup.Prog.program);
+  check Alcotest.bool "exec cache shared" true (tpp.Prog.cache == dup.Prog.cache);
+  check Alcotest.string "same program identity" (Prog.program_key tpp)
+    (Prog.program_key dup)
 
 let test_tpp_hop_block () =
   let tpp =
@@ -327,6 +376,7 @@ let suite =
     Alcotest.test_case "vaddr name roundtrip" `Quick test_vaddr_name_roundtrip;
     Alcotest.test_case "vaddr writability" `Quick test_vaddr_writable;
     qtest prop_instr_roundtrip;
+    qtest prop_instr_wire_roundtrip;
     Alcotest.test_case "instr bad opcode" `Quick test_instr_bad_opcode;
     Alcotest.test_case "instr operand overflow" `Quick test_instr_operand_overflow;
     Alcotest.test_case "instr size" `Quick test_instr_size;

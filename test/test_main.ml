@@ -8,6 +8,7 @@ let () =
       ("tables", Test_tables.suite);
       ("asic", Test_asic.suite);
       ("tcpu", Test_tcpu.suite);
+      ("compile", Test_compile.suite);
       ("switch", Test_switch.suite);
       ("sim", Test_sim.suite);
       ("parsim", Test_parsim.suite);

@@ -258,6 +258,48 @@ let test_fault_bad_pool_operand () =
   check Alcotest.bool "pool must be packet memory" true
     (match r.Tcpu.fault with Some (Tcpu.Bad_operand _) -> true | _ -> false)
 
+(* --- Backends -------------------------------------------------------------- *)
+
+(* The suite above runs under the default Compiled backend; these pin a
+   few scenarios to the Interpreter explicitly and hold the observable
+   outcomes equal. (The exhaustive differential test is in
+   test_compile.ml.) *)
+
+let observe backend src ~mem_len =
+  let st = make_state () in
+  let frame = frame_of ~mem_len src in
+  let r =
+    match Tcpu.execute ~backend st ~now:0 ~frame with
+    | Some r -> r
+    | None -> Alcotest.fail "no TPP on frame"
+  in
+  let tpp = tpp_of frame in
+  ( r.Tcpu.executed, r.Tcpu.cycles, r.Tcpu.stopped_by_cexec,
+    Option.map Tcpu.fault_message r.Tcpu.fault,
+    Prog.words tpp, tpp.Prog.sp, tpp.Prog.hop, tpp.Prog.faulted,
+    List.init 8 (fun i -> State.sram_get st i),
+    (st.State.tpp_execs, st.State.tpp_faults, st.State.tpp_cycles) )
+
+let backend_case name src ~mem_len () =
+  check Alcotest.bool "default backend is compiled" true
+    (Tcpu.default_backend () = Tcpu.Compiled);
+  if observe Tcpu.Interpreter src ~mem_len <> observe Tcpu.Compiled src ~mem_len
+  then Alcotest.failf "%s: interpreter and compiled backends diverge" name
+
+let test_backend_stack () =
+  backend_case "stack"
+    "PUSH [Queue:QueueSize]\nPOP [Sram:3]\nADD [Sram:3], 5\nLOAD [Sram:3], [Packet:0]\n"
+    ~mem_len:16 ()
+
+let test_backend_cexec () =
+  backend_case "cexec" "CEXEC [Switch:SwitchID], 0xFFFFFFFF, 4\nMOV [Packet:0], 1\n"
+    ~mem_len:8 ()
+
+let test_backend_fault () =
+  backend_case "fault"
+    "MOV [Packet:0], 1\nSTORE [Queue:QueueSize], [Packet:0]\nMOV [Packet:4], 2\n"
+    ~mem_len:8 ()
+
 (* --- Cycle model ----------------------------------------------------------- *)
 
 let test_cycle_model () =
@@ -298,5 +340,8 @@ let suite =
     Alcotest.test_case "faulted tpp inert" `Quick test_faulted_tpp_is_inert;
     Alcotest.test_case "fault: write to immediate" `Quick test_fault_write_to_immediate;
     Alcotest.test_case "fault: bad pool operand" `Quick test_fault_bad_pool_operand;
+    Alcotest.test_case "backend parity: stack" `Quick test_backend_stack;
+    Alcotest.test_case "backend parity: cexec" `Quick test_backend_cexec;
+    Alcotest.test_case "backend parity: fault" `Quick test_backend_fault;
     Alcotest.test_case "cycle model" `Quick test_cycle_model;
   ]
