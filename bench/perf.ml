@@ -16,6 +16,12 @@
                                               quick CI check: compiled backend
                                               (sequential and 2-shard) must match
                                               the interpreter exactly
+     dune exec bench/perf.exe -- --chaos      fault-injection gate: an attached
+                                              empty schedule must be free, and a
+                                              chaotic run must be bit-identical
+                                              sequential vs sharded -> BENCH_4.json
+     dune exec bench/perf.exe -- --chaos --smoke
+                                              quick CI variant of the same gate
      dune exec bench/perf.exe -- --out b.json custom output path
 *)
 
@@ -37,13 +43,14 @@ type config = {
   shards : int;               (* 0 = plain sequential engine *)
   smoke : bool;
   tpp_heavy : bool;           (* BENCH_3: TCPU backend comparison *)
+  chaos : bool;               (* BENCH_4: fault-injection gate *)
   out : string option;
 }
 
 let default =
   { k = 8; packets_per_host = 1500; payload_bytes = 1000; gap_ns = 6_000;
     wire_check = `Cached; shards = 0; smoke = false; tpp_heavy = false;
-    out = None }
+    chaos = false; out = None }
 
 let horizon = Time_ns.sec 10
 
@@ -501,6 +508,200 @@ let smoke cfg =
   end;
   Printf.printf "perf(smoke): OK — parallel run identical to sequential\n%!"
 
+(* ---- chaos workload (BENCH_4): the fault-injection gate ------------
+
+   Two properties the Fault subsystem must never lose:
+
+   1. Zero cost when unattached. The dataplane consults the fault hooks
+      only when a schedule is installed, and an installed-but-empty
+      schedule must not change a single count (and must cost next to
+      nothing in wall time).
+
+   2. Determinism under sharding. A chaotic schedule — flap, loss,
+      corruption, freeze-restart, degradation all at once — must yield
+      bit-identical event/delivery/fault counts whether the run is
+      sequential or sharded.
+
+   The faulted cables are host access links plus the edge switch above
+   host 1: these carry traffic by construction, where an arbitrary core
+   uplink may be starved by ECMP hashing. Fault windows scale with the
+   send span so every rule fires at any --packets setting. *)
+
+let chaos_seed = 4242
+
+let chaos_schedule cfg net =
+  let span = cfg.packets_per_host * cfg.gap_ns in
+  let f = Fault.create ~seed:chaos_seed in
+  let hosts = Array.of_list (Net.hosts net) in
+  let access i = (hosts.(i).Net.node_id, 0) in
+  let edge_above i =
+    match Net.neighbors net hosts.(i).Net.node_id with
+    | (_, peer, _) :: _ -> peer
+    | [] -> invalid_arg "chaos_schedule: host has no uplink"
+  in
+  let period = max 2 (span / 25) in
+  Fault.flap f ~from_:(span / 10) ~until_:(span * 4 / 5) ~period
+    ~down_for:(max 1 (period * 2 / 5)) (access 0);
+  Fault.lossy f ~from_:0 ~until_:span ~drop:0.2 ~corrupt:0.05 (access 5);
+  Fault.freeze f ~from_:(span / 5) ~until_:(span * 2 / 5) (edge_above 1);
+  Fault.degrade f ~from_:(span / 3) ~until_:(span * 9 / 10) ~rate_factor:0.5
+    ~extra_delay:(Time_ns.us 2) (access 9);
+  Fault.attach f net;
+  f
+
+let fault_fp (s : Fault.stats) =
+  [
+    s.Fault.lost_down; s.Fault.dropped; s.Fault.corrupt_header;
+    s.Fault.corrupt_fcs; s.Fault.frozen_arrivals; s.Fault.restarts;
+  ]
+
+let fault_fp_add = List.map2 ( + )
+
+(* Sequential run with an arbitrary fault setup applied post-build. *)
+let run_sequential_faulted cfg ~fault =
+  let eng = Engine.create () in
+  let net = build cfg eng in
+  let f = fault net in
+  setup_traffic cfg ~owns:(fun _ -> true) net;
+  let t0 = Unix.gettimeofday () in
+  Engine.run eng ~until:horizon;
+  let wall = Unix.gettimeofday () -. t0 in
+  ( { events = Engine.events_processed eng;
+      delivered = Net.frames_delivered net; wall; rounds = 0; messages = 0;
+      cut_links = 0; lookahead_ns = 0 },
+    f )
+
+let run_parallel_chaos cfg ~shards =
+  let faults = Array.make shards None in
+  let t0 = Unix.gettimeofday () in
+  let stats, per_shard =
+    Parsim.run ~shards ~until:horizon ~build:(build cfg)
+      ~setup:(fun ~shard ~owns net ->
+        faults.(shard) <- Some (chaos_schedule cfg net);
+        setup_traffic cfg ~owns net)
+      ~collect:(fun ~shard ~owns:_ _ ->
+        fault_fp (Fault.stats (Option.get faults.(shard))))
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let fp =
+    Array.fold_left fault_fp_add [ 0; 0; 0; 0; 0; 0 ] per_shard
+  in
+  ( { events = stats.Parsim.events; delivered = stats.Parsim.delivered; wall;
+      rounds = stats.Parsim.rounds; messages = stats.Parsim.messages;
+      cut_links = stats.Parsim.cut_links; lookahead_ns = stats.Parsim.lookahead },
+    fp )
+
+let write_chaos_json cfg ~out ~base ~empty ~(chaotic : outcome)
+    ~(stats : Fault.stats) ~shards ~par_wall =
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": 4,\n\
+    \  \"workload\": \"%s\",\n\
+    \  \"git_commit\": \"%s\",\n\
+    \  \"ocaml\": \"%s\",\n\
+    \  \"cores\": %d,\n\
+    \  \"baseline_wall_s\": %.6f,\n\
+    \  \"empty_schedule_wall_s\": %.6f,\n\
+    \  \"empty_schedule_overhead\": %.4f,\n\
+    \  \"chaos_events\": %d,\n\
+    \  \"chaos_delivered\": %d,\n\
+    \  \"chaos_wall_s\": %.6f,\n\
+    \  \"chaos_events_per_sec\": %.1f,\n\
+    \  \"faults\": { \"lost_down\": %d, \"dropped\": %d, \"corrupt_header\": \
+     %d, \"corrupt_fcs\": %d, \"frozen_arrivals\": %d, \"restarts\": %d },\n\
+    \  \"sharded\": { \"shards\": %d, \"wall_s\": %.6f, \"identical\": true }\n\
+     }\n"
+    (workload_of cfg) (git_commit ()) Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+    base.wall empty.wall (empty.wall /. base.wall) chaotic.events
+    chaotic.delivered chaotic.wall
+    (float_of_int chaotic.events /. chaotic.wall)
+    stats.Fault.lost_down stats.Fault.dropped stats.Fault.corrupt_header
+    stats.Fault.corrupt_fcs stats.Fault.frozen_arrivals stats.Fault.restarts
+    shards par_wall;
+  close_out oc;
+  Printf.printf "perf: wrote %s\n%!" out
+
+let chaos cfg =
+  let cfg =
+    if cfg.smoke then { cfg with k = 4; packets_per_host = 200 } else cfg
+  in
+  let tag = if cfg.smoke then "perf(chaos smoke)" else "perf(chaos)" in
+  Printf.printf "%s: %s\n%!" tag (workload_of cfg);
+  (* 1. Zero cost when unattached: an empty schedule changes nothing.
+     Best of two runs each, so a scheduler hiccup on a short smoke run
+     cannot fake a regression. *)
+  let best_of_two run =
+    let a = run () in
+    let b = run () in
+    if b.wall < a.wall then b else a
+  in
+  let base = best_of_two (fun () -> run_sequential cfg) in
+  let empty =
+    best_of_two (fun () ->
+        fst
+          (run_sequential_faulted cfg ~fault:(fun net ->
+               let f = Fault.create ~seed:1 in
+               Fault.attach f net;
+               f)))
+  in
+  if base.events <> empty.events || base.delivered <> empty.delivered then begin
+    Printf.eprintf
+      "%s: FAIL — empty fault schedule changed counts (%d/%d events, %d/%d \
+       delivered)\n"
+      tag base.events empty.events base.delivered empty.delivered;
+    exit 1
+  end;
+  let overhead = empty.wall /. base.wall in
+  Printf.printf
+    "%s: baseline %.3fs, empty schedule attached %.3fs (%.2fx)\n%!" tag
+    base.wall empty.wall overhead;
+  if overhead > 1.5 then begin
+    Printf.eprintf
+      "%s: FAIL — empty fault schedule costs %.2fx (budget 1.5x)\n" tag
+      overhead;
+    exit 1
+  end;
+  (* 2. Determinism under sharding: full chaos, sequential vs sharded. *)
+  let chaotic, f = run_sequential_faulted cfg ~fault:(chaos_schedule cfg) in
+  let stats = Fault.stats f in
+  Printf.printf
+    "%s: chaotic run %d events, %d delivered in %.3fs\n\
+     %s: lost_down=%d dropped=%d corrupt=%d+%d frozen=%d restarts=%d\n%!"
+    tag chaotic.events chaotic.delivered chaotic.wall tag
+    stats.Fault.lost_down stats.Fault.dropped stats.Fault.corrupt_header
+    stats.Fault.corrupt_fcs stats.Fault.frozen_arrivals stats.Fault.restarts;
+  if
+    stats.Fault.lost_down = 0 || stats.Fault.dropped = 0
+    || stats.Fault.corrupt_header + stats.Fault.corrupt_fcs = 0
+    || stats.Fault.frozen_arrivals = 0 || stats.Fault.restarts <> 1
+  then begin
+    Printf.eprintf "%s: FAIL — some fault class never fired\n" tag;
+    exit 1
+  end;
+  let shards = if cfg.smoke then 2 else if cfg.shards > 0 then cfg.shards else 4 in
+  let par, par_fp = run_parallel_chaos cfg ~shards in
+  if
+    chaotic.events <> par.events
+    || chaotic.delivered <> par.delivered
+    || fault_fp stats <> par_fp
+  then begin
+    Printf.eprintf
+      "%s: FAIL — %d-shard chaotic run diverged from sequential\n" tag shards;
+    exit 1
+  end;
+  Printf.printf
+    "%s: OK — empty schedule free, %d-shard chaos identical to sequential \
+     (%.3fs)\n%!"
+    tag shards par.wall;
+  if not cfg.smoke then begin
+    let out = match cfg.out with Some o -> o | None -> "BENCH_4.json" in
+    write_chaos_json cfg ~out ~base ~empty ~chaotic ~stats ~shards
+      ~par_wall:par.wall
+  end
+
 let () =
   let cfg = ref default in
   let rec parse = function
@@ -526,6 +727,9 @@ let () =
     | "--tpp-heavy" :: rest ->
       cfg := { !cfg with tpp_heavy = true };
       parse rest
+    | "--chaos" :: rest ->
+      cfg := { !cfg with chaos = true };
+      parse rest
     | "--out" :: v :: rest ->
       cfg := { !cfg with out = Some v };
       parse rest
@@ -547,7 +751,8 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let cfg = !cfg in
-  if cfg.tpp_heavy then tpp_heavy cfg
+  if cfg.chaos then chaos cfg
+  else if cfg.tpp_heavy then tpp_heavy cfg
   else if cfg.smoke then smoke cfg
   else begin
     let sent = cfg.k * cfg.k * cfg.k / 4 * cfg.packets_per_host in

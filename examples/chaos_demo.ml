@@ -1,0 +1,183 @@
+(* Chaos under a deterministic schedule.
+
+   A k=4 ECMP fat-tree carries TPP-tagged traffic while a seeded
+   Tpp.Fault schedule abuses it: one aggregation->core cable flaps, a
+   host access cable is 30% lossy with occasional bit corruption, a
+   core switch freezes and reboots mid-run, and the flapping uplink
+   later runs degraded. Three points:
+
+   1. The injector is deterministic: the same seed gives the same
+      chaos, bit for bit, whether the run is sequential or sharded
+      across 2 domains — the parallel engine stays a drop-in
+      replacement with faults active.
+
+   2. End-host retry hardening (Probe.Reliable) keeps a measurement
+      circuit alive through a lossy link that starves one-shot probes.
+
+   3. Faultfind still localises the failed cable from end hosts alone
+      under permanent, flapping, dual and lossy failures
+      (Tpp_experiments.Faults scenario matrix). *)
+
+open Tpp
+
+let horizon = Time_ns.ms 400
+let seed = 1337
+
+let collect_src = "PUSH [Switch:SwitchID]\nPUSH [Link:QueueSize]\n"
+
+let build eng =
+  let ft =
+    Topology.fat_tree eng ~ecmp:true ~k:4 ~bps:1_000_000_000
+      ~delay:(Time_ns.us 1) ()
+  in
+  ft.Topology.f_net
+
+(* Rebuilt identically on every shard replica: all randomness derives
+   from [seed], so this is a pure description of the chaos. *)
+let schedule net =
+  let f = Fault.create ~seed in
+  (* k=4 fat-tree node order: cores 0-3, then aggs 4-11. An agg's down
+     ports are 0-1 (edges), up ports 2-3 (cores): (4, 2) is an
+     agg->core cable. The lossy rule goes on a host access cable, which
+     is guaranteed traffic in both directions regardless of how ECMP
+     hashes flows across the core. *)
+  let up0 = (4, 2) in
+  let hosts = Array.of_list (Net.hosts net) in
+  let lossy_access = (hosts.(2).Net.node_id, 0) in
+  Fault.flap f ~from_:(Time_ns.ms 50) ~until_:(Time_ns.ms 250)
+    ~period:(Time_ns.ms 20) ~down_for:(Time_ns.ms 8) up0;
+  Fault.lossy f ~from_:(Time_ns.ms 60) ~until_:(Time_ns.ms 300) ~drop:0.3
+    ~corrupt:0.05 lossy_access;
+  Fault.freeze f ~from_:(Time_ns.ms 120) ~until_:(Time_ns.ms 160) 0;
+  Fault.degrade f ~from_:(Time_ns.ms 260) ~until_:(Time_ns.ms 350)
+    ~rate_factor:0.25 ~extra_delay:(Time_ns.us 50) up0;
+  Fault.attach f net;
+  f
+
+let traffic ~owns net =
+  let hosts = Array.of_list (Net.hosts net) in
+  let n = Array.length hosts in
+  let eng = Net.engine net in
+  let tpp = Result.get_ok (Asm.to_tpp ~mem_len:32 collect_src) in
+  let payload = Bytes.create 400 in
+  for i = 0 to n - 1 do
+    let src = hosts.(i) in
+    if owns src.Net.node_id then
+      for j = 0 to 299 do
+        Engine.at eng
+          (1 + (i * 17) + (j * 1_000_000))
+          (fun () ->
+            let dst = hosts.((i + 4) mod n) in
+            let frame =
+              Frame.udp_frame ~src_mac:src.Net.mac ~dst_mac:dst.Net.mac
+                ~src_ip:src.Net.ip ~dst_ip:dst.Net.ip ~src_port:(5000 + i)
+                ~dst_port:9 ~tpp:(Prog.copy tpp) ~payload ()
+            in
+            Net.host_send net src frame)
+      done
+  done
+
+let zero_stats =
+  {
+    Fault.lost_down = 0;
+    dropped = 0;
+    corrupt_header = 0;
+    corrupt_fcs = 0;
+    frozen_arrivals = 0;
+    restarts = 0;
+  }
+
+let sum_stats (a : Fault.stats) (b : Fault.stats) =
+  {
+    Fault.lost_down = a.Fault.lost_down + b.Fault.lost_down;
+    dropped = a.Fault.dropped + b.Fault.dropped;
+    corrupt_header = a.Fault.corrupt_header + b.Fault.corrupt_header;
+    corrupt_fcs = a.Fault.corrupt_fcs + b.Fault.corrupt_fcs;
+    frozen_arrivals = a.Fault.frozen_arrivals + b.Fault.frozen_arrivals;
+    restarts = a.Fault.restarts + b.Fault.restarts;
+  }
+
+let () =
+  (* 1. Determinism: identical workload + schedule, sequential vs
+     2 shards. *)
+  let eng = Engine.create () in
+  let net = build eng in
+  let fault = schedule net in
+  traffic ~owns:(fun _ -> true) net;
+  Engine.run eng ~until:horizon;
+  let seq_events = Engine.events_processed eng in
+  let seq_delivered = Net.frames_delivered net in
+  let seq_faults = Fault.stats fault in
+  Printf.printf "sequential: %d events, %d delivered\n  %s\n" seq_events
+    seq_delivered
+    (Format.asprintf "%a" Fault.pp_stats seq_faults);
+
+  let faults = Array.make 2 None in
+  let stats, shard_faults =
+    Parsim.run ~shards:2 ~until:horizon ~build
+      ~setup:(fun ~shard ~owns net ->
+        faults.(shard) <- Some (schedule net);
+        traffic ~owns net)
+      ~collect:(fun ~shard ~owns:_ _ -> Fault.stats (Option.get faults.(shard)))
+      ()
+  in
+  let par_faults = Array.fold_left sum_stats zero_stats shard_faults in
+  Printf.printf "2 shards:   %d events, %d delivered\n  %s\n"
+    stats.Parsim.events stats.Parsim.delivered
+    (Format.asprintf "%a" Fault.pp_stats par_faults);
+  let identical =
+    (* The wipe events at freeze end run once per layout; everything
+       else must agree exactly. *)
+    seq_events = stats.Parsim.events
+    && seq_delivered = stats.Parsim.delivered
+    && seq_faults = par_faults
+  in
+  if identical then
+    print_endline "deterministic: chaos identical, sequential vs sharded\n"
+  else begin
+    print_endline "DIVERGED: faulted parallel run does not match sequential!";
+    exit 1
+  end;
+
+  (* 2. Reliable probing through the same chaos. *)
+  let eng = Engine.create () in
+  let net = build eng in
+  let _fault = schedule net in
+  let hosts = Array.of_list (Net.hosts net) in
+  let src = Stack.create net hosts.(0) and dst = hosts.(8) in
+  let sink = Stack.create net dst in
+  Probe.install_echo sink;
+  let reliable =
+    Probe.Reliable.create ~timeout:(Time_ns.ms 2) ~retries:4 ~backoff:1.5 src
+  in
+  let probe = Result.get_ok (Asm.to_tpp ~mem_len:32 collect_src) in
+  Engine.every eng ~period:(Time_ns.ms 5) ~until:horizon (fun () ->
+      ignore (Probe.Reliable.send reliable ~dst ~tpp:(Prog.copy probe) ()));
+  Engine.run eng ~until:(horizon + Time_ns.ms 50);
+  let r = Probe.Reliable.stats reliable in
+  Printf.printf
+    "reliable probes: %d sent as %d transmissions -> %d answered, %d \
+     abandoned, %d late echoes\n\n"
+    r.Probe.Reliable.probes r.Probe.Reliable.transmissions
+    r.Probe.Reliable.replies r.Probe.Reliable.failures r.Probe.Reliable.late;
+
+  (* 3. Localisation matrix. *)
+  let matrix = Faults.run_matrix ~seed:7 () in
+  print_endline "fault localisation matrix (Tpp_experiments.Faults):";
+  List.iter
+    (fun (r : Faults.scenario_result) ->
+      Printf.printf
+        "  %-12s detection %6.1f ms, %2d/%d circuits degraded, %d suspects, \
+         localised: %b\n"
+        (Faults.scenario_name r.Faults.sc_scenario)
+        r.Faults.sc_detection_ms r.Faults.sc_degraded_circuits
+        r.Faults.sc_circuits
+        (List.length r.Faults.sc_suspects)
+        r.Faults.sc_localised)
+    matrix;
+  if List.for_all (fun (r : Faults.scenario_result) -> r.Faults.sc_localised) matrix
+  then print_endline "all scenarios localised"
+  else begin
+    print_endline "LOCALISATION FAILED";
+    exit 1
+  end

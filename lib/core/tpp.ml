@@ -50,6 +50,7 @@ module Engine = Tpp_sim.Engine
 module Net = Tpp_sim.Net
 module Topology = Tpp_sim.Topology
 module Pcap = Tpp_sim.Pcap
+module Fault = Tpp_sim.Fault
 module Parsim = Tpp_parsim.Parsim
 
 (* End-host tasks *)

@@ -63,3 +63,144 @@ let install_reply_handler stack callback =
       match decode_echo frame.Frame.payload with
       | Some (seq, tpp) -> callback ~now ~seq tpp
       | None -> ())
+
+module Reliable = struct
+  module Engine = Tpp_sim.Engine
+
+  type stats = {
+    probes : int;
+    transmissions : int;
+    replies : int;
+    late : int;
+    failures : int;
+  }
+
+  type outstanding = {
+    o_seq : int;
+    o_dst : Net.host;
+    o_tpp : Tpp.t;
+    mutable o_attempts : int; (* transmissions so far *)
+    mutable o_done : bool;
+    o_on_reply : (now:int -> Tpp.t -> unit) option;
+    o_on_fail : (now:int -> unit) option;
+  }
+
+  type t = {
+    stack : Stack.t;
+    timeout : int;
+    retries : int;
+    backoff : float;
+    seq_base : int;
+    mutable seq : int;
+    pending : (int, outstanding) Hashtbl.t;
+    mutable s_probes : int;
+    mutable s_transmissions : int;
+    mutable s_replies : int;
+    mutable s_late : int;
+    mutable s_failures : int;
+  }
+
+  let seq_block = 1 lsl 20
+  let next_uid = ref 0
+
+  (* Timeout for the nth (0-based) transmission; exponential backoff
+     keeps retries of a congestion-dropped probe from feeding the
+     congestion that dropped it. *)
+  let timeout_for t attempt =
+    int_of_float (float_of_int t.timeout *. (t.backoff ** float_of_int attempt))
+
+  let transmit t o =
+    o.o_attempts <- o.o_attempts + 1;
+    t.s_transmissions <- t.s_transmissions + 1;
+    send t.stack ~dst:o.o_dst ~tpp:o.o_tpp ~seq:o.o_seq
+
+  let rec arm_timeout t o =
+    let span = timeout_for t (o.o_attempts - 1) in
+    Engine.after
+      (Net.engine (Stack.net t.stack))
+      span
+      (fun () ->
+        if not o.o_done then begin
+          if o.o_attempts <= t.retries then begin
+            transmit t o;
+            arm_timeout t o
+          end
+          else begin
+            o.o_done <- true;
+            Hashtbl.remove t.pending o.o_seq;
+            t.s_failures <- t.s_failures + 1;
+            match o.o_on_fail with
+            | Some f -> f ~now:(Stack.now t.stack)
+            | None -> ()
+          end
+        end)
+
+  let on_echo t ~now ~seq tpp =
+    if seq >= t.seq_base && seq < t.seq_base + seq_block then begin
+      match Hashtbl.find_opt t.pending seq with
+      | Some o ->
+        o.o_done <- true;
+        Hashtbl.remove t.pending seq;
+        t.s_replies <- t.s_replies + 1;
+        (match o.o_on_reply with Some f -> f ~now tpp | None -> ())
+      | None ->
+        (* A retransmission's echo after the first one answered, or an
+           echo that beat its own timeout's failure call. *)
+        t.s_late <- t.s_late + 1
+    end
+
+  let create ?(timeout = 1_000_000) ?(retries = 3) ?(backoff = 2.0) stack =
+    if timeout <= 0 then invalid_arg "Probe.Reliable.create: timeout must be positive";
+    if retries < 0 then invalid_arg "Probe.Reliable.create: retries must be >= 0";
+    if backoff < 1.0 then invalid_arg "Probe.Reliable.create: backoff must be >= 1";
+    incr next_uid;
+    let t =
+      {
+        stack;
+        timeout;
+        retries;
+        backoff;
+        seq_base = !next_uid * seq_block;
+        seq = 0;
+        pending = Hashtbl.create 32;
+        s_probes = 0;
+        s_transmissions = 0;
+        s_replies = 0;
+        s_late = 0;
+        s_failures = 0;
+      }
+    in
+    install_reply_handler stack (fun ~now ~seq tpp -> on_echo t ~now ~seq tpp);
+    t
+
+  let send t ~dst ~tpp ?on_reply ?on_fail () =
+    let seq = t.seq_base + t.seq in
+    t.seq <- (t.seq + 1) mod seq_block;
+    t.s_probes <- t.s_probes + 1;
+    let o =
+      {
+        o_seq = seq;
+        o_dst = dst;
+        o_tpp = tpp;
+        o_attempts = 0;
+        o_done = false;
+        o_on_reply = on_reply;
+        o_on_fail = on_fail;
+      }
+    in
+    Hashtbl.replace t.pending seq o;
+    transmit t o;
+    arm_timeout t o;
+    seq
+
+  let outstanding t = Hashtbl.length t.pending
+
+  let stats t =
+    {
+      probes = t.s_probes;
+      transmissions = t.s_transmissions;
+      replies = t.s_replies;
+      late = t.s_late;
+      failures = t.s_failures;
+    }
+end

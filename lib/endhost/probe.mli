@@ -40,3 +40,48 @@ val install_reply_handler :
     accumulate: every registered handler sees every echo, so concurrent
     controllers on one host must partition the sequence-number space
     (each built-in controller allocates a disjoint block). *)
+
+(** Probe round-trips hardened against loss: per-probe timeout, bounded
+    retransmission with exponential backoff, and loss accounting. The
+    paper's probes are idempotent reads, so a retry that races a slow
+    echo is harmless — the first echo wins and later ones are counted
+    as {!field:stats.late}.
+
+    All timers run on the simulation engine, so retry behavior is
+    deterministic and, in a sharded run, stays on the shard owning the
+    probing host. *)
+module Reliable : sig
+  type t
+
+  val create : ?timeout:int -> ?retries:int -> ?backoff:float -> Stack.t -> t
+  (** [timeout] (ns, default 1ms) arms a timer per transmission;
+      [retries] (default 3) is the number of {e re}transmissions after
+      the first attempt; [backoff] (default 2.0, must be >= 1) scales
+      the timeout by [backoff^n] for the nth retry. Allocates its own
+      block of the echo sequence space. *)
+
+  val send :
+    t ->
+    dst:Tpp_sim.Net.host ->
+    tpp:Tpp_isa.Tpp.t ->
+    ?on_reply:(now:int -> Tpp_isa.Tpp.t -> unit) ->
+    ?on_fail:(now:int -> unit) ->
+    unit ->
+    int
+  (** Sends a probe to [dst]; returns its sequence number. [on_reply]
+      fires once with the first executed echo; [on_fail] fires once if
+      all [1 + retries] transmissions time out unanswered. *)
+
+  val outstanding : t -> int
+  (** Probes still awaiting an echo or final timeout. *)
+
+  type stats = {
+    probes : int;         (** {!send} calls *)
+    transmissions : int;  (** frames sent, including retries *)
+    replies : int;        (** probes answered (first echo only) *)
+    late : int;           (** echoes after the probe was resolved *)
+    failures : int;       (** probes abandoned after all retries *)
+  }
+
+  val stats : t -> stats
+end

@@ -8,9 +8,12 @@ type t = {
   host : Net.host;
   handlers : (int, (now:int -> Frame.t -> unit) list) Hashtbl.t;
   mutable default : now:int -> Frame.t -> unit;
+  mutable sent : int;
+  mutable received : int;
 }
 
 let dispatch t ~now frame =
+  t.received <- t.received + 1;
   let handled =
     match frame.Frame.udp with
     | Some u -> (
@@ -24,7 +27,16 @@ let dispatch t ~now frame =
   if not handled then t.default ~now frame
 
 let create net host =
-  let t = { net; host; handlers = Hashtbl.create 8; default = (fun ~now:_ _ -> ()) } in
+  let t =
+    {
+      net;
+      host;
+      handlers = Hashtbl.create 8;
+      default = (fun ~now:_ _ -> ());
+      sent = 0;
+      received = 0;
+    }
+  in
   host.Net.receive <- (fun ~now frame -> dispatch t ~now frame);
   t
 
@@ -47,4 +59,8 @@ let send_udp t ~dst ~src_port ~dst_port ?tpp ~payload () =
     Frame.udp_frame ~src_mac:t.host.Net.mac ~dst_mac:dst.Net.mac
       ~src_ip:t.host.Net.ip ~dst_ip:dst.Net.ip ~src_port ~dst_port ?tpp ~payload ()
   in
+  t.sent <- t.sent + 1;
   Net.host_send t.net t.host frame
+
+let udp_sent t = t.sent
+let udp_received t = t.received

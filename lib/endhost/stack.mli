@@ -38,3 +38,10 @@ val send_udp :
   unit
 (** Builds and transmits a UDP datagram to [dst]; with [tpp] the frame
     becomes a TPP frame encapsulating the datagram. *)
+
+val udp_sent : t -> int
+(** Datagrams transmitted through {!send_udp} so far. *)
+
+val udp_received : t -> int
+(** Frames delivered to this stack's dispatcher so far. Comparing with
+    a peer's {!udp_sent} gives a loss count under fault injection. *)

@@ -19,3 +19,31 @@ type result = {
 }
 
 val run : unit -> result
+
+(** {2 Scenario matrix}
+
+    The same detector against the deterministic fault injector
+    ({!Tpp_sim.Fault}): a permanent kill, a flapping link (15 ms dark
+    every 30 ms), two simultaneous failures on distinct cables, and a
+    40%-lossy link. Localisation must place every true cable in the
+    suspect set in all four. *)
+
+type scenario = Permanent | Flap | Dual_failure | Lossy_link
+
+val scenario_name : scenario -> string
+
+type scenario_result = {
+  sc_scenario : scenario;
+  sc_circuits : int;
+  sc_true_links : Tpp_ndb.Faultfind.link list;  (** ground truth *)
+  sc_degraded_circuits : int;
+  sc_detection_ms : float;  (** fault start -> first circuit degraded *)
+  sc_suspects : Tpp_ndb.Faultfind.link list;
+  sc_localised : bool;  (** every true cable is in the suspect set *)
+  sc_fault_stats : Tpp_sim.Fault.stats;
+}
+
+val run_scenario : ?seed:int -> scenario -> scenario_result
+
+val run_matrix : ?seed:int -> unit -> scenario_result list
+(** All four scenarios, in declaration order. *)

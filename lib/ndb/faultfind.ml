@@ -17,6 +17,13 @@ type circuit = {
   cables : cable list;  (* forward + echo-return exposure, deduped *)
   mutable last_probe : int;
   mutable last_reply : int;
+  (* Circular history of the last [window] probe rounds, so a flapping
+     link — which answers often enough to look "alive" to a pure
+     last-echo check — still shows up as a lossy circuit. Slot
+     [round mod window] holds (round stamp, send time, echoed?). *)
+  hist_round : int array;
+  hist_sent : int array;
+  hist_ok : bool array;
 }
 
 type t = {
@@ -24,6 +31,8 @@ type t = {
   circuits : circuit array;
   period : int;
   timeout : int;
+  window : int;
+  loss_threshold : float;
   seq_base : int;
   probe : Tpp_isa.Tpp.t;
   mutable running : bool;
@@ -54,10 +63,13 @@ let route_links net ~src ~dst ~src_port ~dst_port =
   Verify.control_route ~src_port ~dst_port net ~src ~dst
   |> List.map (fun (from_switch, egress_port) -> { from_switch; egress_port })
 
-let create ~circuits ~period ~timeout =
+let create ?(window = 8) ?(loss_threshold = 0.25) ~circuits ~period ~timeout () =
   if circuits = [] then invalid_arg "Faultfind.create: no circuits";
   if period <= 0 || timeout <= period then
     invalid_arg "Faultfind.create: need timeout > period > 0";
+  if window < 1 then invalid_arg "Faultfind.create: window must be >= 1";
+  if not (loss_threshold > 0.0 && loss_threshold <= 1.0) then
+    invalid_arg "Faultfind.create: loss_threshold must be in (0, 1]";
   incr next_uid;
   let probe =
     match Programs.build ~max_hops:10 Programs.record_route with
@@ -79,7 +91,17 @@ let create ~circuits ~period ~timeout =
       List.filter_map (cable_of net) (forward @ return_path)
       |> List.sort_uniq compare
     in
-    { src; dst; forward; cables; last_probe = min_int; last_reply = min_int }
+    {
+      src;
+      dst;
+      forward;
+      cables;
+      last_probe = min_int;
+      last_reply = min_int;
+      hist_round = Array.make window (-1);
+      hist_sent = Array.make window 0;
+      hist_ok = Array.make window false;
+    }
   in
   let circuits = Array.of_list (List.map circuit_of circuits) in
   let t =
@@ -88,6 +110,8 @@ let create ~circuits ~period ~timeout =
       circuits;
       period;
       timeout;
+      window;
+      loss_threshold;
       seq_base = !next_uid * seq_block;
       probe;
       running = false;
@@ -108,7 +132,15 @@ let create ~circuits ~period ~timeout =
           if seq >= t.seq_base && seq < t.seq_base + seq_block then begin
             let idx = (seq - t.seq_base) mod n in
             let c = t.circuits.(idx) in
-            if c.src == stack then c.last_reply <- now
+            if c.src == stack then begin
+              c.last_reply <- now;
+              (* The sequence number encodes which round this echo
+                 answers; credit that round's history slot if it has
+                 not been recycled. *)
+              let round = (seq - t.seq_base) / n in
+              let slot = round mod t.window in
+              if c.hist_round.(slot) = round then c.hist_ok.(slot) <- true
+            end
           end))
     sources;
   t
@@ -122,6 +154,10 @@ let rec tick t epoch () =
     Array.iteri
       (fun i c ->
         c.last_probe <- now;
+        let slot = t.round mod t.window in
+        c.hist_round.(slot) <- t.round;
+        c.hist_sent.(slot) <- now;
+        c.hist_ok.(slot) <- false;
         Probe.send c.src ~dst:c.dst ~tpp:t.probe
           ~seq:(t.seq_base + (t.round * n) + i))
       t.circuits;
@@ -155,6 +191,52 @@ let circuit_healthy t ~now c =
 let healthy t ~now =
   Array.to_list (Array.map (circuit_healthy t ~now) t.circuits)
 
+(* Echo loss over the mature slice of the round window: a round counts
+   only once its timeout has expired, so in-flight probes are not
+   misread as losses. Only the oldest [window - timeout/period] slots
+   can ever be mature — newer rounds are still awaiting their echo. *)
+let window_counts t ~now c =
+  let mature = ref 0 and lost = ref 0 in
+  for slot = 0 to t.window - 1 do
+    if c.hist_round.(slot) >= 0 && c.hist_sent.(slot) + t.timeout <= now then begin
+      incr mature;
+      if not c.hist_ok.(slot) then incr lost
+    end
+  done;
+  (!mature, !lost)
+
+let circuit_loss t ~now c =
+  let mature, lost = window_counts t ~now c in
+  if mature = 0 then 0.0 else float_of_int lost /. float_of_int mature
+
+let circuit_degraded t ~now c =
+  (not (circuit_healthy t ~now c))
+  ||
+  (* Demand a few timed-out rounds of evidence before declaring a lossy
+     circuit, so one unlucky round at startup does not trip the
+     detector. Capped at the window size, and deliberately well below
+     it: with timeout ~ several periods, most slots in the window are
+     still in flight and can never mature. *)
+  let mature, lost = window_counts t ~now c in
+  mature >= min 3 t.window
+  && float_of_int lost /. float_of_int mature >= t.loss_threshold
+
+(* A circuit vouches for its cables only when it has real evidence and
+   zero loss: under a probabilistic fault a circuit crossing the bad
+   cable may dodge enough probes to look momentarily un-degraded, and
+   must not veto the true suspect. *)
+let circuit_spotless t ~now c =
+  circuit_healthy t ~now c
+  &&
+  let mature, lost = window_counts t ~now c in
+  mature > 0 && lost = 0
+
+let degraded t ~now =
+  Array.to_list (Array.map (circuit_degraded t ~now) t.circuits)
+
+let loss_ratios t ~now =
+  Array.to_list (Array.map (circuit_loss t ~now) t.circuits)
+
 (* Renders a cable back as a link endpoint, preferring a switch side. *)
 let link_of_cable t ((node_a, port_a), (node_b, port_b)) =
   let switch_id node =
@@ -167,19 +249,58 @@ let link_of_cable t ((node_a, port_a), (node_b, port_b)) =
   | None, Some swid -> Some { from_switch = swid; egress_port = port_b }
   | None, None -> None
 
+(* Localisation as minimal set cover: find the smallest set of cables
+   that explains every degraded circuit, never touching a spotless one.
+   Greedy, keeping {e every} cable tied at the step's best coverage —
+   probes cannot tell cables that hurt the same circuits apart, so all
+   of them are suspects. With a single hard failure this reduces
+   exactly to the old rule (cables on every failing circuit and no
+   healthy one); with two simultaneous failures no cable covers all
+   failing circuits and plain intersection collapses to the empty set,
+   while the cover peels them off one failure per step. *)
 let suspects t ~now =
-  let failing, ok =
-    Array.to_list t.circuits
-    |> List.partition (fun c -> not (circuit_healthy t ~now c))
+  let affected =
+    Array.to_list t.circuits |> List.filter (circuit_degraded t ~now)
   in
-  match failing with
+  match affected with
   | [] -> []
-  | first :: rest ->
+  | _ ->
+    let spotless =
+      Array.to_list t.circuits |> List.filter (circuit_spotless t ~now)
+    in
     let mem cable c = List.mem cable c.cables in
-    first.cables
-    |> List.filter (fun cable -> List.for_all (mem cable) rest)
-    |> List.filter (fun cable -> not (List.exists (mem cable) ok))
-    |> List.filter_map (link_of_cable t)
+    let candidates =
+      List.concat_map (fun c -> c.cables) affected
+      |> List.sort_uniq compare
+      |> List.filter (fun cable -> not (List.exists (mem cable) spotless))
+    in
+    let rec cover uncovered chosen =
+      if uncovered = [] then chosen
+      else begin
+        let coverage cable = List.length (List.filter (mem cable) uncovered) in
+        let best =
+          List.fold_left (fun acc cable -> max acc (coverage cable)) 0 candidates
+        in
+        if best = 0 then chosen (* inexplicable circuits: report what we have *)
+        else begin
+          let picked =
+            List.filter
+              (fun cable -> coverage cable = best && not (List.mem cable chosen))
+              candidates
+          in
+          if picked = [] then chosen
+          else begin
+            let uncovered' =
+              List.filter
+                (fun c -> not (List.exists (fun cable -> mem cable c) picked))
+                uncovered
+            in
+            cover uncovered' (chosen @ picked)
+          end
+        end
+      end
+    in
+    cover affected [] |> List.sort_uniq compare |> List.filter_map (link_of_cable t)
 
 let links_of_circuit t i = t.circuits.(i).forward
 

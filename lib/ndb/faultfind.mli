@@ -22,12 +22,24 @@ type link = { from_switch : int; egress_port : int }
 type t
 
 val create :
-  circuits:(Stack.t * Net.host) list -> period:int -> timeout:int -> t
+  ?window:int ->
+  ?loss_threshold:float ->
+  circuits:(Stack.t * Net.host) list ->
+  period:int ->
+  timeout:int ->
+  unit ->
+  t
 (** Probes every circuit each [period]; a circuit with no echo for
     [timeout] ns counts as failing. Destinations need
     {!Tpp_endhost.Probe.install_echo}. Forward and return routes are
     predicted per circuit with the respective packets' own 5-tuples
-    (hash-exact under ECMP). *)
+    (hash-exact under ECMP).
+
+    Each circuit also keeps the outcome of its last [window] (default
+    8) probe rounds; a circuit losing at least [loss_threshold]
+    (default 0.25) of its matured rounds counts as {e degraded} even
+    while occasional echoes keep it nominally alive — this is what
+    catches flapping and lossy links. *)
 
 val start : t -> ?at:int -> unit -> unit
 val stop : t -> unit
@@ -36,10 +48,24 @@ val healthy : t -> now:int -> bool list
 (** Per circuit, in creation order. Circuits that have not yet had a
     chance to answer (young or just started) count as healthy. *)
 
+val degraded : t -> now:int -> bool list
+(** Per circuit: hard-failing ({!healthy} false) {e or} lossy — echo
+    loss over the matured round window at or above the threshold, with
+    at least half a window of evidence. Flap- and loss-tolerant
+    superset of [not healthy]. *)
+
+val loss_ratios : t -> now:int -> float list
+(** Per circuit: echo loss over matured rounds of the history window
+    (0.0 while no round has matured). *)
+
 val suspects : t -> now:int -> link list
-(** One representative endpoint per suspect cable: cables on every
-    failing circuit (either direction) and on no healthy one; empty
-    when nothing is failing. *)
+(** One representative endpoint per suspect cable. The suspect set is a
+    greedy minimal cover of the degraded circuits by cables that touch
+    no clean circuit, keeping every cable tied at a step's best
+    coverage (probes cannot distinguish cables hurting the same
+    circuits). A single failure yields the classic intersection; two
+    simultaneous failures yield (typically) one cable per failure.
+    Empty when nothing is degraded. *)
 
 val links_of_circuit : t -> int -> link list
 (** The control-predicted {e forward} path of a circuit, for reporting

@@ -39,6 +39,28 @@ type sharding = {
   emit : arrival:Time_ns.t -> dst:int * int -> Frame.t -> unit;
 }
 
+(* Injection points for the fault subsystem ({!Fault}). Kept as a
+   neutral record of closures so [Net] needs no knowledge of the
+   schedule representation (and [Fault] can depend on [Net] without a
+   cycle). All four are pure functions of simulated time plus per-wire
+   private RNG streams, which is what keeps faulted runs bit-identical
+   between the sequential engine and any shard count. *)
+type fault_hooks = {
+  f_transit : node:int -> port:int -> now:Time_ns.t -> Frame.t -> bool;
+      (* Fate of a frame finishing serialisation onto the wire behind
+         ([node], [port]) at [now]: [false] = lost (fault-downed link,
+         random drop, or corruption caught by the wire checks). The
+         hook does its own accounting. *)
+  f_rate : node:int -> port:int -> now:Time_ns.t -> bps:int -> int;
+      (* Effective transmit rate at transmission start. *)
+  f_delay : node:int -> port:int -> now:Time_ns.t -> delay:Time_ns.span -> Time_ns.span;
+      (* Effective propagation delay at transmission end. Must never
+         return less than [delay]: the parallel scheduler's lookahead
+         is computed from the undegraded delays. *)
+  f_ingress : node:int -> now:Time_ns.t -> bool;
+      (* [false] = the node is frozen; a frame arriving now vanishes. *)
+}
+
 type t = {
   eng : Engine.t;
   wire_check : wire_check;
@@ -49,6 +71,7 @@ type t = {
   mutable deliver_hooks : (host -> Frame.t -> unit) array;
       (* registration order; rebuilt on (rare) registration *)
   mutable sharding : sharding option;  (* None = ordinary sequential net *)
+  mutable fault : fault_hooks option;  (* None = fault-free: no per-packet cost *)
   checked_shapes : (int, unit) Hashtbl.t;
       (* header-layout keys already validated in [`Cached] mode *)
   scratch : Buf.Writer.t;  (* reused by the cached wire check *)
@@ -64,6 +87,7 @@ let create ?(wire_check = `Always) eng =
     delivered = 0;
     deliver_hooks = [||];
     sharding = None;
+    fault = None;
     checked_shapes = Hashtbl.create 32;
     scratch = Buf.Writer.create ~capacity:256 ();
   }
@@ -200,16 +224,23 @@ let next_frame t id port =
   | Host_n _ -> Queue.take_opt n.ports.(port).nic_queue
 
 let rec deliver t (id, port) frame =
-  let n = node t id in
-  match n.impl with
-  | Host_n h ->
-    t.delivered <- t.delivered + 1;
-    Array.iter (fun hook -> hook h frame) t.deliver_hooks;
-    h.receive ~now:(Engine.now t.eng) frame
-  | Switch_n sw -> (
-    match Switch.handle_ingress sw ~now:(Engine.now t.eng) ~in_port:port frame with
-    | Switch.Dropped _ -> ()
-    | Switch.Queued out_ports -> List.iter (fun p -> maybe_start_tx t id p) out_ports)
+  let alive =
+    match t.fault with
+    | None -> true
+    | Some h -> h.f_ingress ~node:id ~now:(Engine.now t.eng)
+  in
+  if alive then begin
+    let n = node t id in
+    match n.impl with
+    | Host_n h ->
+      t.delivered <- t.delivered + 1;
+      Array.iter (fun hook -> hook h frame) t.deliver_hooks;
+      h.receive ~now:(Engine.now t.eng) frame
+    | Switch_n sw -> (
+      match Switch.handle_ingress sw ~now:(Engine.now t.eng) ~in_port:port frame with
+      | Switch.Dropped _ -> ()
+      | Switch.Queued out_ports -> List.iter (fun p -> maybe_start_tx t id p) out_ports)
+  end
 
 and maybe_start_tx t id port =
   let a = attachment t (id, port) in
@@ -221,13 +252,33 @@ and maybe_start_tx t id port =
       | None -> ()
       | Some frame ->
         a.tx_busy <- true;
-        let tx = tx_time_ns ~bps:a.bps frame in
+        let bps =
+          match t.fault with
+          | None -> a.bps
+          | Some h -> h.f_rate ~node:id ~port ~now:(Engine.now t.eng) ~bps:a.bps
+        in
+        let tx = tx_time_ns ~bps frame in
         Engine.after t.eng tx (fun () ->
             a.tx_busy <- false;
-            (* A frame finishing serialisation onto a dark link is lost. *)
-            if a.up then begin
+            (* A frame finishing serialisation onto a dark link is lost;
+               the fault schedule may also lose it (dark window, random
+               drop, corruption caught by the wire checks). *)
+            let survives =
+              a.up
+              && (match t.fault with
+                 | None -> true
+                 | Some h ->
+                   h.f_transit ~node:id ~port ~now:(Engine.now t.eng) frame)
+            in
+            if survives then begin
+              let delay =
+                match t.fault with
+                | None -> a.delay
+                | Some h ->
+                  h.f_delay ~node:id ~port ~now:(Engine.now t.eng) ~delay:a.delay
+              in
               match t.sharding with
-              | None -> Engine.after t.eng a.delay (fun () -> deliver t peer frame)
+              | None -> Engine.after t.eng delay (fun () -> deliver t peer frame)
               | Some s ->
                 (* Shard-boundary link: the arrival belongs to the peer's
                    owning shard. Hand the frame (with its absolute arrival
@@ -237,10 +288,10 @@ and maybe_start_tx t id port =
                    delivery event, on exactly one shard. *)
                 let dst_node = fst peer in
                 if Array.unsafe_get s.owner dst_node = s.shard then
-                  Engine.after t.eng a.delay (fun () -> deliver t peer frame)
+                  Engine.after t.eng delay (fun () -> deliver t peer frame)
                 else
                   s.emit
-                    ~arrival:(Time_ns.add (Engine.now t.eng) a.delay)
+                    ~arrival:(Time_ns.add (Engine.now t.eng) delay)
                     ~dst:peer frame
             end;
             maybe_start_tx t id port)
@@ -345,6 +396,9 @@ let start_utilization_updates t ~period ~until =
         (switches t))
 
 let frames_delivered t = t.delivered
+
+let set_fault_hooks t hooks = t.fault <- hooks
+let fault_hooks_installed t = Option.is_some t.fault
 
 let on_host_deliver t hook =
   (* Registration is rare and the hook array is read on every delivery:

@@ -124,6 +124,33 @@ val on_host_deliver : t -> (host -> Frame.t -> unit) -> unit
 (** Tracing hook, called before each host receive callback. Hooks run in
     registration order. *)
 
+(** {2 Fault-injection hooks}
+
+    The seams {!Fault} installs itself through. A net without hooks
+    (the default) pays a single [None] branch per touch point — no
+    per-packet closure calls, allocation, or hashing. The hooks must be
+    pure functions of simulated time (plus private per-wire RNG
+    streams) so that faulted runs stay deterministic under sharding;
+    use {!Fault} rather than installing ad-hoc hooks. *)
+
+type fault_hooks = {
+  f_transit : node:int -> port:int -> now:Time_ns.t -> Frame.t -> bool;
+      (** Fate of a frame finishing serialisation onto the wire behind
+          ([node], [port]) at [now]: [false] = lost in flight. *)
+  f_rate : node:int -> port:int -> now:Time_ns.t -> bps:int -> int;
+      (** Effective transmit rate at transmission start. *)
+  f_delay :
+    node:int -> port:int -> now:Time_ns.t -> delay:Time_ns.span -> Time_ns.span;
+      (** Effective propagation delay at transmission end; must be
+          [>= delay] (the parallel lookahead assumes it). *)
+  f_ingress : node:int -> now:Time_ns.t -> bool;
+      (** [false] = the node is frozen and the arriving frame vanishes. *)
+}
+
+val set_fault_hooks : t -> fault_hooks option -> unit
+
+val fault_hooks_installed : t -> bool
+
 val tx_time_of_bits : bps:int -> int -> Time_ns.span
 (** [tx_time_of_bits ~bps bits] = ceil([bits] * 1e9 / [bps]) ns, exact
     integer arithmetic (overflow-guarded). Exposed for tests. *)

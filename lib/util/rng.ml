@@ -11,14 +11,30 @@ let bits64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let split t =
-  let seed = Int64.to_int (bits64 t) in
-  { state = Int64.of_int seed }
+(* The child takes the parent's full 64-bit output as its state: no
+   round-trip through [int] (which would drop the top bit and make the
+   stream depend on the platform's word size). *)
+let split t = { state = bits64 t }
 
+let of_state state = { state }
+
+(* Uniform in [0, bound) by rejection sampling over a 62-bit draw,
+   which covers [0, max_int] exactly (native ints are 63-bit, so 2^62
+   itself is not representable — all arithmetic below stays in
+   [0, max_int]). Draws past the largest multiple of [bound] are
+   discarded, so every residue is equally likely. The rejection zone is
+   [r = 2^62 mod bound] values wide — a ~bound/2^62 sliver for any sane
+   bound, so a redraw is astronomically rare and the stream position is
+   in practice identical to the old (modulo-biased) implementation. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  v mod bound
+  let r = ((max_int mod bound) + 1) mod bound in (* 2^62 mod bound *)
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    (* v >= 2^62 - r, without forming 2^62. *)
+    if r > 0 && v > max_int - r then draw () else v mod bound
+  in
+  draw ()
 
 let float t bound =
   let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in

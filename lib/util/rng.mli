@@ -9,10 +9,17 @@ type t
 val create : seed:int -> t
 
 val split : t -> t
-(** A new generator whose stream is independent of the parent's. *)
+(** A new generator whose stream is independent of the parent's. The
+    child's state is the parent's full 64-bit output, so split streams
+    are identical on every platform. *)
+
+val of_state : int64 -> t
+(** A generator with an explicit 64-bit state; lets derived streams
+    (e.g. one per network wire) be keyed deterministically. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly uniform, by
+    rejection sampling, not [mod]-reduced. [bound] must be > 0. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)

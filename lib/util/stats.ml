@@ -25,8 +25,12 @@ let add t x =
 
 let count t = t.len
 let mean t = if t.len = 0 then 0.0 else t.sum /. float_of_int t.len
-let min t = if t.len = 0 then 0.0 else t.mn
-let max t = if t.len = 0 then 0.0 else t.mx
+
+(* An empty series has no extrema: returning 0.0 would fabricate a
+   sample (and silently skew "min latency" style reports), so these
+   answer [nan], which poisons any arithmetic built on top of them. *)
+let min t = if t.len = 0 then nan else t.mn
+let max t = if t.len = 0 then nan else t.mx
 
 let stddev t =
   if t.len < 2 then 0.0
@@ -37,7 +41,7 @@ let stddev t =
   end
 
 let percentile t p =
-  if t.len = 0 then 0.0
+  if t.len = 0 then nan
   else begin
     let sorted = Array.sub t.arr 0 t.len in
     Array.sort Float.compare sorted;

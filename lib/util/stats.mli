@@ -11,13 +11,17 @@ val add : t -> float -> unit
 
 val count : t -> int
 val mean : t -> float
+val stddev : t -> float
+
 val min : t -> float
 val max : t -> float
-val stddev : t -> float
+(** Extrema of the samples seen so far. [nan] when the series is empty:
+    an empty series has no minimum, and 0.0 would silently fabricate
+    one. Callers that want a sentinel must supply their own. *)
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0, 100\]]; nearest-rank on a sorted
-    copy of the samples. 0.0 when empty. *)
+    copy of the samples. [nan] when empty (see {!min}). *)
 
 val samples : t -> float array
 (** Copy of all samples, in insertion order. *)

@@ -372,7 +372,7 @@ let test_faultfind_localises_chain_link () =
     Faultfind.create
       ~circuits:
         [ (stacks.(0).(0), h 2 0); (stacks.(0).(0), h 1 0); (stacks.(2).(1), h 2 0) ]
-      ~period:(Time_ns.ms 5) ~timeout:(Time_ns.ms 25)
+      ~period:(Time_ns.ms 5) ~timeout:(Time_ns.ms 25) ()
   in
   Faultfind.start finder ();
   Engine.run eng ~until:(Time_ns.ms 200);

@@ -12,6 +12,7 @@ let () =
       ("switch", Test_switch.suite);
       ("sim", Test_sim.suite);
       ("parsim", Test_parsim.suite);
+      ("fault", Test_fault.suite);
       ("endhost", Test_endhost.suite);
       ("rcp", Test_rcp.suite);
       ("ndb", Test_ndb.suite);
