@@ -22,7 +22,20 @@
                                               sequential vs sharded -> BENCH_4.json
      dune exec bench/perf.exe -- --chaos --smoke
                                               quick CI variant of the same gate
+     dune exec bench/perf.exe -- --engine     event-core gate: typed slab events
+                                              + timing-wheel scheduler vs the
+                                              closure/heap baseline, with GC
+                                              accounting -> BENCH_5.json
+     dune exec bench/perf.exe -- --engine --smoke
+                                              quick CI check: all scheduler and
+                                              event-mode combinations (and a
+                                              2-shard chaotic wheel run) must
+                                              agree exactly
      dune exec bench/perf.exe -- --out b.json custom output path
+
+   Every mode reports allocation provenance alongside throughput:
+   minor-words/event and promoted-words/event from Gc.quick_stat deltas
+   around the run (per-domain and summed for sharded runs).
 *)
 
 open Tpp
@@ -44,22 +57,38 @@ type config = {
   smoke : bool;
   tpp_heavy : bool;           (* BENCH_3: TCPU backend comparison *)
   chaos : bool;               (* BENCH_4: fault-injection gate *)
+  engine : bool;              (* BENCH_5: typed-event / wheel gate *)
   out : string option;
 }
 
 let default =
   { k = 8; packets_per_host = 1500; payload_bytes = 1000; gap_ns = 6_000;
     wire_check = `Cached; shards = 0; smoke = false; tpp_heavy = false;
-    chaos = false; out = None }
+    chaos = false; engine = false; out = None }
 
 let horizon = Time_ns.sec 10
 
-let build cfg eng =
+let build ?event_mode cfg eng =
   let ft =
-    Topology.fat_tree eng ~wire_check:cfg.wire_check ~ecmp:true ~k:cfg.k
-      ~bps:10_000_000_000 ~delay:(Time_ns.us 1) ()
+    Topology.fat_tree eng ~wire_check:cfg.wire_check ?event_mode ~ecmp:true
+      ~k:cfg.k ~bps:10_000_000_000 ~delay:(Time_ns.us 1) ()
   in
   ft.Topology.f_net
+
+(* GC provenance. OCaml 5 keeps allocation counters per domain, so a
+   sharded run must sample inside the shard (setup before the run,
+   collect after) and sum the deltas; quick_stat itself does not force
+   a collection. *)
+let gc_mark () =
+  let s = Gc.quick_stat () in
+  (s.Gc.minor_words, s.Gc.promoted_words)
+
+let gc_delta (m0, p0) =
+  let s = Gc.quick_stat () in
+  (s.Gc.minor_words -. m0, s.Gc.promoted_words -. p0)
+
+let per_event words events =
+  if events = 0 then 0.0 else words /. float_of_int events
 
 (* Identical traffic whether the net is the whole fabric or one shard:
    each host streams to a partner in the opposite half, so flows cross
@@ -94,34 +123,49 @@ type outcome = {
   events : int;
   delivered : int;
   wall : float;
+  minor_pe : float;   (* minor words allocated per event processed *)
+  promoted_pe : float;
   rounds : int;       (* parallel only *)
   messages : int;     (* frames that crossed a shard boundary *)
   cut_links : int;
   lookahead_ns : int;
 }
 
-let run_sequential cfg =
-  let eng = Engine.create () in
-  let net = build cfg eng in
+let run_sequential ?scheduler ?event_mode cfg =
+  let eng = Engine.create ?scheduler () in
+  let net = build ?event_mode cfg eng in
   setup_traffic cfg ~owns:(fun _ -> true) net;
+  let g0 = gc_mark () in
   let t0 = Unix.gettimeofday () in
   Engine.run eng ~until:horizon;
   let wall = Unix.gettimeofday () -. t0 in
-  { events = Engine.events_processed eng; delivered = Net.frames_delivered net;
-    wall; rounds = 0; messages = 0; cut_links = 0; lookahead_ns = 0 }
+  let minor, promoted = gc_delta g0 in
+  let events = Engine.events_processed eng in
+  { events; delivered = Net.frames_delivered net; wall;
+    minor_pe = per_event minor events;
+    promoted_pe = per_event promoted events;
+    rounds = 0; messages = 0; cut_links = 0; lookahead_ns = 0 }
 
 (* Wall time includes partitioning and per-shard topology construction —
-   the price of entry a real parallel run pays. *)
+   the price of entry a real parallel run pays. GC deltas are sampled
+   per shard domain (mark in setup, delta in collect) and summed. *)
 let run_parallel cfg ~shards =
+  let marks = Array.make shards (0.0, 0.0) in
   let t0 = Unix.gettimeofday () in
-  let stats, _ =
+  let stats, gcs =
     Parsim.run ~shards ~until:horizon ~build:(build cfg)
-      ~setup:(fun ~shard:_ ~owns net -> setup_traffic cfg ~owns net)
-      ~collect:(fun ~shard:_ ~owns:_ _ -> ())
+      ~setup:(fun ~shard ~owns net ->
+        setup_traffic cfg ~owns net;
+        marks.(shard) <- gc_mark ())
+      ~collect:(fun ~shard ~owns:_ _ -> gc_delta marks.(shard))
       ()
   in
   let wall = Unix.gettimeofday () -. t0 in
+  let minor = Array.fold_left (fun a (m, _) -> a +. m) 0.0 gcs in
+  let promoted = Array.fold_left (fun a (_, p) -> a +. p) 0.0 gcs in
   { events = stats.Parsim.events; delivered = stats.Parsim.delivered; wall;
+    minor_pe = per_event minor stats.Parsim.events;
+    promoted_pe = per_event promoted stats.Parsim.events;
     rounds = stats.Parsim.rounds; messages = stats.Parsim.messages;
     cut_links = stats.Parsim.cut_links;
     lookahead_ns = stats.Parsim.lookahead }
@@ -267,6 +311,8 @@ type heavy_run = {
   h_events : int;
   h_delivered : int;
   h_wall : float;
+  h_minor_pe : float;
+  h_promoted_pe : float;
   h_totals : tpp_totals;
   h_fp : (int * int list) list;
 }
@@ -276,38 +322,52 @@ let run_heavy_sequential cfg ~backend =
   let eng = Engine.create () in
   let net = build cfg eng in
   setup_heavy_traffic cfg ~owns:(fun _ -> true) net;
+  let g0 = gc_mark () in
   let t0 = Unix.gettimeofday () in
   Engine.run eng ~until:horizon;
   let wall = Unix.gettimeofday () -. t0 in
+  let minor, promoted = gc_delta g0 in
   Tcpu.set_default_backend Tcpu.Compiled;
+  let events = Engine.events_processed eng in
   {
-    h_events = Engine.events_processed eng;
+    h_events = events;
     h_delivered = Net.frames_delivered net;
     h_wall = wall;
+    h_minor_pe = per_event minor events;
+    h_promoted_pe = per_event promoted events;
     h_totals = tpp_totals_of ~owns:(fun _ -> true) net;
     h_fp = net_fp ~owns:(fun _ -> true) net;
   }
 
 let run_heavy_parallel cfg ~shards =
+  let marks = Array.make shards (0.0, 0.0) in
   let t0 = Unix.gettimeofday () in
   let stats, parts =
     Parsim.run ~shards ~until:horizon ~build:(build cfg)
-      ~setup:(fun ~shard:_ ~owns net -> setup_heavy_traffic cfg ~owns net)
-      ~collect:(fun ~shard:_ ~owns net ->
-        (tpp_totals_of ~owns net, net_fp ~owns net))
+      ~setup:(fun ~shard ~owns net ->
+        setup_heavy_traffic cfg ~owns net;
+        marks.(shard) <- gc_mark ())
+      ~collect:(fun ~shard ~owns net ->
+        (tpp_totals_of ~owns net, net_fp ~owns net, gc_delta marks.(shard)))
       ()
   in
   let wall = Unix.gettimeofday () -. t0 in
-  let totals = Array.fold_left (fun acc (t, _) -> tpp_add acc t) tpp_zero parts in
+  let totals =
+    Array.fold_left (fun acc (t, _, _) -> tpp_add acc t) tpp_zero parts
+  in
   let fp =
     Array.to_list parts
-    |> List.concat_map snd
+    |> List.concat_map (fun (_, fp, _) -> fp)
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
+  let minor = Array.fold_left (fun a (_, _, (m, _)) -> a +. m) 0.0 parts in
+  let promoted = Array.fold_left (fun a (_, _, (_, p)) -> a +. p) 0.0 parts in
   {
     h_events = stats.Parsim.events;
     h_delivered = stats.Parsim.delivered;
     h_wall = wall;
+    h_minor_pe = per_event minor stats.Parsim.events;
+    h_promoted_pe = per_event promoted stats.Parsim.events;
     h_totals = totals;
     h_fp = fp;
   }
@@ -393,6 +453,8 @@ let write_heavy_json cfg ~out ~interp ~comp ~par ~shards ~speedup
     \  \"interpreter_instrs_per_sec\": %.1f,\n\
     \  \"compiled_wall_s\": %.6f,\n\
     \  \"compiled_instrs_per_sec\": %.1f,\n\
+    \  \"minor_words_per_event\": %.3f,\n\
+    \  \"promoted_words_per_event\": %.4f,\n\
     \  \"speedup\": %.3f,\n\
     \  \"identical_to_interpreter\": true,\n\
     \  \"sharded\": { \"shards\": %d, \"wall_s\": %.6f, \"identical\": true },\n\
@@ -405,6 +467,7 @@ let write_heavy_json cfg ~out ~interp ~comp ~par ~shards ~speedup
     (float_of_int instrs /. interp.h_wall)
     comp.h_wall
     (float_of_int instrs /. comp.h_wall)
+    comp.h_minor_pe comp.h_promoted_pe
     speedup shards par.h_wall cache.Tcpu_compile.programs
     cache.Tcpu_compile.hits cache.Tcpu_compile.misses;
   close_out oc;
@@ -479,7 +542,9 @@ let write_json cfg ~out r =
     \  \"lookahead_ns\": %d,\n\
     \  \"wall_s\": %.6f,\n\
     \  \"events_per_sec\": %.1f,\n\
-    \  \"packets_per_sec\": %.1f\n\
+    \  \"packets_per_sec\": %.1f,\n\
+    \  \"minor_words_per_event\": %.3f,\n\
+    \  \"promoted_words_per_event\": %.4f\n\
      }\n"
     (if cfg.shards > 0 then 2 else 1)
     (workload_of cfg) cfg.shards (git_commit ()) Sys.ocaml_version
@@ -487,7 +552,8 @@ let write_json cfg ~out r =
     r.events sent r.delivered r.rounds r.messages r.cut_links r.lookahead_ns
     r.wall
     (float_of_int r.events /. r.wall)
-    (float_of_int r.delivered /. r.wall);
+    (float_of_int r.delivered /. r.wall)
+    r.minor_pe r.promoted_pe;
   close_out oc;
   Printf.printf "perf: wrote %s\n%!" out
 
@@ -558,36 +624,49 @@ let fault_fp (s : Fault.stats) =
 let fault_fp_add = List.map2 ( + )
 
 (* Sequential run with an arbitrary fault setup applied post-build. *)
-let run_sequential_faulted cfg ~fault =
-  let eng = Engine.create () in
+let run_sequential_faulted ?scheduler cfg ~fault =
+  let eng = Engine.create ?scheduler () in
   let net = build cfg eng in
   let f = fault net in
   setup_traffic cfg ~owns:(fun _ -> true) net;
+  let g0 = gc_mark () in
   let t0 = Unix.gettimeofday () in
   Engine.run eng ~until:horizon;
   let wall = Unix.gettimeofday () -. t0 in
-  ( { events = Engine.events_processed eng;
-      delivered = Net.frames_delivered net; wall; rounds = 0; messages = 0;
-      cut_links = 0; lookahead_ns = 0 },
+  let minor, promoted = gc_delta g0 in
+  let events = Engine.events_processed eng in
+  ( { events; delivered = Net.frames_delivered net; wall;
+      minor_pe = per_event minor events;
+      promoted_pe = per_event promoted events;
+      rounds = 0; messages = 0; cut_links = 0; lookahead_ns = 0 },
     f )
 
-let run_parallel_chaos cfg ~shards =
+let run_parallel_chaos ?scheduler cfg ~shards =
   let faults = Array.make shards None in
+  let marks = Array.make shards (0.0, 0.0) in
   let t0 = Unix.gettimeofday () in
   let stats, per_shard =
-    Parsim.run ~shards ~until:horizon ~build:(build cfg)
+    Parsim.run ?scheduler ~shards ~until:horizon ~build:(build cfg)
       ~setup:(fun ~shard ~owns net ->
         faults.(shard) <- Some (chaos_schedule cfg net);
-        setup_traffic cfg ~owns net)
+        setup_traffic cfg ~owns net;
+        marks.(shard) <- gc_mark ())
       ~collect:(fun ~shard ~owns:_ _ ->
-        fault_fp (Fault.stats (Option.get faults.(shard))))
+        (fault_fp (Fault.stats (Option.get faults.(shard))),
+         gc_delta marks.(shard)))
       ()
   in
   let wall = Unix.gettimeofday () -. t0 in
   let fp =
-    Array.fold_left fault_fp_add [ 0; 0; 0; 0; 0; 0 ] per_shard
+    Array.fold_left
+      (fun acc (f, _) -> fault_fp_add acc f)
+      [ 0; 0; 0; 0; 0; 0 ] per_shard
   in
+  let minor = Array.fold_left (fun a (_, (m, _)) -> a +. m) 0.0 per_shard in
+  let promoted = Array.fold_left (fun a (_, (_, p)) -> a +. p) 0.0 per_shard in
   ( { events = stats.Parsim.events; delivered = stats.Parsim.delivered; wall;
+      minor_pe = per_event minor stats.Parsim.events;
+      promoted_pe = per_event promoted stats.Parsim.events;
       rounds = stats.Parsim.rounds; messages = stats.Parsim.messages;
       cut_links = stats.Parsim.cut_links; lookahead_ns = stats.Parsim.lookahead },
     fp )
@@ -609,6 +688,8 @@ let write_chaos_json cfg ~out ~base ~empty ~(chaotic : outcome)
     \  \"chaos_delivered\": %d,\n\
     \  \"chaos_wall_s\": %.6f,\n\
     \  \"chaos_events_per_sec\": %.1f,\n\
+    \  \"minor_words_per_event\": %.3f,\n\
+    \  \"promoted_words_per_event\": %.4f,\n\
     \  \"faults\": { \"lost_down\": %d, \"dropped\": %d, \"corrupt_header\": \
      %d, \"corrupt_fcs\": %d, \"frozen_arrivals\": %d, \"restarts\": %d },\n\
     \  \"sharded\": { \"shards\": %d, \"wall_s\": %.6f, \"identical\": true }\n\
@@ -618,6 +699,7 @@ let write_chaos_json cfg ~out ~base ~empty ~(chaotic : outcome)
     base.wall empty.wall (empty.wall /. base.wall) chaotic.events
     chaotic.delivered chaotic.wall
     (float_of_int chaotic.events /. chaotic.wall)
+    chaotic.minor_pe chaotic.promoted_pe
     stats.Fault.lost_down stats.Fault.dropped stats.Fault.corrupt_header
     stats.Fault.corrupt_fcs stats.Fault.frozen_arrivals stats.Fault.restarts
     shards par_wall;
@@ -702,6 +784,305 @@ let chaos cfg =
       ~par_wall:par.wall
   end
 
+(* ---- engine workload (BENCH_5): the typed-event / wheel gate --------
+
+   Three layers of evidence that the allocation-free event core is both
+   faster and exactly equivalent to what it replaced:
+
+   1. A scheduler microbench — 64 self-rescheduling tokens, each with
+      its own stride, so the queue always holds 64 pending events at
+      mixed horizons. No network, no frames: pure event-core cost. The
+      typed/wheel core must allocate ~0 minor words per event.
+
+   2. The full fabric with plain (untagged) UDP traffic, so the event
+      core rather than the TCPU dominates. Closure+heap reproduces the
+      pre-typed allocation profile; typed+heap and typed+wheel must
+      match it on events, deliveries and every switch register, and
+      typed+wheel must beat it by >= 1.3x.
+
+   3. The chaotic schedule of BENCH_4 run sequentially under both
+      schedulers and sharded under the wheel — all bit-identical. *)
+
+let setup_plain_traffic cfg ~owns net =
+  let hosts = Array.of_list (Net.hosts net) in
+  let n = Array.length hosts in
+  let eng = Net.engine net in
+  let payload = Bytes.create cfg.payload_bytes in
+  let send src =
+    let dst = hosts.((src + (n / 2)) mod n) in
+    let s = hosts.(src) in
+    let frame =
+      Frame.udp_frame ~src_mac:s.Net.mac ~dst_mac:dst.Net.mac ~src_ip:s.Net.ip
+        ~dst_ip:dst.Net.ip ~src_port:(1000 + src) ~dst_port:7 ~payload ()
+    in
+    Net.host_send net s frame
+  in
+  for src = 0 to n - 1 do
+    if owns hosts.(src).Net.node_id then
+      for j = 0 to cfg.packets_per_host - 1 do
+        let t = (j * cfg.gap_ns) + (src * 7) + 1 in
+        Engine.at eng t (fun () -> send src)
+      done
+  done
+
+let engine_core ~scheduler ~typed ~events =
+  let eng = Engine.create ~scheduler () in
+  let budget = ref events in
+  let stride node = 1 + ((node * 7919) land 0xFFFF) in
+  (if typed then begin
+     let rec h =
+       { Engine.on_deliver = (fun ~node:_ ~port:_ _ -> ());
+         on_dequeue =
+           (fun ~node ~port ->
+             if !budget > 0 then begin
+               decr budget;
+               Engine.dequeue_at eng (Engine.now eng + stride node) h ~node
+                 ~port
+             end);
+         on_restart = (fun ~node:_ -> ()) }
+     in
+     for node = 0 to 63 do
+       Engine.dequeue_at eng (stride node) h ~node ~port:0
+     done
+   end
+   else
+     let rec tick node () =
+       if !budget > 0 then begin
+         decr budget;
+         Engine.at eng (Engine.now eng + stride node) (tick node)
+       end
+     in
+     for node = 0 to 63 do
+       Engine.at eng (stride node) (tick node)
+     done);
+  let g0 = gc_mark () in
+  let t0 = Unix.gettimeofday () in
+  Engine.run eng ~until:max_int;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor, promoted = gc_delta g0 in
+  let processed = Engine.events_processed eng in
+  (processed, wall, per_event minor processed, per_event promoted processed)
+
+type engine_run = {
+  g_events : int;
+  g_delivered : int;
+  g_wall : float;
+  g_minor_pe : float;
+  g_promoted_pe : float;
+  g_fp : (int * int list) list;
+}
+
+let run_engine_fabric cfg ~scheduler ~event_mode =
+  let eng = Engine.create ~scheduler () in
+  let net = build ~event_mode cfg eng in
+  setup_plain_traffic cfg ~owns:(fun _ -> true) net;
+  let g0 = gc_mark () in
+  let t0 = Unix.gettimeofday () in
+  Engine.run eng ~until:horizon;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor, promoted = gc_delta g0 in
+  let events = Engine.events_processed eng in
+  { g_events = events; g_delivered = Net.frames_delivered net; g_wall = wall;
+    g_minor_pe = per_event minor events;
+    g_promoted_pe = per_event promoted events;
+    g_fp = net_fp ~owns:(fun _ -> true) net }
+
+let engine_workload_of cfg =
+  Printf.sprintf
+    "fat-tree k=%d (ECMP), %d hosts x %d plain UDP packets, %dB payload, \
+     wire_check=%s"
+    cfg.k
+    (cfg.k * cfg.k * cfg.k / 4)
+    cfg.packets_per_host cfg.payload_bytes
+    (wire_check_name cfg.wire_check)
+
+let write_engine_json cfg ~out ~(base : engine_run) ~(th : engine_run)
+    ~(tw : engine_run) ~core ~core_base ~core_events ~speedup ~shards
+    ~par_wall =
+  let c_ev, c_wall, c_minor, c_prom = core in
+  let b_ev, b_wall, b_minor, _ = core_base in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": 5,\n\
+    \  \"workload\": \"%s\",\n\
+    \  \"git_commit\": \"%s\",\n\
+    \  \"ocaml\": \"%s\",\n\
+    \  \"cores\": %d,\n\
+    \  \"events\": %d,\n\
+    \  \"packets_delivered\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"events_per_sec\": %.1f,\n\
+    \  \"minor_words_per_event\": %.3f,\n\
+    \  \"promoted_words_per_event\": %.4f,\n\
+    \  \"speedup_vs_closure_heap\": %.3f,\n\
+    \  \"baseline\": { \"scheduler\": \"heap\", \"event_mode\": \"closure\",\n\
+    \                \"events\": %d, \"wall_s\": %.6f, \"events_per_sec\": \
+     %.1f,\n\
+    \                \"minor_words_per_event\": %.3f },\n\
+    \  \"typed_heap\": { \"events\": %d, \"wall_s\": %.6f, \
+     \"events_per_sec\": %.1f,\n\
+    \                  \"minor_words_per_event\": %.3f },\n\
+    \  \"core\": { \"events\": %d,\n\
+    \            \"typed_wheel\": { \"processed\": %d, \"wall_s\": %.6f, \
+     \"events_per_sec\": %.1f, \"minor_words_per_event\": %.3f, \
+     \"promoted_words_per_event\": %.4f },\n\
+    \            \"closure_heap\": { \"processed\": %d, \"wall_s\": %.6f, \
+     \"events_per_sec\": %.1f, \"minor_words_per_event\": %.3f } },\n\
+    \  \"sharded_chaos\": { \"shards\": %d, \"wall_s\": %.6f, \"identical\": \
+     true },\n\
+    \  \"identical\": true\n\
+     }\n"
+    (engine_workload_of cfg) (git_commit ()) Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+    tw.g_events tw.g_delivered tw.g_wall
+    (float_of_int tw.g_events /. tw.g_wall)
+    tw.g_minor_pe tw.g_promoted_pe speedup base.g_events base.g_wall
+    (float_of_int base.g_events /. base.g_wall)
+    base.g_minor_pe th.g_events th.g_wall
+    (float_of_int th.g_events /. th.g_wall)
+    th.g_minor_pe core_events c_ev c_wall
+    (float_of_int c_ev /. c_wall)
+    c_minor c_prom b_ev b_wall
+    (float_of_int b_ev /. b_wall)
+    b_minor shards par_wall;
+  close_out oc;
+  Printf.printf "perf: wrote %s\n%!" out
+
+let engine_bench cfg =
+  let cfg =
+    if cfg.smoke then { cfg with k = 4; packets_per_host = 200 } else cfg
+  in
+  let tag = if cfg.smoke then "perf(engine smoke)" else "perf(engine)" in
+  Printf.printf "%s: %s\n%!" tag (engine_workload_of cfg);
+  (* 1. Pure event-core microbench: the typed/wheel core must process
+     events without minor allocation. *)
+  let core_events = if cfg.smoke then 200_000 else 2_000_000 in
+  let ((_, _, b_minor, _) as core_base) =
+    engine_core ~scheduler:`Heap ~typed:false ~events:core_events
+  in
+  let ((_, _, c_minor, _) as core) =
+    engine_core ~scheduler:`Wheel ~typed:true ~events:core_events
+  in
+  let pr name (ev, wall, minor, promoted) =
+    Printf.printf
+      "%s: core %-13s %d events in %.3fs (%.3e ev/s, %.2f minor w/ev, %.4f \
+       promoted w/ev)\n%!"
+      tag name ev wall
+      (float_of_int ev /. wall)
+      minor promoted
+  in
+  pr "closure+heap" core_base;
+  pr "typed+wheel" core;
+  if c_minor > 0.5 then begin
+    Printf.eprintf
+      "%s: FAIL — typed/wheel core allocates %.2f minor words/event (budget \
+       0.5)\n"
+      tag c_minor;
+    exit 1
+  end;
+  if b_minor <= 0.5 then
+    Printf.printf
+      "%s: note — closure/heap core also near-zero alloc (%.2f w/ev)\n%!" tag
+      b_minor;
+  (* 2. Fabric identity and speedup. Best of two runs per variant so a
+     scheduler hiccup cannot fake (or hide) a regression. *)
+  let best_of_two run =
+    let a = run () in
+    let b = run () in
+    if b.g_wall < a.g_wall then b else a
+  in
+  let base =
+    best_of_two (fun () ->
+        run_engine_fabric cfg ~scheduler:`Heap ~event_mode:`Closure)
+  in
+  let th =
+    best_of_two (fun () ->
+        run_engine_fabric cfg ~scheduler:`Heap ~event_mode:`Typed)
+  in
+  let tw =
+    best_of_two (fun () ->
+        run_engine_fabric cfg ~scheduler:`Wheel ~event_mode:`Typed)
+  in
+  let check label (a : engine_run) (b : engine_run) =
+    if a.g_events <> b.g_events || a.g_delivered <> b.g_delivered then begin
+      Printf.eprintf
+        "%s: FAIL — %s diverged from closure+heap (%d/%d events, %d/%d \
+         delivered)\n"
+        tag label a.g_events b.g_events a.g_delivered b.g_delivered;
+      exit 1
+    end;
+    if a.g_fp <> b.g_fp then begin
+      Printf.eprintf
+        "%s: FAIL — %s: switch register fingerprints differ\n" tag label;
+      exit 1
+    end
+  in
+  check "typed+heap" base th;
+  check "typed+wheel" base tw;
+  let fab name (r : engine_run) =
+    Printf.printf
+      "%s: fabric %-13s %d events, %d delivered in %.3fs (%.3e ev/s, %.2f \
+       minor w/ev)\n%!"
+      tag name r.g_events r.g_delivered r.g_wall
+      (float_of_int r.g_events /. r.g_wall)
+      r.g_minor_pe
+  in
+  fab "closure+heap" base;
+  fab "typed+heap" th;
+  fab "typed+wheel" tw;
+  let speedup = base.g_wall /. tw.g_wall in
+  Printf.printf "%s: typed+wheel speedup over closure+heap: %.2fx\n%!" tag
+    speedup;
+  (* 3. Chaos determinism: both schedulers sequentially, wheel sharded. *)
+  let chaotic_w, fw =
+    run_sequential_faulted ~scheduler:`Wheel cfg ~fault:(chaos_schedule cfg)
+  in
+  let chaotic_h, fh =
+    run_sequential_faulted ~scheduler:`Heap cfg ~fault:(chaos_schedule cfg)
+  in
+  if
+    chaotic_w.events <> chaotic_h.events
+    || chaotic_w.delivered <> chaotic_h.delivered
+    || fault_fp (Fault.stats fw) <> fault_fp (Fault.stats fh)
+  then begin
+    Printf.eprintf
+      "%s: FAIL — chaotic run differs between wheel and heap schedulers\n" tag;
+    exit 1
+  end;
+  let shards =
+    if cfg.smoke then 2 else if cfg.shards > 0 then cfg.shards else 4
+  in
+  let par, par_fp = run_parallel_chaos ~scheduler:`Wheel cfg ~shards in
+  if
+    chaotic_w.events <> par.events
+    || chaotic_w.delivered <> par.delivered
+    || fault_fp (Fault.stats fw) <> par_fp
+  then begin
+    Printf.eprintf
+      "%s: FAIL — %d-shard chaotic wheel run diverged from sequential\n\
+       %s:   events %d vs %d, delivered %d vs %d\n\
+       %s:   faults [%s] vs [%s]\n"
+      tag shards tag chaotic_w.events par.events chaotic_w.delivered
+      par.delivered tag
+      (String.concat ";" (List.map string_of_int (fault_fp (Fault.stats fw))))
+      (String.concat ";" (List.map string_of_int par_fp));
+    exit 1
+  end;
+  Printf.printf
+    "%s: OK — typed events and wheel scheduler bit-identical to the \
+     closure/heap baseline (plain, chaotic, %d-shard)\n%!"
+    tag shards;
+  if not cfg.smoke then begin
+    let out = match cfg.out with Some o -> o | None -> "BENCH_5.json" in
+    write_engine_json cfg ~out ~base ~th ~tw ~core ~core_base ~core_events
+      ~speedup ~shards ~par_wall:par.wall;
+    if speedup < 1.3 then
+      Printf.printf
+        "%s: WARNING — speedup %.2fx below the 1.3x target on this machine\n%!"
+        tag speedup
+  end
+
 let () =
   let cfg = ref default in
   let rec parse = function
@@ -730,6 +1111,9 @@ let () =
     | "--chaos" :: rest ->
       cfg := { !cfg with chaos = true };
       parse rest
+    | "--engine" :: rest ->
+      cfg := { !cfg with engine = true };
+      parse rest
     | "--out" :: v :: rest ->
       cfg := { !cfg with out = Some v };
       parse rest
@@ -751,7 +1135,8 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let cfg = !cfg in
-  if cfg.chaos then chaos cfg
+  if cfg.engine then engine_bench cfg
+  else if cfg.chaos then chaos cfg
   else if cfg.tpp_heavy then tpp_heavy cfg
   else if cfg.smoke then smoke cfg
   else begin
@@ -772,10 +1157,12 @@ let () =
         r.rounds r.messages r.cut_links r.lookahead_ns;
     Printf.printf
       "perf: %d events, %d/%d packets delivered in %.3fs wall\n\
-       perf: %.3e events/sec, %.3e packets/sec\n%!"
+       perf: %.3e events/sec, %.3e packets/sec\n\
+       perf: %.2f minor words/event, %.4f promoted words/event\n%!"
       r.events r.delivered sent r.wall
       (float_of_int r.events /. r.wall)
-      (float_of_int r.delivered /. r.wall);
+      (float_of_int r.delivered /. r.wall)
+      r.minor_pe r.promoted_pe;
     let out =
       match cfg.out with
       | Some o -> o

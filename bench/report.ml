@@ -74,6 +74,81 @@ let csv_of_series series =
   |> List.map (fun (t, v) ->
          Printf.sprintf "%.6f,%.6f" (Tpp_util.Time_ns.to_sec_f t) v)
 
+(* --- BENCH_*.json summary table -------------------------------------- *)
+
+(* Minimal field extraction — the bench files are flat-ish JSON written
+   by bench/perf.ml itself, so a first-occurrence key scan is exact
+   enough (top-level fields precede any subobject) and avoids a JSON
+   dependency. Returns the number following ["key": ], or None. *)
+let json_number text key =
+  let needle = Printf.sprintf "\"%s\":" key in
+  match
+    let nl = String.length needle and tl = String.length text in
+    let rec find i =
+      if i + nl > tl then None
+      else if String.sub text i nl = needle then Some (i + nl)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start ->
+    let tl = String.length text in
+    let s = ref start in
+    while !s < tl && (text.[!s] = ' ' || text.[!s] = '\n') do incr s done;
+    let e = ref !s in
+    while
+      !e < tl
+      && (match text.[!e] with '0' .. '9' | '-' | '.' | 'e' | '+' -> true
+          | _ -> false)
+    do
+      incr e
+    done;
+    if !e = !s then None else float_of_string_opt (String.sub text !s (!e - !s))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = really_input_string ic n in
+  close_in ic;
+  b
+
+(* One row per BENCH_*.json in the working directory: throughput plus
+   the GC provenance columns ("-" for files written before the engine
+   work added them). *)
+let benches () =
+  let files =
+    Sys.readdir "." |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if files = [] then print_endline "no BENCH_*.json files in the working directory"
+  else begin
+    sub "bench results (BENCH_*.json)";
+    Printf.printf "  %-14s %10s %14s %12s %14s\n" "file" "events" "events/sec"
+      "minor w/ev" "promoted w/ev";
+    List.iter
+      (fun f ->
+        let text = read_file f in
+        let num keys =
+          match List.find_map (json_number text) keys with
+          | Some v -> v
+          | None -> nan
+        in
+        let cell fmt v = if Float.is_nan v then "-" else Printf.sprintf fmt v in
+        (* BENCH_4 names its totals chaos_*; every other file uses the
+           plain keys. *)
+        Printf.printf "  %-14s %10s %14s %12s %14s\n" f
+          (cell "%.0f" (num [ "events"; "chaos_events" ]))
+          (cell "%.3e" (num [ "events_per_sec"; "chaos_events_per_sec" ]))
+          (cell "%.3f" (num [ "minor_words_per_event" ]))
+          (cell "%.4f" (num [ "promoted_words_per_event" ])))
+      files
+  end
+
 (* Paper-vs-measured rows collected for the experiment summary. *)
 let expectations : (string * string * string * bool) list ref = ref []
 

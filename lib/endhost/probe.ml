@@ -116,9 +116,7 @@ module Reliable = struct
 
   let rec arm_timeout t o =
     let span = timeout_for t (o.o_attempts - 1) in
-    Engine.after
-      (Net.engine (Stack.net t.stack))
-      span
+    Stack.after t.stack span
       (fun () ->
         if not o.o_done then begin
           if o.o_attempts <= t.retries then begin

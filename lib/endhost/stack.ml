@@ -43,6 +43,8 @@ let create net host =
 let net t = t.net
 let host t = t.host
 let now t = Engine.now (Net.engine t.net)
+let at t time f = Engine.at (Net.engine t.net) time f
+let after t span f = Engine.after (Net.engine t.net) span f
 
 let on_udp t ~port handler = Hashtbl.replace t.handlers port [ handler ]
 

@@ -16,6 +16,14 @@ val net : t -> Net.t
 val host : t -> Net.host
 val now : t -> int
 
+val at : t -> int -> (unit -> unit) -> unit
+(** Schedules a callback on the host's engine at an absolute time —
+    the stack-level timer facility, so applications (probe timeouts,
+    controller ticks) never reach through [Net] for the engine. *)
+
+val after : t -> int -> (unit -> unit) -> unit
+(** [after t span f]: [f] runs [span] ns from now. *)
+
 val on_udp : t -> port:int -> (now:int -> Frame.t -> unit) -> unit
 (** Registers (or replaces) the handler for a UDP destination port. *)
 

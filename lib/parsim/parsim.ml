@@ -169,11 +169,17 @@ type stats = {
   shard_events : int array;
 }
 
-(* One frame in flight between shards. [seq] is the producer-side
-   emission counter: together with the producing shard's index it gives
-   simultaneous arrivals a total, run-independent merge order. *)
+(* One frame in flight between shards. [emitted] is the emitting
+   shard's clock at transmission end: the receiver backdates the
+   delivery's tie-break stamp to it, so an adopted frame orders against
+   same-nanosecond local arrivals exactly as in the sequential run
+   (where its push happened at emission time, not at inbox-drain time).
+   [seq] is the producer-side emission counter: with the producing
+   shard's index it gives any remaining ties a total, run-independent
+   merge order. *)
 type msg = {
   arrival : Time_ns.t;
+  emitted : Time_ns.t;
   src_shard : int;
   seq : int;
   dst : int * int;
@@ -184,13 +190,16 @@ let compare_msg a b =
   let c = compare a.arrival b.arrival in
   if c <> 0 then c
   else
-    let c = compare a.src_shard b.src_shard in
-    if c <> 0 then c else compare a.seq b.seq
+    let c = compare a.emitted b.emitted in
+    if c <> 0 then c
+    else
+      let c = compare a.src_shard b.src_shard in
+      if c <> 0 then c else compare a.seq b.seq
 
-let run ~shards ~until ~build ~setup ~collect () =
+let run ?scheduler ~shards ~until ~build ~setup ~collect () =
   if shards < 1 then invalid_arg "Parsim.run: shards must be >= 1";
   if until < 0 then invalid_arg "Parsim.run: until";
-  let plan = Plan.make (build (Engine.create ())) ~shards in
+  let plan = Plan.make (build (Engine.create ?scheduler ())) ~shards in
   let owner = plan.Plan.owner in
   let lookahead = plan.Plan.lookahead in
   (* chans.(src).(dst): single producer (src domain), single consumer. *)
@@ -203,16 +212,17 @@ let run ~shards ~until ~build ~setup ~collect () =
   let mins = Array.init shards (fun _ -> Atomic.make 0) in
   let barrier = Barrier.create shards in
   let shard_body my () =
-    let eng = Engine.create () in
+    let eng = Engine.create ?scheduler () in
     let net = build eng in
     let seq = ref 0 in
     let emitted = ref 0 in
-    Net.set_sharding net ~owner ~shard:my ~emit:(fun ~arrival ~dst frame ->
+    Net.set_sharding net ~owner ~shard:my
+      ~emit:(fun ~arrival ~emitted:stamp ~dst frame ->
         incr seq;
         incr emitted;
         Spsc.push
           chans.(my).(Array.unsafe_get owner (fst dst))
-          { arrival; src_shard = my; seq = !seq; dst; frame });
+          { arrival; emitted = stamp; src_shard = my; seq = !seq; dst; frame });
     let owns id = Array.unsafe_get owner id = my in
     setup ~shard:my ~owns net;
     let rounds = ref 0 in
@@ -229,7 +239,9 @@ let run ~shards ~until ~build ~setup ~collect () =
             (Spsc.drain chans.(src).(my))
       done;
       List.iter
-        (fun m -> Net.schedule_delivery net ~arrival:m.arrival ~dst:m.dst m.frame)
+        (fun m ->
+          Net.schedule_delivery ~emitted:m.emitted net ~arrival:m.arrival
+            ~dst:m.dst m.frame)
         (List.sort compare_msg !inbox);
       let local_min =
         match Engine.next_event_time eng with Some tm -> tm | None -> max_int

@@ -1,19 +1,138 @@
 module Time_ns = Tpp_util.Time_ns
 module Heap = Tpp_util.Heap
+module Wheel = Tpp_util.Wheel
+module Frame = Tpp_isa.Frame
+
+(* The dataplane's event vocabulary, dispatched by one match in [run].
+   Steady-state events are not closures: their ingredients live in the
+   engine's own structure-of-arrays slab (kind / node / port as unboxed
+   ints, the handlers record and frame as two Obj.t cells), and the
+   scheduler — wheel or heap — orders bare slab indices. Scheduling and
+   firing a Deliver/Port_dequeue/Fault_restart therefore allocates zero
+   minor words; only the Thunk escape hatch (control-plane timers,
+   [every] ticks) still captures a closure. *)
+
+type handlers = {
+  on_deliver : node:int -> port:int -> Frame.t -> unit;
+  on_dequeue : node:int -> port:int -> unit;
+  on_restart : node:int -> unit;
+}
+
+type event =
+  | Deliver of (int * int) * Frame.t
+  | Port_dequeue of int * int
+  | Fault_restart of int
+  | Thunk of (unit -> unit)
+
+type scheduler = [ `Wheel | `Heap ]
+
+(* [`Wheel] is the production scheduler; the stable binary heap stays
+   available as a differential oracle (same ordering contract). *)
+type queue = Q_wheel of Wheel.t | Q_heap of int Heap.t
+
+let kind_thunk = 0
+let kind_deliver = 1
+let kind_dequeue = 2
+let kind_restart = 3
 
 type t = {
-  queue : (unit -> unit) Heap.t;
+  queue : queue;
+  (* event slab: parallel arrays indexed by the slot ints the scheduler
+     carries; [e_node] doubles as the free-list link *)
+  mutable kinds : int array;
+  mutable e_node : int array;
+  mutable e_port : int array;
+  mutable e_h : Obj.t array;      (* handlers record, or the thunk *)
+  mutable e_frame : Obj.t array;  (* Frame.t for Deliver, else hole *)
+  mutable free : int;
   mutable clock : Time_ns.t;
   mutable processed : int;
 }
 
-let create () = { queue = Heap.create (); clock = 0; processed = 0 }
+let hole = Obj.repr ()
+
+let create ?(scheduler = `Wheel) () =
+  {
+    queue =
+      (match scheduler with
+      | `Wheel -> Q_wheel (Wheel.create ())
+      | `Heap -> Q_heap (Heap.create ()));
+    kinds = [||];
+    e_node = [||];
+    e_port = [||];
+    e_h = [||];
+    e_frame = [||];
+    free = -1;
+    clock = 0;
+    processed = 0;
+  }
+
+let scheduler t = match t.queue with Q_wheel _ -> `Wheel | Q_heap _ -> `Heap
 
 let now t = t.clock
 
-let at t time callback =
+let grow t =
+  let old = Array.length t.kinds in
+  let cap = if old = 0 then 64 else 2 * old in
+  let copy a fill =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 old;
+    b
+  in
+  t.kinds <- copy t.kinds 0;
+  t.e_node <- copy t.e_node (-1);
+  t.e_port <- copy t.e_port 0;
+  t.e_h <- copy t.e_h hole;
+  t.e_frame <- copy t.e_frame hole;
+  for i = old to cap - 2 do
+    t.e_node.(i) <- i + 1
+  done;
+  t.e_node.(cap - 1) <- t.free;
+  t.free <- old
+
+(* Every push is stamped with an emission time: the engine clock by
+   default, which is monotone in push order, so the queue's
+   (time, emitted, seq) order coincides with plain (time, seq) FIFO for
+   purely sequential scheduling. [?emitted] lets the sharded simulator
+   backdate a delivery adopted from another shard to the time it was
+   emitted there — reproducing the push order the sequential run would
+   have had — instead of inheriting this shard's (arbitrary) inbox
+   drain time. *)
+let[@inline] schedule_slot ?emitted t time ~kind ~node ~port h frame =
   if time < t.clock then invalid_arg "Engine.at: scheduling in the past";
-  Heap.push t.queue ~prio:time callback
+  let emitted = match emitted with None -> t.clock | Some e -> e in
+  if t.free < 0 then grow t;
+  let s = t.free in
+  t.free <- Array.unsafe_get t.e_node s;
+  t.kinds.(s) <- kind;
+  t.e_node.(s) <- node;
+  t.e_port.(s) <- port;
+  t.e_h.(s) <- h;
+  t.e_frame.(s) <- frame;
+  match t.queue with
+  | Q_wheel w -> Wheel.push_stamped w ~prio:time ~emitted s
+  | Q_heap q -> Heap.push_stamped q ~prio:time ~emitted s
+
+let at ?emitted t time callback =
+  schedule_slot ?emitted t time ~kind:kind_thunk ~node:0 ~port:0
+    (Obj.repr callback) hole
+
+let deliver_at ?emitted t time h ~node ~port frame =
+  schedule_slot ?emitted t time ~kind:kind_deliver ~node ~port (Obj.repr h)
+    (Obj.repr frame)
+
+let dequeue_at t time h ~node ~port =
+  schedule_slot t time ~kind:kind_dequeue ~node ~port (Obj.repr h) hole
+
+let restart_at t time h ~node =
+  schedule_slot t time ~kind:kind_restart ~node ~port:0 (Obj.repr h) hole
+
+let schedule t ~at:time h ev =
+  match ev with
+  | Thunk f -> at t time f
+  | Deliver ((node, port), frame) -> deliver_at t time h ~node ~port frame
+  | Port_dequeue (node, port) -> dequeue_at t time h ~node ~port
+  | Fault_restart node -> restart_at t time h ~node
 
 let after t span callback = at t (Time_ns.add t.clock span) callback
 
@@ -37,29 +156,69 @@ let every t ?start ~period ~until callback =
   in
   if start <= until then at t start (tick start)
 
-let next_event_time t = Heap.peek_prio t.queue
+let next_event_time t =
+  match t.queue with
+  | Q_wheel w -> Wheel.peek_prio w
+  | Q_heap q -> Heap.peek_prio q
 
-let nothing () = ()
+(* Decodes and dispatches one slab slot. The slot is freed before the
+   handler runs, so a handler can schedule (and reuse the slot)
+   immediately; the Obj cells are blanked first so fired frames and
+   thunks become garbage the moment they leave the queue. This is the
+   single dispatch match of the engine. *)
+let[@inline] fire t s =
+  let kind = Array.unsafe_get t.kinds s in
+  let node = Array.unsafe_get t.e_node s in
+  let port = Array.unsafe_get t.e_port s in
+  let h = Array.unsafe_get t.e_h s in
+  let fr = Array.unsafe_get t.e_frame s in
+  Array.unsafe_set t.e_h s hole;
+  Array.unsafe_set t.e_frame s hole;
+  t.e_node.(s) <- t.free;
+  t.free <- s;
+  match kind with
+  | 0 (* kind_thunk *) -> (Obj.obj h : unit -> unit) ()
+  | 1 (* kind_deliver *) ->
+    (Obj.obj h : handlers).on_deliver ~node ~port (Obj.obj fr : Frame.t)
+  | 2 (* kind_dequeue *) -> (Obj.obj h : handlers).on_dequeue ~node ~port
+  | _ (* kind_restart *) -> (Obj.obj h : handlers).on_restart ~node
 
 let run t ~until =
-  (* Allocation-free dispatch loop: peek/pop work on the heap's unboxed
-     key arrays, so draining an event costs no minor allocations beyond
-     whatever the callback itself does. *)
-  let queue = t.queue in
-  let continue = ref true in
-  while !continue do
-    if Heap.is_empty queue then continue := false
-    else begin
-      let time = Heap.peek_prio_or queue ~default:max_int in
-      if time > until then continue := false
+  (* Emptiness is decided explicitly (is_empty), never by a sentinel
+     priority: an event legitimately scheduled at [max_int] is
+     distinguishable from an empty queue and still fires when [until]
+     reaches it. *)
+  (match t.queue with
+  | Q_wheel w ->
+    let continue = ref true in
+    while !continue do
+      if Wheel.is_empty w then continue := false
       else begin
-        let callback = Heap.pop_value queue ~default:nothing in
-        t.clock <- time;
-        t.processed <- t.processed + 1;
-        callback ()
+        let time = Wheel.peek_prio_or w ~default:0 in
+        if time > until then continue := false
+        else begin
+          let s = Wheel.pop_value w ~default:(-1) in
+          t.clock <- time;
+          t.processed <- t.processed + 1;
+          fire t s
+        end
       end
-    end
-  done;
+    done
+  | Q_heap q ->
+    let continue = ref true in
+    while !continue do
+      if Heap.is_empty q then continue := false
+      else begin
+        let time = Heap.peek_prio_or q ~default:0 in
+        if time > until then continue := false
+        else begin
+          let s = Heap.pop_value q ~default:(-1) in
+          t.clock <- time;
+          t.processed <- t.processed + 1;
+          fire t s
+        end
+      end
+    done);
   if until > t.clock then t.clock <- until
 
 let events_processed t = t.processed

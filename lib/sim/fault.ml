@@ -275,6 +275,20 @@ let attach t net =
       c
   in
   let transitions : (link * link, (Time_ns.t * bool) list ref) Hashtbl.t = Hashtbl.create 16 in
+  (* One handlers record serves every freeze rule of the schedule: the
+     restart event carries only the node id through the engine's typed
+     event slab (no per-rule closure). *)
+  let restart_h =
+    {
+      Engine.on_deliver = (fun ~node:_ ~port:_ _ -> ());
+      on_dequeue = (fun ~node:_ ~port:_ -> ());
+      on_restart =
+        (fun ~node ->
+          let st = Switch.state (Net.switch net node) in
+          Array.fill st.State.sram 0 (Array.length st.State.sram) 0;
+          t.s_restarts <- t.s_restarts + 1);
+    }
+  in
   (* Rules were recorded in reverse; walk oldest-first so overlapping
      rules resolve in insertion order. *)
   List.iter
@@ -303,7 +317,7 @@ let attach t net =
         let c = cable_of ends in
         c.losses <- c.losses @ [ r ]
       | R_freeze { node; from_; until_ } ->
-        let sw = Net.switch net node in
+        ignore (Net.switch net node);
         let prev = Option.value (Hashtbl.find_opt t.freezes node) ~default:[] in
         Hashtbl.replace t.freezes node (prev @ [ (from_, until_) ]);
         (* The restart wipe is the schedule's only engine event; gate it
@@ -312,10 +326,7 @@ let attach t net =
         if Net.owns net node then begin
           let eng = Net.engine net in
           if until_ > Engine.now eng then
-            Engine.at eng until_ (fun () ->
-                let st = Switch.state sw in
-                Array.fill st.State.sram 0 (Array.length st.State.sram) 0;
-                t.s_restarts <- t.s_restarts + 1)
+            Engine.restart_at eng until_ restart_h ~node
         end)
     (List.rev t.rules);
   Hashtbl.iter

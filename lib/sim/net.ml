@@ -21,6 +21,12 @@ type attachment = {
   mutable delay : Time_ns.span;
   mutable tx_busy : bool;
   mutable up : bool;
+  mutable in_flight : Frame.t;
+      (* the frame occupying the link while [tx_busy]; the per-net dummy
+         otherwise, so a delivered frame is never pinned by its old port.
+         A plain field, not an option: the one-outstanding-tx-per-port
+         invariant ([tx_busy]) makes it unambiguous, and a [Some] per
+         transmission would put an allocation back on the hot path. *)
   nic_queue : Frame.t Queue.t;  (* hosts only; switches queue in the ASIC *)
 }
 
@@ -30,13 +36,16 @@ type node_rec = { impl : node_impl; ports : attachment array }
 
 type wire_check = [ `Always | `Cached | `Off ]
 
+type event_mode = [ `Typed | `Closure ]
+
 (* When this net is one shard of a parallel run: which shard each node
    belongs to, which shard this instance executes, and how a frame whose
    link crosses into another shard leaves this one. *)
 type sharding = {
   owner : int array;  (* node id -> owning shard *)
   shard : int;        (* the shard this Net instance runs *)
-  emit : arrival:Time_ns.t -> dst:int * int -> Frame.t -> unit;
+  emit :
+    arrival:Time_ns.t -> emitted:Time_ns.t -> dst:int * int -> Frame.t -> unit;
 }
 
 (* Injection points for the fault subsystem ({!Fault}). Kept as a
@@ -64,6 +73,10 @@ type fault_hooks = {
 type t = {
   eng : Engine.t;
   wire_check : wire_check;
+  event_mode : event_mode;
+  handlers : Engine.handlers;
+      (* the net's one handlers record: every typed event carries it *)
+  no_frame : Frame.t;  (* dummy parked in [in_flight] between txs *)
   mutable nodes : node_rec array;  (* index = node id; first node_count live *)
   mutable node_count : int;
   mutable host_counter : int;
@@ -76,21 +89,6 @@ type t = {
       (* header-layout keys already validated in [`Cached] mode *)
   scratch : Buf.Writer.t;  (* reused by the cached wire check *)
 }
-
-let create ?(wire_check = `Always) eng =
-  {
-    eng;
-    wire_check;
-    nodes = [||];
-    node_count = 0;
-    host_counter = 0;
-    delivered = 0;
-    deliver_hooks = [||];
-    sharding = None;
-    fault = None;
-    checked_shapes = Hashtbl.create 32;
-    scratch = Buf.Writer.create ~capacity:256 ();
-  }
 
 let engine t = t.eng
 
@@ -106,9 +104,9 @@ let owns t id =
   | None -> true
   | Some s -> Array.unsafe_get s.owner id = s.shard
 
-let new_attachment () =
+let new_attachment t =
   { peer = None; bps = 0; delay = 0; tx_busy = false; up = true;
-    nic_queue = Queue.create () }
+    in_flight = t.no_frame; nic_queue = Queue.create () }
 
 let node t id =
   if id < 0 || id >= t.node_count then invalid_arg "Net: unknown node id";
@@ -116,7 +114,7 @@ let node t id =
 
 let register t impl ~ports =
   let id = t.node_count in
-  let n = { impl; ports = Array.init ports (fun _ -> new_attachment ()) } in
+  let n = { impl; ports = Array.init ports (fun _ -> new_attachment t) } in
   if id >= Array.length t.nodes then begin
     let grown = Array.make (max 8 (2 * Array.length t.nodes)) n in
     Array.blit t.nodes 0 grown 0 id;
@@ -175,11 +173,14 @@ let switches t =
   done;
   !acc
 
-let attachment t (id, port) =
+(* Hot-path attachment lookup: no endpoint tuple. *)
+let[@inline] port_attachment t id port =
   let n = node t id in
   if port < 0 || port >= Array.length n.ports then
     invalid_arg "Net: port out of range";
-  n.ports.(port)
+  Array.unsafe_get n.ports port
+
+let attachment t (id, port) = port_attachment t id port
 
 let connect t (a, pa) (b, pb) ~bps ~delay =
   if bps <= 0 then invalid_arg "Net.connect: rate";
@@ -223,7 +224,16 @@ let next_frame t id port =
   | Switch_n sw -> Switch.dequeue sw ~port
   | Host_n _ -> Queue.take_opt n.ports.(port).nic_queue
 
-let rec deliver t (id, port) frame =
+(* The dataplane cycle — deliver, start transmissions, complete them —
+   as mutually recursive functions over plain (node, port) ints. In
+   [`Typed] mode each step schedules the next through the engine's
+   event slab (the net's one [handlers] record dispatches back here),
+   so a frame hop costs zero minor allocations in the engine; [`Closure]
+   mode schedules the same steps at the same timestamps as closures,
+   reproducing the old per-event allocation profile for A/B
+   measurement. The event sequence — and therefore the simulation — is
+   bit-identical either way. *)
+let rec deliver t id port frame =
   let alive =
     match t.fault with
     | None -> true
@@ -234,7 +244,10 @@ let rec deliver t (id, port) frame =
     match n.impl with
     | Host_n h ->
       t.delivered <- t.delivered + 1;
-      Array.iter (fun hook -> hook h frame) t.deliver_hooks;
+      let hooks = t.deliver_hooks in
+      for i = 0 to Array.length hooks - 1 do
+        (Array.unsafe_get hooks i) h frame
+      done;
       h.receive ~now:(Engine.now t.eng) frame
     | Switch_n sw -> (
       match Switch.handle_ingress sw ~now:(Engine.now t.eng) ~in_port:port frame with
@@ -243,63 +256,129 @@ let rec deliver t (id, port) frame =
   end
 
 and maybe_start_tx t id port =
-  let a = attachment t (id, port) in
+  let a = port_attachment t id port in
   match a.peer with
   | None -> ()
-  | Some peer ->
+  | Some _ ->
     if not a.tx_busy then begin
       match next_frame t id port with
       | None -> ()
       | Some frame ->
         a.tx_busy <- true;
+        a.in_flight <- frame;
         let bps =
           match t.fault with
           | None -> a.bps
           | Some h -> h.f_rate ~node:id ~port ~now:(Engine.now t.eng) ~bps:a.bps
         in
         let tx = tx_time_ns ~bps frame in
-        Engine.after t.eng tx (fun () ->
-            a.tx_busy <- false;
-            (* A frame finishing serialisation onto a dark link is lost;
-               the fault schedule may also lose it (dark window, random
-               drop, corruption caught by the wire checks). *)
-            let survives =
-              a.up
-              && (match t.fault with
-                 | None -> true
-                 | Some h ->
-                   h.f_transit ~node:id ~port ~now:(Engine.now t.eng) frame)
-            in
-            if survives then begin
-              let delay =
-                match t.fault with
-                | None -> a.delay
-                | Some h ->
-                  h.f_delay ~node:id ~port ~now:(Engine.now t.eng) ~delay:a.delay
-              in
-              match t.sharding with
-              | None -> Engine.after t.eng delay (fun () -> deliver t peer frame)
-              | Some s ->
-                (* Shard-boundary link: the arrival belongs to the peer's
-                   owning shard. Hand the frame (with its absolute arrival
-                   time) to the inter-shard channel instead of the local
-                   event heap; the owner schedules the delivery when it
-                   drains its inbox. Same event count either way: one
-                   delivery event, on exactly one shard. *)
-                let dst_node = fst peer in
-                if Array.unsafe_get s.owner dst_node = s.shard then
-                  Engine.after t.eng delay (fun () -> deliver t peer frame)
-                else
-                  s.emit
-                    ~arrival:(Time_ns.add (Engine.now t.eng) delay)
-                    ~dst:peer frame
-            end;
-            maybe_start_tx t id port)
+        let at = Time_ns.add (Engine.now t.eng) tx in
+        (match t.event_mode with
+        | `Typed -> Engine.dequeue_at t.eng at t.handlers ~node:id ~port
+        | `Closure -> Engine.at t.eng at (fun () -> tx_complete t id port))
     end
 
-let schedule_delivery t ~arrival ~dst frame =
+(* A transmission finishes serialising onto the wire: the frame either
+   dies (dark link, fault) or is scheduled to arrive at the peer after
+   the propagation delay; then the port tries to start its next tx. *)
+and tx_complete t id port =
+  let a = port_attachment t id port in
+  let frame = a.in_flight in
+  a.in_flight <- t.no_frame;
+  a.tx_busy <- false;
+  (* A frame finishing serialisation onto a dark link is lost; the
+     fault schedule may also lose it (dark window, random drop,
+     corruption caught by the wire checks). *)
+  let survives =
+    a.up
+    && (match t.fault with
+       | None -> true
+       | Some h -> h.f_transit ~node:id ~port ~now:(Engine.now t.eng) frame)
+  in
+  (if survives then begin
+     let delay =
+       match t.fault with
+       | None -> a.delay
+       | Some h -> h.f_delay ~node:id ~port ~now:(Engine.now t.eng) ~delay:a.delay
+     in
+     match a.peer with
+     | None -> ()
+     | Some ((pn, pp) as peer) -> (
+       match t.sharding with
+       | None -> schedule_deliver t delay pn pp frame
+       | Some s ->
+         (* Shard-boundary link: the arrival belongs to the peer's
+            owning shard. Hand the frame (with its absolute arrival
+            time) to the inter-shard channel instead of the local
+            event queue; the owner schedules the delivery when it
+            drains its inbox. Same event count either way: one
+            delivery event, on exactly one shard. *)
+         if Array.unsafe_get s.owner pn = s.shard then
+           schedule_deliver t delay pn pp frame
+         else
+           (* The emission time rides along so the owning shard can
+              backdate the delivery's tie-break stamp: a local push at
+              the same arrival nanosecond must order against this frame
+              exactly as the sequential run would (by emission order),
+              not by when the owner happens to drain its inbox. *)
+           s.emit
+             ~arrival:(Time_ns.add (Engine.now t.eng) delay)
+             ~emitted:(Engine.now t.eng) ~dst:peer frame)
+   end);
+  maybe_start_tx t id port
+
+and schedule_deliver t delay pn pp frame =
+  let at = Time_ns.add (Engine.now t.eng) delay in
+  match t.event_mode with
+  | `Typed -> Engine.deliver_at t.eng at t.handlers ~node:pn ~port:pp frame
+  | `Closure -> Engine.at t.eng at (fun () -> deliver t pn pp frame)
+
+let create ?(wire_check = `Always) ?(event_mode = `Typed) eng =
+  let no_frame =
+    Frame.udp_frame ~src_mac:(Mac.of_host_id 0) ~dst_mac:(Mac.of_host_id 0)
+      ~src_ip:(Ipv4.Addr.of_host_id 0) ~dst_ip:(Ipv4.Addr.of_host_id 0)
+      ~src_port:0 ~dst_port:0 ~payload:Bytes.empty ()
+  in
+  let checked_shapes = Hashtbl.create 32 in
+  let scratch = Buf.Writer.create ~capacity:256 () in
+  (* The handlers close over the net they dispatch into, so the record
+     and the net are built as one recursive value (allocated once per
+     net, not per event). *)
+  let rec t =
+    {
+      eng;
+      wire_check;
+      event_mode;
+      handlers =
+        {
+          Engine.on_deliver = (fun ~node ~port frame -> deliver t node port frame);
+          on_dequeue = (fun ~node ~port -> tx_complete t node port);
+          on_restart = (fun ~node:_ -> ());
+        };
+      no_frame;
+      nodes = [||];
+      node_count = 0;
+      host_counter = 0;
+      delivered = 0;
+      deliver_hooks = [||];
+      sharding = None;
+      fault = None;
+      checked_shapes;
+      scratch;
+    }
+  in
+  t
+
+let event_mode t = t.event_mode
+
+let schedule_delivery ?emitted t ~arrival ~dst frame =
   ignore (attachment t dst);
-  Engine.at t.eng arrival (fun () -> deliver t dst frame)
+  let dn, dp = dst in
+  match t.event_mode with
+  | `Typed ->
+    Engine.deliver_at ?emitted t.eng arrival t.handlers ~node:dn ~port:dp frame
+  | `Closure ->
+    Engine.at ?emitted t.eng arrival (fun () -> deliver t dn dp frame)
 
 (* One key per header *layout*: two frames with the same key serialise
    through exactly the same write/parse paths and length computations,
@@ -361,7 +440,7 @@ let host_send t host frame =
       end;
       frame
   in
-  let a = attachment t (host.node_id, 0) in
+  let a = port_attachment t host.node_id 0 in
   Queue.push frame a.nic_queue;
   maybe_start_tx t host.node_id 0
 

@@ -35,7 +35,21 @@ type wire_check = [ `Always | `Cached | `Off ]
       steady-state fast path for throughput runs.
     - [`Off]: no checking. *)
 
-val create : ?wire_check:wire_check -> Engine.t -> t
+type event_mode = [ `Typed | `Closure ]
+(** How the dataplane schedules its own events:
+    - [`Typed] (the default): deliveries, port dequeues and fault
+      restarts go through {!Engine}'s flattened event slab and are
+      dispatched via the net's single handlers record — zero minor
+      allocations per steady-state event.
+    - [`Closure]: the same events at the same timestamps, each as a
+      captured closure — the pre-slab allocation profile, kept as the
+      measurable baseline for [bench/perf.exe --engine].
+
+    The event sequence is bit-identical between modes. *)
+
+val create : ?wire_check:wire_check -> ?event_mode:event_mode -> Engine.t -> t
+
+val event_mode : t -> event_mode
 
 val engine : t -> Engine.t
 
@@ -99,21 +113,31 @@ val set_sharding :
   t ->
   owner:int array ->
   shard:int ->
-  emit:(arrival:Time_ns.t -> dst:int * int -> Frame.t -> unit) -> unit
+  emit:
+    (arrival:Time_ns.t -> emitted:Time_ns.t -> dst:int * int -> Frame.t ->
+     unit) ->
+  unit
 (** Marks this net as shard [shard] of a partitioned run. [owner] maps
     node ids to shards; [emit] is called at link-transmission completion
     for frames bound for a foreign node, with the absolute [arrival]
-    time (tx end + propagation delay) and destination endpoint. *)
+    time (tx end + propagation delay), the emission time (the clock at
+    the emitting shard — the receiver passes it back through
+    {!schedule_delivery} so same-timestamp ordering matches the
+    sequential run), and destination endpoint. *)
 
 val owns : t -> int -> bool
 (** Whether this net instance executes events for the node: always true
     on an unsharded net. *)
 
 val schedule_delivery :
+  ?emitted:Time_ns.t ->
   t -> arrival:Time_ns.t -> dst:int * int -> Frame.t -> unit
 (** Schedules a frame to arrive at endpoint [dst] at absolute time
     [arrival], exactly as if it had finished crossing the attached link:
-    the receiving end of an inter-shard channel. *)
+    the receiving end of an inter-shard channel. [emitted] backdates the
+    event's tie-break stamp to the frame's original emission time (from
+    the [emit] hook), so arrivals in the same nanosecond order as the
+    sequential run would — by emission order, not inbox drain order. *)
 
 val link_delay : t -> int * int -> Time_ns.span
 (** Propagation delay of the link attached at this endpoint (raises

@@ -35,38 +35,57 @@ let tap_host t net host =
       previous ~now frame);
   ignore net
 
-(* Little-endian primitives over a Buffer. *)
-let le16 buf v =
-  Buffer.add_char buf (Char.chr (v land 0xFF));
-  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+(* Header encoders over little scratch buffers; both the streaming and
+   the in-memory writers assemble the same images from these. *)
+let w32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
 
-let le32 buf v =
-  le16 buf (v land 0xFFFF);
-  le16 buf ((v lsr 16) land 0xFFFF)
+let fill_global b snaplen =
+  w32 b 0 magic;
+  Bytes.set_uint16_le b 4 2;
+  Bytes.set_uint16_le b 6 4;
+  w32 b 8 0 (* thiszone *);
+  w32 b 12 0 (* sigfigs *);
+  w32 b 16 snaplen;
+  w32 b 20 linktype_ethernet
+
+let fill_record_header b { ts_ns; data } =
+  w32 b 0 (ts_ns / 1_000_000_000);
+  w32 b 4 (ts_ns mod 1_000_000_000 / 1_000);
+  w32 b 8 (Bytes.length data);
+  w32 b 12 (Bytes.length data)
+
+let to_channel t oc =
+  (* Streams straight into the channel: one 24-byte and one reused
+     16-byte scratch buffer regardless of capture size, instead of
+     assembling the whole file in memory first. *)
+  let gh = Bytes.create 24 in
+  fill_global gh t.snaplen;
+  output_bytes oc gh;
+  let rh = Bytes.create 16 in
+  List.iter
+    (fun r ->
+      fill_record_header rh r;
+      output_bytes oc rh;
+      output_bytes oc r.data)
+    (records t)
 
 let to_bytes t =
   let buf = Buffer.create (1024 + (t.count * 96)) in
-  le32 buf magic;
-  le16 buf 2;
-  le16 buf 4;
-  le32 buf 0 (* thiszone *);
-  le32 buf 0 (* sigfigs *);
-  le32 buf t.snaplen;
-  le32 buf linktype_ethernet;
+  let gh = Bytes.create 24 in
+  fill_global gh t.snaplen;
+  Buffer.add_bytes buf gh;
+  let rh = Bytes.create 16 in
   List.iter
-    (fun { ts_ns; data } ->
-      le32 buf (ts_ns / 1_000_000_000);
-      le32 buf (ts_ns mod 1_000_000_000 / 1_000);
-      le32 buf (Bytes.length data);
-      le32 buf (Bytes.length data);
-      Buffer.add_bytes buf data)
+    (fun r ->
+      fill_record_header rh r;
+      Buffer.add_bytes buf rh;
+      Buffer.add_bytes buf r.data)
     (records t);
   Buffer.to_bytes buf
 
 let write_file t path =
   let oc = open_out_bin path in
-  output_bytes oc (to_bytes t);
-  close_out oc
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel t oc)
 
 let rd16 b off = Bytes.get_uint16_le b off
 let rd32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFF_FFFF

@@ -34,9 +34,16 @@ val tap_host : t -> Net.t -> Net.host -> unit
     by tapping the peer.) *)
 
 val to_bytes : t -> bytes
-(** The complete pcap file image. *)
+(** The complete pcap file image, assembled in memory (tests diff it
+    against {!parse}; prefer {!to_channel} for writing files). *)
+
+val to_channel : t -> out_channel -> unit
+(** Streams the capture into the channel record by record: constant
+    scratch space (two small header buffers) regardless of capture
+    size, byte-identical to {!to_bytes}. *)
 
 val write_file : t -> string -> unit
+(** Writes via {!to_channel}; closes the file even on error. *)
 
 val parse : bytes -> (record list, string) result
 (** Reads back a pcap image produced by {!to_bytes} (same endianness,

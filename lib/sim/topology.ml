@@ -227,10 +227,10 @@ type fat_tree = {
   f_hosts : Net.host array;
 }
 
-let fat_tree eng ?wire_check ?(ecmp = true) ~k ~bps ~delay () =
+let fat_tree eng ?wire_check ?event_mode ?(ecmp = true) ~k ~bps ~delay () =
   if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
   let half = k / 2 in
-  let net = Net.create ?wire_check eng in
+  let net = Net.create ?wire_check ?event_mode eng in
   let next_switch_id = ref 0 in
   let mk ~num_ports =
     incr next_switch_id;

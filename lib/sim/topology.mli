@@ -132,7 +132,8 @@ val random :
     these. *)
 
 val fat_tree :
-  Engine.t -> ?wire_check:Net.wire_check -> ?ecmp:bool -> k:int -> bps:int ->
+  Engine.t -> ?wire_check:Net.wire_check -> ?event_mode:Net.event_mode ->
+  ?ecmp:bool -> k:int -> bps:int ->
   delay:Time_ns.span -> unit -> fat_tree
 (** A k-ary fat-tree (k even, >= 2): k pods of k/2 edge and k/2
     aggregation switches, (k/2)^2 cores, k/2 hosts per edge switch —

@@ -1,13 +1,24 @@
 (** Stable binary min-heap.
 
-    The event queue of the discrete-event simulator. Entries with equal
-    priority pop in insertion order, which makes simulations with
-    simultaneous events deterministic.
+    The event queue of the discrete-event simulator. Ordering is
+    lexicographic (priority, emission stamp, insertion sequence):
+    entries with equal priority pop by earlier [emitted] stamp first,
+    then in insertion order. [emitted] defaults to 0, so callers that
+    never pass it get plain FIFO among equal priorities — which makes
+    simulations with simultaneous events deterministic.
 
-    Internally a structure-of-arrays layout: (priority, sequence) keys
-    live in unboxed int arrays, so push/pop allocate nothing, and popped
-    slots are overwritten with a sentinel so completed values can be
-    collected (the heap never pins values it no longer holds). *)
+    The stamp exists for the sharded simulator: an event adopted from
+    another shard is pushed long after the local events it must
+    interleave with, so insertion order alone cannot reproduce the
+    sequential schedule. Stamping every push with the simulation clock
+    (and adopted events with their original emission time) makes the
+    sub-priority order a pure function of the stamp rather than of
+    push timing.
+
+    Internally a structure-of-arrays layout: (priority, emit, sequence)
+    keys live in unboxed int arrays, so push/pop allocate nothing, and
+    popped slots are overwritten with a sentinel so completed values can
+    be collected (the heap never pins values it no longer holds). *)
 
 type 'a t
 
@@ -16,10 +27,19 @@ val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
-val push : 'a t -> prio:int -> 'a -> unit
+val push : ?emitted:int -> 'a t -> prio:int -> 'a -> unit
+(** [push ?emitted t ~prio v] inserts [v]. [emitted] (default 0) is the
+    sub-priority stamp; among equal priorities, smaller stamps pop
+    first, and equal stamps pop in insertion order. *)
+
+val push_stamped : 'a t -> prio:int -> emitted:int -> 'a -> unit
+(** {!push} with a required stamp. Allocation-free: applying the
+    optional [~emitted] boxes the stamp in [Some] at the call site, so
+    hot paths that always stamp (the engine) use this instead. *)
 
 val pop : 'a t -> (int * 'a) option
-(** Removes and returns the minimum-priority entry (ties: FIFO). *)
+(** Removes and returns the minimum entry (ties: emission stamp, then
+    FIFO). *)
 
 val pop_value : 'a t -> default:'a -> 'a
 (** Allocation-free {!pop}: removes the minimum entry and returns its
@@ -27,8 +47,16 @@ val pop_value : 'a t -> default:'a -> 'a
 
 val peek_prio : 'a t -> int option
 
+val peek_value_or : 'a t -> default:'a -> 'a
+(** Value of the minimum entry without removing it, or [default] when
+    the heap is empty. Allocation-free for immediate values ({!Wheel}
+    uses it to tie-break its overflow against the wheel levels). *)
+
 val peek_prio_or : 'a t -> default:int -> int
 (** Allocation-free {!peek_prio}: [default] when the heap is empty. *)
+
+val peek_emit_or : 'a t -> default:int -> int
+(** Emission stamp of the minimum entry, or [default] when empty. *)
 
 val clear : 'a t -> unit
 (** Empties the heap and releases the backing storage, so previously

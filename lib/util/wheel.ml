@@ -1,0 +1,411 @@
+(* Hierarchical timing wheel.
+
+   Twelve levels of 32 slots each, so level L spans bits [5L, 5L+5) of
+   the absolute nanosecond timestamp: level 0 resolves single
+   nanoseconds, level 11 slots are ~36 simulated seconds wide, and the
+   twelve levels together cover bits 0..59. Entries whose timestamp
+   differs from the cursor above bit 59 (e.g. [max_int] sentinels) go
+   to a heap-backed overflow and pop from there — they never migrate
+   back into the wheel.
+
+   Placement is digit-based, not delta-based: an entry lives at the
+   highest level where its base-32 digit of *absolute* time differs
+   from the cursor's. That makes the slot a pure function of
+   (timestamp, cursor prefix), so entries with equal timestamps always
+   share one slot — appended in push order — no matter when they were
+   pushed relative to cursor movement. A delta-based wheel does not
+   have this property (a later push of the same timestamp can land
+   nearer the cursor and overtake an earlier one through a cascade),
+   and losing it would break the engine's same-timestamp FIFO
+   determinism.
+
+   Everything is structure-of-arrays and intrusive: entries are slots
+   in parallel int arrays threaded through [e_next] (free list and
+   per-slot FIFO share the link array), each level keeps a 32-bit
+   occupancy bitmap in one OCaml int, and the overflow heap carries
+   slab indices. Push, pop and cascade therefore allocate nothing.
+
+   Ordering contract (same as {!Heap}): pop in nondecreasing priority;
+   among equal priorities, by emission stamp then global insertion
+   sequence — across wheel levels, cascades, and the overflow. Pushes
+   whose stamps arrive in nondecreasing order (every push by the
+   sequential engine: the stamp is its monotone clock) keep slot FIFOs
+   sorted, so peek and pop read the slot head in O(1). The first
+   backdated push — an entry stamped earlier than one already seen,
+   which only the sharded simulator produces when it adopts an event
+   emitted on another shard — flips a flag that makes same-timestamp
+   slots scan for the (emit, seq) minimum instead. *)
+
+let bits = 5
+let slots = 1 lsl bits
+let slot_mask = slots - 1
+let levels = 12
+let horizon_bits = bits * levels
+
+type t = {
+  (* entry slab; [e_next] threads both the free list and slot FIFOs *)
+  mutable e_time : int array;
+  mutable e_emit : int array;
+  mutable e_seq : int array;
+  mutable e_pay : int array;
+  mutable e_next : int array;
+  mutable free : int;  (* slab free-list head, -1 = full *)
+  (* levels * slots intrusive FIFOs + per-level occupancy bitmaps *)
+  heads : int array;
+  tails : int array;
+  occ : int array;
+  mutable cursor : int;  (* all wheel-resident entries have time >= cursor *)
+  mutable wlen : int;    (* entries resident in the wheel levels *)
+  overflow : int Heap.t; (* slab indices of beyond-horizon entries *)
+  mutable next_seq : int;
+  mutable max_emit : int;    (* largest stamp pushed so far *)
+  mutable backdated : bool;  (* some stamp arrived out of order *)
+  (* memoised minimum: pushes can only invalidate it downward, and a pop
+     consumes it, so the engine's peek-then-pop costs one scan total *)
+  mutable cache_where : int;  (* -1 stale | 0 wheel | 1 overflow *)
+  mutable cache_time : int;
+  mutable cache_emit : int;
+}
+
+let create () =
+  {
+    e_time = [||];
+    e_emit = [||];
+    e_seq = [||];
+    e_pay = [||];
+    e_next = [||];
+    free = -1;
+    heads = Array.make (levels * slots) (-1);
+    tails = Array.make (levels * slots) (-1);
+    occ = Array.make levels 0;
+    cursor = 0;
+    wlen = 0;
+    overflow = Heap.create ();
+    next_seq = 0;
+    max_emit = min_int;
+    backdated = false;
+    cache_where = -1;
+    cache_time = 0;
+    cache_emit = 0;
+  }
+
+let length t = t.wlen + Heap.length t.overflow
+let is_empty t = t.wlen = 0 && Heap.is_empty t.overflow
+let cursor t = t.cursor
+
+(* Lowest-set-bit index of a nonzero 32-bit mask, de Bruijn multiply. *)
+let debruijn = 0x077CB531
+
+let lsb_table =
+  let tbl = Array.make 32 0 in
+  for i = 0 to 31 do
+    tbl.((((1 lsl i) * debruijn) land 0xFFFFFFFF) lsr 27) <- i
+  done;
+  tbl
+
+let[@inline] lowest_bit m =
+  Array.unsafe_get lsb_table ((((m land -m) * debruijn) land 0xFFFFFFFF) lsr 27)
+
+let grow t =
+  let old = Array.length t.e_time in
+  let cap = if old = 0 then 64 else 2 * old in
+  let copy a fill =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 old;
+    b
+  in
+  t.e_time <- copy t.e_time 0;
+  t.e_emit <- copy t.e_emit 0;
+  t.e_seq <- copy t.e_seq 0;
+  t.e_pay <- copy t.e_pay 0;
+  t.e_next <- copy t.e_next (-1);
+  for i = old to cap - 2 do
+    t.e_next.(i) <- i + 1
+  done;
+  t.e_next.(cap - 1) <- t.free;
+  t.free <- old
+
+let alloc t =
+  if t.free < 0 then grow t;
+  let s = t.free in
+  t.free <- Array.unsafe_get t.e_next s;
+  s
+
+let[@inline] free_entry t s =
+  t.e_next.(s) <- t.free;
+  t.free <- s
+
+(* (emit, seq) of entry [a] orders before entry [b]'s. Only consulted
+   among equal timestamps. *)
+let[@inline] key_before t a b =
+  let ea = t.e_emit.(a) and eb = t.e_emit.(b) in
+  ea < eb || (ea = eb && t.e_seq.(a) < t.e_seq.(b))
+
+(* Files entry [s] at the highest level where its time digit differs
+   from the cursor's (level 0 when all digits agree, i.e. time=cursor),
+   or into the overflow heap beyond the horizon. Pure in (time, cursor),
+   which is the determinism argument: equal times always share a slot. *)
+let place t s =
+  let tm = Array.unsafe_get t.e_time s in
+  let d = tm lxor t.cursor in
+  if d lsr horizon_bits <> 0 then
+    Heap.push_stamped t.overflow ~prio:tm ~emitted:t.e_emit.(s) s
+  else begin
+    let lvl = ref 0 in
+    let x = ref (d lsr bits) in
+    while !x <> 0 do
+      incr lvl;
+      x := !x lsr bits
+    done;
+    let lvl = !lvl in
+    let digit = (tm lsr (lvl * bits)) land slot_mask in
+    let idx = (lvl * slots) + digit in
+    t.e_next.(s) <- -1;
+    let tl = t.tails.(idx) in
+    if tl < 0 then t.heads.(idx) <- s else t.e_next.(tl) <- s;
+    t.tails.(idx) <- s;
+    t.occ.(lvl) <- t.occ.(lvl) lor (1 lsl digit);
+    t.wlen <- t.wlen + 1
+  end
+
+(* Required-label variant: applying the optional [~emitted] would box
+   the stamp in [Some] at every call site, costing the engine one minor
+   allocation per event. *)
+let push_stamped t ~prio ~emitted payload =
+  if prio < t.cursor then
+    invalid_arg "Wheel.push: priority below the cursor (scheduling in the past)";
+  if emitted < t.max_emit then t.backdated <- true else t.max_emit <- emitted;
+  let s = alloc t in
+  t.e_time.(s) <- prio;
+  t.e_emit.(s) <- emitted;
+  t.e_seq.(s) <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.e_pay.(s) <- payload;
+  place t s;
+  (* A push at or after the cached minimum's (time, emit) can never
+     displace it (an equal key loses the sequence tie-break to the
+     older entry). *)
+  if
+    t.cache_where >= 0
+    && (prio < t.cache_time || (prio = t.cache_time && emitted < t.cache_emit))
+  then t.cache_where <- -1
+
+let push ?(emitted = 0) t ~prio payload = push_stamped t ~prio ~emitted payload
+
+(* (emit, seq)-minimal entry of one slot's FIFO. Needed only after a
+   backdated push; sorted slots read their head. *)
+let slot_min t idx =
+  let s = ref t.heads.(idx) in
+  let best = ref (-1) in
+  while !s >= 0 do
+    let sv = !s in
+    if !best < 0 || key_before t sv !best then best := sv;
+    s := t.e_next.(sv)
+  done;
+  !best
+
+(* Slab index of the earliest wheel-resident entry, -1 when none.
+   Non-mutating: the cursor moves only in [pop], because advancing it
+   here would put later same-clock pushes "in the wheel's past".
+   Level 0 slots are exact timestamps, so the first occupied slot at or
+   after the cursor's digit holds the minimum — at its FIFO head, or by
+   slot scan once a backdated stamp exists. A coarser level's first
+   occupied slot (strictly after the cursor's digit — the cursor's own
+   slot was cascaded when the cursor entered it) bounds every later
+   slot and level, but mixes timestamps, so its FIFO is scanned for the
+   (time, emit, seq) minimum. *)
+let wheel_min t =
+  if t.wlen = 0 then -1
+  else begin
+    let d0 = t.cursor land slot_mask in
+    let m0 = t.occ.(0) land (-1 lsl d0) in
+    if m0 <> 0 then begin
+      let idx = lowest_bit m0 in
+      if t.backdated then slot_min t idx else t.heads.(idx)
+    end
+    else begin
+      let res = ref (-1) in
+      let lvl = ref 1 in
+      while !res < 0 && !lvl < levels do
+        let l = !lvl in
+        let dl = (t.cursor lsr (l * bits)) land slot_mask in
+        let ml = t.occ.(l) land (-1 lsl (dl + 1)) in
+        (if ml <> 0 then begin
+           let s = ref t.heads.((l * slots) + lowest_bit ml) in
+           let best = ref (-1) in
+           while !s >= 0 do
+             let sv = !s in
+             (if !best < 0 then best := sv
+              else
+                let bt = t.e_time.(!best) and st = t.e_time.(sv) in
+                if st < bt || (st = bt && key_before t sv !best) then
+                  best := sv);
+             s := t.e_next.(sv)
+           done;
+           res := !best
+         end);
+        incr lvl
+      done;
+      !res
+    end
+  end
+
+(* pre: not empty. Decides wheel vs overflow by (time, emit, seq). *)
+let refresh t =
+  let wi = wheel_min t in
+  if Heap.is_empty t.overflow then begin
+    t.cache_where <- 0;
+    t.cache_time <- t.e_time.(wi);
+    t.cache_emit <- t.e_emit.(wi)
+  end
+  else begin
+    let oi = Heap.peek_value_or t.overflow ~default:(-1) in
+    let ot = t.e_time.(oi) in
+    if wi < 0 then begin
+      t.cache_where <- 1;
+      t.cache_time <- ot;
+      t.cache_emit <- t.e_emit.(oi)
+    end
+    else begin
+      let wt = t.e_time.(wi) in
+      if ot < wt || (ot = wt && key_before t oi wi) then begin
+        t.cache_where <- 1;
+        t.cache_time <- ot;
+        t.cache_emit <- t.e_emit.(oi)
+      end
+      else begin
+        t.cache_where <- 0;
+        t.cache_time <- wt;
+        t.cache_emit <- t.e_emit.(wi)
+      end
+    end
+  end
+
+let peek_prio_or t ~default =
+  if is_empty t then default
+  else begin
+    if t.cache_where < 0 then refresh t;
+    t.cache_time
+  end
+
+let peek_prio t = if is_empty t then None else Some (peek_prio_or t ~default:0)
+
+(* Moves the cursor to [tm] (the current minimum), cascading — top level
+   first — the one slot per changed level that has rotated under the
+   cursor. Re-placement happens against the new cursor, so cascaded
+   entries land strictly below their old level, in FIFO order. Slots
+   between the old and new digits need no visit: they could only hold
+   entries earlier than the minimum, so they are empty. *)
+let advance t tm =
+  if tm <> t.cursor then begin
+    let old = t.cursor in
+    t.cursor <- tm;
+    for lvl = levels - 1 downto 1 do
+      if tm lsr (lvl * bits) <> old lsr (lvl * bits) then begin
+        let digit = (tm lsr (lvl * bits)) land slot_mask in
+        let idx = (lvl * slots) + digit in
+        let s = ref t.heads.(idx) in
+        if !s >= 0 then begin
+          t.heads.(idx) <- -1;
+          t.tails.(idx) <- -1;
+          t.occ.(lvl) <- t.occ.(lvl) land lnot (1 lsl digit);
+          while !s >= 0 do
+            let nxt = t.e_next.(!s) in
+            t.wlen <- t.wlen - 1;
+            place t !s;
+            s := nxt
+          done
+        end
+      end
+    done
+  end
+
+(* Unlinks and returns the head of slot [idx] (level 0). *)
+let unlink_head t idx =
+  let s = t.heads.(idx) in
+  let nxt = t.e_next.(s) in
+  t.heads.(idx) <- nxt;
+  if nxt < 0 then begin
+    t.tails.(idx) <- -1;
+    t.occ.(0) <- t.occ.(0) land lnot (1 lsl idx)
+  end;
+  t.wlen <- t.wlen - 1;
+  s
+
+(* Unlinks and returns the (emit, seq)-minimal entry of slot [idx]. *)
+let unlink_min t idx =
+  let best = ref t.heads.(idx) in
+  let best_prev = ref (-1) in
+  let prev = ref t.heads.(idx) in
+  let s = ref (t.e_next.(t.heads.(idx))) in
+  while !s >= 0 do
+    let sv = !s in
+    if key_before t sv !best then begin
+      best := sv;
+      best_prev := !prev
+    end;
+    prev := sv;
+    s := t.e_next.(sv)
+  done;
+  let b = !best in
+  let nxt = t.e_next.(b) in
+  if !best_prev < 0 then t.heads.(idx) <- nxt else t.e_next.(!best_prev) <- nxt;
+  if nxt < 0 then t.tails.(idx) <- (if !best_prev < 0 then -1 else !best_prev);
+  if t.heads.(idx) < 0 then t.occ.(0) <- t.occ.(0) land lnot (1 lsl idx);
+  t.wlen <- t.wlen - 1;
+  b
+
+(* pre: not empty. Unlinks and returns the slab index of the minimum. *)
+let pop_slab t =
+  if t.cache_where < 0 then refresh t;
+  let s =
+    if t.cache_where = 1 then Heap.pop_value t.overflow ~default:(-1)
+    else begin
+      let tm = t.cache_time in
+      advance t tm;
+      (* After the cascade every entry at time [tm] sits in the level-0
+         slot of its digit — oldest first, unless a backdated stamp
+         means "oldest" is no longer the head. *)
+      let idx = tm land slot_mask in
+      if t.backdated then unlink_min t idx else unlink_head t idx
+    end
+  in
+  t.cache_where <- -1;
+  s
+
+let pop_value t ~default =
+  if is_empty t then default
+  else begin
+    let s = pop_slab t in
+    let v = t.e_pay.(s) in
+    free_entry t s;
+    v
+  end
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let s = pop_slab t in
+    let prio = t.e_time.(s) and v = t.e_pay.(s) in
+    free_entry t s;
+    Some (prio, v)
+  end
+
+let clear t =
+  (* Release the slab like {!Heap.clear} releases its arrays. *)
+  t.e_time <- [||];
+  t.e_emit <- [||];
+  t.e_seq <- [||];
+  t.e_pay <- [||];
+  t.e_next <- [||];
+  t.free <- -1;
+  Array.fill t.heads 0 (Array.length t.heads) (-1);
+  Array.fill t.tails 0 (Array.length t.tails) (-1);
+  Array.fill t.occ 0 levels 0;
+  t.cursor <- 0;
+  t.wlen <- 0;
+  t.next_seq <- 0;
+  t.max_emit <- min_int;
+  t.backdated <- false;
+  Heap.clear t.overflow;
+  t.cache_where <- -1

@@ -425,6 +425,36 @@ let test_pcap_roundtrip () =
       | Error e -> Alcotest.fail e)
     | _ -> Alcotest.fail "wrong record count")
 
+(* The streaming writer must emit the exact bytes of the in-memory
+   image, through to_channel and through write_file. *)
+let test_pcap_streaming_matches_to_bytes () =
+  let cap = Pcap.create ~snaplen:96 () in
+  for i = 1 to 20 do
+    Pcap.record cap
+      ~now:(i * 1_000_000)
+      (Frame.udp_frame ~src_mac:(Mac.of_host_id 1) ~dst_mac:(Mac.of_host_id 2)
+         ~src_ip:(Ipv4.Addr.of_host_id 1) ~dst_ip:(Ipv4.Addr.of_host_id 2)
+         ~src_port:1 ~dst_port:2
+         ~payload:(Bytes.make (40 + (i mod 5)) 'x')
+         ())
+  done;
+  let image = Pcap.to_bytes cap in
+  let path = Filename.temp_file "tpp_pcap" ".pcap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pcap.write_file cap path;
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let streamed = Bytes.create len in
+      really_input ic streamed 0 len;
+      close_in ic;
+      check Alcotest.bool "write_file emits to_bytes image" true
+        (Bytes.equal image streamed));
+  match Pcap.parse image with
+  | Ok records -> check Alcotest.int "all records parse back" 20 (List.length records)
+  | Error e -> Alcotest.fail e
+
 let test_pcap_rejects_garbage () =
   check Alcotest.bool "short" true (Result.is_error (Pcap.parse (Bytes.create 4)));
   let bad = Pcap.to_bytes (Pcap.create ()) in
@@ -481,6 +511,8 @@ let suite =
     Alcotest.test_case "link down blackholes" `Quick test_link_down_blackholes;
     Alcotest.test_case "faultfind localises" `Quick test_faultfind_localises_chain_link;
     Alcotest.test_case "pcap roundtrip" `Quick test_pcap_roundtrip;
+    Alcotest.test_case "pcap streaming writer" `Quick
+      test_pcap_streaming_matches_to_bytes;
     Alcotest.test_case "pcap rejects garbage" `Quick test_pcap_rejects_garbage;
     Alcotest.test_case "pcap snaplen" `Quick test_pcap_snaplen;
     Alcotest.test_case "pcap tap" `Quick test_pcap_tap_host;

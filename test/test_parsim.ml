@@ -149,7 +149,8 @@ let test_sharding_hooks () =
   check Alcotest.int "link delay" 7 (Net.link_delay net (b.Net.node_id, 0));
   check Alcotest.bool "unsharded owns all" true (Net.owns net sw);
   let owner = [| 0; 0; 1 |] in  (* b lives on another shard *)
-  Net.set_sharding net ~owner ~shard:0 ~emit:(fun ~arrival:_ ~dst:_ _ -> ());
+  Net.set_sharding net ~owner ~shard:0
+    ~emit:(fun ~arrival:_ ~emitted:_ ~dst:_ _ -> ());
   check Alcotest.bool "owns local" true (Net.owns net a.Net.node_id);
   check Alcotest.bool "foreign node" false (Net.owns net b.Net.node_id);
   let frame =

@@ -85,6 +85,68 @@ let test_engine_run_until_is_exclusive_of_later_events () =
   Engine.run eng ~until:150;
   check Alcotest.bool "then fires" true !fired
 
+(* An event at max_int must be a real event, not an empty-queue
+   sentinel: the run loop tests emptiness explicitly. Both schedulers. *)
+let test_engine_max_int_event () =
+  List.iter
+    (fun scheduler ->
+      let eng = Engine.create ~scheduler () in
+      let fired = ref false in
+      Engine.at eng max_int (fun () -> fired := true);
+      Engine.run eng ~until:(max_int - 1);
+      check Alcotest.bool "not an empty-queue sentinel" false !fired;
+      check
+        (Alcotest.option Alcotest.int)
+        "still queued" (Some max_int)
+        (Engine.next_event_time eng);
+      Engine.run eng ~until:max_int;
+      check Alcotest.bool "fires at the end of time" true !fired)
+    [ `Wheel; `Heap ]
+
+(* Typed events round-trip through the slab: payload ints and the frame
+   come back through the handlers record, interleaved correctly with
+   thunks at the same timestamp. *)
+let test_engine_typed_dispatch () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let h =
+    {
+      Engine.on_deliver =
+        (fun ~node ~port frame ->
+          log := ("deliver", node, port, Bytes.length frame.Frame.payload) :: !log);
+      on_dequeue = (fun ~node ~port -> log := ("dequeue", node, port, 0) :: !log);
+      on_restart = (fun ~node -> log := ("restart", node, 0, 0) :: !log);
+    }
+  in
+  let frame =
+    Frame.udp_frame ~src_mac:(Tpp_packet.Mac.of_host_id 1)
+      ~dst_mac:(Tpp_packet.Mac.of_host_id 2)
+      ~src_ip:(Tpp_packet.Ipv4.Addr.of_host_id 1)
+      ~dst_ip:(Tpp_packet.Ipv4.Addr.of_host_id 2) ~src_port:1 ~dst_port:2
+      ~payload:(Bytes.create 7) ()
+  in
+  Engine.dequeue_at eng 10 h ~node:3 ~port:1;
+  Engine.deliver_at eng 10 h ~node:4 ~port:0 frame;
+  Engine.at eng 10 (fun () -> log := ("thunk", 0, 0, 0) :: !log);
+  Engine.restart_at eng 20 h ~node:9;
+  Engine.schedule eng ~at:30 h (Engine.Port_dequeue (5, 2));
+  Engine.run eng ~until:100;
+  check
+    (Alcotest.list
+       (Alcotest.pair
+          (Alcotest.pair Alcotest.string Alcotest.int)
+          (Alcotest.pair Alcotest.int Alcotest.int)))
+    "typed dispatch order"
+    [
+      (("dequeue", 3), (1, 0));
+      (("deliver", 4), (0, 7));
+      (("thunk", 0), (0, 0));
+      (("restart", 9), (0, 0));
+      (("dequeue", 5), (2, 0));
+    ]
+    (List.rev_map (fun (k, a, b, c) -> ((k, a), (b, c))) !log);
+  check Alcotest.int "all five processed" 5 (Engine.events_processed eng)
+
 (* --- Net timing ------------------------------------------------------------ *)
 
 (* One switch between two hosts; both links 100 Mb/s, 1 ms propagation. *)
@@ -134,6 +196,52 @@ let test_fifo_no_reordering () =
   check (Alcotest.list Alcotest.int) "in order" (List.init 50 (fun i -> i + 1))
     (List.rev !seen);
   check Alcotest.int "all delivered" 50 (Net.frames_delivered net)
+
+(* The same traffic must produce a bit-identical simulation whatever
+   the scheduler (wheel vs heap oracle) and event representation (typed
+   slab vs closures): same arrival timestamps, same delivery and event
+   counts. 50 frames through a store-and-forward switch give plenty of
+   same-timestamp ties to disagree on. *)
+let test_scheduler_and_event_mode_identity () =
+  let run ~scheduler ~event_mode =
+    let eng = Engine.create ~scheduler () in
+    let net = Net.create ~event_mode eng in
+    let sw = Switch.create ~id:1 ~num_ports:2 () in
+    let sw_id = Net.add_switch net sw in
+    let a = Net.add_host net ~name:"a" in
+    let b = Net.add_host net ~name:"b" in
+    Net.connect net (a.Net.node_id, 0) (sw_id, 0) ~bps:100_000_000
+      ~delay:(Time_ns.ms 1);
+    Net.connect net (b.Net.node_id, 0) (sw_id, 1) ~bps:100_000_000
+      ~delay:(Time_ns.ms 1);
+    Topology.install_routes net;
+    let arrivals = ref [] in
+    b.Net.receive <- (fun ~now _ -> arrivals := now :: !arrivals);
+    for i = 1 to 50 do
+      let payload = Bytes.create (60 + (i mod 7)) in
+      let frame =
+        Frame.udp_frame ~src_mac:a.Net.mac ~dst_mac:b.Net.mac ~src_ip:a.Net.ip
+          ~dst_ip:b.Net.ip ~src_port:1 ~dst_port:2 ~payload ()
+      in
+      Net.host_send net a frame
+    done;
+    Engine.run eng ~until:(Time_ns.sec 1);
+    (List.rev !arrivals, Net.frames_delivered net, Engine.events_processed eng)
+  in
+  let reference = run ~scheduler:`Heap ~event_mode:`Closure in
+  List.iter
+    (fun (scheduler, event_mode, label) ->
+      let got = run ~scheduler ~event_mode in
+      check
+        (Alcotest.triple
+           (Alcotest.list Alcotest.int)
+           Alcotest.int Alcotest.int)
+        label reference got)
+    [
+      (`Wheel, `Typed, "wheel+typed == heap+closure");
+      (`Heap, `Typed, "heap+typed == heap+closure");
+      (`Wheel, `Closure, "wheel+closure == heap+closure");
+    ]
 
 let test_wire_check_exercised () =
   (* host_send serialises and reparses; a frame that round-trips fine
@@ -467,6 +575,10 @@ let suite =
     Alcotest.test_case "engine every rejects past start" `Quick
       test_engine_every_past_start;
     Alcotest.test_case "engine next event time" `Quick test_engine_next_event_time;
+    Alcotest.test_case "engine max_int event" `Quick test_engine_max_int_event;
+    Alcotest.test_case "engine typed dispatch" `Quick test_engine_typed_dispatch;
+    Alcotest.test_case "scheduler and event-mode identity" `Quick
+      test_scheduler_and_event_mode_identity;
     Alcotest.test_case "engine until boundary" `Quick
       test_engine_run_until_is_exclusive_of_later_events;
     Alcotest.test_case "delivery and latency" `Quick test_delivery_and_latency;

@@ -189,6 +189,217 @@ let test_heap_alloc_free_accessors () =
   check Alcotest.int "then next" 50 (Tpp_util.Heap.pop_value h ~default:(-1));
   check Alcotest.bool "drained" true (Tpp_util.Heap.is_empty h)
 
+(* --- Wheel ----------------------------------------------------------- *)
+
+module Wheel = Tpp_util.Wheel
+
+let drain_wheel w =
+  let rec go acc =
+    match Wheel.pop w with
+    | Some (p, v) -> go ((p, v) :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_wheel_order () =
+  let w = Wheel.create () in
+  List.iter (fun p -> Wheel.push w ~prio:p p) [ 5; 1; 4; 1; 3 ];
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "sorted" [ (1, 1); (1, 1); (3, 3); (4, 4); (5, 5) ] (drain_wheel w)
+
+let test_wheel_fifo_ties () =
+  let w = Wheel.create () in
+  (* Same timestamp pushed around cursor movement: FIFO must hold both
+     within one batch and across the interleaved pop. *)
+  Wheel.push w ~prio:7 0;
+  Wheel.push w ~prio:7 1;
+  Wheel.push w ~prio:3 99;
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "earlier time first" (Some (3, 99)) (Wheel.pop w);
+  Wheel.push w ~prio:7 2;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "push order on equal priority"
+    [ (7, 0); (7, 1); (7, 2) ]
+    (drain_wheel w)
+
+let test_wheel_overflow_horizon () =
+  let w = Wheel.create () in
+  (* Beyond-horizon entries (bit >= 60 differs from the cursor) live in
+     the overflow heap; max_int is the engine's "idle sentinel" case. *)
+  Wheel.push w ~prio:max_int 1;
+  Wheel.push w ~prio:(1 lsl 60) 2;
+  Wheel.push w ~prio:((1 lsl 59) + 5) 3;  (* top wheel level *)
+  Wheel.push w ~prio:5 4;
+  check Alcotest.int "length counts both sides" 4 (Wheel.length w);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "wheel and overflow interleave by time"
+    [ (5, 4); ((1 lsl 59) + 5, 3); (1 lsl 60, 2); (max_int, 1) ]
+    (drain_wheel w)
+
+let test_wheel_level_rollover () =
+  let w = Wheel.create () in
+  (* Times straddling level boundaries (32, 1024, 2^15) force cascades
+     as the cursor crosses digit edges; order must survive them. *)
+  let times = [ 31; 32; 33; 1023; 1024; 1025; (1 lsl 15) + 1; 40_000 ] in
+  List.iteri (fun i tm -> Wheel.push w ~prio:tm i) (List.rev times);
+  let expect = List.sort compare (List.mapi (fun i tm -> (tm, i)) (List.rev times)) in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "cascades preserve time order" expect (drain_wheel w);
+  (* After draining, the cursor sits at the last popped time; pushing at
+     that exact time is still legal (ties are future events). *)
+  Wheel.push w ~prio:40_000 7;
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "push at cursor" (Some (40_000, 7)) (Wheel.pop w)
+
+let test_wheel_rejects_past () =
+  let w = Wheel.create () in
+  Wheel.push w ~prio:100 0;
+  ignore (Wheel.pop w);
+  Alcotest.check_raises "below cursor"
+    (Invalid_argument "Wheel.push: priority below the cursor (scheduling in the past)")
+    (fun () -> Wheel.push w ~prio:99 1)
+
+let test_wheel_clear () =
+  let w = Wheel.create () in
+  Wheel.push w ~prio:50 1;
+  Wheel.push w ~prio:max_int 2;
+  ignore (Wheel.pop w);
+  Wheel.clear w;
+  check Alcotest.bool "empty after clear" true (Wheel.is_empty w);
+  check Alcotest.int "cursor reset" 0 (Wheel.cursor w);
+  (* The old cursor (50) no longer constrains pushes. *)
+  Wheel.push w ~prio:1 3;
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "usable after clear" (Some (1, 3)) (Wheel.pop w)
+
+(* Differential oracle: under any monotonic schedule — clustered equal
+   timestamps, far-future overflow times, pops interleaved with pushes —
+   the wheel must pop the exact (prio, payload) sequence the stable heap
+   does. This is the property the engine's scheduler swap rests on.
+   Op encoding: -1 = pop (from both), n >= 0 = push at now + offset,
+   where the offset class cycles through zero / clustered / mid-range /
+   beyond-horizon. *)
+let prop_wheel_matches_heap =
+  QCheck.Test.make ~name:"wheel pops identically to the stable heap" ~count:300
+    QCheck.(list (int_range (-1) 60))
+    (fun ops ->
+      let w = Wheel.create () in
+      let h = Tpp_util.Heap.create () in
+      let now = ref 0 in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          if op < 0 then begin
+            let a = Wheel.pop w and b = Tpp_util.Heap.pop h in
+            (match a with Some (p, _) -> now := max !now p | None -> ());
+            a = b
+          end
+          else begin
+            let offset =
+              match op mod 4 with
+              | 0 -> 0
+              | 1 -> op mod 8
+              | 2 -> op * 104_729
+              | _ -> (1 lsl 61) + op
+            in
+            (* Saturating: chained far-future offsets must not wrap
+               negative (the wheel rejects priorities below the cursor). *)
+            let prio =
+              if offset > max_int - !now then max_int else !now + offset
+            in
+            incr seq;
+            Wheel.push w ~prio !seq;
+            Tpp_util.Heap.push h ~prio !seq;
+            Wheel.length w = Tpp_util.Heap.length h
+          end)
+        ops
+      && drain_wheel w = drain h)
+
+(* --- Backdated emission stamps --------------------------------------- *)
+
+(* Among equal priorities both queues order by the [emitted] stamp
+   before insertion sequence — the mechanism the sharded simulator uses
+   to make an adopted cross-shard delivery (pushed at inbox-drain time)
+   sort as if it had been pushed at its original emission time. *)
+
+let test_heap_backdated_ties () =
+  let h = Tpp_util.Heap.create () in
+  Tpp_util.Heap.push h ~emitted:10 ~prio:7 0;
+  Tpp_util.Heap.push h ~emitted:5 ~prio:7 1;   (* backdated: pops first *)
+  Tpp_util.Heap.push h ~emitted:10 ~prio:7 2;  (* equal stamp: after 0 *)
+  Tpp_util.Heap.push h ~emitted:99 ~prio:3 3;  (* earlier prio still wins *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "(prio, emitted, seq) order"
+    [ (3, 3); (7, 1); (7, 0); (7, 2) ]
+    (drain h)
+
+let test_wheel_backdated_ties () =
+  let w = Wheel.create () in
+  Wheel.push w ~emitted:10 ~prio:7 0;
+  Wheel.push w ~emitted:5 ~prio:7 1;
+  Wheel.push w ~emitted:10 ~prio:7 2;
+  Wheel.push w ~emitted:99 ~prio:3 3;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "(prio, emitted, seq) order"
+    [ (3, 3); (7, 1); (7, 0); (7, 2) ]
+    (drain_wheel w);
+  (* Backdating must also order across the wheel/overflow split and
+     survive peeks (which memoise the minimum) between pushes. *)
+  Wheel.push w ~emitted:20 ~prio:max_int 4;
+  check Alcotest.int "peek before backdated push" max_int
+    (Wheel.peek_prio_or w ~default:0);
+  Wheel.push w ~emitted:15 ~prio:max_int 5;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "overflow ties by stamp"
+    [ (max_int, 5); (max_int, 4) ]
+    (drain_wheel w)
+
+(* Same differential property as above, with the pushes stamped — some
+   backdated — exercising the wheel's slot-scan tie-break path against
+   the stable heap's. *)
+let prop_wheel_matches_heap_backdated =
+  QCheck.Test.make
+    ~name:"wheel pops identically to the heap under backdated stamps"
+    ~count:300
+    QCheck.(list (pair (int_range (-1) 60) (int_range 0 15)))
+    (fun ops ->
+      let w = Wheel.create () in
+      let h = Tpp_util.Heap.create () in
+      let now = ref 0 in
+      let seq = ref 0 in
+      List.for_all
+        (fun (op, emitted) ->
+          if op < 0 then begin
+            let a = Wheel.pop w and b = Tpp_util.Heap.pop h in
+            (match a with Some (p, _) -> now := max !now p | None -> ());
+            a = b
+          end
+          else begin
+            let offset =
+              match op mod 4 with
+              | 0 -> 0
+              | 1 -> op mod 8
+              | 2 -> op * 104_729
+              | _ -> (1 lsl 61) + op
+            in
+            let prio =
+              if offset > max_int - !now then max_int else !now + offset
+            in
+            incr seq;
+            Wheel.push w ~emitted ~prio !seq;
+            Tpp_util.Heap.push h ~emitted ~prio !seq;
+            Wheel.length w = Tpp_util.Heap.length h
+          end)
+        ops
+      && drain_wheel w = drain h)
+
 (* --- Rng ------------------------------------------------------------ *)
 
 let test_rng_deterministic () =
@@ -475,6 +686,16 @@ let suite =
     Alcotest.test_case "heap clear releases values" `Quick test_heap_clear_releases;
     Alcotest.test_case "heap allocation-free accessors" `Quick
       test_heap_alloc_free_accessors;
+    Alcotest.test_case "wheel order" `Quick test_wheel_order;
+    Alcotest.test_case "wheel FIFO ties" `Quick test_wheel_fifo_ties;
+    Alcotest.test_case "wheel overflow horizon" `Quick test_wheel_overflow_horizon;
+    Alcotest.test_case "wheel level rollover" `Quick test_wheel_level_rollover;
+    Alcotest.test_case "wheel rejects the past" `Quick test_wheel_rejects_past;
+    Alcotest.test_case "wheel clear" `Quick test_wheel_clear;
+    qtest prop_wheel_matches_heap;
+    Alcotest.test_case "heap backdated ties" `Quick test_heap_backdated_ties;
+    Alcotest.test_case "wheel backdated ties" `Quick test_wheel_backdated_ties;
+    qtest prop_wheel_matches_heap_backdated;
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng split" `Quick test_rng_split_independent;
     Alcotest.test_case "rng split uses full state" `Quick test_rng_split_full_state;
