@@ -128,8 +128,9 @@ let benches () =
   if files = [] then print_endline "no BENCH_*.json files in the working directory"
   else begin
     sub "bench results (BENCH_*.json)";
-    Printf.printf "  %-14s %10s %14s %12s %14s\n" "file" "events" "events/sec"
-      "minor w/ev" "promoted w/ev";
+    Printf.printf "  %-14s %10s %14s %12s %12s %14s\n" "file" "events" "events/sec"
+      "minor w/ev" "trend" "promoted w/ev";
+    let prev_minor = ref nan in
     List.iter
       (fun f ->
         let text = read_file f in
@@ -141,10 +142,20 @@ let benches () =
         let cell fmt v = if Float.is_nan v then "-" else Printf.sprintf fmt v in
         (* BENCH_4 names its totals chaos_*; every other file uses the
            plain keys. *)
-        Printf.printf "  %-14s %10s %14s %12s %14s\n" f
+        let minor = num [ "minor_words_per_event" ] in
+        (* Trend: this file's allocation rate relative to the previous
+           bench that reported one — the column that shows the
+           flattening work paying off (x1.00 = flat, below = better). *)
+        let trend =
+          if Float.is_nan minor || Float.is_nan !prev_minor then "-"
+          else if !prev_minor = 0.0 then (if minor = 0.0 then "x1.00" else "up")
+          else Printf.sprintf "x%.2f" (minor /. !prev_minor)
+        in
+        if not (Float.is_nan minor) then prev_minor := minor;
+        Printf.printf "  %-14s %10s %14s %12s %12s %14s\n" f
           (cell "%.0f" (num [ "events"; "chaos_events" ]))
           (cell "%.3e" (num [ "events_per_sec"; "chaos_events_per_sec" ]))
-          (cell "%.3f" (num [ "minor_words_per_event" ]))
+          (cell "%.3f" minor) trend
           (cell "%.4f" (num [ "promoted_words_per_event" ])))
       files
   end

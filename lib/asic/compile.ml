@@ -35,7 +35,8 @@ type ectx = {
   state : State.t;
   meta : Meta.t;
   tpp : Tpp.t;
-  memory : bytes;
+  memory : bytes;  (* backing buffer of packet memory *)
+  mem_off : int;   (* window start: flat frames alias the wire image *)
   now : int;
   mem_len : int;
   hop_base : int;  (* base + hop * perhop_len, fixed for the whole run *)
@@ -84,6 +85,11 @@ let length t = Array.length t.uops
 let get32 m off = Int32.to_int (Bytes.get_int32_be m off) land 0xFFFF_FFFF
 let set32 m off v = Bytes.set_int32_be m off (Int32.of_int v)
 
+(* Packet-memory word access relative to the context's window. When the
+   TPP is embedded in a flat frame this writes the wire image in place. *)
+let[@inline] mget c off = get32 c.memory (c.mem_off + off)
+let[@inline] mset c off v = set32 c.memory (c.mem_off + off) v
+
 (* Runtime-checked packet-memory word read: bounds before alignment,
    exactly like the interpreter's [check_pkt]. Negative offsets fall to
    the bounds check, so [land 3] and [mod 4] agree on the rest. *)
@@ -98,7 +104,7 @@ let read_mem c off =
     c.f_detail <- off;
     0
   end
-  else get32 c.memory off
+  else mget c off
 
 let write_mem c off v =
   if off < 0 || off + 4 > c.mem_len then begin
@@ -112,7 +118,7 @@ let write_mem c off v =
     false
   end
   else begin
-    set32 c.memory off v;
+    mset c off v;
     true
   end
 
@@ -139,7 +145,7 @@ let compile_read (op : Instr.operand) : ectx -> int =
         c.f_detail <- off;
         0
       end
-      else get32 c.memory off
+      else mget c off
     else fun c ->
       (* statically a fault, but which fault depends on [mem_len] *)
       read_mem c off
@@ -213,7 +219,7 @@ let compile_write (op : Instr.operand) : ectx -> int -> bool =
         false
       end
       else begin
-        set32 c.memory off v;
+        mset c off v;
         true
       end
     else fun c v -> write_mem c off v
@@ -339,7 +345,7 @@ let compile_instr (instr : Instr.t) : uop =
         fun c ->
           if doff + 4 > c.mem_len then oob c doff
           else begin
-            set32 c.memory doff v;
+            mset c doff v;
             st_continue
           end
       | _ -> (
@@ -349,7 +355,7 @@ let compile_instr (instr : Instr.t) : uop =
             if soff + 4 > c.mem_len then oob c soff
             else if doff + 4 > c.mem_len then oob c doff
             else begin
-              set32 c.memory doff (get32 c.memory soff);
+              mset c doff (mget c soff);
               st_continue
             end
         | None ->
@@ -358,7 +364,7 @@ let compile_instr (instr : Instr.t) : uop =
             let v = read c in
             if doff + 4 > c.mem_len then oob c doff
             else begin
-              set32 c.memory doff v;
+              mset c doff v;
               st_continue
             end
           else fun c ->
@@ -366,7 +372,7 @@ let compile_instr (instr : Instr.t) : uop =
             if c.f_kind >= 0 then st_fault
             else if doff + 4 > c.mem_len then oob c doff
             else begin
-              set32 c.memory doff v;
+              mset c doff v;
               st_continue
             end))
     | None ->
@@ -400,7 +406,7 @@ let compile_instr (instr : Instr.t) : uop =
         fun c ->
           if doff + 4 > c.mem_len then oob c doff
           else begin
-            set32 c.memory doff (apply (get32 c.memory doff) b);
+            mset c doff (apply (mget c doff) b);
             st_continue
           end
       | _ -> (
@@ -410,7 +416,7 @@ let compile_instr (instr : Instr.t) : uop =
             if doff + 4 > c.mem_len then oob c doff
             else if soff + 4 > c.mem_len then oob c soff
             else begin
-              set32 c.memory doff (apply (get32 c.memory doff) (get32 c.memory soff));
+              mset c doff (apply (mget c doff) (mget c soff));
               st_continue
             end
         | None ->
@@ -418,18 +424,18 @@ let compile_instr (instr : Instr.t) : uop =
           if read_never_faults src then fun c ->
             if doff + 4 > c.mem_len then oob c doff
             else begin
-              let a = get32 c.memory doff in
-              set32 c.memory doff (apply a (read_b c));
+              let a = mget c doff in
+              mset c doff (apply a (read_b c));
               st_continue
             end
           else fun c ->
             if doff + 4 > c.mem_len then oob c doff
             else begin
-              let a = get32 c.memory doff in
+              let a = mget c doff in
               let b = read_b c in
               if c.f_kind >= 0 then st_fault
               else begin
-                set32 c.memory doff (apply a b);
+                mset c doff (apply a b);
                 st_continue
               end
             end))
@@ -466,7 +472,7 @@ let compile_instr (instr : Instr.t) : uop =
             else begin
               (* [p] was validated by the [cond] read, so the pool
                  write-back cannot fault. *)
-              set32 c.memory p old;
+              mset c p old;
               st_continue
             end
           end
@@ -485,8 +491,8 @@ let compile_instr (instr : Instr.t) : uop =
           if p + 4 > c.mem_len then oob c p
           else if p + 8 > c.mem_len then oob c (p + 4)
           else begin
-            let mask = get32 c.memory p in
-            let expected = get32 c.memory (p + 4) in
+            let mask = mget c p in
+            let expected = mget c (p + 4) in
             if read_reg c land mask = expected then st_continue else st_cexec
           end
       | _ ->
@@ -515,8 +521,9 @@ let run t state ~now ~(tpp : Tpp.t) ~(meta : Meta.t) =
       meta;
       tpp;
       memory = tpp.Tpp.memory;
+      mem_off = tpp.Tpp.mem_off;
       now;
-      mem_len = Bytes.length tpp.Tpp.memory;
+      mem_len = tpp.Tpp.mem_len;
       hop_base = tpp.Tpp.base + (tpp.Tpp.hop * tpp.Tpp.perhop_len);
       f_kind = -1;
       f_detail = 0;

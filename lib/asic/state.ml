@@ -1,5 +1,6 @@
 module Vaddr = Tpp_isa.Vaddr
 module Frame = Tpp_isa.Frame
+module Ring = Tpp_util.Ring
 
 let mask32 v = v land 0xFFFF_FFFF
 
@@ -9,14 +10,16 @@ module Subqueue = struct
     mutable q_enqueued : int;
     mutable q_dropped : int;
     mutable q_limit : int;
-    frames : Frame.t Queue.t;
+    frames : Frame.t Ring.t;
+        (* ring, not [Queue.t]: enqueue/dequeue allocate nothing once
+           the ring has grown to the port's working set *)
   }
 
   let create ~limit =
     { q_bytes = 0; q_enqueued = 0; q_dropped = 0; q_limit = limit;
-      frames = Queue.create () }
+      frames = Ring.create ~dummy:(Frame.placeholder ()) () }
 
-  let packets t = Queue.length t.frames
+  let packets t = Ring.length t.frames
 end
 
 module Port = struct

@@ -13,7 +13,8 @@ module Subqueue : sig
     mutable q_enqueued : int;  (** cumulative bytes accepted *)
     mutable q_dropped : int;   (** cumulative bytes tail-dropped *)
     mutable q_limit : int;
-    frames : Frame.t Queue.t;
+    frames : Frame.t Tpp_util.Ring.t;
+        (** allocation-free FIFO (preallocated ring) *)
   }
 
   val packets : t -> int

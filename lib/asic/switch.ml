@@ -4,6 +4,7 @@ module Meta = Tpp_isa.Meta
 module Mac = Tpp_packet.Mac
 module Ipv4 = Tpp_packet.Ipv4
 module Ethernet = Tpp_packet.Ethernet
+module Ring = Tpp_util.Ring
 
 type scheduler = Strict | Wrr of int array
 
@@ -14,6 +15,8 @@ type sched_state = {
   mutable rr_remaining : int;   (* packets it may still send this turn *)
 }
 
+type verdict = Queued of int list | Dropped of string
+
 type t = {
   switch_state : State.t;
   allocator : Alloc.t;
@@ -22,6 +25,9 @@ type t = {
   tcam : Tables.Tcam.t;
   sched : sched_state array;
   strip_tpp : bool array;
+  queued_one : verdict array;
+      (* [Queued [ p ]] per port, preallocated: the unicast fast path
+         returns these instead of consing a fresh list each hop. *)
   mutable tcpu_enabled : bool;
   mutable last_tcpu : Tcpu.result option;
   mutable tap : (now:int -> in_port:int -> out_port:int -> Frame.t -> unit) option;
@@ -31,11 +37,7 @@ type t = {
 (* Default classifier: DSCP selects the queue, scaled to however many
    queues the port has (higher DSCP -> higher-priority queue). *)
 let dscp_classifier (frame : Frame.t) =
-  match frame.Frame.ip with
-  | Some ip -> ip.Ipv4.Header.dscp
-  | None -> 0
-
-type verdict = Queued of int list | Dropped of string
+  if Frame.has_ip frame then Frame.ip_dscp frame else 0
 
 let create ~id ~num_ports ?queue_limit ?(tcpu_enabled = true) () =
   let switch_state = State.create ~switch_id:id ~num_ports ?queue_limit () in
@@ -49,6 +51,7 @@ let create ~id ~num_ports ?queue_limit ?(tcpu_enabled = true) () =
       Array.init num_ports (fun _ ->
           { discipline = Strict; rr_queue = 0; rr_remaining = 0 });
     strip_tpp = Array.make num_ports false;
+    queued_one = Array.init num_ports (fun p -> Queued [ p ]);
     tcpu_enabled;
     last_tcpu = None;
     tap = None;
@@ -107,28 +110,21 @@ let set_version t v = t.switch_state.State.version <- v
 let route_action t addr =
   Option.map (fun e -> e.Tables.action) (Tables.L3.lookup t.l3 addr)
 
-(* Forwarding lookup: TCAM overrides (it is the flexible match stage of
-   Figure 3), then L3 for IP traffic, then exact L2, else flood. *)
-let lookup t ~in_port (frame : Frame.t) =
-  let src_ip = Option.map (fun ip -> ip.Ipv4.Header.src) frame.Frame.ip in
-  let dst_ip = Option.map (fun ip -> ip.Ipv4.Header.dst) frame.Frame.ip in
-  let proto = Option.map (fun ip -> ip.Ipv4.Header.proto) frame.Frame.ip in
-  let dst_port = Option.map (fun u -> u.Tpp_packet.Udp.dst_port) frame.Frame.udp in
-  match Tables.Tcam.lookup t.tcam ~src_ip ~dst_ip ~proto ~in_port ~dst_port with
-  | Some e -> Some (e, 3)
-  | None -> (
-    match dst_ip with
-    | Some dst -> (
-      match Tables.L3.lookup t.l3 dst with
-      | Some e -> Some (e, 2)
-      | None -> (
-        match Tables.L2.lookup t.l2 frame.Frame.eth.Ethernet.dst with
-        | Some e -> Some (e, 1)
-        | None -> None))
-    | None -> (
-      match Tables.L2.lookup t.l2 frame.Frame.eth.Ethernet.dst with
-      | Some e -> Some (e, 1)
-      | None -> None))
+(* TCAM stage of the forwarding lookup (the flexible match stage of
+   Figure 3). Split out because the common case — no rules installed —
+   must not box the optional match fields. *)
+let tcam_lookup t ~in_port (frame : Frame.t) =
+  if Tables.Tcam.is_empty t.tcam then None
+  else begin
+    let has_ip = Frame.has_ip frame in
+    let src_ip = if has_ip then Some (Frame.ip_src frame) else None in
+    let dst_ip = if has_ip then Some (Frame.ip_dst frame) else None in
+    let proto = if has_ip then Some (Frame.ip_proto frame) else None in
+    let dst_port =
+      if Frame.has_udp frame then Some (Frame.udp_dst_port frame) else None
+    in
+    Tables.Tcam.lookup t.tcam ~src_ip ~dst_ip ~proto ~in_port ~dst_port
+  end
 
 let fill_meta t ~now ~in_port ~out_port ~entry_id ~version ~table_hit (frame : Frame.t) =
   let meta = frame.Frame.meta in
@@ -174,17 +170,64 @@ let process_and_enqueue t ~now (frame : Frame.t) ~out_port =
   end
   else begin
     (* Fixed-function ECN (paper §4): mark CE when the queue the packet
-       joins already sits above the threshold. *)
-    (match (port.State.Port.ecn_threshold, frame.Frame.ip) with
-    | Some threshold, Some ip when sub.State.Subqueue.q_bytes >= threshold ->
-      frame.Frame.ip <- Some { ip with Ipv4.Header.ecn = Ipv4.Header.ecn_ce }
+       joins already sits above the threshold. In-place patch; the
+       incremental checksum update keeps the IPv4 header valid. *)
+    (match port.State.Port.ecn_threshold with
+    | Some threshold
+      when Frame.has_ip frame && sub.State.Subqueue.q_bytes >= threshold ->
+      Frame.set_ip_ecn frame Ipv4.Header.ecn_ce
     | _ -> ());
-    Queue.push frame sub.State.Subqueue.frames;
+    Ring.push sub.State.Subqueue.frames frame;
     sub.State.Subqueue.q_bytes <- sub.State.Subqueue.q_bytes + wire;
     sub.State.Subqueue.q_enqueued <- sub.State.Subqueue.q_enqueued + wire;
     port.State.Port.queue_bytes <- port.State.Port.queue_bytes + wire;
     true
   end
+
+(* Forward along a table hit. A plain function (not a closure inside
+   [handle_ingress]) so the per-hop fast path allocates only its
+   verdict: the hit entry and the table stage arrive as separate
+   arguments, never packed into a tuple. *)
+let route t ~now ~in_port frame ~out_port ~entry_id ~version ~table_hit =
+  let st = t.switch_state in
+  if out_port < 0 || out_port >= num_ports t then Dropped "route to invalid port"
+  else begin
+    (* Routed (non-L2) hops decrement the TTL; expiry protects the
+       network from forwarding loops. The decrement patches the
+       wire image directly (no header record is rebuilt). *)
+    let expired =
+      if table_hit >= 2 && Frame.has_ip frame then begin
+        let ttl = Frame.ip_ttl frame in
+        if ttl <= 1 then true
+        else begin
+          Frame.set_ip_ttl frame (ttl - 1);
+          false
+        end
+      end
+      else false
+    in
+    if expired then begin
+      st.State.drops <- st.State.drops + 1;
+      Dropped "TTL expired"
+    end
+    else begin
+      fill_meta t ~now ~in_port ~out_port ~entry_id ~version ~table_hit frame;
+      if process_and_enqueue t ~now frame ~out_port then
+        Array.unsafe_get t.queued_one out_port
+      else Dropped "queue full"
+    end
+  end
+
+let route_entry t ~now ~in_port frame (e : Tables.entry) ~table_hit =
+  match e.Tables.action with
+  | Tables.Drop -> Dropped "table drop rule"
+  | Tables.Forward p ->
+    route t ~now ~in_port frame ~out_port:p ~entry_id:e.Tables.entry_id
+      ~version:e.Tables.version ~table_hit
+  | Tables.Multipath ports ->
+    route t ~now ~in_port frame
+      ~out_port:(Tables.select_path ports ~key:(Frame.flow_hash frame))
+      ~entry_id:e.Tables.entry_id ~version:e.Tables.version ~table_hit
 
 let handle_ingress t ~now ~in_port frame =
   let st = t.switch_state in
@@ -201,56 +244,33 @@ let handle_ingress t ~now ~in_port frame =
     p_in.State.Port.rx_pkts <- p_in.State.Port.rx_pkts + 1;
     st.State.packets_seen <- st.State.packets_seen + 1;
     st.State.bytes_seen <- st.State.bytes_seen + wire;
-    match lookup t ~in_port frame with
-    | Some ({ Tables.action = Tables.Drop; _ }, _) -> Dropped "table drop rule"
-    | Some ({ Tables.action = Tables.Forward _ | Tables.Multipath _; _ }, _) as hit ->
-      let out_port, entry_id, version, table_hit =
-        match hit with
-        | Some ({ Tables.action = Tables.Forward p; entry_id; version }, table_hit) ->
-          (p, entry_id, version, table_hit)
-        | Some ({ Tables.action = Tables.Multipath ports; entry_id; version }, table_hit)
-          ->
-          ( Tables.select_path ports ~key:(Frame.flow_hash frame),
-            entry_id, version, table_hit )
-        | _ -> assert false
-      in
-      if out_port < 0 || out_port >= num_ports t then Dropped "route to invalid port"
-      else begin
-        (* Routed (non-L2) hops decrement the TTL; expiry protects the
-           network from forwarding loops. *)
-        let expired =
-          match (table_hit >= 2, frame.Frame.ip) with
-          | true, Some ip ->
-            if ip.Ipv4.Header.ttl <= 1 then true
-            else begin
-              frame.Frame.ip <-
-                Some { ip with Ipv4.Header.ttl = ip.Ipv4.Header.ttl - 1 };
-              false
+    (* Lookup priority: TCAM overrides, then L3 for IP traffic, then
+       exact L2, else flood. *)
+    match tcam_lookup t ~in_port frame with
+    | Some e -> route_entry t ~now ~in_port frame e ~table_hit:3
+    | None -> (
+      match
+        if Frame.has_ip frame then Tables.L3.lookup t.l3 (Frame.ip_dst frame)
+        else None
+      with
+      | Some e -> route_entry t ~now ~in_port frame e ~table_hit:2
+      | None -> (
+        match Tables.L2.lookup t.l2 (Frame.eth_dst frame) with
+        | Some e -> route_entry t ~now ~in_port frame e ~table_hit:1
+        | None ->
+          (* Unknown destination: flood out of every other port. *)
+          let queued = ref [] in
+          for out_port = 0 to num_ports t - 1 do
+            if out_port <> in_port then begin
+              let copy = if !queued = [] then frame else Frame.clone frame in
+              fill_meta t ~now ~in_port ~out_port ~entry_id:0 ~version:0
+                ~table_hit:0 copy;
+              if process_and_enqueue t ~now copy ~out_port then
+                queued := out_port :: !queued
             end
-          | _ -> false
-        in
-        if expired then begin
-          st.State.drops <- st.State.drops + 1;
-          Dropped "TTL expired"
-        end
-        else begin
-          fill_meta t ~now ~in_port ~out_port ~entry_id ~version ~table_hit frame;
-          if process_and_enqueue t ~now frame ~out_port then Queued [ out_port ]
-          else Dropped "queue full"
-        end
-      end
-    | None ->
-      (* Unknown destination: flood out of every other port. *)
-      let queued = ref [] in
-      for out_port = 0 to num_ports t - 1 do
-        if out_port <> in_port then begin
-          let copy = if !queued = [] then frame else Frame.clone frame in
-          fill_meta t ~now ~in_port ~out_port ~entry_id:0 ~version:0 ~table_hit:0 copy;
-          if process_and_enqueue t ~now copy ~out_port then
-            queued := out_port :: !queued
-        end
-      done;
-      if !queued = [] then Dropped "flood found no open port" else Queued (List.rev !queued)
+          done;
+          if !queued = [] then Dropped "flood found no open port"
+          else Queued (List.rev !queued)))
   end
 
 let set_scheduler t ~port discipline =
@@ -266,15 +286,15 @@ let set_scheduler t ~port discipline =
 
 let take_from port qi =
   let queues = port.State.Port.queues in
-  match Queue.take_opt queues.(qi).State.Subqueue.frames with
+  match Ring.take_opt queues.(qi).State.Subqueue.frames with
   | None -> None
-  | Some frame ->
+  | Some frame as r ->
     let wire = Frame.wire_size frame in
     queues.(qi).State.Subqueue.q_bytes <- queues.(qi).State.Subqueue.q_bytes - wire;
     port.State.Port.queue_bytes <- port.State.Port.queue_bytes - wire;
     port.State.Port.tx_bytes <- port.State.Port.tx_bytes + wire;
     port.State.Port.tx_pkts <- port.State.Port.tx_pkts + 1;
-    Some frame
+    r
 
 (* Strict: serve the highest-index non-empty queue. WRR: keep serving
    the current queue until its per-turn packet budget (its weight) runs
@@ -286,7 +306,7 @@ let dequeue t ~port:i =
   match t.sched.(i).discipline with
   | Strict ->
     let rec scan qi = if qi < 0 then None else
-        match take_from port qi with Some f -> Some f | None -> scan (qi - 1)
+        match take_from port qi with Some _ as r -> r | None -> scan (qi - 1)
     in
     scan (n - 1)
   | Wrr weights when Array.length weights <> n ->
@@ -297,9 +317,9 @@ let dequeue t ~port:i =
       if visited > n then None
       else if s.rr_remaining > 0 then begin
         match take_from port s.rr_queue with
-        | Some frame ->
+        | Some _ as r ->
           s.rr_remaining <- s.rr_remaining - 1;
-          Some frame
+          r
         | None ->
           s.rr_remaining <- 0;
           serve visited

@@ -81,11 +81,15 @@ module L3 = struct
     go t.root 0
 
   let lookup t addr =
+    (* Forwarding-path descent: every [Some] returned here is a block
+       that already exists (the node's own [value]/child fields), so a
+       lookup allocates nothing — this runs once per switch hop. *)
     let rec go node i best =
-      let best = match node.value with Some e -> Some e | None -> best in
+      let best = match node.value with Some _ as v -> v | None -> best in
       if i >= 32 then best
       else
-        match descend node addr i ~create:false with
+        let next = if bit addr i = 0 then node.zero else node.one in
+        match next with
         | Some n -> go n (i + 1) best
         | None -> best
     in
@@ -141,6 +145,8 @@ module Tcam = struct
   type t = { mutable rules : (rule * entry) list }
 
   let create () = { rules = [] }
+
+  let is_empty t = t.rules = []
 
   let order (ra, ea) (rb, eb) =
     match Int.compare rb.priority ra.priority with

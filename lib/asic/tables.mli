@@ -65,6 +65,11 @@ module Tcam : sig
   type t
 
   val create : unit -> t
+
+  val is_empty : t -> bool
+  (** Cheap emptiness test; the forwarding pipeline uses it to skip
+      building the optional match fields when no rules are installed. *)
+
   val install : t -> rule -> entry -> unit
   val remove_id : t -> int -> unit
   (** Removes the entry with the given [entry_id]. *)

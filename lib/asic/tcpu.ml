@@ -155,7 +155,7 @@ let step ctx instr =
 let run_interpreter state ~now ~tpp ~meta =
   let ctx =
     { state; now; tpp; meta;
-      mem_len = Bytes.length tpp.Tpp.memory;
+      mem_len = tpp.Tpp.mem_len;
       hop_base = tpp.Tpp.base + (tpp.Tpp.hop * tpp.Tpp.perhop_len) }
   in
   let program = tpp.Tpp.program in

@@ -32,13 +32,12 @@ module Sink = struct
     Stack.on_udp stack ~port (fun ~now frame ->
         t.rx_pkts <- t.rx_pkts + 1;
         t.rx_bytes <- t.rx_bytes + Frame.wire_size frame;
-        t.rx_payload <- t.rx_payload + Bytes.length frame.Frame.payload;
-        (match frame.Frame.ip with
-        | Some ip
-          when ip.Tpp_packet.Ipv4.Header.ecn = Tpp_packet.Ipv4.Header.ecn_ce ->
-          t.ce <- t.ce + 1
-        | _ -> ());
-        (match decode_payload frame.Frame.payload with
+        t.rx_payload <- t.rx_payload + Frame.payload_len frame;
+        if
+          Frame.has_ip frame
+          && Frame.ip_ecn frame = Tpp_packet.Ipv4.Header.ecn_ce
+        then t.ce <- t.ce + 1;
+        (match decode_payload (Frame.payload frame) with
         | Some (seq, sent_ns) ->
           t.decoded <- t.decoded + 1;
           Stats.add t.latency (float_of_int (now - sent_ns));

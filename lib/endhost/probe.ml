@@ -25,21 +25,19 @@ let decode_echo payload =
   | exception Invalid_argument _ -> None
 
 let echo_back stack ~now:_ frame =
-  match (frame.Frame.tpp, frame.Frame.ip, frame.Frame.udp) with
-  | Some tpp, Some ip, Some udp ->
+  match frame.Frame.tpp with
+  | Some tpp when Frame.has_ip frame && Frame.has_udp frame ->
     let seq =
-      if Bytes.length frame.Frame.payload >= 4 then Buf.get_u32i frame.Frame.payload 0
-      else 0
+      if Frame.payload_len frame >= 4 then Frame.payload_u32 frame 0 else 0
     in
     (* Reply straight to the requester's addresses; the echo is a
        plain datagram, so the TPP executes only on the forward path. *)
     let reply =
       Frame.udp_frame
         ~src_mac:(Stack.host stack).Net.mac
-        ~dst_mac:frame.Frame.eth.Tpp_packet.Ethernet.src
-        ~src_ip:ip.Tpp_packet.Ipv4.Header.dst
-        ~dst_ip:ip.Tpp_packet.Ipv4.Header.src
-        ~src_port:udp.Tpp_packet.Udp.dst_port ~dst_port:reply_port
+        ~dst_mac:(Frame.eth_src frame)
+        ~src_ip:(Frame.ip_dst frame) ~dst_ip:(Frame.ip_src frame)
+        ~src_port:(Frame.udp_dst_port frame) ~dst_port:reply_port
         ~payload:(encode_echo ~seq tpp) ()
     in
     Net.host_send (Stack.net stack) (Stack.host stack) reply
@@ -60,7 +58,7 @@ let send stack ~dst ~tpp ~seq =
 
 let install_reply_handler stack callback =
   Stack.on_udp_add stack ~port:reply_port (fun ~now frame ->
-      match decode_echo frame.Frame.payload with
+      match decode_echo (Frame.payload frame) with
       | Some (seq, tpp) -> callback ~now ~seq tpp
       | None -> ())
 

@@ -251,9 +251,9 @@ let create stack config ~flow ~dst =
     let flow_port = Flow.port flow in
     Stack.on_udp_add stack ~port:Probe.reply_port (fun ~now frame ->
         if t.running && now - t.last_piggyback >= t.config.period_ns then
-          match (frame.Tpp_isa.Frame.udp, frame.Tpp_isa.Frame.payload) with
-          | Some u, payload when u.Tpp_packet.Udp.src_port = flow_port -> (
-            match Probe.decode_echo payload with
+          match Tpp_isa.Frame.udp frame with
+          | Some u when u.Tpp_packet.Udp.src_port = flow_port -> (
+            match Probe.decode_echo (Tpp_isa.Frame.payload frame) with
             | Some (_, tpp) ->
               t.last_piggyback <- now;
               t.probes_sent <- t.probes_sent + 1;

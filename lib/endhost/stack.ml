@@ -15,14 +15,12 @@ type t = {
 let dispatch t ~now frame =
   t.received <- t.received + 1;
   let handled =
-    match frame.Frame.udp with
-    | Some u -> (
-      match Hashtbl.find_opt t.handlers u.Udp.dst_port with
-      | Some handlers ->
-        List.iter (fun handler -> handler ~now frame) handlers;
-        true
-      | None -> false)
-    | None -> false
+    Frame.has_udp frame
+    && (match Hashtbl.find_opt t.handlers (Frame.udp_dst_port frame) with
+       | Some handlers ->
+         List.iter (fun handler -> handler ~now frame) handlers;
+         true
+       | None -> false)
   in
   if not handled then t.default ~now frame
 

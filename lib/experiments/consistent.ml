@@ -39,9 +39,7 @@ let run () =
       | Some tpp ->
         (* sent time rides in the payload's first word (ms). *)
         let sent_ms =
-          if Bytes.length frame.Frame.payload >= 4 then
-            Tpp_util.Buf.get_u32i frame.Frame.payload 0
-          else 0
+          if Frame.payload_len frame >= 4 then Frame.payload_u32 frame 0 else 0
         in
         received := (sent_ms, Trace.parse tpp) :: !received
       | None -> ());

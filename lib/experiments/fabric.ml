@@ -70,9 +70,9 @@ let run () =
   Array.iteri
     (fun i stack ->
       Stack.on_udp stack ~port:9100 (fun ~now:_ frame ->
-          match (frame.Frame.tpp, frame.Frame.ip) with
-          | Some tpp, Some ip -> (
-            match host_of_ip ip.Tpp_packet.Ipv4.Header.src with
+          match (frame.Frame.tpp, Frame.has_ip frame) with
+          | Some tpp, true -> (
+            match host_of_ip (Frame.ip_src frame) with
             | Some src -> traces := (src, i, Trace.parse tpp) :: !traces
             | None -> ())
           | _ -> ()))

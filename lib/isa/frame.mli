@@ -1,28 +1,46 @@
 (** A simulated Ethernet frame, possibly carrying a TPP section.
 
-    The structured representation is what the simulator moves around;
-    {!serialize} and {!parse} implement the real wire format and are
-    exercised at host NIC boundaries and throughout the test suite, so
-    the structured form is guaranteed to round-trip through bytes. *)
+    Zero-copy flat representation: a frame is one contiguous buffer
+    holding its wire encoding (Ethernet at offset 0, then an optional
+    TPP section, then IPv4/UDP/payload) plus integer offsets into it,
+    computed once at construction or ingress {!parse}. Header reads are
+    direct byte loads; in-flight rewrites (TTL, ECN, TPP memory words)
+    patch the buffer in place — IPv4 via RFC 1624 incremental checksum
+    update — so a switch hop allocates no header records, and
+    {!serialize} is a single blit.
+
+    The {!t.tpp} view aliases the frame's buffer: its packet memory
+    window points at the memory bytes of the serialized section, so
+    TCPU stores land directly in the wire image. The record codecs in
+    [Tpp_packet] remain the validation and differential-testing oracle:
+    {!parse} drives them to check every header, and the QCheck suite
+    asserts flat and record serializations are byte-identical. *)
 
 module Ethernet = Tpp_packet.Ethernet
 module Ipv4 = Tpp_packet.Ipv4
 module Udp = Tpp_packet.Udp
 
 type t = {
-  id : int;  (** unique per simulation run, for tracing *)
-  eth : Ethernet.t;
-  tpp : Tpp.t option;
-  mutable ip : Ipv4.Header.t option;
-      (** mutable: switches rewrite TTL and may set the ECN mark *)
-  udp : Udp.t option;
-  payload : bytes;
+  mutable id : int;  (** unique per simulation run, for tracing *)
+  mutable buf : bytes;
+      (** backing buffer; the wire image is [0, len) (pooled frames may
+          have spare capacity beyond [len]) *)
+  mutable len : int;
+  mutable tpp : Tpp.t option;
+      (** TPP view whose packet memory aliases [buf]; its mutable header
+          state (flags/sp/hop) is flushed into [buf] on serialization *)
+  mutable ip_off : int;   (** IPv4 header offset in [buf]; -1 = absent *)
+  mutable udp_off : int;  (** UDP header offset in [buf]; -1 = absent *)
+  mutable pay_off : int;  (** payload offset (= [len] when empty) *)
   meta : Meta.t;
   mutable flow_hash_cache : int;
       (** lazily memoized {!flow_hash} ([min_int] = not yet computed) *)
-  mutable wire_size_cache : int;
-      (** lazily memoized {!wire_size} ([min_int] = not yet computed) *)
+  mutable home : pool;
+      (** free list this frame returns to on {!recycle} *)
+  mutable in_free_list : bool;
 }
+
+and pool
 
 val make :
   ?tpp:Tpp.t ->
@@ -32,9 +50,12 @@ val make :
   eth:Ethernet.t ->
   unit ->
   t
-(** Builds a frame with a fresh id. Raises [Invalid_argument] when the
-    header stack is inconsistent (e.g. a TPP on a non-TPP ethertype, or
-    a UDP header without an IPv4 header). *)
+(** Builds a frame with a fresh id, rendering the wire image
+    immediately. Raises [Invalid_argument] when the header stack is
+    inconsistent (e.g. a TPP on a non-TPP ethertype, or a UDP header
+    without an IPv4 header), or when [tpp]'s program is unencodable.
+    The [tpp] handle is rebased onto the frame's buffer: the caller's
+    subsequent [Tpp.mem_set]s patch the frame in place. *)
 
 val udp_frame :
   src_mac:Tpp_packet.Mac.t ->
@@ -50,7 +71,62 @@ val udp_frame :
   t
 (** A UDP datagram; when [tpp] is given the frame becomes a TPP frame
     encapsulating the IPv4 packet (so it is routed like normal traffic,
-    as the paper requires). *)
+    as the paper requires); [tpp.inner_ethertype] is set accordingly. *)
+
+val placeholder : unit -> t
+(** A minimal inert frame (Ethernet header only, zero MACs); rings and
+    slabs use it as their dummy slot filler. Never transmitted. *)
+
+(** {2 Field views}
+
+    Reads decode straight out of the flat buffer. The [_exn] behaviour
+    of layer-specific accessors on a frame lacking that layer is
+    [Invalid_argument]; check {!has_ip}/{!has_udp} first on mixed
+    traffic, or use the option-returning record getters. *)
+
+val eth : t -> Ethernet.t
+val ethertype : t -> int
+val eth_src : t -> Tpp_packet.Mac.t
+val eth_dst : t -> Tpp_packet.Mac.t
+
+val has_ip : t -> bool
+
+val ip : t -> Ipv4.Header.t option
+(** Materializes the IPv4 header as a record (allocates); prefer the
+    field accessors below on hot paths. *)
+
+val ip_src : t -> Ipv4.Addr.t
+val ip_dst : t -> Ipv4.Addr.t
+val ip_proto : t -> int
+val ip_ttl : t -> int
+val ip_dscp : t -> int
+val ip_ecn : t -> int
+val ip_ident : t -> int
+
+val set_ip_ttl : t -> int -> unit
+(** In-place patch with incremental checksum update; the stored IPv4
+    checksum remains equal to a full recompute. Likewise below. *)
+
+val set_ip_ecn : t -> int -> unit
+val set_ip_dscp : t -> int -> unit
+val set_ip_ident : t -> int -> unit
+
+val has_udp : t -> bool
+val udp : t -> Udp.t option
+val udp_src_port : t -> int
+val udp_dst_port : t -> int
+
+val payload_len : t -> int
+
+val payload : t -> bytes
+(** Copy of the payload bytes (allocates); hot paths should use
+    {!payload_len}/{!payload_u32}/{!blit_payload}. *)
+
+val payload_u32 : t -> int -> int
+(** Big-endian 32-bit word at a byte offset within the payload. Raises
+    [Buf.Out_of_bounds]. *)
+
+val blit_payload : t -> src_pos:int -> bytes -> dst_pos:int -> len:int -> unit
 
 val flow_hash_values :
   src:int -> dst:int -> proto:int -> src_port:int -> dst_port:int -> int
@@ -60,30 +136,88 @@ val flow_hash_values :
 val flow_hash : t -> int
 (** {!flow_hash_values} over this frame's headers: the IPv4/UDP fields
     when present, else the MAC addresses. Symmetric headers hash the
-    same on every switch, so a flow pins to one path. *)
+    same on every switch, so a flow pins to one path. Memoized; sound
+    because in-flight rewrites never touch the 5-tuple. *)
 
 val wire_size : t -> int
 (** Bytes this frame occupies on a link, including the 4-byte FCS and
     the 64-byte Ethernet minimum. Queueing and transmission delays use
-    this value. Memoized per frame: every hop asks several times. *)
+    this value. *)
 
 val serialize : t -> bytes
-(** The frame's wire image as fresh bytes. *)
+(** The frame's wire image as fresh bytes (one blit, after flushing the
+    TPP header state). *)
 
-(** {!serialize}, but appending into a caller-provided writer, so the
-    steady-state path can reuse one scratch buffer instead of allocating
-    per packet. *)
 val serialize_into : Tpp_util.Buf.Writer.t -> t -> unit
+(** {!serialize}, but appending into a caller-provided writer. *)
+
 val parse : ?len:int -> bytes -> (t, string) result
 (** [parse ?len b] decodes the first [len] bytes of [b] (default: all of
     it) — [len] lets a caller parse straight out of a reused scratch
-    buffer without copying. *)
+    buffer without copying. Every header is validated by the record
+    codecs; the resulting frame owns a private copy of the wire image
+    with offsets precomputed, and is never pooled. *)
 
 val with_tpp : t -> Tpp.t option -> t
-(** Same frame (same id) with the TPP section replaced. *)
+(** Same frame (same id) with the TPP section replaced — the one
+    layout-changing operation; builds a fresh buffer. [tpp] is rebased
+    onto it. *)
 
 val clone : t -> t
-(** Independent copy with a fresh id, fresh metadata and deep-copied TPP
-    memory; used when a switch floods a frame out of several ports. *)
+(** Independent copy with a fresh id, fresh metadata and a private
+    buffer (the TPP view is reseated onto it, sharing the program and
+    compiled-code cell); used when a switch floods a frame out of
+    several ports. *)
+
+(** {2 Frame pool}
+
+    A per-flow free list of fixed-capacity frames: steady-state traffic
+    reuses one buffer per in-flight packet instead of allocating per
+    send. Ownership rule: a pool belongs to the domain that created it;
+    {!recycle} from another domain is a no-op (the frame ages out to
+    the GC), so pooling never breaks sharded determinism. *)
+
+module Pool : sig
+  type frame = t
+  type t = pool
+
+  val create : ?capacity:int -> ?frame_bytes:int -> unit -> t
+  (** [frame_bytes] (default 2048) is the buffer capacity preallocated
+      per frame — MTU-sized datagram plus TPP section headroom. *)
+
+  val take : t -> frame
+  (** A frame from the free list (buffer retained, fresh id, cleared
+      metadata) or a newly allocated one. Its contents are unspecified
+      until rendered by {!udp_frame}. *)
+
+  val udp_frame :
+    t ->
+    src_mac:Tpp_packet.Mac.t ->
+    dst_mac:Tpp_packet.Mac.t ->
+    src_ip:Ipv4.Addr.t ->
+    dst_ip:Ipv4.Addr.t ->
+    src_port:int ->
+    dst_port:int ->
+    ?ttl:int ->
+    ?tpp:Tpp.t ->
+    payload:bytes ->
+    unit ->
+    frame
+  (** {!Frame.udp_frame} rendered into a pooled frame; allocation-free
+      when the free list is non-empty and the packet fits
+      [frame_bytes]. *)
+
+  val outstanding : t -> int
+  (** Frames taken and not yet recycled. *)
+
+  val created : t -> int
+  val reused : t -> int
+end
+
+val recycle : t -> unit
+(** Returns a pooled frame to its free list. Safe on any frame:
+    unpooled frames, double recycles and foreign-domain recycles are
+    no-ops. After a successful recycle the caller must not touch the
+    frame again. *)
 
 val pp : Format.formatter -> t -> unit

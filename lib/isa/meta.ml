@@ -30,6 +30,10 @@ let reset t =
   t.table_hit <- 0;
   t.arrival_ns <- 0
 
+let clear t =
+  reset t;
+  t.hop_count <- 0
+
 let get t = function
   | Vaddr.Pkt_meta.Input_port -> t.in_port
   | Vaddr.Pkt_meta.Output_port -> t.out_port

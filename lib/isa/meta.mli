@@ -21,4 +21,8 @@ val create : unit -> t
 val reset : t -> unit
 (** Clears everything except [hop_count] (which survives across hops). *)
 
+val clear : t -> unit
+(** Full reset, [hop_count] included — equivalent to a fresh {!create};
+    used when a pooled frame is reborn as a new packet. *)
+
 val get : t -> Vaddr.Pkt_meta.t -> int

@@ -13,8 +13,15 @@ type compiled += Not_compiled
 type exec_cache = {
   mutable key : string option;
   handle : compiled Atomic.t;
+  mutable code : bytes option;  (* wire encoding of the program *)
 }
 
+(* Packet memory is a window [mem_off, mem_off + mem_len) of [memory]:
+   a standalone TPP owns a private buffer at offset 0, while a TPP
+   embedded in a flat frame aliases the frame's backing buffer, so a
+   TCPU word store patches the wire image in place. [sp], [hop] and
+   [faulted] stay authoritative in the record between hops; the frame
+   layer flushes them into the serialized section header on export. *)
 type t = {
   mutable faulted : bool;
   addr_mode : addr_mode;
@@ -23,16 +30,20 @@ type t = {
   mutable sp : int;
   mutable hop : int;
   program : Instr.t array;
-  memory : bytes;
-  inner_ethertype : int;
+  mutable memory : bytes;
+  mutable mem_off : int;
+  mem_len : int;
+  mutable inner_ethertype : int;
   cache : exec_cache;
 }
 
-let fresh_cache () = { key = None; handle = Atomic.make Not_compiled }
+let fresh_cache () = { key = None; handle = Atomic.make Not_compiled; code = None }
 
 let header_size = 16
 
-let section_size t = header_size + (Instr.size * Array.length t.program) + Bytes.length t.memory
+let mem_len t = t.mem_len
+
+let section_size t = header_size + (Instr.size * Array.length t.program) + t.mem_len
 
 let check_u16 what v =
   if v < 0 || v > 0xFFFF then invalid_arg (Printf.sprintf "Tpp.make: %s exceeds 16 bits" what)
@@ -60,14 +71,35 @@ let make ?(addr_mode = Stack) ?(perhop_len = 0) ?(pool = Bytes.empty)
     hop = 0;
     program = Array.of_list program;
     memory;
+    mem_off = 0;
+    mem_len = total_mem;
     inner_ethertype;
     cache = fresh_cache ();
   }
 
 (* Programs are immutable after construction, so copies share the
    instruction array and the compiled-code cell; only the packet memory
-   (the mutable per-packet state) is duplicated. *)
-let copy t = { t with memory = Bytes.copy t.memory }
+   (the mutable per-packet state) is duplicated — always into a private
+   standalone buffer, even when the original aliases a frame. *)
+let copy t =
+  let m = Bytes.create t.mem_len in
+  Bytes.blit t.memory t.mem_off m 0 t.mem_len;
+  { t with memory = m; mem_off = 0 }
+
+(* Fresh view over a different backing buffer whose bytes already hold
+   this TPP's memory image at [mem_off] (frame cloning). Shares the
+   program and compiled-code cell, snapshots sp/hop/faulted. *)
+let reseat t ~memory ~mem_off = { t with memory; mem_off }
+
+(* Moves this TPP's packet memory into [memory] at [mem_off], carrying
+   the current contents along (frame embedding: subsequent mem stores
+   land in the frame's backing buffer). *)
+let rebase t ~memory ~mem_off =
+  if mem_off < 0 || mem_off + t.mem_len > Bytes.length memory then
+    invalid_arg "Tpp.rebase: window out of range";
+  Bytes.blit t.memory t.mem_off memory mem_off t.mem_len;
+  t.memory <- memory;
+  t.mem_off <- mem_off
 
 let program_key t =
   match t.cache.key with
@@ -87,14 +119,34 @@ let program_key t =
     t.cache.key <- Some k;
     k
 
+(* Wire encoding of the instruction array, shared across the family.
+   Raises [Invalid_argument] for unencodable hand-built programs, like
+   {!write} always has. *)
+let program_bytes t =
+  match t.cache.code with
+  | Some b -> b
+  | None ->
+    let w = Buf.Writer.create ~capacity:(max 8 (Instr.size * Array.length t.program)) () in
+    Array.iter (Instr.write w) t.program;
+    let b = Buf.Writer.contents w in
+    t.cache.code <- Some b;
+    b
+
 let compiled_handle t = Atomic.get t.cache.handle
 let set_compiled_handle t c = Atomic.set t.cache.handle c
 
-let mem_get t off = Buf.get_u32i t.memory off
-let mem_set t off v = Buf.set_u32i t.memory off v
+let oob what = raise (Buf.Out_of_bounds what)
+
+let mem_get t off =
+  if off < 0 || off + 4 > t.mem_len then oob "Tpp.mem_get";
+  Int32.to_int (Bytes.get_int32_be t.memory (t.mem_off + off)) land 0xFFFF_FFFF
+
+let mem_set t off v =
+  if off < 0 || off + 4 > t.mem_len then oob "Tpp.mem_set";
+  Bytes.set_int32_be t.memory (t.mem_off + off) (Int32.of_int (v land 0xFFFF_FFFF))
 
 let words t =
-  let n = Bytes.length t.memory / 4 in
+  let n = t.mem_len / 4 in
   List.init n (fun i -> mem_get t (4 * i))
 
 let stack_values t =
@@ -110,18 +162,32 @@ let flags_of t =
   (match t.addr_mode with Stack -> 0 | Hop_addressed -> 1)
   lor (if t.faulted then 2 else 0)
 
+(* The 16-byte section header, written straight into a buffer. The
+   frame layer uses this both to build sections and to flush the
+   mutable header state (flags/sp/hop) before exporting wire bytes. *)
+let write_header_into b ~off t =
+  Bytes.set_uint8 b off 1;
+  Bytes.set_uint8 b (off + 1) (flags_of t);
+  Bytes.set_uint16_be b (off + 2) (Instr.size * Array.length t.program);
+  Bytes.set_uint16_be b (off + 4) t.mem_len;
+  Bytes.set_uint16_be b (off + 6) t.sp;
+  Bytes.set_uint16_be b (off + 8) t.hop;
+  Bytes.set_uint16_be b (off + 10) t.perhop_len;
+  Bytes.set_uint16_be b (off + 12) t.inner_ethertype;
+  Bytes.set_uint16_be b (off + 14) t.base
+
 let write w t =
   Buf.Writer.u8 w 1;
   Buf.Writer.u8 w (flags_of t);
   Buf.Writer.u16 w (Instr.size * Array.length t.program);
-  Buf.Writer.u16 w (Bytes.length t.memory);
+  Buf.Writer.u16 w t.mem_len;
   Buf.Writer.u16 w t.sp;
   Buf.Writer.u16 w t.hop;
   Buf.Writer.u16 w t.perhop_len;
   Buf.Writer.u16 w t.inner_ethertype;
   Buf.Writer.u16 w t.base;
   Array.iter (Instr.write w) t.program;
-  Buf.Writer.bytes w t.memory
+  Buf.Writer.bytes_sub w t.memory ~pos:t.mem_off ~len:t.mem_len
 
 let read r =
   try
@@ -167,6 +233,8 @@ let read r =
                 hop;
                 program = Array.of_list program;
                 memory;
+                mem_off = 0;
+                mem_len;
                 inner_ethertype;
                 cache = fresh_cache ();
               }
@@ -177,7 +245,7 @@ let read r =
 let pp fmt t =
   let mode = match t.addr_mode with Stack -> "stack" | Hop_addressed -> "hop" in
   Format.fprintf fmt "@[<v>TPP %s sp=%d hop=%d mem=%dB%s@,%a@]" mode t.sp t.hop
-    (Bytes.length t.memory)
+    t.mem_len
     (if t.faulted then " FAULTED" else "")
     (Format.pp_print_list Instr.pp)
     (Array.to_list t.program)

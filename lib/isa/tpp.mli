@@ -9,7 +9,12 @@
     Packet memory layout convention: the assembler's constant pool (wide
     immediates of CSTORE/CEXEC) occupies the front of packet memory; the
     stack (in stack addressing mode) or the hop-indexed blocks (in hop
-    mode) start at {!base}, right after the pool. *)
+    mode) start at {!base}, right after the pool.
+
+    Packet memory is a window of a backing buffer. A standalone TPP owns
+    a private buffer; a TPP embedded in a flat {!Frame} aliases the
+    frame's wire buffer ({!rebase}), so every TCPU word store patches
+    the wire image in place. *)
 
 type addr_mode = Stack | Hop_addressed
 
@@ -23,6 +28,7 @@ type compiled += Not_compiled
 type exec_cache = {
   mutable key : string option;  (** memoized {!program_key} *)
   handle : compiled Atomic.t;   (** compiled form, shared across copies *)
+  mutable code : bytes option;  (** memoized {!program_bytes} *)
 }
 (** Shared by every {!copy} of a TPP, so one compilation serves the
     whole family. Domain-safe: the handle is atomic and the key is
@@ -41,8 +47,13 @@ type t = {
   mutable hop : int;
       (** Hop counter, incremented by every TCPU that runs the program. *)
   program : Instr.t array;
-  memory : bytes;
-  inner_ethertype : int;
+  mutable memory : bytes;
+      (** Backing buffer; packet memory is the {!mem_off} window. *)
+  mutable mem_off : int;
+      (** Start of packet memory within {!memory}. *)
+  mem_len : int;
+      (** Packet memory length in bytes. *)
+  mutable inner_ethertype : int;
       (** Ethertype of the encapsulated payload; 0 when raw/none. *)
   cache : exec_cache;
       (** Program-identity and compiled-code cell; never serialized. *)
@@ -50,6 +61,9 @@ type t = {
 
 val header_size : int
 (** On-wire header bytes (16, keeping the section 4-byte aligned). *)
+
+val mem_len : t -> int
+(** Packet memory length in bytes (pool + stack/hop area). *)
 
 val section_size : t -> int
 (** Total on-wire bytes: header + instructions + memory. *)
@@ -69,16 +83,32 @@ val make :
     wire format's 16-bit fields or word alignment. *)
 
 val copy : t -> t
-(** Copy with fresh packet memory; hosts use it to re-send a template.
-    The (immutable) instruction array and the compiled-code cell are
-    shared with the original, so a template's whole family compiles at
-    most once. *)
+(** Copy with fresh standalone packet memory; hosts use it to re-send a
+    template. The (immutable) instruction array and the compiled-code
+    cell are shared with the original, so a template's whole family
+    compiles at most once. *)
+
+val reseat : t -> memory:bytes -> mem_off:int -> t
+(** Fresh view over a different backing buffer that already holds this
+    TPP's memory image at [mem_off] (frame cloning). Shares the program
+    and cache; snapshots the mutable header state. *)
+
+val rebase : t -> memory:bytes -> mem_off:int -> unit
+(** Moves this TPP's packet memory into [memory] at [mem_off], copying
+    the current contents along, so subsequent {!mem_set}s write there
+    (frame embedding). Raises [Invalid_argument] if the window does not
+    fit. *)
 
 val program_key : t -> string
 (** Canonical identity of the instruction array: its wire encoding
     (tagged ["E"]), or a structural fallback (tagged ["M"]) for
     hand-built programs with unencodable operands. Memoized in the
     shared {!exec_cache}; equal keys imply identical programs. *)
+
+val program_bytes : t -> bytes
+(** The program's wire encoding, memoized in the shared cache. Raises
+    [Invalid_argument] for hand-built programs with unencodable
+    operands (exactly when {!write} would). Callers must not mutate. *)
 
 val compiled_handle : t -> compiled
 (** The family's compiled form ({!Not_compiled} until a TCPU first
@@ -87,7 +117,8 @@ val compiled_handle : t -> compiled
 val set_compiled_handle : t -> compiled -> unit
 
 val mem_get : t -> int -> int
-(** Word read at a byte offset. Raises [Buf.Out_of_bounds]. *)
+(** Word read at a byte offset within packet memory. Raises
+    [Buf.Out_of_bounds]. *)
 
 val mem_set : t -> int -> int -> unit
 
@@ -100,10 +131,16 @@ val stack_values : t -> int list
 val hop_block : t -> hop:int -> int list
 (** The words of hop [hop]'s block (hop mode). *)
 
+val write_header_into : bytes -> off:int -> t -> unit
+(** Writes the 16-byte section header at [off]; the frame layer uses it
+    to flush the mutable header state (flags, sp, hop) into a wire
+    image whose memory bytes are already in place. *)
+
 val write : Tpp_util.Buf.Writer.t -> t -> unit
 
 val read : Tpp_util.Buf.Reader.t -> (t, string) result
 (** Parses a section; checks field sanity (lengths, alignment, opcode
-    validity) so a malformed TPP is rejected before execution. *)
+    validity) so a malformed TPP is rejected before execution. The
+    result owns standalone packet memory. *)
 
 val pp : Format.formatter -> t -> unit

@@ -33,16 +33,14 @@ let attach frame ~max_hops =
   match frame.Frame.tpp with
   | Some _ -> invalid_arg "Trace.attach: frame already carries a TPP"
   | None ->
-    let inner_ethertype =
-      match frame.Frame.ip with Some _ -> Ethernet.ethertype_ipv4 | None -> 0
-    in
     let tpp = make ~max_hops in
-    let tpp = { tpp with Tpp.inner_ethertype } in
+    tpp.Tpp.inner_ethertype <-
+      (if Frame.has_ip frame then Ethernet.ethertype_ipv4 else 0);
     Frame.with_tpp frame (Some tpp)
 
 let parse tpp =
   let capacity =
-    let usable = Bytes.length tpp.Tpp.memory - tpp.Tpp.base in
+    let usable = Tpp.mem_len tpp - tpp.Tpp.base in
     if tpp.Tpp.perhop_len <= 0 then 0 else usable / tpp.Tpp.perhop_len
   in
   let hops = min tpp.Tpp.hop capacity in

@@ -33,3 +33,33 @@ let read r =
 
 let pp fmt t =
   Format.fprintf fmt "%a -> %a type=0x%04x" Mac.pp t.src Mac.pp t.dst t.ethertype
+
+(* Offset-based view of a serialized header inside a larger buffer. The
+   record codec above stays the differential oracle: the QCheck suite
+   checks both spell identical bytes. *)
+module Flat = struct
+  let get_mac b off =
+    Mac.of_int
+      ((Bytes.get_uint16_be b off lsl 32)
+      lor (Int32.to_int (Bytes.get_int32_be b (off + 2)) land 0xFFFF_FFFF))
+
+  let set_mac b off m =
+    let v = Mac.to_int m in
+    Bytes.set_uint16_be b off (v lsr 32);
+    Bytes.set_int32_be b (off + 2) (Int32.of_int (v land 0xFFFF_FFFF))
+
+  let dst b ~off = get_mac b off
+  let src b ~off = get_mac b (off + 6)
+  let ethertype b ~off = Bytes.get_uint16_be b (off + 12)
+  let set_ethertype b ~off v = Bytes.set_uint16_be b (off + 12) (v land 0xFFFF)
+
+  (* Scalar variant of [write_into]: the hot construction path builds
+     no header record. *)
+  let write_fields b ~off ~dst ~src ~ethertype =
+    set_mac b off dst;
+    set_mac b (off + 6) src;
+    Bytes.set_uint16_be b (off + 12) (ethertype land 0xFFFF)
+
+  let write_into b ~off t =
+    write_fields b ~off ~dst:t.dst ~src:t.src ~ethertype:t.ethertype
+end

@@ -14,3 +14,20 @@ val write : Tpp_util.Buf.Writer.t -> t -> unit
 val read : Tpp_util.Buf.Reader.t -> t
 
 val pp : Format.formatter -> t -> unit
+
+(** Reads and patches a serialized header at a byte offset inside a
+    larger buffer, without materializing the record. Byte-compatible
+    with {!write}/{!read} (checked by the differential test suite). *)
+module Flat : sig
+  val dst : bytes -> off:int -> Mac.t
+  val src : bytes -> off:int -> Mac.t
+  val ethertype : bytes -> off:int -> int
+  val set_ethertype : bytes -> off:int -> int -> unit
+
+  val write_fields :
+    bytes -> off:int -> dst:Mac.t -> src:Mac.t -> ethertype:int -> unit
+  (** {!write_into} from scalars: builds no header record. *)
+
+  val write_into : bytes -> off:int -> t -> unit
+  (** Writes the full 14-byte header at [off]. *)
+end

@@ -129,4 +129,93 @@ module Header = struct
   let pp fmt t =
     Format.fprintf fmt "%a -> %a proto=%d ttl=%d" Addr.pp t.src Addr.pp t.dst t.proto
       t.ttl
+
+  (* Offset-based view of a serialized header inside a larger buffer;
+     setters patch the field and fix the checksum incrementally
+     (RFC 1624 eqn. 3), so a per-hop TTL rewrite touches 6 bytes
+     instead of re-serializing the header. The record codec above is
+     the differential oracle. *)
+  module Flat = struct
+    (* Byte offsets of the fields within the 20-byte header. *)
+    let off_tos = 1
+    let off_ident = 4
+    let off_ttl = 8
+    let off_proto = 9
+    let off_checksum = 10
+    let off_src = 12
+    let off_dst = 16
+
+    (* Replaces the 16-bit word at [woff] (which must be even, so the
+       word is one of the checksum's summands) and updates the checksum:
+       HC' = ~(~HC + ~m + m'). The two folds absorb every possible
+       carry. Matches a full recompute exactly, including on the
+       all-zeros/all-ones checksum representations, because the header
+       writer only ever produces the canonical form. *)
+    let patch_u16 b ~off ~woff v =
+      let v = v land 0xFFFF in
+      let old = Bytes.get_uint16_be b (off + woff) in
+      Bytes.set_uint16_be b (off + woff) v;
+      let hc = Bytes.get_uint16_be b (off + off_checksum) in
+      let sum = (lnot hc land 0xFFFF) + (lnot old land 0xFFFF) + v in
+      let sum = (sum land 0xFFFF) + (sum lsr 16) in
+      let sum = (sum land 0xFFFF) + (sum lsr 16) in
+      Bytes.set_uint16_be b (off + off_checksum) (lnot sum land 0xFFFF)
+
+    let ttl b ~off = Bytes.get_uint8 b (off + off_ttl)
+    let proto b ~off = Bytes.get_uint8 b (off + off_proto)
+    let dscp b ~off = Bytes.get_uint8 b (off + off_tos) lsr 2
+    let ecn b ~off = Bytes.get_uint8 b (off + off_tos) land 0x3
+    let ident b ~off = Bytes.get_uint16_be b (off + off_ident)
+    let src b ~off = Addr.of_int (Buf.get_u32i b (off + off_src))
+    let dst b ~off = Addr.of_int (Buf.get_u32i b (off + off_dst))
+    let total_len b ~off = Bytes.get_uint16_be b (off + 2)
+
+    let set_ttl b ~off v =
+      let word = ((v land 0xFF) lsl 8) lor proto b ~off in
+      patch_u16 b ~off ~woff:off_ttl word
+
+    let set_tos b ~off tos =
+      let word = (Bytes.get_uint8 b off lsl 8) lor (tos land 0xFF) in
+      patch_u16 b ~off ~woff:0 word
+
+    let set_ecn b ~off v =
+      set_tos b ~off ((dscp b ~off lsl 2) lor (v land 0x3))
+
+    let set_dscp b ~off v =
+      set_tos b ~off (((v land 0x3F) lsl 2) lor ecn b ~off)
+
+    let set_ident b ~off v = patch_u16 b ~off ~woff:off_ident v
+
+    (* Full header write straight into [b] at [off]; byte-identical to
+       {!write} but with no intermediate buffer. The scalar variant is
+       the hot construction path: no header record is built. *)
+    let write_fields b ~off ~src ~dst ~proto ~ttl ~dscp ~ecn ~ident
+        ~payload_len =
+      Bytes.set_uint8 b off 0x45;
+      Bytes.set_uint8 b (off + off_tos) (((dscp land 0x3F) lsl 2) lor (ecn land 0x3));
+      Bytes.set_uint16_be b (off + 2) (size + payload_len);
+      Bytes.set_uint16_be b (off + off_ident) (ident land 0xFFFF);
+      Bytes.set_uint16_be b (off + 6) 0x4000 (* DF, no fragments *);
+      Bytes.set_uint8 b (off + off_ttl) (ttl land 0xFF);
+      Bytes.set_uint8 b (off + off_proto) (proto land 0xFF);
+      Bytes.set_uint16_be b (off + off_checksum) 0;
+      Buf.set_u32i b (off + off_src) (Addr.to_int src);
+      Buf.set_u32i b (off + off_dst) (Addr.to_int dst);
+      Bytes.set_uint16_be b (off + off_checksum) (checksum b ~pos:off ~len:size)
+
+    let write_into b ~off t ~payload_len =
+      write_fields b ~off ~src:t.src ~dst:t.dst ~proto:t.proto ~ttl:t.ttl
+        ~dscp:t.dscp ~ecn:t.ecn ~ident:t.ident ~payload_len
+
+    let to_header b ~off =
+      {
+        src = src b ~off;
+        dst = dst b ~off;
+        proto = proto b ~off;
+        ttl = ttl b ~off;
+        dscp = dscp b ~off;
+        ecn = ecn b ~off;
+        ident = ident b ~off;
+      }
+  end
 end

@@ -66,6 +66,48 @@ module Header : sig
       [Invalid_argument] on malformed input. *)
 
   val pp : Format.formatter -> t -> unit
+
+  (** Reads and patches a serialized header at a byte offset inside a
+      larger buffer. Setters fix the checksum incrementally (RFC 1624),
+      so a per-hop TTL or ECN rewrite costs a few byte stores instead
+      of a re-serialization; the record codec above is the differential
+      oracle the QCheck suite compares against. *)
+  module Flat : sig
+    val ttl : bytes -> off:int -> int
+    val proto : bytes -> off:int -> int
+    val dscp : bytes -> off:int -> int
+    val ecn : bytes -> off:int -> int
+    val ident : bytes -> off:int -> int
+    val src : bytes -> off:int -> Addr.t
+    val dst : bytes -> off:int -> Addr.t
+    val total_len : bytes -> off:int -> int
+
+    val set_ttl : bytes -> off:int -> int -> unit
+    val set_ecn : bytes -> off:int -> int -> unit
+    val set_dscp : bytes -> off:int -> int -> unit
+    val set_ident : bytes -> off:int -> int -> unit
+
+    val write_fields :
+      bytes ->
+      off:int ->
+      src:Addr.t ->
+      dst:Addr.t ->
+      proto:int ->
+      ttl:int ->
+      dscp:int ->
+      ecn:int ->
+      ident:int ->
+      payload_len:int ->
+      unit
+    (** {!write_into} from scalars: builds no header record. *)
+
+    val write_into : bytes -> off:int -> t -> payload_len:int -> unit
+    (** Writes the full 20-byte header (checksum included) at [off];
+        byte-identical to {!write}. *)
+
+    val to_header : bytes -> off:int -> t
+    (** Materializes the record view (no validation). *)
+  end
 end
 
 val checksum : bytes -> pos:int -> len:int -> int

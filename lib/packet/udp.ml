@@ -19,3 +19,22 @@ let read r =
   ({ src_port; dst_port }, len - size)
 
 let pp fmt t = Format.fprintf fmt "udp %d -> %d" t.src_port t.dst_port
+
+(* Offset-based view of a serialized header inside a larger buffer;
+   byte-compatible with the record codec above. *)
+module Flat = struct
+  let src_port b ~off = Bytes.get_uint16_be b off
+  let dst_port b ~off = Bytes.get_uint16_be b (off + 2)
+  let len b ~off = Bytes.get_uint16_be b (off + 4)
+
+  (* Scalar variant of [write_into]: the hot construction path builds
+     no header record. *)
+  let write_fields b ~off ~src_port ~dst_port ~payload_len =
+    Bytes.set_uint16_be b off (src_port land 0xFFFF);
+    Bytes.set_uint16_be b (off + 2) (dst_port land 0xFFFF);
+    Bytes.set_uint16_be b (off + 4) (size + payload_len);
+    Bytes.set_uint16_be b (off + 6) 0
+
+  let write_into b ~off t ~payload_len =
+    write_fields b ~off ~src_port:t.src_port ~dst_port:t.dst_port ~payload_len
+end

@@ -14,3 +14,18 @@ val read : Tpp_util.Buf.Reader.t -> t * int
 (** Returns the header and the payload length it declares. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Reads a serialized header at a byte offset inside a larger buffer;
+    byte-compatible with {!write}/{!read}. *)
+module Flat : sig
+  val src_port : bytes -> off:int -> int
+  val dst_port : bytes -> off:int -> int
+  val len : bytes -> off:int -> int
+
+  val write_fields :
+    bytes -> off:int -> src_port:int -> dst_port:int -> payload_len:int -> unit
+  (** {!write_into} from scalars: builds no header record. *)
+
+  val write_into : bytes -> off:int -> t -> payload_len:int -> unit
+  (** Writes the full 8-byte header at [off]. *)
+end

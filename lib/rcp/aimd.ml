@@ -57,9 +57,9 @@ let create stack config ~flow ~report_port =
     { stack; config; flow; running = false; last_holes = 0; losses = 0; reports = 0 }
   in
   Stack.on_udp stack ~port:report_port (fun ~now:_ frame ->
-      if t.running && Bytes.length frame.Tpp_isa.Frame.payload >= 8 then begin
+      if t.running && Tpp_isa.Frame.payload_len frame >= 8 then begin
         t.reports <- t.reports + 1;
-        let holes = Buf.get_u32i frame.Tpp_isa.Frame.payload 0 in
+        let holes = Tpp_isa.Frame.payload_u32 frame 0 in
         let rate = Flow.rate_bps t.flow in
         let new_rate =
           if holes > t.last_holes then begin

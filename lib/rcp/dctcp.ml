@@ -59,9 +59,9 @@ let create stack config ~flow ~report_port =
       alpha = 0.0; marked = 0 }
   in
   Stack.on_udp stack ~port:report_port (fun ~now:_ frame ->
-      if t.running && Bytes.length frame.Tpp_isa.Frame.payload >= 8 then begin
-        let total = Buf.get_u32i frame.Tpp_isa.Frame.payload 0 in
-        let marked = Buf.get_u32i frame.Tpp_isa.Frame.payload 4 in
+      if t.running && Tpp_isa.Frame.payload_len frame >= 8 then begin
+        let total = Tpp_isa.Frame.payload_u32 frame 0 in
+        let marked = Tpp_isa.Frame.payload_u32 frame 4 in
         let d_total = total - t.last_total in
         let d_marked = marked - t.last_marked in
         t.last_total <- total;

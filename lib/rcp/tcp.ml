@@ -52,9 +52,9 @@ module Receiver = struct
       { stack; port; rcv_nxt = 0; ooo = Hashtbl.create 32; delivered_bytes = 0 }
     in
     Stack.on_udp stack ~port (fun ~now:_ frame ->
-        match (decode frame.Frame.payload, frame.Frame.ip) with
+        match (decode (Frame.payload frame), Frame.ip frame) with
         | Some (kind, seq), Some ip when kind = kind_data ->
-          let seg_bytes = Bytes.length frame.Frame.payload in
+          let seg_bytes = Frame.payload_len frame in
           if seq >= t.rcv_nxt && not (Hashtbl.mem t.ooo seq) then
             Hashtbl.replace t.ooo seq seg_bytes;
           (* Advance the reassembly point over contiguous segments. *)
@@ -72,7 +72,7 @@ module Receiver = struct
           let ack = encode ~kind:kind_ack ~seq:t.rcv_nxt ~len:12 in
           let reply =
             Frame.udp_frame ~src_mac:(Stack.host stack).Net.mac
-              ~dst_mac:frame.Frame.eth.Tpp_packet.Ethernet.src
+              ~dst_mac:(Frame.eth_src frame)
               ~src_ip:ip.Tpp_packet.Ipv4.Header.dst
               ~dst_ip:ip.Tpp_packet.Ipv4.Header.src ~src_port:t.port
               ~dst_port:t.port ~payload:ack ()
@@ -253,7 +253,7 @@ module Transfer = struct
     in
     (* ACKs come back on the same port. *)
     Stack.on_udp_add src ~port (fun ~now frame ->
-        match decode frame.Frame.payload with
+        match decode (Frame.payload frame) with
         | Some (kind, ack) when kind = kind_ack -> on_ack t ~now ack
         | _ -> ());
     pump t;

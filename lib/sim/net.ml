@@ -5,6 +5,7 @@ module Mac = Tpp_packet.Mac
 module Ipv4 = Tpp_packet.Ipv4
 module Time_ns = Tpp_util.Time_ns
 module Buf = Tpp_util.Buf
+module Ring = Tpp_util.Ring
 module Tpp = Tpp_isa.Tpp
 
 type host = {
@@ -27,7 +28,10 @@ type attachment = {
          A plain field, not an option: the one-outstanding-tx-per-port
          invariant ([tx_busy]) makes it unambiguous, and a [Some] per
          transmission would put an allocation back on the hot path. *)
-  nic_queue : Frame.t Queue.t;  (* hosts only; switches queue in the ASIC *)
+  nic_queue : Frame.t Ring.t;
+      (* hosts only; switches queue in the ASIC. A preallocated ring:
+         enqueueing a frame allocates nothing once the ring has grown
+         to the host's in-flight window. *)
 }
 
 type node_impl = Switch_n of Switch.t | Host_n of host
@@ -106,7 +110,7 @@ let owns t id =
 
 let new_attachment t =
   { peer = None; bps = 0; delay = 0; tx_busy = false; up = true;
-    in_flight = t.no_frame; nic_queue = Queue.create () }
+    in_flight = t.no_frame; nic_queue = Ring.create ~dummy:t.no_frame () }
 
 let node t id =
   if id < 0 || id >= t.node_count then invalid_arg "Net: unknown node id";
@@ -222,7 +226,7 @@ let next_frame t id port =
   let n = node t id in
   match n.impl with
   | Switch_n sw -> Switch.dequeue sw ~port
-  | Host_n _ -> Queue.take_opt n.ports.(port).nic_queue
+  | Host_n _ -> Ring.take_opt n.ports.(port).nic_queue
 
 (* The dataplane cycle — deliver, start transmissions, complete them —
    as mutually recursive functions over plain (node, port) ints. In
@@ -248,12 +252,18 @@ let rec deliver t id port frame =
       for i = 0 to Array.length hooks - 1 do
         (Array.unsafe_get hooks i) h frame
       done;
-      h.receive ~now:(Engine.now t.eng) frame
+      h.receive ~now:(Engine.now t.eng) frame;
+      (* The frame reached its destination and every handler has run:
+         if it came from a pool, its buffer is free for the next send.
+         (No-op for unpooled frames, so receivers that retain frames —
+         the tests do — are unaffected: they never see pooled ones.) *)
+      Frame.recycle frame
     | Switch_n sw -> (
       match Switch.handle_ingress sw ~now:(Engine.now t.eng) ~in_port:port frame with
-      | Switch.Dropped _ -> ()
+      | Switch.Dropped _ -> Frame.recycle frame
       | Switch.Queued out_ports -> List.iter (fun p -> maybe_start_tx t id p) out_ports)
   end
+  else Frame.recycle frame (* frozen node: the frame vanishes *)
 
 and maybe_start_tx t id port =
   let a = port_attachment t id port in
@@ -295,6 +305,7 @@ and tx_complete t id port =
        | None -> true
        | Some h -> h.f_transit ~node:id ~port ~now:(Engine.now t.eng) frame)
   in
+  if not survives then Frame.recycle frame;
   (if survives then begin
      let delay =
        match t.fault with
@@ -392,19 +403,19 @@ let shape_key (frame : Frame.t) =
     | Some s ->
       1
       lor (Array.length s.Tpp.program lsl 1)
-      lor (Bytes.length s.Tpp.memory lsl 17)
+      lor (Tpp.mem_len s lsl 17)
       lor (s.Tpp.base lsl 33)
       lor ((match s.Tpp.addr_mode with Tpp.Stack -> 0 | Tpp.Hop_addressed -> 1)
            lsl 49)
       lor (s.Tpp.perhop_len lsl 50)
   in
   let l3_key =
-    (match frame.Frame.ip with Some _ -> 1 | None -> 0)
-    lor (match frame.Frame.udp with Some _ -> 2 | None -> 0)
-    lor (Bytes.length frame.Frame.payload lsl 2)
+    (if Frame.has_ip frame then 1 else 0)
+    lor (if Frame.has_udp frame then 2 else 0)
+    lor (Frame.payload_len frame lsl 2)
   in
-  Frame.flow_hash_values ~src:frame.Frame.eth.Tpp_packet.Ethernet.ethertype
-    ~dst:tpp_key ~proto:l3_key ~src_port:0 ~dst_port:0
+  Frame.flow_hash_values ~src:(Frame.ethertype frame) ~dst:tpp_key
+    ~proto:l3_key ~src_port:0 ~dst_port:0
 
 let wire_check_fail e =
   failwith ("Net.host_send: frame failed wire round-trip: " ^ e)
@@ -441,7 +452,7 @@ let host_send t host frame =
       frame
   in
   let a = port_attachment t host.node_id 0 in
-  Queue.push frame a.nic_queue;
+  Ring.push a.nic_queue frame;
   maybe_start_tx t host.node_id 0
 
 let set_link_up t (id, port) up =

@@ -54,6 +54,13 @@ module Writer = struct
     Bytes.blit b 0 t.buf t.len n;
     t.len <- t.len + n
 
+  let bytes_sub t b ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length b then
+      out_of_bounds "Writer.bytes_sub";
+    ensure t len;
+    Bytes.blit b pos t.buf t.len len;
+    t.len <- t.len + len
+
   let string t s =
     let n = String.length s in
     ensure t n;

@@ -24,6 +24,11 @@ module Writer : sig
   (** [u32i w v] writes the low 32 bits of the native int [v]. *)
 
   val bytes : t -> bytes -> unit
+
+  val bytes_sub : t -> bytes -> pos:int -> len:int -> unit
+  (** [bytes_sub w b ~pos ~len] appends [len] bytes of [b] starting at
+      [pos] without an intermediate copy. *)
+
   val string : t -> string -> unit
 
   val zeros : t -> int -> unit

@@ -27,7 +27,7 @@ let test_ttl_decremented_on_routing () =
   (match Switch.handle_ingress sw ~now:0 ~in_port:0 frame with
   | Switch.Queued _ -> ()
   | Switch.Dropped r -> Alcotest.failf "dropped: %s" r);
-  check Alcotest.int "decremented" 63 (Option.get frame.Frame.ip).Ipv4.Header.ttl
+  check Alcotest.int "decremented" 63 (Frame.ip_ttl frame)
 
 let test_ttl_expiry_drops () =
   let sw = routed_switch () in
@@ -42,7 +42,7 @@ let test_ttl_not_touched_by_l2 () =
   Switch.install_l2 sw (Mac.of_host_id 2) ~port:1 ~entry_id:1 ~version:1;
   let frame = frame_with_ttl 7 in
   ignore (Switch.handle_ingress sw ~now:0 ~in_port:0 frame);
-  check Alcotest.int "L2 hop keeps TTL" 7 (Option.get frame.Frame.ip).Ipv4.Header.ttl
+  check Alcotest.int "L2 hop keeps TTL" 7 (Frame.ip_ttl frame)
 
 let test_forwarding_loop_terminates () =
   (* Two switches routing the prefix at each other: the packet must die
@@ -76,14 +76,14 @@ let test_ecn_marks_above_threshold () =
   let first = frame_with_ttl 64 in
   ignore (Switch.handle_ingress sw ~now:0 ~in_port:0 first);
   check Alcotest.int "below threshold: unmarked" 0
-    (Option.get first.Frame.ip).Ipv4.Header.ecn;
+    (Frame.ip_ecn first);
   (* The first frame (>= 150 wire bytes? it is 110) -- add more until
      occupancy crosses. *)
   ignore (Switch.handle_ingress sw ~now:0 ~in_port:0 (frame_with_ttl 64));
   let marked = frame_with_ttl 64 in
   ignore (Switch.handle_ingress sw ~now:0 ~in_port:0 marked);
   check Alcotest.int "above threshold: CE" Ipv4.Header.ecn_ce
-    (Option.get marked.Frame.ip).Ipv4.Header.ecn
+    (Frame.ip_ecn marked)
 
 let test_ecn_disabled_by_default () =
   let sw = routed_switch () in
@@ -92,14 +92,13 @@ let test_ecn_disabled_by_default () =
   done;
   let last = frame_with_ttl 64 in
   ignore (Switch.handle_ingress sw ~now:0 ~in_port:0 last);
-  check Alcotest.int "never marked" 0 (Option.get last.Frame.ip).Ipv4.Header.ecn
+  check Alcotest.int "never marked" 0 (Frame.ip_ecn last)
 
 let test_ecn_survives_serialization () =
   let frame = frame_with_ttl 64 in
-  frame.Frame.ip <-
-    Some { (Option.get frame.Frame.ip) with Ipv4.Header.ecn = Ipv4.Header.ecn_ce };
+  Frame.set_ip_ecn frame Ipv4.Header.ecn_ce;
   match Frame.parse (Frame.serialize frame) with
-  | Ok got -> check Alcotest.int "CE on the wire" 3 (Option.get got.Frame.ip).Ipv4.Header.ecn
+  | Ok got -> check Alcotest.int "CE on the wire" 3 (Frame.ip_ecn got)
   | Error e -> Alcotest.fail e
 
 (* --- DCTCP ------------------------------------------------------------------ *)
@@ -147,7 +146,7 @@ let test_dctcp_reacts_to_marks () =
 
 let frame_with_dscp dscp =
   let frame = frame_with_ttl 64 in
-  frame.Frame.ip <- Some { (Option.get frame.Frame.ip) with Ipv4.Header.dscp };
+  Frame.set_ip_dscp frame dscp;
   frame
 
 let test_default_single_queue_unchanged () =
@@ -203,7 +202,7 @@ let test_wrr_scheduling_ratio () =
   for _ = 1 to 16 do
     match Switch.dequeue sw ~port:2 with
     | Some f ->
-      if (Option.get f.Frame.ip).Ipv4.Header.dscp = 46 then incr ef else incr bulk
+      if Frame.ip_dscp f = 46 then incr ef else incr bulk
     | None -> Alcotest.fail "queue ran dry"
   done;
   check Alcotest.int "weighted share for EF" 12 !ef;
@@ -304,9 +303,8 @@ let test_priority_latency_end_to_end () =
   List.iter
     (fun (_, sw) ->
       Switch.set_queue_classifier sw (fun frame ->
-          match frame.Frame.udp with
-          | Some u when u.Tpp_packet.Udp.dst_port = 9001 -> 46
-          | _ -> 0))
+          if Frame.has_udp frame && Frame.udp_dst_port frame = 9001 then 46
+          else 0))
     (Net.switches net);
   let ef_src = Stack.create net (host 0 0) in
   let ef_dst = Stack.create net (host 1 0) in

@@ -161,10 +161,10 @@ let prop_random_udp_frames_roundtrip =
       in
       match Frame.parse (Frame.serialize frame) with
       | Ok got ->
-        got.Frame.eth = frame.Frame.eth
-        && got.Frame.ip = frame.Frame.ip
-        && got.Frame.udp = frame.Frame.udp
-        && Bytes.equal got.Frame.payload frame.Frame.payload
+        Frame.eth got = Frame.eth frame
+        && Frame.ip got = Frame.ip frame
+        && Frame.udp got = Frame.udp frame
+        && Bytes.equal (Frame.payload got) (Frame.payload frame)
       | Error _ -> false)
 
 (* --- whole-dataplane fuzz over random topologies ---------------------------- *)
@@ -311,7 +311,7 @@ let prop_scheduler_matches_model =
             ~src_ip:(Ipv4.Addr.of_host_id 1) ~dst_ip:dst ~src_port:1 ~dst_port:2
             ~payload:(Bytes.create 100) ()
         in
-        f.Frame.ip <- Some { (Option.get f.Frame.ip) with Ipv4.Header.dscp };
+        Frame.set_ip_dscp f dscp;
         f
       in
       let wire = Frame.wire_size (frame 0) in

@@ -130,8 +130,7 @@ let test_frame_image () =
       ~src_port:0x1111 ~dst_port:0x2222 ~ttl:7 ~payload:(Bytes.of_string "AB") ()
   in
   (* The IPv4 ident comes from a global counter; pin it for the image. *)
-  frame.Frame.ip <-
-    Some { (Option.get frame.Frame.ip) with Ipv4.Header.ident = 0x1234 };
+  Frame.set_ip_ident frame 0x1234;
   check Alcotest.string "frame bytes"
     ("020000100002" (* dst mac *)
    ^ "020000100001" (* src mac *)

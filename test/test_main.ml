@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("packet", Test_packet.suite);
       ("isa", Test_isa.suite);
+      ("frames", Test_frames.suite);
       ("asm", Test_asm.suite);
       ("tables", Test_tables.suite);
       ("asic", Test_asic.suite);

@@ -113,7 +113,7 @@ let test_engine_typed_dispatch () =
     {
       Engine.on_deliver =
         (fun ~node ~port frame ->
-          log := ("deliver", node, port, Bytes.length frame.Frame.payload) :: !log);
+          log := ("deliver", node, port, Frame.payload_len frame) :: !log);
       on_dequeue = (fun ~node ~port -> log := ("dequeue", node, port, 0) :: !log);
       on_restart = (fun ~node -> log := ("restart", node, 0, 0) :: !log);
     }
@@ -182,7 +182,7 @@ let test_fifo_no_reordering () =
   let eng, net, a, b = two_hosts () in
   let seen = ref [] in
   b.Net.receive <- (fun ~now:_ frame ->
-      seen := Tpp_util.Buf.get_u32i frame.Frame.payload 0 :: !seen);
+      seen := Frame.payload_u32 frame 0 :: !seen);
   for i = 1 to 50 do
     let payload = Bytes.create 100 in
     Tpp_util.Buf.set_u32i payload 0 i;
@@ -268,7 +268,12 @@ let corrupted_frame a b =
     Frame.udp_frame ~src_mac:a.Net.mac ~dst_mac:b.Net.mac ~src_ip:a.Net.ip
       ~dst_ip:b.Net.ip ~src_port:1 ~dst_port:2 ~payload:Bytes.empty ()
   in
-  frame.Frame.ip <- None;
+  (* Truncate the wire image to the Ethernet header while the
+     ethertype still announces IPv4: the parse must fail. *)
+  frame.Frame.len <- 14;
+  frame.Frame.ip_off <- -1;
+  frame.Frame.udp_off <- -1;
+  frame.Frame.pay_off <- 14;
   frame
 
 let expect_wire_check_failure net a frame =
@@ -301,7 +306,7 @@ let test_wire_check_modes_agree () =
     let arrivals = ref [] in
     b.Net.receive <-
       (fun ~now frame ->
-        arrivals := (now, Bytes.length frame.Frame.payload) :: !arrivals);
+        arrivals := (now, Frame.payload_len frame) :: !arrivals);
     for i = 1 to 30 do
       let frame =
         Frame.udp_frame ~src_mac:a.Net.mac ~dst_mac:b.Net.mac ~src_ip:a.Net.ip

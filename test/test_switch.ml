@@ -150,7 +150,7 @@ let test_strip_tpp_at_edge () =
   | Some forwarded ->
     check Alcotest.bool "TPP stripped" true (Option.is_none forwarded.Frame.tpp);
     check Alcotest.int "ethertype rewritten" Ethernet.ethertype_ipv4
-      forwarded.Frame.eth.Ethernet.ethertype
+      (Frame.ethertype forwarded)
   | None -> Alcotest.fail "frame lost");
   (* The same TPP through a non-stripping port survives. *)
   let frame2 = host_frame ~tpp:(probe_tpp ()) ~to_ip:dst_ip () in
