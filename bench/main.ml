@@ -440,11 +440,59 @@ let e13 () =
     ~measured:(Printf.sprintf "%d links" (List.length r.Faults.suspects))
     (List.length r.Faults.suspects <= 3 && r.Faults.suspects <> [])
 
+(* --- E14: streaming telemetry (extension) ------------------------------------- *)
+
+let e14 () =
+  Report.section "E14 / extension"
+    "streaming telemetry: binary postcards -> sketches -> reacting controller";
+  Report.kv "setup"
+    "k=4 ECMP fat-tree; one agg->core link turns 50% lossy at t=1s; 1 ms control loop";
+  let r = Telemetry_exp.run () in
+  Report.kvi "hosts probing" r.Telemetry_exp.hosts;
+  Report.kvf "healthy probe RTT (ms)" r.Telemetry_exp.rtt_ms;
+  Report.kv "failed link (ground truth)"
+    (let n, p = r.Telemetry_exp.failed_link in
+     Printf.sprintf "node %d port %d" n p);
+  Report.kvi "binary postcards" r.Telemetry_exp.cards;
+  Report.kvi "postcards dropped (sink overflow)" r.Telemetry_exp.cards_dropped;
+  Report.kvi "fault cards" r.Telemetry_exp.fault_cards;
+  Report.kvi "probe retry cards" r.Telemetry_exp.probe_retries;
+  Report.kvi "probe failure cards" r.Telemetry_exp.probe_failures;
+  Report.kvf "fault -> first telemetry evidence (ms)" r.Telemetry_exp.detect_ms;
+  Report.kvf "fault -> drain installed (ms)" r.Telemetry_exp.react_ms;
+  Report.kvf "detect latency (RTTs)" r.Telemetry_exp.detect_rtts;
+  Report.kvf "react latency (RTTs)" r.Telemetry_exp.react_rtts;
+  Report.kvi "hop cards on drained link after settling"
+    r.Telemetry_exp.failed_hops_after_drain;
+  Report.sub "expectations";
+  Report.expect ~what:"the lossy link is the one drained"
+    ~paper:"controller reacts to telemetry"
+    ~measured:
+      (String.concat ", "
+         (List.map
+            (fun (n, p) -> Printf.sprintf "node %d port %d" n p)
+            r.Telemetry_exp.drained))
+    (List.mem r.Telemetry_exp.failed_link r.Telemetry_exp.drained);
+  Report.expect ~what:"reaction at RTT timescales, not control-protocol ones"
+    ~paper:"ms-scale reaction"
+    ~measured:(Printf.sprintf "%.1f ms" r.Telemetry_exp.react_ms)
+    (r.Telemetry_exp.react_ms < 200.0);
+  Report.expect ~what:"flows hash away from the drained link"
+    ~paper:"ECMP group rewrite"
+    ~measured:
+      (Printf.sprintf "%d late hop cards" r.Telemetry_exp.failed_hops_after_drain)
+    (r.Telemetry_exp.failed_hops_after_drain
+     < r.Telemetry_exp.cards / 100);
+  Report.expect ~what:"no telemetry lost" ~paper:"bounded collector memory"
+    ~measured:(Printf.sprintf "%d dropped" r.Telemetry_exp.cards_dropped)
+    (r.Telemetry_exp.cards_dropped = 0)
+
 (* --- dispatch ----------------------------------------------------------------- *)
 
 let all = [ ("e1", Demos.figure1); ("e2", e2); ("e3", Demos.table1);
             ("e4", Demos.table2); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
-            ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13) ]
+            ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
+            ("e14", e14) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

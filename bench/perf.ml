@@ -42,6 +42,16 @@
                                               match the unpooled oracle and
                                               stay inside the allocation
                                               budget
+     dune exec bench/perf.exe -- --telemetry  streaming-telemetry gate: the
+                                              postcard pipeline must sustain
+                                              >= 1e6 cards/sec in bounded
+                                              memory, sketches must sit inside
+                                              their proven error bounds of the
+                                              exact oracles, and sequential vs
+                                              sharded collectors must agree
+                                              bit-for-bit -> BENCH_7.json
+     dune exec bench/perf.exe -- --telemetry --smoke
+                                              quick CI variant of the same gate
      dune exec bench/perf.exe -- --out b.json custom output path
 
    Every mode reports allocation provenance alongside throughput:
@@ -70,13 +80,15 @@ type config = {
   chaos : bool;               (* BENCH_4: fault-injection gate *)
   engine : bool;              (* BENCH_5: typed-event / wheel gate *)
   frames : bool;              (* BENCH_6: zero-copy frame / pool gate *)
+  telemetry : bool;           (* BENCH_7: streaming-telemetry gate *)
   out : string option;
 }
 
 let default =
   { k = 8; packets_per_host = 1500; payload_bytes = 1000; gap_ns = 6_000;
     wire_check = `Cached; shards = 0; smoke = false; tpp_heavy = false;
-    chaos = false; engine = false; frames = false; out = None }
+    chaos = false; engine = false; frames = false; telemetry = false;
+    out = None }
 
 let horizon = Time_ns.sec 10
 
@@ -1249,6 +1261,21 @@ let write_frames_json cfg ~out ~(oracle : engine_run) ~(pooled : engine_run)
   close_out oc;
   Printf.printf "perf: wrote %s\n%!" out
 
+(* Allocation budgets for the pooled fabric, in minor words/event.
+   Measured profile (k=4 and k=8 agree): per-event allocation ramps
+   with simulated time as port queues fill — once departures overlap
+   (path latency ~8us vs the 6us per-host gap) frames start taking the
+   queued dequeue paths — from ~3 w/ev over the first ~200 packets/host
+   to a ~7.7 w/ev plateau by ~1500 packets/host. The full run measures
+   the plateau; [frames_minor_budget] is that plateau plus margin. The
+   smoke run (k=4, 200 packets/host, 41.6k events) ends mid-ramp and
+   measures ~3.2-4.5 w/ev — the spread is one-time pool and ring growth
+   landing in whichever of the two timed runs wins wall-clock — so its
+   budget is *tighter* than the full one, not looser: the old +0.5
+   "smoke tolerance" had the direction backwards. *)
+let frames_minor_budget = 10.0
+let frames_smoke_minor_budget = 6.0
+
 let frames_bench cfg =
   let cfg =
     if cfg.smoke then { cfg with k = 4; packets_per_host = 200 } else cfg
@@ -1295,9 +1322,11 @@ let frames_bench cfg =
   Printf.printf "%s: pool %d created / %d reused, %d outstanding at end\n%!" tag
     p_created p_reused p_out;
   (* The allocation gate: the whole pooled dataplane, not just the
-     event core, within budget. The smoke variant allows the 0.5 w/ev
-     CI tolerance on top. *)
-  let budget = if cfg.smoke then 10.5 else 10.0 in
+     event core, within budget. See the budget constants above for why
+     the smoke bound is the tighter one. *)
+  let budget =
+    if cfg.smoke then frames_smoke_minor_budget else frames_minor_budget
+  in
   if pooled.g_minor_pe > budget then begin
     Printf.eprintf
       "%s: FAIL — pooled run allocates %.2f minor words/event (budget %.1f)\n"
@@ -1351,6 +1380,462 @@ let frames_bench cfg =
         tag eps
   end
 
+(* ---- telemetry workload (BENCH_7): the streaming-telemetry gate -----
+
+   Four properties lib/telemetry must hold, each checked against an
+   exact oracle or a bit-identity witness:
+
+   1. Ingest throughput. The emit -> chunk -> drain -> collector
+      pipeline must sustain >= 1e6 postcards/sec (hard gate) while
+      recirculating its fixed chunk pool — no drops, no growth.
+
+   2. Bounded memory. The sink never holds more than
+      max_chunks * chunk_bytes even when the producer outruns the
+      collector: overflow cannibalises the oldest chunk, and the
+      accounting stays exact (drained = emitted - dropped).
+
+   3. Sketch error bounds. CMS point queries never underestimate and
+      stay within epsilon * total of an exact hashtable oracle; a
+      4-way-split merged CMS is bit-identical to the single-stream
+      sketch (merge is elementwise sum). t-digest quantiles stay
+      inside the k1 cluster-width rank bound of the exact sorted
+      oracle — 2x for a merged digest, whose clusters may coarsen
+      once — and the centroid count stays under its cap.
+
+   4. Fabric identity. The BENCH_5 plain-traffic fabric with binary
+      switch taps and a periodically absorbing collector, run
+      sequentially and sharded, must agree on total cards and on the
+      collector's order-independent fingerprint bit-for-bit. *)
+
+(* Ingest microbench: synthetic hop cards through a default sink into
+   a collector that drains every ~8k cards, i.e. always keeps up. The
+   max byte footprint observed across rotations is the bounded-memory
+   witness on the fast path. *)
+let telemetry_cards_per_chunk = 1024
+let telemetry_max_chunks = 64
+
+let telemetry_ingest ~cards =
+  let sink =
+    Telemetry_sink.create ~cards_per_chunk:telemetry_cards_per_chunk
+      ~max_chunks:telemetry_max_chunks ()
+  in
+  let col = Collector.create () in
+  let max_bytes = ref 0 in
+  let g0 = gc_mark () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to cards - 1 do
+    Telemetry_sink.emit_hop sink ~now:(i * 50) ~switch_id:(i land 63)
+      ~in_port:(i land 3) ~out_port:((i lsr 2) land 3)
+      ~queue_bytes:(i land 0xFFFF) ~version:1 ~frame_id:i
+      ~flow_hash:(i land 1023) ~wire_bytes:1000 ~entry:1;
+    if i land 0x1FFF = 0x1FFF then begin
+      let b = Telemetry_sink.card_bytes_alive sink in
+      if b > !max_bytes then max_bytes := b;
+      Collector.absorb col sink
+    end
+  done;
+  Collector.absorb col sink;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor, _ = gc_delta g0 in
+  (col, sink, wall, minor /. float_of_int cards, !max_bytes)
+
+(* Overload: a small sink fed 10x its capacity with no drain at all.
+   Memory must stay at the cap and every offered card must end up
+   either drained or counted dropped. *)
+let telemetry_overload () =
+  let cards_per_chunk = 256 and max_chunks = 8 in
+  let sink = Telemetry_sink.create ~cards_per_chunk ~max_chunks () in
+  let cap = max_chunks * cards_per_chunk * Telemetry_wire.bytes_per_card in
+  let offered = 10 * max_chunks * cards_per_chunk in
+  for i = 0 to offered - 1 do
+    Telemetry_sink.emit_hop sink ~now:i ~switch_id:0 ~in_port:0 ~out_port:0
+      ~queue_bytes:0 ~version:1 ~frame_id:i ~flow_hash:0 ~wire_bytes:64
+      ~entry:0
+  done;
+  let held = Telemetry_sink.card_bytes_alive sink in
+  let drained = ref 0 in
+  Telemetry_sink.drain sink (fun _ ~off:_ -> incr drained);
+  (cap, held, offered, Telemetry_sink.dropped sink, !drained)
+
+type sketch_report = {
+  sk_samples : int;
+  cms_total : int;
+  cms_bound : int;        (* ceil (epsilon * total) *)
+  cms_max_over : int;
+  cms_under : int;        (* keys estimated below exact: must be 0 *)
+  cms_viol : int;         (* keys overestimated past the bound *)
+  cms_merged_equal : bool;
+  td_centroids : int;
+  td_max_err : float;     (* max rank error over the probed quantiles *)
+  td_max_ratio : float;   (* max err / per-quantile bound *)
+  td_merged_max_err : float;
+  td_merged_max_ratio : float;  (* vs 2x the per-quantile bound *)
+}
+
+let telemetry_quantiles = [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+(* k1-scale cluster width in q-space at q: a merging digest's cluster
+   spans at most dq where k(q+dq) - k(q) = 1, and k'(q) =
+   delta / (2 pi sqrt (q (1-q))), so dq <= 2 pi sqrt (q (1-q)) / delta.
+   Interpolation across one cluster cannot miss the true rank by more
+   than that (plus the 1/n discretisation of the oracle itself). *)
+let td_delta = 100.0
+
+let td_rank_bound ~n q =
+  (2.0 *. Float.pi /. td_delta *. sqrt (q *. (1.0 -. q)))
+  +. (1.0 /. float_of_int n)
+
+let telemetry_sketches ~samples =
+  let rng = Rng.create ~seed:chaos_seed in
+  (* Count-min vs an exact hashtable. min-of-two-uniforms skews the
+     key distribution so the stream has genuine heavy hitters. *)
+  let keys = 4096 in
+  let cms = Sketch.Cms.create () in
+  let shard_cms = Array.init 4 (fun _ -> Sketch.Cms.create ()) in
+  let exact = Hashtbl.create keys in
+  for i = 0 to samples - 1 do
+    let key = min (Rng.int rng keys) (Rng.int rng keys) in
+    let w = 64 + Rng.int rng 1400 in
+    Sketch.Cms.add cms ~key w;
+    Sketch.Cms.add shard_cms.(i land 3) ~key w;
+    Hashtbl.replace exact key
+      (w + Option.value ~default:0 (Hashtbl.find_opt exact key))
+  done;
+  let total = Sketch.Cms.total cms in
+  let bound =
+    int_of_float (Float.ceil (Sketch.Cms.epsilon cms *. float_of_int total))
+  in
+  let max_over = ref 0 and under = ref 0 and viol = ref 0 in
+  Hashtbl.iter
+    (fun key exact_v ->
+      let est = Sketch.Cms.estimate cms ~key in
+      if est < exact_v then incr under;
+      let over = est - exact_v in
+      if over > !max_over then max_over := over;
+      if over > bound then incr viol)
+    exact;
+  let merged = Sketch.Cms.create () in
+  Array.iter (fun s -> Sketch.Cms.merge ~into:merged s) shard_cms;
+  let merged_equal = Sketch.Cms.equal cms merged in
+  (* The heaviest exact key must surface through the candidate API:
+     estimates never underestimate, so threshold = its exact count. *)
+  let top_key, top_count =
+    Hashtbl.fold
+      (fun k v ((_, bv) as best) -> if v > bv then (k, v) else best)
+      exact (-1, min_int)
+  in
+  let hh =
+    Sketch.Cms.heavy_hitters cms
+      ~candidates:(List.init keys (fun k -> k))
+      ~threshold:top_count
+  in
+  if not (List.mem_assoc top_key hh) then begin
+    Printf.eprintf
+      "perf(telemetry): FAIL — exact-heaviest key %d missing from \
+       heavy_hitters\n"
+      top_key;
+    exit 1
+  end;
+  (* t-digest vs the exact sorted sample. Rank error: where the
+     digest's answer really falls in the data, against the q asked. *)
+  let td = Sketch.Tdigest.create ~delta:td_delta () in
+  let shard_td = Array.init 4 (fun _ -> Sketch.Tdigest.create ~delta:td_delta ()) in
+  let vals =
+    Array.init samples (fun _ -> Rng.exponential rng ~mean:250.0)
+  in
+  Array.iteri
+    (fun i v ->
+      Sketch.Tdigest.add td v;
+      Sketch.Tdigest.add shard_td.(i land 3) v)
+    vals;
+  Array.sort compare vals;
+  let rank_of v =
+    let lo = ref 0 and hi = ref samples in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if vals.(mid) <= v then lo := mid + 1 else hi := mid
+    done;
+    float_of_int !lo /. float_of_int samples
+  in
+  let merged_td = Sketch.Tdigest.create ~delta:td_delta () in
+  Array.iter (fun s -> Sketch.Tdigest.merge ~into:merged_td s) shard_td;
+  let max_err = ref 0.0 and max_ratio = ref 0.0 in
+  let m_max_err = ref 0.0 and m_max_ratio = ref 0.0 in
+  List.iter
+    (fun q ->
+      let b = td_rank_bound ~n:samples q in
+      let err = Float.abs (rank_of (Sketch.Tdigest.quantile td q) -. q) in
+      if err > !max_err then max_err := err;
+      if err /. b > !max_ratio then max_ratio := err /. b;
+      let merr =
+        Float.abs (rank_of (Sketch.Tdigest.quantile merged_td q) -. q)
+      in
+      if merr > !m_max_err then m_max_err := merr;
+      if merr /. (2.0 *. b) > !m_max_ratio then
+        m_max_ratio := merr /. (2.0 *. b))
+    telemetry_quantiles;
+  {
+    sk_samples = samples;
+    cms_total = total;
+    cms_bound = bound;
+    cms_max_over = !max_over;
+    cms_under = !under;
+    cms_viol = !viol;
+    cms_merged_equal = merged_equal;
+    td_centroids = Sketch.Tdigest.centroids td;
+    td_max_err = !max_err;
+    td_max_ratio = !max_ratio;
+    td_merged_max_err = !m_max_err;
+    td_merged_max_ratio = !m_max_ratio;
+  }
+
+(* Fabric runs: BENCH_5's plain traffic under the wheel scheduler with
+   a binary tap on every switch, the collector absorbing every 50us of
+   simulated time — a real control-loop cadence, and frequent enough
+   that the default sink never drops. The horizon hugs the traffic
+   span so the absorb ticks stop when the fabric does. *)
+let telemetry_absorb_period = Time_ns.us 50
+
+let telemetry_until cfg = (cfg.packets_per_host * cfg.gap_ns) + Time_ns.ms 10
+
+let run_telemetry_fabric cfg =
+  let eng = Engine.create ~scheduler:`Wheel () in
+  let net = build ~event_mode:`Typed cfg eng in
+  let sink = Telemetry_sink.create () in
+  let col = Collector.create () in
+  Telemetry_emit.tap_switches sink net;
+  setup_plain_traffic cfg ~owns:(fun _ -> true) net;
+  let until = telemetry_until cfg in
+  Engine.every eng ~period:telemetry_absorb_period ~until (fun () ->
+      Collector.absorb col sink);
+  let t0 = Unix.gettimeofday () in
+  Engine.run eng ~until;
+  let wall = Unix.gettimeofday () -. t0 in
+  Collector.absorb col sink;
+  ( col,
+    Telemetry_sink.dropped sink,
+    Engine.events_processed eng,
+    Net.frames_delivered net,
+    wall )
+
+(* Each shard taps every switch of its own topology copy, but only
+   owned switches ever process frames (boundary frames are shipped to
+   their owning shard), so each hop cards exactly once fabric-wide and
+   merging the shard collectors reproduces the sequential stream. *)
+let run_telemetry_parallel cfg ~shards =
+  let sinks = Array.make shards None in
+  let cols = Array.make shards None in
+  let until = telemetry_until cfg in
+  let t0 = Unix.gettimeofday () in
+  let stats, parts =
+    Parsim.run ~scheduler:`Wheel ~shards ~until
+      ~build:(build ~event_mode:`Typed cfg)
+      ~setup:(fun ~shard ~owns net ->
+        let sink = Telemetry_sink.create () in
+        let col = Collector.create () in
+        Telemetry_emit.tap_switches sink net;
+        setup_plain_traffic cfg ~owns net;
+        Engine.every (Net.engine net) ~period:telemetry_absorb_period ~until
+          (fun () -> Collector.absorb col sink);
+        sinks.(shard) <- Some sink;
+        cols.(shard) <- Some col)
+      ~collect:(fun ~shard ~owns:_ _ ->
+        let sink = Option.get sinks.(shard) in
+        let col = Option.get cols.(shard) in
+        Collector.absorb col sink;
+        (col, Telemetry_sink.dropped sink))
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let merged = Collector.create () in
+  Array.iter (fun (col, _) -> Collector.merge ~into:merged col) parts;
+  let dropped = Array.fold_left (fun a (_, d) -> a + d) 0 parts in
+  (merged, dropped, stats.Parsim.delivered, wall)
+
+let telemetry_workload_of cfg =
+  Printf.sprintf "%s, binary tap on every switch, 50us collector windows"
+    (engine_workload_of cfg)
+
+let write_telemetry_json cfg ~out ~ingest_cards ~ingest_wall ~ingest_minor
+    ~ingest_max_bytes ~sink_cap ~(sk : sketch_report) ~fab_cards ~fab_events
+    ~fab_delivered ~fab_wall ~fingerprint ~shards ~par_wall =
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": 7,\n\
+    \  \"workload\": \"%s\",\n\
+    \  \"git_commit\": \"%s\",\n\
+    \  \"ocaml\": \"%s\",\n\
+    \  \"cores\": %d,\n\
+    \  \"ingest\": { \"cards\": %d, \"wall_s\": %.6f, \"cards_per_sec\": \
+     %.1f,\n\
+    \              \"minor_words_per_card\": %.3f, \"max_sink_bytes\": %d, \
+     \"sink_cap_bytes\": %d },\n\
+    \  \"sketch\": { \"samples\": %d,\n\
+    \              \"cms\": { \"total\": %d, \"bound\": %d, \
+     \"max_overestimate\": %d, \"underestimates\": %d, \"violations\": %d, \
+     \"merged_identical\": %b },\n\
+    \              \"tdigest\": { \"delta\": %.0f, \"centroids\": %d, \
+     \"max_rank_error\": %.5f, \"max_error_over_bound\": %.3f, \
+     \"merged_max_rank_error\": %.5f } },\n\
+    \  \"fabric\": { \"events\": %d, \"cards\": %d, \"cards_dropped\": 0, \
+     \"packets_delivered\": %d,\n\
+    \              \"wall_s\": %.6f, \"cards_per_sec\": %.1f, \
+     \"collector_fingerprint\": %d },\n\
+    \  \"sharded\": { \"shards\": %d, \"wall_s\": %.6f, \"identical\": true }\n\
+     }\n"
+    (telemetry_workload_of cfg) (git_commit ()) Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+    ingest_cards ingest_wall
+    (float_of_int ingest_cards /. ingest_wall)
+    ingest_minor ingest_max_bytes sink_cap sk.sk_samples sk.cms_total
+    sk.cms_bound sk.cms_max_over sk.cms_under sk.cms_viol sk.cms_merged_equal
+    td_delta sk.td_centroids sk.td_max_err sk.td_max_ratio
+    sk.td_merged_max_err fab_events fab_cards fab_delivered fab_wall
+    (float_of_int fab_cards /. fab_wall)
+    fingerprint shards par_wall;
+  close_out oc;
+  Printf.printf "perf: wrote %s\n%!" out
+
+let telemetry_bench cfg =
+  let cfg =
+    if cfg.smoke then { cfg with k = 4; packets_per_host = 200 } else cfg
+  in
+  let tag = if cfg.smoke then "perf(telemetry smoke)" else "perf(telemetry)" in
+  Printf.printf "%s: %s\n%!" tag (telemetry_workload_of cfg);
+  (* 1. Ingest throughput, best of two so a hiccup cannot fake a miss. *)
+  let ingest_cards = if cfg.smoke then 1_000_000 else 8_000_000 in
+  let run_ingest () = telemetry_ingest ~cards:ingest_cards in
+  let ((icol, isink, iwall, iminor, imax_bytes) as _a) =
+    let a = run_ingest () in
+    let b = run_ingest () in
+    let wall_of (_, _, w, _, _) = w in
+    if wall_of b < wall_of a then b else a
+  in
+  let sink_cap =
+    telemetry_max_chunks * telemetry_cards_per_chunk
+    * Telemetry_wire.bytes_per_card
+  in
+  let rate = float_of_int ingest_cards /. iwall in
+  Printf.printf
+    "%s: ingest %d cards in %.3fs (%.3e cards/s, %.3f minor w/card, sink <= \
+     %d bytes)\n%!"
+    tag ingest_cards iwall rate iminor imax_bytes;
+  if Collector.cards icol <> ingest_cards || Telemetry_sink.dropped isink <> 0
+  then begin
+    Printf.eprintf
+      "%s: FAIL — ingest lost cards (%d collected of %d, %d dropped)\n" tag
+      (Collector.cards icol) ingest_cards
+      (Telemetry_sink.dropped isink);
+    exit 1
+  end;
+  if imax_bytes > sink_cap then begin
+    Printf.eprintf
+      "%s: FAIL — sink footprint %d bytes exceeds its %d-byte cap\n" tag
+      imax_bytes sink_cap;
+    exit 1
+  end;
+  if rate < 1e6 then begin
+    Printf.eprintf
+      "%s: FAIL — %.3e cards/sec below the 1e6 sustained target\n" tag rate;
+    exit 1
+  end;
+  (* 2. Bounded memory under overload. *)
+  let cap, held, offered, dropped, drained = telemetry_overload () in
+  Printf.printf
+    "%s: overload %d offered into an 8-chunk sink: %d drained + %d dropped, \
+     %d bytes held (cap %d)\n%!"
+    tag offered drained dropped held cap;
+  if held > cap || dropped = 0 || drained + dropped <> offered then begin
+    Printf.eprintf
+      "%s: FAIL — overloaded sink broke its bound or its accounting\n" tag;
+    exit 1
+  end;
+  (* 3. Sketches vs exact oracles. *)
+  let sk = telemetry_sketches ~samples:(if cfg.smoke then 50_000 else 200_000) in
+  Printf.printf
+    "%s: cms %d samples, max overestimate %d (bound %d), %d underestimates, \
+     merged shards %s\n%!"
+    tag sk.sk_samples sk.cms_max_over sk.cms_bound sk.cms_under
+    (if sk.cms_merged_equal then "identical" else "DIVERGED");
+  if sk.cms_under > 0 || sk.cms_viol > 0 || not sk.cms_merged_equal then begin
+    Printf.eprintf
+      "%s: FAIL — cms outside its bound (%d underestimates, %d violations, \
+       merged_equal=%b)\n"
+      tag sk.cms_under sk.cms_viol sk.cms_merged_equal;
+    exit 1
+  end;
+  Printf.printf
+    "%s: t-digest %d centroids, max rank error %.5f (%.2f of bound), merged \
+     %.5f (%.2f of 2x bound)\n%!"
+    tag sk.td_centroids sk.td_max_err sk.td_max_ratio sk.td_merged_max_err
+    sk.td_merged_max_ratio;
+  if
+    sk.td_max_ratio > 1.0 || sk.td_merged_max_ratio > 1.0
+    || sk.td_centroids > int_of_float (2.0 *. td_delta) + 8
+  then begin
+    Printf.eprintf
+      "%s: FAIL — t-digest outside the k1 rank bound (or over its centroid \
+       cap: %d)\n"
+      tag sk.td_centroids;
+    exit 1
+  end;
+  (* 4. Fabric: sequential vs sharded collector identity. *)
+  let col, fab_dropped, fab_events, fab_delivered, fab_wall =
+    run_telemetry_fabric cfg
+  in
+  let fab_cards = Collector.cards col in
+  Printf.printf
+    "%s: fabric %d events, %d cards (%d dropped), %d delivered in %.3fs \
+     (%.3e cards/s)\n%!"
+    tag fab_events fab_cards fab_dropped fab_delivered fab_wall
+    (float_of_int fab_cards /. fab_wall);
+  if fab_dropped <> 0 then begin
+    Printf.eprintf
+      "%s: FAIL — fabric run dropped %d cards (collector fell behind)\n" tag
+      fab_dropped;
+    exit 1
+  end;
+  let shards =
+    if cfg.smoke then 2 else if cfg.shards > 0 then cfg.shards else 4
+  in
+  let par_col, par_dropped, par_delivered, par_wall =
+    run_telemetry_parallel cfg ~shards
+  in
+  if
+    par_dropped <> 0
+    || Collector.cards par_col <> fab_cards
+    || par_delivered <> fab_delivered
+    || Collector.fingerprint par_col <> Collector.fingerprint col
+  then begin
+    Printf.eprintf
+      "%s: FAIL — %d-shard telemetry diverged from sequential\n\
+       %s:   cards %d vs %d (%d dropped), delivered %d vs %d, fingerprint \
+       %d vs %d\n"
+      tag shards tag
+      (Collector.cards par_col)
+      fab_cards par_dropped par_delivered fab_delivered
+      (Collector.fingerprint par_col)
+      (Collector.fingerprint col);
+    exit 1
+  end;
+  Printf.printf
+    "%s: %d-shard fabric %.3fs — merged collector identical to sequential \
+     (fingerprint %d)\n%!"
+    tag shards par_wall
+    (Collector.fingerprint col);
+  Printf.printf
+    "%s: OK — 1e6+ cards/s sustained, memory bounded, sketches inside their \
+     bounds, %d-shard identical\n%!"
+    tag shards;
+  if not cfg.smoke then begin
+    let out = match cfg.out with Some o -> o | None -> "BENCH_7.json" in
+    write_telemetry_json cfg ~out ~ingest_cards ~ingest_wall:iwall
+      ~ingest_minor:iminor ~ingest_max_bytes:imax_bytes ~sink_cap ~sk
+      ~fab_cards ~fab_events ~fab_delivered ~fab_wall
+      ~fingerprint:(Collector.fingerprint col) ~shards ~par_wall
+  end
+
 let () =
   let cfg = ref default in
   let rec parse = function
@@ -1385,6 +1870,9 @@ let () =
     | "--frames" :: rest ->
       cfg := { !cfg with frames = true };
       parse rest
+    | "--telemetry" :: rest ->
+      cfg := { !cfg with telemetry = true };
+      parse rest
     | "--out" :: v :: rest ->
       cfg := { !cfg with out = Some v };
       parse rest
@@ -1406,7 +1894,8 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let cfg = !cfg in
-  if cfg.frames then frames_bench cfg
+  if cfg.telemetry then telemetry_bench cfg
+  else if cfg.frames then frames_bench cfg
   else if cfg.engine then engine_bench cfg
   else if cfg.chaos then chaos cfg
   else if cfg.tpp_heavy then tpp_heavy cfg

@@ -140,9 +140,12 @@ let benches () =
           | None -> nan
         in
         let cell fmt v = if Float.is_nan v then "-" else Printf.sprintf fmt v in
-        (* BENCH_4 names its totals chaos_*; every other file uses the
-           plain keys. *)
-        let minor = num [ "minor_words_per_event" ] in
+        (* BENCH_4 names its totals chaos_*, and BENCH_7 (telemetry)
+           counts postcards instead of engine events — its row is the
+           ingest microbench (cards, cards/sec, minor words/card),
+           which is listed first in the file so the first-occurrence
+           scan picks it over the fabric section. *)
+        let minor = num [ "minor_words_per_event"; "minor_words_per_card" ] in
         (* Trend: this file's allocation rate relative to the previous
            bench that reported one — the column that shows the
            flattening work paying off (x1.00 = flat, below = better). *)
@@ -153,11 +156,16 @@ let benches () =
         in
         if not (Float.is_nan minor) then prev_minor := minor;
         Printf.printf "  %-14s %10s %14s %12s %12s %14s\n" f
-          (cell "%.0f" (num [ "events"; "chaos_events" ]))
-          (cell "%.3e" (num [ "events_per_sec"; "chaos_events_per_sec" ]))
+          (cell "%.0f" (num [ "cards"; "events"; "chaos_events" ]))
+          (cell "%.3e"
+             (num [ "events_per_sec"; "chaos_events_per_sec"; "cards_per_sec" ]))
           (cell "%.3f" minor) trend
           (cell "%.4f" (num [ "promoted_words_per_event" ])))
-      files
+      files;
+    if List.mem "BENCH_7.json" files then
+      print_endline
+        "  (BENCH_7 counts telemetry postcards: cards, cards/sec, minor \
+         words/card)"
   end
 
 (* Paper-vs-measured rows collected for the experiment summary. *)

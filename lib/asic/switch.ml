@@ -31,6 +31,11 @@ type t = {
   mutable tcpu_enabled : bool;
   mutable last_tcpu : Tcpu.result option;
   mutable tap : (now:int -> in_port:int -> out_port:int -> Frame.t -> unit) option;
+  mutable bin_tap :
+    (now:int -> in_port:int -> out_port:int -> queue_bytes:int ->
+     version:int -> frame_id:int -> flow_hash:int -> wire_bytes:int ->
+     entry:int -> unit)
+    option;
   mutable classify_queue : Frame.t -> int;
 }
 
@@ -55,10 +60,12 @@ let create ~id ~num_ports ?queue_limit ?(tcpu_enabled = true) () =
     tcpu_enabled;
     last_tcpu = None;
     tap = None;
+    bin_tap = None;
     classify_queue = dscp_classifier;
   }
 
 let set_tap t tap = t.tap <- tap
+let set_bin_tap t tap = t.bin_tap <- tap
 
 let set_queue_classifier t f = t.classify_queue <- f
 
@@ -161,6 +168,19 @@ let process_and_enqueue t ~now (frame : Frame.t) ~out_port =
   (match t.tap with
   | Some tap ->
     tap ~now ~in_port:frame.Frame.meta.Meta.in_port ~out_port frame
+  | None -> ());
+  (* The scalar twin of [tap]: every argument is an immediate int, so
+     a telemetry sink can encode a binary postcard with no boxing on
+     the per-hop fast path. [queue_bytes] is the occupancy of the
+     queue the frame is about to join — the Figure 1 semantics. *)
+  (match t.bin_tap with
+  | Some tap ->
+    let meta = frame.Frame.meta in
+    tap ~now ~in_port:meta.Meta.in_port ~out_port
+      ~queue_bytes:sub.State.Subqueue.q_bytes
+      ~version:meta.Meta.matched_version ~frame_id:frame.Frame.id
+      ~flow_hash:(Frame.flow_hash frame) ~wire_bytes:wire
+      ~entry:meta.Meta.matched_entry
   | None -> ());
   if sub.State.Subqueue.q_bytes + wire > sub.State.Subqueue.q_limit then begin
     sub.State.Subqueue.q_dropped <- sub.State.Subqueue.q_dropped + wire;

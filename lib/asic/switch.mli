@@ -109,3 +109,18 @@ val set_tap :
 (** Mirror point after the forwarding decision, used by the
     postcard-based debugger baseline (ndb, paper §2.3) to emit truncated
     per-hop packet copies. *)
+
+val set_bin_tap :
+  t ->
+  (now:int -> in_port:int -> out_port:int -> queue_bytes:int ->
+   version:int -> frame_id:int -> flow_hash:int -> wire_bytes:int ->
+   entry:int -> unit)
+  option ->
+  unit
+(** The same mirror point, scalar edition: fires once per frame that
+    reaches an egress queue (before the tail-drop check, like
+    {!set_tap}) with every field of a binary telemetry postcard as an
+    immediate int — no [Frame.t] escapes, so the streaming-telemetry
+    sink can encode hop cards without allocating. [queue_bytes] is the
+    depth of the queue the frame is joining, before the frame itself
+    is counted. Independent of {!set_tap}; both may be installed. *)

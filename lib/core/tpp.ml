@@ -64,6 +64,14 @@ module Rcp_star = Tpp_endhost.Rcp_star
 module Microburst = Tpp_endhost.Microburst
 module Sweep = Tpp_endhost.Sweep
 
+(* Streaming telemetry (binary postcards, sketches, reacting controller) *)
+module Telemetry_wire = Tpp_telemetry.Wire
+module Telemetry_sink = Tpp_telemetry.Sink
+module Sketch = Tpp_telemetry.Sketch
+module Collector = Tpp_telemetry.Collector
+module React = Tpp_telemetry.React
+module Telemetry_emit = Tpp_telemetry.Emit
+
 (* Baselines and debugging *)
 module Rcp = Tpp_rcp.Rcp
 module Aimd = Tpp_rcp.Aimd
@@ -84,6 +92,7 @@ module Fabric = Tpp_experiments.Fabric
 module Cc_compare = Tpp_experiments.Cc_compare
 module Consistent = Tpp_experiments.Consistent
 module Faults = Tpp_experiments.Faults
+module Telemetry_exp = Tpp_experiments.Telemetry_exp
 
 (* Control plane *)
 module Controller = Tpp_control.Controller

@@ -83,6 +83,8 @@ module Reliable = struct
     o_on_fail : (now:int -> unit) option;
   }
 
+  type event = Retry | Failure
+
   type t = {
     stack : Stack.t;
     timeout : int;
@@ -96,7 +98,16 @@ module Reliable = struct
     mutable s_replies : int;
     mutable s_late : int;
     mutable s_failures : int;
+    mutable observer :
+      (now:int -> event:event -> seq:int -> attempts:int -> unit) option;
   }
+
+  let set_observer t obs = t.observer <- obs
+
+  let notify t ~now ~event ~seq ~attempts =
+    match t.observer with
+    | None -> ()
+    | Some f -> f ~now ~event ~seq ~attempts
 
   let seq_block = 1 lsl 20
   let next_uid = ref 0
@@ -119,12 +130,16 @@ module Reliable = struct
         if not o.o_done then begin
           if o.o_attempts <= t.retries then begin
             transmit t o;
+            notify t ~now:(Stack.now t.stack) ~event:Retry ~seq:o.o_seq
+              ~attempts:o.o_attempts;
             arm_timeout t o
           end
           else begin
             o.o_done <- true;
             Hashtbl.remove t.pending o.o_seq;
             t.s_failures <- t.s_failures + 1;
+            notify t ~now:(Stack.now t.stack) ~event:Failure ~seq:o.o_seq
+              ~attempts:o.o_attempts;
             match o.o_on_fail with
             | Some f -> f ~now:(Stack.now t.stack)
             | None -> ()
@@ -164,6 +179,7 @@ module Reliable = struct
         s_replies = 0;
         s_late = 0;
         s_failures = 0;
+        observer = None;
       }
     in
     install_reply_handler stack (fun ~now ~seq tpp -> on_echo t ~now ~seq tpp);

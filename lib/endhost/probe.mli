@@ -75,6 +75,19 @@ module Reliable : sig
   val outstanding : t -> int
   (** Probes still awaiting an echo or final timeout. *)
 
+  (** Loss evidence as it happens, for telemetry: a retransmission
+      fired, or a probe was abandoned. *)
+  type event = Retry | Failure
+
+  val set_observer :
+    t ->
+    (now:int -> event:event -> seq:int -> attempts:int -> unit) option ->
+    unit
+  (** Called at each retry (after the retransmission is queued) and at
+      each final failure (before [on_fail]); [attempts] is the
+      transmissions made so far. The streaming-telemetry layer turns
+      these into [Probe_retry] / [Probe_failure] postcards. *)
+
   type stats = {
     probes : int;         (** {!send} calls *)
     transmissions : int;  (** frames sent, including retries *)

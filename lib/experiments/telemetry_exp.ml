@@ -1,0 +1,172 @@
+module Time_ns = Tpp_util.Time_ns
+module Engine = Tpp_sim.Engine
+module Net = Tpp_sim.Net
+module Fault = Tpp_sim.Fault
+module Topology = Tpp_sim.Topology
+module Switch = Tpp_asic.Switch
+module Stack = Tpp_endhost.Stack
+module Probe = Tpp_endhost.Probe
+module Programs = Tpp_isa.Programs
+module Faultfind = Tpp_ndb.Faultfind
+module Sink = Tpp_telemetry.Sink
+module Collector = Tpp_telemetry.Collector
+module React = Tpp_telemetry.React
+module Emit = Tpp_telemetry.Emit
+
+type result = {
+  hosts : int;
+  rtt_ms : float;
+  failed_link : int * int;
+  cards : int;
+  cards_dropped : int;
+  fault_cards : int;
+  probe_retries : int;
+  probe_failures : int;
+  detect_ms : float;
+  react_ms : float;
+  detect_rtts : float;
+  react_rtts : float;
+  drained : (int * int) list;
+  failed_hops_after_drain : int;
+  failures_after_drain : int;
+}
+
+let fail_at = Time_ns.sec 1
+let duration = Time_ns.sec 2
+let probe_period = Time_ns.ms 10
+let timeout = Time_ns.ms 50
+let control_period = Time_ns.ms 1
+
+let probe_tpp () =
+  match Programs.build ~max_hops:10 Programs.record_route with
+  | Ok tpp -> tpp
+  | Error e -> invalid_arg ("Telemetry_exp: probe tpp: " ^ e)
+
+let run ?(seed = 4242) ?(drop = 0.5) () =
+  let eng = Engine.create () in
+  let ft =
+    Topology.fat_tree eng ~k:4 ~bps:100_000_000 ~delay:(Time_ns.us 20) ()
+  in
+  let net = ft.Topology.f_net in
+  let hosts = ft.Topology.f_hosts in
+  let n = Array.length hosts in
+  let stacks = Array.map (Stack.create net) hosts in
+  Array.iter Probe.install_echo stacks;
+  (* Probe mesh: the same cross-pod circuits the fault finder uses. *)
+  let circuits = List.init n (fun i -> (stacks.(i), hosts.((i + 4) mod n))) in
+  let finder = Faultfind.create ~circuits ~period:probe_period ~timeout () in
+  Faultfind.start finder ~at:(Time_ns.ms 10) ();
+  (* Telemetry plumbing: switch taps, fault cards, reliable-probe
+     cards, all into one sink. *)
+  let sink = Sink.create () in
+  Emit.tap_switches sink net;
+  let collector = Collector.create () in
+  let react = React.create net in
+  let reliable = Probe.Reliable.create ~timeout:(Time_ns.ms 20) stacks.(0) in
+  Emit.probe_events sink ~node:hosts.(0).Net.node_id reliable;
+  (* Ground truth: circuit 0's aggregation->core hop turns lossy. *)
+  let node_of_switch_id swid =
+    match
+      List.find_opt (fun (_, sw) -> Switch.id sw = swid) (Net.switches net)
+    with
+    | Some (node, _) -> node
+    | None -> invalid_arg "Telemetry_exp.run: unknown switch id"
+  in
+  let failed_link =
+    match Faultfind.links_of_circuit finder 0 with
+    | _ :: (l : Faultfind.link) :: _ ->
+      (node_of_switch_id l.Faultfind.from_switch, l.Faultfind.egress_port)
+    | _ -> invalid_arg "Telemetry_exp.run: circuit 0 shorter than expected"
+  in
+  let fault = Fault.create ~seed in
+  Fault.lossy fault ~from_:fail_at ~until_:duration ~drop failed_link;
+  Fault.attach fault net;
+  Emit.fault_events sink fault;
+  (* Measure the healthy RTT with one reliable probe up front. *)
+  let rtt = ref 0 in
+  Engine.at eng (Time_ns.ms 5) (fun () ->
+      let sent = Engine.now eng in
+      ignore
+        (Probe.Reliable.send reliable ~dst:hosts.(4) ~tpp:(probe_tpp ())
+           ~on_reply:(fun ~now _ -> if !rtt = 0 then rtt := now - sent)
+           ()));
+  (* Steady reliable probing across the sick path: its retries and
+     failures become end-host telemetry. *)
+  Engine.every eng ~start:(Time_ns.ms 20) ~period:(Time_ns.ms 5)
+    ~until:duration (fun () ->
+      ignore (Probe.Reliable.send reliable ~dst:hosts.(4) ~tpp:(probe_tpp ()) ()));
+  (* The control loop: drain the sink into the collector each window,
+     corroborate with the probe mesh's suspects, react. *)
+  let detect_at = ref None in
+  let react_at = ref None in
+  let failures_at_drain = ref 0 in
+  let failed_hops_at_settle = ref 0 in
+  let settle = ref None in
+  Engine.every eng ~start:(Time_ns.ms 2) ~period:control_period
+    ~until:duration (fun () ->
+      let now = Engine.now eng in
+      Collector.absorb collector sink;
+      if !detect_at = None && Collector.fault_events collector > 0 then
+        detect_at := Some now;
+      let suspects =
+        List.map
+          (fun (l : Faultfind.link) ->
+            (node_of_switch_id l.Faultfind.from_switch, l.Faultfind.egress_port))
+          (Faultfind.suspects finder ~now)
+      in
+      let actions = React.step ~suspects react collector in
+      if
+        !react_at = None
+        && List.exists (function React.Drained _ -> true | _ -> false) actions
+      then begin
+        react_at := Some now;
+        failures_at_drain := Collector.probe_failures collector;
+        (* Give in-flight frames one RTT to clear, then baseline the
+           drained link's hop count: cards after this are misrouted. *)
+        let settle_at = now + max !rtt (Time_ns.ms 1) in
+        Engine.at eng settle_at (fun () ->
+            Collector.absorb collector sink;
+            settle := Some settle_at;
+            failed_hops_at_settle :=
+              Collector.link_hops collector ~switch:(fst failed_link)
+                ~port:(snd failed_link))
+      end);
+  Engine.run eng ~until:duration;
+  Collector.absorb collector sink;
+  let ms_since_fail = function
+    | Some t -> Time_ns.to_ms_f (t - fail_at)
+    | None -> Float.infinity
+  in
+  let rtt_f = float_of_int (max !rtt 1) in
+  let rtts = function
+    | Some t -> float_of_int (t - fail_at) /. rtt_f
+    | None -> Float.infinity
+  in
+  let failed_hops_after_drain =
+    match !settle with
+    | None -> 0
+    | Some _ ->
+      Collector.link_hops collector ~switch:(fst failed_link)
+        ~port:(snd failed_link)
+      - !failed_hops_at_settle
+  in
+  {
+    hosts = n;
+    rtt_ms = Time_ns.to_ms_f !rtt;
+    failed_link;
+    cards = Sink.emitted sink;
+    cards_dropped = Sink.dropped sink;
+    fault_cards = Collector.fault_events collector;
+    probe_retries = Collector.probe_retries collector;
+    probe_failures = Collector.probe_failures collector;
+    detect_ms = ms_since_fail !detect_at;
+    react_ms = ms_since_fail !react_at;
+    detect_rtts = rtts !detect_at;
+    react_rtts = rtts !react_at;
+    drained = React.drained react;
+    failed_hops_after_drain;
+    failures_after_drain =
+      (match !react_at with
+      | None -> Collector.probe_failures collector
+      | Some _ -> Collector.probe_failures collector - !failures_at_drain);
+  }

@@ -1,0 +1,38 @@
+(** E14 — streaming-telemetry reaction latency.
+
+    The full control loop of the telemetry subsystem, timed in
+    simulated RTTs: a fat-tree fabric under probe traffic has one
+    aggregation->core link turn lossy; switch binary postcards, fault
+    cards and probe retry/failure cards stream through a {!Tpp_telemetry.Sink}
+    into a {!Tpp_telemetry.Collector}; a {!Tpp_telemetry.React}
+    controller window-steps over the collector (with
+    {!Tpp_ndb.Faultfind} suspects as corroboration) and drains the sick
+    link out of every ECMP group. The paper's claim under test: with
+    in-band telemetry the fault->detect->reroute loop closes at RTT
+    timescales, not control-protocol timescales. *)
+
+type result = {
+  hosts : int;
+  rtt_ms : float;  (** measured healthy probe RTT *)
+  failed_link : int * int;  (** (node, port) of the lossy egress *)
+  cards : int;  (** binary postcards accepted by the sink *)
+  cards_dropped : int;  (** lost to sink overflow *)
+  fault_cards : int;  (** Fault_event cards collected *)
+  probe_retries : int;
+  probe_failures : int;
+  detect_ms : float;
+      (** fault onset -> first fault evidence in a collector window *)
+  react_ms : float;  (** fault onset -> drain installed *)
+  detect_rtts : float;
+  react_rtts : float;
+  drained : (int * int) list;
+  failed_hops_after_drain : int;
+      (** hop cards on the drained link after the drain settled — the
+          reroute witness; ~0 when flows hashed away as installed *)
+  failures_after_drain : int;
+      (** reliable-probe failures after the drain settled *)
+}
+
+val run : ?seed:int -> ?drop:float -> unit -> result
+(** Defaults: [seed] 4242, [drop] 0.5 (loss probability on the failed
+    link). Deterministic per seed. *)

@@ -17,12 +17,14 @@ let postcard_bytes = 64
 
 type t = {
   net : Net.t;
-  mutable cards : postcard list;  (* reverse arrival order *)
+  by_frame : (int, postcard list) Hashtbl.t;
+      (* frame id -> its postcards, newest first. Indexed at insert so
+         path reassembly is O(path length), not O(total postcards). *)
   mutable count : int;
 }
 
 let deploy net =
-  let t = { net; cards = []; count = 0 } in
+  let t = { net; by_frame = Hashtbl.create 256; count = 0 } in
   List.iter
     (fun (_, sw) ->
       let swid = Switch.id sw in
@@ -30,7 +32,7 @@ let deploy net =
         (Some
            (fun ~now ~in_port ~out_port frame ->
              let meta = frame.Frame.meta in
-             t.cards <-
+             let card =
                {
                  time_ns = now;
                  switch_id = swid;
@@ -40,7 +42,12 @@ let deploy net =
                  in_port;
                  out_port;
                }
-               :: t.cards;
+             in
+             let prev =
+               Option.value ~default:[]
+                 (Hashtbl.find_opt t.by_frame card.frame_id)
+             in
+             Hashtbl.replace t.by_frame card.frame_id (card :: prev);
              t.count <- t.count + 1)))
     (Net.switches net);
   t
@@ -52,11 +59,9 @@ let postcards t = t.count
 let overhead_bytes t = t.count * postcard_bytes
 
 let path_of t ~frame_id =
-  t.cards
-  |> List.filter (fun c -> c.frame_id = frame_id)
-  |> List.sort (fun a b -> Int.compare a.time_ns b.time_ns)
+  match Hashtbl.find_opt t.by_frame frame_id with
+  | None -> []
+  | Some cards ->
+    List.sort (fun a b -> Int.compare a.time_ns b.time_ns) cards
 
-let distinct_frames t =
-  let tbl = Hashtbl.create 64 in
-  List.iter (fun c -> Hashtbl.replace tbl c.frame_id ()) t.cards;
-  Hashtbl.length tbl
+let distinct_frames t = Hashtbl.length t.by_frame

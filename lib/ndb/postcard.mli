@@ -37,6 +37,8 @@ val postcards : t -> int
 val overhead_bytes : t -> int
 
 val path_of : t -> frame_id:int -> postcard list
-(** All postcards for one packet, in time order — the reassembled path. *)
+(** All postcards for one packet, in time order — the reassembled path.
+    Cards are indexed by frame id at insert, so this is O(path length),
+    not O(total postcards collected). *)
 
 val distinct_frames : t -> int

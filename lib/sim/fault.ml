@@ -45,6 +45,14 @@ type cable = {
 
 type wire = { cable : cable; rng : Rng.t; draws : bool }
 
+type cause =
+  | Lost_down
+  | Random_drop
+  | Corrupt_header
+  | Corrupt_fcs
+  | Frozen_arrival
+  | Restart
+
 type t = {
   seed : int;
   mutable rules : rule list; (* reverse recording order *)
@@ -57,6 +65,10 @@ type t = {
   mutable s_corrupt_fcs : int;
   mutable s_frozen_arrivals : int;
   mutable s_restarts : int;
+  mutable observer :
+    (now:Time_ns.t -> cause:cause -> node:int -> port:int -> frame_id:int ->
+     unit)
+    option;
 }
 
 let create ~seed =
@@ -72,7 +84,18 @@ let create ~seed =
     s_corrupt_fcs = 0;
     s_frozen_arrivals = 0;
     s_restarts = 0;
+    observer = None;
   }
+
+let set_observer t obs = t.observer <- obs
+
+let no_port = 0xFFFF
+(* Sentinel egress for events with no wire attribution (freezes). *)
+
+let notify t ~now ~cause ~node ~port ~frame_id =
+  match t.observer with
+  | None -> ()
+  | Some f -> f ~now ~cause ~node ~port ~frame_id
 
 let record t r =
   if t.attached then invalid_arg "Fault: schedule already attached";
@@ -172,16 +195,22 @@ let up t (node, port) ~now =
    bytes the headers don't cover, which is exactly what the Ethernet
    FCS exists for (the 4 FCS bytes are part of [Frame.wire_size] but
    carry no simulated payload). Either way the frame dies here. *)
-let corrupt_frame t rng frame =
+let corrupt_frame t rng ~node ~port ~now frame =
   let bytes = Frame.serialize frame in
   let nbits = 8 * Bytes.length bytes in
   let bit = Rng.int rng nbits in
   let i = bit lsr 3 in
   Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl (bit land 7))));
-  match Frame.parse bytes with
-  | Error _ -> t.s_corrupt_header <- t.s_corrupt_header + 1
-  | Ok _ -> t.s_corrupt_fcs <- t.s_corrupt_fcs + 1
-  | exception _ -> t.s_corrupt_header <- t.s_corrupt_header + 1
+  let cause =
+    match Frame.parse bytes with
+    | Error _ -> Corrupt_header
+    | Ok _ -> Corrupt_fcs
+    | exception _ -> Corrupt_header
+  in
+  (match cause with
+  | Corrupt_header -> t.s_corrupt_header <- t.s_corrupt_header + 1
+  | _ -> t.s_corrupt_fcs <- t.s_corrupt_fcs + 1);
+  notify t ~now ~cause ~node ~port ~frame_id:frame.Frame.id
 
 (* -- hooks ---------------------------------------------------------- *)
 
@@ -191,6 +220,7 @@ let f_transit t ~node ~port ~now frame =
   | Some w ->
     if not (cable_up w.cable now) then begin
       t.s_lost_down <- t.s_lost_down + 1;
+      notify t ~now ~cause:Lost_down ~node ~port ~frame_id:frame.Frame.id;
       false
     end
     else if w.draws then begin
@@ -203,10 +233,12 @@ let f_transit t ~node ~port ~now frame =
       | Some l ->
         if u < l.ls_drop then begin
           t.s_dropped <- t.s_dropped + 1;
+          notify t ~now ~cause:Random_drop ~node ~port
+            ~frame_id:frame.Frame.id;
           false
         end
         else if u < l.ls_drop +. l.ls_corrupt then begin
-          corrupt_frame t w.rng frame;
+          corrupt_frame t w.rng ~node ~port ~now frame;
           false
         end
         else true
@@ -232,6 +264,7 @@ let f_delay t ~node ~port ~now ~delay =
 let f_ingress t ~node ~now =
   if frozen t node ~now then begin
     t.s_frozen_arrivals <- t.s_frozen_arrivals + 1;
+    notify t ~now ~cause:Frozen_arrival ~node ~port:no_port ~frame_id:0;
     false
   end
   else true
@@ -286,7 +319,9 @@ let attach t net =
         (fun ~node ->
           let st = Switch.state (Net.switch net node) in
           Array.fill st.State.sram 0 (Array.length st.State.sram) 0;
-          t.s_restarts <- t.s_restarts + 1);
+          t.s_restarts <- t.s_restarts + 1;
+          notify t ~now:(Engine.now (Net.engine net)) ~cause:Restart ~node
+            ~port:no_port ~frame_id:0);
     }
   in
   (* Rules were recorded in reverse; walk oldest-first so overlapping

@@ -130,6 +130,32 @@ val up : t -> link -> now:Time_ns.t -> bool
 val frozen : t -> int -> now:Time_ns.t -> bool
 (** Whether switch node [id] is inside a freeze window at [now]. *)
 
+(** {2 Observation} *)
+
+(** Why an injection fired; each constructor maps onto one {!stats}
+    counter. *)
+type cause =
+  | Lost_down
+  | Random_drop
+  | Corrupt_header
+  | Corrupt_fcs
+  | Frozen_arrival
+  | Restart
+
+val set_observer :
+  t ->
+  (now:Time_ns.t -> cause:cause -> node:int -> port:int -> frame_id:int ->
+   unit)
+  option ->
+  unit
+(** Called at every injection, after the matching counter increments.
+    [node]/[port] name the transmitting endpoint of the affected wire;
+    events with no wire ([Frozen_arrival], [Restart]) carry the frozen
+    switch's node and port 0xFFFF, and [frame_id] 0. The observer is
+    shard-local (it sees exactly the injections this instance's
+    counters count) and must not mutate simulation state — it exists
+    so the streaming-telemetry layer can emit fault postcards. *)
+
 (** {2 Accounting} — frames lost to this schedule, by cause. *)
 
 type stats = {

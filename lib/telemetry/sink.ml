@@ -1,0 +1,104 @@
+module Ring = Tpp_util.Ring
+
+type chunk = { buf : bytes; mutable len : int }
+(* [len] is the fill level in bytes; always a multiple of
+   [Wire.bytes_per_card]. *)
+
+type t = {
+  chunk_bytes : int;
+  max_chunks : int;
+  mutable cur : chunk;
+  pending_q : chunk Ring.t;  (* full (or flushed) chunks, oldest first *)
+  free : chunk Ring.t;       (* drained chunks awaiting reuse *)
+  mutable chunks_alive : int;
+  mutable emitted : int;
+  mutable dropped : int;
+}
+
+let dummy_chunk = { buf = Bytes.empty; len = 0 }
+
+let create ?(cards_per_chunk = 1024) ?(max_chunks = 64) () =
+  if cards_per_chunk < 1 then invalid_arg "Sink.create: cards_per_chunk";
+  let max_chunks = max 2 max_chunks in
+  let chunk_bytes = cards_per_chunk * Wire.bytes_per_card in
+  {
+    chunk_bytes;
+    max_chunks;
+    cur = { buf = Bytes.create chunk_bytes; len = 0 };
+    pending_q = Ring.create ~capacity:max_chunks ~dummy:dummy_chunk ();
+    free = Ring.create ~capacity:max_chunks ~dummy:dummy_chunk ();
+    chunks_alive = 1;
+    emitted = 0;
+    dropped = 0;
+  }
+
+(* The current chunk is full: park it on the pending ring and install an
+   empty one. Reuse a drained chunk when one is free; allocate while
+   under the bound; past the bound, cannibalise the oldest pending chunk
+   — its cards are lost (counted), memory stays put. *)
+let rotate t =
+  Ring.push t.pending_q t.cur;
+  let next =
+    match Ring.take_opt t.free with
+    | Some c -> c
+    | None ->
+      if t.chunks_alive < t.max_chunks then begin
+        t.chunks_alive <- t.chunks_alive + 1;
+        { buf = Bytes.create t.chunk_bytes; len = 0 }
+      end
+      else begin
+        match Ring.take_opt t.pending_q with
+        | Some oldest ->
+          t.dropped <- t.dropped + (oldest.len / Wire.bytes_per_card);
+          oldest.len <- 0;
+          oldest
+        | None -> assert false (* we just pushed cur *)
+      end
+  in
+  next.len <- 0;
+  t.cur <- next
+
+let emit t ~kind ~in_port ~out_port ~node ~value ~version ~subject ~time_ns
+    ~flow_hash ~wire_bytes ~entry =
+  if t.cur.len + Wire.bytes_per_card > t.chunk_bytes then rotate t;
+  let c = t.cur in
+  Wire.write c.buf ~off:c.len ~kind ~in_port ~out_port ~node ~value ~version
+    ~subject ~time_ns ~flow_hash ~wire_bytes ~entry;
+  c.len <- c.len + Wire.bytes_per_card;
+  t.emitted <- t.emitted + 1
+
+let emit_hop t ~now ~switch_id ~in_port ~out_port ~queue_bytes ~version
+    ~frame_id ~flow_hash ~wire_bytes ~entry =
+  emit t ~kind:0 ~in_port ~out_port ~node:switch_id ~value:queue_bytes
+    ~version ~subject:frame_id ~time_ns:now ~flow_hash ~wire_bytes ~entry
+
+let drain t f =
+  (* Flush the partial chunk so a window sees everything emitted before
+     it; chunk order on the ring is emission order. *)
+  if t.cur.len > 0 then rotate t;
+  let rec loop () =
+    match Ring.take_opt t.pending_q with
+    | None -> ()
+    | Some c ->
+      let n = c.len in
+      let off = ref 0 in
+      while !off < n do
+        f c.buf ~off:!off;
+        off := !off + Wire.bytes_per_card
+      done;
+      c.len <- 0;
+      Ring.push t.free c;
+      loop ()
+  in
+  loop ()
+
+let pending t =
+  let cards = ref (t.cur.len / Wire.bytes_per_card) in
+  Ring.iter (fun c -> cards := !cards + (c.len / Wire.bytes_per_card))
+    t.pending_q;
+  !cards
+
+let emitted t = t.emitted
+let dropped t = t.dropped
+let chunks_alive t = t.chunks_alive
+let card_bytes_alive t = t.chunks_alive * t.chunk_bytes

@@ -1,0 +1,72 @@
+(* Fixed 40-byte big-endian postcard records, written and read in place.
+   See wire.mli for the layout. Every store is a plain byte store of an
+   immediate int — no Int32/Int64 boxing — so encoding a card from the
+   switch hot path allocates nothing, and neither does decoding one in
+   the collector. *)
+
+let bytes_per_card = 40
+
+type kind = Hop | Probe_retry | Probe_failure | Fault_event
+
+let kind_code = function
+  | Hop -> 0
+  | Probe_retry -> 1
+  | Probe_failure -> 2
+  | Fault_event -> 3
+
+let kind_of_code = function
+  | 0 -> Some Hop
+  | 1 -> Some Probe_retry
+  | 2 -> Some Probe_failure
+  | 3 -> Some Fault_event
+  | _ -> None
+
+let u16 = 0xFFFF
+let u32 = 0xFFFF_FFFF
+
+let set_u8 buf off v = Bytes.unsafe_set buf off (Char.unsafe_chr (v land 0xFF))
+
+let set_u16 buf off v =
+  set_u8 buf off (v lsr 8);
+  set_u8 buf (off + 1) v
+
+let set_u32 buf off v =
+  set_u16 buf off (v lsr 16);
+  set_u16 buf (off + 2) v
+
+(* The top byte carries bits 56..62 of the (63-bit) int; values round-
+   trip exactly for every non-negative OCaml int. *)
+let set_u64 buf off v =
+  set_u32 buf off (v lsr 32);
+  set_u32 buf (off + 4) v
+
+let get_u8 buf off = Char.code (Bytes.unsafe_get buf off)
+let get_u16 buf off = (get_u8 buf off lsl 8) lor get_u8 buf (off + 1)
+let get_u32 buf off = (get_u16 buf off lsl 16) lor get_u16 buf (off + 2)
+let get_u64 buf off = (get_u32 buf off lsl 32) lor get_u32 buf (off + 4)
+
+let write buf ~off ~kind ~in_port ~out_port ~node ~value ~version ~subject
+    ~time_ns ~flow_hash ~wire_bytes ~entry =
+  set_u8 buf off kind;
+  set_u8 buf (off + 1) in_port;
+  set_u16 buf (off + 2) (out_port land u16);
+  set_u32 buf (off + 4) (node land u32);
+  set_u32 buf (off + 8) (value land u32);
+  set_u32 buf (off + 12) (version land u32);
+  set_u64 buf (off + 16) subject;
+  set_u64 buf (off + 24) time_ns;
+  set_u32 buf (off + 32) (flow_hash land u32);
+  set_u16 buf (off + 36) (min wire_bytes u16);
+  set_u16 buf (off + 38) (min entry u16)
+
+let kind buf ~off = get_u8 buf off
+let in_port buf ~off = get_u8 buf (off + 1)
+let out_port buf ~off = get_u16 buf (off + 2)
+let node buf ~off = get_u32 buf (off + 4)
+let value buf ~off = get_u32 buf (off + 8)
+let version buf ~off = get_u32 buf (off + 12)
+let subject buf ~off = get_u64 buf (off + 16)
+let time_ns buf ~off = get_u64 buf (off + 24)
+let flow_hash buf ~off = get_u32 buf (off + 32)
+let wire_bytes buf ~off = get_u16 buf (off + 36)
+let entry buf ~off = get_u16 buf (off + 38)

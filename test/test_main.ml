@@ -24,4 +24,5 @@ let () =
       ("control", Test_control.suite);
       ("golden", Test_golden.suite);
       ("tcp", Test_tcp.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
