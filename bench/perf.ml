@@ -99,10 +99,13 @@ let build ?event_mode cfg eng =
   in
   ft.Topology.f_net
 
-(* GC provenance. OCaml 5 keeps allocation counters per domain, so a
-   sharded run must sample inside the shard (setup before the run,
-   collect after) and sum the deltas; quick_stat itself does not force
-   a collection. *)
+(* GC provenance. [gc_mark]/[gc_delta] use quick_stat and are for
+   single-domain (sequential) sections only: in OCaml 5 quick_stat
+   AGGREGATES minor_words across every running domain, so summing
+   per-shard quick_stat deltas counts each word once per shard — a
+   4-shard run would report up to 4x its true allocation. Sharded runs
+   must sample inside the shard with the [_local] variants below, which
+   read only the calling domain's counters. *)
 let gc_mark () =
   let s = Gc.quick_stat () in
   (s.Gc.minor_words, s.Gc.promoted_words)
@@ -110,6 +113,19 @@ let gc_mark () =
 let gc_delta (m0, p0) =
   let s = Gc.quick_stat () in
   (s.Gc.minor_words -. m0, s.Gc.promoted_words -. p0)
+
+(* Domain-local: Gc.minor_words is exact for the calling domain;
+   Gc.counters' promoted_words lags by at most one minor-heap's worth
+   (it updates at collection boundaries), which is noise at bench
+   scale. Same tuple shape as gc_mark/gc_delta so call sites swap
+   freely. *)
+let gc_mark_local () =
+  let _, promoted, _ = Gc.counters () in
+  (Gc.minor_words (), promoted)
+
+let gc_delta_local (m0, p0) =
+  let _, promoted, _ = Gc.counters () in
+  (Gc.minor_words () -. m0, promoted -. p0)
 
 let per_event words events =
   if events = 0 then 0.0 else words /. float_of_int events
@@ -169,30 +185,6 @@ let run_sequential ?scheduler ?event_mode cfg =
     minor_pe = per_event minor events;
     promoted_pe = per_event promoted events;
     rounds = 0; messages = 0; cut_links = 0; lookahead_ns = 0 }
-
-(* Wall time includes partitioning and per-shard topology construction —
-   the price of entry a real parallel run pays. GC deltas are sampled
-   per shard domain (mark in setup, delta in collect) and summed. *)
-let run_parallel cfg ~shards =
-  let marks = Array.make shards (0.0, 0.0) in
-  let t0 = Unix.gettimeofday () in
-  let stats, gcs =
-    Parsim.run ~shards ~until:horizon ~build:(build cfg)
-      ~setup:(fun ~shard ~owns net ->
-        setup_traffic cfg ~owns net;
-        marks.(shard) <- gc_mark ())
-      ~collect:(fun ~shard ~owns:_ _ -> gc_delta marks.(shard))
-      ()
-  in
-  let wall = Unix.gettimeofday () -. t0 in
-  let minor = Array.fold_left (fun a (m, _) -> a +. m) 0.0 gcs in
-  let promoted = Array.fold_left (fun a (_, p) -> a +. p) 0.0 gcs in
-  { events = stats.Parsim.events; delivered = stats.Parsim.delivered; wall;
-    minor_pe = per_event minor stats.Parsim.events;
-    promoted_pe = per_event promoted stats.Parsim.events;
-    rounds = stats.Parsim.rounds; messages = stats.Parsim.messages;
-    cut_links = stats.Parsim.cut_links;
-    lookahead_ns = stats.Parsim.lookahead }
 
 (* ---- TPP-heavy workload (BENCH_3): the TCPU compilation gate -------
 
@@ -370,9 +362,10 @@ let run_heavy_parallel cfg ~shards =
     Parsim.run ~shards ~until:horizon ~build:(build cfg)
       ~setup:(fun ~shard ~owns net ->
         setup_heavy_traffic cfg ~owns net;
-        marks.(shard) <- gc_mark ())
+        marks.(shard) <- gc_mark_local ())
       ~collect:(fun ~shard ~owns net ->
-        (tpp_totals_of ~owns net, net_fp ~owns net, gc_delta marks.(shard)))
+        (tpp_totals_of ~owns net, net_fp ~owns net,
+         gc_delta_local marks.(shard)))
       ()
   in
   let wall = Unix.gettimeofday () -. t0 in
@@ -581,22 +574,65 @@ let write_json cfg ~out r =
   close_out oc;
   Printf.printf "perf: wrote %s\n%!" out
 
-(* A fast cross-check for CI: the sequential engine and a 2-shard
-   parallel run of a small fabric must agree on every count. *)
+(* A fast cross-check for CI: the sequential engine and an N-shard
+   parallel run of a small fabric must agree on every count and every
+   switch register. Honors --shards (default 2) so CI can probe the
+   wider merge paths cheaply. Bit-identity only — never speed: the
+   speedup gate lives in the full --shards bench, behind a core-count
+   probe. *)
 let smoke cfg =
+  let shards = if cfg.shards > 0 then cfg.shards else 2 in
   let cfg = { cfg with k = 4; packets_per_host = 200 } in
-  Printf.printf "perf(smoke): %s\n%!" (workload_of cfg);
-  let s = run_sequential cfg in
-  let p = run_parallel cfg ~shards:2 in
+  Printf.printf "perf(smoke): %s, %d shards\n%!" (workload_of cfg) shards;
+  let eng = Engine.create () in
+  let net = build cfg eng in
+  setup_traffic cfg ~owns:(fun _ -> true) net;
+  let t0 = Unix.gettimeofday () in
+  Engine.run eng ~until:horizon;
+  let s_wall = Unix.gettimeofday () -. t0 in
+  let s_events = Engine.events_processed eng in
+  let s_delivered = Net.frames_delivered net in
+  let s_fp = net_fp ~owns:(fun _ -> true) net in
+  let t0 = Unix.gettimeofday () in
+  let stats, parts =
+    Parsim.run ~shards ~until:horizon ~build:(build cfg)
+      ~setup:(fun ~shard:_ ~owns net -> setup_traffic cfg ~owns net)
+      ~collect:(fun ~shard:_ ~owns net -> net_fp ~owns net)
+      ()
+  in
+  let p_wall = Unix.gettimeofday () -. t0 in
+  let p_fp =
+    Array.to_list parts |> List.concat
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   Printf.printf
-    "perf(smoke): sequential %d events / %d delivered (%.3fs), 2-shard %d \
-     events / %d delivered (%.3fs, %d rounds)\n%!"
-    s.events s.delivered s.wall p.events p.delivered p.wall p.rounds;
-  if s.events <> p.events || s.delivered <> p.delivered then begin
+    "perf(smoke): sequential %d events / %d delivered (%.3fs), %d-shard %d \
+     events / %d delivered (%.3fs, %d rounds, %d boundary frames in %d \
+     chunks)\n%!"
+    s_events s_delivered s_wall shards stats.Parsim.events
+    stats.Parsim.delivered p_wall stats.Parsim.rounds stats.Parsim.messages
+    stats.Parsim.chunks;
+  if s_events <> stats.Parsim.events || s_delivered <> stats.Parsim.delivered
+  then begin
     Printf.eprintf "perf(smoke): FAIL — parallel run diverged from sequential\n";
     exit 1
   end;
-  Printf.printf "perf(smoke): OK — parallel run identical to sequential\n%!"
+  if s_fp <> p_fp then begin
+    Printf.eprintf
+      "perf(smoke): FAIL — switch register fingerprints differ from \
+       sequential\n";
+    exit 1
+  end;
+  if stats.Parsim.boundary_outstanding <> 0 then begin
+    Printf.eprintf
+      "perf(smoke): FAIL — %d boundary frames never returned to their pools\n"
+      stats.Parsim.boundary_outstanding;
+    exit 1
+  end;
+  Printf.printf
+    "perf(smoke): OK — %d-shard run bit-identical to sequential (registers \
+     included), boundary pools drained\n%!"
+    shards
 
 (* ---- chaos workload (BENCH_4): the fault-injection gate ------------
 
@@ -674,10 +710,10 @@ let run_parallel_chaos ?scheduler cfg ~shards =
       ~setup:(fun ~shard ~owns net ->
         faults.(shard) <- Some (chaos_schedule cfg net);
         setup_traffic cfg ~owns net;
-        marks.(shard) <- gc_mark ())
+        marks.(shard) <- gc_mark_local ())
       ~collect:(fun ~shard ~owns:_ _ ->
         (fault_fp (Fault.stats (Option.get faults.(shard))),
-         gc_delta marks.(shard)))
+         gc_delta_local marks.(shard)))
       ()
   in
   let wall = Unix.gettimeofday () -. t0 in
@@ -1207,8 +1243,9 @@ let run_frames_parallel cfg ~shards =
     Parsim.run ~scheduler:`Wheel ~shards ~until:horizon ~build:(build cfg)
       ~setup:(fun ~shard ~owns net ->
         ignore (setup_pooled_traffic cfg ~owns net);
-        marks.(shard) <- gc_mark ())
-      ~collect:(fun ~shard ~owns net -> (net_fp ~owns net, gc_delta marks.(shard)))
+        marks.(shard) <- gc_mark_local ())
+      ~collect:(fun ~shard ~owns net ->
+        (net_fp ~owns net, gc_delta_local marks.(shard)))
       ()
   in
   let wall = Unix.gettimeofday () -. t0 in
@@ -1247,7 +1284,8 @@ let write_frames_json cfg ~out ~(oracle : engine_run) ~(pooled : engine_run)
     \              \"minor_words_per_event\": %.3f },\n\
     \  \"chaos\": { \"identical\": true },\n\
     \  \"sharded\": { \"shards\": %d, \"wall_s\": %.6f, \
-     \"minor_words_per_event\": %.3f, \"identical\": true },\n\
+     \"speedup_vs_sequential\": %.3f, \"identical\": true },\n\
+    \  \"sharded_minor_words_per_event\": %.3f,\n\
     \  \"identical\": true\n\
      }\n"
     (engine_workload_of cfg) (git_commit ()) Sys.ocaml_version
@@ -1257,7 +1295,9 @@ let write_frames_json cfg ~out ~(oracle : engine_run) ~(pooled : engine_run)
     pooled.g_minor_pe pooled.g_promoted_pe speedup p_created p_reused p_out
     oracle.g_events oracle.g_wall
     (float_of_int oracle.g_events /. oracle.g_wall)
-    oracle.g_minor_pe shards par_wall par_minor;
+    oracle.g_minor_pe shards par_wall
+    (pooled.g_wall /. par_wall)
+    par_minor;
   close_out oc;
   Printf.printf "perf: wrote %s\n%!" out
 
@@ -1379,6 +1419,246 @@ let frames_bench cfg =
          machine\n%!"
         tag eps
   end
+
+(* ---- sharded workload (BENCH_2): the multicore gate ----------------
+
+   The flat-boundary parallel engine measured against the sequential
+   engine on the BENCH_6 pooled-frame workload (wheel scheduler, typed
+   events on both sides — the deltas here are sharding and the
+   boundary protocol, nothing else). Three hard gates and one
+   conditional:
+
+   1. Bit identity: events, deliveries and every switch register must
+      match the sequential run exactly.
+   2. Allocation: sharded minor words/event <= 2x sequential — the
+      boundary path (chunk blits, in-place inbox merge, receiver-side
+      pool materialization) must not reintroduce per-message garbage.
+   3. Pool conservation: every traffic-pool frame and every boundary
+      frame is back in its pool at the horizon (outstanding = 0) —
+      the cross-domain leak stays fixed.
+   4. Speedup (conditional): >= 2x events/sec over sequential at
+      4+ shards, asserted only when the machine has >= 4 cores;
+      otherwise skipped loudly, with the provenance recorded in
+      BENCH_2.json so a reader knows the number was not checked.
+
+   A k=16 row (reduced packet count) rides along to show the
+   bigger-fabric trajectory the ROADMAP's k=16/k=32 target needs. *)
+
+let speedup_gate_min_cores = 4
+let speedup_target = 2.0
+
+(* Pooled traffic under Parsim, collecting per-shard register
+   fingerprints, GC deltas and traffic-pool totals. *)
+let run_shards cfg ~shards =
+  let marks = Array.make shards (0.0, 0.0) in
+  let pools = Array.make shards [||] in
+  let t0 = Unix.gettimeofday () in
+  let stats, parts =
+    Parsim.run ~scheduler:`Wheel ~shards ~until:horizon ~build:(build cfg)
+      ~setup:(fun ~shard ~owns net ->
+        pools.(shard) <- setup_pooled_traffic cfg ~owns net;
+        marks.(shard) <- gc_mark_local ())
+      ~collect:(fun ~shard ~owns net ->
+        (net_fp ~owns net, gc_delta_local marks.(shard),
+         pool_totals pools.(shard)))
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let fp =
+    Array.to_list parts
+    |> List.concat_map (fun (fp, _, _) -> fp)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let minor = Array.fold_left (fun a (_, (m, _), _) -> a +. m) 0.0 parts in
+  let pool =
+    Array.fold_left
+      (fun (c, r, o) (_, _, (pc, pr, po)) -> (c + pc, r + pr, o + po))
+      (0, 0, 0) parts
+  in
+  ( { g_events = stats.Parsim.events; g_delivered = stats.Parsim.delivered;
+      g_wall = wall;
+      g_minor_pe = per_event minor stats.Parsim.events;
+      g_promoted_pe = 0.0; g_fp = fp },
+    stats, pool )
+
+let write_shards_json cfg ~out ~(seq : engine_run) ~(par : engine_run)
+    ~(stats : Parsim.stats) ~pool:(p_created, p_reused, p_out) ~speedup
+    ~gate_enforced ~gate_reason ~k16 =
+  let cores = Domain.recommended_domain_count () in
+  let k16_cfg, (k16_seq : engine_run), (k16_par : engine_run), k16_speedup =
+    k16
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": 2,\n\
+    \  \"workload\": \"%s\",\n\
+    \  \"shards\": %d,\n\
+    \  \"git_commit\": \"%s\",\n\
+    \  \"ocaml\": \"%s\",\n\
+    \  \"cores\": %d,\n\
+    \  \"events\": %d,\n\
+    \  \"packets_delivered\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"boundary_messages\": %d,\n\
+    \  \"boundary_chunks\": %d,\n\
+    \  \"cut_links\": %d,\n\
+    \  \"lookahead_ns\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"events_per_sec\": %.1f,\n\
+    \  \"minor_words_per_event\": %.3f,\n\
+    \  \"sharded_minor_words_per_event\": %.3f,\n\
+    \  \"speedup_vs_sequential\": %.3f,\n\
+    \  \"sequential\": { \"wall_s\": %.6f, \"events_per_sec\": %.1f, \
+     \"minor_words_per_event\": %.3f },\n\
+    \  \"pool\": { \"created\": %d, \"reused\": %d, \"outstanding\": %d },\n\
+    \  \"boundary_outstanding\": %d,\n\
+    \  \"speedup_gate\": { \"target\": %.1f, \"enforced\": %s, \"reason\": \
+     \"%s\" },\n\
+    \  \"k16\": { \"workload\": \"%s\", \"events\": %d, \"wall_s\": %.6f, \
+     \"events_per_sec\": %.1f,\n\
+    \            \"sequential_wall_s\": %.6f, \"speedup_vs_sequential\": \
+     %.3f, \"identical\": true },\n\
+    \  \"identical\": true\n\
+     }\n"
+    (engine_workload_of cfg) stats.Parsim.shards (git_commit ())
+    Sys.ocaml_version cores par.g_events par.g_delivered stats.Parsim.rounds
+    stats.Parsim.messages stats.Parsim.chunks stats.Parsim.cut_links
+    stats.Parsim.lookahead par.g_wall
+    (float_of_int par.g_events /. par.g_wall)
+    par.g_minor_pe par.g_minor_pe speedup seq.g_wall
+    (float_of_int seq.g_events /. seq.g_wall)
+    seq.g_minor_pe p_created p_reused p_out stats.Parsim.boundary_outstanding
+    speedup_target
+    (if gate_enforced then "true" else "false")
+    gate_reason
+    (engine_workload_of k16_cfg)
+    k16_par.g_events k16_par.g_wall
+    (float_of_int k16_par.g_events /. k16_par.g_wall)
+    k16_seq.g_wall k16_speedup;
+  close_out oc;
+  Printf.printf "perf: wrote %s\n%!" out
+
+let shards_bench cfg =
+  let shards = cfg.shards in
+  let cores = Domain.recommended_domain_count () in
+  let tag = "perf(shards)" in
+  Printf.printf "%s: %s — %d shards on %d core(s)\n%!" tag
+    (engine_workload_of cfg) shards cores;
+  let check label (seq : engine_run) (par : engine_run) =
+    if seq.g_events <> par.g_events || seq.g_delivered <> par.g_delivered
+    then begin
+      Printf.eprintf
+        "%s: FAIL — %s diverged from sequential (%d vs %d events, %d vs %d \
+         delivered)\n"
+        tag label par.g_events seq.g_events par.g_delivered seq.g_delivered;
+      exit 1
+    end;
+    if seq.g_fp <> par.g_fp then begin
+      Printf.eprintf
+        "%s: FAIL — %s: switch register fingerprints differ from sequential\n"
+        tag label;
+      exit 1
+    end
+  in
+  let best_of_two run =
+    let a = run () in
+    let b = run () in
+    if (fst b).g_wall < (fst a).g_wall then b else a
+  in
+  (* Sequential baseline: same pooled workload, same scheduler. *)
+  let seq, _ = best_of_two (fun () -> run_frames_fabric cfg ~pooled:true) in
+  let par, stats, (p_created, p_reused, p_out) = run_shards cfg ~shards in
+  check (Printf.sprintf "%d-shard run" shards) seq par;
+  Printf.printf
+    "%s: sequential %d events in %.3fs (%.3e ev/s, %.2f minor w/ev)\n\
+     %s: %d-shard   %d events in %.3fs (%.3e ev/s, %.2f minor w/ev)\n\
+     %s: %d rounds, %d boundary frames in %d chunks over %d cut links, \
+     lookahead %dns\n%!"
+    tag seq.g_events seq.g_wall
+    (float_of_int seq.g_events /. seq.g_wall)
+    seq.g_minor_pe tag shards par.g_events par.g_wall
+    (float_of_int par.g_events /. par.g_wall)
+    par.g_minor_pe tag stats.Parsim.rounds stats.Parsim.messages
+    stats.Parsim.chunks stats.Parsim.cut_links stats.Parsim.lookahead;
+  (* Pool conservation: traffic pools and boundary pools both drain. *)
+  Printf.printf "%s: pool %d created / %d reused, %d outstanding, %d \
+                 boundary outstanding\n%!"
+    tag p_created p_reused p_out stats.Parsim.boundary_outstanding;
+  if p_out <> 0 || stats.Parsim.boundary_outstanding <> 0 then begin
+    Printf.eprintf
+      "%s: FAIL — %d traffic-pool and %d boundary frames never returned to \
+       their pools\n"
+      tag p_out stats.Parsim.boundary_outstanding;
+    exit 1
+  end;
+  (* Allocation gate: the boundary path must stay flat. *)
+  if par.g_minor_pe > 2.0 *. seq.g_minor_pe then begin
+    Printf.eprintf
+      "%s: FAIL — sharded run allocates %.2f minor words/event, over 2x the \
+       sequential %.2f\n"
+      tag par.g_minor_pe seq.g_minor_pe;
+    exit 1
+  end;
+  let speedup = seq.g_wall /. par.g_wall in
+  Printf.printf "%s: speedup over sequential: %.2fx\n%!" tag speedup;
+  (* Speedup gate, behind the core-count probe: a 1-2 core machine
+     cannot speed anything up, so asserting there would only test the
+     scheduler's mercy. The skip is loud and lands in the JSON. *)
+  let gate_enforced = cores >= speedup_gate_min_cores && shards >= 4 in
+  let gate_reason =
+    if gate_enforced then
+      Printf.sprintf "checked: %d cores >= %d, %d shards" cores
+        speedup_gate_min_cores shards
+    else if cores < speedup_gate_min_cores then
+      Printf.sprintf "skipped: only %d core(s) < %d" cores
+        speedup_gate_min_cores
+    else Printf.sprintf "skipped: only %d shard(s) < 4" shards
+  in
+  if gate_enforced then begin
+    if speedup < speedup_target then begin
+      Printf.eprintf
+        "%s: FAIL — speedup %.2fx below the %.1fx target (%d shards, %d \
+         cores)\n"
+        tag speedup speedup_target shards cores;
+      exit 1
+    end;
+    Printf.printf "%s: speedup gate passed (%.2fx >= %.1fx)\n%!" tag speedup
+      speedup_target
+  end
+  else
+    Printf.printf
+      "%s: SKIPPED speedup gate — %s (recorded in BENCH_2.json)\n%!" tag
+      gate_reason;
+  (* k=16 trajectory row: the fabric the ROADMAP's north star needs,
+     at a packet count that keeps the row affordable. Identity is
+     checked here too — a bigger fabric that silently diverged would
+     be worse than no row. *)
+  let k16_cfg =
+    { cfg with k = 16; packets_per_host = min cfg.packets_per_host 50 }
+  in
+  Printf.printf "%s: k=16 row — %s\n%!" tag (engine_workload_of k16_cfg);
+  let k16_seq, _ = run_frames_fabric k16_cfg ~pooled:true in
+  let k16_par, k16_stats, (_, _, k16_p_out) = run_shards k16_cfg ~shards in
+  check "k=16 run" k16_seq k16_par;
+  if k16_p_out <> 0 || k16_stats.Parsim.boundary_outstanding <> 0 then begin
+    Printf.eprintf
+      "%s: FAIL — k=16: %d traffic-pool and %d boundary frames leaked\n" tag
+      k16_p_out k16_stats.Parsim.boundary_outstanding;
+    exit 1
+  end;
+  let k16_speedup = k16_seq.g_wall /. k16_par.g_wall in
+  Printf.printf
+    "%s: k=16 sequential %.3fs, %d-shard %.3fs (%.2fx, %d rounds) — \
+     identical\n%!"
+    tag k16_seq.g_wall shards k16_par.g_wall k16_speedup k16_stats.Parsim.rounds;
+  Printf.printf
+    "%s: OK — %d-shard runs bit-identical to sequential, pools drained\n%!"
+    tag shards;
+  let out = match cfg.out with Some o -> o | None -> "BENCH_2.json" in
+  write_shards_json cfg ~out ~seq ~par ~stats
+    ~pool:(p_created, p_reused, p_out) ~speedup ~gate_enforced ~gate_reason
+    ~k16:(k16_cfg, k16_seq, k16_par, k16_speedup)
 
 (* ---- telemetry workload (BENCH_7): the streaming-telemetry gate -----
 
@@ -1900,22 +2180,11 @@ let () =
   else if cfg.chaos then chaos cfg
   else if cfg.tpp_heavy then tpp_heavy cfg
   else if cfg.smoke then smoke cfg
+  else if cfg.shards > 0 then shards_bench cfg
   else begin
     let sent = cfg.k * cfg.k * cfg.k / 4 * cfg.packets_per_host in
     Printf.printf "perf: %s\n%!" (workload_of cfg);
-    let r =
-      if cfg.shards > 0 then begin
-        Printf.printf "perf: parallel, %d shards on %d core(s)\n%!" cfg.shards
-          (Domain.recommended_domain_count ());
-        run_parallel cfg ~shards:cfg.shards
-      end
-      else run_sequential cfg
-    in
-    if cfg.shards > 0 then
-      Printf.printf
-        "perf: %d rounds, %d boundary frames over %d cut links, lookahead \
-         %dns\n%!"
-        r.rounds r.messages r.cut_links r.lookahead_ns;
+    let r = run_sequential cfg in
     Printf.printf
       "perf: %d events, %d/%d packets delivered in %.3fs wall\n\
        perf: %.3e events/sec, %.3e packets/sec\n\
@@ -1924,10 +2193,6 @@ let () =
       (float_of_int r.events /. r.wall)
       (float_of_int r.delivered /. r.wall)
       r.minor_pe r.promoted_pe;
-    let out =
-      match cfg.out with
-      | Some o -> o
-      | None -> if cfg.shards > 0 then "BENCH_2.json" else "BENCH_1.json"
-    in
+    let out = match cfg.out with Some o -> o | None -> "BENCH_1.json" in
     write_json cfg ~out r
   end

@@ -128,8 +128,8 @@ let benches () =
   if files = [] then print_endline "no BENCH_*.json files in the working directory"
   else begin
     sub "bench results (BENCH_*.json)";
-    Printf.printf "  %-14s %10s %14s %12s %12s %14s\n" "file" "events" "events/sec"
-      "minor w/ev" "trend" "promoted w/ev";
+    Printf.printf "  %-14s %10s %14s %12s %8s %9s %12s %14s\n" "file" "events"
+      "events/sec" "minor w/ev" "trend" "shard x" "shard w/ev" "promoted w/ev";
     let prev_minor = ref nan in
     List.iter
       (fun f ->
@@ -155,11 +155,17 @@ let benches () =
           else Printf.sprintf "x%.2f" (minor /. !prev_minor)
         in
         if not (Float.is_nan minor) then prev_minor := minor;
-        Printf.printf "  %-14s %10s %14s %12s %12s %14s\n" f
+        (* Sharded columns: the sharded-vs-sequential wall-clock ratio
+           and the sharded run's allocation rate, so a BENCH_2 (or
+           BENCH_6 sharded-path) regression is visible in the trend
+           output without opening the file. *)
+        Printf.printf "  %-14s %10s %14s %12s %8s %9s %12s %14s\n" f
           (cell "%.0f" (num [ "cards"; "events"; "chaos_events" ]))
           (cell "%.3e"
              (num [ "events_per_sec"; "chaos_events_per_sec"; "cards_per_sec" ]))
           (cell "%.3f" minor) trend
+          (cell "x%.2f" (num [ "speedup_vs_sequential" ]))
+          (cell "%.3f" (num [ "sharded_minor_words_per_event" ]))
           (cell "%.4f" (num [ "promoted_words_per_event" ])))
       files;
     if List.mem "BENCH_7.json" files then

@@ -447,6 +447,43 @@ let parse ?len b =
   | Buf.Out_of_bounds what -> Error ("truncated frame: " ^ what)
   | Invalid_argument what -> Error what
 
+(* ---- Cross-domain wire transfer (shard boundaries) ----
+
+   A frame crossing a shard boundary travels as its bare wire image
+   inside a flat chunk buffer: [blit_wire] copies the image out on the
+   emitting shard, [materialize] rebuilds a frame from it on the owning
+   shard — from that shard's *own* pool, so the rebuilt frame recycles
+   normally (the emitter recycles its original into its local pool the
+   moment the blit returns). *)
+
+let blit_wire t dst ~pos =
+  check_encodable t;
+  sync_tpp t;
+  Bytes.blit t.buf 0 dst pos t.len;
+  t.len
+
+(* Offsets from a trusted wire image: the emitter rendered it with the
+   same layout rules [parse] validates, so they are recomputed by pure
+   arithmetic (no codec round-trip on the boundary hot path). The
+   QCheck boundary-codec property pins this against [parse]. *)
+let set_l3_offsets t ~l3 ~ethertype =
+  if ethertype = Ethernet.ethertype_ipv4 then begin
+    t.ip_off <- l3;
+    if Ipv4.Header.Flat.proto t.buf ~off:l3 = Ipv4.proto_udp then begin
+      t.udp_off <- l3 + Ipv4.Header.size;
+      t.pay_off <- t.udp_off + Udp.size
+    end
+    else begin
+      t.udp_off <- -1;
+      t.pay_off <- l3 + Ipv4.Header.size
+    end
+  end
+  else begin
+    t.ip_off <- -1;
+    t.udp_off <- -1;
+    t.pay_off <- l3
+  end
+
 (* ---- Structural surgery (cold paths) ---- *)
 
 let with_tpp t tpp =
@@ -563,6 +600,37 @@ module Pool = struct
   let created p = p.p_created
   let reused p = p.p_reused
 end
+
+let materialize ~pool ~id ~hop_count src ~pos ~len =
+  let t = Pool.take pool in
+  if Bytes.length t.buf < len then t.buf <- Bytes.create len;
+  Bytes.blit src pos t.buf 0 len;
+  t.id <- id;
+  t.len <- len;
+  t.flow_hash_cache <- min_int;
+  t.meta.Meta.hop_count <- hop_count;
+  let ety = Ethernet.Flat.ethertype t.buf ~off:0 in
+  if ety = Ethernet.ethertype_tpp then begin
+    (* The TPP view must be rebuilt (program array, compile cache,
+       aliasing memory window); [Tpp.read] validates the section and
+       the process-wide compile cache makes recompilation a lookup. *)
+    let r =
+      Buf.Reader.of_bytes ~pos:Ethernet.size ~len:(len - Ethernet.size) t.buf
+    in
+    match Tpp.read r with
+    | Error e -> invalid_arg ("Frame.materialize: bad TPP section: " ^ e)
+    | Ok s ->
+      let prog = Instr.size * Array.length s.Tpp.program in
+      Tpp.rebase s ~memory:t.buf ~mem_off:(Ethernet.size + 16 + prog);
+      t.tpp <- Some s;
+      set_l3_offsets t ~l3:(Ethernet.size + Buf.Reader.pos r)
+        ~ethertype:s.Tpp.inner_ethertype
+  end
+  else begin
+    t.tpp <- None;
+    set_l3_offsets t ~l3:Ethernet.size ~ethertype:ety
+  end;
+  t
 
 (* Returns a pooled frame to its free list. Safe to call on any frame:
    unpooled frames, frames already in their free list, and frames being

@@ -214,6 +214,34 @@ module Pool : sig
   val reused : t -> int
 end
 
+(** {2 Cross-domain wire transfer}
+
+    A frame crossing a shard boundary travels as its bare wire image
+    inside a flat chunk buffer ({!Tpp_parsim.Parsim.Boundary}):
+    {!blit_wire} copies the image out on the emitting shard, and
+    {!materialize} rebuilds an equivalent frame on the owning shard from
+    that shard's {e own} pool — so boundary frames recycle normally on
+    both sides instead of aging out to the GC. *)
+
+val blit_wire : t -> bytes -> pos:int -> int
+(** [blit_wire t dst ~pos] flushes the TPP header state and copies the
+    wire image into [dst] at [pos]; returns the number of bytes written
+    ([t.len] — the caller must have ensured that much room). Same
+    encodability requirement as {!serialize}: a hand-built TPP whose
+    program cannot be encoded raises [Invalid_argument], so such frames
+    cannot cross a shard boundary (exactly as they cannot be emitted
+    under [wire_check:`Always]). *)
+
+val materialize :
+  pool:Pool.t -> id:int -> hop_count:int -> bytes -> pos:int -> len:int -> t
+(** [materialize ~pool ~id ~hop_count src ~pos ~len] rebuilds a frame
+    from the [len]-byte wire image at [src.(pos)] into a frame taken
+    from [pool], preserving the original's [id] and [hop_count] (the
+    only metadata that survives a hop). Offsets are recomputed by
+    arithmetic on the trusted image (the emitter rendered it with the
+    layout {!parse} validates); a TPP section is revalidated and its
+    aliasing view rebuilt via the process-wide compile cache. *)
+
 val recycle : t -> unit
 (** Returns a pooled frame to its free list. Safe on any frame:
     unpooled frames, double recycles and foreign-domain recycles are

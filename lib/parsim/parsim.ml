@@ -4,17 +4,24 @@ module Partition = Tpp_util.Partition
 module Engine = Tpp_sim.Engine
 module Net = Tpp_sim.Net
 module Frame = Tpp_isa.Frame
+module Meta = Tpp_isa.Meta
 
 (* Stands in for "no cross-shard links": large enough that every window
    reaches the horizon in one round, small enough that window arithmetic
-   (min + lookahead) cannot overflow for any plausible horizon. *)
+   (saturating min + lookahead) cannot overflow for any plausible
+   horizon. *)
 let infinite_lookahead = max_int / 4
+
+(* [sat_add t d] for window arithmetic: [t] can be [max_int] (idle
+   shard), so a plain add would wrap. *)
+let[@inline] sat_add t d = if t >= max_int - d then max_int else t + d
 
 module Plan = struct
   type t = {
     shards : int;
     owner : int array;
     lookahead : Time_ns.span;
+    shard_lookahead : Time_ns.span array;
     cut_links : int;
     shard_weight : int array;
   }
@@ -59,17 +66,25 @@ module Plan = struct
       if vidx.(id) < 0 then
         owner.(id) <- (if anchor.(id) >= 0 then owner.(anchor.(id)) else 0)
     done;
-    (* Lookahead and cut size over every link in the full node graph
-       (host links never cross: hosts inherit their switch's shard). *)
+    (* Lookahead over every directed cut link: [shard_lookahead.(s)] is
+       the smallest propagation delay of a link leaving shard [s], i.e.
+       the earliest any emission of [s] can land on another shard. The
+       global [lookahead] (the min over shards) remains the static
+       conservative bound; the adaptive window rule in [run] uses the
+       per-shard values. Host links never cross: hosts inherit their
+       switch's shard. *)
     let lookahead = ref infinite_lookahead in
+    let shard_lookahead = Array.make shards infinite_lookahead in
     let cut = ref 0 in
     for id = 0 to n - 1 do
       List.iter
         (fun (port, peer, _) ->
-          if peer > id && owner.(id) <> owner.(peer) then begin
-            incr cut;
+          if owner.(id) <> owner.(peer) then begin
+            if peer > id then incr cut;
             let d = Net.link_delay net (id, port) in
-            if d < !lookahead then lookahead := d
+            if d < !lookahead then lookahead := d;
+            let s = owner.(id) in
+            if d < shard_lookahead.(s) then shard_lookahead.(s) <- d
           end)
         (Net.neighbors net id)
     done;
@@ -81,7 +96,14 @@ module Plan = struct
         let s = assign.(vidx.(v)) in
         shard_weight.(s) <- shard_weight.(s) + weight.(vidx.(v)))
       verts;
-    { shards; owner; lookahead = !lookahead; cut_links = !cut; shard_weight }
+    {
+      shards;
+      owner;
+      lookahead = !lookahead;
+      shard_lookahead;
+      cut_links = !cut;
+      shard_weight;
+    }
 end
 
 (* Reusable phase-counting barrier, hybrid spin-then-block. When every
@@ -90,7 +112,16 @@ end
    is two barriers and fine-grained topologies run thousands of
    windows). On an oversubscribed machine spinning only steals cycles
    from the shard still working, so waiters go straight to the
-   condvar and yield. *)
+   condvar and yield.
+
+   The spin-vs-block decision is taken once at [create], not per
+   [await] cohort, and that is safe: it depends only on
+   [Domain.recommended_domain_count ()] — a static property of the
+   machine, constant for the process lifetime — and on [total], fixed
+   at creation. No later [await] could ever decide differently, so
+   re-evaluating per cohort would buy nothing and cost an extra load
+   on every pass. [?spin] overrides the heuristic (tests use it to
+   force the spin path on machines where the default would be 0). *)
 module Barrier = struct
   exception Poisoned
 
@@ -104,7 +135,7 @@ module Barrier = struct
     spin : int;  (* iterations to spin before blocking; 0 when oversubscribed *)
   }
 
-  let create total =
+  let create ?spin total =
     {
       m = Mutex.create ();
       c = Condition.create ();
@@ -112,7 +143,11 @@ module Barrier = struct
       waiting = 0;
       phase = Atomic.make 0;
       poisoned = Atomic.make false;
-      spin = (if Domain.recommended_domain_count () >= total then 2048 else 0);
+      spin =
+        (match spin with
+        | Some s -> s
+        | None ->
+          if Domain.recommended_domain_count () >= total then 2048 else 0);
     }
 
   let await b =
@@ -149,13 +184,258 @@ module Barrier = struct
     end;
     if Atomic.get b.poisoned then raise Poisoned
 
-  (* Unblocks every current and future waiter; called when a shard dies
-     so the others do not deadlock at the next barrier. *)
+  (* Unblocks every current and future waiter — spinners observe the
+     flag on their next iteration, blockers are broadcast awake; called
+     when a shard dies so the others do not deadlock at the next
+     barrier. *)
   let poison b =
     Mutex.lock b.m;
     Atomic.set b.poisoned true;
     Condition.broadcast b.c;
     Mutex.unlock b.m
+end
+
+(* The canonical merge order of cross-boundary messages: (arrival,
+   emission stamp, producing shard, producer sequence number). The
+   first two reproduce the sequential engine's tie-break (every
+   delivery is backdated to its emission time); the last two give any
+   remaining ties a total, run-independent order — (src, seq) pairs
+   are unique. *)
+let compare_msg (a_arr, a_emit, a_src, a_seq) (b_arr, b_emit, b_src, b_seq) =
+  let c = compare (a_arr : int) b_arr in
+  if c <> 0 then c
+  else
+    let c = compare (a_emit : int) b_emit in
+    if c <> 0 then c
+    else
+      let c = compare (a_src : int) b_src in
+      if c <> 0 then c else compare (a_seq : int) b_seq
+
+(* Flat boundary chunks: all the frames one shard emits toward another
+   during one window, batched into a single reusable byte buffer. One
+   record per message — fixed 48-byte header, then the frame's wire
+   image:
+
+     offset  field        size
+        0    arrival      8  (absolute ns)
+        8    emitted      8  (emitter clock at transmission end)
+       16    seq          8  (producer emission counter)
+       24    frame id     8  (tracing identity survives the boundary)
+       32    dst node     4
+       36    dst port     4
+       40    hop count    4  (the one Meta field that crosses switches)
+       44    wire length  4
+       48    wire bytes   ...
+
+   The producer appends with [Frame.blit_wire] (then recycles its
+   frame locally); the consumer decodes in place and materializes each
+   frame from its own pool. The chunk itself travels through a bounded
+   {!Spsc} ring and is returned through a second ring for reuse, so a
+   steady-state boundary crossing allocates nothing on either side. *)
+module Boundary = struct
+  let header_bytes = 48
+
+  type chunk = {
+    mutable cbuf : bytes;
+    mutable clen : int;  (* bytes used *)
+    mutable count : int;  (* messages encoded *)
+  }
+
+  let chunk ?(capacity = 4096) () =
+    { cbuf = Bytes.create (max 64 capacity); clen = 0; count = 0 }
+
+  let count c = c.count
+  let byte_size c = c.clen
+
+  let reset c =
+    c.clen <- 0;
+    c.count <- 0
+
+  let ensure c extra =
+    let need = c.clen + extra in
+    if Bytes.length c.cbuf < need then begin
+      let cap = ref (Bytes.length c.cbuf) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let b = Bytes.create !cap in
+      Bytes.blit c.cbuf 0 b 0 c.clen;
+      c.cbuf <- b
+    end
+
+  let append c ~arrival ~emitted ~seq ~dst frame =
+    let wire = frame.Frame.len in
+    ensure c (header_bytes + wire);
+    let b = c.cbuf and o = c.clen in
+    Bytes.set_int64_be b o (Int64.of_int arrival);
+    Bytes.set_int64_be b (o + 8) (Int64.of_int emitted);
+    Bytes.set_int64_be b (o + 16) (Int64.of_int seq);
+    Bytes.set_int64_be b (o + 24) (Int64.of_int frame.Frame.id);
+    Bytes.set_int32_be b (o + 32) (Int32.of_int (fst dst));
+    Bytes.set_int32_be b (o + 36) (Int32.of_int (snd dst));
+    Bytes.set_int32_be b (o + 40) (Int32.of_int frame.Frame.meta.Meta.hop_count);
+    Bytes.set_int32_be b (o + 44) (Int32.of_int wire);
+    let n = Frame.blit_wire frame b ~pos:(o + header_bytes) in
+    c.clen <- o + header_bytes + n;
+    c.count <- c.count + 1
+
+  let decode c ~pool f =
+    let b = c.cbuf in
+    let o = ref 0 in
+    for _ = 1 to c.count do
+      let off = !o in
+      let arrival = Int64.to_int (Bytes.get_int64_be b off) in
+      let emitted = Int64.to_int (Bytes.get_int64_be b (off + 8)) in
+      let seq = Int64.to_int (Bytes.get_int64_be b (off + 16)) in
+      let id = Int64.to_int (Bytes.get_int64_be b (off + 24)) in
+      let dst_node = Int32.to_int (Bytes.get_int32_be b (off + 32)) in
+      let dst_port = Int32.to_int (Bytes.get_int32_be b (off + 36)) in
+      let hop_count = Int32.to_int (Bytes.get_int32_be b (off + 40)) in
+      let wire = Int32.to_int (Bytes.get_int32_be b (off + 44)) in
+      let frame =
+        Frame.materialize ~pool ~id ~hop_count b ~pos:(off + header_bytes)
+          ~len:wire
+      in
+      f ~arrival ~emitted ~seq ~dst_node ~dst_port frame;
+      o := off + header_bytes + wire
+    done
+end
+
+(* Preallocated structure-of-arrays scratch for the per-round inbox
+   merge: decoded messages land in parallel columns, a permutation
+   array is sorted in place by {!compare_msg}'s key, and the messages
+   are scheduled in that order. Replaces consing a list per round and
+   [List.sort]ing it — the steady-state merge allocates nothing. *)
+module Inbox = struct
+  type t = {
+    mutable arrival : int array;
+    mutable emitted : int array;
+    mutable src : int array;
+    mutable seq : int array;
+    mutable dst_node : int array;
+    mutable dst_port : int array;
+    mutable frames : Frame.t array;
+    mutable order : int array;  (* sorted permutation of [0, n) *)
+    mutable n : int;
+    dummy : Frame.t;  (* slot filler so cleared frames are unpinned *)
+  }
+
+  let create () =
+    let dummy = Frame.placeholder () in
+    {
+      arrival = [||];
+      emitted = [||];
+      src = [||];
+      seq = [||];
+      dst_node = [||];
+      dst_port = [||];
+      frames = [||];
+      order = [||];
+      n = 0;
+      dummy;
+    }
+
+  let length t = t.n
+
+  let grow t =
+    let cap = max 16 (2 * Array.length t.arrival) in
+    let gi a =
+      let b = Array.make cap 0 in
+      Array.blit a 0 b 0 t.n;
+      b
+    in
+    t.arrival <- gi t.arrival;
+    t.emitted <- gi t.emitted;
+    t.src <- gi t.src;
+    t.seq <- gi t.seq;
+    t.dst_node <- gi t.dst_node;
+    t.dst_port <- gi t.dst_port;
+    let fr = Array.make cap t.dummy in
+    Array.blit t.frames 0 fr 0 t.n;
+    t.frames <- fr;
+    t.order <- Array.make cap 0
+
+  let add t ~arrival ~emitted ~src_shard ~seq ~dst_node ~dst_port frame =
+    if t.n = Array.length t.arrival then grow t;
+    let i = t.n in
+    t.arrival.(i) <- arrival;
+    t.emitted.(i) <- emitted;
+    t.src.(i) <- src_shard;
+    t.seq.(i) <- seq;
+    t.dst_node.(i) <- dst_node;
+    t.dst_port.(i) <- dst_port;
+    t.frames.(i) <- frame;
+    t.n <- i + 1
+
+  (* Strict (arrival, emitted, src, seq) order between row indices;
+     total because (src, seq) pairs are unique. *)
+  let[@inline] less t i j =
+    let c = compare t.arrival.(i) t.arrival.(j) in
+    if c <> 0 then c < 0
+    else
+      let c = compare t.emitted.(i) t.emitted.(j) in
+      if c <> 0 then c < 0
+      else
+        let c = compare t.src.(i) t.src.(j) in
+        if c <> 0 then c < 0 else t.seq.(i) < t.seq.(j)
+
+  (* In-place quicksort of the permutation, insertion sort below a
+     small threshold, middle-element pivot. The comparison is a total
+     order, so the result is unique — determinism does not depend on
+     the sort being stable. *)
+  let sort t =
+    let o = t.order in
+    for i = 0 to t.n - 1 do
+      o.(i) <- i
+    done;
+    let rec qsort lo hi =
+      if hi - lo < 12 then
+        for i = lo + 1 to hi do
+          let v = o.(i) in
+          let j = ref (i - 1) in
+          while !j >= lo && less t v o.(!j) do
+            o.(!j + 1) <- o.(!j);
+            decr j
+          done;
+          o.(!j + 1) <- v
+        done
+      else begin
+        let pivot = o.((lo + hi) / 2) in
+        let i = ref lo and j = ref hi in
+        while !i <= !j do
+          while less t o.(!i) pivot do
+            incr i
+          done;
+          while less t pivot o.(!j) do
+            decr j
+          done;
+          if !i <= !j then begin
+            let tmp = o.(!i) in
+            o.(!i) <- o.(!j);
+            o.(!j) <- tmp;
+            incr i;
+            decr j
+          end
+        done;
+        qsort lo !j;
+        qsort !i hi
+      end
+    in
+    if t.n > 1 then qsort 0 (t.n - 1)
+
+  let iter_sorted t f =
+    for k = 0 to t.n - 1 do
+      let i = t.order.(k) in
+      f ~arrival:t.arrival.(i) ~emitted:t.emitted.(i) ~src_shard:t.src.(i)
+        ~seq:t.seq.(i) ~dst_node:t.dst_node.(i) ~dst_port:t.dst_port.(i)
+        t.frames.(i)
+    done
+
+  let clear t =
+    for i = 0 to t.n - 1 do
+      t.frames.(i) <- t.dummy
+    done;
+    t.n <- 0
 end
 
 type stats = {
@@ -164,47 +444,40 @@ type stats = {
   delivered : int;
   rounds : int;
   messages : int;
+  chunks : int;
   cut_links : int;
   lookahead : Time_ns.span;
   shard_events : int array;
+  boundary_outstanding : int;
 }
 
-(* One frame in flight between shards. [emitted] is the emitting
-   shard's clock at transmission end: the receiver backdates the
-   delivery's tie-break stamp to it, so an adopted frame orders against
-   same-nanosecond local arrivals exactly as in the sequential run
-   (where its push happened at emission time, not at inbox-drain time).
-   [seq] is the producer-side emission counter: with the producing
-   shard's index it gives any remaining ties a total, run-independent
-   merge order. *)
-type msg = {
-  arrival : Time_ns.t;
-  emitted : Time_ns.t;
-  src_shard : int;
-  seq : int;
-  dst : int * int;
-  frame : Frame.t;
+(* One directed inter-shard channel. [pending] carries published
+   chunks producer -> consumer (at most one per window by protocol, so
+   a [Spsc.Full] is a bug, not backpressure); [free] returns decoded
+   chunks for reuse (best-effort: a chunk that finds the return ring
+   full is simply dropped to the GC). [open_chunk] is producer-local
+   state: the chunk accumulating this window's emissions. *)
+type chan = {
+  pending : Boundary.chunk Spsc.t;
+  free : Boundary.chunk Spsc.t;
+  mutable open_chunk : Boundary.chunk option;
 }
-
-let compare_msg a b =
-  let c = compare a.arrival b.arrival in
-  if c <> 0 then c
-  else
-    let c = compare a.emitted b.emitted in
-    if c <> 0 then c
-    else
-      let c = compare a.src_shard b.src_shard in
-      if c <> 0 then c else compare a.seq b.seq
 
 let run ?scheduler ~shards ~until ~build ~setup ~collect () =
   if shards < 1 then invalid_arg "Parsim.run: shards must be >= 1";
   if until < 0 then invalid_arg "Parsim.run: until";
   let plan = Plan.make (build (Engine.create ?scheduler ())) ~shards in
   let owner = plan.Plan.owner in
-  let lookahead = plan.Plan.lookahead in
+  let shard_lookahead = plan.Plan.shard_lookahead in
   (* chans.(src).(dst): single producer (src domain), single consumer. *)
   let chans =
-    Array.init shards (fun _ -> Array.init shards (fun _ -> Spsc.create ()))
+    Array.init shards (fun _ ->
+        Array.init shards (fun _ ->
+            {
+              pending = Spsc.create ~capacity:4 ();
+              free = Spsc.create ~capacity:4 ();
+              open_chunk = None;
+            }))
   in
   (* Earliest pending event per shard, republished every round. Written
      before and read after a barrier, so plain visibility would suffice;
@@ -214,35 +487,84 @@ let run ?scheduler ~shards ~until ~build ~setup ~collect () =
   let shard_body my () =
     let eng = Engine.create ?scheduler () in
     let net = build eng in
+    (* Frames arriving over a boundary are rebuilt from this shard's
+       own pool, so they recycle on delivery/drop like local traffic —
+       the receiver-side half of the cross-domain leak fix. *)
+    let bpool = Frame.Pool.create () in
+    let inbox = Inbox.create () in
+    let out = chans.(my) in
     let seq = ref 0 in
     let emitted = ref 0 in
+    let chunks_sent = ref 0 in
     Net.set_sharding net ~owner ~shard:my
       ~emit:(fun ~arrival ~emitted:stamp ~dst frame ->
         incr seq;
         incr emitted;
-        Spsc.push
-          chans.(my).(Array.unsafe_get owner (fst dst))
-          { arrival; emitted = stamp; src_shard = my; seq = !seq; dst; frame });
+        let ch = out.(Array.unsafe_get owner (fst dst)) in
+        let c =
+          match ch.open_chunk with
+          | Some c -> c
+          | None ->
+            let c =
+              match Spsc.pop ch.free with
+              | Some c ->
+                Boundary.reset c;
+                c
+              | None -> Boundary.chunk ()
+            in
+            ch.open_chunk <- Some c;
+            c
+        in
+        Boundary.append c ~arrival ~emitted:stamp ~seq:!seq ~dst frame);
+    let publish_open_chunks () =
+      for dst = 0 to shards - 1 do
+        let ch = out.(dst) in
+        match ch.open_chunk with
+        | None -> ()
+        | Some c ->
+          ch.open_chunk <- None;
+          incr chunks_sent;
+          Spsc.push ch.pending c
+      done
+    in
     let owns id = Array.unsafe_get owner id = my in
     setup ~shard:my ~owns net;
     let rounds = ref 0 in
     let running = ref true in
+    (* Hoisted decode callback: [cur_src] names the channel being
+       drained so one closure serves every chunk. *)
+    let cur_src = ref 0 in
+    let on_msg ~arrival ~emitted ~seq ~dst_node ~dst_port frame =
+      Inbox.add inbox ~arrival ~emitted ~src_shard:!cur_src ~seq ~dst_node
+        ~dst_port frame
+    in
     while !running do
-      (* Inbox drain: everything emitted before the previous barrier is
-         visible now. Merge simultaneous arrivals deterministically so
-         heap insertion order (the tie-break) is run-independent. *)
-      let inbox = ref [] in
+      (* Inbox drain: every chunk published before the previous barrier
+         is visible now. Decode in place, then merge simultaneous
+         arrivals deterministically so heap insertion order (the
+         tie-break) is run-independent. *)
       for src = 0 to shards - 1 do
-        if src <> my then
-          List.iter
-            (fun m -> inbox := m :: !inbox)
-            (Spsc.drain chans.(src).(my))
+        if src <> my then begin
+          let ch = chans.(src).(my) in
+          cur_src := src;
+          let rec drain () =
+            match Spsc.pop ch.pending with
+            | None -> ()
+            | Some c ->
+              Boundary.decode c ~pool:bpool on_msg;
+              Boundary.reset c;
+              ignore (Spsc.try_push ch.free c : bool);
+              drain ()
+          in
+          drain ()
+        end
       done;
-      List.iter
-        (fun m ->
-          Net.schedule_delivery ~emitted:m.emitted net ~arrival:m.arrival
-            ~dst:m.dst m.frame)
-        (List.sort compare_msg !inbox);
+      Inbox.sort inbox;
+      Inbox.iter_sorted inbox
+        (fun ~arrival ~emitted ~src_shard:_ ~seq:_ ~dst_node ~dst_port frame ->
+          Net.schedule_delivery ~emitted net ~arrival ~dst:(dst_node, dst_port)
+            frame);
+      Inbox.clear inbox;
       let local_min =
         match Engine.next_event_time eng with Some tm -> tm | None -> max_int
       in
@@ -262,17 +584,32 @@ let run ?scheduler ~shards ~until ~build ~setup ~collect () =
       end
       else begin
         incr rounds;
-        (* Safe window [gmin, gmin + lookahead): any frame a shard emits
-           while executing it arrives at >= gmin + lookahead, i.e. never
-           inside a window anyone is still executing. Timestamps are
-           integer ns, so "events < gmin + lookahead" is exactly
-           "run ~until:(gmin + lookahead - 1)". *)
-        let win_end =
-          if gmin > until - lookahead then until else gmin + lookahead - 1
-        in
+        (* Adaptive window: shard [i]'s earliest possible emission into
+           another shard lands at [mins.(i) + shard_lookahead.(i)] or
+           later (transmissions complete at >= its earliest pending
+           event; fault hooks never shorten a propagation delay), so
+           every event strictly before
+
+             W = min_i (mins.(i) + shard_lookahead.(i))
+
+           is safe to execute. Idle shards (min = max_int) and shards
+           with no outgoing cut links drop out of the minimum via the
+           saturating add — when all do, the window runs straight to
+           the horizon. W >= gmin + global lookahead, so this is never
+           narrower than the static rule; it strictly widens windows
+           whenever the busiest shard is not also the one about to
+           deliver a boundary frame. Timestamps are integer ns, so
+           "events < W" is exactly "run ~until:(W - 1)". *)
+        let w = ref max_int in
+        for i = 0 to shards - 1 do
+          let wi = sat_add (Atomic.get mins.(i)) shard_lookahead.(i) in
+          if wi < !w then w := wi
+        done;
+        let win_end = if !w - 1 > until then until else !w - 1 in
         Engine.run eng ~until:win_end;
-        (* Emissions of this round must be globally visible before any
+        (* Chunks of this round must be globally visible before any
            shard drains its inbox for the next one. *)
+        publish_open_chunks ();
         Barrier.await barrier
       end
     done;
@@ -281,6 +618,8 @@ let run ?scheduler ~shards ~until ~build ~setup ~collect () =
       Net.frames_delivered net,
       !emitted,
       !rounds,
+      !chunks_sent,
+      Frame.Pool.outstanding bpool,
       collected )
   in
   let domains =
@@ -307,17 +646,22 @@ let run ?scheduler ~shards ~until ~build ~setup ~collect () =
         | Error _ -> raise Barrier.Poisoned)
       outcomes
   in
-  let shard_events = Array.map (fun (e, _, _, _, _) -> e) results in
+  let shard_events = Array.map (fun (e, _, _, _, _, _, _) -> e) results in
   let stats =
     {
       shards;
-      events = Array.fold_left (fun a (e, _, _, _, _) -> a + e) 0 results;
-      delivered = Array.fold_left (fun a (_, d, _, _, _) -> a + d) 0 results;
-      rounds = (match results.(0) with _, _, _, r, _ -> r);
-      messages = Array.fold_left (fun a (_, _, m, _, _) -> a + m) 0 results;
+      events = Array.fold_left (fun a (e, _, _, _, _, _, _) -> a + e) 0 results;
+      delivered =
+        Array.fold_left (fun a (_, d, _, _, _, _, _) -> a + d) 0 results;
+      rounds = (match results.(0) with _, _, _, r, _, _, _ -> r);
+      messages =
+        Array.fold_left (fun a (_, _, m, _, _, _, _) -> a + m) 0 results;
+      chunks = Array.fold_left (fun a (_, _, _, _, c, _, _) -> a + c) 0 results;
       cut_links = plan.Plan.cut_links;
-      lookahead;
+      lookahead = plan.Plan.lookahead;
       shard_events;
+      boundary_outstanding =
+        Array.fold_left (fun a (_, _, _, _, _, o, _) -> a + o) 0 results;
     }
   in
-  (stats, Array.map (fun (_, _, _, _, c) -> c) results)
+  (stats, Array.map (fun (_, _, _, _, _, _, c) -> c) results)

@@ -326,15 +326,23 @@ and tx_complete t id port =
             delivery event, on exactly one shard. *)
          if Array.unsafe_get s.owner pn = s.shard then
            schedule_deliver t delay pn pp frame
-         else
+         else begin
            (* The emission time rides along so the owning shard can
               backdate the delivery's tie-break stamp: a local push at
               the same arrival nanosecond must order against this frame
               exactly as the sequential run would (by emission order),
-              not by when the owner happens to drain its inbox. *)
+              not by when the owner happens to drain its inbox.
+
+              [emit] consumes the frame: the hook must copy whatever it
+              needs (the boundary protocol blits the wire image into a
+              chunk) and never retain the frame itself, because it is
+              recycled into its local pool the moment the hook returns
+              — the emitter-side half of the cross-domain leak fix. *)
            s.emit
              ~arrival:(Time_ns.add (Engine.now t.eng) delay)
-             ~emitted:(Engine.now t.eng) ~dst:peer frame)
+             ~emitted:(Engine.now t.eng) ~dst:peer frame;
+           Frame.recycle frame
+         end)
    end);
   maybe_start_tx t id port
 

@@ -123,7 +123,12 @@ val set_sharding :
     time (tx end + propagation delay), the emission time (the clock at
     the emitting shard — the receiver passes it back through
     {!schedule_delivery} so same-timestamp ordering matches the
-    sequential run), and destination endpoint. *)
+    sequential run), and destination endpoint.
+
+    [emit] {e consumes} the frame: it must copy what it needs (e.g.
+    blit the wire image into a boundary chunk) and must not retain the
+    frame, which is recycled into its local pool as soon as the hook
+    returns. *)
 
 val owns : t -> int -> bool
 (** Whether this net instance executes events for the node: always true

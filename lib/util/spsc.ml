@@ -1,37 +1,71 @@
-(* Vyukov-style unbounded SPSC queue over a singly linked list with a
-   stub node. The producer owns [tail] (plain field), the consumer owns
-   [head] (plain field); the only shared location is each node's [next],
-   which is atomic. Publishing a node with [Atomic.set] releases the
-   plain [value] write that precedes it, and the consumer's [Atomic.get]
-   acquires it, so no value is ever read before it is fully written. *)
+(* Bounded lock-free SPSC ring. The producer owns [tail], the consumer
+   owns [head]; both are atomics so each side's plain slot writes are
+   published to the other (an [Atomic.set] releases the writes that
+   precede it, and the other side's [Atomic.get] acquires them):
 
-type 'a node = {
-  mutable value : 'a option;  (* cleared on pop so the GC can reclaim *)
-  next : 'a node option Atomic.t;
-}
+     - producer: read [head] (acquire: the consumer's slot-clearing
+       write is visible, so the slot really is vacant), plain-write the
+       slot, release-store [tail];
+     - consumer: read [tail] (acquire: the producer's slot write is
+       visible), plain-read the slot, clear it, release-store [head].
+
+   Indices increase monotonically and are masked into the slot array
+   (capacity is rounded up to a power of two), so full/empty tests are
+   plain subtractions with no wraparound ambiguity. Slots are cleared
+   to [None] on pop so consumed values are not pinned against the GC.
+
+   Unlike the previous unbounded linked-list queue this ring allocates
+   nothing but one [Some] cell per push: the parallel simulator pushes
+   a handful of boundary chunks per synchronization window through it,
+   not one node per frame. *)
 
 type 'a t = {
-  mutable head : 'a node;  (* consumer-owned: the last consumed (stub) node *)
-  mutable tail : 'a node;  (* producer-owned: the last appended node *)
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (* consumer-owned: next index to pop *)
+  tail : int Atomic.t;  (* producer-owned: next index to fill *)
 }
 
-let create () =
-  let stub = { value = None; next = Atomic.make None } in
-  { head = stub; tail = stub }
+exception Full
 
-let push t v =
-  let n = { value = Some v; next = Atomic.make None } in
-  Atomic.set t.tail.next (Some n);
-  t.tail <- n
+let create ?(capacity = 8) () =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    slots = Array.make !cap None;
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    t.slots.(tail land t.mask) <- Some v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let push t v = if not (try_push t v) then raise Full
 
 let pop t =
-  match Atomic.get t.head.next with
-  | None -> None
-  | Some n ->
-    let v = n.value in
-    n.value <- None;
-    t.head <- n;
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail = head then None
+  else begin
+    let i = head land t.mask in
+    let v = t.slots.(i) in
+    t.slots.(i) <- None;
+    Atomic.set t.head (head + 1);
     v
+  end
 
 let drain t =
   let rec go acc =

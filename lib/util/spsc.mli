@@ -1,20 +1,37 @@
-(** Lock-free single-producer / single-consumer unbounded queue.
+(** Lock-free single-producer / single-consumer bounded ring.
 
-    The inter-shard frame channel of the parallel simulator: exactly one
+    The inter-shard channel of the parallel simulator: exactly one
     domain may push and exactly one domain may pop. Cross-domain
-    visibility is established through one atomic link per node, so a
-    value pushed before a synchronising event (e.g. a barrier) is
-    guaranteed poppable after it. FIFO order is preserved. *)
+    visibility is established through the head/tail atomics, so a value
+    pushed before a synchronising event (e.g. a barrier) is guaranteed
+    poppable after it. FIFO order is preserved.
+
+    The ring is bounded by construction: the simulator's boundary
+    protocol keeps at most one chunk in flight per channel per window,
+    so a small fixed capacity suffices and a {!Full} push signals a
+    protocol violation rather than backpressure. *)
 
 type 'a t
 
-val create : unit -> 'a t
+exception Full
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 8) is rounded up to a power of two. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently queued; exact when called from either endpoint,
+    a snapshot otherwise. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side only. [false] when the ring is full. *)
 
 val push : 'a t -> 'a -> unit
-(** Producer side only. Never blocks; the queue grows as needed. *)
+(** Producer side only. Raises {!Full} when the ring is full. *)
 
 val pop : 'a t -> 'a option
-(** Consumer side only. [None] when the queue is (momentarily) empty. *)
+(** Consumer side only. [None] when the ring is (momentarily) empty. *)
 
 val drain : 'a t -> 'a list
 (** Consumer side only: pops everything currently visible, in FIFO

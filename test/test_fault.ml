@@ -343,7 +343,7 @@ let test_chaos_matches_sequential () =
       check
         Alcotest.(list int)
         (lbl "fault counters") (stats_fp seq_faults) (stats_fp fstats))
-    [ 2; 4 ]
+    [ 2; 4; 8 ]
 
 (* --- localisation scenario matrix ------------------------------------ *)
 
@@ -376,7 +376,7 @@ let suite =
       test_reliable_retries_through_outage;
     Alcotest.test_case "reliable probe gives up cleanly" `Quick
       test_reliable_gives_up;
-    Alcotest.test_case "chaos matches sequential (2/4 shards)" `Quick
+    Alcotest.test_case "chaos matches sequential (2/4/8 shards)" `Quick
       test_chaos_matches_sequential;
     Alcotest.test_case "localise: permanent failure" `Quick
       (scenario_case Faults.Permanent ~max_detection_ms:100.0);

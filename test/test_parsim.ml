@@ -108,7 +108,12 @@ let check_matches_sequential ~build ~traffic ~until shard_counts =
       check Alcotest.int (lbl "events") seq_events stats.Parsim.events;
       check Alcotest.int (lbl "delivered") seq_delivered stats.Parsim.delivered;
       check Alcotest.int (lbl "drops") seq_drops drops;
-      check fp_t (lbl "switch registers") seq_fp fp)
+      check fp_t (lbl "switch registers") seq_fp fp;
+      (* These workloads quiesce before the horizon, so every frame
+         that crossed a boundary must have returned to its receiving
+         shard's pool (the cross-domain leak fix). *)
+      check Alcotest.int (lbl "boundary pool drained") 0
+        stats.Parsim.boundary_outstanding)
     shard_counts;
   (seq_delivered, seq_drops)
 
@@ -196,7 +201,7 @@ let test_fat_tree_matches_sequential () =
   in
   let traffic = blast ~packets:20 ~gap_ns:4_000 ~payload_bytes:400 in
   let delivered, _ =
-    check_matches_sequential ~build ~traffic ~until:(Time_ns.ms 10) [ 2; 4 ]
+    check_matches_sequential ~build ~traffic ~until:(Time_ns.ms 10) [ 2; 4; 8 ]
   in
   check Alcotest.bool "traffic flowed" true (delivered > 0)
 
@@ -213,6 +218,166 @@ let test_more_shards_than_switches () =
   let traffic = blast ~packets:8 ~gap_ns:5_000 ~payload_bytes:200 in
   ignore
     (check_matches_sequential ~build ~traffic ~until:(Time_ns.ms 5) [ 5 ])
+
+(* --- barrier -------------------------------------------------------- *)
+
+let test_barrier_poison_mid_spin () =
+  (* [spin:max_int] forces the waiter to stay in the spin loop forever
+     (it would never fall through to the condvar), so releasing it via
+     [poison] proves spinners observe the poison flag mid-spin — on any
+     machine, including 1-core CI where the default heuristic would
+     pick spin = 0. *)
+  let b = Parsim.Barrier.create ~spin:max_int 2 in
+  let waiter =
+    Domain.spawn (fun () ->
+        match Parsim.Barrier.await b with
+        | () -> false
+        | exception Parsim.Barrier.Poisoned -> true)
+  in
+  (* Let the waiter reach its spin loop (await's entry check covers the
+     race if poison wins). *)
+  for _ = 1 to 50_000 do
+    Domain.cpu_relax ()
+  done;
+  Parsim.Barrier.poison b;
+  check Alcotest.bool "spinning waiter released with Poisoned" true
+    (Domain.join waiter);
+  check Alcotest.bool "poison is sticky for future waiters" true
+    (match Parsim.Barrier.await b with
+    | () -> false
+    | exception Parsim.Barrier.Poisoned -> true)
+
+(* --- boundary chunk codec ------------------------------------------- *)
+
+(* A deterministic little frame zoo: plain UDP of several sizes and a
+   TPP-tagged frame, with a nonzero hop count (the one Meta field that
+   must survive the boundary). *)
+let boundary_frame ~variant ~i =
+  let tpp =
+    if variant mod 3 = 0 then
+      Some (Prog.copy (Result.get_ok (Asm.to_tpp ~mem_len:32 collect_src)))
+    else None
+  in
+  let payload = Bytes.make (20 + (variant mod 5 * 111)) (Char.chr (i land 0xff)) in
+  let f =
+    Frame.udp_frame
+      ~src_mac:(Mac.of_host_id (i + 1))
+      ~dst_mac:(Mac.of_host_id (i + 2))
+      ~src_ip:(Ipv4.Addr.of_host_id (i + 1))
+      ~dst_ip:(Ipv4.Addr.of_host_id (i + 2))
+      ~src_port:(4000 + i) ~dst_port:9 ?tpp ~payload ()
+  in
+  f.Frame.meta.Meta.hop_count <- variant land 7;
+  f
+
+let prop_boundary_codec_roundtrip =
+  QCheck.Test.make
+    ~name:"boundary codec: encode/decode roundtrips frames and stamps" ~count:30
+    QCheck.(pair (list_of_size Gen.(1 -- 10) (int_range 0 11)) small_nat)
+    (fun (variants, base) ->
+      let chunk = Parsim.Boundary.chunk ~capacity:64 () in
+      let pool = Frame.Pool.create () in
+      let expected =
+        List.mapi
+          (fun i variant ->
+            let f = boundary_frame ~variant ~i in
+            let arrival = 1_000 + (base * 17) + (i * 31) in
+            let emitted = arrival - 7 in
+            let seq = i + 1 in
+            let dst = (variant mod 4, (variant / 4) mod 3) in
+            let image = Frame.serialize f in
+            Parsim.Boundary.append chunk ~arrival ~emitted ~seq ~dst f;
+            ( arrival, emitted, seq, fst dst, snd dst, f.Frame.id,
+              f.Frame.meta.Meta.hop_count, image ))
+          variants
+      in
+      let got = ref [] in
+      Parsim.Boundary.decode chunk ~pool
+        (fun ~arrival ~emitted ~seq ~dst_node ~dst_port f ->
+          (* Offsets recomputed by arithmetic must match the validating
+             parser on the same image. *)
+          let image = Frame.serialize f in
+          let oracle = Result.get_ok (Frame.parse image) in
+          check Alcotest.int "ip_off" oracle.Frame.ip_off f.Frame.ip_off;
+          check Alcotest.int "udp_off" oracle.Frame.udp_off f.Frame.udp_off;
+          check Alcotest.int "pay_off" oracle.Frame.pay_off f.Frame.pay_off;
+          check Alcotest.bool "tpp presence"
+            (Option.is_some oracle.Frame.tpp)
+            (Option.is_some f.Frame.tpp);
+          got :=
+            ( arrival, emitted, seq, dst_node, dst_port, f.Frame.id,
+              f.Frame.meta.Meta.hop_count, image )
+            :: !got);
+      check Alcotest.int "chunk count" (List.length expected)
+        (Parsim.Boundary.count chunk);
+      List.rev !got = expected)
+
+let prop_chunk_recycle_never_aliases =
+  QCheck.Test.make
+    ~name:"chunk recycling never aliases a live frame" ~count:20
+    QCheck.(list_of_size Gen.(1 -- 6) (int_range 0 11))
+    (fun variants ->
+      let chunk = Parsim.Boundary.chunk ~capacity:64 () in
+      let pool = Frame.Pool.create () in
+      let encode vs off =
+        List.iteri
+          (fun i v ->
+            let f = boundary_frame ~variant:v ~i:(i + off) in
+            Parsim.Boundary.append chunk ~arrival:(100 + i) ~emitted:(99 + i)
+              ~seq:(i + 1) ~dst:(0, 0) f)
+          vs
+      in
+      encode variants 0;
+      let live = ref [] in
+      Parsim.Boundary.decode chunk ~pool
+        (fun ~arrival:_ ~emitted:_ ~seq:_ ~dst_node:_ ~dst_port:_ f ->
+          live := (f, Frame.serialize f) :: !live);
+      (* Reuse the chunk for a different batch — if a materialized frame
+         aliased the chunk buffer, its image would now change. *)
+      Parsim.Boundary.reset chunk;
+      encode (List.map (fun v -> (v + 5) mod 12) variants) 64;
+      List.for_all
+        (fun (f, image) -> Bytes.equal image (Frame.serialize f))
+        !live)
+
+(* --- inbox merge order ---------------------------------------------- *)
+
+let prop_inbox_sorts_like_compare_msg =
+  QCheck.Test.make
+    ~name:"inbox merge order is compare_msg, regardless of insertion order"
+    ~count:100
+    QCheck.(
+      pair (list_of_size Gen.(0 -- 40) (triple small_nat small_nat (int_range 0 7)))
+        int)
+    (fun (rows, salt) ->
+      (* seq = insertion index keeps (src, seq) unique, as in the real
+         protocol (each producer's counter is monotone). *)
+      let msgs =
+        List.mapi
+          (fun i (arr, emit, src) -> (arr land 7, emit land 3, src, i))
+          rows
+      in
+      (* Insert in a salted pseudo-random order. *)
+      let shuffled =
+        List.sort
+          (fun (_, _, _, a) (_, _, _, b) ->
+            compare ((a * 2654435761) lxor salt) ((b * 2654435761) lxor salt))
+          msgs
+      in
+      let inbox = Parsim.Inbox.create () in
+      let dummy = Frame.placeholder () in
+      List.iter
+        (fun (arrival, emitted, src_shard, seq) ->
+          Parsim.Inbox.add inbox ~arrival ~emitted ~src_shard ~seq ~dst_node:0
+            ~dst_port:0 dummy)
+        shuffled;
+      Parsim.Inbox.sort inbox;
+      let got = ref [] in
+      Parsim.Inbox.iter_sorted inbox
+        (fun ~arrival ~emitted ~src_shard ~seq ~dst_node:_ ~dst_port:_ _ ->
+          got := (arrival, emitted, src_shard, seq) :: !got);
+      Parsim.Inbox.clear inbox;
+      List.rev !got = List.sort Parsim.compare_msg msgs)
 
 let prop_random_topology_deterministic =
   QCheck.Test.make ~name:"random fabric: 1/2/4 shards match sequential engine"
@@ -245,6 +410,11 @@ let suite =
   [
     Alcotest.test_case "plan: fat-tree partition" `Quick test_plan_fat_tree;
     Alcotest.test_case "net sharding hooks" `Quick test_sharding_hooks;
+    Alcotest.test_case "barrier poison mid-spin" `Quick
+      test_barrier_poison_mid_spin;
+    qtest prop_boundary_codec_roundtrip;
+    qtest prop_chunk_recycle_never_aliases;
+    qtest prop_inbox_sorts_like_compare_msg;
     Alcotest.test_case "dumbbell w/ drops matches sequential" `Quick
       test_dumbbell_matches_sequential;
     Alcotest.test_case "fat-tree matches sequential" `Quick

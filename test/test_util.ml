@@ -614,12 +614,38 @@ let test_spsc_fifo () =
     (Spsc.drain q);
   check (Alcotest.option Alcotest.int) "drained" None (Spsc.pop q)
 
+let test_spsc_bounded () =
+  (* Capacity rounds up to a power of two; a full ring refuses pushes
+     until a pop frees a slot, and [push] raises rather than dropping. *)
+  let q = Spsc.create ~capacity:3 () in
+  check Alcotest.int "rounded capacity" 4 (Spsc.capacity q);
+  for i = 1 to 4 do
+    check Alcotest.bool "accepts while room" true (Spsc.try_push q i)
+  done;
+  check Alcotest.bool "refuses when full" false (Spsc.try_push q 5);
+  check Alcotest.bool "push raises when full" true
+    (match Spsc.push q 5 with exception Spsc.Full -> true | () -> false);
+  check Alcotest.int "length" 4 (Spsc.length q);
+  check (Alcotest.option Alcotest.int) "fifo head" (Some 1) (Spsc.pop q);
+  check Alcotest.bool "room again" true (Spsc.try_push q 5);
+  check (Alcotest.list Alcotest.int) "wraps in order" [ 2; 3; 4; 5 ]
+    (Spsc.drain q)
+
 let test_spsc_cross_domain () =
   (* Producer on its own domain, consumer here: everything pushed must
-     come out exactly once, in order. *)
-  let q = Spsc.create () in
+     come out exactly once, in order. The ring is much smaller than the
+     stream, so the producer exercises the full/retry path and every
+     index wraps the ring many times. *)
+  let q = Spsc.create ~capacity:16 () in
   let n = 20_000 in
-  let producer = Domain.spawn (fun () -> for i = 1 to n do Spsc.push q i done) in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          while not (Spsc.try_push q i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
   let got = ref 0 in
   let expect = ref 1 in
   while !got < n do
@@ -715,6 +741,7 @@ let suite =
     Alcotest.test_case "heap clear" `Quick test_heap_clear;
     Alcotest.test_case "stats empty" `Quick test_stats_empty_safe;
     Alcotest.test_case "spsc fifo" `Quick test_spsc_fifo;
+    Alcotest.test_case "spsc bounded" `Quick test_spsc_bounded;
     Alcotest.test_case "spsc cross-domain" `Quick test_spsc_cross_domain;
     Alcotest.test_case "partition ring" `Quick test_partition_ring;
     Alcotest.test_case "partition deterministic" `Quick
