@@ -52,6 +52,19 @@
                                               bit-for-bit -> BENCH_7.json
      dune exec bench/perf.exe -- --telemetry --smoke
                                               quick CI variant of the same gate
+     dune exec bench/perf.exe -- --transports five-way transport testbed on a
+                                              fat-tree (RCP*, TCP, DCTCP, NDP,
+                                              TPP-LB): NDP's 99p short-flow FCT
+                                              must beat TCP's at 60% load, all
+                                              five transports must be
+                                              bit-identical sequential vs
+                                              sharded, NDP must complete every
+                                              message under a chaotic drop
+                                              schedule, and the trim hot path
+                                              must stay allocation-free
+                                              -> BENCH_8.json
+     dune exec bench/perf.exe -- --transports --smoke
+                                              quick CI variant of the same gate
      dune exec bench/perf.exe -- --out b.json custom output path
 
    Every mode reports allocation provenance alongside throughput:
@@ -81,6 +94,7 @@ type config = {
   engine : bool;              (* BENCH_5: typed-event / wheel gate *)
   frames : bool;              (* BENCH_6: zero-copy frame / pool gate *)
   telemetry : bool;           (* BENCH_7: streaming-telemetry gate *)
+  transports : bool;          (* BENCH_8: five-way transport gate *)
   out : string option;
 }
 
@@ -88,7 +102,7 @@ let default =
   { k = 8; packets_per_host = 1500; payload_bytes = 1000; gap_ns = 6_000;
     wire_check = `Cached; shards = 0; smoke = false; tpp_heavy = false;
     chaos = false; engine = false; frames = false; telemetry = false;
-    out = None }
+    transports = false; out = None }
 
 let horizon = Time_ns.sec 10
 
@@ -2116,6 +2130,277 @@ let telemetry_bench cfg =
       ~fingerprint:(Collector.fingerprint col) ~shards ~par_wall
   end
 
+(* ---- transports workload (BENCH_8): the five-way FCT gate -----------
+
+   The same pre-drawn Poisson/Pareto workload crosses a k=4 fat-tree
+   under five transports (Fct.fabric_run): RCP* (TPPs), TCP Reno, DCTCP,
+   NDP (pull/trim) and TPP-LB (AIMD plus CONGA-style flowlet steering
+   from TPP path probes). Four gates:
+
+   1. NDP's 99th-percentile short-flow FCT beats TCP's at the 60%-load
+      point — the receiver-driven transport's whole reason to exist.
+   2. Every transport produces a bit-identical outcome fingerprint
+      sequentially and under the sharded scheduler.
+   3. Under a chaotic drop schedule on every access link, NDP still
+      completes 100% of started messages with its state-machine
+      invariants intact.
+   4. The trim-to-header hot path allocates at most 2 minor words per
+      frame more than the plain drop path it replaces (the BENCH_6
+      flat-frame discipline: trim is an in-place length patch). *)
+
+let transports_gate_load = 0.6
+let transports_chaos_drop = 0.01
+let transports_trim_budget = 2.0
+
+let transports_params cfg ~load ~chaos =
+  {
+    Fct.fabric_default with
+    Fct.f_load = load;
+    f_duration = (if cfg.smoke then Time_ns.ms 80 else Time_ns.ms 300);
+    f_chaos_drop = (if chaos then transports_chaos_drop else 0.0);
+  }
+
+(* Trim-vs-drop allocation micro-gate, engine-free: one switch whose
+   data subqueue is too small for any data frame, so every ingress
+   takes the overflow branch — trimmed onto the priority queue when
+   trimming is on, dropped when off. Pooled frames; the measured delta
+   is exactly what the trim branch itself allocates. *)
+let trim_microbench ~trim ~iters =
+  let dst_ip = Ipv4.Addr.of_host_id 2 in
+  let sw = Switch.create ~id:1 ~num_ports:2 () in
+  Switch.install_route sw (Ipv4.Prefix.host dst_ip) ~port:1 ~entry_id:1
+    ~version:1;
+  Switch.configure_queues sw ~port:1 ~count:2;
+  Switch.set_subqueue_limit sw ~port:1 ~queue:0 ~bytes:512;
+  Switch.set_subqueue_limit sw ~port:1 ~queue:1 ~bytes:1_000_000;
+  if trim then Switch.set_trim_keep sw ~keep:28;
+  let pool = Frame.Pool.create ~capacity:4 () in
+  let payload = Bytes.make 1000 'x' in
+  let one now =
+    let f =
+      Frame.Pool.udp_frame pool ~src_mac:(Mac.of_host_id 1)
+        ~dst_mac:(Mac.of_host_id 2) ~src_ip:(Ipv4.Addr.of_host_id 1)
+        ~dst_ip ~src_port:5 ~dst_port:6 ~payload ()
+    in
+    match Switch.handle_ingress sw ~now ~in_port:0 f with
+    | Switch.Queued _ -> (
+      match Switch.dequeue sw ~port:1 with
+      | Some g -> Frame.recycle g
+      | None -> ())
+    | Switch.Dropped _ -> Frame.recycle f
+  in
+  (* Warm the pool and the priority ring before measuring. *)
+  for i = 0 to 99 do
+    one i
+  done;
+  let g0 = gc_mark () in
+  for i = 0 to iters - 1 do
+    one (100 + i)
+  done;
+  let minor, _ = gc_delta g0 in
+  (Switch.trims sw, minor /. float_of_int iters)
+
+let transports_row_json (o : Fct.fabric_outcome) ~load ~wall =
+  let s =
+    Fct.summarize
+      (Fct.short_samples o ~threshold:Fct.fabric_default.Fct.f_short_bytes)
+  in
+  let l =
+    Fct.summarize
+      (List.filter
+         (fun (size, _) -> size > Fct.fabric_default.Fct.f_short_bytes)
+         o.Fct.fo_samples)
+  in
+  let a = Fct.summarize o.Fct.fo_samples in
+  let part name (f : Fct.fct_summary) =
+    Printf.sprintf
+      "\"%s\": { \"n\": %d, \"mean_ns\": %.0f, \"p50_ns\": %d, \"p99_ns\": %d }"
+      name f.Fct.fs_n f.Fct.fs_mean_ns f.Fct.fs_p50_ns f.Fct.fs_p99_ns
+  in
+  Printf.sprintf
+    "    { \"transport\": \"%s\", \"load\": %.2f, \"started\": %d, \
+     \"completed\": %d, %s, %s, %s, \"drops\": %d, \"trims\": %d, \
+     \"events\": %d, \"wall_s\": %.3f }"
+    (Fct.transport_name o.Fct.fo_transport)
+    load o.Fct.fo_started o.Fct.fo_completed (part "short" s) (part "long" l)
+    (part "all" a) o.Fct.fo_drops o.Fct.fo_trims o.Fct.fo_events wall
+
+let transports_bench cfg =
+  let tag =
+    if cfg.smoke then "perf(transports smoke)" else "perf(transports)"
+  in
+  let loads =
+    if cfg.smoke then [ transports_gate_load ] else [ 0.2; 0.4; 0.6; 0.8 ]
+  in
+  let shards = if cfg.shards > 0 then cfg.shards else 4 in
+  Printf.printf "%s: k=%d fat-tree, loads [%s], %d shards for identity\n%!" tag
+    Fct.fabric_default.Fct.fk
+    (String.concat "; " (List.map (Printf.sprintf "%.2f") loads))
+    shards;
+  (* Sequential rows: transport x load. *)
+  let rows = ref [] in
+  let gate = Hashtbl.create 8 in
+  List.iter
+    (fun transport ->
+      List.iter
+        (fun load ->
+          let p = transports_params cfg ~load ~chaos:false in
+          let t0 = Unix.gettimeofday () in
+          let o = Fct.fabric_run transport p in
+          let wall = Unix.gettimeofday () -. t0 in
+          if load = transports_gate_load then
+            Hashtbl.replace gate transport o;
+          let s =
+            Fct.summarize (Fct.short_samples o ~threshold:p.Fct.f_short_bytes)
+          in
+          Printf.printf
+            "%s: %-8s load %.2f  %d/%d done  short p50 %6.0fus p99 %6.0fus  \
+             drops %d trims %d (%.2fs)\n%!"
+            tag
+            (Fct.transport_name transport)
+            load o.Fct.fo_completed o.Fct.fo_started
+            (float_of_int s.Fct.fs_p50_ns /. 1e3)
+            (float_of_int s.Fct.fs_p99_ns /. 1e3)
+            o.Fct.fo_drops o.Fct.fo_trims wall;
+          rows := transports_row_json o ~load ~wall :: !rows)
+        loads)
+    Fct.all_transports;
+  let rows = List.rev !rows in
+  (* Gate 1: NDP beats TCP on 99p short-flow FCT at the gate load. *)
+  let p99_short transport =
+    let o = Hashtbl.find gate transport in
+    (Fct.summarize
+       (Fct.short_samples o
+          ~threshold:Fct.fabric_default.Fct.f_short_bytes))
+      .Fct.fs_p99_ns
+  in
+  let ndp_p99 = p99_short Fct.Ndp_t in
+  let tcp_p99 = p99_short Fct.Tcp_t in
+  if ndp_p99 <= 0 || ndp_p99 >= tcp_p99 then begin
+    Printf.eprintf
+      "%s: FAIL — NDP 99p short-flow FCT (%dns) does not beat TCP (%dns) at \
+       load %.2f\n"
+      tag ndp_p99 tcp_p99 transports_gate_load;
+    exit 1
+  end;
+  Printf.printf "%s: NDP 99p short FCT %.0fus beats TCP %.0fus at load %.2f\n%!"
+    tag
+    (float_of_int ndp_p99 /. 1e3)
+    (float_of_int tcp_p99 /. 1e3)
+    transports_gate_load;
+  (* Gate 2: sequential vs sharded identity, all five transports. *)
+  List.iter
+    (fun transport ->
+      let p = transports_params cfg ~load:transports_gate_load ~chaos:false in
+      let seq = Hashtbl.find gate transport in
+      let par = Fct.fabric_run ~shards transport p in
+      if Fct.fingerprint seq <> Fct.fingerprint par then begin
+        Printf.eprintf
+          "%s: FAIL — %s diverged under %d shards (seq %d/%d vs par %d/%d \
+           completed/started)\n"
+          tag
+          (Fct.transport_name transport)
+          shards seq.Fct.fo_completed seq.Fct.fo_started par.Fct.fo_completed
+          par.Fct.fo_started;
+        exit 1
+      end)
+    Fct.all_transports;
+  Printf.printf
+    "%s: all five transports bit-identical sequential vs %d shards\n%!" tag
+    shards;
+  (* Gate 3: NDP completes everything under the chaotic drop schedule.
+     The gate is about loss *recovery*, so the workload is shaped to
+     make 100% completion the right criterion: moderate load and a
+     flow-size cap, because at peak load an uncapped Pareto tail can
+     leave a pair with more backlog at the arrival window's end than
+     any transport can drain before the horizon, drops or not. *)
+  let chaos_p =
+    {
+      (transports_params cfg ~load:0.4 ~chaos:true) with
+      Fct.f_max_bytes = 100_000;
+    }
+  in
+  let chaos_o = Fct.fabric_run Fct.Ndp_t chaos_p in
+  if
+    chaos_o.Fct.fo_started = 0
+    || chaos_o.Fct.fo_completed <> chaos_o.Fct.fo_started
+    || not chaos_o.Fct.fo_ok
+  then begin
+    Printf.eprintf
+      "%s: FAIL — NDP under %.0f%% access-link drop completed %d of %d \
+       (invariants %s)\n"
+      tag
+      (transports_chaos_drop *. 100.0)
+      chaos_o.Fct.fo_completed chaos_o.Fct.fo_started
+      (if chaos_o.Fct.fo_ok then "ok" else "VIOLATED");
+    exit 1
+  end;
+  Printf.printf
+    "%s: NDP chaos (%.0f%% drop): %d/%d messages completed, invariants ok, \
+     %d trims\n%!"
+    tag
+    (transports_chaos_drop *. 100.0)
+    chaos_o.Fct.fo_completed chaos_o.Fct.fo_started chaos_o.Fct.fo_trims;
+  (* Gate 4: the trim hot path is allocation-free (<= budget delta). *)
+  let iters = if cfg.smoke then 20_000 else 200_000 in
+  let drop_trims, drop_pe = trim_microbench ~trim:false ~iters in
+  let trim_trims, trim_pe = trim_microbench ~trim:true ~iters in
+  if drop_trims <> 0 || trim_trims < iters then begin
+    Printf.eprintf "%s: FAIL — trim microbench did not exercise the trim path\n"
+      tag;
+    exit 1
+  end;
+  let delta = trim_pe -. drop_pe in
+  Printf.printf
+    "%s: trim hot path %.2f minor w/frame vs drop %.2f (delta %.2f, budget \
+     %.1f)\n%!"
+    tag trim_pe drop_pe delta transports_trim_budget;
+  if delta > transports_trim_budget then begin
+    Printf.eprintf
+      "%s: FAIL — trimmed-header path allocates %.2f minor words/frame over \
+       the drop path (budget %.1f)\n"
+      tag delta transports_trim_budget;
+    exit 1
+  end;
+  Printf.printf
+    "%s: OK — NDP beats TCP on short flows, identity holds, chaos completes, \
+     trim is allocation-free\n%!"
+    tag;
+  let out = match cfg.out with Some o -> o | None -> "BENCH_8.json" in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"transports\",\n\
+    \  \"smoke\": %b,\n\
+    \  \"git_commit\": \"%s\",\n\
+    \  \"ocaml_version\": \"%s\",\n\
+    \  \"fabric\": { \"k\": %d, \"link_bps\": %d, \"delay_ns\": %d, \
+     \"mean_flow_bytes\": %.0f, \"pareto_shape\": %.2f, \"duration_ns\": %d, \
+     \"short_threshold_bytes\": %d },\n\
+    \  \"rows\": [\n%s\n  ],\n\
+    \  \"gates\": {\n\
+    \    \"ndp_vs_tcp_p99_short_ns\": { \"ndp\": %d, \"tcp\": %d, \"load\": \
+     %.2f },\n\
+    \    \"identity_shards\": %d,\n\
+    \    \"chaos\": { \"drop\": %.3f, \"started\": %d, \"completed\": %d, \
+     \"trims\": %d },\n\
+    \    \"trim_minor_words_per_frame\": { \"trim\": %.3f, \"drop\": %.3f, \
+     \"delta\": %.3f, \"budget\": %.1f }\n\
+    \  }\n\
+     }\n"
+    cfg.smoke (git_commit ()) Sys.ocaml_version Fct.fabric_default.Fct.fk
+    Fct.fabric_default.Fct.f_bps Fct.fabric_default.Fct.f_delay_ns
+    Fct.fabric_default.Fct.f_mean_bytes Fct.fabric_default.Fct.f_shape
+    (transports_params cfg ~load:transports_gate_load ~chaos:false)
+      .Fct.f_duration
+    Fct.fabric_default.Fct.f_short_bytes
+    (String.concat ",\n" rows)
+    ndp_p99 tcp_p99 transports_gate_load shards transports_chaos_drop
+    chaos_o.Fct.fo_started chaos_o.Fct.fo_completed chaos_o.Fct.fo_trims
+    trim_pe drop_pe delta transports_trim_budget;
+  close_out oc;
+  Printf.printf "%s: wrote %s\n%!" tag out
+
 let () =
   let cfg = ref default in
   let rec parse = function
@@ -2153,6 +2438,9 @@ let () =
     | "--telemetry" :: rest ->
       cfg := { !cfg with telemetry = true };
       parse rest
+    | "--transports" :: rest ->
+      cfg := { !cfg with transports = true };
+      parse rest
     | "--out" :: v :: rest ->
       cfg := { !cfg with out = Some v };
       parse rest
@@ -2174,7 +2462,8 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let cfg = !cfg in
-  if cfg.telemetry then telemetry_bench cfg
+  if cfg.transports then transports_bench cfg
+  else if cfg.telemetry then telemetry_bench cfg
   else if cfg.frames then frames_bench cfg
   else if cfg.engine then engine_bench cfg
   else if cfg.chaos then chaos cfg

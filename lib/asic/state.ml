@@ -29,6 +29,7 @@ module Port = struct
     mutable tx_bytes : int;
     mutable tx_pkts : int;
     mutable drops : int;
+    mutable trims : int;  (* frames trimmed to header instead of dropped *)
     mutable capacity_bps : int;
     mutable window_rx_bytes : int;
     mutable offered_bytes : int;
@@ -47,6 +48,7 @@ module Port = struct
       tx_bytes = 0;
       tx_pkts = 0;
       drops = 0;
+      trims = 0;
       capacity_bps = 1_000_000_000;
       window_rx_bytes = 0;
       offered_bytes = 0;
@@ -69,6 +71,7 @@ type t = {
   mutable packets_seen : int;
   mutable bytes_seen : int;
   mutable drops : int;
+  mutable trims : int;
   mutable tpp_execs : int;
   mutable tpp_faults : int;
   mutable tpp_cycles : int;
@@ -88,6 +91,7 @@ let create ~switch_id ~num_ports ?(queue_limit = 150_000) () =
     packets_seen = 0;
     bytes_seen = 0;
     drops = 0;
+    trims = 0;
     tpp_execs = 0;
     tpp_faults = 0;
     tpp_cycles = 0;

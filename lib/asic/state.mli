@@ -29,6 +29,9 @@ module Port : sig
     mutable tx_bytes : int;
     mutable tx_pkts : int;
     mutable drops : int;
+    mutable trims : int;
+        (** frames whose payload was cut to header-only and enqueued in
+            the top-priority queue instead of tail-dropped (NDP) *)
     mutable capacity_bps : int;
     mutable window_rx_bytes : int;
         (** bytes offered to this egress link since the last utilisation
@@ -56,6 +59,7 @@ type t = {
   mutable packets_seen : int;
   mutable bytes_seen : int;
   mutable drops : int;
+  mutable trims : int;
   mutable tpp_execs : int;
   mutable tpp_faults : int;
   mutable tpp_cycles : int;  (** total TCPU cycles spent (bench E7) *)

@@ -37,6 +37,11 @@ type t = {
      entry:int -> unit)
     option;
   mutable classify_queue : Frame.t -> int;
+  mutable trim_keep : int;
+      (* NDP packet trimming: when >= 0 and a data queue overflows, the
+         frame's UDP payload is cut to this many bytes and the header
+         enqueued in the port's top-priority queue instead of dropped.
+         -1 = trimming disabled (the default). *)
 }
 
 (* Default classifier: DSCP selects the queue, scaled to however many
@@ -62,6 +67,7 @@ let create ~id ~num_ports ?queue_limit ?(tcpu_enabled = true) () =
     tap = None;
     bin_tap = None;
     classify_queue = dscp_classifier;
+    trim_keep = -1;
   }
 
 let set_tap t tap = t.tap <- tap
@@ -87,6 +93,18 @@ let set_queue_limit t ~port ~bytes =
 let set_ecn_threshold t ~port threshold =
   (State.port t.switch_state port).State.Port.ecn_threshold <- threshold
 let set_tcpu_enabled t enabled = t.tcpu_enabled <- enabled
+
+let set_trim_keep t ~keep = t.trim_keep <- (if keep < 0 then -1 else keep)
+let trim_keep t = t.trim_keep
+
+let set_subqueue_limit t ~port ~queue ~bytes =
+  let p = State.port t.switch_state port in
+  if queue < 0 || queue >= Array.length p.State.Port.queues then
+    invalid_arg "Switch.set_subqueue_limit: queue";
+  p.State.Port.queues.(queue).State.Subqueue.q_limit <- bytes
+
+let trims t = t.switch_state.State.trims
+let port_trims t ~port = (State.port t.switch_state port).State.Port.trims
 
 let set_strip_tpp t ~port strip =
   if port < 0 || port >= num_ports t then invalid_arg "Switch.set_strip_tpp: port";
@@ -183,10 +201,46 @@ let process_and_enqueue t ~now (frame : Frame.t) ~out_port =
       ~entry:meta.Meta.matched_entry
   | None -> ());
   if sub.State.Subqueue.q_bytes + wire > sub.State.Subqueue.q_limit then begin
-    sub.State.Subqueue.q_dropped <- sub.State.Subqueue.q_dropped + wire;
-    port.State.Port.drops <- port.State.Port.drops + 1;
-    st.State.drops <- st.State.drops + 1;
-    false
+    (* NDP trim-instead-of-drop: a data frame that would tail-drop is
+       cut to [trim_keep] payload bytes in place (one length patch +
+       incremental checksum, no re-serialize, no allocation) and joins
+       the top-priority queue, re-marked DSCP 63 so downstream
+       classifiers keep it there. Control frames already in the top
+       queue, and frames with nothing left to cut, tail-drop as
+       before. *)
+    let top_qi = nq - 1 in
+    if
+      t.trim_keep >= 0 && queue_id < top_qi && Frame.has_udp frame
+      && Frame.payload_len frame > t.trim_keep
+    then begin
+      Frame.trim frame ~keep:t.trim_keep;
+      Frame.set_ip_dscp frame 63;
+      frame.Frame.meta.Meta.queue_id <- top_qi;
+      let top = port.State.Port.queues.(top_qi) in
+      let twire = Frame.wire_size frame in
+      if top.State.Subqueue.q_bytes + twire > top.State.Subqueue.q_limit
+      then begin
+        top.State.Subqueue.q_dropped <- top.State.Subqueue.q_dropped + twire;
+        port.State.Port.drops <- port.State.Port.drops + 1;
+        st.State.drops <- st.State.drops + 1;
+        false
+      end
+      else begin
+        port.State.Port.trims <- port.State.Port.trims + 1;
+        st.State.trims <- st.State.trims + 1;
+        Ring.push top.State.Subqueue.frames frame;
+        top.State.Subqueue.q_bytes <- top.State.Subqueue.q_bytes + twire;
+        top.State.Subqueue.q_enqueued <- top.State.Subqueue.q_enqueued + twire;
+        port.State.Port.queue_bytes <- port.State.Port.queue_bytes + twire;
+        true
+      end
+    end
+    else begin
+      sub.State.Subqueue.q_dropped <- sub.State.Subqueue.q_dropped + wire;
+      port.State.Port.drops <- port.State.Port.drops + 1;
+      st.State.drops <- st.State.drops + 1;
+      false
+    end
   end
   else begin
     (* Fixed-function ECN (paper §4): mark CE when the queue the packet
@@ -318,39 +372,44 @@ let take_from port qi =
 
 (* Strict: serve the highest-index non-empty queue. WRR: keep serving
    the current queue until its per-turn packet budget (its weight) runs
-   out or it empties, then move to the next queue with weight. *)
+   out or it empties, then move to the next queue with weight.
+
+   Both loops are top-level recursive functions, not closures inside
+   [dequeue]: a closure would be allocated on every call, and [dequeue]
+   runs once per transmitted frame on the dataplane hot path. *)
+let rec strict_scan port qi =
+  if qi < 0 then None
+  else
+    match take_from port qi with
+    | Some _ as r -> r
+    | None -> strict_scan port (qi - 1)
+
+let rec wrr_serve s port weights n visited =
+  if visited > n then None
+  else if s.rr_remaining > 0 then begin
+    match take_from port s.rr_queue with
+    | Some _ as r ->
+      s.rr_remaining <- s.rr_remaining - 1;
+      r
+    | None ->
+      s.rr_remaining <- 0;
+      wrr_serve s port weights n visited
+  end
+  else begin
+    s.rr_queue <- (s.rr_queue + 1) mod n;
+    s.rr_remaining <- weights.(s.rr_queue);
+    wrr_serve s port weights n (visited + 1)
+  end
+
 let dequeue t ~port:i =
   let port = State.port t.switch_state i in
   let queues = port.State.Port.queues in
   let n = Array.length queues in
   match t.sched.(i).discipline with
-  | Strict ->
-    let rec scan qi = if qi < 0 then None else
-        match take_from port qi with Some _ as r -> r | None -> scan (qi - 1)
-    in
-    scan (n - 1)
+  | Strict -> strict_scan port (n - 1)
   | Wrr weights when Array.length weights <> n ->
     invalid_arg "Switch.dequeue: WRR weights do not match the queue count"
-  | Wrr weights ->
-    let s = t.sched.(i) in
-    let rec serve visited =
-      if visited > n then None
-      else if s.rr_remaining > 0 then begin
-        match take_from port s.rr_queue with
-        | Some _ as r ->
-          s.rr_remaining <- s.rr_remaining - 1;
-          r
-        | None ->
-          s.rr_remaining <- 0;
-          serve visited
-      end
-      else begin
-        s.rr_queue <- (s.rr_queue + 1) mod n;
-        s.rr_remaining <- weights.(s.rr_queue);
-        serve (visited + 1)
-      end
-    in
-    serve 0
+  | Wrr weights -> wrr_serve t.sched.(i) port weights n 0
 
 let queue_bytes t ~port:i = (State.port t.switch_state i).State.Port.queue_bytes
 let queue_packets t ~port:i = State.Port.total_packets (State.port t.switch_state i)

@@ -60,6 +60,27 @@ val set_ecn_threshold : t -> port:int -> int option -> unit
     codepoint (the paper's §4 example of a baked-in point solution that
     TPPs generalise). [None] disables marking. *)
 
+val set_trim_keep : t -> keep:int -> unit
+(** NDP-style packet trimming: when [keep >= 0], a UDP data frame that
+    would tail-drop on a non-top queue is instead cut to [keep] payload
+    bytes in place, re-marked DSCP 63 and enqueued in the port's
+    top-priority queue (where only a full top queue can still drop it).
+    A negative [keep] disables trimming (the default). Ports need at
+    least two queues ({!configure_queues}) for trimming to engage. *)
+
+val trim_keep : t -> int
+
+val set_subqueue_limit : t -> port:int -> queue:int -> bytes:int -> unit
+(** Overrides one subqueue's tail-drop limit — NDP gives the trimmed-
+    header/control queue a small dedicated budget so control traffic
+    cannot build a deep standing queue. Raises [Invalid_argument] for a
+    queue the port does not have. *)
+
+val trims : t -> int
+(** Frames trimmed (not dropped) by this switch so far. *)
+
+val port_trims : t -> port:int -> int
+
 val set_tcpu_enabled : t -> bool -> unit
 
 val set_strip_tpp : t -> port:int -> bool -> unit

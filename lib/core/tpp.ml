@@ -76,6 +76,10 @@ module Telemetry_emit = Tpp_telemetry.Emit
 module Rcp = Tpp_rcp.Rcp
 module Aimd = Tpp_rcp.Aimd
 module Dctcp = Tpp_rcp.Dctcp
+module Tcp = Tpp_rcp.Tcp
+module Ndp = Tpp_rcp.Ndp
+module Tpp_lb = Tpp_rcp.Tpp_lb
+module Flowlet = Tpp_endhost.Flowlet
 module Trace = Tpp_ndb.Trace
 module Verify = Tpp_ndb.Verify
 module Postcard = Tpp_ndb.Postcard

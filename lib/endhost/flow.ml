@@ -67,6 +67,10 @@ type t = {
   src : Stack.t;
   dst : Net.host;
   dst_port : int;
+  mutable src_port : int;
+      (* defaults to [dst_port]; a load balancer re-steers the flow by
+         rewriting it, which changes the 5-tuple hash and so the ECMP
+         path every switch picks *)
   payload_bytes : int;
   kind : kind;
   mutable rate : int;
@@ -75,6 +79,7 @@ type t = {
   mutable seq : int;
   mutable tx : int;
   mutable tx_payload : int;
+  mutable last_tx_ns : int;  (* -1 before the first send; flowlet gaps *)
   mutable done_ : bool;
   mutable piggyback : (Tpp_isa.Tpp.t * int) option;  (* template, every *)
   mutable carried : int;
@@ -103,6 +108,7 @@ let make ~src ~dst ~dst_port ~payload_bytes ~rate kind =
     src;
     dst;
     dst_port;
+    src_port = dst_port;
     payload_bytes;
     kind;
     rate;
@@ -111,6 +117,7 @@ let make ~src ~dst ~dst_port ~payload_bytes ~rate kind =
     seq = 0;
     tx = 0;
     tx_payload = 0;
+    last_tx_ns = -1;
     done_ = false;
     piggyback = None;
     carried = 0;
@@ -146,7 +153,8 @@ let send_one t =
   t.seq <- t.seq + 1;
   t.tx <- t.tx + 1;
   t.tx_payload <- t.tx_payload + Bytes.length payload;
-  Stack.send_udp t.src ~dst:t.dst ~src_port:t.dst_port ~dst_port:t.dst_port ?tpp
+  t.last_tx_ns <- now;
+  Stack.send_udp t.src ~dst:t.dst ~src_port:t.src_port ~dst_port:t.dst_port ?tpp
     ~payload ()
 
 let interval_ns t =
@@ -211,6 +219,9 @@ let tpp_carried t = t.carried
 let rate_bps t = t.rate
 let tx_pkts t = t.tx
 let port t = t.dst_port
+let src_port t = t.src_port
+let set_src_port t p = t.src_port <- p
+let last_tx_ns t = t.last_tx_ns
 let wire_pkt_bytes t = t.wire_bytes
 let is_done t = t.done_
 let payload_sent t = t.tx_payload

@@ -103,5 +103,19 @@ val tx_pkts : t -> int
 val port : t -> int
 (** The UDP destination port this flow sends to. *)
 
+val src_port : t -> int
+(** The UDP source port on outgoing packets (defaults to the
+    destination port). *)
+
+val set_src_port : t -> int -> unit
+(** Rewrites the source port of subsequent packets. The 5-tuple — and
+    with it every switch's ECMP hash — changes, so this is the flowlet
+    steering knob: a TPP load balancer calls it only at flowlet
+    boundaries to move the flow to another path without reordering. *)
+
+val last_tx_ns : t -> int
+(** Time of the most recent packet send; -1 before the first. The idle
+    gap [now - last_tx_ns] defines flowlet boundaries. *)
+
 val wire_pkt_bytes : t -> int
 (** On-wire size of one of this flow's packets. *)

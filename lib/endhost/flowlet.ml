@@ -1,0 +1,71 @@
+(* Flowlet detection (CONGA): a flow may be re-steered onto a new path
+   only at a flowlet boundary — an idle gap longer than the fabric's
+   worst-case path-skew — so packets inside one burst can never be
+   reordered by a path change. Pure integer arithmetic on the caller's
+   clock; nothing here touches the engine, so the same decision
+   sequence falls out on every shard. *)
+
+type t = {
+  gap_ns : int;
+  mutable checks : int;
+  mutable boundaries : int;
+}
+
+let create ~gap_ns =
+  if gap_ns <= 0 then invalid_arg "Flowlet.create: gap_ns";
+  { gap_ns; checks = 0; boundaries = 0 }
+
+let gap_ns t = t.gap_ns
+
+let boundary t ~last_tx ~now =
+  t.checks <- t.checks + 1;
+  let b = last_tx < 0 || now - last_tx >= t.gap_ns in
+  if b then t.boundaries <- t.boundaries + 1;
+  b
+
+let checks t = t.checks
+let boundaries t = t.boundaries
+
+(* The switch/agent-side version: a fixed hashed table of flowlet
+   entries, one slot per flow-hash bucket, each remembering the last
+   activity time and the path the flowlet is pinned to. [decide] is the
+   whole CONGA datapath primitive: stale entry -> take the best path
+   now; live entry -> stay put. Collisions just merge two flows into
+   one flowlet — safe (no reordering is introduced), merely less
+   agile. *)
+module Table = struct
+  type entry = { mutable last_ns : int; mutable path : int }
+
+  type nonrec t = {
+    gap_ns : int;
+    mask : int;
+    slots : entry array;
+    mutable rebinds : int;  (* boundary decisions that changed path *)
+  }
+
+  let create ?(size = 1024) ~gap_ns () =
+    if gap_ns <= 0 then invalid_arg "Flowlet.Table.create: gap_ns";
+    if size <= 0 || size land (size - 1) <> 0 then
+      invalid_arg "Flowlet.Table.create: size must be a power of two";
+    {
+      gap_ns;
+      mask = size - 1;
+      slots = Array.init size (fun _ -> { last_ns = min_int / 2; path = 0 });
+      rebinds = 0;
+    }
+
+  let decide t ~key ~now ~best =
+    let e = t.slots.(key land t.mask) in
+    let path =
+      if now - e.last_ns >= t.gap_ns then begin
+        if e.path <> best then t.rebinds <- t.rebinds + 1;
+        e.path <- best;
+        best
+      end
+      else e.path
+    in
+    e.last_ns <- now;
+    path
+
+  let rebinds t = t.rebinds
+end

@@ -1,0 +1,45 @@
+(** Flowlet detection (CONGA, Alizadeh et al. 2014): re-steer a flow
+    only across an idle gap longer than the fabric's path skew, so a
+    path change can never reorder packets within a burst.
+
+    Pure arithmetic over the caller's clock — deterministic and
+    shard-safe. The TPP load balancer ({!Tpp_rcp.Tpp_lb}) consults
+    {!boundary} with the flow's [last_tx_ns] before every steering
+    decision. *)
+
+type t
+
+val create : gap_ns:int -> t
+(** [gap_ns] must be positive: the minimum idle gap that opens a
+    flowlet boundary. *)
+
+val gap_ns : t -> int
+
+val boundary : t -> last_tx:int -> now:int -> bool
+(** True when the flow is at a flowlet boundary: it has never sent
+    ([last_tx < 0]) or has been idle for at least [gap_ns]. *)
+
+val checks : t -> int
+(** Boundary queries so far. *)
+
+val boundaries : t -> int
+(** Queries that answered [true]. *)
+
+(** Fixed-size hashed flowlet table — the CONGA dataplane primitive.
+    Each slot pins a flow-hash bucket to a path until the bucket goes
+    idle for [gap_ns]; collisions merge flows into one flowlet, which
+    is safe (no reordering) but less agile. *)
+module Table : sig
+  type t
+
+  val create : ?size:int -> gap_ns:int -> unit -> t
+  (** [size] (default 1024) must be a power of two. *)
+
+  val decide : t -> key:int -> now:int -> best:int -> int
+  (** The path to use now: [best] when the bucket's flowlet is stale
+      (and the bucket rebinds to it), else the pinned path. Records
+      [now] as the bucket's last activity. *)
+
+  val rebinds : t -> int
+  (** Boundary decisions that actually moved a bucket to a new path. *)
+end

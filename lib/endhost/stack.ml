@@ -54,10 +54,11 @@ let on_udp_add t ~port handler =
 
 let on_default t handler = t.default <- handler
 
-let send_udp t ~dst ~src_port ~dst_port ?tpp ~payload () =
+let send_udp t ~dst ~src_port ~dst_port ?dscp ?tpp ~payload () =
   let frame =
     Frame.udp_frame ~src_mac:t.host.Net.mac ~dst_mac:dst.Net.mac
-      ~src_ip:t.host.Net.ip ~dst_ip:dst.Net.ip ~src_port ~dst_port ?tpp ~payload ()
+      ~src_ip:t.host.Net.ip ~dst_ip:dst.Net.ip ~src_port ~dst_port ?dscp ?tpp
+      ~payload ()
   in
   t.sent <- t.sent + 1;
   Net.host_send t.net t.host frame

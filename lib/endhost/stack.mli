@@ -40,12 +40,15 @@ val send_udp :
   dst:Net.host ->
   src_port:int ->
   dst_port:int ->
+  ?dscp:int ->
   ?tpp:Tpp_isa.Tpp.t ->
   payload:bytes ->
   unit ->
   unit
 (** Builds and transmits a UDP datagram to [dst]; with [tpp] the frame
-    becomes a TPP frame encapsulating the datagram. *)
+    becomes a TPP frame encapsulating the datagram. [dscp] (default 0)
+    marks the datagram for a switch priority queue — NDP control
+    packets ride the top queue this way. *)
 
 val udp_sent : t -> int
 (** Datagrams transmitted through {!send_udp} so far. *)

@@ -33,8 +33,29 @@ let take t ~now ~bytes =
   end
   else false
 
+(* Earnings over [d] ns, written to match [accrue]'s arithmetic
+   expression for expression so the delay we promise is the delay that
+   provably works. *)
+let earned_after t d =
+  float_of_int d /. 1e9 *. float_of_int t.rate_bps /. 8.0
+
+(* A request larger than the bucket can ever hold is rejected rather
+   than quoted a finite delay: [accrue] caps [tokens] at [burst_bytes],
+   so [take] could never succeed and a pacing loop would retry forever. *)
 let delay_until_ready t ~now ~bytes =
+  if bytes > t.burst_bytes then
+    invalid_arg "Token_bucket.delay_until_ready: bytes exceeds burst capacity";
   accrue t ~now;
   let need = float_of_int bytes -. t.tokens in
   if need <= 0.0 then 0
-  else int_of_float (ceil (need *. 8.0 /. float_of_int t.rate_bps *. 1e9))
+  else begin
+    (* First guess from the closed form; then round up ns by ns until
+       the exact float arithmetic [accrue] will perform at [now + d]
+       covers [need] — [ceil] alone can land one ulp short, and a
+       caller sleeping that delay would find [take] still failing. *)
+    let d = ref (int_of_float (ceil (need *. 8.0 /. float_of_int t.rate_bps *. 1e9))) in
+    while t.tokens +. earned_after t !d < float_of_int bytes do
+      incr d
+    done;
+    !d
+  end

@@ -16,4 +16,9 @@ val take : t -> now:int -> bytes:int -> bool
 (** [true] when [bytes] tokens were available (and are consumed). *)
 
 val delay_until_ready : t -> now:int -> bytes:int -> int
-(** Nanoseconds until [bytes] tokens will have accrued; 0 if ready. *)
+(** Nanoseconds until [bytes] tokens will have accrued; 0 if ready.
+    The returned delay is rounded up until the bucket's own accrual
+    arithmetic provably covers [bytes], so [take] at [now + delay]
+    always succeeds. Raises [Invalid_argument] when
+    [bytes > burst_bytes]: the bucket caps at its burst size, so such a
+    request could never be satisfied and a pacing loop would spin. *)

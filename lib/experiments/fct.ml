@@ -12,7 +12,13 @@ module Flow = Tpp_endhost.Flow
 module Rcp_star = Tpp_endhost.Rcp_star
 module Aimd = Tpp_rcp.Aimd
 
+module Frame = Tpp_isa.Frame
+module Fault = Tpp_sim.Fault
+module Parsim = Tpp_parsim.Parsim
 module Tcp = Tpp_rcp.Tcp
+module Dctcp = Tpp_rcp.Dctcp
+module Ndp = Tpp_rcp.Ndp
+module Tpp_lb = Tpp_rcp.Tpp_lb
 
 type controller = Rcp_star_ctl | Aimd_ctl | Tcp_ctl
 
@@ -56,9 +62,20 @@ type result = {
 
 type pair = { src_stack : Stack.t; dst_stack : Stack.t; dst_host : Net.host }
 
+(* A Pareto shape at or below 1 has no finite mean: the derived [scale]
+   goes non-positive and [Rng.pareto] then yields zero/negative sizes
+   that [int_of_float] would silently truncate. Reject loudly. *)
+let validate_workload ~arrivals_per_sec ~mean_flow_bytes ~pareto_shape =
+  if pareto_shape <= 1.0 then
+    invalid_arg "Fct: pareto_shape must be > 1.0";
+  if mean_flow_bytes <= 0.0 then invalid_arg "Fct: mean_flow_bytes must be positive";
+  if arrivals_per_sec <= 0.0 then invalid_arg "Fct: arrivals_per_sec must be positive"
+
 (* Pre-draws the whole arrival schedule so both controllers run exactly
    the same workload. *)
 let schedule p =
+  validate_workload ~arrivals_per_sec:p.arrivals_per_sec
+    ~mean_flow_bytes:p.mean_flow_bytes ~pareto_shape:p.pareto_shape;
   let rng = Rng.create ~seed:p.seed in
   let scale = p.mean_flow_bytes *. (p.pareto_shape -. 1.0) /. p.pareto_shape in
   let rec go now acc =
@@ -189,4 +206,439 @@ let run controller p =
     bottleneck_drops =
       State.port_stat (Switch.state bottleneck) ~port:0
         Tpp_isa.Vaddr.Port_stat.Drops;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Five-way transport testbed on a fat-tree fabric.
+
+   The same pre-drawn Poisson/Pareto workload crosses a k-ary fat-tree
+   under each of five transports — RCP* (TPP-driven), TCP Reno, DCTCP,
+   NDP (pull/trim, receiver-driven) and TPP-LB (AIMD rate control plus
+   CONGA-style flowlet steering from TPP path probes) — and the runner
+   works unchanged under conservative sharding ([Parsim]), so sequential
+   and [--shards 4] runs must produce bit-identical outcomes. *)
+
+type transport = Rcp_star_t | Tcp_t | Dctcp_t | Ndp_t | Tpp_lb_t
+
+let transport_name = function
+  | Rcp_star_t -> "rcp_star"
+  | Tcp_t -> "tcp"
+  | Dctcp_t -> "dctcp"
+  | Ndp_t -> "ndp"
+  | Tpp_lb_t -> "tpp_lb"
+
+let all_transports = [ Rcp_star_t; Tcp_t; Dctcp_t; Ndp_t; Tpp_lb_t ]
+
+type fabric_params = {
+  fk : int;
+  f_bps : int;
+  f_delay_ns : int;
+  f_load : float;
+  f_mean_bytes : float;
+  f_shape : float;
+  f_payload : int;
+  f_duration : int;
+  f_seed : int;
+  f_short_bytes : int;
+  f_chaos_drop : float;
+  f_max_bytes : int;
+}
+
+let fabric_default =
+  {
+    fk = 4;
+    f_bps = 200_000_000;
+    f_delay_ns = Time_ns.us 5;
+    f_load = 0.6;
+    f_mean_bytes = 30_000.0;
+    f_shape = 1.6;
+    f_payload = 1000;
+    f_duration = Time_ns.ms 300;
+    f_seed = 11;
+    f_short_bytes = 20_000;
+    f_chaos_drop = 0.0;
+    f_max_bytes = max_int;
+  }
+
+type fabric_outcome = {
+  fo_transport : transport;
+  fo_shards : int;
+  fo_started : int;
+  fo_completed : int;
+  fo_samples : (int * int) list;  (* (flow bytes, fct ns), sorted *)
+  fo_drops : int;   (* switch-port drops, owned switches summed *)
+  fo_trims : int;   (* trim-to-header events (NDP runs) *)
+  fo_events : int;  (* engine events, all shards *)
+  fo_ok : bool;     (* transport invariants held (NDP state machine) *)
+}
+
+let fingerprint o =
+  o.fo_started :: o.fo_completed :: o.fo_drops :: o.fo_trims
+  :: List.concat_map (fun (a, b) -> [ a; b ]) o.fo_samples
+
+type fct_summary = {
+  fs_n : int;
+  fs_mean_ns : float;
+  fs_p50_ns : int;
+  fs_p99_ns : int;
+}
+
+let summarize samples =
+  let fcts = List.sort Int.compare (List.map snd samples) in
+  let n = List.length fcts in
+  if n = 0 then { fs_n = 0; fs_mean_ns = 0.0; fs_p50_ns = 0; fs_p99_ns = 0 }
+  else begin
+    let arr = Array.of_list fcts in
+    let pct q =
+      arr.(min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)))
+    in
+    let sum = Array.fold_left (fun a v -> a +. float_of_int v) 0.0 arr in
+    {
+      fs_n = n;
+      fs_mean_ns = sum /. float_of_int n;
+      fs_p50_ns = pct 0.5;
+      fs_p99_ns = pct 0.99;
+    }
+  end
+
+let short_samples o ~threshold =
+  List.filter (fun (size, _) -> size <= threshold) o.fo_samples
+
+(* The workload is drawn once, before any engine exists, so every
+   transport (and every shard replica) sees the same flows. Sizes are
+   rounded up to whole packets so completion detection can distinguish
+   full-size data packets from tiny control datagrams sharing a port. *)
+let fabric_schedule p ~hosts:n =
+  validate_workload ~arrivals_per_sec:1.0 ~mean_flow_bytes:p.f_mean_bytes
+    ~pareto_shape:p.f_shape;
+  let rng = Rng.create ~seed:p.f_seed in
+  let scale = p.f_mean_bytes *. (p.f_shape -. 1.0) /. p.f_shape in
+  let per_host = p.f_load *. float_of_int p.f_bps /. (8.0 *. p.f_mean_bytes) in
+  (* Stop arrivals at 70% of the horizon so the tail can drain. *)
+  let window = Time_ns.to_sec_f p.f_duration *. 0.7 in
+  let flows = ref [] in
+  for i = 0 to n - 1 do
+    let rec go now =
+      let now = now +. Rng.exponential rng ~mean:(1.0 /. per_host) in
+      if now < window then begin
+        let size =
+          max p.f_payload
+            (int_of_float (Rng.pareto rng ~shape:p.f_shape ~scale))
+        in
+        (* [f_max_bytes] truncates the Pareto tail for runs whose gate
+           is completion (chaos recovery): an unbounded draw can exceed
+           what any transport can finish inside the drain window, which
+           would conflate scheduling with loss. *)
+        let size = min size p.f_max_bytes in
+        let size = (size + p.f_payload - 1) / p.f_payload * p.f_payload in
+        flows := (Time_ns.of_sec_f now, i, size) :: !flows;
+        go now
+      end
+    in
+    go 0.0
+  done;
+  List.sort compare !flows
+
+let sorted_hosts net =
+  Array.of_list
+    (List.sort
+       (fun a b -> Int.compare a.Net.node_id b.Net.node_id)
+       (Net.hosts net))
+
+let fabric_run ?(shards = 1) transport p =
+  let n = p.fk * p.fk * p.fk / 4 in
+  let sched = fabric_schedule p ~hosts:n in
+  let init_rate = max 100_000 (p.f_bps / 10) in
+  let ctl_period = Time_ns.us 200 in
+  let ndp_config =
+    {
+      Ndp.default_config with
+      Ndp.payload_bytes = p.f_payload;
+      (* generous stall timer: trims (not stalls) drive loss recovery,
+         so this only matters for outright chaos drops — and a jumpy
+         timer floods the control plane with stale NACKs *)
+      rtx_timeout_ns = Time_ns.ms 2;
+      nack_burst = 4;
+      (* one pull per data-packet serialization time on the access link
+         (42 wire-header bytes + NDP header + payload), with a 35%
+         margin so queues drain and new messages' sprays fit in the
+         headroom the pacer leaves *)
+      pull_gap_ns =
+        (42 + Ndp.header_bytes + p.f_payload) * 8 * 1_000_000_000 / p.f_bps
+        * 135 / 100;
+    }
+  in
+  let build eng =
+    (Topology.fat_tree eng ~k:p.fk ~bps:p.f_bps ~delay:p.f_delay_ns ())
+      .Topology.f_net
+  in
+  (* Per-shard mutable outcome state, each slot touched only by its own
+     shard's domain (the [collect] read happens there too). *)
+  let started = Array.make shards 0 in
+  let samples = Array.make shards [] in
+  let ndp_eps : Ndp.t array option array = Array.make shards None in
+  let setup ~shard ~owns net =
+    let eng = Net.engine net in
+    let hosts = sorted_hosts net in
+    let stacks = Array.map (Stack.create net) hosts in
+    (* Fabric-wide switch configuration is engine-free and applied on
+       every replica, exactly as a sequential run would. *)
+    (match transport with
+    | Ndp_t -> Ndp.enable_network net ndp_config
+    | Dctcp_t ->
+      List.iter
+        (fun (_, sw) ->
+          for port = 0 to Switch.num_ports sw - 1 do
+            Switch.set_ecn_threshold sw ~port (Some 15_000)
+          done)
+        (Net.switches net)
+    | Rcp_star_t | Tcp_t | Tpp_lb_t -> ());
+    if p.f_chaos_drop > 0.0 then begin
+      let f = Fault.create ~seed:(p.f_seed + 31) in
+      (* The loss episode covers the whole arrival window but ends with
+         it: the drain tail is clean. Stall detection alone costs up to
+         2x the rtx timeout, so a drop landing within a few ms of the
+         horizon is unrecoverable by construction — with loss active to
+         the last nanosecond, "every started flow completes" would be
+         unachievable for any transport rather than a recovery gate. *)
+      let chaos_until =
+        Time_ns.of_sec_f (Time_ns.to_sec_f p.f_duration *. 0.7)
+      in
+      Array.iter
+        (fun h ->
+          Fault.lossy f ~from_:0 ~until_:chaos_until ~drop:p.f_chaos_drop
+            (h.Net.node_id, 0))
+        hosts;
+      Fault.attach f net
+    end;
+    let slot =
+      match transport with
+      | Rcp_star_t -> (
+        Array.iter Probe.install_echo stacks;
+        Net.start_utilization_updates net ~period:(Time_ns.us 100)
+          ~until:p.f_duration;
+        match Rcp_star.setup_network net with
+        | Ok s -> s
+        | Error e -> invalid_arg ("Fct.fabric_run: " ^ e))
+      | _ -> -1
+    in
+    let eps =
+      match transport with
+      | Ndp_t ->
+        let eps =
+          Array.map (fun st -> Ndp.create ~config:ndp_config st ~port:9000) stacks
+        in
+        Array.iter
+          (fun ep ->
+            Ndp.set_on_complete ep (fun ~now ~src:_ ~bytes ~start_ns ->
+                samples.(shard) <- (bytes, now - start_ns) :: samples.(shard)))
+          eps;
+        ndp_eps.(shard) <- Some eps;
+        eps
+      | _ -> [||]
+    in
+    let record size fct = samples.(shard) <- (size, fct) :: samples.(shard) in
+    let launch idx (at, src_i, size) =
+      let src_h = hosts.(src_i) in
+      let dst_i = (src_i + (n / 2)) mod n in
+      let dst_h = hosts.(dst_i) in
+      let data_port = 10_000 + (4 * idx) in
+      let report_port = data_port + 1 in
+      let send_done () =
+        Stack.send_udp stacks.(dst_i) ~dst:src_h ~src_port:report_port
+          ~dst_port:report_port ~payload:(Bytes.make 4 '\000') ()
+      in
+      match transport with
+      | Ndp_t ->
+        if owns src_h.Net.node_id then
+          Engine.at eng at (fun () ->
+              started.(shard) <- started.(shard) + 1;
+              ignore (Ndp.send eps.(src_i) ~dst:dst_h ~bytes:size))
+      | Tcp_t ->
+        if owns dst_h.Net.node_id then
+          Engine.at eng at (fun () ->
+              ignore (Tcp.Receiver.attach stacks.(dst_i) ~port:data_port));
+        if owns src_h.Net.node_id then
+          Engine.at eng at (fun () ->
+              started.(shard) <- started.(shard) + 1;
+              ignore
+                (Tcp.Transfer.start ~src:stacks.(src_i) ~dst:dst_h
+                   ~port:data_port ~total_bytes:size
+                   ~on_complete:(fun ~now -> record size (now - at))
+                   ()))
+      | Rcp_star_t | Dctcp_t | Tpp_lb_t ->
+        if owns src_h.Net.node_id then
+          Engine.at eng at (fun () ->
+              started.(shard) <- started.(shard) + 1;
+              let flow =
+                Flow.transfer ~src:stacks.(src_i) ~dst:dst_h
+                  ~dst_port:data_port ~payload_bytes:p.f_payload
+                  ~rate_bps:init_rate ~total_bytes:size
+              in
+              let stop_ctl =
+                match transport with
+                | Rcp_star_t ->
+                  let config =
+                    { (Rcp_star.default_config ~slot) with
+                      Rcp_star.period_ns = ctl_period;
+                      rtt_ns = ctl_period;
+                      max_hops = 8 }
+                  in
+                  let ctl =
+                    Rcp_star.create stacks.(src_i) config ~flow ~dst:dst_h
+                  in
+                  Rcp_star.start ctl ();
+                  fun () -> Rcp_star.stop ctl
+                | Dctcp_t ->
+                  let config =
+                    { (Dctcp.default_config ~max_rate_bps:p.f_bps) with
+                      Dctcp.report_period_ns = ctl_period;
+                      rtt_ns = ctl_period;
+                      initial_rate_bps = init_rate }
+                  in
+                  let ctl = Dctcp.create stacks.(src_i) config ~flow ~report_port in
+                  Dctcp.start ctl;
+                  fun () -> Dctcp.stop ctl
+                | Tpp_lb_t | Tcp_t | Ndp_t ->
+                  let config =
+                    { (Aimd.default_config ~max_rate_bps:p.f_bps) with
+                      Aimd.report_period_ns = ctl_period;
+                      rtt_ns = ctl_period;
+                      initial_rate_bps = init_rate }
+                  in
+                  let ctl = Aimd.create stacks.(src_i) config ~flow ~report_port in
+                  let lb =
+                    Tpp_lb.create
+                      ~config:
+                        { Tpp_lb.default_config with
+                          Tpp_lb.probe_period_ns = ctl_period;
+                          flowlet_gap_ns = Time_ns.us 100 }
+                      stacks.(src_i) ~flow ~dst:dst_h
+                  in
+                  Aimd.start ctl;
+                  Tpp_lb.start lb ();
+                  fun () ->
+                    Aimd.stop ctl;
+                    Tpp_lb.stop lb
+              in
+              (* The receiver signals completion with a 4-byte datagram
+                 (too short for any report parser); registered after the
+                 controller so [on_udp_add] stacks onto its handler. *)
+              let stopped = ref false in
+              Stack.on_udp_add stacks.(src_i) ~port:report_port
+                (fun ~now:_ frame ->
+                  if Frame.payload_len frame = 4 && not !stopped then begin
+                    stopped := true;
+                    Flow.stop flow;
+                    stop_ctl ()
+                  end);
+              Flow.start flow ());
+        if owns dst_h.Net.node_id then
+          Engine.at eng at (fun () ->
+              match transport with
+              | Tpp_lb_t ->
+                (* Probes share the data port, so completion counts only
+                   full-size data payloads through an added handler; the
+                   sink still feeds the loss reports. *)
+                let sink = Flow.Sink.attach stacks.(dst_i) ~port:data_port in
+                Probe.install_echo_on_port stacks.(dst_i) ~port:data_port;
+                let recv =
+                  Aimd.Receiver.attach stacks.(dst_i) ~sink ~report_to:src_h
+                    ~report_port ~period:ctl_period
+                in
+                let got = ref 0 in
+                let finished = ref false in
+                Stack.on_udp_add stacks.(dst_i) ~port:data_port
+                  (fun ~now frame ->
+                    let pl = Frame.payload_len frame in
+                    if pl >= p.f_payload && not !finished then begin
+                      got := !got + pl;
+                      if !got >= size then begin
+                        finished := true;
+                        record size (now - at);
+                        Aimd.Receiver.stop recv;
+                        send_done ()
+                      end
+                    end)
+              | Rcp_star_t | Dctcp_t ->
+                let finished = ref false in
+                let sink = ref None in
+                let stop_rx = ref (fun () -> ()) in
+                let tap ~now =
+                  match !sink with
+                  | Some s
+                    when (not !finished)
+                         && Flow.Sink.rx_payload_bytes s >= size ->
+                    finished := true;
+                    record size (now - at);
+                    !stop_rx ();
+                    send_done ()
+                  | _ -> ()
+                in
+                sink := Some (Flow.Sink.attach ~tap stacks.(dst_i) ~port:data_port);
+                if transport = Dctcp_t then begin
+                  let recv =
+                    Dctcp.Receiver.attach stacks.(dst_i)
+                      ~sink:(Option.get !sink) ~report_to:src_h ~report_port
+                      ~period:ctl_period
+                  in
+                  stop_rx := fun () -> Dctcp.Receiver.stop recv
+                end
+              | Tcp_t | Ndp_t -> ())
+    in
+    List.iteri launch sched
+  in
+  let collect ~shard ~owns net =
+    let drops = ref 0 in
+    let trims = ref 0 in
+    List.iter
+      (fun (id, sw) ->
+        if owns id then begin
+          trims := !trims + Switch.trims sw;
+          for port = 0 to Switch.num_ports sw - 1 do
+            drops :=
+              !drops
+              + State.port_stat (Switch.state sw) ~port
+                  Tpp_isa.Vaddr.Port_stat.Drops
+          done
+        end)
+      (Net.switches net)
+    ;
+    let ok =
+      match ndp_eps.(shard) with
+      | None -> true
+      | Some eps ->
+        let hosts = sorted_hosts net in
+        let ok = ref true in
+        Array.iteri
+          (fun i ep ->
+            if owns hosts.(i).Net.node_id then
+              ok := !ok && Ndp.invariants_ok ep && Ndp.fold_rx_credit ep)
+          eps;
+        !ok
+    in
+    ( started.(shard),
+      samples.(shard),
+      !drops,
+      !trims,
+      Engine.events_processed (Net.engine net),
+      ok )
+  in
+  let _stats, per_shard =
+    Parsim.run ~shards ~until:p.f_duration ~build ~setup ~collect ()
+  in
+  let fo_started = Array.fold_left (fun a (s, _, _, _, _, _) -> a + s) 0 per_shard in
+  let all_samples =
+    Array.fold_left (fun a (_, s, _, _, _, _) -> List.rev_append s a) [] per_shard
+  in
+  {
+    fo_transport = transport;
+    fo_shards = shards;
+    fo_started;
+    fo_completed = List.length all_samples;
+    fo_samples = List.sort compare all_samples;
+    fo_drops = Array.fold_left (fun a (_, _, d, _, _, _) -> a + d) 0 per_shard;
+    fo_trims = Array.fold_left (fun a (_, _, _, t, _, _) -> a + t) 0 per_shard;
+    fo_events = Array.fold_left (fun a (_, _, _, _, e, _) -> a + e) 0 per_shard;
+    fo_ok = Array.for_all (fun (_, _, _, _, _, ok) -> ok) per_shard;
   }

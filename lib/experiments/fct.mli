@@ -40,3 +40,74 @@ type result = {
 }
 
 val run : controller -> params -> result
+
+(** {2 Five-way transport testbed}
+
+    The same pre-drawn Poisson/Pareto workload crosses a k-ary fat-tree
+    under five transports; the runner is built on {!Tpp_parsim.Parsim},
+    so sequential ([shards = 1]) and sharded runs of the same
+    configuration must produce bit-identical {!fingerprint}s. *)
+
+type transport =
+  | Rcp_star_t  (** TPP-driven RCP (paper §2.2) *)
+  | Tcp_t       (** Reno-style reliable transport *)
+  | Dctcp_t     (** ECN-fraction rate control *)
+  | Ndp_t       (** receiver-driven pull/trim transport *)
+  | Tpp_lb_t    (** AIMD + CONGA-style flowlet steering from TPP probes *)
+
+val transport_name : transport -> string
+val all_transports : transport list
+
+type fabric_params = {
+  fk : int;              (** fat-tree arity (k even) *)
+  f_bps : int;           (** every link's rate *)
+  f_delay_ns : int;      (** every link's propagation delay *)
+  f_load : float;        (** offered load as a fraction of access bandwidth *)
+  f_mean_bytes : float;
+  f_shape : float;       (** Pareto shape (> 1) *)
+  f_payload : int;       (** data bytes per packet *)
+  f_duration : int;
+  f_seed : int;
+  f_short_bytes : int;   (** "short flow" threshold for reporting *)
+  f_chaos_drop : float;  (** drop probability on every access link; 0 = clean *)
+  f_max_bytes : int;
+      (** flow-size cap applied to the Pareto draw ([max_int] = none):
+          completion-gated runs bound sizes so every started flow can
+          finish inside the drain window *)
+}
+
+val fabric_default : fabric_params
+
+type fabric_outcome = {
+  fo_transport : transport;
+  fo_shards : int;
+  fo_started : int;
+  fo_completed : int;
+  fo_samples : (int * int) list;
+      (** (flow bytes, flow completion time ns), sorted *)
+  fo_drops : int;   (** switch-port drops summed over owned switches *)
+  fo_trims : int;   (** trim-to-header events (nonzero only for NDP) *)
+  fo_events : int;  (** engine events over all shards (not identity-stable) *)
+  fo_ok : bool;     (** transport invariants held (NDP state machine) *)
+}
+
+val fabric_run : ?shards:int -> transport -> fabric_params -> fabric_outcome
+(** Runs the workload under one transport. [shards = 1] (default) is the
+    sequential baseline; any sharding of the same parameters must agree
+    on {!fingerprint}. *)
+
+val fingerprint : fabric_outcome -> int list
+(** Identity-stable digest: started, completed, drops, trims and the
+    flattened sorted samples — everything except wall-clock artifacts
+    like event counts. *)
+
+type fct_summary = {
+  fs_n : int;
+  fs_mean_ns : float;
+  fs_p50_ns : int;
+  fs_p99_ns : int;
+}
+
+val summarize : (int * int) list -> fct_summary
+
+val short_samples : fabric_outcome -> threshold:int -> (int * int) list

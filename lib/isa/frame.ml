@@ -16,10 +16,13 @@ module Mac = Tpp_packet.Mac
    incremental checksum discipline (RFC 1624 patches keep the stored
    checksum equal to a full recompute), or lives outside any checksum
    (Ethernet has none here, the TPP section is unchecksummed, UDP's
-   checksum is transmitted as zero). No rewrite changes any length
-   field, so the offsets computed at parse time stay valid for the
-   frame's whole lifetime: the only operations that change the layout
-   ({!with_tpp}) build a fresh buffer.
+   checksum is transmitted as zero). With one documented exception, no
+   rewrite changes any length field, so the offsets computed at parse
+   time stay valid for the frame's whole lifetime: the only operations
+   that change the layout ({!with_tpp}) build a fresh buffer. The
+   exception is {!trim} (NDP-style packet trimming), which only ever
+   shortens the payload tail in place — both length fields are patched
+   consistently and every offset still points where it did.
 
    The TPP view in [tpp] aliases [buf]: its packet memory window points
    at the memory bytes of the serialized section, so TCPU word stores
@@ -135,6 +138,24 @@ let blit_payload t ~src_pos dst ~dst_pos ~len =
     Buf.(raise (Out_of_bounds "Frame.blit_payload"));
   Bytes.blit t.buf (t.pay_off + src_pos) dst dst_pos len
 
+(* NDP-style packet trimming: cut the UDP payload down to its first
+   [keep] bytes, in place. The payload is the tail of the wire image,
+   so shrinking it leaves every parse-time offset valid; the IPv4 total
+   length is patched under the incremental-checksum discipline and the
+   UDP length directly (its checksum is transmitted as zero). The
+   5-tuple is untouched, so [flow_hash_cache] stays valid. Zero
+   allocation — this runs on the switch enqueue hot path. *)
+let trim t ~keep =
+  if t.udp_off < 0 then invalid_arg "Frame.trim: no UDP header";
+  if keep < 0 then invalid_arg "Frame.trim: keep";
+  let cut = payload_len t - keep in
+  if cut > 0 then begin
+    let total = Ipv4.Header.Flat.total_len t.buf ~off:t.ip_off in
+    Ipv4.Header.Flat.set_total_len t.buf ~off:t.ip_off (total - cut);
+    Udp.Flat.set_len t.buf ~off:t.udp_off (Udp.size + keep);
+    t.len <- t.len - cut
+  end
+
 (* ---- Consistency checks (construction-time; same rules as the old
    record representation enforced) ---- *)
 
@@ -234,7 +255,7 @@ let make ?tpp ?ip ?udp ?(payload = Bytes.empty) ~eth () =
   t
 
 let build_udp t ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?(ttl = 64)
-    ?tpp ~payload () =
+    ?(dscp = 0) ?tpp ~payload () =
   match tpp with
   | Some s ->
     (* A TPP wrapping an IPv4 datagram must declare it, or transit
@@ -250,7 +271,7 @@ let build_udp t ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?(ttl = 64
         dst = dst_ip;
         proto = Ipv4.proto_udp;
         ttl;
-        dscp = 0;
+        dscp;
         ecn = 0;
         ident = fresh_id () land 0xFFFF;
       }
@@ -271,7 +292,7 @@ let build_udp t ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?(ttl = 64
       ~ethertype:Ethernet.ethertype_ipv4;
     let l3 = Ethernet.size in
     Ipv4.Header.Flat.write_fields b ~off:l3 ~src:src_ip ~dst:dst_ip
-      ~proto:Ipv4.proto_udp ~ttl ~dscp:0 ~ecn:0
+      ~proto:Ipv4.proto_udp ~ttl ~dscp ~ecn:0
       ~ident:(fresh_id () land 0xFFFF) ~payload_len:(Udp.size + pay);
     Udp.Flat.write_fields b ~off:(l3 + Ipv4.Header.size) ~src_port ~dst_port
       ~payload_len:pay;
@@ -284,8 +305,8 @@ let build_udp t ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?(ttl = 64
     t.pay_off <- pay_off;
     t.flow_hash_cache <- min_int
 
-let udp_frame ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?ttl ?tpp
-    ~payload () =
+let udp_frame ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?ttl ?dscp
+    ?tpp ~payload () =
   let t =
     {
       id = fresh_id ();
@@ -301,8 +322,8 @@ let udp_frame ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?ttl ?tpp
       in_free_list = false;
     }
   in
-  build_udp t ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?ttl ?tpp
-    ~payload ();
+  build_udp t ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?ttl ?dscp
+    ?tpp ~payload ();
   t
 
 (* A minimal inert frame (Ethernet header only), for use as the dummy
@@ -589,11 +610,11 @@ module Pool = struct
       }
     end
 
-  let udp_frame p ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?ttl ?tpp
-      ~payload () =
+  let udp_frame p ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?ttl
+      ?dscp ?tpp ~payload () =
     let t = take p in
-    build_udp t ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?ttl ?tpp
-      ~payload ();
+    build_udp t ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?ttl ?dscp
+      ?tpp ~payload ();
     t
 
   let outstanding p = p.p_created - p.free_len

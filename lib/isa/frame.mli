@@ -65,13 +65,16 @@ val udp_frame :
   src_port:int ->
   dst_port:int ->
   ?ttl:int ->
+  ?dscp:int ->
   ?tpp:Tpp.t ->
   payload:bytes ->
   unit ->
   t
 (** A UDP datagram; when [tpp] is given the frame becomes a TPP frame
     encapsulating the IPv4 packet (so it is routed like normal traffic,
-    as the paper requires); [tpp.inner_ethertype] is set accordingly. *)
+    as the paper requires); [tpp.inner_ethertype] is set accordingly.
+    [dscp] (default 0) sets the IPv4 DSCP codepoint, which switch queue
+    classifiers map to a priority queue. *)
 
 val placeholder : unit -> t
 (** A minimal inert frame (Ethernet header only, zero MACs); rings and
@@ -127,6 +130,14 @@ val payload_u32 : t -> int -> int
     [Buf.Out_of_bounds]. *)
 
 val blit_payload : t -> src_pos:int -> bytes -> dst_pos:int -> len:int -> unit
+
+val trim : t -> keep:int -> unit
+(** NDP-style packet trimming: cuts the UDP payload to its first [keep]
+    bytes in place (no-op when already that short). Patches the IPv4
+    total length under the incremental-checksum discipline and the UDP
+    length field; offsets and the memoized flow hash stay valid. Zero
+    allocation. Raises [Invalid_argument] when the frame has no UDP
+    header or [keep < 0]. *)
 
 val flow_hash_values :
   src:int -> dst:int -> proto:int -> src_port:int -> dst_port:int -> int
@@ -199,6 +210,7 @@ module Pool : sig
     src_port:int ->
     dst_port:int ->
     ?ttl:int ->
+    ?dscp:int ->
     ?tpp:Tpp.t ->
     payload:bytes ->
     unit ->

@@ -186,6 +186,11 @@ module Header = struct
 
     let set_ident b ~off v = patch_u16 b ~off ~woff:off_ident v
 
+    (* For NDP-style packet trimming: the total length is word 1 of the
+       checksum, so shrinking the datagram in place is one incremental
+       patch — no re-serialize. *)
+    let set_total_len b ~off v = patch_u16 b ~off ~woff:2 v
+
     (* Full header write straight into [b] at [off]; byte-identical to
        {!write} but with no intermediate buffer. The scalar variant is
        the hot construction path: no header record is built. *)

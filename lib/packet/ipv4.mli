@@ -87,6 +87,10 @@ module Header : sig
     val set_dscp : bytes -> off:int -> int -> unit
     val set_ident : bytes -> off:int -> int -> unit
 
+    val set_total_len : bytes -> off:int -> int -> unit
+    (** Patches the total length with an incremental checksum fix
+        (RFC 1624) — the packet-trimming primitive. *)
+
     val write_fields :
       bytes ->
       off:int ->

@@ -27,6 +27,10 @@ module Flat = struct
   let dst_port b ~off = Bytes.get_uint16_be b (off + 2)
   let len b ~off = Bytes.get_uint16_be b (off + 4)
 
+  (* For packet trimming: the UDP checksum is transmitted as zero
+     (see [write_fields]), so a length rewrite needs no checksum fix. *)
+  let set_len b ~off v = Bytes.set_uint16_be b (off + 4) (v land 0xFFFF)
+
   (* Scalar variant of [write_into]: the hot construction path builds
      no header record. *)
   let write_fields b ~off ~src_port ~dst_port ~payload_len =

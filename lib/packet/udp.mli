@@ -22,6 +22,11 @@ module Flat : sig
   val dst_port : bytes -> off:int -> int
   val len : bytes -> off:int -> int
 
+  val set_len : bytes -> off:int -> int -> unit
+  (** Rewrites the UDP length (header + payload). The checksum is
+      transmitted as zero, so no fix-up is needed — used by packet
+      trimming. *)
+
   val write_fields :
     bytes -> off:int -> src_port:int -> dst_port:int -> payload_len:int -> unit
   (** {!write_into} from scalars: builds no header record. *)

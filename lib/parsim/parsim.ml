@@ -197,10 +197,15 @@ end
 
 (* The canonical merge order of cross-boundary messages: (arrival,
    emission stamp, producing shard, producer sequence number). The
-   first two reproduce the sequential engine's tie-break (every
-   delivery is backdated to its emission time); the last two give any
-   remaining ties a total, run-independent order — (src, seq) pairs
-   are unique. *)
+   first two reproduce the sequential engine's primary tie-break
+   (every delivery is backdated to its emission time); the last two
+   give any remaining ties a total, run-independent order — (src, seq)
+   pairs are unique. Messages still tied after (arrival, emitted) are
+   deliveries to *distinct* (node, port) destinations — one link
+   cannot complete two frames in the same nanosecond — so the engine's
+   content-derived tie key orders them identically to the sequential
+   run no matter which order this merge inserts them; the (src, seq)
+   tail only pins the insertion sequence itself. *)
 let compare_msg (a_arr, a_emit, a_src, a_seq) (b_arr, b_emit, b_src, b_seq) =
   let c = compare (a_arr : int) b_arr in
   if c <> 0 then c

@@ -29,14 +29,20 @@ module Receiver = struct
   let attach stack ~sink ~report_to ~report_port ~period =
     let t = { running = true } in
     let eng = Net.engine (Stack.net stack) in
-    Engine.every eng ~period ~until:max_int (fun () ->
-        if t.running then begin
-          let payload = Bytes.create 8 in
-          Buf.set_u32i payload 0 (Flow.Sink.holes sink);
-          Buf.set_u32i payload 4 (Flow.Sink.rx_payload_bytes sink land 0xFFFF_FFFF);
-          Stack.send_udp stack ~dst:report_to ~src_port:report_port
-            ~dst_port:report_port ~payload ()
-        end);
+    (* Self-rescheduling (same fire times as [Engine.every]: first at
+       now + period), so [stop] really cancels: a stopped receiver
+       leaves nothing on the event wheel. *)
+    let rec tick () =
+      if t.running then begin
+        let payload = Bytes.create 8 in
+        Buf.set_u32i payload 0 (Flow.Sink.holes sink);
+        Buf.set_u32i payload 4 (Flow.Sink.rx_payload_bytes sink land 0xFFFF_FFFF);
+        Stack.send_udp stack ~dst:report_to ~src_port:report_port
+          ~dst_port:report_port ~payload ();
+        Engine.after eng period tick
+      end
+    in
+    Engine.after eng period tick;
     t
 
   let stop t = t.running <- false

@@ -38,6 +38,8 @@ module Receiver : sig
     t
 
   val stop : t -> unit
+  (** Cancels the periodic report: no further timer event is scheduled
+      once the current one fires. *)
 end
 
 type t

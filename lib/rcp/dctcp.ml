@@ -26,21 +26,34 @@ let default_config ~max_rate_bps =
 module Receiver = struct
   type t = { mutable running : bool }
 
+  (* Self-rescheduling tick rather than [Engine.every ~until:max_int]:
+     once [stop] clears [running] no further event is scheduled, so a
+     finished flow leaves nothing ticking on the wheel for the rest of
+     the simulation. *)
   let attach stack ~sink ~report_to ~report_port ~period =
     let t = { running = true } in
     let eng = Net.engine (Stack.net stack) in
-    Engine.every eng ~period ~until:max_int (fun () ->
-        if t.running then begin
-          let payload = Bytes.create 8 in
-          Buf.set_u32i payload 0 (Flow.Sink.rx_pkts sink);
-          Buf.set_u32i payload 4 (Flow.Sink.ce_marked sink);
-          Stack.send_udp stack ~dst:report_to ~src_port:report_port
-            ~dst_port:report_port ~payload ()
-        end);
+    let rec tick () =
+      if t.running then begin
+        let payload = Bytes.create 8 in
+        Buf.set_u32i payload 0 (Flow.Sink.rx_pkts sink);
+        Buf.set_u32i payload 4 (Flow.Sink.ce_marked sink);
+        Stack.send_udp stack ~dst:report_to ~src_port:report_port
+          ~dst_port:report_port ~payload ();
+        Engine.after eng period tick
+      end
+    in
+    Engine.after eng period tick;
     t
 
   let stop t = t.running <- false
 end
+
+(* Receiver counters ride the wire as u32, so a long-lived flow wraps
+   them after 2^32 packets; deltas must be computed modulo 2^32 or the
+   [d_total > 0] guard below freezes the rate forever once [total]
+   wraps below [last_total]. *)
+let u32_delta ~last ~cur = (cur - last) land 0xFFFF_FFFF
 
 type t = {
   stack : Stack.t;
@@ -62,8 +75,8 @@ let create stack config ~flow ~report_port =
       if t.running && Tpp_isa.Frame.payload_len frame >= 8 then begin
         let total = Tpp_isa.Frame.payload_u32 frame 0 in
         let marked = Tpp_isa.Frame.payload_u32 frame 4 in
-        let d_total = total - t.last_total in
-        let d_marked = marked - t.last_marked in
+        let d_total = u32_delta ~last:t.last_total ~cur:total in
+        let d_marked = u32_delta ~last:t.last_marked ~cur:marked in
         t.last_total <- total;
         t.last_marked <- marked;
         if d_total > 0 then begin

@@ -40,7 +40,15 @@ module Receiver : sig
     t
 
   val stop : t -> unit
+  (** Cancels the periodic report: no further timer event is scheduled
+      once the current one fires, so stopped receivers leave nothing on
+      the event wheel. *)
 end
+
+val u32_delta : last:int -> cur:int -> int
+(** Wrap-aware u32 subtraction: [(cur - last) mod 2^32]. Receiver
+    reports carry cumulative counters as u32, which wrap after 2^32
+    packets. *)
 
 type t
 

@@ -1,0 +1,244 @@
+(* CONGA-flavored TPP load balancer (tentpole, with Flowlet): the
+   sender probes each candidate ECMP path with a TPP that reads
+   [Link:QueueSize] (the per-hop queued-bytes register) at every hop,
+   and steers the flow onto the least-loaded path — but only at flowlet
+   boundaries, so re-steering can never reorder a burst.
+
+   Path choice is the flow's UDP source port: every switch hashes the
+   5-tuple for ECMP, so rewriting [Flow.set_src_port] moves the flow to
+   a different (deterministic) path. Probes share the flow's
+   destination host and port but carry a candidate source port, so each
+   probe measures exactly the path data would take with that port. The
+   destination echoes TPP-carrying frames ({!Probe.install_echo_on_port}
+   on the flow port); replies come back on {!Probe.reply_port} and are
+   matched to candidates through the pending-sequence table.
+
+   Everything is host-local state driven by packet arrivals and epoch-
+   guarded timers, so steering decisions are bit-deterministic and
+   shard-safe; [steer_fp] fingerprints the full decision sequence for
+   the property tests. *)
+
+module Net = Tpp_sim.Net
+module Engine = Tpp_sim.Engine
+module Tpp = Tpp_isa.Tpp
+module Asm = Tpp_isa.Asm
+module Frame = Tpp_isa.Frame
+module Udp = Tpp_packet.Udp
+module Buf = Tpp_util.Buf
+module Stack = Tpp_endhost.Stack
+module Flow = Tpp_endhost.Flow
+module Probe = Tpp_endhost.Probe
+module Flowlet = Tpp_endhost.Flowlet
+
+type config = {
+  probe_period_ns : int;   (* one candidate is probed per tick *)
+  flowlet_gap_ns : int;
+  max_hops : int;
+  num_paths : int;         (* candidate source ports *)
+  port_stride : int;       (* spacing between candidate ports *)
+  piggyback_every : int option;
+      (* when set, every nth data packet also carries the collect TPP;
+         its echo refreshes the current path's load for free *)
+}
+
+let default_config =
+  {
+    probe_period_ns = 500_000;
+    flowlet_gap_ns = 100_000;
+    max_hops = 8;
+    num_paths = 4;
+    port_stride = 7;
+    piggyback_every = None;
+  }
+
+(* Two words per hop: who measured, and the queue behind the egress
+   link the packet took there. *)
+let collect_source = "PUSH [Switch:SwitchID]\nPUSH [Link:QueueSize]\n"
+let words_per_hop = 2
+
+(* Max queued bytes over the path — the bottleneck congestion metric.
+   The echo executes hops on the forward (candidate) path; the reply
+   itself is a plain datagram, so nothing is appended on the way
+   back. *)
+let path_load tpp =
+  let rec go acc = function
+    | _sw :: q :: rest -> go (max acc q) rest
+    | _ -> acc
+  in
+  go 0 (Tpp.stack_values tpp)
+
+(* Disjoint echo-sequence blocks per balancer, same scheme as
+   [Probe.Reliable]: several controllers can share one host's reply
+   stream. *)
+let seq_block = 1 lsl 20
+let next_uid = ref 0
+
+type t = {
+  stack : Stack.t;
+  config : config;
+  flow : Flow.t;
+  dst : Net.host;
+  collect_tpp : Tpp.t;
+  ports : int array;    (* candidate source ports; index = path id *)
+  loads : int array;    (* latest sampled load per path *)
+  samples : int array;
+  flowlet : Flowlet.t;
+  pending : (int, int) Hashtbl.t;  (* probe seq -> path id *)
+  seq_base : int;
+  mutable seq : int;
+  mutable rr : int;     (* next candidate to probe *)
+  mutable current : int;
+  mutable running : bool;
+  mutable epoch : int;
+  mutable probes_sent : int;
+  mutable replies_seen : int;
+  mutable decisions : int;  (* steering evaluations at a boundary *)
+  mutable moves : int;      (* decisions that changed path *)
+  mutable steer_fp : int;   (* order-sensitive decision fingerprint *)
+}
+
+let mix fp v = ((fp * 0x100_0193) lxor v) land max_int
+
+let maybe_steer t ~now =
+  if Flowlet.boundary t.flowlet ~last_tx:(Flow.last_tx_ns t.flow) ~now then begin
+    t.decisions <- t.decisions + 1;
+    let best = ref t.current in
+    for i = 0 to t.config.num_paths - 1 do
+      if t.loads.(i) < t.loads.(!best) then best := i
+    done;
+    if !best <> t.current then begin
+      t.current <- !best;
+      t.moves <- t.moves + 1;
+      Flow.set_src_port t.flow t.ports.(!best)
+    end;
+    t.steer_fp <- mix (mix t.steer_fp now) t.current
+  end
+
+let on_reply t ~now seq tpp =
+  if t.running then begin
+    match Hashtbl.find_opt t.pending seq with
+    | Some path ->
+      Hashtbl.remove t.pending seq;
+      t.replies_seen <- t.replies_seen + 1;
+      t.loads.(path) <- path_load tpp;
+      t.samples.(path) <- t.samples.(path) + 1;
+      maybe_steer t ~now
+    | None -> ()
+  end
+
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq_base + t.seq
+
+let send_probe t path =
+  let seq = next_seq t in
+  Hashtbl.replace t.pending seq path;
+  t.probes_sent <- t.probes_sent + 1;
+  let payload = Bytes.create 4 in
+  Buf.set_u32i payload 0 seq;
+  Stack.send_udp t.stack ~dst:t.dst ~src_port:t.ports.(path)
+    ~dst_port:(Flow.port t.flow) ~tpp:(Tpp.copy t.collect_tpp) ~payload ()
+
+let engine t = Net.engine (Stack.net t.stack)
+
+let rec tick t epoch () =
+  if t.running && t.epoch = epoch then begin
+    send_probe t t.rr;
+    t.rr <- (t.rr + 1) mod t.config.num_paths;
+    Engine.after (engine t) t.config.probe_period_ns (tick t epoch)
+  end
+
+let create ?(config = default_config) stack ~flow ~dst =
+  if config.num_paths <= 0 then invalid_arg "Tpp_lb.create: num_paths";
+  if config.port_stride <= 0 then invalid_arg "Tpp_lb.create: port_stride";
+  let collect_tpp =
+    match
+      Asm.to_tpp ~defines:[]
+        ~mem_len:(4 * words_per_hop * config.max_hops)
+        collect_source
+    with
+    | Ok tpp -> tpp
+    | Error e -> invalid_arg ("Tpp_lb.create: collect program: " ^ e)
+  in
+  incr next_uid;
+  let t =
+    {
+      stack;
+      config;
+      flow;
+      dst;
+      collect_tpp;
+      ports =
+        Array.init config.num_paths (fun i ->
+            Flow.port flow + (i * config.port_stride));
+      loads = Array.make config.num_paths 0;
+      samples = Array.make config.num_paths 0;
+      flowlet = Flowlet.create ~gap_ns:config.flowlet_gap_ns;
+      pending = Hashtbl.create 16;
+      seq_base = !next_uid * seq_block;
+      seq = 0;
+      rr = 0;
+      current = 0;
+      running = false;
+      epoch = 0;
+      probes_sent = 0;
+      replies_seen = 0;
+      decisions = 0;
+      moves = 0;
+      steer_fp = 0;
+    }
+  in
+  Probe.install_reply_handler stack (fun ~now ~seq tpp ->
+      if seq > t.seq_base && seq <= t.seq_base + t.seq then
+        on_reply t ~now seq tpp);
+  (* Piggyback: data packets occasionally carry the collect TPP; their
+     echoes come back with the data sequence number (outside our
+     block) and the flow's port as echo source — attribute them to the
+     path the flow is currently on. *)
+  (match config.piggyback_every with
+  | None -> ()
+  | Some every ->
+    Flow.carry_tpp flow ~every collect_tpp;
+    let flow_port = Flow.port flow in
+    Stack.on_udp_add stack ~port:Probe.reply_port (fun ~now frame ->
+        if t.running then
+          match Frame.udp frame with
+          | Some u when u.Udp.src_port = flow_port -> (
+            match Probe.decode_echo (Frame.payload frame) with
+            | Some (seq, tpp)
+              when seq < t.seq_base || seq > t.seq_base + seq_block ->
+              t.replies_seen <- t.replies_seen + 1;
+              t.loads.(t.current) <- path_load tpp;
+              t.samples.(t.current) <- t.samples.(t.current) + 1;
+              maybe_steer t ~now
+            | Some _ | None -> ())
+          | _ -> ()));
+  t
+
+let start t ?at () =
+  if not t.running then begin
+    t.running <- true;
+    t.epoch <- t.epoch + 1;
+    let eng = engine t in
+    let begin_at =
+      match at with
+      | Some time -> max time (Engine.now eng)
+      | None -> Engine.now eng
+    in
+    Engine.at eng begin_at (tick t t.epoch)
+  end
+
+let stop t =
+  t.running <- false;
+  t.epoch <- t.epoch + 1
+
+let current_path t = t.current
+let current_src_port t = t.ports.(t.current)
+let path_loads t = Array.copy t.loads
+let path_samples t = Array.copy t.samples
+let probes_sent t = t.probes_sent
+let replies_seen t = t.replies_seen
+let decisions t = t.decisions
+let moves t = t.moves
+let steer_fingerprint t = t.steer_fp
+let flowlet t = t.flowlet

@@ -91,13 +91,27 @@ let grow t =
   t.free <- old
 
 (* Every push is stamped with an emission time: the engine clock by
-   default, which is monotone in push order, so the queue's
-   (time, emitted, seq) order coincides with plain (time, seq) FIFO for
-   purely sequential scheduling. [?emitted] lets the sharded simulator
-   backdate a delivery adopted from another shard to the time it was
-   emitted there — reproducing the push order the sequential run would
-   have had — instead of inheriting this shard's (arbitrary) inbox
-   drain time. *)
+   default, which is monotone in push order. [?emitted] lets the
+   sharded simulator backdate a delivery adopted from another shard to
+   the time it was emitted there instead of inheriting this shard's
+   (arbitrary) inbox drain time.
+
+   The stamp alone is not enough for seq-vs-sharded bit-identity:
+   arrival-clocked protocols (ack/pull/probe clocking) quantise their
+   emissions to shared serialization lattices, so distinct frames
+   routinely collide on (time, emitted) — and then insertion order
+   would decide, which sharding cannot reproduce. The canonical tie
+   key below — (kind, node, port) packed into one int — breaks those
+   collisions by event content instead. It is a total order wherever
+   order can matter: two deliveries can never complete on the same
+   (node, port) in the same nanosecond (one link serializes), a port
+   schedules at most one dequeue at a time, and the events left tied
+   (thunk vs thunk, which all pack to 0) are scheduled shard-locally
+   in identical relative order, so their seq fallback agrees with the
+   sequential run. *)
+let[@inline] tie_key ~kind ~node ~port =
+  (kind lsl 40) lor (node lsl 20) lor port
+
 let[@inline] schedule_slot ?emitted t time ~kind ~node ~port h frame =
   if time < t.clock then invalid_arg "Engine.at: scheduling in the past";
   let emitted = match emitted with None -> t.clock | Some e -> e in
@@ -109,9 +123,10 @@ let[@inline] schedule_slot ?emitted t time ~kind ~node ~port h frame =
   t.e_port.(s) <- port;
   t.e_h.(s) <- h;
   t.e_frame.(s) <- frame;
+  let tie = tie_key ~kind ~node ~port in
   match t.queue with
-  | Q_wheel w -> Wheel.push_stamped w ~prio:time ~emitted s
-  | Q_heap q -> Heap.push_stamped q ~prio:time ~emitted s
+  | Q_wheel w -> Wheel.push_keyed w ~prio:time ~emitted ~tie s
+  | Q_heap q -> Heap.push_keyed q ~prio:time ~emitted ~tie s
 
 let at ?emitted t time callback =
   schedule_slot ?emitted t time ~kind:kind_thunk ~node:0 ~port:0

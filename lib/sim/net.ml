@@ -493,6 +493,23 @@ let start_utilization_updates t ~period ~until =
             State.update_utilization (Switch.state sw) ~window_ns:period)
         (switches t))
 
+(* NDP fabric support: every switch port gets a strict-priority control
+   queue above the data queue, with a small dedicated budget, and
+   payload trimming enabled. Setup-time only — [configure_queues]
+   replaces (and discards) any queued frames, so this must run before
+   traffic starts. Runs on every switch regardless of shard ownership:
+   it is deterministic local configuration, identical on all shards. *)
+let enable_trimming t ~keep ~data_limit ~ctrl_limit =
+  List.iter
+    (fun (_, sw) ->
+      for port = 0 to Switch.num_ports sw - 1 do
+        Switch.configure_queues sw ~port ~count:2;
+        Switch.set_subqueue_limit sw ~port ~queue:0 ~bytes:data_limit;
+        Switch.set_subqueue_limit sw ~port ~queue:1 ~bytes:ctrl_limit
+      done;
+      Switch.set_trim_keep sw ~keep)
+    (switches t)
+
 let frames_delivered t = t.delivered
 
 let set_fault_hooks t hooks = t.fault <- hooks

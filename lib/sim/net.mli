@@ -97,6 +97,15 @@ val start_utilization_updates :
     windowed [Link:RxUtilization] values TPPs read). On a sharded net,
     only the switches this shard owns are updated. *)
 
+val enable_trimming : t -> keep:int -> data_limit:int -> ctrl_limit:int -> unit
+(** NDP fabric support: gives every switch port two strict-priority
+    queues (a shallow [data_limit]-byte data queue below, control above
+    with a [ctrl_limit]-byte budget) and enables payload trimming to
+    [keep] bytes on data-queue overflow ({!Switch.set_trim_keep}). The
+    data queue is deliberately shallow — NDP bounds latency by trimming
+    early rather than buffering. Call at setup time, before any
+    traffic: reconfiguring queues discards queued frames. *)
+
 val frames_delivered : t -> int
 (** Frames handed to host receive callbacks so far. *)
 

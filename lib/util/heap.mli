@@ -1,11 +1,12 @@
 (** Stable binary min-heap.
 
     The event queue of the discrete-event simulator. Ordering is
-    lexicographic (priority, emission stamp, insertion sequence):
-    entries with equal priority pop by earlier [emitted] stamp first,
-    then in insertion order. [emitted] defaults to 0, so callers that
-    never pass it get plain FIFO among equal priorities — which makes
-    simulations with simultaneous events deterministic.
+    lexicographic (priority, emission stamp, tie key, insertion
+    sequence): entries with equal priority pop by earlier [emitted]
+    stamp first, then by smaller [tie] key, then in insertion order.
+    [emitted] and [tie] default to 0, so callers that never pass them
+    get plain FIFO among equal priorities — which makes simulations
+    with simultaneous events deterministic.
 
     The stamp exists for the sharded simulator: an event adopted from
     another shard is pushed long after the local events it must
@@ -13,12 +14,19 @@
     sequential schedule. Stamping every push with the simulation clock
     (and adopted events with their original emission time) makes the
     sub-priority order a pure function of the stamp rather than of
-    push timing.
+    push timing. The tie key finishes the job: events that collide on
+    both time and stamp (arrival-clocked protocols quantise emissions
+    to shared serialization lattices) order by a content-derived key —
+    the engine packs (event kind, node, port) into it — so their pop
+    order is independent of push order too. Insertion sequence remains
+    only as a last resort for truly identical keys, which the engine
+    guarantees belong to commuting events.
 
-    Internally a structure-of-arrays layout: (priority, emit, sequence)
-    keys live in unboxed int arrays, so push/pop allocate nothing, and
-    popped slots are overwritten with a sentinel so completed values can
-    be collected (the heap never pins values it no longer holds). *)
+    Internally a structure-of-arrays layout: (priority, emit, tie,
+    sequence) keys live in unboxed int arrays, so push/pop allocate
+    nothing, and popped slots are overwritten with a sentinel so
+    completed values can be collected (the heap never pins values it no
+    longer holds). *)
 
 type 'a t
 
@@ -33,9 +41,14 @@ val push : ?emitted:int -> 'a t -> prio:int -> 'a -> unit
     first, and equal stamps pop in insertion order. *)
 
 val push_stamped : 'a t -> prio:int -> emitted:int -> 'a -> unit
-(** {!push} with a required stamp. Allocation-free: applying the
-    optional [~emitted] boxes the stamp in [Some] at the call site, so
-    hot paths that always stamp (the engine) use this instead. *)
+(** {!push} with a required stamp (tie key 0). Allocation-free:
+    applying the optional [~emitted] boxes the stamp in [Some] at the
+    call site, so hot paths that always stamp use this instead. *)
+
+val push_keyed : 'a t -> prio:int -> emitted:int -> tie:int -> 'a -> unit
+(** {!push_stamped} with the full key: among equal (prio, emitted),
+    smaller [tie] pops first. The engine derives [tie] from event
+    content so same-instant pop order is push-order-independent. *)
 
 val pop : 'a t -> (int * 'a) option
 (** Removes and returns the minimum entry (ties: emission stamp, then

@@ -16,8 +16,7 @@
    pushed relative to cursor movement. A delta-based wheel does not
    have this property (a later push of the same timestamp can land
    nearer the cursor and overtake an earlier one through a cascade),
-   and losing it would break the engine's same-timestamp FIFO
-   determinism.
+   and losing it would break the engine's same-timestamp determinism.
 
    Everything is structure-of-arrays and intrusive: entries are slots
    in parallel int arrays threaded through [e_next] (free list and
@@ -26,15 +25,19 @@
    slab indices. Push, pop and cascade therefore allocate nothing.
 
    Ordering contract (same as {!Heap}): pop in nondecreasing priority;
-   among equal priorities, by emission stamp then global insertion
-   sequence — across wheel levels, cascades, and the overflow. Pushes
-   whose stamps arrive in nondecreasing order (every push by the
-   sequential engine: the stamp is its monotone clock) keep slot FIFOs
-   sorted, so peek and pop read the slot head in O(1). The first
-   backdated push — an entry stamped earlier than one already seen,
-   which only the sharded simulator produces when it adopts an event
-   emitted on another shard — flips a flag that makes same-timestamp
-   slots scan for the (emit, seq) minimum instead. *)
+   among equal priorities, by emission stamp, then canonical tie key,
+   then global insertion sequence — across wheel levels, cascades, and
+   the overflow. The tie key makes same-(time, stamp) order
+   content-addressed rather than push-order-dependent (the engine
+   packs event kind, node and port into it), which is what lets a
+   sharded run that adopts events from other shards reproduce the
+   sequential pop order exactly. Because a later push may carry a
+   smaller tie key — or, in sharded runs, a backdated stamp — a slot's
+   FIFO is not sorted by the full key, so peek and pop select the
+   (emit, tie, seq) minimum by scanning the one slot that holds the
+   current timestamp. Slots hold the handful of events sharing one
+   nanosecond, so the scan is short; the memoised minimum below keeps
+   it to one scan per peek-then-pop pair. *)
 
 let bits = 5
 let slots = 1 lsl bits
@@ -46,6 +49,7 @@ type t = {
   (* entry slab; [e_next] threads both the free list and slot FIFOs *)
   mutable e_time : int array;
   mutable e_emit : int array;
+  mutable e_tie : int array;
   mutable e_seq : int array;
   mutable e_pay : int array;
   mutable e_next : int array;
@@ -58,19 +62,19 @@ type t = {
   mutable wlen : int;    (* entries resident in the wheel levels *)
   overflow : int Heap.t; (* slab indices of beyond-horizon entries *)
   mutable next_seq : int;
-  mutable max_emit : int;    (* largest stamp pushed so far *)
-  mutable backdated : bool;  (* some stamp arrived out of order *)
   (* memoised minimum: pushes can only invalidate it downward, and a pop
      consumes it, so the engine's peek-then-pop costs one scan total *)
   mutable cache_where : int;  (* -1 stale | 0 wheel | 1 overflow *)
   mutable cache_time : int;
   mutable cache_emit : int;
+  mutable cache_tie : int;
 }
 
 let create () =
   {
     e_time = [||];
     e_emit = [||];
+    e_tie = [||];
     e_seq = [||];
     e_pay = [||];
     e_next = [||];
@@ -82,11 +86,10 @@ let create () =
     wlen = 0;
     overflow = Heap.create ();
     next_seq = 0;
-    max_emit = min_int;
-    backdated = false;
     cache_where = -1;
     cache_time = 0;
     cache_emit = 0;
+    cache_tie = 0;
   }
 
 let length t = t.wlen + Heap.length t.overflow
@@ -116,6 +119,7 @@ let grow t =
   in
   t.e_time <- copy t.e_time 0;
   t.e_emit <- copy t.e_emit 0;
+  t.e_tie <- copy t.e_tie 0;
   t.e_seq <- copy t.e_seq 0;
   t.e_pay <- copy t.e_pay 0;
   t.e_next <- copy t.e_next (-1);
@@ -135,11 +139,15 @@ let[@inline] free_entry t s =
   t.e_next.(s) <- t.free;
   t.free <- s
 
-(* (emit, seq) of entry [a] orders before entry [b]'s. Only consulted
-   among equal timestamps. *)
+(* (emit, tie, seq) of entry [a] orders before entry [b]'s. Only
+   consulted among equal timestamps. *)
 let[@inline] key_before t a b =
   let ea = t.e_emit.(a) and eb = t.e_emit.(b) in
-  ea < eb || (ea = eb && t.e_seq.(a) < t.e_seq.(b))
+  ea < eb
+  || (ea = eb
+      &&
+      let ta = t.e_tie.(a) and tb = t.e_tie.(b) in
+      ta < tb || (ta = tb && t.e_seq.(a) < t.e_seq.(b)))
 
 (* Files entry [s] at the highest level where its time digit differs
    from the cursor's (level 0 when all digits agree, i.e. time=cursor),
@@ -149,7 +157,8 @@ let place t s =
   let tm = Array.unsafe_get t.e_time s in
   let d = tm lxor t.cursor in
   if d lsr horizon_bits <> 0 then
-    Heap.push_stamped t.overflow ~prio:tm ~emitted:t.e_emit.(s) s
+    Heap.push_keyed t.overflow ~prio:tm ~emitted:t.e_emit.(s)
+      ~tie:t.e_tie.(s) s
   else begin
     let lvl = ref 0 in
     let x = ref (d lsr bits) in
@@ -168,32 +177,37 @@ let place t s =
     t.wlen <- t.wlen + 1
   end
 
-(* Required-label variant: applying the optional [~emitted] would box
+(* Required-label variants: applying the optional [~emitted] would box
    the stamp in [Some] at every call site, costing the engine one minor
    allocation per event. *)
-let push_stamped t ~prio ~emitted payload =
+let push_keyed t ~prio ~emitted ~tie payload =
   if prio < t.cursor then
     invalid_arg "Wheel.push: priority below the cursor (scheduling in the past)";
-  if emitted < t.max_emit then t.backdated <- true else t.max_emit <- emitted;
   let s = alloc t in
   t.e_time.(s) <- prio;
   t.e_emit.(s) <- emitted;
+  t.e_tie.(s) <- tie;
   t.e_seq.(s) <- t.next_seq;
   t.next_seq <- t.next_seq + 1;
   t.e_pay.(s) <- payload;
   place t s;
-  (* A push at or after the cached minimum's (time, emit) can never
-     displace it (an equal key loses the sequence tie-break to the
-     older entry). *)
+  (* A push at or after the cached minimum's (time, emit, tie) can
+     never displace it (an equal key loses the sequence tie-break to
+     the older entry). *)
   if
     t.cache_where >= 0
-    && (prio < t.cache_time || (prio = t.cache_time && emitted < t.cache_emit))
+    && (prio < t.cache_time
+        || (prio = t.cache_time
+            && (emitted < t.cache_emit
+                || (emitted = t.cache_emit && tie < t.cache_tie))))
   then t.cache_where <- -1
+
+let push_stamped t ~prio ~emitted payload =
+  push_keyed t ~prio ~emitted ~tie:0 payload
 
 let push ?(emitted = 0) t ~prio payload = push_stamped t ~prio ~emitted payload
 
-(* (emit, seq)-minimal entry of one slot's FIFO. Needed only after a
-   backdated push; sorted slots read their head. *)
+(* (emit, tie, seq)-minimal entry of one slot's FIFO. *)
 let slot_min t idx =
   let s = ref t.heads.(idx) in
   let best = ref (-1) in
@@ -208,21 +222,19 @@ let slot_min t idx =
    Non-mutating: the cursor moves only in [pop], because advancing it
    here would put later same-clock pushes "in the wheel's past".
    Level 0 slots are exact timestamps, so the first occupied slot at or
-   after the cursor's digit holds the minimum — at its FIFO head, or by
-   slot scan once a backdated stamp exists. A coarser level's first
-   occupied slot (strictly after the cursor's digit — the cursor's own
-   slot was cascaded when the cursor entered it) bounds every later
-   slot and level, but mixes timestamps, so its FIFO is scanned for the
-   (time, emit, seq) minimum. *)
+   after the cursor's digit holds the minimum — selected by the
+   (emit, tie, seq) scan, since a slot FIFO is push-ordered, not
+   key-ordered. A coarser level's first occupied slot (strictly after
+   the cursor's digit — the cursor's own slot was cascaded when the
+   cursor entered it) bounds every later slot and level, but mixes
+   timestamps, so its FIFO is scanned for the (time, emit, tie, seq)
+   minimum. *)
 let wheel_min t =
   if t.wlen = 0 then -1
   else begin
     let d0 = t.cursor land slot_mask in
     let m0 = t.occ.(0) land (-1 lsl d0) in
-    if m0 <> 0 then begin
-      let idx = lowest_bit m0 in
-      if t.backdated then slot_min t idx else t.heads.(idx)
-    end
+    if m0 <> 0 then slot_min t (lowest_bit m0)
     else begin
       let res = ref (-1) in
       let lvl = ref 1 in
@@ -250,13 +262,14 @@ let wheel_min t =
     end
   end
 
-(* pre: not empty. Decides wheel vs overflow by (time, emit, seq). *)
+(* pre: not empty. Decides wheel vs overflow by (time, emit, tie, seq). *)
 let refresh t =
   let wi = wheel_min t in
   if Heap.is_empty t.overflow then begin
     t.cache_where <- 0;
     t.cache_time <- t.e_time.(wi);
-    t.cache_emit <- t.e_emit.(wi)
+    t.cache_emit <- t.e_emit.(wi);
+    t.cache_tie <- t.e_tie.(wi)
   end
   else begin
     let oi = Heap.peek_value_or t.overflow ~default:(-1) in
@@ -264,19 +277,22 @@ let refresh t =
     if wi < 0 then begin
       t.cache_where <- 1;
       t.cache_time <- ot;
-      t.cache_emit <- t.e_emit.(oi)
+      t.cache_emit <- t.e_emit.(oi);
+      t.cache_tie <- t.e_tie.(oi)
     end
     else begin
       let wt = t.e_time.(wi) in
       if ot < wt || (ot = wt && key_before t oi wi) then begin
         t.cache_where <- 1;
         t.cache_time <- ot;
-        t.cache_emit <- t.e_emit.(oi)
+        t.cache_emit <- t.e_emit.(oi);
+        t.cache_tie <- t.e_tie.(oi)
       end
       else begin
         t.cache_where <- 0;
         t.cache_time <- wt;
-        t.cache_emit <- t.e_emit.(wi)
+        t.cache_emit <- t.e_emit.(wi);
+        t.cache_tie <- t.e_tie.(wi)
       end
     end
   end
@@ -320,19 +336,8 @@ let advance t tm =
     done
   end
 
-(* Unlinks and returns the head of slot [idx] (level 0). *)
-let unlink_head t idx =
-  let s = t.heads.(idx) in
-  let nxt = t.e_next.(s) in
-  t.heads.(idx) <- nxt;
-  if nxt < 0 then begin
-    t.tails.(idx) <- -1;
-    t.occ.(0) <- t.occ.(0) land lnot (1 lsl idx)
-  end;
-  t.wlen <- t.wlen - 1;
-  s
-
-(* Unlinks and returns the (emit, seq)-minimal entry of slot [idx]. *)
+(* Unlinks and returns the (emit, tie, seq)-minimal entry of slot [idx]
+   (level 0). *)
 let unlink_min t idx =
   let best = ref t.heads.(idx) in
   let best_prev = ref (-1) in
@@ -364,10 +369,9 @@ let pop_slab t =
       let tm = t.cache_time in
       advance t tm;
       (* After the cascade every entry at time [tm] sits in the level-0
-         slot of its digit — oldest first, unless a backdated stamp
-         means "oldest" is no longer the head. *)
-      let idx = tm land slot_mask in
-      if t.backdated then unlink_min t idx else unlink_head t idx
+         slot of its digit; the scan picks the (emit, tie, seq)
+         minimum. *)
+      unlink_min t (tm land slot_mask)
     end
   in
   t.cache_where <- -1;
@@ -395,6 +399,7 @@ let clear t =
   (* Release the slab like {!Heap.clear} releases its arrays. *)
   t.e_time <- [||];
   t.e_emit <- [||];
+  t.e_tie <- [||];
   t.e_seq <- [||];
   t.e_pay <- [||];
   t.e_next <- [||];
@@ -405,7 +410,5 @@ let clear t =
   t.cursor <- 0;
   t.wlen <- 0;
   t.next_seq <- 0;
-  t.max_emit <- min_int;
-  t.backdated <- false;
   Heap.clear t.overflow;
   t.cache_where <- -1

@@ -3,14 +3,14 @@
     The fast event queue of the discrete-event engine: O(1) push and
     near-O(1) pop against the binary heap's O(log n), with the same
     ordering contract as {!Heap} — pop in nondecreasing priority; among
-    equal priorities, by emission stamp, then by a global insertion
-    sequence — across levels, cascades, and the overflow heap, so
-    simulations built on it stay bit-for-bit deterministic. As long as
-    stamps arrive in nondecreasing order (the sequential engine stamps
-    its monotone clock), peek and pop stay O(1) slot-head reads; the
-    first backdated stamp (a sharded run adopting an event emitted
-    earlier on another shard) switches same-timestamp slots to an
-    (emit, seq)-minimum scan.
+    equal priorities, by emission stamp, then canonical tie key, then a
+    global insertion sequence — across levels, cascades, and the
+    overflow heap, so simulations built on it stay bit-for-bit
+    deterministic whether events were pushed locally or adopted from
+    another shard. Peek and pop select the key minimum by scanning the
+    one slot holding the current timestamp (a handful of same-ns
+    events); the memoised minimum keeps that to one scan per
+    peek-then-pop pair.
 
     Twelve levels of 32 slots cover bits 0..59 of the absolute
     nanosecond timestamp (ns resolution near the cursor, ~36 s slots at
@@ -41,13 +41,19 @@ val push : ?emitted:int -> t -> prio:int -> int -> unit
     below the cursor (the priority of the most recent wheel pop). *)
 
 val push_stamped : t -> prio:int -> emitted:int -> int -> unit
-(** {!push} with a required stamp. Allocation-free: applying the
-    optional [~emitted] boxes the stamp in [Some] at the call site, so
-    hot paths that always stamp (the engine) use this instead. *)
+(** {!push} with a required stamp (tie key 0). Allocation-free:
+    applying the optional [~emitted] boxes the stamp in [Some] at the
+    call site, so hot paths that always stamp use this instead. *)
+
+val push_keyed : t -> prio:int -> emitted:int -> tie:int -> int -> unit
+(** {!push_stamped} with the full key: among equal (prio, emitted),
+    smaller [tie] pops first. The engine derives [tie] from event
+    content — (kind, node, port) — so same-instant pop order is
+    push-order-independent, the property sharded runs rely on. *)
 
 val pop : t -> (int * int) option
 (** Removes and returns the minimum [(prio, payload)] entry (ties:
-    emission stamp, then FIFO). *)
+    emission stamp, then tie key, then FIFO). *)
 
 val pop_value : t -> default:int -> int
 (** Allocation-free {!pop}: removes the minimum entry and returns its

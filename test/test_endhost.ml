@@ -45,6 +45,34 @@ let test_token_bucket_set_rate () =
   check Alcotest.bool "doubled accrual" true
     (Token_bucket.take tb ~now:(Time_ns.ms 100) ~bytes:200)
 
+let test_token_bucket_oversize () =
+  let tb = Token_bucket.create ~rate_bps:8_000 ~burst_bytes:1000 ~now:0 in
+  (* Tokens are capped at [burst_bytes], so a larger request can never
+     be granted: a finite delay here would make a pacing loop spin
+     forever. The bucket must reject it loudly instead. *)
+  Alcotest.check_raises "oversize request rejected"
+    (Invalid_argument
+       "Token_bucket.delay_until_ready: bytes exceeds burst capacity")
+    (fun () -> ignore (Token_bucket.delay_until_ready tb ~now:0 ~bytes:1001))
+
+(* The quoted delay must actually work: sleeping exactly that long and
+   retrying [take] succeeds, even where the closed-form [ceil] lands one
+   ulp short of the float arithmetic [accrue] performs. Awkward rates
+   (odd, large) probe exactly those rounding edges. *)
+let prop_token_bucket_delay_is_sufficient =
+  QCheck.Test.make ~name:"token bucket quoted delay always suffices" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          triple (int_range 1 1_000_000_000) (int_range 1 100_000)
+            (int_range 0 1_000_000_000)))
+    (fun (rate_bps, burst, now) ->
+      let tb = Token_bucket.create ~rate_bps ~burst_bytes:burst ~now:0 in
+      ignore (Token_bucket.take tb ~now:0 ~bytes:burst);
+      let bytes = max 1 (burst / 2) in
+      let d = Token_bucket.delay_until_ready tb ~now ~bytes in
+      Token_bucket.take tb ~now:(now + d) ~bytes)
+
 let prop_token_bucket_never_exceeds_rate =
   QCheck.Test.make ~name:"token bucket long-run conformance" ~count:50
     QCheck.(make Gen.(pair (int_range 1000 1_000_000) (int_range 100 10_000)))
@@ -283,6 +311,9 @@ let suite =
     Alcotest.test_case "token bucket cap" `Quick test_token_bucket_cap;
     Alcotest.test_case "token bucket delay" `Quick test_token_bucket_delay;
     Alcotest.test_case "token bucket set rate" `Quick test_token_bucket_set_rate;
+    Alcotest.test_case "token bucket oversize request" `Quick
+      test_token_bucket_oversize;
+    qtest prop_token_bucket_delay_is_sufficient;
     qtest prop_token_bucket_never_exceeds_rate;
     Alcotest.test_case "stack dispatch" `Quick test_stack_dispatch;
     Alcotest.test_case "probe echo roundtrip" `Quick test_probe_echo_roundtrip;

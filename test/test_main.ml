@@ -24,5 +24,6 @@ let () =
       ("control", Test_control.suite);
       ("golden", Test_golden.suite);
       ("tcp", Test_tcp.suite);
+      ("transport", Test_transport.suite);
       ("telemetry", Test_telemetry.suite);
     ]

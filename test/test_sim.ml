@@ -104,8 +104,9 @@ let test_engine_max_int_event () =
     [ `Wheel; `Heap ]
 
 (* Typed events round-trip through the slab: payload ints and the frame
-   come back through the handlers record, interleaved correctly with
-   thunks at the same timestamp. *)
+   come back through the handlers record. Same-timestamp events fire in
+   the canonical (kind, node, port) tie order — thunks, then deliveries,
+   then dequeues — not push order (DESIGN.md §11). *)
 let test_engine_typed_dispatch () =
   let eng = Engine.create () in
   let log = ref [] in
@@ -138,9 +139,9 @@ let test_engine_typed_dispatch () =
           (Alcotest.pair Alcotest.int Alcotest.int)))
     "typed dispatch order"
     [
-      (("dequeue", 3), (1, 0));
-      (("deliver", 4), (0, 7));
       (("thunk", 0), (0, 0));
+      (("deliver", 4), (0, 7));
+      (("dequeue", 3), (1, 0));
       (("restart", 9), (0, 0));
       (("dequeue", 5), (2, 0));
     ]
