@@ -65,6 +65,20 @@
                                               -> BENCH_8.json
      dune exec bench/perf.exe -- --transports --smoke
                                               quick CI variant of the same gate
+     dune exec bench/perf.exe -- --scale      million-host fabric gate:
+                                              aggregated FIBs must forward
+                                              bit-identically to the per-host
+                                              /32 oracle (sequentially and
+                                              sharded) at ~1000x fewer entries,
+                                              a 100k-host leaf-spine must build
+                                              at <= 200 bytes/idle-host, and
+                                              the k=16 fabric must hold
+                                              BENCH_6's event rate
+                                              -> BENCH_9.json
+     dune exec bench/perf.exe -- --scale --smoke
+                                              quick CI variant: k=8 route
+                                              equivalence + leaf-spine
+                                              delivery, bounded runtime
      dune exec bench/perf.exe -- --out b.json custom output path
 
    Every mode reports allocation provenance alongside throughput:
@@ -95,6 +109,7 @@ type config = {
   frames : bool;              (* BENCH_6: zero-copy frame / pool gate *)
   telemetry : bool;           (* BENCH_7: streaming-telemetry gate *)
   transports : bool;          (* BENCH_8: five-way transport gate *)
+  scale : bool;               (* BENCH_9: million-host fabric gate *)
   out : string option;
 }
 
@@ -102,7 +117,7 @@ let default =
   { k = 8; packets_per_host = 1500; payload_bytes = 1000; gap_ns = 6_000;
     wire_check = `Cached; shards = 0; smoke = false; tpp_heavy = false;
     chaos = false; engine = false; frames = false; telemetry = false;
-    transports = false; out = None }
+    transports = false; scale = false; out = None }
 
 let horizon = Time_ns.sec 10
 
@@ -891,12 +906,24 @@ let setup_plain_traffic cfg ~owns net =
     in
     Net.host_send net s frame
   in
+  (* Self-scheduling sends: host [src]'s thunk sends packet [j], then
+     schedules packet [j+1] at the same timestamp formula the old
+     schedule-everything-up-front loop used — the simulated workload is
+     unchanged. What changes is residency: pre-scheduling parks
+     hosts x packets closures and wheel entries for the whole run,
+     which at fat-tree scale is tens of MB of cold slab that every
+     wheel cascade walks and the GC's mark phase chews through.
+     Lazily, the wheel holds one pending send per host plus the
+     in-flight dataplane events, and stays cache-resident. *)
+  let rec tick src j () =
+    send src;
+    let j = j + 1 in
+    if j < cfg.packets_per_host then
+      Engine.at eng ((j * cfg.gap_ns) + (src * 7) + 1) (tick src j)
+  in
   for src = 0 to n - 1 do
-    if owns hosts.(src).Net.node_id then
-      for j = 0 to cfg.packets_per_host - 1 do
-        let t = (j * cfg.gap_ns) + (src * 7) + 1 in
-        Engine.at eng t (fun () -> send src)
-      done
+    if owns hosts.(src).Net.node_id && cfg.packets_per_host > 0 then
+      Engine.at eng ((src * 7) + 1) (tick src 0)
   done
 
 let engine_core ~scheduler ~typed ~events =
@@ -1196,12 +1223,18 @@ let setup_pooled_traffic cfg ~owns net =
     in
     Net.host_send net s frame
   in
+  (* Same self-scheduling shape as [setup_plain_traffic] — the two are
+     compared event-for-event by the frames gate, so their send
+     scheduling must stay mirror images. *)
+  let rec tick src j () =
+    send src;
+    let j = j + 1 in
+    if j < cfg.packets_per_host then
+      Engine.at eng ((j * cfg.gap_ns) + (src * 7) + 1) (tick src j)
+  in
   for src = 0 to n - 1 do
-    if owns hosts.(src).Net.node_id then
-      for j = 0 to cfg.packets_per_host - 1 do
-        let t = (j * cfg.gap_ns) + (src * 7) + 1 in
-        Engine.at eng t (fun () -> send src)
-      done
+    if owns hosts.(src).Net.node_id && cfg.packets_per_host > 0 then
+      Engine.at eng ((src * 7) + 1) (tick src 0)
   done;
   pools
 
@@ -2176,6 +2209,9 @@ let trim_microbench ~trim ~iters =
   if trim then Switch.set_trim_keep sw ~keep:28;
   let pool = Frame.Pool.create ~capacity:4 () in
   let payload = Bytes.make 1000 'x' in
+  (* The unboxed dequeue, as the simulator drives it: with the option
+     API the gate would measure its own [Some] box, not the switch. *)
+  let none = Frame.placeholder () in
   let one now =
     let f =
       Frame.Pool.udp_frame pool ~src_mac:(Mac.of_host_id 1)
@@ -2183,10 +2219,9 @@ let trim_microbench ~trim ~iters =
         ~dst_ip ~src_port:5 ~dst_port:6 ~payload ()
     in
     match Switch.handle_ingress sw ~now ~in_port:0 f with
-    | Switch.Queued _ -> (
-      match Switch.dequeue sw ~port:1 with
-      | Some g -> Frame.recycle g
-      | None -> ())
+    | Switch.Queued _ ->
+      let g = Switch.dequeue_or sw ~port:1 ~default:none in
+      if g != none then Frame.recycle g
     | Switch.Dropped _ -> Frame.recycle f
   in
   (* Warm the pool and the priority ring before measuring. *)
@@ -2199,6 +2234,16 @@ let trim_microbench ~trim ~iters =
   done;
   let minor, _ = gc_delta g0 in
   (Switch.trims sw, minor /. float_of_int iters)
+
+(* Completed/started drain fraction of a fabric run. FCT percentiles
+   only cover completed flows, so a transport that drains much less
+   than its peers is reporting survivor-biased latency — worth a loud
+   flag on every row, not just a number in the JSON. *)
+let drain_frac (o : Fct.fabric_outcome) =
+  if o.Fct.fo_started = 0 then 1.0
+  else float_of_int o.Fct.fo_completed /. float_of_int o.Fct.fo_started
+
+let transports_drain_warn_frac = 0.9
 
 let transports_row_json (o : Fct.fabric_outcome) ~load ~wall =
   let s =
@@ -2219,11 +2264,12 @@ let transports_row_json (o : Fct.fabric_outcome) ~load ~wall =
   in
   Printf.sprintf
     "    { \"transport\": \"%s\", \"load\": %.2f, \"started\": %d, \
-     \"completed\": %d, %s, %s, %s, \"drops\": %d, \"trims\": %d, \
-     \"events\": %d, \"wall_s\": %.3f }"
+     \"completed\": %d, \"completed_frac\": %.3f, %s, %s, %s, \"drops\": %d, \
+     \"trims\": %d, \"events\": %d, \"wall_s\": %.3f }"
     (Fct.transport_name o.Fct.fo_transport)
-    load o.Fct.fo_started o.Fct.fo_completed (part "short" s) (part "long" l)
-    (part "all" a) o.Fct.fo_drops o.Fct.fo_trims o.Fct.fo_events wall
+    load o.Fct.fo_started o.Fct.fo_completed (drain_frac o) (part "short" s)
+    (part "long" l) (part "all" a) o.Fct.fo_drops o.Fct.fo_trims
+    o.Fct.fo_events wall
 
 let transports_bench cfg =
   let tag =
@@ -2240,6 +2286,8 @@ let transports_bench cfg =
   (* Sequential rows: transport x load. *)
   let rows = ref [] in
   let gate = Hashtbl.create 8 in
+  let min_frac = ref 1.0 in
+  let drain_warnings = ref 0 in
   List.iter
     (fun transport ->
       List.iter
@@ -2254,14 +2302,28 @@ let transports_bench cfg =
             Fct.summarize (Fct.short_samples o ~threshold:p.Fct.f_short_bytes)
           in
           Printf.printf
-            "%s: %-8s load %.2f  %d/%d done  short p50 %6.0fus p99 %6.0fus  \
-             drops %d trims %d (%.2fs)\n%!"
+            "%s: %-8s load %.2f  %d/%d done (%3.0f%%)  short p50 %6.0fus p99 \
+             %6.0fus  drops %d trims %d (%.2fs)\n%!"
             tag
             (Fct.transport_name transport)
             load o.Fct.fo_completed o.Fct.fo_started
+            (100.0 *. drain_frac o)
             (float_of_int s.Fct.fs_p50_ns /. 1e3)
             (float_of_int s.Fct.fs_p99_ns /. 1e3)
             o.Fct.fo_drops o.Fct.fo_trims wall;
+          let frac = drain_frac o in
+          if frac < !min_frac then min_frac := frac;
+          if frac < transports_drain_warn_frac then begin
+            incr drain_warnings;
+            Printf.printf
+              "%s: WARNING — %s at load %.2f drained only %d of %d started \
+               flows (%.0f%% < %.0f%%): its FCT percentiles cover completed \
+               flows only and are survivor-biased\n%!"
+              tag
+              (Fct.transport_name transport)
+              load o.Fct.fo_completed o.Fct.fo_started (100.0 *. frac)
+              (100.0 *. transports_drain_warn_frac)
+          end;
           rows := transports_row_json o ~load ~wall :: !rows)
         loads)
     Fct.all_transports;
@@ -2384,6 +2446,8 @@ let transports_bench cfg =
     \    \"identity_shards\": %d,\n\
     \    \"chaos\": { \"drop\": %.3f, \"started\": %d, \"completed\": %d, \
      \"trims\": %d },\n\
+    \    \"drain\": { \"min_completed_frac\": %.3f, \"warn_below\": %.2f, \
+     \"warnings\": %d },\n\
     \    \"trim_minor_words_per_frame\": { \"trim\": %.3f, \"drop\": %.3f, \
      \"delta\": %.3f, \"budget\": %.1f }\n\
     \  }\n\
@@ -2397,9 +2461,453 @@ let transports_bench cfg =
     (String.concat ",\n" rows)
     ndp_p99 tcp_p99 transports_gate_load shards transports_chaos_drop
     chaos_o.Fct.fo_started chaos_o.Fct.fo_completed chaos_o.Fct.fo_trims
-    trim_pe drop_pe delta transports_trim_budget;
+    !min_frac transports_drain_warn_frac !drain_warnings trim_pe drop_pe delta
+    transports_trim_budget;
   close_out oc;
   Printf.printf "%s: wrote %s\n%!" tag out
+
+(* ---- scale workload (BENCH_9): the million-host fabric gate ---------
+
+   Three claims behind the ROADMAP's million-host item, each measured:
+
+   1. Aggregated FIBs. Under `Pods addressing every switch installs
+      O(1) prefix entries — a Connected block route over everything
+      below it plus an ECMP default up — instead of O(hosts) /32s. The
+      per-host /32 installation stays available as the differential
+      oracle: the same pooled traffic must leave every switch register
+      (ECMP spraying included) bit-identical to the oracle, both
+      sequentially and under the sharded scheduler, while the k=32
+      fabric's FIB shrinks >= 50x. The oracle is measured for real
+      wherever its trie fits (it is the thing that does NOT scale — the
+      k=32 oracle costs ~8192 entries on each of 1280 switches, which
+      is exactly why aggregation exists — so the k=32 oracle count is
+      the closed form hosts-/32s-per-switch, verified against the
+      measured count at every smaller k).
+
+   2. Memory-lean topology. The SoA link state plus flyweight hosts
+      must fit a 100k-host leaf-spine in <= 200 bytes per idle host,
+      measured as the compacted live-word delta across the build.
+
+   3. No throughput regression: the k=16 aggregated fabric must process
+      events at least at the fabric rate recorded in BENCH_6.json. *)
+
+let scale_bytes_budget = 200.0
+let scale_fib_reduction_target = 50.0
+let scale_link_bps = 10_000_000_000
+let scale_link_delay = Time_ns.us 1
+
+let scale_build ?event_mode ~fib cfg eng =
+  let ft =
+    Topology.fat_tree eng ~wire_check:cfg.wire_check ?event_mode ~ecmp:true
+      ~addressing:`Pods ~fib ~k:cfg.k ~bps:scale_link_bps
+      ~delay:scale_link_delay ()
+  in
+  ft.Topology.f_net
+
+let fib_per_switch net =
+  let total = ref 0 and n = ref 0 in
+  List.iter
+    (fun (_, sw) ->
+      incr n;
+      total := !total + Switch.l3_size sw)
+    (Net.switches net);
+  float_of_int !total /. float_of_int (max 1 !n)
+
+let run_scale_fabric cfg ~fib =
+  let eng = Engine.create ~scheduler:`Wheel () in
+  let net = scale_build ~event_mode:`Typed ~fib cfg eng in
+  ignore (setup_pooled_traffic cfg ~owns:(fun _ -> true) net);
+  let g0 = gc_mark () in
+  let t0 = Unix.gettimeofday () in
+  Engine.run eng ~until:horizon;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor, promoted = gc_delta g0 in
+  let events = Engine.events_processed eng in
+  ( { g_events = events; g_delivered = Net.frames_delivered net; g_wall = wall;
+      g_minor_pe = per_event minor events;
+      g_promoted_pe = per_event promoted events;
+      g_fp = net_fp ~owns:(fun _ -> true) net },
+    fib_per_switch net )
+
+let run_scale_parallel cfg ~fib ~shards =
+  let stats, parts =
+    Parsim.run ~scheduler:`Wheel ~shards ~until:horizon
+      ~build:(scale_build ~event_mode:`Typed ~fib cfg)
+      ~setup:(fun ~shard:_ ~owns net ->
+        ignore (setup_pooled_traffic cfg ~owns net))
+      ~collect:(fun ~shard:_ ~owns net -> net_fp ~owns net)
+      ()
+  in
+  let fp =
+    Array.to_list parts |> List.concat
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  (stats.Parsim.events, stats.Parsim.delivered, fp)
+
+(* Build-memory probe: compacted live words before and after running
+   [f], whose result is kept alive across the second compaction so the
+   delta is the structure's steady-state footprint, not its garbage. *)
+let scale_build_bytes f =
+  Gc.compact ();
+  let w0 = (Gc.stat ()).Gc.live_words in
+  let keep = Sys.opaque_identity (f ()) in
+  Gc.compact ();
+  let w1 = (Gc.stat ()).Gc.live_words in
+  ignore (Sys.opaque_identity keep);
+  (w1 - w0) * (Sys.word_size / 8)
+
+let scale_fat_tree_bytes_per_host cfg =
+  let hosts = cfg.k * cfg.k * cfg.k / 4 in
+  let bytes =
+    scale_build_bytes (fun () ->
+        let eng = Engine.create ~scheduler:`Wheel () in
+        (eng, scale_build ~event_mode:`Typed ~fib:`Aggregated cfg eng))
+  in
+  float_of_int bytes /. float_of_int hosts
+
+let scale_leaf_spine_bytes ~leaves ~spines ~hosts_per_leaf =
+  let hosts = leaves * hosts_per_leaf in
+  let bytes =
+    scale_build_bytes (fun () ->
+        let eng = Engine.create ~scheduler:`Wheel () in
+        let ls =
+          Topology.leaf_spine eng ~ecmp:true ~leaves ~spines ~hosts_per_leaf
+            ~bps:scale_link_bps ~delay:scale_link_delay ()
+        in
+        (eng, ls))
+  in
+  (hosts, float_of_int bytes /. float_of_int hosts)
+
+(* The k=16 row's throughput floor: the pooled fabric rate BENCH_6
+   recorded on this machine. Read back with the same first-occurrence
+   key scan bench/report.ml uses — BENCH_6's top-level events_per_sec
+   precedes its oracle subobject. *)
+let scale_floor () =
+  let path = "BENCH_6.json" in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let needle = "\"events_per_sec\":" in
+    let nl = String.length needle and tl = String.length text in
+    let rec find i =
+      if i + nl > tl then None
+      else if String.sub text i nl = needle then Some (i + nl)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+      let s = ref start in
+      while !s < tl && (text.[!s] = ' ' || text.[!s] = '\n') do incr s done;
+      let e = ref !s in
+      while
+        !e < tl
+        && (match text.[!e] with
+           | '0' .. '9' | '-' | '.' | 'e' | '+' -> true
+           | _ -> false)
+      do
+        incr e
+      done;
+      if !e = !s then None
+      else float_of_string_opt (String.sub text !s (!e - !s))
+  end
+
+type scale_row = {
+  s_k : int;
+  s_hosts : int;
+  s_switches : int;
+  s_run : engine_run;
+  s_fib : float;          (* aggregated L3 entries per switch *)
+  s_fib_oracle : float;   (* per-host /32 entries per switch *)
+  s_oracle_measured : bool;
+  s_bytes_per_host : float;
+  s_shards : int;
+}
+
+(* One fabric size: timed aggregated run, oracle equivalence, sharded
+   identity, FIB census and build footprint. Exits on any divergence. *)
+let scale_row cfg ~tag ~shards ~measure_oracle ~timed =
+  let hosts = cfg.k * cfg.k * cfg.k / 4 in
+  let switches = 5 * cfg.k * cfg.k / 4 in
+  Printf.printf "%s: k=%d — %s, aggregated FIBs\n%!" tag cfg.k
+    (engine_workload_of cfg);
+  let agg, agg_fib =
+    if timed then begin
+      let a = run_scale_fabric cfg ~fib:`Aggregated in
+      let b = run_scale_fabric cfg ~fib:`Aggregated in
+      if (fst b).g_wall < (fst a).g_wall then b else a
+    end
+    else run_scale_fabric cfg ~fib:`Aggregated
+  in
+  Printf.printf
+    "%s: k=%d aggregated  %d events, %d delivered in %.3fs (%.3e ev/s, %.2f \
+     minor w/ev), %.1f FIB entries/switch\n%!"
+    tag cfg.k agg.g_events agg.g_delivered agg.g_wall
+    (float_of_int agg.g_events /. agg.g_wall)
+    agg.g_minor_pe agg_fib;
+  let fib_oracle =
+    if measure_oracle then begin
+      let orc, orc_fib = run_scale_fabric cfg ~fib:`Host32 in
+      if
+        orc.g_events <> agg.g_events
+        || orc.g_delivered <> agg.g_delivered
+        || orc.g_fp <> agg.g_fp
+      then begin
+        Printf.eprintf
+          "%s: FAIL — k=%d aggregated FIBs diverged from the /32 oracle \
+           (%d/%d events, %d/%d delivered)\n"
+          tag cfg.k agg.g_events orc.g_events agg.g_delivered orc.g_delivered;
+        exit 1
+      end;
+      Printf.printf
+        "%s: k=%d oracle      identical registers at %.1f FIB entries/switch \
+         (%.1fx more)\n%!"
+        tag cfg.k orc_fib (orc_fib /. agg_fib);
+      orc_fib
+    end
+    else begin
+      (* The /32 oracle installs one host route on every switch, so its
+         per-switch count is exactly [hosts] — the closed form the
+         measured counts confirm at every k where the trie fits. *)
+      Printf.printf
+        "%s: k=%d oracle      counted analytically: %d /32 entries/switch \
+         (trie would not fit — the point of aggregation)\n%!"
+        tag cfg.k hosts;
+      float_of_int hosts
+    end
+  in
+  let par_events, par_delivered, par_fp =
+    run_scale_parallel cfg ~fib:`Aggregated ~shards
+  in
+  if
+    par_events <> agg.g_events
+    || par_delivered <> agg.g_delivered
+    || par_fp <> agg.g_fp
+  then begin
+    Printf.eprintf
+      "%s: FAIL — k=%d %d-shard aggregated run diverged from sequential \
+       (%d/%d events, %d/%d delivered)\n"
+      tag cfg.k shards par_events agg.g_events par_delivered agg.g_delivered;
+    exit 1
+  end;
+  Printf.printf "%s: k=%d %d-shard     identical to sequential\n%!" tag cfg.k
+    shards;
+  let bytes_per_host = scale_fat_tree_bytes_per_host cfg in
+  Printf.printf "%s: k=%d build       %.1f bytes/host\n%!" tag cfg.k
+    bytes_per_host;
+  {
+    s_k = cfg.k;
+    s_hosts = hosts;
+    s_switches = switches;
+    s_run = agg;
+    s_fib = agg_fib;
+    s_fib_oracle = fib_oracle;
+    s_oracle_measured = measure_oracle;
+    s_bytes_per_host = bytes_per_host;
+    s_shards = shards;
+  }
+
+(* Leaf-spine forwarding sanity: a small fabric must deliver every
+   pooled frame and agree bit-for-bit with its own sharded run — the
+   memory-lean build is only interesting if it still forwards. *)
+let scale_leaf_spine_traffic cfg ~tag ~shards =
+  let leaves = 8 and spines = 4 and hosts_per_leaf = 10 in
+  let build ?event_mode:_ eng =
+    (Topology.leaf_spine eng ~wire_check:cfg.wire_check ~ecmp:true ~leaves
+       ~spines ~hosts_per_leaf ~bps:scale_link_bps ~delay:scale_link_delay ())
+      .Topology.ls_net
+  in
+  let eng = Engine.create ~scheduler:`Wheel () in
+  let net = build eng in
+  ignore (setup_pooled_traffic cfg ~owns:(fun _ -> true) net);
+  Engine.run eng ~until:horizon;
+  let sent = leaves * hosts_per_leaf * cfg.packets_per_host in
+  let delivered = Net.frames_delivered net in
+  if delivered <> sent then begin
+    Printf.eprintf
+      "%s: FAIL — leaf-spine delivered %d of %d pooled frames\n" tag delivered
+      sent;
+    exit 1
+  end;
+  let seq_fp = net_fp ~owns:(fun _ -> true) net in
+  let stats, parts =
+    Parsim.run ~scheduler:`Wheel ~shards ~until:horizon ~build
+      ~setup:(fun ~shard:_ ~owns net ->
+        ignore (setup_pooled_traffic cfg ~owns net))
+      ~collect:(fun ~shard:_ ~owns net -> net_fp ~owns net)
+      ()
+  in
+  let par_fp =
+    Array.to_list parts |> List.concat
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  if stats.Parsim.delivered <> delivered || par_fp <> seq_fp then begin
+    Printf.eprintf
+      "%s: FAIL — %d-shard leaf-spine diverged from sequential (%d vs %d \
+       delivered)\n"
+      tag shards stats.Parsim.delivered delivered;
+    exit 1
+  end;
+  Printf.printf
+    "%s: leaf-spine %dx%d (%d hosts) delivered all %d frames, %d-shard \
+     identical\n%!"
+    tag leaves spines (leaves * hosts_per_leaf) sent shards
+
+let write_scale_json ~out ~(rows : scale_row list) ~floor ~ls =
+  let ls_leaves, ls_spines, ls_hpl, ls_hosts, ls_bph = ls in
+  let headline = List.hd rows in
+  let row_json (r : scale_row) =
+    Printf.sprintf
+      "    { \"k\": %d, \"hosts\": %d, \"switches\": %d, \"events\": %d, \
+       \"packets_delivered\": %d, \"wall_s\": %.6f, \"events_per_sec\": \
+       %.1f,\n\
+      \      \"minor_words_per_event\": %.3f, \"fib_entries_per_switch\": \
+       %.2f, \"fib_oracle_entries_per_switch\": %.1f, \"fib_reduction\": \
+       %.1f,\n\
+      \      \"oracle_measured\": %b, \"bytes_per_host\": %.1f, \"shards\": \
+       %d, \"identical\": true }"
+      r.s_k r.s_hosts r.s_switches r.s_run.g_events r.s_run.g_delivered
+      r.s_run.g_wall
+      (float_of_int r.s_run.g_events /. r.s_run.g_wall)
+      r.s_run.g_minor_pe r.s_fib r.s_fib_oracle
+      (r.s_fib_oracle /. r.s_fib)
+      r.s_oracle_measured r.s_bytes_per_host r.s_shards
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": 9,\n\
+    \  \"workload\": \"aggregated-FIB fat-trees (pooled plain UDP) + \
+     leaf-spine build memory\",\n\
+    \  \"git_commit\": \"%s\",\n\
+    \  \"ocaml\": \"%s\",\n\
+    \  \"cores\": %d,\n\
+    \  \"hosts\": %d,\n\
+    \  \"events\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"events_per_sec\": %.1f,\n\
+    \  \"minor_words_per_event\": %.3f,\n\
+    \  \"bytes_per_host\": %.1f,\n\
+    \  \"fib_entries_per_switch\": %.2f,\n\
+    \  \"fib_reduction\": %.1f,\n\
+    \  \"events_per_sec_floor\": { \"source\": \"BENCH_6.json\", \"floor\": \
+     %s, \"enforced\": %b },\n\
+    \  \"rows\": [\n%s\n  ],\n\
+    \  \"leaf_spine\": { \"leaves\": %d, \"spines\": %d, \"hosts_per_leaf\": \
+     %d, \"hosts\": %d,\n\
+    \                  \"bytes_per_host\": %.1f, \"budget_bytes_per_host\": \
+     %.0f },\n\
+    \  \"identical\": true\n\
+     }\n"
+    (git_commit ()) Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+    headline.s_hosts headline.s_run.g_events headline.s_run.g_wall
+    (float_of_int headline.s_run.g_events /. headline.s_run.g_wall)
+    headline.s_run.g_minor_pe headline.s_bytes_per_host headline.s_fib
+    (headline.s_fib_oracle /. headline.s_fib)
+    (match floor with Some f -> Printf.sprintf "%.1f" f | None -> "null")
+    (floor <> None)
+    (String.concat ",\n" (List.map row_json rows))
+    ls_leaves ls_spines ls_hpl ls_hosts ls_bph scale_bytes_budget;
+  close_out oc;
+  Printf.printf "%s: wrote %s\n%!" "perf(scale)" out
+
+let scale_bench cfg =
+  let tag = if cfg.smoke then "perf(scale smoke)" else "perf(scale)" in
+  let shards =
+    if cfg.smoke then 2 else if cfg.shards > 0 then cfg.shards else 4
+  in
+  if cfg.smoke then begin
+    (* CI variant: the k=8 route-equivalence and sharded-identity gates
+       plus leaf-spine delivery, all at bounded size. No JSON, no
+       machine-dependent perf gates. *)
+    let cfg8 = { cfg with k = 8; packets_per_host = 100 } in
+    let row =
+      scale_row cfg8 ~tag ~shards ~measure_oracle:true ~timed:false
+    in
+    if row.s_fib_oracle /. row.s_fib < 2.0 then begin
+      Printf.eprintf "%s: FAIL — aggregation did not shrink the FIB (%.1f vs \
+                      %.1f entries/switch)\n"
+        tag row.s_fib row.s_fib_oracle;
+      exit 1
+    end;
+    scale_leaf_spine_traffic { cfg8 with packets_per_host = 200 } ~tag ~shards;
+    Printf.printf
+      "%s: OK — aggregated FIBs identical to the /32 oracle (sequential and \
+       %d-shard), leaf-spine delivers\n%!"
+      tag shards
+  end
+  else begin
+    (* k=16: the timed, gated row — oracle measured for real. *)
+    let row16 =
+      scale_row
+        { cfg with k = 16; packets_per_host = 400 }
+        ~tag ~shards ~measure_oracle:true ~timed:true
+    in
+    (* k=32: 8192 hosts. The aggregated fabric builds and runs; the
+       oracle trie (8192 x 1280 entries) is the thing aggregation
+       retires, so its census is the closed form. *)
+    let row32 =
+      scale_row
+        { cfg with k = 32; packets_per_host = 80 }
+        ~tag ~shards ~measure_oracle:false ~timed:false
+    in
+    let reduction = row32.s_fib_oracle /. row32.s_fib in
+    if reduction < scale_fib_reduction_target then begin
+      Printf.eprintf
+        "%s: FAIL — k=32 FIB shrank only %.1fx (%.2f vs %.1f entries/switch, \
+         target %.0fx)\n"
+        tag reduction row32.s_fib row32.s_fib_oracle scale_fib_reduction_target;
+      exit 1
+    end;
+    Printf.printf "%s: k=32 FIB reduction %.0fx (target %.0fx)\n%!" tag
+      reduction scale_fib_reduction_target;
+    (* Throughput floor from BENCH_6. *)
+    let floor = scale_floor () in
+    let rate16 = float_of_int row16.s_run.g_events /. row16.s_run.g_wall in
+    (match floor with
+    | Some f ->
+      if rate16 < f then begin
+        Printf.eprintf
+          "%s: FAIL — k=16 runs at %.3e events/sec, below the BENCH_6 fabric \
+           rate %.3e\n"
+          tag rate16 f;
+        exit 1
+      end;
+      Printf.printf "%s: k=16 rate %.3e ev/s holds the BENCH_6 floor %.3e\n%!"
+        tag rate16 f
+    | None ->
+      Printf.printf
+        "%s: SKIPPED events/sec floor — no BENCH_6.json in the working \
+         directory (run --frames first)\n%!"
+        tag);
+    (* Leaf-spine: forwarding sanity, then the 100k-host build budget. *)
+    scale_leaf_spine_traffic
+      { cfg with packets_per_host = 200 }
+      ~tag ~shards;
+    let leaves = 400 and spines = 8 and hosts_per_leaf = 250 in
+    let ls_hosts, ls_bph =
+      scale_leaf_spine_bytes ~leaves ~spines ~hosts_per_leaf
+    in
+    Printf.printf
+      "%s: leaf-spine %dx%d, %d hosts: %.1f bytes/host (budget %.0f)\n%!" tag
+      leaves spines ls_hosts ls_bph scale_bytes_budget;
+    if ls_bph > scale_bytes_budget then begin
+      Printf.eprintf
+        "%s: FAIL — %d-host leaf-spine costs %.1f bytes/host (budget %.0f)\n"
+        tag ls_hosts ls_bph scale_bytes_budget;
+      exit 1
+    end;
+    Printf.printf
+      "%s: OK — aggregated FIBs oracle-identical (sequential and %d-shard), \
+       k=32 FIB %.0fx smaller, %d hosts at %.1f bytes each\n%!"
+      tag shards reduction ls_hosts ls_bph;
+    let out = match cfg.out with Some o -> o | None -> "BENCH_9.json" in
+    write_scale_json ~out ~rows:[ row16; row32 ] ~floor
+      ~ls:(leaves, spines, hosts_per_leaf, ls_hosts, ls_bph)
+  end
 
 let () =
   let cfg = ref default in
@@ -2441,6 +2949,9 @@ let () =
     | "--transports" :: rest ->
       cfg := { !cfg with transports = true };
       parse rest
+    | "--scale" :: rest ->
+      cfg := { !cfg with scale = true };
+      parse rest
     | "--out" :: v :: rest ->
       cfg := { !cfg with out = Some v };
       parse rest
@@ -2462,7 +2973,8 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let cfg = !cfg in
-  if cfg.transports then transports_bench cfg
+  if cfg.scale then scale_bench cfg
+  else if cfg.transports then transports_bench cfg
   else if cfg.telemetry then telemetry_bench cfg
   else if cfg.frames then frames_bench cfg
   else if cfg.engine then engine_bench cfg

@@ -128,8 +128,9 @@ let benches () =
   if files = [] then print_endline "no BENCH_*.json files in the working directory"
   else begin
     sub "bench results (BENCH_*.json)";
-    Printf.printf "  %-14s %10s %14s %12s %8s %9s %12s %14s\n" "file" "events"
-      "events/sec" "minor w/ev" "trend" "shard x" "shard w/ev" "promoted w/ev";
+    Printf.printf "  %-14s %10s %14s %12s %8s %9s %12s %8s %10s %8s\n" "file"
+      "events" "events/sec" "minor w/ev" "trend" "shard x" "shard w/ev" "hosts"
+      "bytes/host" "fib/sw";
     let prev_minor = ref nan in
     List.iter
       (fun f ->
@@ -159,14 +160,19 @@ let benches () =
            and the sharded run's allocation rate, so a BENCH_2 (or
            BENCH_6 sharded-path) regression is visible in the trend
            output without opening the file. *)
-        Printf.printf "  %-14s %10s %14s %12s %8s %9s %12s %14s\n" f
+        (* Scale columns (BENCH_9): fabric size, build memory per host
+           and aggregated-FIB entries per switch — "-" for the benches
+           that predate million-host fabrics. *)
+        Printf.printf "  %-14s %10s %14s %12s %8s %9s %12s %8s %10s %8s\n" f
           (cell "%.0f" (num [ "cards"; "events"; "chaos_events" ]))
           (cell "%.3e"
              (num [ "events_per_sec"; "chaos_events_per_sec"; "cards_per_sec" ]))
           (cell "%.3f" minor) trend
           (cell "x%.2f" (num [ "speedup_vs_sequential" ]))
           (cell "%.3f" (num [ "sharded_minor_words_per_event" ]))
-          (cell "%.4f" (num [ "promoted_words_per_event" ])))
+          (cell "%.0f" (num [ "hosts" ]))
+          (cell "%.1f" (num [ "bytes_per_host" ]))
+          (cell "%.1f" (num [ "fib_entries_per_switch" ])))
       files;
     if List.mem "BENCH_7.json" files then
       print_endline

@@ -8,7 +8,7 @@ let for_state state = { state; taken = [] }
 
 let overlaps a b = a.first < b.first + b.count && b.first < a.first + a.count
 
-let total t = Array.length t.state.State.sram
+let total t = ignore t; Vaddr.sram_words
 
 (* First-fit over the gaps between existing regions. *)
 let find_gap t ~count =

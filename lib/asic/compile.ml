@@ -182,7 +182,7 @@ let compile_read (op : Instr.operand) : ectx -> int =
     | Ok (Vaddr.Link_sram slot) ->
       fun c -> (
         match State.link_sram_index c.state ~slot ~port:c.meta.Meta.out_port with
-        | Some idx -> c.state.State.sram.(idx)
+        | Some idx -> (State.sram_array c.state).(idx)
         | None ->
           c.f_kind <- k_bad_address;
           c.f_detail <- a;
@@ -235,7 +235,7 @@ let compile_write (op : Instr.operand) : ectx -> int -> bool =
       fun c v -> (
         match State.link_sram_index c.state ~slot ~port:c.meta.Meta.out_port with
         | Some idx ->
-          c.state.State.sram.(idx) <- v land 0xFFFF_FFFF;
+          (State.sram_array c.state).(idx) <- v land 0xFFFF_FFFF;
           true
         | None ->
           c.f_kind <- k_bad_address;

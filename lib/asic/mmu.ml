@@ -27,7 +27,7 @@ let read state ~meta ~now addr =
         | None -> Error (Bad_address addr))
     | Vaddr.Link_sram slot -> (
       match State.link_sram_index state ~slot ~port:meta.Meta.out_port with
-      | Some idx -> Ok state.State.sram.(idx)
+      | Some idx -> Ok (State.sram_array state).(idx)
       | None -> Error (Bad_address addr))
     | Vaddr.Port (port, s) ->
       if port >= state.State.num_ports then Error (Port_out_of_range port)
@@ -46,7 +46,7 @@ let write state ~meta addr v =
     | Vaddr.Link_sram slot -> (
       match State.link_sram_index state ~slot ~port:meta.Meta.out_port with
       | Some idx ->
-        state.State.sram.(idx) <- v land 0xFFFF_FFFF;
+        (State.sram_array state).(idx) <- v land 0xFFFF_FFFF;
         Ok ()
       | None -> Error (Bad_address addr))
     | Vaddr.Sram w -> if State.sram_set state w v then Ok () else Error (Bad_address addr)

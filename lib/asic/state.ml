@@ -64,9 +64,17 @@ module Port = struct
     Array.fold_left (fun acc q -> acc + Subqueue.packets q) 0 t.queues
 end
 
+(* [sram] and [ports] materialize on first touch: an idle switch in a
+   million-host fabric pays for neither its 1920-word SRAM nor its
+   per-port register records until traffic (or a TPP) reaches it. An
+   empty [sram] reads as all-zero and an empty [ports] as all-idle, so
+   laziness is invisible to observers. [capacities] is the one per-port
+   datum set during topology construction (Net.connect), kept as a flat
+   int array so wiring a link never materializes the port records. *)
 type t = {
   switch_id : int;
   num_ports : int;
+  queue_limit : int;
   mutable version : int;
   mutable packets_seen : int;
   mutable bytes_seen : int;
@@ -77,16 +85,19 @@ type t = {
   mutable tpp_cycles : int;
   mutable tpp_compile_hits : int;
   mutable tpp_compile_misses : int;
-  sram : int array;
-  ports : Port.t array;
+  mutable sram : int array;
+  mutable ports : Port.t array;
+  mutable capacities : int array;
 }
 
+let default_capacity_bps = 1_000_000_000
+
 let create ~switch_id ~num_ports ?(queue_limit = 150_000) () =
-  if num_ports <= 0 || num_ports > Vaddr.max_ports then
-    invalid_arg "State.create: num_ports";
+  if num_ports <= 0 then invalid_arg "State.create: num_ports";
   {
     switch_id;
     num_ports;
+    queue_limit;
     version = 0;
     packets_seen = 0;
     bytes_seen = 0;
@@ -97,13 +108,46 @@ let create ~switch_id ~num_ports ?(queue_limit = 150_000) () =
     tpp_cycles = 0;
     tpp_compile_hits = 0;
     tpp_compile_misses = 0;
-    sram = Array.make Vaddr.sram_words 0;
-    ports = Array.init num_ports (fun _ -> Port.create ~queue_limit);
+    sram = [||];
+    ports = [||];
+    capacities = Array.make num_ports default_capacity_bps;
   }
+
+let[@inline never] materialize_ports t =
+  let ports =
+    Array.init t.num_ports (fun i ->
+        let p = Port.create ~queue_limit:t.queue_limit in
+        p.Port.capacity_bps <- t.capacities.(i);
+        p)
+  in
+  t.ports <- ports;
+  ports
+
+let[@inline] ports_array t =
+  if Array.length t.ports = 0 then materialize_ports t else t.ports
+
+let[@inline never] materialize_sram t =
+  let sram = Array.make Vaddr.sram_words 0 in
+  t.sram <- sram;
+  sram
+
+let[@inline] sram_array t =
+  if Array.length t.sram = 0 then materialize_sram t else t.sram
+
+let ports_materialized t = Array.length t.ports > 0
 
 let port t i =
   if i < 0 || i >= t.num_ports then invalid_arg "State.port: out of range";
-  t.ports.(i)
+  (ports_array t).(i)
+
+let set_capacity t ~port:i ~bps =
+  if i < 0 || i >= t.num_ports then invalid_arg "State.set_capacity: out of range";
+  t.capacities.(i) <- bps;
+  if Array.length t.ports > 0 then t.ports.(i).Port.capacity_bps <- bps
+
+let capacity t ~port:i =
+  if i < 0 || i >= t.num_ports then invalid_arg "State.capacity: out of range";
+  t.capacities.(i)
 
 let port_stat t ~port:i stat =
   let p = port t i in
@@ -163,12 +207,15 @@ let switch_stat t ~now stat =
   | Tpp_compile_hits -> mask32 t.tpp_compile_hits
   | Tpp_compile_misses -> mask32 t.tpp_compile_misses
 
-let sram_get t i = if i < 0 || i >= Array.length t.sram then None else Some t.sram.(i)
+let sram_get t i =
+  if i < 0 || i >= Vaddr.sram_words then None
+  else if Array.length t.sram = 0 then Some 0
+  else Some t.sram.(i)
 
 let sram_set t i v =
-  if i < 0 || i >= Array.length t.sram then false
+  if i < 0 || i >= Vaddr.sram_words then false
   else begin
-    t.sram.(i) <- mask32 v;
+    (sram_array t).(i) <- mask32 v;
     true
   end
 
@@ -177,7 +224,7 @@ let link_sram_index t ~slot ~port =
     None
   else begin
     let idx = (slot * t.num_ports) + port in
-    if idx >= Array.length t.sram then None else Some idx
+    if idx >= Vaddr.sram_words then None else Some idx
   end
 
 (* Queue-average smoothing factor: light smoothing so the register tracks
@@ -186,15 +233,19 @@ let qavg_alpha = 0.25
 
 let update_utilization t ~window_ns =
   if window_ns <= 0 then invalid_arg "State.update_utilization: window";
-  Array.iter
-    (fun p ->
-      let bits = float_of_int p.Port.window_rx_bytes *. 8.0 in
-      let seconds = float_of_int window_ns /. 1e9 in
-      let cap = float_of_int p.Port.capacity_bps in
-      let util = if cap <= 0.0 then 0.0 else bits /. (seconds *. cap) in
-      p.Port.util_ppm <- int_of_float (util *. 1e6);
-      p.Port.window_rx_bytes <- 0;
-      p.Port.queue_bytes_avg <-
-        p.Port.queue_bytes_avg
-        +. (qavg_alpha *. (float_of_int p.Port.queue_bytes -. p.Port.queue_bytes_avg)))
-    t.ports
+  (* An unmaterialized port array means no frame ever crossed this
+     switch: every register the update would touch is still zero and the
+     EWMA of zero is zero, so skipping is observationally identical. *)
+  if Array.length t.ports > 0 then
+    Array.iter
+      (fun p ->
+        let bits = float_of_int p.Port.window_rx_bytes *. 8.0 in
+        let seconds = float_of_int window_ns /. 1e9 in
+        let cap = float_of_int p.Port.capacity_bps in
+        let util = if cap <= 0.0 then 0.0 else bits /. (seconds *. cap) in
+        p.Port.util_ppm <- int_of_float (util *. 1e6);
+        p.Port.window_rx_bytes <- 0;
+        p.Port.queue_bytes_avg <-
+          p.Port.queue_bytes_avg
+          +. (qavg_alpha *. (float_of_int p.Port.queue_bytes -. p.Port.queue_bytes_avg)))
+      t.ports

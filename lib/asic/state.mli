@@ -55,6 +55,7 @@ end
 type t = {
   switch_id : int;
   num_ports : int;
+  queue_limit : int;
   mutable version : int;
   mutable packets_seen : int;
   mutable bytes_seen : int;
@@ -68,15 +69,37 @@ type t = {
           Observability only — hit/miss split varies with shard layout,
           so these two stay out of determinism fingerprints. *)
   mutable tpp_compile_misses : int;
-  sram : int array;
-  ports : Port.t array;
+  mutable sram : int array;
+      (** [[||]] until the first SRAM write; an empty array reads as
+          all-zero. Use {!sram_array} (or {!sram_set}) to materialize. *)
+  mutable ports : Port.t array;
+      (** [[||]] until the first per-port register access; an empty
+          array means every port is still in its initial state. *)
+  mutable capacities : int array;
+      (** per-port link capacity in bps; the one per-port datum written
+          during topology wiring, kept flat so [Net.connect] never
+          materializes [ports] *)
 }
 
 val create : switch_id:int -> num_ports:int -> ?queue_limit:int -> unit -> t
 (** [queue_limit] defaults to 150 KB per port (100 full-size frames). *)
 
 val port : t -> int -> Port.t
-(** Raises [Invalid_argument] for an out-of-range port. *)
+(** Materializes the port array on first use.
+    Raises [Invalid_argument] for an out-of-range port. *)
+
+val ports_materialized : t -> bool
+(** Whether any per-port register has been touched; fingerprinting code
+    treats an unmaterialized array as [num_ports] all-zero ports. *)
+
+val sram_array : t -> int array
+(** The backing SRAM, materialized on first use (always
+    [Tpp_isa.Vaddr.sram_words] long). *)
+
+val set_capacity : t -> port:int -> bps:int -> unit
+(** Records a port's link capacity without materializing [ports]. *)
+
+val capacity : t -> port:int -> int
 
 val port_stat : t -> port:int -> Tpp_isa.Vaddr.Port_stat.t -> int
 (** Current value of one per-port statistic register. *)

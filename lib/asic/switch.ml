@@ -23,11 +23,17 @@ type t = {
   l2 : Tables.L2.t;
   l3 : Tables.L3.t;
   tcam : Tables.Tcam.t;
-  sched : sched_state array;
-  strip_tpp : bool array;
-  queued_one : verdict array;
-      (* [Queued [ p ]] per port, preallocated: the unicast fast path
-         returns these instead of consing a fresh list each hop. *)
+  mutable sched : sched_state array;
+      (* [ [||] ] until the first dequeue or [set_scheduler]: idle
+         switches in a million-host fabric never pay for per-port
+         scheduler records. *)
+  mutable strip_tpp : bool array;
+      (* [ [||] ] until some port enables stripping; empty = no port
+         strips, checked with one length test on the ingress path. *)
+  mutable queued_one : verdict array;
+      (* [Queued [ p ]] per port, preallocated (lazily, on the first
+         routed frame): the unicast fast path returns these instead of
+         consing a fresh list each hop. *)
   mutable tcpu_enabled : bool;
   mutable last_tcpu : Tcpu.result option;
   mutable tap : (now:int -> in_port:int -> out_port:int -> Frame.t -> unit) option;
@@ -42,6 +48,12 @@ type t = {
          frame's UDP payload is cut to this many bytes and the header
          enqueued in the port's top-priority queue instead of dropped.
          -1 = trimming disabled (the default). *)
+  mutable ecmp_salt : int;
+      (* XORed into the flow hash before [Tables.select_path]. 0 (the
+         default) keys every switch identically, which polarises ECMP:
+         the flows a switch received *because* they hashed to it then
+         all agree on the next hash too, funnelling onto one uplink. A
+         distinct per-switch salt decorrelates the per-hop picks. *)
 }
 
 (* Default classifier: DSCP selects the queue, scaled to however many
@@ -57,17 +69,16 @@ let create ~id ~num_ports ?queue_limit ?(tcpu_enabled = true) () =
     l2 = Tables.L2.create ();
     l3 = Tables.L3.create ();
     tcam = Tables.Tcam.create ();
-    sched =
-      Array.init num_ports (fun _ ->
-          { discipline = Strict; rr_queue = 0; rr_remaining = 0 });
-    strip_tpp = Array.make num_ports false;
-    queued_one = Array.init num_ports (fun p -> Queued [ p ]);
+    sched = [||];
+    strip_tpp = [||];
+    queued_one = [||];
     tcpu_enabled;
     last_tcpu = None;
     tap = None;
     bin_tap = None;
     classify_queue = dscp_classifier;
     trim_keep = -1;
+    ecmp_salt = 0;
   }
 
 let set_tap t tap = t.tap <- tap
@@ -84,7 +95,25 @@ let num_ports t = t.switch_state.State.num_ports
 let state t = t.switch_state
 let alloc t = t.allocator
 
-let set_port_capacity t ~port ~bps = (State.port t.switch_state port).State.Port.capacity_bps <- bps
+let[@inline never] materialize_sched t =
+  let s =
+    Array.init (num_ports t) (fun _ ->
+        { discipline = Strict; rr_queue = 0; rr_remaining = 0 })
+  in
+  t.sched <- s;
+  s
+
+let[@inline] sched_array t =
+  if Array.length t.sched = 0 then materialize_sched t else t.sched
+
+let[@inline never] materialize_queued_one t =
+  let q = Array.init (num_ports t) (fun p -> Queued [ p ]) in
+  t.queued_one <- q;
+  q
+
+(* Topology wiring goes through the capacities side array so connecting
+   a link never materializes the per-port register records. *)
+let set_port_capacity t ~port ~bps = State.set_capacity t.switch_state ~port ~bps
 let set_queue_limit t ~port ~bytes =
   let p = State.port t.switch_state port in
   p.State.Port.queue_limit <- bytes;
@@ -95,6 +124,8 @@ let set_ecn_threshold t ~port threshold =
 let set_tcpu_enabled t enabled = t.tcpu_enabled <- enabled
 
 let set_trim_keep t ~keep = t.trim_keep <- (if keep < 0 then -1 else keep)
+let set_ecmp_salt t salt = t.ecmp_salt <- salt
+let ecmp_salt t = t.ecmp_salt
 let trim_keep t = t.trim_keep
 
 let set_subqueue_limit t ~port ~queue ~bytes =
@@ -108,6 +139,8 @@ let port_trims t ~port = (State.port t.switch_state port).State.Port.trims
 
 let set_strip_tpp t ~port strip =
   if port < 0 || port >= num_ports t then invalid_arg "Switch.set_strip_tpp: port";
+  if Array.length t.strip_tpp = 0 then
+    t.strip_tpp <- Array.make (num_ports t) false;
   t.strip_tpp.(port) <- strip
 
 let install_l2 t mac ~port ~entry_id ~version =
@@ -125,6 +158,12 @@ let install_multipath_route t prefix ~ports ~entry_id ~version =
   | ports ->
     Tables.L3.install t.l3 prefix
       { Tables.action = Tables.Multipath (Array.of_list ports); entry_id; version }
+
+let install_connected_route t prefix ~connected ~entry_id ~version =
+  Tables.L3.install t.l3 prefix
+    { Tables.action = Tables.Connected connected; entry_id; version }
+
+let l3_size t = Tables.L3.size t.l3
 
 let install_tcam t rule entry = Tables.Tcam.install t.tcam rule entry
 
@@ -286,8 +325,13 @@ let route t ~now ~in_port frame ~out_port ~entry_id ~version ~table_hit =
     end
     else begin
       fill_meta t ~now ~in_port ~out_port ~entry_id ~version ~table_hit frame;
-      if process_and_enqueue t ~now frame ~out_port then
-        Array.unsafe_get t.queued_one out_port
+      if process_and_enqueue t ~now frame ~out_port then begin
+        let queued_one =
+          if Array.length t.queued_one = 0 then materialize_queued_one t
+          else t.queued_one
+        in
+        Array.unsafe_get queued_one out_port
+      end
       else Dropped "queue full"
     end
   end
@@ -300,16 +344,28 @@ let route_entry t ~now ~in_port frame (e : Tables.entry) ~table_hit =
       ~version:e.Tables.version ~table_hit
   | Tables.Multipath ports ->
     route t ~now ~in_port frame
-      ~out_port:(Tables.select_path ports ~key:(Frame.flow_hash frame))
+      ~out_port:
+        (Tables.select_path ports ~key:(Frame.flow_hash frame lxor t.ecmp_salt))
       ~entry_id:e.Tables.entry_id ~version:e.Tables.version ~table_hit
+  | Tables.Connected c ->
+    if not (Frame.has_ip frame) then Dropped "connected route on non-IP frame"
+    else
+      let p = Tables.connected_port_i c (Frame.ip_dst frame) in
+      if p < 0 then Dropped "no connected host"
+      else
+        route t ~now ~in_port frame ~out_port:p ~entry_id:e.Tables.entry_id
+          ~version:e.Tables.version ~table_hit
 
 let handle_ingress t ~now ~in_port frame =
   let st = t.switch_state in
   if in_port < 0 || in_port >= num_ports t then Dropped "invalid ingress port"
   else begin
     let frame =
-      if t.strip_tpp.(in_port) && Option.is_some frame.Frame.tpp then
-        Frame.with_tpp frame None
+      if
+        Array.length t.strip_tpp > 0
+        && t.strip_tpp.(in_port)
+        && Option.is_some frame.Frame.tpp
+      then Frame.with_tpp frame None
       else frame
     in
     let wire = Frame.wire_size frame in
@@ -353,22 +409,27 @@ let set_scheduler t ~port discipline =
     if Array.length weights = 0 || Array.for_all (fun w -> w <= 0) weights then
       invalid_arg "Switch.set_scheduler: WRR needs a positive weight"
   | Strict -> ());
-  let s = t.sched.(port) in
+  let s = (sched_array t).(port) in
   s.discipline <- discipline;
   s.rr_queue <- 0;
   s.rr_remaining <- 0
 
+(* Sentinel threaded through the unboxed dequeue chain: "this port has
+   nothing to send", compared physically, never transmitted. Callers of
+   {!dequeue_or} substitute their own default at the boundary. *)
+let nothing = Frame.placeholder ()
+
 let take_from port qi =
   let queues = port.State.Port.queues in
-  match Ring.take_opt queues.(qi).State.Subqueue.frames with
-  | None -> None
-  | Some frame as r ->
+  let frame = Ring.take_or queues.(qi).State.Subqueue.frames ~default:nothing in
+  if frame != nothing then begin
     let wire = Frame.wire_size frame in
     queues.(qi).State.Subqueue.q_bytes <- queues.(qi).State.Subqueue.q_bytes - wire;
     port.State.Port.queue_bytes <- port.State.Port.queue_bytes - wire;
     port.State.Port.tx_bytes <- port.State.Port.tx_bytes + wire;
-    port.State.Port.tx_pkts <- port.State.Port.tx_pkts + 1;
-    r
+    port.State.Port.tx_pkts <- port.State.Port.tx_pkts + 1
+  end;
+  frame
 
 (* Strict: serve the highest-index non-empty queue. WRR: keep serving
    the current queue until its per-turn packet budget (its weight) runs
@@ -376,24 +437,26 @@ let take_from port qi =
 
    Both loops are top-level recursive functions, not closures inside
    [dequeue]: a closure would be allocated on every call, and [dequeue]
-   runs once per transmitted frame on the dataplane hot path. *)
+   runs once per transmitted frame on the dataplane hot path. For the
+   same reason the chain carries the bare sentinel, not an option. *)
 let rec strict_scan port qi =
-  if qi < 0 then None
+  if qi < 0 then nothing
   else
-    match take_from port qi with
-    | Some _ as r -> r
-    | None -> strict_scan port (qi - 1)
+    let f = take_from port qi in
+    if f != nothing then f else strict_scan port (qi - 1)
 
 let rec wrr_serve s port weights n visited =
-  if visited > n then None
+  if visited > n then nothing
   else if s.rr_remaining > 0 then begin
-    match take_from port s.rr_queue with
-    | Some _ as r ->
+    let f = take_from port s.rr_queue in
+    if f != nothing then begin
       s.rr_remaining <- s.rr_remaining - 1;
-      r
-    | None ->
+      f
+    end
+    else begin
       s.rr_remaining <- 0;
       wrr_serve s port weights n visited
+    end
   end
   else begin
     s.rr_queue <- (s.rr_queue + 1) mod n;
@@ -401,15 +464,24 @@ let rec wrr_serve s port weights n visited =
     wrr_serve s port weights n (visited + 1)
   end
 
-let dequeue t ~port:i =
+let dequeue_core t i =
   let port = State.port t.switch_state i in
   let queues = port.State.Port.queues in
   let n = Array.length queues in
-  match t.sched.(i).discipline with
+  let sched = sched_array t in
+  match sched.(i).discipline with
   | Strict -> strict_scan port (n - 1)
   | Wrr weights when Array.length weights <> n ->
     invalid_arg "Switch.dequeue: WRR weights do not match the queue count"
-  | Wrr weights -> wrr_serve t.sched.(i) port weights n 0
+  | Wrr weights -> wrr_serve sched.(i) port weights n 0
+
+let dequeue_or t ~port:i ~default =
+  let f = dequeue_core t i in
+  if f == nothing then default else f
+
+let dequeue t ~port:i =
+  let f = dequeue_core t i in
+  if f == nothing then None else Some f
 
 let queue_bytes t ~port:i = (State.port t.switch_state i).State.Port.queue_bytes
 let queue_packets t ~port:i = State.Port.total_packets (State.port t.switch_state i)

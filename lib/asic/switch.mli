@@ -60,6 +60,18 @@ val set_ecn_threshold : t -> port:int -> int option -> unit
     codepoint (the paper's §4 example of a baked-in point solution that
     TPPs generalise). [None] disables marking. *)
 
+val set_ecmp_salt : t -> int -> unit
+(** Salt XORed into the flow hash before every {!Tables.Multipath} pick.
+    The default 0 keys all switches identically — textbook ECMP hash
+    polarisation: once a layer has sorted flows by [hash mod n], the
+    next layer's identical hash sends each group out a single uplink,
+    oversubscribing it while its siblings idle. Topology builders give
+    each switch a salt mixed from its node id; since replicas (the /32
+    differential oracle, per-shard copies) assign identical node ids,
+    salted paths stay bit-identical across them. *)
+
+val ecmp_salt : t -> int
+
 val set_trim_keep : t -> keep:int -> unit
 (** NDP-style packet trimming: when [keep >= 0], a UDP data frame that
     would tail-drop on a non-top queue is instead cut to [keep] payload
@@ -97,6 +109,17 @@ val install_multipath_route :
     5-tuple hash ({!Tpp_isa.Frame.flow_hash}), so one flow stays on one
     path. A single port degenerates to {!install_route}. *)
 
+val install_connected_route :
+  t -> Ipv4.Prefix.t -> connected:Tables.connected -> entry_id:int -> version:int -> unit
+(** Installs a {!Tables.Connected} block route under a covering prefix:
+    the destination address itself selects the egress port. One entry
+    stands in for a consecutive block of per-host or per-subnet routes
+    (aggregated FIBs, DESIGN §15). *)
+
+val l3_size : t -> int
+(** Number of installed L3 entries (a {!Tables.Connected} block counts
+    as one) — the FIB-size metric of the scale bench. *)
+
 val install_tcam : t -> Tables.Tcam.rule -> Tables.entry -> unit
 val remove_tcam : t -> entry_id:int -> unit
 val set_version : t -> int -> unit
@@ -117,6 +140,12 @@ val dequeue : t -> port:int -> Frame.t option
 (** Strict-priority scheduling: removes the head-of-line frame of the
     highest-priority non-empty queue of [port] and updates transmit
     counters; [None] when all queues are empty. *)
+
+val dequeue_or : t -> port:int -> default:Frame.t -> Frame.t
+(** [dequeue] without the option box: returns [default] (compared
+    physically by the caller) when all queues of [port] are empty. The
+    simulator's per-transmission path uses this so a steady-state
+    dequeue allocates nothing. *)
 
 val queue_bytes : t -> port:int -> int
 val queue_packets : t -> port:int -> int

@@ -1,12 +1,34 @@
 module Mac = Tpp_packet.Mac
 module Ipv4 = Tpp_packet.Ipv4
 
-type action = Forward of int | Multipath of int array | Drop
+(* A "connected subnet" route: the destination address itself encodes
+   the egress port as [port_base + ((dst - base) >> shift)]. One entry
+   replaces a block of consecutive per-host /32s (shift 0: an edge
+   switch's attached hosts) or per-subnet prefixes (shift 8/16: a
+   spine's leaf ports, a core's pod ports) — the workhorse of the
+   aggregated million-host FIBs. *)
+type connected = { c_base : int; c_shift : int; c_port_base : int; c_count : int }
+
+type action =
+  | Forward of int
+  | Multipath of int array
+  | Drop
+  | Connected of connected
 
 let select_path ports ~key =
   let n = Array.length ports in
   if n = 0 then invalid_arg "Tables.select_path: no ports";
   ports.(key mod n)
+
+let connected_port { c_base; c_shift; c_port_base; c_count } dst =
+  let idx = (Ipv4.Addr.to_int dst - c_base) asr c_shift in
+  if idx < 0 || idx >= c_count then None else Some (c_port_base + idx)
+
+(* Unboxed variant for the forwarding path: -1 for "not covered"
+   instead of a fresh [Some] per hop. *)
+let connected_port_i { c_base; c_shift; c_port_base; c_count } dst =
+  let idx = (Ipv4.Addr.to_int dst - c_base) asr c_shift in
+  if idx < 0 || idx >= c_count then -1 else c_port_base + idx
 
 type entry = { action : action; entry_id : int; version : int }
 
@@ -30,11 +52,32 @@ module L3 = struct
     mutable value : entry option;
   }
 
-  type t = { root : node; mutable count : int }
+  type t = {
+    root : node;
+    mutable count : int;
+    (* Small-table fast path — which is every switch in an
+       aggregated-FIB fabric (1-3 prefix routes). The same entries,
+       flattened to (mask, prefix, boxed entry) triples sorted longest
+       prefix first: lookup is then a couple of masked compares over
+       adjacent cache lines instead of a prefix-length pointer chase
+       down the trie, which is what keeps per-hop routing cheap once a
+       large fabric's working set falls out of L2. The [Some] cells are
+       prebuilt at install time so the hot path still allocates
+       nothing. Disabled ([flat_n] = -1) past [flat_max] entries; the
+       trie stays the ground truth either way. *)
+    mutable flat_n : int;
+    mutable flat_mask : int array;
+    mutable flat_prefix : int array;
+    mutable flat_entry : entry option array;
+  }
+
+  let flat_max = 8
 
   let new_node () = { zero = None; one = None; value = None }
 
-  let create () = { root = new_node (); count = 0 }
+  let create () =
+    { root = new_node (); count = 0; flat_n = 0; flat_mask = [||];
+      flat_prefix = [||]; flat_entry = [||] }
 
   let bit addr i = (Ipv4.Addr.to_int addr lsr (31 - i)) land 1
 
@@ -49,53 +92,6 @@ module L3 = struct
         if bit addr i = 0 then node.zero <- Some n else node.one <- Some n;
         Some n
       end
-
-  let install t prefix e =
-    let addr = Ipv4.Prefix.addr prefix in
-    let len = Ipv4.Prefix.length prefix in
-    let rec go node i =
-      if i = len then begin
-        if Option.is_none node.value then t.count <- t.count + 1;
-        node.value <- Some e
-      end
-      else
-        match descend node addr i ~create:true with
-        | Some n -> go n (i + 1)
-        | None -> assert false
-    in
-    go t.root 0
-
-  let remove t prefix =
-    let addr = Ipv4.Prefix.addr prefix in
-    let len = Ipv4.Prefix.length prefix in
-    let rec go node i =
-      if i = len then begin
-        if Option.is_some node.value then t.count <- t.count - 1;
-        node.value <- None
-      end
-      else
-        match descend node addr i ~create:false with
-        | Some n -> go n (i + 1)
-        | None -> ()
-    in
-    go t.root 0
-
-  let lookup t addr =
-    (* Forwarding-path descent: every [Some] returned here is a block
-       that already exists (the node's own [value]/child fields), so a
-       lookup allocates nothing — this runs once per switch hop. *)
-    let rec go node i best =
-      let best = match node.value with Some _ as v -> v | None -> best in
-      if i >= 32 then best
-      else
-        let next = if bit addr i = 0 then node.zero else node.one in
-        match next with
-        | Some n -> go n (i + 1) best
-        | None -> best
-    in
-    go t.root 0 None
-
-  let size t = t.count
 
   let entries t =
     let rec walk node acc_bits depth acc =
@@ -126,6 +122,97 @@ module L3 = struct
       match t.root.zero with Some n -> walk n 0 1 acc | None -> acc
     in
     match t.root.one with Some n -> walk n 1 1 acc | None -> acc
+
+  (* Control-plane cost only: called once per install/remove. *)
+  let rebuild_flat t =
+    if t.count > flat_max then begin
+      t.flat_n <- -1;
+      t.flat_mask <- [||];
+      t.flat_prefix <- [||];
+      t.flat_entry <- [||]
+    end
+    else begin
+      let es =
+        entries t
+        |> List.sort (fun (p, _) (q, _) ->
+               Int.compare (Ipv4.Prefix.length q) (Ipv4.Prefix.length p))
+      in
+      let n = List.length es in
+      let mask = Array.make n 0 and prefix = Array.make n 0 in
+      List.iteri
+        (fun i (p, _) ->
+          let len = Ipv4.Prefix.length p in
+          let m = if len = 0 then 0 else 0xFFFFFFFF lxor ((1 lsl (32 - len)) - 1) in
+          mask.(i) <- m;
+          prefix.(i) <- Ipv4.Addr.to_int (Ipv4.Prefix.addr p) land m)
+        es;
+      t.flat_mask <- mask;
+      t.flat_prefix <- prefix;
+      t.flat_entry <- Array.of_list (List.map (fun (_, e) -> Some e) es);
+      t.flat_n <- n
+    end
+
+  let install t prefix e =
+    let addr = Ipv4.Prefix.addr prefix in
+    let len = Ipv4.Prefix.length prefix in
+    let rec go node i =
+      if i = len then begin
+        if Option.is_none node.value then t.count <- t.count + 1;
+        node.value <- Some e
+      end
+      else
+        match descend node addr i ~create:true with
+        | Some n -> go n (i + 1)
+        | None -> assert false
+    in
+    go t.root 0;
+    rebuild_flat t
+
+  let remove t prefix =
+    let addr = Ipv4.Prefix.addr prefix in
+    let len = Ipv4.Prefix.length prefix in
+    let rec go node i =
+      if i = len then begin
+        if Option.is_some node.value then t.count <- t.count - 1;
+        node.value <- None
+      end
+      else
+        match descend node addr i ~create:false with
+        | Some n -> go n (i + 1)
+        | None -> ()
+    in
+    go t.root 0;
+    rebuild_flat t
+
+  (* Both halves of [lookup] are top-level recursive functions, not
+     closures inside it: a local [let rec] that captures the table
+     state allocates its closure on every call, which is exactly the
+     per-hop cost the flat path exists to avoid. *)
+  let rec flat_scan mask prefix entry n a i =
+    if i >= n then None
+    else if a land Array.unsafe_get mask i = Array.unsafe_get prefix i then
+      Array.unsafe_get entry i
+    else flat_scan mask prefix entry n a (i + 1)
+
+  let rec trie_scan node addr i best =
+    let best = match node.value with Some _ as v -> v | None -> best in
+    if i >= 32 then best
+    else
+      let next = if bit addr i = 0 then node.zero else node.one in
+      match next with
+      | Some n -> trie_scan n addr (i + 1) best
+      | None -> best
+
+  let lookup t addr =
+    (* Forwarding path, run once per switch hop; allocation-free in
+       both branches (the flat [Some] cells are prebuilt, and every
+       [Some] the trie descent returns is an existing block). *)
+    if t.flat_n >= 0 then
+      flat_scan t.flat_mask t.flat_prefix t.flat_entry t.flat_n
+        (Ipv4.Addr.to_int addr) 0
+    else trie_scan t.root addr 0 None
+
+  let size t = t.count
 end
 
 module Tcam = struct

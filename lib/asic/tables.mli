@@ -9,16 +9,35 @@
 module Mac = Tpp_packet.Mac
 module Ipv4 = Tpp_packet.Ipv4
 
+type connected = { c_base : int; c_shift : int; c_port_base : int; c_count : int }
+(** A "connected subnet" route: the destination address encodes the
+    egress port as [c_port_base + ((dst - c_base) >> c_shift)], valid
+    while the index stays within [c_count]. Installed under a covering
+    prefix, one entry replaces a consecutive block of per-host /32s
+    (shift 0) or per-subnet prefixes (shift 8/16) — the workhorse of
+    aggregated million-host FIBs. *)
+
 type action =
   | Forward of int
   | Multipath of int array
       (** equal-cost ports; the pipeline picks by flow hash (ECMP) *)
   | Drop
+  | Connected of connected
 
 val select_path : int array -> key:int -> int
 (** The ECMP selector: [ports.(key mod length)]. One definition, used
     by both the dataplane and the control plane's path predictor so
     they can never disagree. Raises [Invalid_argument] on empty. *)
+
+val connected_port : connected -> Tpp_packet.Ipv4.Addr.t -> int option
+(** Resolves a {!Connected} action for a destination address; [None]
+    when the address falls outside the block (the pipeline drops). One
+    definition shared by the dataplane and path predictors. *)
+
+val connected_port_i : connected -> Tpp_packet.Ipv4.Addr.t -> int
+(** [connected_port] without the option box: -1 when the address falls
+    outside the block. The forwarding path uses this so a Connected
+    hop allocates nothing. *)
 
 type entry = { action : action; entry_id : int; version : int }
 

@@ -93,6 +93,7 @@ module Overheads = Tpp_experiments.Overheads
 module Ablation = Tpp_experiments.Ablation
 module Fct = Tpp_experiments.Fct
 module Fabric = Tpp_experiments.Fabric
+module Workload = Tpp_experiments.Workload
 module Cc_compare = Tpp_experiments.Cc_compare
 module Consistent = Tpp_experiments.Consistent
 module Faults = Tpp_experiments.Faults

@@ -66,27 +66,26 @@ type pair = { src_stack : Stack.t; dst_stack : Stack.t; dst_host : Net.host }
    goes non-positive and [Rng.pareto] then yields zero/negative sizes
    that [int_of_float] would silently truncate. Reject loudly. *)
 let validate_workload ~arrivals_per_sec ~mean_flow_bytes ~pareto_shape =
-  if pareto_shape <= 1.0 then
-    invalid_arg "Fct: pareto_shape must be > 1.0";
+  if pareto_shape <= 1.0 then invalid_arg "Fct: pareto_shape must be > 1.0";
   if mean_flow_bytes <= 0.0 then invalid_arg "Fct: mean_flow_bytes must be positive";
   if arrivals_per_sec <= 0.0 then invalid_arg "Fct: arrivals_per_sec must be positive"
 
 (* Pre-draws the whole arrival schedule so both controllers run exactly
-   the same workload. *)
+   the same workload. The [Workload] primitives make the very draws this
+   function always made, so schedules are bit-identical across the
+   refactor. *)
 let schedule p =
   validate_workload ~arrivals_per_sec:p.arrivals_per_sec
     ~mean_flow_bytes:p.mean_flow_bytes ~pareto_shape:p.pareto_shape;
   let rng = Rng.create ~seed:p.seed in
-  let scale = p.mean_flow_bytes *. (p.pareto_shape -. 1.0) /. p.pareto_shape in
+  let mix =
+    Workload.Pareto { shape = p.pareto_shape; mean_bytes = p.mean_flow_bytes }
+  in
   let rec go now acc =
-    let gap = Rng.exponential rng ~mean:(1.0 /. p.arrivals_per_sec) in
-    let now = now +. gap in
+    let now = now +. Workload.exp_gap rng ~rate:p.arrivals_per_sec in
     if Time_ns.of_sec_f now >= p.duration then List.rev acc
     else begin
-      let size =
-        int_of_float (Rng.pareto rng ~shape:p.pareto_shape ~scale)
-      in
-      let size = max p.payload_bytes size in
+      let size = max p.payload_bytes (Workload.sample_bytes rng mix) in
       go now ((Time_ns.of_sec_f now, size) :: acc)
     end
   in
@@ -312,19 +311,18 @@ let fabric_schedule p ~hosts:n =
   validate_workload ~arrivals_per_sec:1.0 ~mean_flow_bytes:p.f_mean_bytes
     ~pareto_shape:p.f_shape;
   let rng = Rng.create ~seed:p.f_seed in
-  let scale = p.f_mean_bytes *. (p.f_shape -. 1.0) /. p.f_shape in
-  let per_host = p.f_load *. float_of_int p.f_bps /. (8.0 *. p.f_mean_bytes) in
+  let mix = Workload.Pareto { shape = p.f_shape; mean_bytes = p.f_mean_bytes } in
+  let per_host =
+    Workload.arrival_rate ~load:p.f_load ~link_bps:p.f_bps ~mix
+  in
   (* Stop arrivals at 70% of the horizon so the tail can drain. *)
   let window = Time_ns.to_sec_f p.f_duration *. 0.7 in
   let flows = ref [] in
   for i = 0 to n - 1 do
     let rec go now =
-      let now = now +. Rng.exponential rng ~mean:(1.0 /. per_host) in
+      let now = now +. Workload.exp_gap rng ~rate:per_host in
       if now < window then begin
-        let size =
-          max p.f_payload
-            (int_of_float (Rng.pareto rng ~shape:p.f_shape ~scale))
-        in
+        let size = max p.f_payload (Workload.sample_bytes rng mix) in
         (* [f_max_bytes] truncates the Pareto tail for runs whose gate
            is completion (chaos recovery): an unbounded draw can exceed
            what any transport can finish inside the drain window, which

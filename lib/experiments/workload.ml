@@ -1,0 +1,182 @@
+module Time_ns = Tpp_util.Time_ns
+module Rng = Tpp_util.Rng
+
+type mix =
+  | Websearch
+  | Datamining
+  | Pareto of { shape : float; mean_bytes : float }
+  | Fixed of int
+
+(* Empirical flow-size CDFs as (cumulative probability, bytes) knots;
+   sampling interpolates linearly between knots, so each draw costs one
+   uniform variate. The shapes follow the two canonical datacenter
+   workloads: "websearch" (the DCTCP web-search trace: most flows are
+   tens of KB, the top decile runs to tens of MB) and "datamining" (the
+   VL2 trace: ~80% of flows under 10 KB while a sliver of multi-hundred-
+   MB shuffles carries most bytes — a far heavier tail). *)
+let websearch_cdf =
+  [|
+    (0.00, 1_000.);
+    (0.15, 10_000.);
+    (0.20, 20_000.);
+    (0.30, 30_000.);
+    (0.40, 50_000.);
+    (0.53, 80_000.);
+    (0.60, 200_000.);
+    (0.70, 1_000_000.);
+    (0.80, 2_000_000.);
+    (0.90, 5_000_000.);
+    (0.97, 10_000_000.);
+    (1.00, 30_000_000.);
+  |]
+
+let datamining_cdf =
+  [|
+    (0.00, 100.);
+    (0.50, 300.);
+    (0.60, 1_000.);
+    (0.70, 2_000.);
+    (0.80, 10_000.);
+    (0.90, 100_000.);
+    (0.95, 1_000_000.);
+    (0.99, 10_000_000.);
+    (1.00, 300_000_000.);
+  |]
+
+let validate = function
+  | Websearch | Datamining -> ()
+  | Pareto { shape; mean_bytes } ->
+    (* Shape <= 1 has no finite mean: the derived scale goes
+       non-positive and draws silently truncate to garbage. *)
+    if shape <= 1.0 then invalid_arg "Workload: pareto shape must be > 1.0";
+    if mean_bytes <= 0.0 then invalid_arg "Workload: mean_bytes must be positive"
+  | Fixed n -> if n <= 0 then invalid_arg "Workload: fixed size must be positive"
+
+(* Exact for the linear-interpolated sampler: over each knot interval
+   the size is linear in the uniform draw, so its conditional mean is
+   the midpoint and the mixture weights are the probability masses. *)
+let cdf_mean cdf =
+  let m = ref 0.0 in
+  for i = 1 to Array.length cdf - 1 do
+    let p0, b0 = cdf.(i - 1) and p1, b1 = cdf.(i) in
+    m := !m +. ((p1 -. p0) *. (b0 +. b1) /. 2.0)
+  done;
+  !m
+
+let mean_bytes = function
+  | Websearch -> cdf_mean websearch_cdf
+  | Datamining -> cdf_mean datamining_cdf
+  | Pareto { mean_bytes; _ } -> mean_bytes
+  | Fixed n -> float_of_int n
+
+(* The scale giving a Pareto(shape) the requested mean — the same
+   derivation [Fct] has always used, kept draw-for-draw compatible. *)
+let pareto_scale ~shape ~mean_bytes = mean_bytes *. (shape -. 1.0) /. shape
+
+let sample_cdf rng cdf =
+  let u = Rng.float rng 1.0 in
+  let n = Array.length cdf in
+  let rec seg i =
+    if i >= n - 1 then n - 1
+    else
+      let p, _ = cdf.(i) in
+      if u <= p then i else seg (i + 1)
+  in
+  let i = seg 1 in
+  let p0, b0 = cdf.(i - 1) and p1, b1 = cdf.(i) in
+  let frac = if p1 > p0 then (u -. p0) /. (p1 -. p0) else 0.0 in
+  int_of_float (b0 +. (frac *. (b1 -. b0)))
+
+let sample_bytes rng = function
+  | Websearch -> sample_cdf rng websearch_cdf
+  | Datamining -> sample_cdf rng datamining_cdf
+  | Pareto { shape; mean_bytes } ->
+    int_of_float (Rng.pareto rng ~shape ~scale:(pareto_scale ~shape ~mean_bytes))
+  | Fixed n ->
+    ignore (Rng.float rng 1.0);
+    (* burn one draw so mixes are position-compatible *)
+    n
+
+let exp_gap rng ~rate = Rng.exponential rng ~mean:(1.0 /. rate)
+
+let arrival_rate ~load ~link_bps ~mix =
+  if not (load > 0.0) then invalid_arg "Workload: load must be positive";
+  if link_bps <= 0 then invalid_arg "Workload: link_bps must be positive";
+  load *. float_of_int link_bps /. (8.0 *. mean_bytes mix)
+
+(* ------------------------------------------------------------------ *)
+
+type flow = { at : Time_ns.t; src : int; dst : int; size : int }
+
+let compare_flow a b =
+  let c = Int.compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.src b.src in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.dst b.dst in
+      if c <> 0 then c else Int.compare a.size b.size
+
+(* Stream for one source host: the base seed mixed through splitmix64
+   with the host index folded in — the [Fault.wire_rng] recipe. Purely a
+   function of (seed, host): host h's flows are identical whatever the
+   fabric size or how many other hosts the plan covers. *)
+let host_rng ~seed i =
+  let r = Rng.create ~seed in
+  let mixed = Rng.bits64 r in
+  let keyed = Int64.logxor mixed (Int64.of_int (((i + 1) * 1_000_003) + 1)) in
+  Rng.of_state (Rng.bits64 (Rng.of_state keyed))
+
+let default_dst ~hosts src = (src + (hosts / 2)) mod hosts
+
+let poisson ?(seed = 11) ?dst_of ~hosts ~mix ~load ~link_bps ~window () =
+  validate mix;
+  if hosts < 2 then invalid_arg "Workload.poisson: need at least 2 hosts";
+  if window <= 0 then invalid_arg "Workload.poisson: empty window";
+  let rate = arrival_rate ~load ~link_bps ~mix in
+  let dst_of = match dst_of with Some f -> f | None -> default_dst ~hosts in
+  let horizon = Time_ns.to_sec_f window in
+  let flows = ref [] in
+  let count = ref 0 in
+  for src = 0 to hosts - 1 do
+    let rng = host_rng ~seed src in
+    let rec go now =
+      let now = now +. exp_gap rng ~rate in
+      if now < horizon then begin
+        let size = max 1 (sample_bytes rng mix) in
+        let dst = dst_of src in
+        if dst < 0 || dst >= hosts || dst = src then
+          invalid_arg "Workload.poisson: dst_of out of range";
+        flows := { at = Time_ns.of_sec_f now; src; dst; size } :: !flows;
+        incr count;
+        go now
+      end
+    in
+    go 0.0
+  done;
+  let arr = Array.of_list !flows in
+  Array.sort compare_flow arr;
+  arr
+
+(* N:1 incast: [senders] all fire [bytes] at [dst] in the same
+   nanosecond — the synchronized-read pattern that motivates both
+   trimming transports and the paper's queue-visibility TPPs. *)
+let incast ~at ~dst ~senders ~bytes =
+  if bytes <= 0 then invalid_arg "Workload.incast: bytes must be positive";
+  let arr =
+    Array.of_list
+      (List.filter_map
+         (fun src ->
+           if src = dst then None else Some { at; src; dst; size = bytes })
+         senders)
+  in
+  Array.sort compare_flow arr;
+  arr
+
+let merge a b =
+  let out = Array.append a b in
+  Array.sort compare_flow out;
+  out
+
+let total_bytes flows = Array.fold_left (fun acc f -> acc + f.size) 0 flows

@@ -24,6 +24,14 @@ type circuit = {
   hist_round : int array;
   hist_sent : int array;
   hist_ok : bool array;
+  (* Lifetime totals, folded in as history slots are recycled (a slot
+     is [window] periods old by then, past its timeout, so its verdict
+     is final). The veto in [circuit_spotless] needs more memory than
+     the window: under a probabilistic fault a crossing circuit dodges
+     a whole window of probes disturbingly often, but almost never its
+     entire lifetime. *)
+  mutable total_mature : int;
+  mutable total_lost : int;
 }
 
 type t = {
@@ -101,6 +109,8 @@ let create ?(window = 8) ?(loss_threshold = 0.25) ~circuits ~period ~timeout () 
       hist_round = Array.make window (-1);
       hist_sent = Array.make window 0;
       hist_ok = Array.make window false;
+      total_mature = 0;
+      total_lost = 0;
     }
   in
   let circuits = Array.of_list (List.map circuit_of circuits) in
@@ -155,6 +165,11 @@ let rec tick t epoch () =
       (fun i c ->
         c.last_probe <- now;
         let slot = t.round mod t.window in
+        if c.hist_round.(slot) >= 0 && c.hist_sent.(slot) + t.timeout <= now
+        then begin
+          c.total_mature <- c.total_mature + 1;
+          if not c.hist_ok.(slot) then c.total_lost <- c.total_lost + 1
+        end;
         c.hist_round.(slot) <- t.round;
         c.hist_sent.(slot) <- now;
         c.hist_ok.(slot) <- false;
@@ -222,14 +237,16 @@ let circuit_degraded t ~now c =
   && float_of_int lost /. float_of_int mature >= t.loss_threshold
 
 (* A circuit vouches for its cables only when it has real evidence and
-   zero loss: under a probabilistic fault a circuit crossing the bad
-   cable may dodge enough probes to look momentarily un-degraded, and
-   must not veto the true suspect. *)
+   has never lost a probe: under a probabilistic fault a circuit
+   crossing the bad cable dodges a whole window of probes surprisingly
+   often (0.6^4 ~ 13% at 40% loss), and one momentarily clean window
+   must not veto the true suspect — hence the lifetime totals, not just
+   the recent window. *)
 let circuit_spotless t ~now c =
   circuit_healthy t ~now c
   &&
   let mature, lost = window_counts t ~now c in
-  mature > 0 && lost = 0
+  mature + c.total_mature > 0 && lost = 0 && c.total_lost = 0
 
 let degraded t ~now =
   Array.to_list (Array.map (circuit_degraded t ~now) t.circuits)

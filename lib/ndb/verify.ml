@@ -50,19 +50,21 @@ let control_route ?(proto = 17) ?(src_port = 0) ?(dst_port = 0) net ~src ~dst =
       | many ->
         (* Consult the switch's installed entry to know whether the
            control plane deployed ECMP here. *)
-        let use_ecmp =
+        let use_ecmp, salt =
           match List.assoc_opt node switch_ids with
-          | None -> false
+          | None -> (false, 0)
           | Some _ -> (
             let sw = Net.switch net node in
             match Switch.route_action sw dst.Net.ip with
-            | Some (Tpp_asic.Tables.Multipath _) -> true
-            | _ -> false)
+            | Some (Tpp_asic.Tables.Multipath _) -> (true, Switch.ecmp_salt sw)
+            | _ -> (false, 0))
         in
         let port, peer =
           if use_ecmp then
             let ports = Array.of_list (List.map fst many) in
-            let chosen = Tpp_asic.Tables.select_path ports ~key:hash in
+            let chosen =
+              Tpp_asic.Tables.select_path ports ~key:(hash lxor salt)
+            in
             List.find (fun (p, _) -> p = chosen) many
           else List.hd many
         in

@@ -44,20 +44,18 @@ module Plan = struct
       (fun h ->
         let id = h.Net.node_id in
         if vidx.(id) < 0 then
-          match Net.neighbors net id with
-          | (_, peer, _) :: _ when vidx.(peer) >= 0 ->
-            anchor.(id) <- peer;
-            weight.(vidx.(peer)) <- weight.(vidx.(peer)) + 2
-          | _ -> ())
+          Net.iter_ports net id (fun ~port:_ ~peer ~peer_port:_ ->
+              if anchor.(id) < 0 && vidx.(peer) >= 0 then begin
+                anchor.(id) <- peer;
+                weight.(vidx.(peer)) <- weight.(vidx.(peer)) + 2
+              end))
       (Net.hosts net);
     let edges = ref [] in
     List.iter
       (fun v ->
-        List.iter
-          (fun (_, peer, _) ->
+        Net.iter_ports net v (fun ~port:_ ~peer ~peer_port:_ ->
             if vidx.(peer) >= 0 && peer > v then
-              edges := (vidx.(v), vidx.(peer), 1) :: !edges)
-          (Net.neighbors net v))
+              edges := (vidx.(v), vidx.(peer), 1) :: !edges))
       verts;
     let g = Partition.make_graph ~n:nv ~edges:!edges ~weight in
     let assign = Partition.partition g ~parts:shards in
@@ -76,18 +74,13 @@ module Plan = struct
     let lookahead = ref infinite_lookahead in
     let shard_lookahead = Array.make shards infinite_lookahead in
     let cut = ref 0 in
-    for id = 0 to n - 1 do
-      List.iter
-        (fun (port, peer, _) ->
-          if owner.(id) <> owner.(peer) then begin
-            if peer > id then incr cut;
-            let d = Net.link_delay net (id, port) in
-            if d < !lookahead then lookahead := d;
-            let s = owner.(id) in
-            if d < shard_lookahead.(s) then shard_lookahead.(s) <- d
-          end)
-        (Net.neighbors net id)
-    done;
+    Net.iter_links net (fun ~node:id ~port:_ ~peer ~peer_port:_ ~bps:_ ~delay:d ->
+        if owner.(id) <> owner.(peer) then begin
+          if peer > id then incr cut;
+          if d < !lookahead then lookahead := d;
+          let s = owner.(id) in
+          if d < shard_lookahead.(s) then shard_lookahead.(s) <- d
+        end);
     if !lookahead <= 0 then
       invalid_arg "Parsim.Plan.make: zero-delay link crosses shards (no lookahead)";
     let shard_weight = Array.make shards 0 in

@@ -37,13 +37,17 @@ let kind_restart = 3
 
 type t = {
   queue : queue;
-  (* event slab: parallel arrays indexed by the slot ints the scheduler
-     carries; [e_node] doubles as the free-list link *)
-  mutable kinds : int array;
-  mutable e_node : int array;
-  mutable e_port : int array;
-  mutable e_h : Obj.t array;      (* handlers record, or the thunk *)
-  mutable e_frame : Obj.t array;  (* Frame.t for Deliver, else hole *)
+  (* Event slab, indexed by the slot ints the scheduler carries.
+     (kind, node, port) are packed into one int per slot — the same
+     (kind << 40) | (node << 20) | port encoding as the canonical tie
+     key below, so the tie is read straight from the slab — and the two
+     pointer cells of a slot sit adjacent in [e_obj] (slot s -> indices
+     2s, 2s+1). Scheduling or firing an event therefore touches two
+     cache lines of slab instead of the five a parallel-arrays layout
+     costs once a large fabric's slab falls out of L2. [e_meta] doubles
+     as the free-list link. *)
+  mutable e_meta : int array;
+  mutable e_obj : Obj.t array;  (* 2s: handlers/thunk; 2s+1: Frame.t *)
   mutable free : int;
   mutable clock : Time_ns.t;
   mutable processed : int;
@@ -57,11 +61,8 @@ let create ?(scheduler = `Wheel) () =
       (match scheduler with
       | `Wheel -> Q_wheel (Wheel.create ())
       | `Heap -> Q_heap (Heap.create ()));
-    kinds = [||];
-    e_node = [||];
-    e_port = [||];
-    e_h = [||];
-    e_frame = [||];
+    e_meta = [||];
+    e_obj = [||];
     free = -1;
     clock = 0;
     processed = 0;
@@ -72,22 +73,18 @@ let scheduler t = match t.queue with Q_wheel _ -> `Wheel | Q_heap _ -> `Heap
 let now t = t.clock
 
 let grow t =
-  let old = Array.length t.kinds in
+  let old = Array.length t.e_meta in
   let cap = if old = 0 then 64 else 2 * old in
-  let copy a fill =
-    let b = Array.make cap fill in
-    Array.blit a 0 b 0 old;
-    b
-  in
-  t.kinds <- copy t.kinds 0;
-  t.e_node <- copy t.e_node (-1);
-  t.e_port <- copy t.e_port 0;
-  t.e_h <- copy t.e_h hole;
-  t.e_frame <- copy t.e_frame hole;
+  let meta = Array.make cap 0 in
+  Array.blit t.e_meta 0 meta 0 old;
+  let obj = Array.make (2 * cap) hole in
+  Array.blit t.e_obj 0 obj 0 (2 * old);
+  t.e_meta <- meta;
+  t.e_obj <- obj;
   for i = old to cap - 2 do
-    t.e_node.(i) <- i + 1
+    t.e_meta.(i) <- i + 1
   done;
-  t.e_node.(cap - 1) <- t.free;
+  t.e_meta.(cap - 1) <- t.free;
   t.free <- old
 
 (* Every push is stamped with an emission time: the engine clock by
@@ -117,16 +114,14 @@ let[@inline] schedule_slot ?emitted t time ~kind ~node ~port h frame =
   let emitted = match emitted with None -> t.clock | Some e -> e in
   if t.free < 0 then grow t;
   let s = t.free in
-  t.free <- Array.unsafe_get t.e_node s;
-  t.kinds.(s) <- kind;
-  t.e_node.(s) <- node;
-  t.e_port.(s) <- port;
-  t.e_h.(s) <- h;
-  t.e_frame.(s) <- frame;
-  let tie = tie_key ~kind ~node ~port in
+  t.free <- Array.unsafe_get t.e_meta s;
+  let meta = tie_key ~kind ~node ~port in
+  t.e_meta.(s) <- meta;
+  t.e_obj.(2 * s) <- h;
+  t.e_obj.((2 * s) + 1) <- frame;
   match t.queue with
-  | Q_wheel w -> Wheel.push_keyed w ~prio:time ~emitted ~tie s
-  | Q_heap q -> Heap.push_keyed q ~prio:time ~emitted ~tie s
+  | Q_wheel w -> Wheel.push_keyed w ~prio:time ~emitted ~tie:meta s
+  | Q_heap q -> Heap.push_keyed q ~prio:time ~emitted ~tie:meta s
 
 let at ?emitted t time callback =
   schedule_slot ?emitted t time ~kind:kind_thunk ~node:0 ~port:0
@@ -182,14 +177,15 @@ let next_event_time t =
    thunks become garbage the moment they leave the queue. This is the
    single dispatch match of the engine. *)
 let[@inline] fire t s =
-  let kind = Array.unsafe_get t.kinds s in
-  let node = Array.unsafe_get t.e_node s in
-  let port = Array.unsafe_get t.e_port s in
-  let h = Array.unsafe_get t.e_h s in
-  let fr = Array.unsafe_get t.e_frame s in
-  Array.unsafe_set t.e_h s hole;
-  Array.unsafe_set t.e_frame s hole;
-  t.e_node.(s) <- t.free;
+  let meta = Array.unsafe_get t.e_meta s in
+  let kind = meta lsr 40 in
+  let node = (meta lsr 20) land 0xFFFFF in
+  let port = meta land 0xFFFFF in
+  let h = Array.unsafe_get t.e_obj (2 * s) in
+  let fr = Array.unsafe_get t.e_obj ((2 * s) + 1) in
+  Array.unsafe_set t.e_obj (2 * s) hole;
+  Array.unsafe_set t.e_obj ((2 * s) + 1) hole;
+  t.e_meta.(s) <- t.free;
   t.free <- s;
   match kind with
   | 0 (* kind_thunk *) -> (Obj.obj h : unit -> unit) ()

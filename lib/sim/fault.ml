@@ -58,6 +58,12 @@ type t = {
   mutable rules : rule list; (* reverse recording order *)
   mutable attached : bool;
   wires : (link, wire) Hashtbl.t; (* directed: keyed by sender endpoint *)
+  mutable wire_slots : wire option array;
+      (* the same directed wires, indexed by the net's dense global port
+         slot ([Net.port_index]) — what the per-packet hooks read, so
+         the fault-free majority of ports costs one array load and no
+         hashing. Built at attach; [wires] stays as the by-endpoint
+         view for control-plane queries ([up]). *)
   freezes : (int, (Time_ns.t * Time_ns.t) list) Hashtbl.t;
   mutable s_lost_down : int;
   mutable s_dropped : int;
@@ -77,6 +83,7 @@ let create ~seed =
     rules = [];
     attached = false;
     wires = Hashtbl.create 64;
+    wire_slots = [||];
     freezes = Hashtbl.create 8;
     s_lost_down = 0;
     s_dropped = 0;
@@ -214,8 +221,8 @@ let corrupt_frame t rng ~node ~port ~now frame =
 
 (* -- hooks ---------------------------------------------------------- *)
 
-let f_transit t ~node ~port ~now frame =
-  match Hashtbl.find_opt t.wires (node, port) with
+let f_transit t w ~node ~port ~now frame =
+  match w with
   | None -> true
   | Some w ->
     if not (cable_up w.cable now) then begin
@@ -245,8 +252,8 @@ let f_transit t ~node ~port ~now frame =
     end
     else true
 
-let f_rate t ~node ~port ~now ~bps =
-  match Hashtbl.find_opt t.wires (node, port) with
+let f_rate w ~now ~bps =
+  match w with
   | None -> bps
   | Some w -> (
     match active_degrade w.cable now with
@@ -255,8 +262,8 @@ let f_rate t ~node ~port ~now ~bps =
       let eff = int_of_float (float_of_int bps *. d.dg_factor) in
       if eff < 1 then 1 else eff)
 
-let f_delay t ~node ~port ~now ~delay =
-  match Hashtbl.find_opt t.wires (node, port) with
+let f_delay w ~now ~delay =
+  match w with
   | None -> delay
   | Some w -> (
     match active_degrade w.cable now with None -> delay | Some d -> delay + d.dg_extra)
@@ -376,13 +383,22 @@ let attach t net =
       Hashtbl.replace t.wires e1 { cable; rng = wire_rng t.seed e1; draws };
       Hashtbl.replace t.wires e2 { cable; rng = wire_rng t.seed e2; draws })
     cables;
+  let slots = Array.make (Net.port_count net) None in
+  Hashtbl.iter
+    (fun (node, port) w -> slots.(Net.port_index net node port) <- Some w)
+    t.wires;
+  t.wire_slots <- slots;
   t.attached <- true;
+  let wire_at node port = Array.unsafe_get slots (Net.port_index net node port) in
   Net.set_fault_hooks net
     (Some
        {
-         Net.f_transit = (fun ~node ~port ~now frame -> f_transit t ~node ~port ~now frame);
-         f_rate = (fun ~node ~port ~now ~bps -> f_rate t ~node ~port ~now ~bps);
-         f_delay = (fun ~node ~port ~now ~delay -> f_delay t ~node ~port ~now ~delay);
+         Net.f_transit =
+           (fun ~node ~port ~now frame ->
+             f_transit t (wire_at node port) ~node ~port ~now frame);
+         f_rate = (fun ~node ~port ~now ~bps -> f_rate (wire_at node port) ~now ~bps);
+         f_delay =
+           (fun ~node ~port ~now ~delay -> f_delay (wire_at node port) ~now ~delay);
          f_ingress = (fun ~node ~now -> f_ingress t ~node ~now);
        })
 

@@ -14,29 +14,13 @@ type host = {
   mac : Mac.t;
   ip : Ipv4.Addr.t;
   mutable receive : now:Time_ns.t -> Frame.t -> unit;
-}
-
-type attachment = {
-  mutable peer : (int * int) option;
-  mutable bps : int;
-  mutable delay : Time_ns.span;
-  mutable tx_busy : bool;
-  mutable up : bool;
-  mutable in_flight : Frame.t;
-      (* the frame occupying the link while [tx_busy]; the per-net dummy
-         otherwise, so a delivered frame is never pinned by its old port.
-         A plain field, not an option: the one-outstanding-tx-per-port
-         invariant ([tx_busy]) makes it unambiguous, and a [Some] per
-         transmission would put an allocation back on the hot path. *)
-  nic_queue : Frame.t Ring.t;
-      (* hosts only; switches queue in the ASIC. A preallocated ring:
-         enqueueing a frame allocates nothing once the ring has grown
-         to the host's in-flight window. *)
+  mutable nic_q : Frame.t Ring.t option;
+      (* NIC transmit queue, materialized on the host's first send: an
+         idle host in a million-host fabric carries a [None], not a
+         ring. Switches queue in the ASIC and never use this. *)
 }
 
 type node_impl = Switch_n of Switch.t | Host_n of host
-
-type node_rec = { impl : node_impl; ports : attachment array }
 
 type wire_check = [ `Always | `Cached | `Off ]
 
@@ -74,6 +58,14 @@ type fault_hooks = {
       (* [false] = the node is frozen; a frame arriving now vanishes. *)
 }
 
+(* Link/port state lives in structure-of-arrays form, indexed by a
+   global port slot ([pbase.(node) + port]): one packed int for the
+   peer endpoint, flat ints for rate and propagation delay, one Frame
+   slot for the in-flight frame and one byte of flags per port. A port
+   costs ~33 bytes instead of a boxed record + ring (~150 bytes), and
+   — crucially for million-host fabrics — nothing here is a closure or
+   per-link heap object. Fault state is keyed by the same slot index
+   ({!port_index}), so the hot fault hooks are array lookups too. *)
 type t = {
   eng : Engine.t;
   wire_check : wire_check;
@@ -81,20 +73,52 @@ type t = {
   handlers : Engine.handlers;
       (* the net's one handlers record: every typed event carries it *)
   no_frame : Frame.t;  (* dummy parked in [in_flight] between txs *)
-  mutable nodes : node_rec array;  (* index = node id; first node_count live *)
+  mutable impls : node_impl array;  (* index = node id; first node_count live *)
+  mutable pbase : int array;        (* node id -> first global port slot *)
+  mutable np : int array;           (* node id -> number of ports *)
   mutable node_count : int;
+  mutable port_count : int;         (* global port slots in use *)
+  mutable lp_peer : int array;
+      (* packed peer endpoint per slot: [(node lsl 21) lor port], -1 =
+         unconnected. 21 bits of port leaves 41 bits of node id. *)
+  mutable lp_bps : int array;
+  mutable lp_delay : int array;     (* propagation delay, ns *)
+  mutable lp_inflight : Frame.t array;
+      (* the frame occupying the link while the busy flag is set; the
+         per-net dummy otherwise, so a delivered frame is never pinned
+         by its old port. A plain slot, not an option: the
+         one-outstanding-tx-per-port invariant makes it unambiguous,
+         and a [Some] per transmission would put an allocation back on
+         the hot path. *)
+  mutable lp_flags : Bytes.t;
+      (* bit 0 = tx busy, bit 1 = link down ('\000' = idle and up,
+         so freshly grown slots need no initialisation) *)
   mutable host_counter : int;
   mutable delivered : int;
   mutable deliver_hooks : (host -> Frame.t -> unit) array;
       (* registration order; rebuilt on (rare) registration *)
   mutable sharding : sharding option;  (* None = ordinary sequential net *)
   mutable fault : fault_hooks option;  (* None = fault-free: no per-packet cost *)
+  node_hint : int;  (* expected node/port counts: builders that know the *)
+  port_hint : int;  (* final size pass them so the arrays never over-grow *)
   checked_shapes : (int, unit) Hashtbl.t;
       (* header-layout keys already validated in [`Cached] mode *)
   scratch : Buf.Writer.t;  (* reused by the cached wire check *)
 }
 
 let engine t = t.eng
+
+let max_port_bits = 21
+let port_mask = (1 lsl max_port_bits) - 1
+let[@inline] pack_peer node port = (node lsl max_port_bits) lor port
+let[@inline] peer_node packed = packed lsr max_port_bits
+let[@inline] peer_port packed = packed land port_mask
+
+let[@inline] flag_busy f = f land 1 <> 0
+let[@inline] flag_down f = f land 2 <> 0
+
+let[@inline] flags t i = Char.code (Bytes.unsafe_get t.lp_flags i)
+let[@inline] set_flags t i f = Bytes.unsafe_set t.lp_flags i (Char.unsafe_chr f)
 
 let set_sharding t ~owner ~shard ~emit =
   if Array.length owner < t.node_count then
@@ -108,39 +132,94 @@ let owns t id =
   | None -> true
   | Some s -> Array.unsafe_get s.owner id = s.shard
 
-let new_attachment t =
-  { peer = None; bps = 0; delay = 0; tx_busy = false; up = true;
-    in_flight = t.no_frame; nic_queue = Ring.create ~dummy:t.no_frame () }
-
-let node t id =
+let[@inline] impl t id =
   if id < 0 || id >= t.node_count then invalid_arg "Net: unknown node id";
-  Array.unsafe_get t.nodes id
+  Array.unsafe_get t.impls id
 
-let register t impl ~ports =
+(* Global port slot of (node, port), bounds-checked. *)
+let[@inline] gp t id port =
+  if id < 0 || id >= t.node_count then invalid_arg "Net: unknown node id";
+  if port < 0 || port >= Array.unsafe_get t.np id then
+    invalid_arg "Net: port out of range";
+  Array.unsafe_get t.pbase id + port
+
+(* Trusted variant for the dataplane cycle, where (node, port) pairs
+   were validated when the event (or table entry) was created. *)
+let[@inline] gp_trusted t id port = Array.unsafe_get t.pbase id + port
+
+let port_index = gp
+let port_count t = t.port_count
+let num_ports t id =
+  if id < 0 || id >= t.node_count then invalid_arg "Net: unknown node id";
+  Array.unsafe_get t.np id
+
+let register t i ~ports =
   let id = t.node_count in
-  let n = { impl; ports = Array.init ports (fun _ -> new_attachment t) } in
-  if id >= Array.length t.nodes then begin
-    let grown = Array.make (max 8 (2 * Array.length t.nodes)) n in
-    Array.blit t.nodes 0 grown 0 id;
-    t.nodes <- grown
+  if id >= Array.length t.impls then begin
+    let cap = max t.node_hint (max 8 (2 * Array.length t.impls)) in
+    let impls = Array.make cap i in
+    Array.blit t.impls 0 impls 0 id;
+    t.impls <- impls;
+    let pbase = Array.make cap 0 in
+    Array.blit t.pbase 0 pbase 0 id;
+    t.pbase <- pbase;
+    let np = Array.make cap 0 in
+    Array.blit t.np 0 np 0 id;
+    t.np <- np
   end;
-  t.nodes.(id) <- n;
+  t.impls.(id) <- i;
+  t.pbase.(id) <- t.port_count;
+  t.np.(id) <- ports;
   t.node_count <- id + 1;
+  let needed = t.port_count + ports in
+  if needed > Array.length t.lp_peer then begin
+    let cap =
+      max t.port_hint (max 16 (max needed (2 * Array.length t.lp_peer)))
+    in
+    let peer = Array.make cap (-1) in
+    Array.blit t.lp_peer 0 peer 0 t.port_count;
+    t.lp_peer <- peer;
+    let bps = Array.make cap 0 in
+    Array.blit t.lp_bps 0 bps 0 t.port_count;
+    t.lp_bps <- bps;
+    let delay = Array.make cap 0 in
+    Array.blit t.lp_delay 0 delay 0 t.port_count;
+    t.lp_delay <- delay;
+    let inflight = Array.make cap t.no_frame in
+    Array.blit t.lp_inflight 0 inflight 0 t.port_count;
+    t.lp_inflight <- inflight;
+    let fl = Bytes.make cap '\000' in
+    Bytes.blit t.lp_flags 0 fl 0 t.port_count;
+    t.lp_flags <- fl
+  end
+  else
+    for s = t.port_count to needed - 1 do
+      t.lp_peer.(s) <- -1;
+      t.lp_bps.(s) <- 0;
+      t.lp_delay.(s) <- 0;
+      t.lp_inflight.(s) <- t.no_frame;
+      Bytes.set t.lp_flags s '\000'
+    done;
+  t.port_count <- needed;
   id
 
 let add_switch t sw = register t (Switch_n sw) ~ports:(Switch.num_ports sw)
 
-let add_host t ~name =
+(* One shared no-op so idle hosts don't each allocate a closure. *)
+let default_receive ~now:_ _ = ()
+
+let add_host ?name ?ip ?mac t =
   t.host_counter <- t.host_counter + 1;
   let n = t.host_counter in
   let id = t.node_count in
   let host =
     {
-      host_name = name;
+      host_name = (match name with Some s -> s | None -> "");
       node_id = id;
-      mac = Mac.of_host_id n;
-      ip = Ipv4.Addr.of_host_id n;
-      receive = (fun ~now:_ _ -> ());
+      mac = (match mac with Some m -> m | None -> Mac.of_host_id n);
+      ip = (match ip with Some a -> a | None -> Ipv4.Addr.of_host_id n);
+      receive = default_receive;
+      nic_q = None;
     }
   in
   let registered = register t (Host_n host) ~ports:1 in
@@ -148,12 +227,12 @@ let add_host t ~name =
   host
 
 let switch t id =
-  match (node t id).impl with
+  match impl t id with
   | Switch_n sw -> sw
   | Host_n _ -> invalid_arg "Net.switch: node is a host"
 
 let host_of t id =
-  match (node t id).impl with
+  match impl t id with
   | Host_n h -> h
   | Switch_n _ -> invalid_arg "Net.host_of: node is a switch"
 
@@ -162,7 +241,7 @@ let node_count t = t.node_count
 let hosts t =
   let acc = ref [] in
   for id = t.node_count - 1 downto 0 do
-    match t.nodes.(id).impl with
+    match Array.unsafe_get t.impls id with
     | Host_n h -> acc := h :: !acc
     | Switch_n _ -> ()
   done;
@@ -171,45 +250,59 @@ let hosts t =
 let switches t =
   let acc = ref [] in
   for id = t.node_count - 1 downto 0 do
-    match t.nodes.(id).impl with
+    match Array.unsafe_get t.impls id with
     | Switch_n sw -> acc := (id, sw) :: !acc
     | Host_n _ -> ()
   done;
   !acc
 
-(* Hot-path attachment lookup: no endpoint tuple. *)
-let[@inline] port_attachment t id port =
-  let n = node t id in
-  if port < 0 || port >= Array.length n.ports then
-    invalid_arg "Net: port out of range";
-  Array.unsafe_get n.ports port
-
-let attachment t (id, port) = port_attachment t id port
-
 let connect t (a, pa) (b, pb) ~bps ~delay =
   if bps <= 0 then invalid_arg "Net.connect: rate";
-  let ea = attachment t (a, pa) and eb = attachment t (b, pb) in
-  if Option.is_some ea.peer || Option.is_some eb.peer then
+  let ia = gp t a pa and ib = gp t b pb in
+  if t.lp_peer.(ia) >= 0 || t.lp_peer.(ib) >= 0 then
     invalid_arg "Net.connect: port already linked";
-  ea.peer <- Some (b, pb);
-  ea.bps <- bps;
-  ea.delay <- delay;
-  eb.peer <- Some (a, pa);
-  eb.bps <- bps;
-  eb.delay <- delay;
-  (match (node t a).impl with
+  if pa > port_mask || pb > port_mask then invalid_arg "Net.connect: port";
+  t.lp_peer.(ia) <- pack_peer b pb;
+  t.lp_bps.(ia) <- bps;
+  t.lp_delay.(ia) <- delay;
+  t.lp_peer.(ib) <- pack_peer a pa;
+  t.lp_bps.(ib) <- bps;
+  t.lp_delay.(ib) <- delay;
+  (match Array.unsafe_get t.impls a with
   | Switch_n sw -> Switch.set_port_capacity sw ~port:pa ~bps
   | Host_n _ -> ());
-  match (node t b).impl with
+  match Array.unsafe_get t.impls b with
   | Switch_n sw -> Switch.set_port_capacity sw ~port:pb ~bps
   | Host_n _ -> ()
 
 let neighbors t id =
-  let n = node t id in
-  Array.to_list n.ports
-  |> List.mapi (fun port a -> (port, a.peer))
-  |> List.filter_map (fun (port, peer) ->
-       match peer with Some (pn, pp) -> Some (port, pn, pp) | None -> None)
+  let base = (ignore (impl t id); Array.unsafe_get t.pbase id) in
+  let acc = ref [] in
+  for port = Array.unsafe_get t.np id - 1 downto 0 do
+    let pk = t.lp_peer.(base + port) in
+    if pk >= 0 then acc := (port, peer_node pk, peer_port pk) :: !acc
+  done;
+  !acc
+
+let iter_ports t id f =
+  ignore (impl t id);
+  let base = Array.unsafe_get t.pbase id in
+  for port = 0 to Array.unsafe_get t.np id - 1 do
+    let pk = Array.unsafe_get t.lp_peer (base + port) in
+    if pk >= 0 then f ~port ~peer:(peer_node pk) ~peer_port:(peer_port pk)
+  done
+
+let iter_links t f =
+  for id = 0 to t.node_count - 1 do
+    let base = Array.unsafe_get t.pbase id in
+    for port = 0 to Array.unsafe_get t.np id - 1 do
+      let pk = Array.unsafe_get t.lp_peer (base + port) in
+      if pk >= 0 then
+        f ~node:id ~port ~peer:(peer_node pk) ~peer_port:(peer_port pk)
+          ~bps:(Array.unsafe_get t.lp_bps (base + port))
+          ~delay:(Array.unsafe_get t.lp_delay (base + port))
+    done
+  done
 
 (* ceil(bits * 1e9 / bps) in exact integer arithmetic. The product
    overflows 63-bit ints only for frames beyond ~1.1 GB, where the float
@@ -221,12 +314,16 @@ let tx_time_of_bits ~bps bits =
 
 let tx_time_ns ~bps frame = tx_time_of_bits ~bps (Frame.wire_size frame * 8)
 
-(* Pulls the next frame to transmit from a node's egress at [port]. *)
+(* Pulls the next frame to transmit from a node's egress at [port];
+   [t.no_frame] (compared physically) when the egress is empty, so the
+   per-transmission path allocates no option box. *)
 let next_frame t id port =
-  let n = node t id in
-  match n.impl with
-  | Switch_n sw -> Switch.dequeue sw ~port
-  | Host_n _ -> Ring.take_opt n.ports.(port).nic_queue
+  match Array.unsafe_get t.impls id with
+  | Switch_n sw -> Switch.dequeue_or sw ~port ~default:t.no_frame
+  | Host_n h -> (
+    match h.nic_q with
+    | None -> t.no_frame
+    | Some r -> Ring.take_or r ~default:t.no_frame)
 
 (* The dataplane cycle — deliver, start transmissions, complete them —
    as mutually recursive functions over plain (node, port) ints. In
@@ -244,8 +341,7 @@ let rec deliver t id port frame =
     | Some h -> h.f_ingress ~node:id ~now:(Engine.now t.eng)
   in
   if alive then begin
-    let n = node t id in
-    match n.impl with
+    match Array.unsafe_get t.impls id with
     | Host_n h ->
       t.delivered <- t.delivered + 1;
       let hooks = t.deliver_hooks in
@@ -266,41 +362,40 @@ let rec deliver t id port frame =
   else Frame.recycle frame (* frozen node: the frame vanishes *)
 
 and maybe_start_tx t id port =
-  let a = port_attachment t id port in
-  match a.peer with
-  | None -> ()
-  | Some _ ->
-    if not a.tx_busy then begin
-      match next_frame t id port with
-      | None -> ()
-      | Some frame ->
-        a.tx_busy <- true;
-        a.in_flight <- frame;
-        let bps =
-          match t.fault with
-          | None -> a.bps
-          | Some h -> h.f_rate ~node:id ~port ~now:(Engine.now t.eng) ~bps:a.bps
-        in
-        let tx = tx_time_ns ~bps frame in
-        let at = Time_ns.add (Engine.now t.eng) tx in
-        (match t.event_mode with
-        | `Typed -> Engine.dequeue_at t.eng at t.handlers ~node:id ~port
-        | `Closure -> Engine.at t.eng at (fun () -> tx_complete t id port))
+  let i = gp_trusted t id port in
+  if Array.unsafe_get t.lp_peer i >= 0 && not (flag_busy (flags t i)) then begin
+    let frame = next_frame t id port in
+    if frame != t.no_frame then begin
+      set_flags t i (flags t i lor 1);
+      Array.unsafe_set t.lp_inflight i frame;
+      let bps =
+        let bps = Array.unsafe_get t.lp_bps i in
+        match t.fault with
+        | None -> bps
+        | Some h -> h.f_rate ~node:id ~port ~now:(Engine.now t.eng) ~bps
+      in
+      let tx = tx_time_ns ~bps frame in
+      let at = Time_ns.add (Engine.now t.eng) tx in
+      match t.event_mode with
+      | `Typed -> Engine.dequeue_at t.eng at t.handlers ~node:id ~port
+      | `Closure -> Engine.at t.eng at (fun () -> tx_complete t id port)
     end
+  end
 
 (* A transmission finishes serialising onto the wire: the frame either
    dies (dark link, fault) or is scheduled to arrive at the peer after
    the propagation delay; then the port tries to start its next tx. *)
 and tx_complete t id port =
-  let a = port_attachment t id port in
-  let frame = a.in_flight in
-  a.in_flight <- t.no_frame;
-  a.tx_busy <- false;
+  let i = gp_trusted t id port in
+  let frame = Array.unsafe_get t.lp_inflight i in
+  Array.unsafe_set t.lp_inflight i t.no_frame;
+  let f = flags t i in
+  set_flags t i (f land lnot 1);
   (* A frame finishing serialisation onto a dark link is lost; the
      fault schedule may also lose it (dark window, random drop,
      corruption caught by the wire checks). *)
   let survives =
-    a.up
+    (not (flag_down f))
     && (match t.fault with
        | None -> true
        | Some h -> h.f_transit ~node:id ~port ~now:(Engine.now t.eng) frame)
@@ -308,13 +403,14 @@ and tx_complete t id port =
   if not survives then Frame.recycle frame;
   (if survives then begin
      let delay =
+       let delay = Array.unsafe_get t.lp_delay i in
        match t.fault with
-       | None -> a.delay
-       | Some h -> h.f_delay ~node:id ~port ~now:(Engine.now t.eng) ~delay:a.delay
+       | None -> delay
+       | Some h -> h.f_delay ~node:id ~port ~now:(Engine.now t.eng) ~delay
      in
-     match a.peer with
-     | None -> ()
-     | Some ((pn, pp) as peer) -> (
+     let pk = Array.unsafe_get t.lp_peer i in
+     if pk >= 0 then begin
+       let pn = peer_node pk and pp = peer_port pk in
        match t.sharding with
        | None -> schedule_deliver t delay pn pp frame
        | Some s ->
@@ -340,9 +436,10 @@ and tx_complete t id port =
               — the emitter-side half of the cross-domain leak fix. *)
            s.emit
              ~arrival:(Time_ns.add (Engine.now t.eng) delay)
-             ~emitted:(Engine.now t.eng) ~dst:peer frame;
+             ~emitted:(Engine.now t.eng) ~dst:(pn, pp) frame;
            Frame.recycle frame
-         end)
+         end
+     end
    end);
   maybe_start_tx t id port
 
@@ -352,7 +449,8 @@ and schedule_deliver t delay pn pp frame =
   | `Typed -> Engine.deliver_at t.eng at t.handlers ~node:pn ~port:pp frame
   | `Closure -> Engine.at t.eng at (fun () -> deliver t pn pp frame)
 
-let create ?(wire_check = `Always) ?(event_mode = `Typed) eng =
+let create ?(nodes = 0) ?(ports = 0) ?(wire_check = `Always)
+    ?(event_mode = `Typed) eng =
   let no_frame =
     Frame.udp_frame ~src_mac:(Mac.of_host_id 0) ~dst_mac:(Mac.of_host_id 0)
       ~src_ip:(Ipv4.Addr.of_host_id 0) ~dst_ip:(Ipv4.Addr.of_host_id 0)
@@ -375,13 +473,23 @@ let create ?(wire_check = `Always) ?(event_mode = `Typed) eng =
           on_restart = (fun ~node:_ -> ());
         };
       no_frame;
-      nodes = [||];
+      impls = [||];
+      pbase = [||];
+      np = [||];
       node_count = 0;
+      port_count = 0;
+      lp_peer = [||];
+      lp_bps = [||];
+      lp_delay = [||];
+      lp_inflight = [||];
+      lp_flags = Bytes.empty;
       host_counter = 0;
       delivered = 0;
       deliver_hooks = [||];
       sharding = None;
       fault = None;
+      node_hint = nodes;
+      port_hint = ports;
       checked_shapes;
       scratch;
     }
@@ -391,8 +499,8 @@ let create ?(wire_check = `Always) ?(event_mode = `Typed) eng =
 let event_mode t = t.event_mode
 
 let schedule_delivery ?emitted t ~arrival ~dst frame =
-  ignore (attachment t dst);
   let dn, dp = dst in
+  ignore (gp t dn dp);
   match t.event_mode with
   | `Typed ->
     Engine.deliver_at ?emitted t.eng arrival t.handlers ~node:dn ~port:dp frame
@@ -459,29 +567,42 @@ let host_send t host frame =
       end;
       frame
   in
-  let a = port_attachment t host.node_id 0 in
-  Ring.push a.nic_queue frame;
+  let q =
+    match host.nic_q with
+    | Some r -> r
+    | None ->
+      let r = Ring.create ~dummy:t.no_frame () in
+      host.nic_q <- Some r;
+      r
+  in
+  Ring.push q frame;
   maybe_start_tx t host.node_id 0
 
 let set_link_up t (id, port) up =
-  let a = attachment t (id, port) in
-  (match a.peer with
-  | None -> invalid_arg "Net.set_link_up: port has no link"
-  | Some (pid, pport) ->
-    let b = attachment t (pid, pport) in
-    a.up <- up;
-    b.up <- up;
+  let i = gp t id port in
+  let pk = t.lp_peer.(i) in
+  if pk < 0 then invalid_arg "Net.set_link_up: port has no link"
+  else begin
+    let pid = peer_node pk and pport = peer_port pk in
+    let j = gp t pid pport in
+    let set k =
+      let f = flags t k in
+      set_flags t k (if up then f land lnot 2 else f lor 2)
+    in
+    set i;
+    set j;
     if up then begin
       maybe_start_tx t id port;
       maybe_start_tx t pid pport
-    end)
+    end
+  end
 
-let link_up t (id, port) = (attachment t (id, port)).up
+let link_up t (id, port) = not (flag_down (flags t (gp t id port)))
 
 let link_delay t (id, port) =
-  let a = attachment t (id, port) in
-  if Option.is_none a.peer then invalid_arg "Net.link_delay: port has no link";
-  a.delay
+  let i = gp t id port in
+  if t.lp_peer.(i) < 0 then invalid_arg "Net.link_delay: port has no link";
+  t.lp_delay.(i)
 
 let start_utilization_updates t ~period ~until =
   (* On a sharded net only the owned switches tick (each shard runs its

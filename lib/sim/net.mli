@@ -6,13 +6,20 @@
     [wire_size * 8 / rate], then arrives after the propagation delay.
     Switch egress queues are byte-bounded with tail drop; host NIC
     queues are unbounded (hosts self-pace via {!Tpp_endhost} rate
-    limiters). *)
+    limiters).
+
+    Link and port state is stored in structure-of-arrays form (flat int
+    arrays over global port slots, DESIGN §15) so a fabric's footprint
+    is dominated by its switches, not by per-link records: an idle host
+    costs ~178 bytes, which is what lets a 100k-host leaf-spine fit
+    comfortably in memory. *)
 
 module Frame = Tpp_isa.Frame
 module Switch = Tpp_asic.Switch
 module Mac = Tpp_packet.Mac
 module Ipv4 = Tpp_packet.Ipv4
 module Time_ns = Tpp_util.Time_ns
+module Ring = Tpp_util.Ring
 
 type t
 
@@ -22,6 +29,10 @@ type host = {
   mac : Mac.t;
   ip : Ipv4.Addr.t;
   mutable receive : now:Time_ns.t -> Frame.t -> unit;
+  mutable nic_q : Frame.t Ring.t option;
+      (** NIC transmit queue, materialized on the host's first send —
+          idle hosts carry [None]. Managed by {!host_send}; read it for
+          inspection, don't replace it. *)
 }
 
 type wire_check = [ `Always | `Cached | `Off ]
@@ -47,7 +58,19 @@ type event_mode = [ `Typed | `Closure ]
 
     The event sequence is bit-identical between modes. *)
 
-val create : ?wire_check:wire_check -> ?event_mode:event_mode -> Engine.t -> t
+val create :
+  ?nodes:int ->
+  ?ports:int ->
+  ?wire_check:wire_check ->
+  ?event_mode:event_mode ->
+  Engine.t ->
+  t
+(** [?nodes]/[?ports] are capacity hints: a builder that knows the final
+    node and port counts (every topology builder does) passes them so
+    the node and port arrays are allocated once at exactly that size —
+    the amortised-doubling slack would otherwise cost a million-host
+    fabric up to 2x its steady-state footprint. Registering past a hint
+    is fine; growth just resumes doubling. *)
 
 val event_mode : t -> event_mode
 
@@ -56,8 +79,12 @@ val engine : t -> Engine.t
 val add_switch : t -> Switch.t -> int
 (** Registers a switch; returns its node id. *)
 
-val add_host : t -> name:string -> host
-(** Creates a host with deterministic MAC/IP derived from a counter. *)
+val add_host : ?name:string -> ?ip:Ipv4.Addr.t -> ?mac:Mac.t -> t -> host
+(** Creates a host. By default MAC/IP derive from a counter
+    ([Mac.of_host_id] / [Ipv4.Addr.of_host_id]); topology builders pass
+    [?ip] to give hosts hierarchical (aggregatable) addresses instead.
+    [?name] defaults to [""] — a million hosts don't need a million
+    strings. *)
 
 val switch : t -> int -> Switch.t
 (** The switch at a node id. Raises [Invalid_argument] for hosts. *)
@@ -90,6 +117,33 @@ val link_up : t -> int * int -> bool
 
 val neighbors : t -> int -> (int * int * int) list
 (** [(port, peer_node, peer_port)] for every connected port of a node. *)
+
+val iter_ports :
+  t -> int -> (port:int -> peer:int -> peer_port:int -> unit) -> unit
+(** Allocation-free walk over a node's connected ports, in port order. *)
+
+val iter_links :
+  t ->
+  (node:int -> port:int -> peer:int -> peer_port:int -> bps:int ->
+   delay:Time_ns.span -> unit) ->
+  unit
+(** Allocation-free walk over every connected (node, port) endpoint in
+    node/port order — each full-duplex link is visited once per
+    direction. What the shard partitioner and {!Fault} build their
+    adjacency from without materialising neighbor lists. *)
+
+val port_index : t -> int -> int -> int
+(** [port_index t node port] is the dense global slot of the port:
+    stable, contiguous over all registered ports, suitable for keying
+    side tables (the fault subsystem's per-wire state). Raises
+    [Invalid_argument] for an unknown node or out-of-range port. *)
+
+val port_count : t -> int
+(** Total global port slots registered so far (the exclusive upper bound
+    of {!port_index}). *)
+
+val num_ports : t -> int -> int
+(** Ports of one node. *)
 
 val start_utilization_updates :
   t -> period:Time_ns.span -> until:Time_ns.t -> unit

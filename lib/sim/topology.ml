@@ -1,5 +1,6 @@
 module Time_ns = Tpp_util.Time_ns
 module Switch = Tpp_asic.Switch
+module Tables = Tpp_asic.Tables
 module Ipv4 = Tpp_packet.Ipv4
 
 let next_hop_ports net ~dest =
@@ -55,6 +56,15 @@ let install_dest_on_switch net ~dest ~ecmp ~version ~entry_id sid ports =
          ~port:lowest ~entry_id ~version);
     Switch.install_l2 sw dest.Net.mac ~port:lowest ~entry_id ~version
 
+(* Install order (hosts in creation order, switches in node-id order per
+   host) and the per-switch entry-id counters reproduce exactly what a
+   [next_hop_ports]-per-host loop would install — but the BFS runs once
+   per {e attach switch}, not once per host, over preallocated scratch.
+   The two views agree because a host hangs off exactly one switch:
+   every distance the per-host BFS computes is the attach switch's
+   distance plus one, so "peer one hop closer to the host" is "peer one
+   hop closer to the attach switch" everywhere except at the attach
+   switch itself, where the only candidate is the host's own port. *)
 let install_routes ?(ecmp = false) ?(version = 1) net =
   let entry_counters = Hashtbl.create 8 in
   let next_entry_id sid =
@@ -62,15 +72,57 @@ let install_routes ?(ecmp = false) ?(version = 1) net =
     Hashtbl.replace entry_counters sid (c + 1);
     c + 1
   in
+  let n = Net.node_count net in
+  let bfs_queue = Array.make (max n 1) 0 in
+  let dist_cache : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  let dist_from src =
+    match Hashtbl.find_opt dist_cache src with
+    | Some dist -> dist
+    | None ->
+      let dist = Array.make n max_int in
+      dist.(src) <- 0;
+      bfs_queue.(0) <- src;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let u = bfs_queue.(!head) in
+        incr head;
+        Net.iter_ports net u (fun ~port:_ ~peer ~peer_port:_ ->
+            if dist.(peer) = max_int then begin
+              dist.(peer) <- dist.(u) + 1;
+              bfs_queue.(!tail) <- peer;
+              incr tail
+            end)
+      done;
+      Hashtbl.add dist_cache src dist;
+      dist
+  in
+  let switches = Net.switches net in
+  let candidates = ref [] in
   List.iter
     (fun dest ->
-      List.iter
-        (fun (sid, ports) ->
-          install_dest_on_switch net ~dest ~ecmp ~version ~entry_id:(next_entry_id sid)
-            sid ports)
-        (next_hop_ports net ~dest))
+      match Net.neighbors net dest.Net.node_id with
+      | [] -> () (* unattached host: nothing can route to it *)
+      | (_, attach, attach_port) :: _ ->
+        let dist = dist_from attach in
+        List.iter
+          (fun (sid, _) ->
+            if sid = attach then
+              install_dest_on_switch net ~dest ~ecmp ~version
+                ~entry_id:(next_entry_id sid) sid [ attach_port ]
+            else if dist.(sid) < max_int then begin
+              let d = dist.(sid) in
+              candidates := [];
+              Net.iter_ports net sid (fun ~port ~peer ~peer_port:_ ->
+                  if dist.(peer) = d - 1 then candidates := port :: !candidates);
+              match List.rev !candidates with
+              | [] -> ()
+              | ports ->
+                install_dest_on_switch net ~dest ~ecmp ~version
+                  ~entry_id:(next_entry_id sid) sid ports
+            end)
+          switches)
     (Net.hosts net);
-  List.iter (fun (_, sw) -> Switch.set_version sw version) (Net.switches net)
+  List.iter (fun (_, sw) -> Switch.set_version sw version) switches
 
 type chain = {
   net : Net.t;
@@ -227,14 +279,61 @@ type fat_tree = {
   f_hosts : Net.host array;
 }
 
-let fat_tree eng ?wire_check ?event_mode ?(ecmp = true) ~k ~bps ~delay () =
+(* 10.pod.edge.(2 + slot): the Al-Fares fat-tree address plan. Each
+   octet boundary is an aggregation boundary, which is what lets the
+   aggregated FIB mode route with O(1) entries per switch. *)
+let pod_ip ~pod ~edge ~slot =
+  Ipv4.Addr.of_int (0x0A000000 lor (pod lsl 16) lor (edge lsl 8) lor (2 + slot))
+
+let prefix_of ~base ~len = Ipv4.Prefix.make (Ipv4.Addr.of_int base) len
+
+(* The two non-host entries of an aggregated switch: a Connected block
+   route covering everything below it, and (unless it is a core switch,
+   whose Connected route covers the world) a default route up. *)
+let install_up sw ~ecmp ~half ~k =
+  let ups = List.init (k - half) (fun i -> half + i) in
+  if ecmp then
+    Switch.install_multipath_route sw
+      (prefix_of ~base:0 ~len:0)
+      ~ports:ups ~entry_id:2 ~version:1
+  else
+    Switch.install_route sw (prefix_of ~base:0 ~len:0) ~port:half ~entry_id:2
+      ~version:1
+
+(* A distinct, well-mixed ECMP salt per switch (xorshift*-style mix of
+   the node id, constants kept within 62 bits). Without one, every hop
+   keys ECMP identically and the picks polarise: the flows an agg
+   switch received *because* they hashed to index i all pick core
+   uplink i too, oversubscribing it k/2-fold while its siblings idle.
+   Replica fabrics (the /32 differential oracle, per-shard copies)
+   assign identical node ids, so salted paths stay bit-identical. *)
+let ecmp_salt_of node =
+  let z = (node + 0x1234567) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 29)) * 0x2545F4914F6CDD1D in
+  (z lxor (z lsr 32)) land max_int
+
+let fat_tree eng ?wire_check ?event_mode ?(ecmp = true) ?(addressing = `Counter)
+    ?(fib = `Host32) ~k ~bps ~delay () =
   if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
+  if fib = `Aggregated && addressing <> `Pods then
+    invalid_arg "Topology.fat_tree: aggregated FIBs need `Pods addressing";
+  if addressing = `Pods && k > 256 then
+    invalid_arg "Topology.fat_tree: `Pods addressing needs k <= 256";
   let half = k / 2 in
-  let net = Net.create ?wire_check ?event_mode eng in
+  (* (k^2 + k^2/4) k-port switches plus k^3/4 single-port hosts. *)
+  let switches = (k * k) + (half * half) in
+  let hosts = k * half * half in
+  let net =
+    Net.create ~nodes:(switches + hosts) ~ports:((switches * k) + hosts)
+      ?wire_check ?event_mode eng
+  in
   let next_switch_id = ref 0 in
   let mk ~num_ports =
     incr next_switch_id;
-    Net.add_switch net (Switch.create ~id:!next_switch_id ~num_ports ())
+    let sw = Switch.create ~id:!next_switch_id ~num_ports () in
+    let node = Net.add_switch net sw in
+    Switch.set_ecmp_salt sw (ecmp_salt_of node);
+    node
   in
   let core_ids = Array.init (half * half) (fun _ -> mk ~num_ports:k) in
   let agg_ids = Array.init k (fun _ -> Array.init half (fun _ -> mk ~num_ports:k)) in
@@ -245,7 +344,14 @@ let fat_tree eng ?wire_check ?event_mode ?(ecmp = true) ~k ~bps ~delay () =
         let pod = i / (half * half) in
         let rest = i mod (half * half) in
         let edge = rest / half and slot = rest mod half in
-        let host = Net.add_host net ~name:(Printf.sprintf "h%d_%d_%d" pod edge slot) in
+        let ip =
+          match addressing with
+          | `Counter -> None
+          | `Pods -> Some (pod_ip ~pod ~edge ~slot)
+        in
+        let host =
+          Net.add_host ?ip net ~name:(Printf.sprintf "h%d_%d_%d" pod edge slot)
+        in
         Net.connect net (host.Net.node_id, 0) (edge_ids.(pod).(edge), slot) ~bps ~delay;
         host)
   in
@@ -266,5 +372,144 @@ let fat_tree eng ?wire_check ?event_mode ?(ecmp = true) ~k ~bps ~delay () =
       done
     done
   done;
-  install_routes ~ecmp net;
+  (match fib with
+  | `Host32 -> install_routes ~ecmp net
+  | `Aggregated ->
+    (* O(1) FIB entries per switch; forwarding is provably equivalent to
+       the /32 oracle (same candidate port sets at every hop — DESIGN
+       §15), which the scale bench and QCheck suite verify. *)
+    for pod = 0 to k - 1 do
+      for edge = 0 to half - 1 do
+        let sw = Net.switch net edge_ids.(pod).(edge) in
+        Switch.install_connected_route sw
+          (prefix_of ~base:(0x0A000000 lor (pod lsl 16) lor (edge lsl 8)) ~len:24)
+          ~connected:
+            {
+              Tables.c_base = 0x0A000000 lor (pod lsl 16) lor (edge lsl 8) lor 2;
+              c_shift = 0;
+              c_port_base = 0;
+              c_count = half;
+            }
+          ~entry_id:1 ~version:1;
+        install_up sw ~ecmp ~half ~k;
+        Switch.set_version sw 1
+      done;
+      for agg = 0 to half - 1 do
+        let sw = Net.switch net agg_ids.(pod).(agg) in
+        Switch.install_connected_route sw
+          (prefix_of ~base:(0x0A000000 lor (pod lsl 16)) ~len:16)
+          ~connected:
+            {
+              Tables.c_base = 0x0A000000 lor (pod lsl 16);
+              c_shift = 8;
+              c_port_base = 0;
+              c_count = half;
+            }
+          ~entry_id:1 ~version:1;
+        install_up sw ~ecmp ~half ~k;
+        Switch.set_version sw 1
+      done
+    done;
+    Array.iter
+      (fun cid ->
+        let sw = Net.switch net cid in
+        Switch.install_connected_route sw
+          (prefix_of ~base:0x0A000000 ~len:8)
+          ~connected:
+            { Tables.c_base = 0x0A000000; c_shift = 16; c_port_base = 0; c_count = k }
+          ~entry_id:1 ~version:1;
+        Switch.set_version sw 1)
+      core_ids);
   { f_net = net; k; core_ids; agg_ids; edge_ids; f_hosts }
+
+type leaf_spine = {
+  ls_net : Net.t;
+  ls_leaf_ids : int array;
+  ls_spine_ids : int array;
+  ls_hosts : Net.host array;
+  ls_leaves : int;
+  ls_spines : int;
+  ls_hosts_per_leaf : int;
+}
+
+let leaf_spine eng ?wire_check ?event_mode ?(ecmp = true) ~leaves ~spines
+    ~hosts_per_leaf ~bps ~delay () =
+  if leaves < 1 || leaves > 0x10000 then
+    invalid_arg "Topology.leaf_spine: need 1 <= leaves <= 65536";
+  if spines < 1 then invalid_arg "Topology.leaf_spine: spines";
+  if hosts_per_leaf < 1 || hosts_per_leaf > 253 then
+    invalid_arg "Topology.leaf_spine: need 1 <= hosts_per_leaf <= 253";
+  let hosts = leaves * hosts_per_leaf in
+  let net =
+    Net.create
+      ~nodes:(leaves + spines + hosts)
+      ~ports:((leaves * (hosts_per_leaf + spines)) + (spines * leaves) + hosts)
+      ?wire_check ?event_mode eng
+  in
+  let leaf_ids =
+    Array.init leaves (fun l ->
+        let sw = Switch.create ~id:(l + 1) ~num_ports:(hosts_per_leaf + spines) () in
+        let node = Net.add_switch net sw in
+        Switch.set_ecmp_salt sw (ecmp_salt_of node);
+        node)
+  in
+  let spine_ids =
+    Array.init spines (fun s ->
+        Net.add_switch net (Switch.create ~id:(leaves + s + 1) ~num_ports:leaves ()))
+  in
+  (* 10.(leaf / 256).(leaf mod 256).(2 + slot): one /24 per leaf. *)
+  let host_ip ~leaf ~slot = Ipv4.Addr.of_int (0x0A000000 lor (leaf lsl 8) lor (2 + slot)) in
+  let ls_hosts =
+    Array.init (leaves * hosts_per_leaf) (fun i ->
+        let leaf = i / hosts_per_leaf and slot = i mod hosts_per_leaf in
+        let host = Net.add_host net ~ip:(host_ip ~leaf ~slot) in
+        Net.connect net (host.Net.node_id, 0) (leaf_ids.(leaf), slot) ~bps ~delay;
+        host)
+  in
+  for leaf = 0 to leaves - 1 do
+    for s = 0 to spines - 1 do
+      Net.connect net (leaf_ids.(leaf), hosts_per_leaf + s) (spine_ids.(s), leaf) ~bps
+        ~delay
+    done
+  done;
+  Array.iteri
+    (fun leaf lid ->
+      let sw = Net.switch net lid in
+      Switch.install_connected_route sw
+        (prefix_of ~base:(0x0A000000 lor (leaf lsl 8)) ~len:24)
+        ~connected:
+          {
+            Tables.c_base = 0x0A000000 lor (leaf lsl 8) lor 2;
+            c_shift = 0;
+            c_port_base = 0;
+            c_count = hosts_per_leaf;
+          }
+        ~entry_id:1 ~version:1;
+      let ups = List.init spines (fun s -> hosts_per_leaf + s) in
+      (if ecmp then
+         Switch.install_multipath_route sw (prefix_of ~base:0 ~len:0) ~ports:ups
+           ~entry_id:2 ~version:1
+       else
+         Switch.install_route sw (prefix_of ~base:0 ~len:0) ~port:hosts_per_leaf
+           ~entry_id:2 ~version:1);
+      Switch.set_version sw 1)
+    leaf_ids;
+  Array.iter
+    (fun sid ->
+      let sw = Net.switch net sid in
+      Switch.install_connected_route sw
+        (prefix_of ~base:0x0A000000 ~len:8)
+        ~connected:
+          { Tables.c_base = 0x0A000000; c_shift = 8; c_port_base = 0; c_count = leaves }
+        ~entry_id:1 ~version:1;
+      Switch.set_version sw 1)
+    spine_ids;
+  {
+    ls_net = net;
+    ls_leaf_ids = leaf_ids;
+    ls_spine_ids = spine_ids;
+    ls_hosts;
+    ls_leaves = leaves;
+    ls_spines = spines;
+    ls_hosts_per_leaf = hosts_per_leaf;
+  }

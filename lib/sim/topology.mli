@@ -133,7 +133,8 @@ val random :
 
 val fat_tree :
   Engine.t -> ?wire_check:Net.wire_check -> ?event_mode:Net.event_mode ->
-  ?ecmp:bool -> k:int -> bps:int ->
+  ?ecmp:bool -> ?addressing:[ `Counter | `Pods ] ->
+  ?fib:[ `Host32 | `Aggregated ] -> k:int -> bps:int ->
   delay:Time_ns.span -> unit -> fat_tree
 (** A k-ary fat-tree (k even, >= 2): k pods of k/2 edge and k/2
     aggregation switches, (k/2)^2 cores, k/2 hosts per edge switch —
@@ -141,4 +142,40 @@ val fat_tree :
     0..k/2-1 face down, k/2..k-1 face up; core port p faces pod p.
     Shortest-path routes installed; [ecmp] (default [true]) spreads
     flows across the equal-cost up-links by 5-tuple hash, the standard
-    fabric practice. Paths stay deterministic per flow. *)
+    fabric practice. Paths stay deterministic per flow.
+
+    [addressing] picks the host address plan: [`Counter] (default) keeps
+    the flat per-net counter IPs; [`Pods] (k <= 256) assigns the
+    hierarchical Al-Fares plan 10.pod.edge.(2+slot), where every octet
+    boundary is an aggregation boundary.
+
+    [fib] picks the route-installation strategy: [`Host32] (default)
+    installs per-host /32s via {!install_routes} — the differential
+    oracle; [`Aggregated] (requires [`Pods]) installs O(1) prefix
+    entries per switch (a {!Tpp_asic.Tables.Connected} block route over
+    everything below, plus an ECMP default up), forwarding every packet
+    identically to the oracle with ~half * k^2 / 2 fewer FIB entries. *)
+
+type leaf_spine = {
+  ls_net : Net.t;
+  ls_leaf_ids : int array;   (** leaf [l]: host ports 0..hpl-1, up ports hpl.. *)
+  ls_spine_ids : int array;  (** spine [s]: port [l] faces leaf [l] *)
+  ls_hosts : Net.host array; (** leaf-major *)
+  ls_leaves : int;
+  ls_spines : int;
+  ls_hosts_per_leaf : int;
+}
+
+val leaf_spine :
+  Engine.t -> ?wire_check:Net.wire_check -> ?event_mode:Net.event_mode ->
+  ?ecmp:bool -> leaves:int -> spines:int -> hosts_per_leaf:int -> bps:int ->
+  delay:Time_ns.span -> unit -> leaf_spine
+(** A two-tier leaf-spine fabric: [leaves] (<= 65536) leaf switches of
+    [hosts_per_leaf] (<= 253) hosts each, every leaf connected to every
+    spine. Hosts get hierarchical addresses 10.(leaf/256).(leaf mod
+    256).(2+slot) — one /24 per leaf — and routes are always
+    aggregated: each leaf holds 2 FIB entries (its own subnet as a
+    Connected block + an ECMP default up), each spine exactly 1 (a
+    Connected route keyed by the leaf octets). FIB state is O(1) per
+    switch at {e any} host count: the memory-scaling workhorse of the
+    scale bench (100k hosts and beyond). *)

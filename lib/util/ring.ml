@@ -46,6 +46,16 @@ let take_opt t =
     Some x
   end
 
+let take_or t ~default =
+  if t.len = 0 then default
+  else begin
+    let x = Array.unsafe_get t.buf t.head in
+    Array.unsafe_set t.buf t.head t.dummy;
+    t.head <- (if t.head + 1 = Array.length t.buf then 0 else t.head + 1);
+    t.len <- t.len - 1;
+    x
+  end
+
 let peek_opt t = if t.len = 0 then None else Some (Array.unsafe_get t.buf t.head)
 
 let clear t =

@@ -16,6 +16,11 @@ val push : 'a t -> 'a -> unit
 val take_opt : 'a t -> 'a option
 (** Remove and return the head, oldest first. *)
 
+val take_or : 'a t -> default:'a -> 'a
+(** [take_opt] without the option box: returns [default] when empty.
+    Callers on per-frame hot paths pass a sentinel they compare
+    physically, so a steady-state dequeue allocates nothing. *)
+
 val peek_opt : 'a t -> 'a option
 
 val clear : 'a t -> unit

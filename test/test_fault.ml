@@ -137,7 +137,7 @@ let test_freeze_restart () =
   Fault.freeze f ~from_:(ms 5) ~until_:(ms 10) sw_node;
   Fault.attach f net;
   let st = Switch.state (Net.switch net sw_node) in
-  st.Switch_state.sram.(0) <- 42;
+  ignore (Switch_state.sram_set st 0 42);
   send_at net h0 h1 (ms 6);   (* arrives at the frozen switch: vanishes *)
   send_at net h0 h1 (ms 12);  (* after restart: delivered *)
   Engine.run eng ~until:(ms 20);
@@ -146,7 +146,8 @@ let test_freeze_restart () =
   let s = Fault.stats f in
   check Alcotest.int "arrival vanished" 1 s.Fault.frozen_arrivals;
   check Alcotest.int "one restart" 1 s.Fault.restarts;
-  check Alcotest.int "SRAM wiped" 0 st.Switch_state.sram.(0);
+  check (Alcotest.option Alcotest.int) "SRAM wiped" (Some 0)
+    (Switch_state.sram_get st 0);
   check Alcotest.int "post-restart frame delivered" 1 (Net.frames_delivered net)
 
 let test_degrade_slows () =

@@ -26,4 +26,5 @@ let () =
       ("tcp", Test_tcp.suite);
       ("transport", Test_transport.suite);
       ("telemetry", Test_telemetry.suite);
+      ("scale", Test_scale.suite);
     ]

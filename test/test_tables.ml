@@ -13,6 +13,8 @@ let port_of = function
   | Some { Tables.action = Tables.Multipath ports; _ } ->
     Some (Tables.select_path ports ~key:0)
   | Some { Tables.action = Tables.Drop; _ } -> Some (-1)
+  | Some { Tables.action = Tables.Connected c; _ } ->
+    Tables.connected_port c (Ipv4.Addr.of_int c.Tables.c_base)
   | None -> None
 
 (* --- L2 --------------------------------------------------------------- *)
